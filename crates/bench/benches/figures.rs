@@ -1,0 +1,119 @@
+//! One benchmark per paper figure. Each benchmark runs a *representative
+//! cell* of the figure at reduced scale so `cargo bench` exercises every
+//! experiment code path in minutes; the full tables/series are produced by
+//! the `lrm-eval` binaries (`fig2_gamma` … `fig9_rank_s`, `--full` for the
+//! paper's exact grid) as indexed in DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrm_core::decomposition::{DecompositionConfig, TargetRank};
+use lrm_eval::mechanisms::MechanismKind;
+use lrm_eval::runner::{run_cell, CellSpec};
+use lrm_workload::datasets::Dataset;
+use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+use lrm_workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 16;
+const N: usize = 64;
+
+fn data(n: usize) -> Vec<f64> {
+    Dataset::SearchLogs.load_merged(n).unwrap()
+}
+
+fn cell(kind: MechanismKind, workload: &Workload, gamma: f64, ratio: f64, tag: &str) -> f64 {
+    let data = data(workload.domain_size());
+    let spec = CellSpec {
+        kind,
+        workload,
+        data: &data,
+        epsilon: 0.1,
+        lrm_config: DecompositionConfig {
+            gamma,
+            target_rank: TargetRank::RatioOfRank(ratio),
+            ..DecompositionConfig::default()
+        },
+        trials: 3,
+        seed: 1,
+        tag: tag.to_string(),
+    };
+    run_cell(&spec).unwrap().empirical_avg_error
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let wdiscrete = WDiscrete::default().generate(M, N, &mut rng).unwrap();
+    let wrange = WRange.generate(M, N, &mut rng).unwrap();
+    let wrelated = WRelated { base_queries: 4 }.generate(M, N, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Fig. 2: LRM cell at a mid-grid γ.
+    group.bench_function("fig2_gamma_cell", |b| {
+        b.iter(|| cell(MechanismKind::Lrm, &wrange, 1e-2, 1.2, "bench/fig2"))
+    });
+    // Fig. 3: LRM cell at ratio 1.2.
+    group.bench_function("fig3_rank_cell", |b| {
+        b.iter(|| cell(MechanismKind::Lrm, &wrelated, 1e-2, 1.2, "bench/fig3"))
+    });
+    // Fig. 4: WDiscrete n-sweep cell — all five mechanisms.
+    group.bench_function("fig4_wdiscrete_cell", |b| {
+        b.iter(|| {
+            MechanismKind::FIG4_SET
+                .iter()
+                .map(|k| cell(*k, &wdiscrete, 1e-2, 1.2, "bench/fig4"))
+                .sum::<f64>()
+        })
+    });
+    // Fig. 5: WRange n-sweep cell.
+    group.bench_function("fig5_wrange_cell", |b| {
+        b.iter(|| {
+            MechanismKind::FIG4_SET
+                .iter()
+                .map(|k| cell(*k, &wrange, 1e-2, 1.2, "bench/fig5"))
+                .sum::<f64>()
+        })
+    });
+    // Fig. 6: WRelated n-sweep cell.
+    group.bench_function("fig6_wrelated_cell", |b| {
+        b.iter(|| {
+            MechanismKind::FIG4_SET
+                .iter()
+                .map(|k| cell(*k, &wrelated, 1e-2, 1.2, "bench/fig6"))
+                .sum::<f64>()
+        })
+    });
+    // Fig. 7: WRange m-sweep cell — the four-mechanism set.
+    group.bench_function("fig7_wrange_cell", |b| {
+        b.iter(|| {
+            MechanismKind::FIG7_SET
+                .iter()
+                .map(|k| cell(*k, &wrange, 1e-2, 1.2, "bench/fig7"))
+                .sum::<f64>()
+        })
+    });
+    // Fig. 8: WRelated m-sweep cell.
+    group.bench_function("fig8_wrelated_cell", |b| {
+        b.iter(|| {
+            MechanismKind::FIG7_SET
+                .iter()
+                .map(|k| cell(*k, &wrelated, 1e-2, 1.2, "bench/fig8"))
+                .sum::<f64>()
+        })
+    });
+    // Fig. 9: WRelated s-sweep cell at low rank (LRM's best regime).
+    group.bench_function("fig9_low_rank_cell", |b| {
+        b.iter(|| {
+            MechanismKind::FIG7_SET
+                .iter()
+                .map(|k| cell(*k, &wrelated, 1e-2, 1.2, "bench/fig9"))
+                .sum::<f64>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Micro-benchmarks for the dense linear-algebra substrate: these kernels
+//! dominate the LRM decomposition time the paper plots in Figs. 2–3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrm_linalg::decomp::{Cholesky, Svd, SymEigen};
+use lrm_linalg::{ops, Matrix};
+use std::hint::black_box;
+
+fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[64usize, 128, 256] {
+        let a = pseudo_random(n, n, 1);
+        let b = pseudo_random(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd");
+    group.sample_size(10);
+    for &(m, n) in &[(64usize, 128usize), (128, 256)] {
+        let a = pseudo_random(m, n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("jacobi", format!("{m}x{n}")),
+            &a,
+            |bench, a| bench.iter(|| Svd::compute_jacobi(black_box(a)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gram", format!("{m}x{n}")),
+            &a,
+            |bench, a| bench.iter(|| Svd::compute_gram(black_box(a)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sym_eigen");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let raw = pseudo_random(n, n, 4);
+        let a = Matrix::from_fn(n, n, |i, j| 0.5 * (raw.get(i, j) + raw.get(j, i)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bench, a| {
+            bench.iter(|| SymEigen::compute(black_box(a)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for &n in &[64usize, 128, 256] {
+        let b = pseudo_random(n, n, 5);
+        let mut spd = ops::gram(&b);
+        spd += &Matrix::identity(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &spd, |bench, spd| {
+            bench.iter(|| Cholesky::compute(black_box(spd)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_svd, bench_eigen, bench_cholesky);
+criterion_main!(benches);

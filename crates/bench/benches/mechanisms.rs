@@ -1,0 +1,70 @@
+//! Compile- and answer-latency benchmarks for every mechanism.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrm_core::baselines::{
+    HierarchicalMechanism, MatrixMechanism, MatrixMechanismConfig, NoiseOnData, NoiseOnResults,
+    WaveletMechanism,
+};
+use lrm_core::decomposition::DecompositionConfig;
+use lrm_core::{LowRankMechanism, Mechanism};
+use lrm_dp::rng::derive_rng;
+use lrm_dp::Epsilon;
+use lrm_workload::generators::{WRange, WorkloadGenerator};
+use lrm_workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn workload() -> Workload {
+    WRange
+        .generate(32, 128, &mut StdRng::seed_from_u64(1))
+        .unwrap()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    group.bench_function("LM", |b| b.iter(|| NoiseOnData::compile(black_box(&w))));
+    group.bench_function("NOR", |b| b.iter(|| NoiseOnResults::compile(black_box(&w))));
+    group.bench_function("WM", |b| b.iter(|| WaveletMechanism::compile(black_box(&w))));
+    group.bench_function("HM", |b| {
+        b.iter(|| HierarchicalMechanism::compile(black_box(&w)))
+    });
+    group.bench_function("MM", |b| {
+        b.iter(|| MatrixMechanism::compile(black_box(&w), &MatrixMechanismConfig::default()))
+    });
+    group.bench_function("LRM", |b| {
+        b.iter(|| LowRankMechanism::compile(black_box(&w), &DecompositionConfig::default()))
+    });
+    group.finish();
+}
+
+fn bench_answer(c: &mut Criterion) {
+    let w = workload();
+    let x: Vec<f64> = (0..w.domain_size()).map(|i| (i * 7 % 101) as f64).collect();
+    let eps = Epsilon::new(0.1).unwrap();
+
+    let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(NoiseOnData::compile(&w)),
+        Box::new(WaveletMechanism::compile(&w)),
+        Box::new(HierarchicalMechanism::compile(&w)),
+        Box::new(LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap()),
+    ];
+
+    let mut group = c.benchmark_group("answer");
+    for mech in &mechanisms {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mech.name()),
+            mech,
+            |b, mech| {
+                let mut rng = derive_rng(1, 2);
+                b.iter(|| mech.answer(black_box(&x), eps, &mut rng).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_answer);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+#![warn(missing_docs)]
+//! Benchmark-only crate; see the `benches/` directory.

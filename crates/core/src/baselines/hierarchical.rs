@@ -1,0 +1,394 @@
+//! Hierarchical Mechanism (HM) — Hay, Rastogi, Miklau & Suciu
+//! (PVLDB 2010), the paper's ref \[15\].
+//!
+//! The mechanism materializes a complete binary interval tree over the
+//! (padded) domain, publishes every node's count with
+//! `Lap((h+1)/ε)` noise (the budget is split evenly over the `h+1`
+//! levels; one record touches exactly one node per level), and then
+//! enforces consistency by **constrained inference**: the published tree
+//! is replaced by the least-squares tree that satisfies
+//! "parent = sum of children", computed by Hay et al.'s two linear passes:
+//!
+//! * bottom-up: `z_v = α_ℓ·ỹ_v + (1 − α_ℓ)·Σ_children z_c` with
+//!   `α_ℓ = (2^ℓ − 2^{ℓ−1})/(2^ℓ − 1)` for a node at height ℓ (leaves
+//!   have ℓ = 1);
+//! * top-down: `x̄_root = z_root`,
+//!   `x̄_c = z_c + (x̄_v − Σ_{c'} z_{c'})/2`.
+//!
+//! The consistent leaves answer the workload: `ŷ = W·x̄`.
+//!
+//! **Closed-form error.** The constrained-inference estimate is the
+//! least-squares solution `x̂ = (TᵀT)⁻¹Tᵀ·ỹ` for the tree matrix `T`, so
+//! `E‖W(x̂−x)‖² = 2s²·tr(W(TᵀT)⁻¹Wᵀ)`. `TᵀT = Σ_levels blockdiag(J_{2^l})`
+//! is diagonalized by the **Haar basis**: the normalized constant vector
+//! has eigenvalue `2n−1` and a detail vector spanning a block of size `s`
+//! has eigenvalue `s−1`. Hence
+//! `tr(W(TᵀT)⁻¹Wᵀ) = ‖W·1‖²/(n(2n−1)) + Σ_v ‖W·σ_v‖²/(s_v(s_v−1))`,
+//! computable with row prefix sums in `O(m·n·log n)` — no `n×n` solve.
+
+use crate::error::CoreError;
+use crate::mechanism::Mechanism;
+use lrm_dp::{Epsilon, Laplace};
+use lrm_linalg::{ops, Matrix};
+use lrm_workload::Workload;
+use rand::RngCore;
+
+/// Compiled hierarchical mechanism for one workload.
+#[derive(Debug, Clone)]
+pub struct HierarchicalMechanism {
+    w: Matrix,
+    n_pad: usize,
+    /// Tree height: leaves = 2^height; the tree has `height + 1` levels.
+    height: usize,
+    /// `tr(W·(TᵀT)⁻¹·Wᵀ)` so expected error = `2·s²·` this.
+    trace_term: f64,
+}
+
+impl HierarchicalMechanism {
+    /// Compiles the mechanism: pads the domain to a power of two and
+    /// precomputes the closed-form error trace.
+    pub fn compile(workload: &Workload) -> Self {
+        let w = workload.matrix().clone();
+        let n = w.cols();
+        let n_pad = n.next_power_of_two();
+        let height = n_pad.trailing_zeros() as usize;
+
+        // Row prefix sums on the padded domain.
+        let m = w.rows();
+        let mut prefix = vec![vec![0.0; n_pad + 1]; m];
+        for (i, row) in w.rows_iter().enumerate() {
+            let p = &mut prefix[i];
+            for (j, &v) in row.iter().enumerate() {
+                p[j + 1] = p[j] + v;
+            }
+            for j in n..n_pad {
+                p[j + 1] = p[j];
+            }
+        }
+
+        // Haar eigen-expansion of tr(W (TᵀT)⁻¹ Wᵀ).
+        let mut trace = 0.0;
+        // Constant eigenvector: eigenvalue 2n'−1, squared norm n'.
+        let lam_const = (2 * n_pad - 1) as f64;
+        for p in &prefix {
+            let row_sum = p[n_pad];
+            trace += row_sum * row_sum / (n_pad as f64 * lam_const);
+        }
+        // Detail eigenvectors at block size s = 2^{l+1}: eigenvalue s−1,
+        // squared norm s.
+        if n_pad > 1 {
+            for l in 0..height {
+                let span = 1usize << (l + 1);
+                let half = span / 2;
+                let lam = (span - 1) as f64;
+                for k in 0..(n_pad / span) {
+                    let lo = k * span;
+                    if lo >= n {
+                        break;
+                    }
+                    let mid = lo + half;
+                    let hi = lo + span;
+                    let mut norm_sq = 0.0;
+                    for p in &prefix {
+                        let v = (p[mid] - p[lo]) - (p[hi] - p[mid]);
+                        norm_sq += v * v;
+                    }
+                    trace += norm_sq / (span as f64 * lam);
+                }
+            }
+        }
+
+        Self {
+            w,
+            n_pad,
+            height,
+            trace_term: trace,
+        }
+    }
+
+    /// Padded domain size (a power of two).
+    pub fn padded_domain(&self) -> usize {
+        self.n_pad
+    }
+
+    /// Number of tree levels `h + 1` — the per-node noise is
+    /// `Lap((h+1)/ε)`.
+    pub fn num_levels(&self) -> usize {
+        self.height + 1
+    }
+
+    /// Runs Hay et al.'s two-pass constrained inference on a noisy tree.
+    ///
+    /// `noisy` holds one `Vec` per level, root first (`noisy\[0\].len() == 1`,
+    /// `noisy[h].len() == n_pad`). Returns the consistent leaf estimates.
+    pub fn constrained_inference(noisy: &[Vec<f64>]) -> Vec<f64> {
+        let levels = noisy.len();
+        assert!(levels >= 1, "tree must have at least a root");
+        // Bottom-up pass: z values per level.
+        let mut z: Vec<Vec<f64>> = noisy.to_vec();
+        for depth in (0..levels - 1).rev() {
+            // Node at this depth has height ℓ = levels − depth.
+            let ell = (levels - depth) as u32;
+            let pow_l = 2f64.powi(ell as i32);
+            let pow_lm1 = 2f64.powi(ell as i32 - 1);
+            let alpha = (pow_l - pow_lm1) / (pow_l - 1.0);
+            let (upper, lower) = z.split_at_mut(depth + 1);
+            let current = &mut upper[depth];
+            let children = &lower[0];
+            for (k, zv) in current.iter_mut().enumerate() {
+                let child_sum = children[2 * k] + children[2 * k + 1];
+                *zv = alpha * noisy[depth][k] + (1.0 - alpha) * child_sum;
+            }
+        }
+        // Top-down pass.
+        let mut xbar: Vec<Vec<f64>> = z.clone();
+        for depth in 1..levels {
+            let (upper, lower) = xbar.split_at_mut(depth);
+            let parents = &upper[depth - 1];
+            let current = &mut lower[0];
+            for k in 0..current.len() {
+                let parent = parents[k / 2];
+                let sibling_sum = z[depth][2 * (k / 2)] + z[depth][2 * (k / 2) + 1];
+                current[k] = z[depth][k] + (parent - sibling_sum) / 2.0;
+            }
+        }
+        xbar[levels - 1].clone()
+    }
+
+    /// Builds the exact (noise-free) tree counts for a padded database.
+    fn exact_tree(&self, padded: &[f64]) -> Vec<Vec<f64>> {
+        let levels = self.num_levels();
+        let mut tree: Vec<Vec<f64>> = Vec::with_capacity(levels);
+        tree.push(padded.to_vec());
+        let mut current = padded.to_vec();
+        while current.len() > 1 {
+            let next: Vec<f64> = current.chunks_exact(2).map(|c| c[0] + c[1]).collect();
+            tree.push(next.clone());
+            current = next;
+        }
+        tree.reverse(); // root first
+        tree
+    }
+}
+
+impl Mechanism for HierarchicalMechanism {
+    fn name(&self) -> &'static str {
+        "HM"
+    }
+
+    fn num_queries(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn answer(
+        &self,
+        x: &[f64],
+        eps: Epsilon,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.check_database(x)?;
+        let mut padded = x.to_vec();
+        padded.resize(self.n_pad, 0.0);
+
+        let scale = self.num_levels() as f64 / eps.value();
+        let noise = Laplace::centered(scale).map_err(CoreError::InvalidArgument)?;
+        let mut tree = self.exact_tree(&padded);
+        for level in tree.iter_mut() {
+            for v in level.iter_mut() {
+                *v += noise.sample(rng);
+            }
+        }
+
+        let leaves = Self::constrained_inference(&tree);
+        Ok(ops::mul_vec(&self.w, &leaves[..self.w.cols()])?)
+    }
+
+    fn expected_error(&self, eps: Epsilon, _x: Option<&[f64]>) -> f64 {
+        let scale = self.num_levels() as f64 / eps.value();
+        2.0 * scale * scale * self.trace_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_dp::rng::derive_rng;
+    use lrm_linalg::decomp::lu;
+    use lrm_workload::generators::{WRange, WorkloadGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn exact_tree_counts() {
+        let w = Workload::from_rows(&[&[1.0, 0.0, 0.0, 0.0]]).unwrap();
+        let mech = HierarchicalMechanism::compile(&w);
+        let tree = mech.exact_tree(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree[0], vec![10.0]); // root
+        assert_eq!(tree[1], vec![3.0, 7.0]);
+        assert_eq!(tree[2], vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn inference_is_identity_on_consistent_trees() {
+        // With zero noise the tree is already consistent, so constrained
+        // inference must return the exact leaves.
+        let w = Workload::from_rows(&[&[1.0; 8]]).unwrap();
+        let mech = HierarchicalMechanism::compile(&w);
+        let x: Vec<f64> = (0..8).map(|i| i as f64 + 1.0).collect();
+        let tree = mech.exact_tree(&x);
+        let leaves = HierarchicalMechanism::constrained_inference(&tree);
+        for (a, b) in leaves.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inference_matches_explicit_least_squares() {
+        // Oracle check: x̂ = (TᵀT)⁻¹Tᵀỹ for the explicit tree matrix.
+        let n = 8usize;
+        let levels = 4usize; // 1+2+4+8 = 15 nodes
+        // Build T (15×8): rows are node interval indicators, root first.
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for l in 0..levels {
+            let count = 1usize << l;
+            let span = n / count;
+            for k in 0..count {
+                let mut r = vec![0.0; n];
+                r[k * span..(k + 1) * span].iter_mut().for_each(|v| *v = 1.0);
+                rows.push(r);
+            }
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let t = Matrix::from_rows(&row_refs);
+
+        // A noisy observation vector, grouped per level for our code.
+        let mut rng = derive_rng(123, 0);
+        let noise_dist = Laplace::centered(1.5).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i * i % 7) as f64).collect();
+        let exact = ops::mul_vec(&t, &x).unwrap();
+        let noisy_flat: Vec<f64> = exact
+            .iter()
+            .map(|v| v + noise_dist.sample(&mut rng))
+            .collect();
+        let mut noisy_levels = Vec::new();
+        let mut idx = 0;
+        for l in 0..levels {
+            let count = 1usize << l;
+            noisy_levels.push(noisy_flat[idx..idx + count].to_vec());
+            idx += count;
+        }
+
+        let ours = HierarchicalMechanism::constrained_inference(&noisy_levels);
+
+        // Explicit LS: (TᵀT) x̂ = Tᵀ ỹ.
+        let tt = ops::gram(&t);
+        let tty = ops::tr_mul_vec(&t, &noisy_flat).unwrap();
+        let ls = lu::solve(&tt, &tty).unwrap();
+
+        for (a, b) in ours.iter().zip(ls.iter()) {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "two-pass {a} vs least squares {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_error_matches_ls_trace() {
+        // tr(W (TᵀT)⁻¹ Wᵀ) via the Haar eigenbasis must equal the direct
+        // dense computation on a small instance.
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = WRange.generate(6, 16, &mut rng).unwrap();
+        let mech = HierarchicalMechanism::compile(&w);
+
+        // Dense oracle.
+        let n = 16usize;
+        let levels = 5usize;
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for l in 0..levels {
+            let count = 1usize << l;
+            let span = n / count;
+            for k in 0..count {
+                let mut r = vec![0.0; n];
+                r[k * span..(k + 1) * span].iter_mut().for_each(|v| *v = 1.0);
+                rows.push(r);
+            }
+        }
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let t = Matrix::from_rows(&row_refs);
+        let tt_inv = lu::inverse(&ops::gram(&t)).unwrap();
+        let wt = w.matrix().transpose();
+        let prod = ops::matmul(&tt_inv, &wt).unwrap(); // (TᵀT)⁻¹Wᵀ
+        let full = ops::matmul(w.matrix(), &prod).unwrap(); // W(TᵀT)⁻¹Wᵀ
+        let oracle = full.trace().unwrap();
+
+        assert!(
+            (mech.trace_term - oracle).abs() < 1e-9 * oracle.max(1.0),
+            "haar trace {} vs dense {}",
+            mech.trace_term,
+            oracle
+        );
+    }
+
+    #[test]
+    fn empirical_error_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let w = WRange.generate(8, 32, &mut rng).unwrap();
+        let mech = HierarchicalMechanism::compile(&w);
+        let x: Vec<f64> = (0..32).map(|i| ((i * 5) % 23) as f64).collect();
+        let truth = w.answer(&x).unwrap();
+        let e = eps(1.0);
+        let trials = 3000;
+        let mut sq = 0.0;
+        for t in 0..trials {
+            let got = mech.answer(&x, e, &mut derive_rng(17, t)).unwrap();
+            sq += got
+                .iter()
+                .zip(truth.iter())
+                .map(|(g, y)| (g - y) * (g - y))
+                .sum::<f64>();
+        }
+        let empirical = sq / trials as f64;
+        let analytic = mech.expected_error(e, None);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.12,
+            "{empirical} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn single_leaf_domain() {
+        let w = Workload::from_rows(&[&[2.0]]).unwrap();
+        let mech = HierarchicalMechanism::compile(&w);
+        assert_eq!(mech.num_levels(), 1);
+        let e = eps(1.0);
+        // One node, scale 1/ε, pattern W·1 = 2 → error 2·(1/ε)²·(2²/(1·1)).
+        let expected = 2.0 * 4.0;
+        assert!((mech.expected_error(e, None) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beats_nod_on_large_range_workloads() {
+        use crate::baselines::nod::NoiseOnData;
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = WRange.generate(32, 1024, &mut rng).unwrap();
+        let e = eps(0.1);
+        let hm = HierarchicalMechanism::compile(&w);
+        let nod = NoiseOnData::compile(&w);
+        assert!(
+            hm.expected_error(e, None) < nod.expected_error(e, None),
+            "HM {} vs NOD {}",
+            hm.expected_error(e, None),
+            nod.expected_error(e, None)
+        );
+    }
+}

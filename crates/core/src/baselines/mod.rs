@@ -1,0 +1,14 @@
+//! Baseline mechanisms the paper compares against (Sections 3.2, 6 and
+//! Appendix B).
+
+pub mod hierarchical;
+pub mod mm;
+pub mod nod;
+pub mod nor;
+pub mod wavelet;
+
+pub use hierarchical::HierarchicalMechanism;
+pub use mm::{MatrixMechanism, MatrixMechanismConfig};
+pub use nod::NoiseOnData;
+pub use nor::NoiseOnResults;
+pub use wavelet::WaveletMechanism;

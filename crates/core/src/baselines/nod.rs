@@ -1,0 +1,164 @@
+//! Noise on Data (NOD) — Eq. 4 of the paper.
+
+use crate::error::CoreError;
+use crate::mechanism::Mechanism;
+use lrm_dp::{Epsilon, Laplace};
+use lrm_linalg::{ops, Matrix};
+use lrm_workload::Workload;
+use rand::RngCore;
+
+/// The noise-on-data baseline `M_D`:
+///
+/// ```text
+/// M_D(Q, D) = W·(x + Lap(Δ/ε)^n)                  (Eq. 4)
+/// ```
+///
+/// Each unit count has sensitivity Δ = 1 (one record changes one count by
+/// one), so the noisy counts `x + Lap(1/ε)^n` are ε-differentially
+/// private and any number of linear queries may be answered from them.
+/// Expected total squared error: `2·Δ²·Σ_ij W_ij²/ε²` (Section 3.2).
+///
+/// This is the curve labelled **LM** in the paper's figures — the naive
+/// Laplace baseline that, per Section 2.2, the Matrix Mechanism "almost
+/// never" beats (see DESIGN.md §5 for the reading).
+#[derive(Debug, Clone)]
+pub struct NoiseOnData {
+    w: Matrix,
+    /// Unit-count sensitivity; 1 for counting queries.
+    unit_sensitivity: f64,
+}
+
+impl NoiseOnData {
+    /// Compiles the baseline for a workload (unit sensitivity 1).
+    pub fn compile(workload: &Workload) -> Self {
+        Self {
+            w: workload.matrix().clone(),
+            unit_sensitivity: 1.0,
+        }
+    }
+
+    /// Variant with a non-unit record-to-count sensitivity (e.g. linear
+    /// sums over bounded attributes).
+    pub fn with_unit_sensitivity(workload: &Workload, delta: f64) -> Result<Self, CoreError> {
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err(CoreError::InvalidArgument(format!(
+                "unit sensitivity must be positive, got {delta}"
+            )));
+        }
+        Ok(Self {
+            w: workload.matrix().clone(),
+            unit_sensitivity: delta,
+        })
+    }
+}
+
+impl Mechanism for NoiseOnData {
+    fn name(&self) -> &'static str {
+        "LM"
+    }
+
+    fn num_queries(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn answer(
+        &self,
+        x: &[f64],
+        eps: Epsilon,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.check_database(x)?;
+        let noise = Laplace::centered(self.unit_sensitivity / eps.value())
+            .map_err(CoreError::InvalidArgument)?;
+        let noisy: Vec<f64> = x.iter().map(|&v| v + noise.sample(rng)).collect();
+        Ok(ops::mul_vec(&self.w, &noisy)?)
+    }
+
+    fn expected_error(&self, eps: Epsilon, _x: Option<&[f64]>) -> f64 {
+        let scale = self.unit_sensitivity / eps.value();
+        2.0 * scale * scale * self.w.squared_sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_dp::rng::derive_rng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn toy() -> Workload {
+        Workload::from_rows(&[&[1.0, 1.0, 0.0], &[0.0, 1.0, -2.0]]).unwrap()
+    }
+
+    #[test]
+    fn expected_error_formula() {
+        let mech = NoiseOnData::compile(&toy());
+        // Σ W² = 1+1+1+4 = 7; error = 2·7/ε².
+        let e = eps(0.5);
+        assert!((mech.expected_error(e, None) - 2.0 * 7.0 / 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbiased_and_matches_analytic() {
+        let w = toy();
+        let mech = NoiseOnData::compile(&w);
+        let x = [5.0, 2.0, 1.0];
+        let truth = w.answer(&x).unwrap();
+        let e = eps(1.0);
+        let trials = 4000;
+        let mut sum = [0.0; 2];
+        let mut sq = 0.0;
+        for t in 0..trials {
+            let got = mech.answer(&x, e, &mut derive_rng(7, t)).unwrap();
+            for (s, g) in sum.iter_mut().zip(got.iter()) {
+                *s += g;
+            }
+            sq += got
+                .iter()
+                .zip(truth.iter())
+                .map(|(g, y)| (g - y) * (g - y))
+                .sum::<f64>();
+        }
+        for (s, y) in sum.iter().zip(truth.iter()) {
+            assert!((s / trials as f64 - y).abs() < 0.3, "bias detected");
+        }
+        let empirical = sq / trials as f64;
+        let analytic = mech.expected_error(e, None);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.1,
+            "{empirical} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn intro_example_error() {
+        // Section 1: NOD answers q1/q2/q3 with variance 8/ε², 4/ε², 4/ε²
+        // → total 16/ε².
+        let w = Workload::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let mech = NoiseOnData::compile(&w);
+        let e = eps(1.0);
+        assert!((mech.expected_error(e, None) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_unit_sensitivity() {
+        let w = toy();
+        let mech = NoiseOnData::with_unit_sensitivity(&w, 2.0).unwrap();
+        let base = NoiseOnData::compile(&w);
+        let e = eps(1.0);
+        assert!((mech.expected_error(e, None) - 4.0 * base.expected_error(e, None)).abs() < 1e-9);
+        assert!(NoiseOnData::with_unit_sensitivity(&w, 0.0).is_err());
+    }
+}

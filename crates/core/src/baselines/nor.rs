@@ -1,0 +1,153 @@
+//! Noise on Results (NOR) — Eq. 5 of the paper.
+
+use crate::error::CoreError;
+use crate::mechanism::Mechanism;
+use lrm_dp::{Epsilon, Laplace};
+use lrm_linalg::{ops, Matrix};
+use lrm_workload::Workload;
+use rand::RngCore;
+
+/// The noise-on-results baseline `M_R` (also "noise on queries", NOQ):
+///
+/// ```text
+/// M_R(Q, D) = W·x + Lap(Δ'/ε)^m                    (Eq. 5)
+/// ```
+///
+/// with `Δ' = max_j Σ_i |W_ij|` — the workload's L1 sensitivity. Expected
+/// total squared error: `2·m·Δ'²/ε²`. Per Section 3.2, NOR beats NOD iff
+/// `m·max_j Σ_i W_ij² < Σ_ij W_ij²`, which requires `m < n`.
+#[derive(Debug, Clone)]
+pub struct NoiseOnResults {
+    w: Matrix,
+    sensitivity: f64,
+}
+
+impl NoiseOnResults {
+    /// Compiles the baseline for a workload.
+    pub fn compile(workload: &Workload) -> Self {
+        Self {
+            w: workload.matrix().clone(),
+            sensitivity: workload.sensitivity(),
+        }
+    }
+
+    /// The workload sensitivity Δ′ this mechanism calibrates noise to.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+}
+
+impl Mechanism for NoiseOnResults {
+    fn name(&self) -> &'static str {
+        "NOR"
+    }
+
+    fn num_queries(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn answer(
+        &self,
+        x: &[f64],
+        eps: Epsilon,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.check_database(x)?;
+        let mut y = ops::mul_vec(&self.w, x)?;
+        if self.sensitivity > 0.0 {
+            let noise = Laplace::centered(self.sensitivity / eps.value())
+                .map_err(CoreError::InvalidArgument)?;
+            for v in y.iter_mut() {
+                *v += noise.sample(rng);
+            }
+        }
+        Ok(y)
+    }
+
+    fn expected_error(&self, eps: Epsilon, _x: Option<&[f64]>) -> f64 {
+        let scale = self.sensitivity / eps.value();
+        2.0 * self.w.rows() as f64 * scale * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_dp::rng::derive_rng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn intro_example_error() {
+        // Section 1: {q1,q2,q3} has sensitivity 2 → per-query variance
+        // 2·Δ²/ε² = 8/ε², total 24/ε².
+        let w = Workload::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let mech = NoiseOnResults::compile(&w);
+        assert_eq!(mech.sensitivity(), 2.0);
+        assert!((mech.expected_error(eps(1.0), None) - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smaller_query_set_wins() {
+        // Section 1: executing {q2, q3} alone has sensitivity 1 and total
+        // error 2·2·1/ε² = 4/ε² on the two queries.
+        let w = Workload::from_rows(&[&[1.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 1.0]]).unwrap();
+        let mech = NoiseOnResults::compile(&w);
+        assert_eq!(mech.sensitivity(), 1.0);
+        assert!((mech.expected_error(eps(1.0), None) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_matches_analytic() {
+        let w = Workload::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]).unwrap();
+        let mech = NoiseOnResults::compile(&w);
+        let x = [3.0, 4.0];
+        let truth = w.answer(&x).unwrap();
+        let e = eps(0.7);
+        let trials = 4000;
+        let mut sq = 0.0;
+        for t in 0..trials {
+            let got = mech.answer(&x, e, &mut derive_rng(11, t)).unwrap();
+            sq += got
+                .iter()
+                .zip(truth.iter())
+                .map(|(g, y)| (g - y) * (g - y))
+                .sum::<f64>();
+        }
+        let empirical = sq / trials as f64;
+        let analytic = mech.expected_error(e, None);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.1,
+            "{empirical} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn nor_vs_nod_crossover() {
+        use crate::baselines::nod::NoiseOnData;
+        // m < n with concentrated columns: NOR wins. One query over a
+        // wide domain.
+        let wide = Workload::from_rows(&[&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]]).unwrap();
+        let e = eps(1.0);
+        let nor = NoiseOnResults::compile(&wide);
+        let nod = NoiseOnData::compile(&wide);
+        assert!(nor.expected_error(e, None) < nod.expected_error(e, None));
+
+        // m ≥ n: NOD can never lose to NOR (Section 3.2).
+        let tall = Workload::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let nor_t = NoiseOnResults::compile(&tall);
+        let nod_t = NoiseOnData::compile(&tall);
+        assert!(nod_t.expected_error(e, None) <= nor_t.expected_error(e, None));
+    }
+}

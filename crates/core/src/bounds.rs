@@ -1,0 +1,163 @@
+//! Optimality analysis — Section 4.1 / 4.2 of the paper.
+//!
+//! * [`lemma3_upper_bound`] — the error of the feasible construction
+//!   `B = √r·UΣ`, `L = V/√r`: the LRM optimum can only be better. We keep
+//!   the Laplace variance factor 2 from Lemma 1 so the bound is directly
+//!   comparable with the crate's exact expected errors.
+//! * [`lemma4_lower_bound`] — the Hardt–Talwar geometric lower bound
+//!   specialized to rank-`r` workloads. This is an `Ω(·)` statement; the
+//!   value returned uses constant 1 inside the `Ω`, so it is a *shape*
+//!   reference, not a certified floor (for small `r` it can exceed the
+//!   upper bound — the hidden constant is < 1).
+//! * [`theorem2_ratio`] — the `(C/4)²·r` approximation factor with
+//!   `C = λ₁/λᵣ`; Theorem 2 proves `upper/lower ≤ (C/4)²·r` for `r > 5`
+//!   with the paper's constants, which the tests verify numerically.
+//! * [`theorem3_bound`] — the relaxed-decomposition error bound
+//!   `2·tr(BᵀB)/ε² + γ·Σx²`.
+
+/// Lemma 3: expected squared error of the SVD-based feasible
+/// decomposition, `2·r·Σ_k λ_k²/ε²` (factor 2 per Lemma 1; the paper's
+/// statement omits it). `singular_values` are the non-zero λ of `W`.
+pub fn lemma3_upper_bound(singular_values: &[f64], eps: f64) -> f64 {
+    let r = singular_values.len() as f64;
+    let sum_sq: f64 = singular_values.iter().map(|l| l * l).sum();
+    2.0 * r * sum_sq / (eps * eps)
+}
+
+/// Lemma 4 (after Hardt & Talwar): any ε-DP mechanism for a rank-`r`
+/// workload with non-zero singular values `{λ₁…λᵣ}` has expected squared
+/// error at least
+///
+/// ```text
+/// Ω( (2^r/r! · Π λ_k)^{2/r} · r³ / ε² )
+/// ```
+///
+/// computed in log-space to avoid overflow. Constant 1 is used inside the
+/// `Ω(·)` (see module docs).
+pub fn lemma4_lower_bound(singular_values: &[f64], eps: f64) -> f64 {
+    let r = singular_values.len();
+    if r == 0 {
+        return 0.0;
+    }
+    if singular_values.iter().any(|&l| l <= 0.0) {
+        return 0.0; // degenerate spectrum: no positive lower bound
+    }
+    let rf = r as f64;
+    let log_ball = rf * std::f64::consts::LN_2 - ln_factorial(r); // ln(2^r/r!)
+    let log_prod: f64 = singular_values.iter().map(|l| l.ln()).sum();
+    let exponent = (2.0 / rf) * (log_ball + log_prod) + 3.0 * rf.ln() - 2.0 * eps.ln();
+    exponent.exp()
+}
+
+/// Theorem 2: the approximation factor `(C/4)²·r` with `C = λ₁/λᵣ`
+/// (meaningful for `r > 5`; returned for any non-degenerate spectrum).
+pub fn theorem2_ratio(singular_values: &[f64]) -> Option<f64> {
+    let r = singular_values.len();
+    let first = *singular_values.first()?;
+    let last = *singular_values.last()?;
+    if last <= 0.0 {
+        return None;
+    }
+    let c = first / last;
+    Some((c / 4.0) * (c / 4.0) * r as f64)
+}
+
+/// Theorem 3: error bound for a relaxed decomposition (Formula 8):
+/// `2·tr(BᵀB)/ε² + γ·Σᵢ xᵢ²`.
+pub fn theorem3_bound(trace_btb: f64, gamma: f64, x: &[f64], eps: f64) -> f64 {
+    let x_sq: f64 = x.iter().map(|v| v * v).sum();
+    2.0 * trace_btb / (eps * eps) + gamma * x_sq
+}
+
+/// `ln(r!)` by direct summation (exact enough for the ranks involved).
+fn ln_factorial(r: usize) -> f64 {
+    (2..=r).map(|k| (k as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0_f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(20) - (2432902008176640000.0_f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upper_bound_formula() {
+        // λ = (3, 4), r = 2, ε = 1 → 2·2·25 = 100.
+        assert!((lemma3_upper_bound(&[3.0, 4.0], 1.0) - 100.0).abs() < 1e-9);
+        // ε-scaling is quadratic.
+        assert!((lemma3_upper_bound(&[3.0, 4.0], 0.1) - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bound_formula_small_case() {
+        // r = 1, λ = 2, ε = 1: ((2/1)·2)² · 1 = 16.
+        let lb = lemma4_lower_bound(&[2.0], 1.0);
+        assert!((lb - 16.0).abs() < 1e-9, "lb {lb}");
+    }
+
+    #[test]
+    fn lower_bound_no_overflow_large_rank() {
+        let svals = vec![10.0; 512];
+        let lb = lemma4_lower_bound(&svals, 0.01);
+        assert!(lb.is_finite() && lb > 0.0);
+    }
+
+    #[test]
+    fn lower_bound_scalings() {
+        // Quadratic in 1/ε and quadratic in a uniform λ scaling
+        // ((Πλ)^{2/r} doubles the λ² factor).
+        let svals = vec![3.0, 2.0, 1.5, 1.0, 0.8, 0.7];
+        let base = lemma4_lower_bound(&svals, 1.0);
+        assert!((lemma4_lower_bound(&svals, 0.5) / base - 4.0).abs() < 1e-9);
+        let doubled: Vec<f64> = svals.iter().map(|l| 2.0 * l).collect();
+        assert!((lemma4_lower_bound(&doubled, 1.0) / base - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem2_ratio_values() {
+        // Uniform spectrum: C = 1 → ratio r/16.
+        let r = theorem2_ratio(&[2.0, 2.0, 2.0, 2.0]).unwrap();
+        assert!((r - 4.0 / 16.0).abs() < 1e-12);
+        // Spread spectrum.
+        let r2 = theorem2_ratio(&[8.0, 2.0]).unwrap();
+        assert!((r2 - 2.0).abs() < 1e-12); // (4/4)²·2
+        assert!(theorem2_ratio(&[]).is_none());
+        assert!(theorem2_ratio(&[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn theorem3_combines_noise_and_structure() {
+        let x = [1.0, 2.0];
+        let b = theorem3_bound(10.0, 0.5, &x, 2.0);
+        assert!((b - (2.0 * 10.0 / 4.0 + 0.5 * 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem2_inequality_holds_for_r_above_5() {
+        // Theorem 2 (with the paper's constants, i.e. factor-2-free upper
+        // bound): upper/lower ≤ (C/4)²·r when r > 5. The r = 6 uniform
+        // case is the tight one (0.3734 vs 0.375).
+        for &r in &[6usize, 12, 48, 200] {
+            for &(hi_l, lo_l) in &[(5.0_f64, 5.0_f64), (4.0, 2.0), (10.0, 1.0)] {
+                // Geometric interpolation between λ₁ = hi_l and λᵣ = lo_l.
+                let svals: Vec<f64> = (0..r)
+                    .map(|k| hi_l * (lo_l / hi_l).powf(k as f64 / (r - 1) as f64))
+                    .collect();
+                let upper_paper = lemma3_upper_bound(&svals, 1.0) / 2.0;
+                let lower = lemma4_lower_bound(&svals, 1.0);
+                let ratio = theorem2_ratio(&svals).unwrap();
+                assert!(
+                    upper_paper / lower <= ratio * (1.0 + 1e-9),
+                    "r={r}, λ∈[{lo_l},{hi_l}]: {} > {ratio}",
+                    upper_paper / lower
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,827 @@
+//! Workload matrix decomposition — Sections 4 and 5 of the paper.
+//!
+//! Finds `B ∈ R^{m×r}`, `L ∈ R^{r×n}` minimizing `tr(BᵀB)` subject to
+//! `‖W − B·L‖_F ≤ γ` and `∀j Σ_i |L_ij| ≤ 1` (Formulas 7/8), via the
+//! inexact Augmented Lagrangian method of **Algorithm 1**:
+//!
+//! * the Lagrangian subproblem
+//!   `J(B,L) = ½tr(BᵀB) + ⟨π, W−BL⟩ + β/2‖W−BL‖²_F`
+//!   is bi-convex and solved by alternating
+//!   - the closed-form `B` update `B = (βW + π)Lᵀ(βLLᵀ + I)⁻¹` (Eq. 9,
+//!     a Cholesky solve — the system is SPD by construction), and
+//!   - Nesterov's projected gradient on
+//!     `G(L) = β/2·tr(LᵀBᵀBL) − tr((βW+π)ᵀBL)` (Formula 10,
+//!     **Algorithm 2**) with per-column L1-ball projection (Formula 11);
+//! * the outer loop doubles β every 10 iterations and updates
+//!   `π ← π + β(W − BL)`, stopping when `‖W−BL‖_F ≤ γ` or β saturates.
+//!
+//! Initialization uses the feasible construction from the Lemma 3 proof:
+//! `B₀ = √ρ·U·Σ`, `L₀ = V/√ρ` (ρ = number of singular values used), which
+//! is feasible because each column `v` of `V` has `‖v‖₁ ≤ √ρ·‖v‖₂ ≤ √ρ`.
+//! The solver therefore starts at the Lemma 3 upper bound and improves
+//! monotonically in practice.
+
+use crate::error::CoreError;
+use lrm_dp::sensitivity;
+use lrm_linalg::decomp::Cholesky;
+use lrm_linalg::{ops, Matrix};
+use lrm_opt::{nesterov_projected, project_columns_l1, AlmSchedule, AlmState, NesterovConfig};
+use lrm_workload::Workload;
+
+/// How to choose the inner dimension `r` of the decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TargetRank {
+    /// `r = max(1, round(ratio · rank(W)))` — the paper's Fig. 3
+    /// parameterization; the recommended ratio is 1.0–1.2 (Section 6.1).
+    RatioOfRank(f64),
+    /// An explicit `r`.
+    Exact(usize),
+}
+
+impl TargetRank {
+    /// Resolves to a concrete `r` for the given workload.
+    pub fn resolve(&self, workload: &Workload) -> Result<usize, CoreError> {
+        match *self {
+            TargetRank::RatioOfRank(ratio) => {
+                if !(ratio > 0.0 && ratio.is_finite()) {
+                    return Err(CoreError::InvalidArgument(format!(
+                        "rank ratio must be positive, got {ratio}"
+                    )));
+                }
+                let rank = workload.rank().max(1);
+                Ok(((ratio * rank as f64).round() as usize).max(1))
+            }
+            TargetRank::Exact(r) => {
+                if r == 0 {
+                    return Err(CoreError::InvalidArgument(
+                        "decomposition rank r must be at least 1".into(),
+                    ));
+                }
+                Ok(r)
+            }
+        }
+    }
+}
+
+/// Configuration of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct DecompositionConfig {
+    /// Inner dimension `r`; default `1.2 · rank(W)` per Section 6.1
+    /// ("a good value for r is between rank(W) and 1.2·rank(W)").
+    pub target_rank: TargetRank,
+    /// Relaxation tolerance γ on `‖W − BL‖_F` (Formula 8). The paper's
+    /// Fig. 2 shows accuracy is flat over γ ∈ [1e-4, 10] while larger γ is
+    /// faster; 0.01 is the default grid point.
+    pub gamma: f64,
+    /// β schedule (β₀ = 1, ×2 every 10 outer iterations, as in the paper).
+    pub schedule: AlmSchedule,
+    /// Cap on outer (multiplier) iterations.
+    pub max_outer_iters: usize,
+    /// B/L alternations per subproblem solve ("approximately solve", line
+    /// 3-6 of Algorithm 1).
+    pub inner_alternations: usize,
+    /// Relative change threshold that ends the inner loop early.
+    pub inner_tol: f64,
+    /// Budget for the Nesterov `L`-solver (Algorithm 2).
+    pub nesterov: NesterovConfig,
+    /// Extra outer iterations run after `τ ≤ γ` first holds, to let τ
+    /// collapse further at (almost) no cost in Φ. This is what keeps the
+    /// data-dependent structural error `‖(W−BL)x‖²` negligible — the
+    /// behaviour behind the flat γ-curves of the paper's Fig. 2.
+    pub polish_iters: usize,
+}
+
+impl Default for DecompositionConfig {
+    fn default() -> Self {
+        Self {
+            target_rank: TargetRank::RatioOfRank(1.2),
+            gamma: 0.01,
+            schedule: AlmSchedule::default(),
+            max_outer_iters: 120,
+            inner_alternations: 4,
+            inner_tol: 1e-7,
+            nesterov: NesterovConfig {
+                max_iters: 40,
+                ..NesterovConfig::default()
+            },
+            polish_iters: 30,
+        }
+    }
+}
+
+impl DecompositionConfig {
+    /// Validates configuration parameters.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !(self.gamma >= 0.0 && self.gamma.is_finite()) {
+            return Err(CoreError::InvalidArgument(format!(
+                "gamma must be non-negative and finite, got {}",
+                self.gamma
+            )));
+        }
+        if self.max_outer_iters == 0 || self.inner_alternations == 0 {
+            return Err(CoreError::InvalidArgument(
+                "iteration budgets must be at least 1".into(),
+            ));
+        }
+        self.schedule
+            .validate()
+            .map_err(CoreError::InvalidArgument)?;
+        Ok(())
+    }
+}
+
+/// Solver diagnostics.
+#[derive(Debug, Clone)]
+pub struct DecompositionStats {
+    /// Outer (multiplier) iterations performed.
+    pub outer_iterations: usize,
+    /// Final `‖W − BL‖_F`.
+    pub residual: f64,
+    /// Final penalty β.
+    pub final_beta: f64,
+    /// Whether the `residual ≤ γ` criterion fired (vs. β saturation or the
+    /// iteration cap).
+    pub converged: bool,
+    /// `tr(BᵀB)` at the initializer (the Lemma 3 construction), for
+    /// measuring how much the optimizer improved on it.
+    pub initial_scale: f64,
+    /// True when the solver never reached `τ ≤ γ` and the result is the
+    /// (feasible) Lemma 3 initializer instead of the last ALM iterate.
+    pub fell_back_to_initializer: bool,
+}
+
+/// The decomposition `W ≈ B·L` produced by Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct WorkloadDecomposition {
+    b: Matrix,
+    l: Matrix,
+    /// `W − B·L`, kept for the structural-error term of Theorem 3.
+    residual_matrix: Matrix,
+    stats: DecompositionStats,
+}
+
+impl WorkloadDecomposition {
+    /// Runs Algorithm 1 on the workload.
+    pub fn compute(
+        workload: &Workload,
+        config: &DecompositionConfig,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let w = workload.matrix();
+        let (m, n) = w.shape();
+        let r = config.target_rank.resolve(workload)?;
+
+        // --- Initialization: the Lemma 3 feasible construction. ---
+        let (mut b, mut l) = lemma3_initializer(workload, r);
+        debug_assert_eq!(b.shape(), (m, r));
+        debug_assert_eq!(l.shape(), (r, n));
+        let initial_scale = b.squared_sum();
+
+        let mut alm = AlmState::new(m, n, config.schedule.clone())
+            .map_err(CoreError::InvalidArgument)?;
+
+        let mut residual = residual_of(w, &b, &l);
+        let mut stats = DecompositionStats {
+            outer_iterations: 0,
+            residual: residual.frobenius_norm(),
+            final_beta: alm.beta(),
+            converged: stats_converged(residual.frobenius_norm(), config.gamma),
+            initial_scale,
+            fell_back_to_initializer: false,
+        };
+        if stats.converged && initial_scale == 0.0 {
+            // Zero workload: (B, L) = (0, 0) is already optimal.
+            return Ok(Self {
+                b,
+                l,
+                residual_matrix: residual,
+                stats,
+            });
+        }
+
+        let mut lipschitz_warm_start = config.nesterov.initial_lipschitz;
+
+        // γ far beyond a few percent of ‖W‖_F would let the loop stop at a
+        // meaningless early iterate (the paper never operates there: its
+        // γ ≤ 10 against ‖W‖_F in the hundreds). Clamp the *stopping*
+        // threshold; the caller's γ still defines `converged`.
+        let gamma_eff = config
+            .gamma
+            .min(0.02 * w.frobenius_norm())
+            .max(1e-10);
+        // Once τ ≤ γ first fires we keep iterating for a bounded number of
+        // polish rounds: the ALM trajectory collapses τ by further orders
+        // of magnitude at almost no cost in Φ (which is what makes the
+        // paper's Fig. 2 flat in γ — the structural error ‖(W−BL)x‖²
+        // becomes negligible even for large-count databases). We track the
+        // best feasible iterate seen and return it.
+        let polish_floor = 1e-5 * (1.0 + w.frobenius_norm());
+        let mut polish_remaining: Option<usize> = None;
+        let mut polish_stall = 0usize;
+        let mut best: Option<(Matrix, Matrix, Matrix, f64, f64)> = None; // (B, L, res, τ, Φ)
+        let mut phi_at_first_feasible = f64::INFINITY;
+
+        for _outer in 0..config.max_outer_iters {
+            let beta = alm.beta();
+            let pi = alm.multiplier();
+            // Target matrix recurring in both updates: βW + π.
+            let mut bw_pi = w.scale(beta);
+            bw_pi += pi;
+
+            // --- Inner loop: alternate B (Eq. 9) and L (Algorithm 2). ---
+            // During the polish phase the subproblems are solved harder:
+            // ALM's multiplier converges superlinearly only under
+            // (near-)exact solves, and exactness is what collapses τ the
+            // final orders of magnitude.
+            let (alternations, nesterov_cfg) = if polish_remaining.is_some() {
+                (
+                    config.inner_alternations * 2,
+                    NesterovConfig {
+                        max_iters: config.nesterov.max_iters * 2,
+                        ..config.nesterov.clone()
+                    },
+                )
+            } else {
+                (config.inner_alternations, config.nesterov.clone())
+            };
+            for _inner in 0..alternations {
+                let b_new = update_b(&bw_pi, &l, beta)?;
+                let (l_new, lipschitz) =
+                    update_l(&bw_pi, &b_new, &l, beta, &nesterov_cfg, lipschitz_warm_start);
+                lipschitz_warm_start = (lipschitz * 0.5).max(1e-6);
+
+                let change = relative_change(&b, &b_new) + relative_change(&l, &l_new);
+                b = b_new;
+                l = l_new;
+                if change < config.inner_tol {
+                    break;
+                }
+            }
+
+            residual = residual_of(w, &b, &l);
+            let tau = residual.frobenius_norm();
+            stats.outer_iterations += 1;
+            stats.residual = tau;
+            stats.final_beta = alm.beta();
+
+            // Algorithm 1, line 8: τ ≤ γ (plus the polish rounds) or a
+            // saturated β end the optimization.
+            if tau <= gamma_eff {
+                stats.converged = true;
+                match polish_remaining {
+                    None => {
+                        polish_remaining = Some(config.polish_iters);
+                        phi_at_first_feasible = b.squared_sum();
+                        best = Some((b.clone(), l.clone(), residual.clone(), tau, phi_at_first_feasible));
+                    }
+                    Some(ref mut left) => {
+                        let phi = b.squared_sum();
+                        // Accept strictly smaller τ as long as Φ has not
+                        // drifted meaningfully above the first feasible Φ.
+                        if phi <= phi_at_first_feasible * 1.05 {
+                            if let Some((_, _, _, best_tau, _)) = best {
+                                if tau < best_tau * 0.97 {
+                                    best = Some((b.clone(), l.clone(), residual.clone(), tau, phi));
+                                    polish_stall = 0;
+                                } else {
+                                    polish_stall += 1;
+                                }
+                            }
+                        } else {
+                            polish_stall += 1;
+                        }
+                        if *left == 0 || polish_stall >= 5 {
+                            break;
+                        }
+                        *left -= 1;
+                    }
+                }
+                // τ small enough that the structural term is negligible
+                // for any realistic data scale: stop polishing.
+                if tau <= polish_floor {
+                    break;
+                }
+            } else if let Some(ref mut left) = polish_remaining {
+                // Fell back out of feasibility during polish; allow the
+                // remaining budget to recover, else return the stored best.
+                if *left == 0 {
+                    break;
+                }
+                *left -= 1;
+            }
+            if alm.beta_saturated() {
+                break;
+            }
+            alm.advance(&residual);
+
+            // Alternating minimization can kill a direction for good: once
+            // row i of L hits exactly zero (column-wise soft-thresholding
+            // does this), Eq. 9 zeroes column i of B, and then the gradient
+            // of Formula 10 w.r.t. row i vanishes identically — neither
+            // update can revive it, no matter how large π grows. Re-seed
+            // dead rows with the residual's leading right-singular
+            // directions so the lost rank is spent where it reduces the
+            // constraint violation most.
+            if tau > gamma_eff {
+                revive_dead_directions(&mut b, &mut l, &residual);
+            }
+        }
+        let had_feasible = best.is_some();
+        if let Some((best_b, best_l, best_res, best_tau, _)) = best {
+            b = best_b;
+            l = best_l;
+            residual = best_res;
+            stats.residual = best_tau;
+        }
+        // Final exact refit of B: the β→∞ limit of Eq. 9 is the plain
+        // least-squares fit B = W·Lᵀ(LLᵀ)⁻¹, which realizes the *minimum*
+        // residual any B can achieve for the found L (the projection of W
+        // off rowspace(L)) at a negligible Φ increase. This is what drives
+        // τ the last orders of magnitude down and keeps the Theorem-3
+        // structural term out of sight for any γ — the paper's flat Fig. 2.
+        if let Ok(refit) = refit_b(w, &l) {
+            let refit_residual = residual_of(w, &refit, &l);
+            let refit_tau = refit_residual.frobenius_norm();
+            // Guard: far from convergence the LS fit chases the残residual
+            // with an enormous Φ; only accept a cheap improvement.
+            let phi_ok = refit.squared_sum() <= b.squared_sum() * 1.05 + 1e-12;
+            if refit_tau < stats.residual && phi_ok {
+                b = refit;
+                residual = refit_residual;
+                stats.residual = refit_tau;
+            }
+        }
+        if !had_feasible && stats.residual > 0.02 * w.frobenius_norm() {
+            // The ALM iterate is still far from W (e.g. an undersized r or
+            // an exhausted budget on a hard instance). When the Lemma 3
+            // initializer was essentially exact (r ≥ rank(W)), fall back
+            // to it: its Φ = ρ·Σλ² is worse than a converged solve but its
+            // residual is ~zero, so the mechanism's error stays bounded by
+            // Lemma 3 instead of blowing up through the data-dependent
+            // structural term. A final iterate within 2% of ‖W‖_F is kept
+            // even if it missed the literal γ — the paper's Algorithm 1
+            // likewise returns the last ALM iterate on exhaustion.
+            let (init_b, init_l) = lemma3_initializer(workload, r);
+            let init_residual = residual_of(w, &init_b, &init_l);
+            let init_tau = init_residual.frobenius_norm();
+            if init_tau < stats.residual && init_tau <= 1e-6 * (1.0 + w.frobenius_norm()) {
+                b = init_b;
+                l = init_l;
+                residual = init_residual;
+                stats.residual = init_tau;
+                stats.fell_back_to_initializer = true;
+            }
+        }
+        stats.converged = stats_converged(stats.residual, config.gamma);
+
+        // Numerical safety: the Nesterov projection guarantees feasibility,
+        // but re-assert it so downstream privacy accounting can rely on
+        // Δ(B, L) ≤ 1.
+        let over = l.max_col_abs_sum();
+        if over > 1.0 + 1e-9 {
+            project_columns_l1(&mut l, 1.0);
+            residual = residual_of(w, &b, &l);
+            stats.residual = residual.frobenius_norm();
+        }
+
+        Ok(Self {
+            b,
+            l,
+            residual_matrix: residual,
+            stats,
+        })
+    }
+
+    /// Assembles a decomposition from explicit factors (used when loading
+    /// a cached decomposition from disk; see `crate::persistence`). The
+    /// residual must be `W − B·L` for the workload it will answer — the
+    /// loader recomputes it rather than trusting storage.
+    pub fn from_parts(b: Matrix, l: Matrix, residual: Matrix) -> Self {
+        let stats = DecompositionStats {
+            outer_iterations: 0,
+            residual: residual.frobenius_norm(),
+            final_beta: 0.0,
+            converged: true,
+            initial_scale: b.squared_sum(),
+            fell_back_to_initializer: false,
+        };
+        Self {
+            b,
+            l,
+            residual_matrix: residual,
+            stats,
+        }
+    }
+
+    /// The `m×r` factor `B`.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The `r×n` factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Inner dimension `r`.
+    pub fn rank(&self) -> usize {
+        self.b.cols()
+    }
+
+    /// Solver diagnostics.
+    pub fn stats(&self) -> &DecompositionStats {
+        &self.stats
+    }
+
+    /// `W − B·L`.
+    pub fn residual_matrix(&self) -> &Matrix {
+        &self.residual_matrix
+    }
+
+    /// The paper's query scale `Φ(B, L) = tr(BᵀB)` (Definition 1).
+    pub fn scale(&self) -> f64 {
+        sensitivity::query_scale(&self.b)
+    }
+
+    /// The paper's query sensitivity `Δ(B, L) = max_j Σ_i |L_ij|`
+    /// (Definition 2); ≤ 1 by construction.
+    pub fn sensitivity(&self) -> f64 {
+        sensitivity::l1_sensitivity(&self.l)
+    }
+
+    /// Lemma 1: expected squared noise error `2·Φ·Δ²/ε²`.
+    pub fn expected_noise_error(&self, eps: f64) -> f64 {
+        let delta = self.sensitivity();
+        2.0 * self.scale() * delta * delta / (eps * eps)
+    }
+
+    /// Structural error `‖(W − BL)·x‖²` of the relaxed decomposition
+    /// (the data-dependent term of Theorem 3).
+    pub fn structural_error(&self, x: &[f64]) -> Result<f64, CoreError> {
+        let residual_answers = ops::mul_vec(&self.residual_matrix, x)?;
+        Ok(residual_answers.iter().map(|v| v * v).sum())
+    }
+}
+
+fn stats_converged(residual: f64, gamma: f64) -> bool {
+    // "τ is sufficiently small": we treat γ as that threshold; for γ = 0 a
+    // tiny numerical floor stands in.
+    residual <= gamma.max(1e-10)
+}
+
+fn residual_of(w: &Matrix, b: &Matrix, l: &Matrix) -> Matrix {
+    let bl = ops::matmul(b, l).expect("decomposition shapes agree");
+    w - &bl
+}
+
+fn relative_change(old: &Matrix, new: &Matrix) -> f64 {
+    let denom = old.frobenius_norm().max(1e-12);
+    (new - old).frobenius_norm() / denom
+}
+
+/// The β→∞ limit of Eq. 9: the ridge-stabilized least-squares refit
+/// `B = W·Lᵀ·(LLᵀ + δI)⁻¹`, used as the final step of the solver.
+fn refit_b(w: &Matrix, l: &Matrix) -> Result<Matrix, CoreError> {
+    let r = l.rows();
+    let rhs = ops::mul_tr(w, l)?; // W·Lᵀ, m×r
+    let mut sys = ops::mul_tr(l, l)?; // L·Lᵀ, r×r
+    let ridge = (sys.trace()? / r as f64).max(1e-300) * 1e-12;
+    for i in 0..r {
+        let v = sys.get(i, i) + ridge;
+        sys.set(i, i, v);
+    }
+    let chol = Cholesky::compute(&sys)?;
+    Ok(chol.solve_right(&rhs)?)
+}
+
+/// Eq. 9: `B = (βW + π)·Lᵀ·(β·LLᵀ + I)⁻¹`, via a Cholesky solve of the SPD
+/// system from the right.
+fn update_b(bw_pi: &Matrix, l: &Matrix, beta: f64) -> Result<Matrix, CoreError> {
+    let r = l.rows();
+    let rhs = ops::mul_tr(bw_pi, l)?; // (βW + π)·Lᵀ, m×r
+    let mut sys = ops::mul_tr(l, l)?; // L·Lᵀ, r×r
+    sys = sys.scale(beta);
+    sys += &Matrix::identity(r);
+    let chol = Cholesky::compute(&sys)?;
+    Ok(chol.solve_right(&rhs)?)
+}
+
+/// Algorithm 2 on Formula 10:
+/// `G(L) = β/2·tr(LᵀBᵀBL) − tr((βW+π)ᵀBL)`,
+/// `∂G/∂L = β·BᵀB·L − Bᵀ(βW + π)`,
+/// subject to per-column L1 balls. Returns the new `L` and the discovered
+/// Lipschitz estimate (used to warm-start the next call).
+fn update_l(
+    bw_pi: &Matrix,
+    b: &Matrix,
+    l0: &Matrix,
+    beta: f64,
+    nesterov: &NesterovConfig,
+    lipschitz_warm_start: f64,
+) -> (Matrix, f64) {
+    let btb = ops::gram(b); // BᵀB, r×r
+    let bt_target = ops::tr_mul(b, bw_pi).expect("shapes agree"); // Bᵀ(βW+π), r×n
+
+    let objective = |l: &Matrix| -> f64 {
+        let btbl = ops::matmul(&btb, l).expect("shapes agree");
+        0.5 * beta * ops::frob_inner(l, &btbl).expect("shapes agree")
+            - ops::frob_inner(&bt_target, l).expect("shapes agree")
+    };
+    let gradient = |l: &Matrix| -> Matrix {
+        let mut g = ops::matmul(&btb, l).expect("shapes agree");
+        g = g.scale(beta);
+        g -= &bt_target;
+        g
+    };
+    let project = |l: &mut Matrix| {
+        project_columns_l1(l, 1.0);
+    };
+
+    let cfg = NesterovConfig {
+        initial_lipschitz: lipschitz_warm_start,
+        ..nesterov.clone()
+    };
+    let result = nesterov_projected(objective, gradient, project, l0.clone(), &cfg);
+    (result.x, result.lipschitz)
+}
+
+/// Detects rows of `L` whose direction has died (row of `L` and matching
+/// column of `B` both ≈ 0) and re-seeds them with the top right-singular
+/// vectors of the residual `W − BL`, scaled small enough that the
+/// re-projected columns stay feasible. Returns the number of revived rows.
+fn revive_dead_directions(b: &mut Matrix, l: &mut Matrix, residual: &Matrix) -> usize {
+    let r = l.rows();
+    let l_scale = l.max_abs().max(1e-12);
+    let b_scale = b.max_abs().max(1e-12);
+    let dead: Vec<usize> = (0..r)
+        .filter(|&i| {
+            let row_max = l.row(i).iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+            let col_max = b.col(i).iter().fold(0.0_f64, |a, &v| a.max(v.abs()));
+            row_max < 1e-9 * l_scale && col_max < 1e-9 * b_scale
+        })
+        .collect();
+    if dead.is_empty() {
+        return 0;
+    }
+
+    // Top right-singular directions of the residual via power iteration
+    // with deflation (cheap: O(mn) per iteration, few dead rows).
+    let mut deflated: Vec<Vec<f64>> = Vec::new();
+    for &row_idx in &dead {
+        if let Some(direction) = top_right_singular_vector(residual, &deflated) {
+            // Small amplitude: the per-column L1 re-projection below keeps
+            // the whole L feasible; the next B update rebalances magnitude.
+            let amp = 0.05;
+            let seeded: Vec<f64> = direction.iter().map(|v| v * amp).collect();
+            l.set_row(row_idx, &seeded);
+            deflated.push(direction);
+        }
+    }
+    project_columns_l1(l, 1.0);
+    dead.len()
+}
+
+/// Power iteration for the leading right-singular vector of `residual`,
+/// orthogonalized against already-used directions. Returns a unit vector,
+/// or `None` when the residual is numerically zero in the remaining space.
+fn top_right_singular_vector(residual: &Matrix, deflated: &[Vec<f64>]) -> Option<Vec<f64>> {
+    let n = residual.cols();
+    // Deterministic start.
+    let mut v: Vec<f64> = (0..n)
+        .map(|j| if j % 2 == 0 { 1.0 } else { -0.5 } / (n as f64).sqrt())
+        .collect();
+    for _ in 0..12 {
+        // Orthogonalize against deflated directions.
+        for d in deflated {
+            let proj = ops::dot(&v, d);
+            for (vi, di) in v.iter_mut().zip(d.iter()) {
+                *vi -= proj * di;
+            }
+        }
+        let rv = ops::mul_vec(residual, &v).expect("shapes agree");
+        let mut next = ops::tr_mul_vec(residual, &rv).expect("shapes agree");
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-14 {
+            return None;
+        }
+        for x in next.iter_mut() {
+            *x /= norm;
+        }
+        v = next;
+    }
+    Some(v)
+}
+
+/// The Lemma 3 construction: `B = √ρ·U·Σ`, `L = V/√ρ`, padded with zeros
+/// when `r` exceeds the number of non-zero singular values and truncated
+/// when `r` is smaller (then `B·L` is the best rank-`r` approximation of
+/// `W`, appropriately for the relaxed Formula 8).
+///
+/// When `r` exceeds ρ, the extra rows of `L` are seeded with a small
+/// deterministic orthogonal-ish fill (and the columns re-projected) so the
+/// optimizer can actually use the extra dimensions — all-zero padding is a
+/// stationary point of the alternating updates.
+fn lemma3_initializer(workload: &Workload, r: usize) -> (Matrix, Matrix) {
+    let w = workload.matrix();
+    let (m, n) = w.shape();
+    let svd = workload.svd();
+    let nonzero = svd.nonzero_singular_values();
+    let rho = nonzero.len().min(r);
+
+    let mut b = Matrix::zeros(m, r);
+    let mut l = Matrix::zeros(r, n);
+    if rho == 0 {
+        return (b, l); // zero workload
+    }
+    let sqrt_rho = (rho as f64).sqrt();
+    for k in 0..rho {
+        let sigma = svd.singular_values[k];
+        // B column k = √ρ · σ_k · u_k.
+        let u_col = svd.u.col(k);
+        let b_col: Vec<f64> = u_col.iter().map(|v| v * sigma * sqrt_rho).collect();
+        b.set_col(k, &b_col);
+        // L row k = v_kᵀ / √ρ.
+        let v_row = svd.vt.row(k);
+        let l_row: Vec<f64> = v_row.iter().map(|v| v / sqrt_rho).collect();
+        l.set_row(k, &l_row);
+    }
+
+    if r > rho {
+        // Deterministic low-amplitude fill for the surplus rows.
+        let amp = 1.0 / (2.0 * (r as f64) * (n as f64)).sqrt();
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        for i in rho..r {
+            for j in 0..n {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let unit = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+                l.set(i, j, amp * unit);
+            }
+        }
+        project_columns_l1(&mut l, 1.0);
+    }
+    (b, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn decompose_default(w: &Workload) -> WorkloadDecomposition {
+        WorkloadDecomposition::compute(w, &DecompositionConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn feasibility_on_intro_example() {
+        let w = Workload::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let d = decompose_default(&w);
+        assert!(d.sensitivity() <= 1.0 + 1e-9, "Δ = {}", d.sensitivity());
+        assert!(
+            d.stats().residual <= 0.011,
+            "residual {} exceeds γ",
+            d.stats().residual
+        );
+    }
+
+    #[test]
+    fn beats_or_matches_lemma3_initializer() {
+        // The optimizer starts at the Lemma 3 construction; it must never
+        // return something worse.
+        let w = WRange
+            .generate(24, 32, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let d = decompose_default(&w);
+        assert!(
+            d.scale() <= d.stats().initial_scale * (1.0 + 1e-6),
+            "scale {} worse than init {}",
+            d.scale(),
+            d.stats().initial_scale
+        );
+    }
+
+    #[test]
+    fn improves_on_low_rank_workloads() {
+        // For a genuinely low-rank workload the optimizer should improve
+        // noticeably over the generic NOD-style scale.
+        let gen = WRelated { base_queries: 3 };
+        let w = gen.generate(20, 30, &mut StdRng::seed_from_u64(6)).unwrap();
+        let d = decompose_default(&w);
+        assert_eq!(d.rank(), 4); // 1.2 · 3 rounded
+        assert!(d.sensitivity() <= 1.0 + 1e-9);
+        // Lemma 1 error with Δ ≤ 1 is 2Φ/ε²; NOD's is 2‖W‖_F²·Δ_W²… the
+        // relevant sanity check is simply Φ being finite and positive.
+        assert!(d.scale() > 0.0 && d.scale().is_finite());
+    }
+
+    #[test]
+    fn residual_meets_gamma_on_full_rank() {
+        let w = WDiscrete::default()
+            .generate(10, 12, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let cfg = DecompositionConfig {
+            gamma: 0.05,
+            ..DecompositionConfig::default()
+        };
+        let d = WorkloadDecomposition::compute(&w, &cfg).unwrap();
+        assert!(
+            d.stats().residual <= 0.05 + 1e-9 || d.stats().final_beta >= 1e10,
+            "residual {} with β {}",
+            d.stats().residual,
+            d.stats().final_beta
+        );
+        assert!(d.sensitivity() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rank_resolution() {
+        let gen = WRelated { base_queries: 5 };
+        let w = gen.generate(16, 20, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(TargetRank::RatioOfRank(1.0).resolve(&w).unwrap(), 5);
+        assert_eq!(TargetRank::RatioOfRank(1.2).resolve(&w).unwrap(), 6);
+        assert_eq!(TargetRank::RatioOfRank(2.0).resolve(&w).unwrap(), 10);
+        assert_eq!(TargetRank::Exact(3).resolve(&w).unwrap(), 3);
+        assert!(TargetRank::Exact(0).resolve(&w).is_err());
+        assert!(TargetRank::RatioOfRank(-1.0).resolve(&w).is_err());
+    }
+
+    #[test]
+    fn undersized_rank_still_feasible() {
+        // r < rank(W): the equality constraint cannot be met; the solver
+        // must still return a feasible-in-L, finite decomposition (the
+        // relaxed Formula 8 regime; Fig. 3's ratio-0.8 points).
+        let w = WRange
+            .generate(12, 16, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let cfg = DecompositionConfig {
+            target_rank: TargetRank::RatioOfRank(0.5),
+            max_outer_iters: 40,
+            ..DecompositionConfig::default()
+        };
+        let d = WorkloadDecomposition::compute(&w, &cfg).unwrap();
+        assert!(d.sensitivity() <= 1.0 + 1e-9);
+        assert!(d.stats().residual.is_finite());
+        assert!(d.stats().residual > 0.05); // genuinely cannot hit γ
+        // Structural error is consistent with the stored residual.
+        let x = vec![1.0; 16];
+        let s = d.structural_error(&x).unwrap();
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn zero_workload_short_circuits() {
+        let w = Workload::new(Matrix::zeros(3, 4)).unwrap();
+        let d = decompose_default(&w);
+        assert_eq!(d.scale(), 0.0);
+        assert_eq!(d.stats().residual, 0.0);
+        assert!(d.stats().converged);
+    }
+
+    #[test]
+    fn config_validation() {
+        let w = Workload::from_rows(&[&[1.0, 0.0]]).unwrap();
+        let bad_gamma = DecompositionConfig {
+            gamma: f64::NAN,
+            ..DecompositionConfig::default()
+        };
+        assert!(WorkloadDecomposition::compute(&w, &bad_gamma).is_err());
+        let bad_iters = DecompositionConfig {
+            max_outer_iters: 0,
+            ..DecompositionConfig::default()
+        };
+        assert!(WorkloadDecomposition::compute(&w, &bad_iters).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = WRange
+            .generate(10, 14, &mut StdRng::seed_from_u64(10))
+            .unwrap();
+        let d1 = decompose_default(&w);
+        let d2 = decompose_default(&w);
+        assert_eq!(d1.b(), d2.b());
+        assert_eq!(d1.l(), d2.l());
+    }
+
+    #[test]
+    fn scale_times_sensitivity_invariance() {
+        // Lemma 2: rescaling (B, L) → (αB, L/α) keeps Φ·Δ² constant; our
+        // solver pins Δ ≤ 1, so Φ·Δ² ≤ Φ. Verify the reported error uses
+        // the actual Δ.
+        let w = WRange
+            .generate(8, 10, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        let d = decompose_default(&w);
+        let eps = 0.5;
+        let expected = 2.0 * d.scale() * d.sensitivity().powi(2) / (eps * eps);
+        assert!((d.expected_noise_error(eps) - expected).abs() < 1e-9 * expected.max(1.0));
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for mechanism compilation and answering.
+
+use std::fmt;
+
+/// Errors surfaced by mechanism compilation or query answering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An invalid configuration or argument.
+    InvalidArgument(String),
+    /// The database vector does not match the workload's domain size.
+    DomainMismatch {
+        /// Domain size the mechanism was compiled for.
+        expected: usize,
+        /// Length of the supplied database vector.
+        got: usize,
+    },
+    /// A numerical routine failed.
+    Numerical(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CoreError::DomainMismatch { expected, got } => write!(
+                f,
+                "database has {got} counts but the workload covers {expected}"
+            ),
+            CoreError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<lrm_linalg::LinalgError> for CoreError {
+    fn from(e: lrm_linalg::LinalgError) -> Self {
+        CoreError::Numerical(e.to_string())
+    }
+}

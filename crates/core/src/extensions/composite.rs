@@ -1,0 +1,197 @@
+//! Best-of meta-mechanism.
+//!
+//! Strategy selection depends only on the (public) workload and ε, never
+//! on the data, so choosing among candidate mechanisms by their
+//! closed-form expected error consumes no privacy budget. This captures
+//! the operational reality behind the paper's figures: LM wins on small
+//! dense workloads, WM/HM on large range workloads, LRM wherever the
+//! workload has low rank — a deployment should just take the argmin.
+
+use crate::error::CoreError;
+use crate::mechanism::Mechanism;
+use lrm_dp::Epsilon;
+use rand::RngCore;
+
+/// Wraps candidate mechanisms and answers with the one whose closed-form
+/// expected error at the *reference ε* is smallest.
+///
+/// The reference ε matters only if candidates' relative order could change
+/// with ε; all mechanisms in this crate scale identically (`1/ε²`) in
+/// their noise terms, so any reference gives the same choice unless LRM's
+/// data-independent comparison is used with a structural residual — which
+/// is ε-independent and therefore *can* reorder candidates across ε.
+pub struct BestOfMechanism {
+    candidates: Vec<Box<dyn Mechanism>>,
+    chosen: usize,
+}
+
+impl BestOfMechanism {
+    /// Picks the candidate minimizing expected error at `reference_eps`.
+    ///
+    /// `x_hint` optionally supplies a *public* magnitude proxy for the
+    /// database (e.g. a released total) so that relaxed-LRM candidates can
+    /// include their structural term in the comparison; pass `None` to
+    /// compare pure noise errors.
+    pub fn choose(
+        candidates: Vec<Box<dyn Mechanism>>,
+        reference_eps: Epsilon,
+        x_hint: Option<&[f64]>,
+    ) -> Result<Self, CoreError> {
+        if candidates.is_empty() {
+            return Err(CoreError::InvalidArgument(
+                "need at least one candidate mechanism".into(),
+            ));
+        }
+        let (m, n) = (candidates[0].num_queries(), candidates[0].domain_size());
+        if candidates
+            .iter()
+            .any(|c| c.num_queries() != m || c.domain_size() != n)
+        {
+            return Err(CoreError::InvalidArgument(
+                "candidates must be compiled for the same workload".into(),
+            ));
+        }
+        let chosen = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.expected_error(reference_eps, x_hint)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("errors are finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        Ok(Self { candidates, chosen })
+    }
+
+    /// Name of the selected candidate.
+    pub fn chosen_name(&self) -> &'static str {
+        self.candidates[self.chosen].name()
+    }
+}
+
+impl Mechanism for BestOfMechanism {
+    fn name(&self) -> &'static str {
+        "BestOf"
+    }
+
+    fn num_queries(&self) -> usize {
+        self.candidates[self.chosen].num_queries()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.candidates[self.chosen].domain_size()
+    }
+
+    fn answer(
+        &self,
+        x: &[f64],
+        eps: Epsilon,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.candidates[self.chosen].answer(x, eps, rng)
+    }
+
+    fn expected_error(&self, eps: Epsilon, x: Option<&[f64]>) -> f64 {
+        self.candidates[self.chosen].expected_error(eps, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{NoiseOnData, WaveletMechanism};
+    use crate::decomposition::DecompositionConfig;
+    use crate::lrm::LowRankMechanism;
+    use lrm_dp::rng::derive_rng;
+    use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+    use lrm_workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn candidates(w: &Workload) -> Vec<Box<dyn Mechanism>> {
+        vec![
+            Box::new(NoiseOnData::compile(w)),
+            Box::new(WaveletMechanism::compile(w)),
+            Box::new(LowRankMechanism::compile(w, &DecompositionConfig::default()).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn picks_lrm_on_low_rank() {
+        let w = WRelated { base_queries: 3 }
+            .generate(24, 48, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let best = BestOfMechanism::choose(candidates(&w), eps(0.1), None).unwrap();
+        assert_eq!(best.chosen_name(), "LRM");
+    }
+
+    #[test]
+    fn picks_wm_on_large_range_workload_without_lrm() {
+        let w = WRange
+            .generate(16, 512, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        let cands: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(NoiseOnData::compile(&w)),
+            Box::new(WaveletMechanism::compile(&w)),
+        ];
+        let best = BestOfMechanism::choose(cands, eps(0.1), None).unwrap();
+        assert_eq!(best.chosen_name(), "WM");
+    }
+
+    #[test]
+    fn picks_lm_on_small_dense_workload_without_lrm() {
+        let w = WDiscrete::default()
+            .generate(16, 24, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let cands: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(NoiseOnData::compile(&w)),
+            Box::new(WaveletMechanism::compile(&w)),
+        ];
+        let best = BestOfMechanism::choose(cands, eps(0.1), None).unwrap();
+        assert_eq!(best.chosen_name(), "LM");
+    }
+
+    #[test]
+    fn error_is_min_of_candidates() {
+        let w = WRange
+            .generate(8, 16, &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        let e = eps(0.1);
+        let errors: Vec<f64> = candidates(&w)
+            .iter()
+            .map(|c| c.expected_error(e, None))
+            .collect();
+        let best = BestOfMechanism::choose(candidates(&w), e, None).unwrap();
+        let min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((best.expected_error(e, None) - min).abs() < 1e-9 * min);
+    }
+
+    #[test]
+    fn answers_via_chosen_candidate() {
+        let w = WRange
+            .generate(5, 8, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let best = BestOfMechanism::choose(candidates(&w), eps(1.0), None).unwrap();
+        let x = vec![3.0; 8];
+        let y = best.answer(&x, eps(1.0), &mut derive_rng(1, 1)).unwrap();
+        assert_eq!(y.len(), 5);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        assert!(BestOfMechanism::choose(vec![], eps(1.0), None).is_err());
+        let w1 = WRange
+            .generate(4, 8, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        let w2 = WRange
+            .generate(4, 9, &mut StdRng::seed_from_u64(7))
+            .unwrap();
+        let cands: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(NoiseOnData::compile(&w1)),
+            Box::new(NoiseOnData::compile(&w2)),
+        ];
+        assert!(BestOfMechanism::choose(cands, eps(1.0), None).is_err());
+    }
+}

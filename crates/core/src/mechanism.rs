@@ -1,0 +1,68 @@
+//! The common interface all differentially private mechanisms implement.
+
+use crate::error::CoreError;
+use lrm_dp::Epsilon;
+use rand::RngCore;
+
+/// A compiled ε-differentially-private mechanism for one fixed workload.
+///
+/// Compilation (strategy search, decomposition, tree building…) happens
+/// once per workload via each type's `compile` constructor; [`answer`] can
+/// then be called for any database and any ε. This mirrors the paper's
+/// setting: the workload `W` is public, so strategy optimization consumes
+/// no privacy budget.
+///
+/// Every mechanism in this crate publishes `exact answers + T·η` for some
+/// fixed linear map `T` and i.i.d. Laplace vector `η` (plus, for relaxed
+/// LRM, a deterministic structural residual), so each also reports its
+/// exact expected total squared error in closed form; the harness checks
+/// the Monte-Carlo estimate against it.
+///
+/// [`answer`]: Mechanism::answer
+pub trait Mechanism {
+    /// Short display name (`"LRM"`, `"LM"`, `"MM"`, `"WM"`, `"HM"`…).
+    fn name(&self) -> &'static str;
+
+    /// Number of queries `m` this mechanism answers.
+    fn num_queries(&self) -> usize;
+
+    /// Domain size `n` of the database vector.
+    fn domain_size(&self) -> usize;
+
+    /// Noisy answers to the whole batch on database `x` under ε-DP.
+    fn answer(
+        &self,
+        x: &[f64],
+        eps: Epsilon,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError>;
+
+    /// Exact expected **total** squared error `E‖ŷ − Wx‖²`.
+    ///
+    /// `x` only matters for mechanisms with a data-dependent residual
+    /// (the relaxed LRM of Formula 8 / Theorem 3); pure-noise mechanisms
+    /// ignore it.
+    fn expected_error(&self, eps: Epsilon, x: Option<&[f64]>) -> f64;
+
+    /// Expected **average** squared error `E‖ŷ − Wx‖²/m` — the metric the
+    /// paper's figures plot.
+    fn expected_average_error(&self, eps: Epsilon, x: Option<&[f64]>) -> f64 {
+        self.expected_error(eps, x) / self.num_queries() as f64
+    }
+
+    /// Validates a database vector against the compiled domain.
+    fn check_database(&self, x: &[f64]) -> Result<(), CoreError> {
+        if x.len() != self.domain_size() {
+            return Err(CoreError::DomainMismatch {
+                expected: self.domain_size(),
+                got: x.len(),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::InvalidArgument(
+                "database contains NaN or infinite counts".into(),
+            ));
+        }
+        Ok(())
+    }
+}

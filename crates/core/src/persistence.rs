@@ -1,0 +1,179 @@
+//! Saving and loading workload decompositions.
+//!
+//! Algorithm 1 is the expensive part of LRM (minutes at the paper's full
+//! scale), while answering is microseconds. Production use therefore
+//! wants to decompose once and reuse the `(B, L)` pair across releases —
+//! which is safe: the decomposition depends only on the public workload,
+//! never on data or ε.
+//!
+//! The on-disk format is two `LRMM` matrix blocks (see `lrm_linalg::io`)
+//! — `B` then `L` — preceded by a small header.
+
+use crate::decomposition::WorkloadDecomposition;
+use crate::error::CoreError;
+use crate::lrm::LowRankMechanism;
+use lrm_linalg::{ops, Matrix};
+use lrm_workload::Workload;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LRMD";
+const VERSION: u32 = 1;
+
+/// Writes a decomposition's factors to `path`.
+pub fn save_decomposition(
+    decomposition: &WorkloadDecomposition,
+    path: &Path,
+) -> Result<(), CoreError> {
+    let file = File::create(path)
+        .map_err(|e| CoreError::InvalidArgument(format!("cannot create {path:?}: {e}")))?;
+    let mut out = BufWriter::new(file);
+    (|| -> std::io::Result<()> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        decomposition.b().write_binary(&mut out)?;
+        decomposition.l().write_binary(&mut out)?;
+        out.flush()
+    })()
+    .map_err(|e| CoreError::InvalidArgument(format!("write failed: {e}")))?;
+    Ok(())
+}
+
+/// Loads factors saved by [`save_decomposition`] and revalidates them
+/// against the workload: shapes must match, the sensitivity constraint
+/// `Δ(B,L) ≤ 1` must hold, and the residual is recomputed fresh (never
+/// trusted from disk). Returns a ready-to-use mechanism.
+pub fn load_mechanism(workload: &Workload, path: &Path) -> Result<LowRankMechanism, CoreError> {
+    let file = File::open(path)
+        .map_err(|e| CoreError::InvalidArgument(format!("cannot open {path:?}: {e}")))?;
+    let mut input = BufReader::new(file);
+
+    let mut magic = [0u8; 4];
+    input
+        .read_exact(&mut magic)
+        .map_err(|e| CoreError::InvalidArgument(format!("truncated file: {e}")))?;
+    if &magic != MAGIC {
+        return Err(CoreError::InvalidArgument(
+            "not an LRMD decomposition file (bad magic)".into(),
+        ));
+    }
+    let mut word4 = [0u8; 4];
+    input
+        .read_exact(&mut word4)
+        .map_err(|e| CoreError::InvalidArgument(format!("truncated file: {e}")))?;
+    let version = u32::from_le_bytes(word4);
+    if version != VERSION {
+        return Err(CoreError::InvalidArgument(format!(
+            "unsupported LRMD version {version}"
+        )));
+    }
+
+    let b = Matrix::read_binary(&mut input)?;
+    let l = Matrix::read_binary(&mut input)?;
+    let (m, n) = (workload.num_queries(), workload.domain_size());
+    if b.rows() != m || l.cols() != n || b.cols() != l.rows() {
+        return Err(CoreError::InvalidArgument(format!(
+            "decomposition shapes B {}x{}, L {}x{} do not fit a {m}x{n} workload",
+            b.rows(),
+            b.cols(),
+            l.rows(),
+            l.cols()
+        )));
+    }
+    let sensitivity = l.max_col_abs_sum();
+    if sensitivity > 1.0 + 1e-6 {
+        return Err(CoreError::InvalidArgument(format!(
+            "stored L violates the sensitivity constraint: Δ = {sensitivity}"
+        )));
+    }
+    // Recompute the residual against the *current* workload; a stale file
+    // for a different workload becomes a visible (huge) residual rather
+    // than silent wrong answers.
+    let bl = ops::matmul(&b, &l)?;
+    let residual = workload.matrix() - &bl;
+    let decomposition = WorkloadDecomposition::from_parts(b, l, residual);
+    Ok(LowRankMechanism::from_decomposition(decomposition, m, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::DecompositionConfig;
+    use crate::mechanism::Mechanism;
+    use lrm_dp::rng::derive_rng;
+    use lrm_dp::Epsilon;
+    use lrm_workload::generators::{WRange, WorkloadGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lrm_persistence_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_answers() {
+        let w = WRange
+            .generate(8, 16, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let mech = LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap();
+        let path = tmp("roundtrip");
+        save_decomposition(mech.decomposition(), &path).unwrap();
+
+        let loaded = load_mechanism(&w, &path).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let eps = Epsilon::new(1.0).unwrap();
+        let a = mech.answer(&x, eps, &mut derive_rng(9, 9)).unwrap();
+        let b = loaded.answer(&x, eps, &mut derive_rng(9, 9)).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_mismatched_workload() {
+        let w1 = WRange
+            .generate(8, 16, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        let w2 = WRange
+            .generate(8, 20, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let mech = LowRankMechanism::compile(&w1, &DecompositionConfig::default()).unwrap();
+        let path = tmp("mismatch");
+        save_decomposition(mech.decomposition(), &path).unwrap();
+        assert!(load_mechanism(&w2, &path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stale_file_shows_up_as_residual() {
+        // Same shape, different workload: loading succeeds but the
+        // recomputed residual is large — visible in expected_error.
+        let w1 = WRange
+            .generate(8, 16, &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        let w2 = WRange
+            .generate(8, 16, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let mech = LowRankMechanism::compile(&w1, &DecompositionConfig::default()).unwrap();
+        let path = tmp("stale");
+        save_decomposition(mech.decomposition(), &path).unwrap();
+        let loaded = load_mechanism(&w2, &path).unwrap();
+        assert!(
+            loaded.decomposition().stats().residual > 0.5,
+            "stale decomposition should show a large residual, got {}",
+            loaded.decomposition().stats().residual
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a decomposition").unwrap();
+        let w = WRange
+            .generate(4, 8, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        assert!(load_mechanism(&w, &path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,169 @@
+//! Laplace distribution sampling.
+//!
+//! The Laplace Mechanism (Dwork et al., the paper's ref \[11\] and Eq. 3)
+//! perturbs query answers with zero-mean Laplace noise of scale `Δ/ε`.
+//! `Lap(s)` has density `exp(−|x|/s)/(2s)` and variance `2s²` — the `2s²`
+//! is where the `2·Φ·Δ²/ε²` of Lemma 1 comes from.
+
+use rand::Rng;
+
+/// A Laplace distribution with the given location and scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    location: f64,
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a distribution; the scale must be positive and finite.
+    pub fn new(location: f64, scale: f64) -> Result<Self, String> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(format!("Laplace scale must be positive, got {scale}"));
+        }
+        if !location.is_finite() {
+            return Err(format!("Laplace location must be finite, got {location}"));
+        }
+        Ok(Self { location, scale })
+    }
+
+    /// Zero-mean Laplace with the given scale — `Lap(s)` in the paper.
+    pub fn centered(scale: f64) -> Result<Self, String> {
+        Self::new(0.0, scale)
+    }
+
+    /// The distribution's location (mean).
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// The distribution's scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance `2s²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Draws one sample by inverse-CDF: with `u ~ U(−½, ½)`,
+    /// `x = μ − s·sign(u)·ln(1 − 2|u|)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        self.location - self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Draws `n` i.i.d. samples — the `Lap(Δ/ε)^n` vector of Eq. 4–6.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.location).abs() / self.scale;
+        (-z).exp() / (2.0 * self.scale)
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.location) / self.scale;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Laplace::new(0.0, 0.0).is_err());
+        assert!(Laplace::new(0.0, -1.0).is_err());
+        assert!(Laplace::new(0.0, f64::INFINITY).is_err());
+        assert!(Laplace::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        // Law of large numbers check on mean and variance.
+        let dist = Laplace::centered(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples = dist.sample_vec(n, &mut rng);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        let expected_var = dist.variance(); // 8.0
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.03,
+            "var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn location_shifts_samples() {
+        let dist = Laplace::new(10.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = dist.sample_vec(50_000, &mut rng);
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn empirical_cdf_matches_analytic() {
+        let dist = Laplace::centered(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut samples = dist.sample_vec(n, &mut rng);
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[-2.0, -1.0, 0.0, 0.5, 1.5] {
+            let empirical = samples.partition_point(|&x| x < q) as f64 / n as f64;
+            let analytic = dist.cdf(q);
+            assert!(
+                (empirical - analytic).abs() < 0.01,
+                "CDF mismatch at {q}: {empirical} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let dist = Laplace::new(1.0, 0.7).unwrap();
+        let (a, b, steps) = (-20.0, 22.0, 200_000);
+        let h = (b - a) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| dist.pdf(a + (i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-6, "integral {integral}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dist = Laplace::centered(1.0).unwrap();
+        let a = dist.sample_vec(10, &mut StdRng::seed_from_u64(99));
+        let b = dist.sample_vec(10, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dp_guarantee_density_ratio() {
+        // ε-DP for the scalar Laplace mechanism: for outputs R and
+        // neighboring answers differing by Δ, pdf ratio ≤ exp(ε·Δ/scale·…).
+        // With scale = Δ/ε the ratio at any point is ≤ exp(ε).
+        let (delta, eps) = (1.0, 0.5);
+        let scale = delta / eps;
+        let d1 = Laplace::new(0.0, scale).unwrap();
+        let d2 = Laplace::new(delta, scale).unwrap(); // neighbor's answer
+        for &r in &[-3.0, -0.5, 0.0, 0.7, 2.0, 10.0] {
+            let ratio = d1.pdf(r) / d2.pdf(r);
+            assert!(ratio <= (eps).exp() + 1e-12, "ratio {ratio} at {r}");
+            assert!(ratio >= (-eps).exp() - 1e-12);
+        }
+    }
+}

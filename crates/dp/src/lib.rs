@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Differential-privacy primitives for the Low-Rank Mechanism reproduction.
+//!
+//! * [`budget`] — the ε privacy budget type with validation and
+//!   sequential-composition arithmetic.
+//! * [`laplace`] — Laplace distribution sampling (inverse-CDF), the noise
+//!   primitive of every mechanism in the paper (Eq. 3).
+//! * [`sensitivity`] — L1 sensitivity arithmetic: the workload sensitivity
+//!   `Δ' = max_j Σ_i |W_ij|` used by noise-on-results (Eq. 5) and the
+//!   decomposition sensitivity `Δ(B, L) = max_j Σ_i |L_ij|` of
+//!   Definition 2.
+//! * [`rng`] — deterministic seed derivation so that every experiment in
+//!   the harness is reproducible bit-for-bit.
+
+pub mod budget;
+pub mod laplace;
+pub mod rng;
+pub mod sensitivity;
+
+pub use budget::Epsilon;
+pub use laplace::Laplace;

@@ -1,0 +1,105 @@
+//! L1 sensitivity arithmetic.
+//!
+//! For a batch of linear queries with workload matrix `W`, one record
+//! changing by 1 changes the exact answers by one **column** of `W`, so
+//! the L1 sensitivity is the maximum absolute column sum
+//! `Δ' = max_j Σ_i |W_ij|` (Section 3.2 of the paper, after ref \[16\]).
+//! The same formula applied to the decomposition factor `L` gives the
+//! paper's `Δ(B, L)` (Definition 2).
+
+use lrm_linalg::Matrix;
+
+/// L1 sensitivity of a workload matrix: `max_j Σ_i |W_ij|`.
+///
+/// This is the noise scale multiplier for noise-on-results (Eq. 5) and,
+/// applied to `L`, the decomposition sensitivity of Definition 2.
+pub fn l1_sensitivity(w: &Matrix) -> f64 {
+    w.max_col_abs_sum()
+}
+
+/// The paper's query scale `Φ(B, L) = Σ_ij B_ij²` (Definition 1).
+pub fn query_scale(b: &Matrix) -> f64 {
+    b.squared_sum()
+}
+
+/// Expected total squared error of publishing `T · Lap(s)^k` — i.e.
+/// `2 s² ‖T‖_F²`, the workhorse identity behind Lemma 1 and every
+/// closed-form error expression in the harness.
+pub fn linear_laplace_error(t: &Matrix, scale: f64) -> f64 {
+    2.0 * scale * scale * t.squared_sum()
+}
+
+/// Expected total squared error of adding `Lap(s)` independently to `k`
+/// outputs: `2 k s²`.
+pub fn iid_laplace_error(k: usize, scale: f64) -> f64 {
+    2.0 * k as f64 * scale * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_of_intro_example() {
+        // Section 1: {q1, q2, q3} with q1 = total, q2 = NY+NJ, q3 = CA+WA
+        // has sensitivity 2; {q2, q3} alone has sensitivity 1.
+        let full = Matrix::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ]);
+        assert_eq!(l1_sensitivity(&full), 2.0);
+
+        let partial = Matrix::from_rows(&[&[1.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 1.0]]);
+        assert_eq!(l1_sensitivity(&partial), 1.0);
+    }
+
+    #[test]
+    fn sensitivity_of_weighted_example() {
+        // Section 1, second example: q1 = 2x_NJ + x_CA + x_WA,
+        // q2 = x_NJ + 2x_WA, q3 = x_NY + 2x_CA + 2x_WA → NOQ sensitivity 5
+        // (a WA record affects q1 by 1 and q2, q3 by 2 each).
+        let w = Matrix::from_rows(&[
+            // NY    NJ    CA    WA
+            &[0.0, 2.0, 1.0, 1.0],
+            &[0.0, 1.0, 0.0, 2.0],
+            &[1.0, 0.0, 2.0, 2.0],
+        ]);
+        assert_eq!(l1_sensitivity(&w), 5.0);
+    }
+
+    #[test]
+    fn negative_weights_count_absolutely() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0], &[-1.0, 0.5]]);
+        assert_eq!(l1_sensitivity(&w), 2.0);
+    }
+
+    #[test]
+    fn query_scale_is_squared_sum() {
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 0.0]]);
+        assert_eq!(query_scale(&b), 14.0);
+    }
+
+    #[test]
+    fn error_identities_consistent() {
+        // Publishing I · Lap(s)^k equals iid noise on k outputs.
+        let t = Matrix::identity(5);
+        assert_eq!(linear_laplace_error(&t, 2.0), iid_laplace_error(5, 2.0));
+        // Scaling T by c scales the error by c².
+        let t2 = t.scale(3.0);
+        assert_eq!(
+            linear_laplace_error(&t2, 2.0),
+            9.0 * linear_laplace_error(&t, 2.0)
+        );
+    }
+
+    #[test]
+    fn lemma1_error_form() {
+        // Lemma 1: error of B·Lap(Δ/ε)^r is 2·Φ(B,L)·Δ²/ε².
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 2.0]]);
+        let (delta, eps) = (0.8, 0.4);
+        let scale = delta / eps;
+        let expected = 2.0 * query_scale(&b) * delta * delta / (eps * eps);
+        assert!((linear_laplace_error(&b, scale) - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs the Algorithm-1 ablation suite (DESIGN.md §8): β schedules, inner
+//! solver budgets, the feasibility polish, and range-structure vs low-rank
+//! workloads. Flags: `--full`, `--seed S`, `--csv DIR`, `--quiet`.
+
+use lrm_eval::experiments::{ablations, ExperimentContext};
+use lrm_eval::report::write_csv;
+
+fn main() {
+    let ctx = match ExperimentContext::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let records = ablations::run(&ctx);
+    if let Some(dir) = &ctx.csv_dir {
+        write_csv(&dir.join("ablations.csv"), &records).expect("CSV write failed");
+    }
+}

@@ -1,0 +1,47 @@
+//! Runs every figure of the paper's evaluation in sequence (Figs. 2–9)
+//! and optionally dumps all CSVs. Flags: `--full`, `--trials K`,
+//! `--seed S`, `--csv DIR`, `--quiet`.
+
+use lrm_eval::experiments::{
+    fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, ExperimentContext,
+};
+use lrm_eval::report::write_csv;
+use std::time::Instant;
+
+type FigureRunner = fn(&ExperimentContext) -> Vec<lrm_eval::report::CsvRecord>;
+
+fn main() {
+    let ctx = match ExperimentContext::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let figures: [(&str, FigureRunner); 8] = [
+        ("fig2", fig2::run),
+        ("fig3", fig3::run),
+        ("fig4", fig4::run),
+        ("fig5", fig5::run),
+        ("fig6", fig6::run),
+        ("fig7", fig7::run),
+        ("fig8", fig8::run),
+        ("fig9", fig9::run),
+    ];
+
+    for (name, runner) in figures {
+        let t0 = Instant::now();
+        let records = runner(&ctx);
+        if !ctx.quiet {
+            println!(
+                "[{name}] {} cells in {:.1}s\n",
+                records.len(),
+                t0.elapsed().as_secs_f64()
+            );
+        }
+        if let Some(dir) = &ctx.csv_dir {
+            write_csv(&dir.join(format!("{name}.csv")), &records).expect("CSV write failed");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 2 of the paper: LRM error & decomposition time vs
+//! the relaxation parameter γ. See `--help` notes in the crate docs:
+//! flags are `--full`, `--trials K`, `--seed S`, `--csv DIR`, `--quiet`.
+
+use lrm_eval::experiments::{fig2, ExperimentContext};
+use lrm_eval::report::write_csv;
+
+fn main() {
+    let ctx = match ExperimentContext::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let records = fig2::run(&ctx);
+    if let Some(dir) = &ctx.csv_dir {
+        write_csv(&dir.join("fig2.csv"), &records).expect("CSV write failed");
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates the paper's Figure 8 via the `fig8` experiment.
+//! Flags: `--full`, `--trials K`, `--seed S`, `--csv DIR`, `--quiet`.
+
+use lrm_eval::experiments::{fig8, ExperimentContext};
+use lrm_eval::report::write_csv;
+
+fn main() {
+    let ctx = match ExperimentContext::from_args(std::env::args().skip(1)) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let records = fig8::run(&ctx);
+    if let Some(dir) = &ctx.csv_dir {
+        write_csv(&dir.join("fig8.csv"), &records).expect("CSV write failed");
+    }
+}

@@ -1,0 +1,69 @@
+//! Prints Table 1 of the paper (the experiment parameter grid) together
+//! with this reproduction's scaled-down quick grid, so readers can see at
+//! a glance what `--full` changes.
+
+use lrm_eval::params;
+use lrm_eval::report::TableWriter;
+
+fn join<T: std::fmt::Display>(xs: &[T]) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    let mut table = TableWriter::new("Table 1 — parameters (paper grid vs quick default)");
+    table.header(&["parameter", "paper grid (--full)", "quick grid", "default"]);
+    table.row(vec![
+        "gamma".into(),
+        join(&params::GAMMAS),
+        join(&params::GAMMAS),
+        params::DEFAULT_GAMMA.to_string(),
+    ]);
+    table.row(vec![
+        "r / rank(W)".into(),
+        join(&params::RANK_RATIOS),
+        join(&params::RANK_RATIOS),
+        params::DEFAULT_RANK_RATIO.to_string(),
+    ]);
+    table.row(vec![
+        "n".into(),
+        join(&params::DOMAIN_SIZES_FULL),
+        join(&params::DOMAIN_SIZES_QUICK),
+        format!(
+            "{} (full: {})",
+            params::DEFAULT_DOMAIN_QUICK,
+            params::DEFAULT_DOMAIN_FULL
+        ),
+    ]);
+    table.row(vec![
+        "m".into(),
+        join(&params::QUERY_SIZES_FULL),
+        join(&params::QUERY_SIZES_QUICK),
+        format!(
+            "{} (full: {})",
+            params::DEFAULT_QUERIES_QUICK,
+            params::DEFAULT_QUERIES_FULL
+        ),
+    ]);
+    table.row(vec![
+        "s / min(m,n)".into(),
+        join(&params::S_RATIOS),
+        join(&params::S_RATIOS),
+        params::DEFAULT_S_RATIO.to_string(),
+    ]);
+    table.row(vec![
+        "epsilon".into(),
+        join(&params::EPSILONS),
+        join(&params::EPSILONS),
+        params::EPSILON_MAIN.to_string(),
+    ]);
+    table.row(vec![
+        "trials".into(),
+        params::DEFAULT_TRIALS.to_string(),
+        params::DEFAULT_TRIALS.to_string(),
+        params::DEFAULT_TRIALS.to_string(),
+    ]);
+    println!("{}", table.render());
+}

@@ -1,0 +1,89 @@
+//! Figure 2: effect of the relaxation parameter γ on LRM's accuracy and
+//! decomposition time (Search Logs dataset, all three workloads,
+//! ε ∈ {1, 0.1, 0.01}).
+
+use crate::experiments::sweep::{format_err, workload_at};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::params;
+use crate::report::{CsvRecord, TableWriter};
+use crate::runner::{compile_timed, measure};
+use lrm_workload::datasets::Dataset;
+use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+
+/// Runs the Fig. 2 sweep and returns the flat records.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    let m = ctx.default_queries();
+    let n = ctx.default_domain();
+    let dataset = Dataset::SearchLogs;
+    let data = dataset.load_merged(n).expect("n is below dataset size");
+
+    let wrelated = WRelated::with_ratio(params::DEFAULT_S_RATIO, m, n)
+        .expect("default ratio is valid");
+    let generators: [(&str, &dyn WorkloadGenerator); 3] = [
+        ("WDiscrete", &WDiscrete::default()),
+        ("WRange", &WRange),
+        ("WRelated", &wrelated),
+    ];
+
+    let mut records = Vec::new();
+    for (wname, generator) in generators {
+        let workload = workload_at(generator, m, n, ctx, &format!("fig2/gen/{wname}"));
+        let mut table = TableWriter::new(format!(
+            "Fig 2 — LRM error & time vs γ ({wname}, Search Logs, m={m}, n={n})"
+        ));
+        table.header(&["gamma", "eps=1", "eps=0.1", "eps=0.01", "decomp time (s)"]);
+
+        for &gamma in &params::GAMMAS {
+            let mut row = vec![format!("{gamma:.0e}")];
+            // One decomposition per (workload, γ): it does not depend on ε
+            // (Section 6.1), so all three budgets reuse it.
+            let cfg = ctx.lrm_config_for(gamma, params::DEFAULT_RANK_RATIO, m, n);
+            let (mechanism, compile_seconds) =
+                match compile_timed(MechanismKind::Lrm, &workload, &cfg) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        row.push(format!("err:{e}"));
+                        table.row(row);
+                        continue;
+                    }
+                };
+            for &eps in &params::EPSILONS {
+                let tag = format!("fig2/{wname}/gamma={gamma}/eps={eps}");
+                match measure(
+                    mechanism.as_ref(),
+                    &workload,
+                    &data,
+                    eps,
+                    ctx.trials,
+                    ctx.seed,
+                    &tag,
+                ) {
+                    Ok((analytic, empirical, answer_seconds)) => {
+                        row.push(format_err(empirical));
+                        records.push(CsvRecord {
+                            figure: "fig2".into(),
+                            dataset: dataset.name().into(),
+                            workload: wname.into(),
+                            mechanism: "LRM".into(),
+                            x_name: "gamma".into(),
+                            x: gamma,
+                            epsilon: eps,
+                            analytic_avg_error: analytic,
+                            empirical_avg_error: empirical,
+                            compile_seconds,
+                            answer_seconds,
+                        });
+                    }
+                    Err(e) => row.push(format!("err:{e}")),
+                }
+            }
+            row.push(format!("{compile_seconds:.2}"));
+            table.row(row);
+        }
+        if !ctx.quiet {
+            println!("{}", table.render());
+        }
+    }
+    records
+}

@@ -1,0 +1,91 @@
+//! Figure 3: effect of the decomposition rank `r = ratio·rank(W)` on
+//! LRM's accuracy and decomposition time (Search Logs dataset).
+
+use crate::experiments::sweep::{format_err, workload_at};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::params;
+use crate::report::{CsvRecord, TableWriter};
+use crate::runner::{compile_timed, measure};
+use lrm_core::decomposition::TargetRank;
+use lrm_workload::datasets::Dataset;
+use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+
+/// Runs the Fig. 3 sweep and returns the flat records.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    let m = ctx.default_queries();
+    let n = ctx.default_domain();
+    let dataset = Dataset::SearchLogs;
+    let data = dataset.load_merged(n).expect("n is below dataset size");
+
+    let wrelated = WRelated::with_ratio(params::DEFAULT_S_RATIO, m, n)
+        .expect("default ratio is valid");
+    let generators: [(&str, &dyn WorkloadGenerator); 3] = [
+        ("WDiscrete", &WDiscrete::default()),
+        ("WRange", &WRange),
+        ("WRelated", &wrelated),
+    ];
+
+    let mut records = Vec::new();
+    for (wname, generator) in generators {
+        let workload = workload_at(generator, m, n, ctx, &format!("fig3/gen/{wname}"));
+        let rank = workload.rank();
+        let mut table = TableWriter::new(format!(
+            "Fig 3 — LRM error & time vs r (= ratio·rank(W)); {wname}, rank(W)={rank}, m={m}, n={n}"
+        ));
+        table.header(&["ratio", "r", "eps=1", "eps=0.1", "eps=0.01", "decomp time (s)"]);
+
+        for &ratio in &params::RANK_RATIOS {
+            let r = ((ratio * rank as f64).round() as usize).max(1);
+            let mut row = vec![format!("{ratio:.1}"), r.to_string()];
+            // One decomposition per (workload, r); reused across ε.
+            let mut lrm_config = ctx.lrm_config_for(params::DEFAULT_GAMMA, ratio, m, n);
+            lrm_config.target_rank = TargetRank::Exact(r);
+            let (mechanism, compile_seconds) =
+                match compile_timed(MechanismKind::Lrm, &workload, &lrm_config) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        row.push(format!("err:{e}"));
+                        table.row(row);
+                        continue;
+                    }
+                };
+            for &eps in &params::EPSILONS {
+                let tag = format!("fig3/{wname}/ratio={ratio}/eps={eps}");
+                match measure(
+                    mechanism.as_ref(),
+                    &workload,
+                    &data,
+                    eps,
+                    ctx.trials,
+                    ctx.seed,
+                    &tag,
+                ) {
+                    Ok((analytic, empirical, answer_seconds)) => {
+                        row.push(format_err(empirical));
+                        records.push(CsvRecord {
+                            figure: "fig3".into(),
+                            dataset: dataset.name().into(),
+                            workload: wname.into(),
+                            mechanism: "LRM".into(),
+                            x_name: "ratio".into(),
+                            x: ratio,
+                            epsilon: eps,
+                            analytic_avg_error: analytic,
+                            empirical_avg_error: empirical,
+                            compile_seconds,
+                            answer_seconds,
+                        });
+                    }
+                    Err(e) => row.push(format!("err:{e}")),
+                }
+            }
+            row.push(format!("{compile_seconds:.2}"));
+            table.row(row);
+        }
+        if !ctx.quiet {
+            println!("{}", table.render());
+        }
+    }
+    records
+}

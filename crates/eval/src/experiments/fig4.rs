@@ -1,0 +1,20 @@
+//! Figure 4: all five mechanisms vs domain size `n` on the WDiscrete
+//! workload, ε = 0.1, three datasets.
+
+use crate::experiments::sweep::{run_domain_sweep, SweepPlan};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::report::CsvRecord;
+use lrm_workload::generators::WDiscrete;
+
+/// Runs the Fig. 4 sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    let plan = SweepPlan {
+        figure: "fig4",
+        title: "Fig 4 — error vs domain size n (WDiscrete)",
+        x_name: "n",
+        mechanisms: &MechanismKind::FIG4_SET,
+        workload_name: "WDiscrete",
+    };
+    run_domain_sweep(&plan, &WDiscrete::default(), ctx)
+}

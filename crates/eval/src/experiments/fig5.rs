@@ -1,0 +1,20 @@
+//! Figure 5: all five mechanisms vs domain size `n` on the WRange
+//! workload, ε = 0.1, three datasets.
+
+use crate::experiments::sweep::{run_domain_sweep, SweepPlan};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::report::CsvRecord;
+use lrm_workload::generators::WRange;
+
+/// Runs the Fig. 5 sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    let plan = SweepPlan {
+        figure: "fig5",
+        title: "Fig 5 — error vs domain size n (WRange)",
+        x_name: "n",
+        mechanisms: &MechanismKind::FIG4_SET,
+        workload_name: "WRange",
+    };
+    run_domain_sweep(&plan, &WRange, ctx)
+}

@@ -1,0 +1,27 @@
+//! Figure 6: all five mechanisms vs domain size `n` on the WRelated
+//! workload, ε = 0.1, three datasets.
+
+use crate::experiments::sweep::{run_domain_sweep, SweepPlan};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::params;
+use crate::report::CsvRecord;
+use lrm_workload::generators::WRelated;
+
+/// Runs the Fig. 6 sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    // s = ratio·min(m, n); m is fixed here and every n in the grid is
+    // ≥ m, so s is constant across the sweep — the workload's rank stays
+    // low while n grows, which is exactly the regime the figure shows
+    // LRM exploiting.
+    let m = ctx.default_queries();
+    let s = ((params::DEFAULT_S_RATIO * m as f64).round() as usize).max(1);
+    let plan = SweepPlan {
+        figure: "fig6",
+        title: "Fig 6 — error vs domain size n (WRelated)",
+        x_name: "n",
+        mechanisms: &MechanismKind::FIG4_SET,
+        workload_name: "WRelated",
+    };
+    run_domain_sweep(&plan, &WRelated { base_queries: s }, ctx)
+}

@@ -1,0 +1,20 @@
+//! Figure 7: LM/WM/HM/LRM vs query count `m` on the WRange workload,
+//! ε = 0.1, three datasets.
+
+use crate::experiments::sweep::{run_query_sweep, SweepPlan};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::report::CsvRecord;
+use lrm_workload::generators::WRange;
+
+/// Runs the Fig. 7 sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    let plan = SweepPlan {
+        figure: "fig7",
+        title: "Fig 7 — error vs query count m (WRange)",
+        x_name: "m",
+        mechanisms: &MechanismKind::FIG7_SET,
+        workload_name: "WRange",
+    };
+    run_query_sweep(&plan, &WRange, ctx)
+}

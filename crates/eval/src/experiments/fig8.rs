@@ -1,0 +1,38 @@
+//! Figure 8: LM/WM/HM/LRM vs query count `m` on the WRelated workload,
+//! ε = 0.1, three datasets.
+
+use crate::experiments::sweep::{run_sweep, workload_at, SweepPlan, SweepPoint};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::params;
+use crate::report::CsvRecord;
+use lrm_workload::generators::WRelated;
+
+/// Runs the Fig. 8 sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    let n = ctx.default_domain_for_query_sweep();
+    let plan = SweepPlan {
+        figure: "fig8",
+        title: "Fig 8 — error vs query count m (WRelated)",
+        x_name: "m",
+        mechanisms: &MechanismKind::FIG7_SET,
+        workload_name: "WRelated",
+    };
+    // s tracks m: s = ratio·min(m, n) as in the paper's generator, so the
+    // workload's rank stays a fixed fraction of m across the sweep.
+    let points: Vec<SweepPoint> = ctx
+        .query_sizes()
+        .into_iter()
+        .map(|m| {
+            let generator = WRelated::with_ratio(params::DEFAULT_S_RATIO, m, n)
+                .expect("default ratio is valid");
+            SweepPoint {
+                x: m as f64,
+                m,
+                n,
+                workload: workload_at(&generator, m, n, ctx, &format!("fig8/gen/m={m}")),
+            }
+        })
+        .collect();
+    run_sweep(&plan, points, ctx)
+}

@@ -1,0 +1,43 @@
+//! Figure 9: LM/WM/HM/LRM vs the WRelated base-query count
+//! `s = ratio·min(m, n)`, ε = 0.1, three datasets. This is the figure
+//! that isolates the low-rank property as the source of LRM's advantage.
+
+use crate::experiments::sweep::{run_sweep, workload_at, SweepPlan, SweepPoint};
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::params;
+use crate::report::CsvRecord;
+use lrm_workload::generators::WRelated;
+
+/// Runs the Fig. 9 sweep.
+pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
+    let m = ctx.default_queries();
+    let n = ctx.default_domain();
+    let plan = SweepPlan {
+        figure: "fig9",
+        title: "Fig 9 — error vs s-ratio (WRelated, s = ratio·min(m,n))",
+        x_name: "s-ratio",
+        mechanisms: &MechanismKind::FIG7_SET,
+        workload_name: "WRelated",
+    };
+    let points: Vec<SweepPoint> = params::S_RATIOS
+        .iter()
+        .map(|&ratio| {
+            let generator =
+                WRelated::with_ratio(ratio, m, n).expect("grid ratios are valid");
+            SweepPoint {
+                x: ratio,
+                m,
+                n,
+                workload: workload_at(
+                    &generator,
+                    m,
+                    n,
+                    ctx,
+                    &format!("fig9/gen/ratio={ratio}"),
+                ),
+            }
+        })
+        .collect();
+    run_sweep(&plan, points, ctx)
+}

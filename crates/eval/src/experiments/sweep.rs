@@ -1,0 +1,232 @@
+//! Shared sweep machinery for Figs. 4–9: every one of those figures is
+//! "error of K mechanisms × 3 datasets as one axis varies".
+
+use crate::experiments::ExperimentContext;
+use crate::mechanisms::MechanismKind;
+use crate::report::{CsvRecord, TableWriter};
+use crate::runner::{compile_timed, measure};
+use crate::params;
+use lrm_dp::rng::{derive_rng, stream_of};
+use lrm_workload::datasets::Dataset;
+use lrm_workload::generators::WorkloadGenerator;
+use lrm_workload::Workload;
+
+/// What a figure sweeps and over which mechanisms.
+pub struct SweepPlan<'a> {
+    /// Figure id, e.g. `"fig4"`.
+    pub figure: &'a str,
+    /// Human title used in the table header.
+    pub title: &'a str,
+    /// Axis name (`"n"`, `"m"`, `"s-ratio"`).
+    pub x_name: &'a str,
+    /// Mechanisms to run (paper legend order).
+    pub mechanisms: &'a [MechanismKind],
+    /// Workload family name for records.
+    pub workload_name: &'a str,
+}
+
+/// One point of a sweep: the workload plus its generation metadata.
+pub struct SweepPoint {
+    /// Axis value.
+    pub x: f64,
+    /// Queries m.
+    pub m: usize,
+    /// Domain size n.
+    pub n: usize,
+    /// The generated workload.
+    pub workload: Workload,
+}
+
+/// Builds a seeded workload for a sweep point.
+pub fn workload_at(
+    generator: &dyn WorkloadGenerator,
+    m: usize,
+    n: usize,
+    ctx: &ExperimentContext,
+    tag: &str,
+) -> Workload {
+    let mut rng = derive_rng(ctx.seed, stream_of(tag));
+    generator
+        .generate(m, n, &mut rng)
+        .expect("sweep dimensions are valid")
+}
+
+/// Runs a full sweep. Every mechanism is **compiled once per point** (the
+/// strategy search is data-independent — the paper reuses one
+/// decomposition across ε and datasets too, Section 6.1) and then
+/// measured on all three datasets. Returns CSV records; prints one table
+/// per dataset unless quiet.
+pub fn run_sweep(
+    plan: &SweepPlan<'_>,
+    points: Vec<SweepPoint>,
+    ctx: &ExperimentContext,
+) -> Vec<CsvRecord> {
+    let mut records = Vec::new();
+    // tables[d] collects the rows for dataset d.
+    let mut tables: Vec<Vec<Vec<String>>> = vec![Vec::new(); Dataset::ALL.len()];
+
+    for point in &points {
+        // Compile every mechanism once for this point.
+        let compiled: Vec<(MechanismKind, Result<_, _>)> = plan
+            .mechanisms
+            .iter()
+            .map(|kind| {
+                if *kind == MechanismKind::Mm && point.n > ctx.mm_domain_cap() {
+                    // Appendix-B MM is O(n³) per iteration; the paper
+                    // itself calls this overhead out as prohibitive.
+                    return (*kind, Err(lrm_core::CoreError::InvalidArgument(
+                        "skipped: n beyond the MM domain cap".into(),
+                    )));
+                }
+                let cfg = ctx.lrm_config_for(
+                    params::DEFAULT_GAMMA,
+                    params::DEFAULT_RANK_RATIO,
+                    point.m,
+                    point.n,
+                );
+                (*kind, compile_timed(*kind, &point.workload, &cfg))
+            })
+            .collect();
+
+        for (d, dataset) in Dataset::ALL.iter().enumerate() {
+            let data = dataset
+                .load_merged(point.n)
+                .expect("dataset is larger than every n in the grids");
+            let mut row = vec![format_axis(point.x)];
+            for (kind, compilation) in &compiled {
+                match compilation {
+                    Ok((mechanism, compile_seconds)) => {
+                        let tag = format!(
+                            "{}/{}/{}/{}={}",
+                            plan.figure,
+                            dataset.name(),
+                            kind.name(),
+                            plan.x_name,
+                            point.x
+                        );
+                        match measure(
+                            mechanism.as_ref(),
+                            &point.workload,
+                            &data,
+                            params::EPSILON_MAIN,
+                            ctx.trials,
+                            ctx.seed,
+                            &tag,
+                        ) {
+                            Ok((analytic, empirical, answer_seconds)) => {
+                                row.push(format_err(empirical));
+                                records.push(CsvRecord {
+                                    figure: plan.figure.into(),
+                                    dataset: dataset.name().into(),
+                                    workload: plan.workload_name.into(),
+                                    mechanism: kind.name().into(),
+                                    x_name: plan.x_name.into(),
+                                    x: point.x,
+                                    epsilon: params::EPSILON_MAIN,
+                                    analytic_avg_error: analytic,
+                                    empirical_avg_error: empirical,
+                                    compile_seconds: *compile_seconds,
+                                    answer_seconds,
+                                });
+                            }
+                            Err(e) => row.push(format!("err:{e}")),
+                        }
+                    }
+                    Err(_) => row.push("—".into()),
+                }
+            }
+            tables[d].push(row);
+        }
+    }
+
+    for (d, dataset) in Dataset::ALL.iter().enumerate() {
+        let mut table = TableWriter::new(format!(
+            "{} — {} (ε = {}, avg squared error, {} trials)",
+            plan.title,
+            dataset.name(),
+            params::EPSILON_MAIN,
+            ctx.trials
+        ));
+        let mut header: Vec<&str> = vec![plan.x_name];
+        for kind in plan.mechanisms {
+            header.push(kind.name());
+        }
+        table.header(&header);
+        for row in tables[d].drain(..) {
+            table.row(row);
+        }
+        if !ctx.quiet {
+            println!("{}", table.render());
+        }
+    }
+    records
+}
+
+/// Fig. 4–6 style sweep: domain size `n` varies, `m` fixed.
+pub fn run_domain_sweep(
+    plan: &SweepPlan<'_>,
+    generator: &dyn WorkloadGenerator,
+    ctx: &ExperimentContext,
+) -> Vec<CsvRecord> {
+    let m = ctx.default_queries();
+    let points: Vec<SweepPoint> = ctx
+        .domain_sizes()
+        .into_iter()
+        .map(|n| SweepPoint {
+            x: n as f64,
+            m,
+            n,
+            workload: workload_at(generator, m, n, ctx, &format!("{}/gen/n={n}", plan.figure)),
+        })
+        .collect();
+    run_sweep(plan, points, ctx)
+}
+
+/// Fig. 7–8 style sweep: query count `m` varies, `n` fixed.
+pub fn run_query_sweep(
+    plan: &SweepPlan<'_>,
+    generator: &dyn WorkloadGenerator,
+    ctx: &ExperimentContext,
+) -> Vec<CsvRecord> {
+    let n = ctx.default_domain_for_query_sweep();
+    let points: Vec<SweepPoint> = ctx
+        .query_sizes()
+        .into_iter()
+        .map(|m| SweepPoint {
+            x: m as f64,
+            m,
+            n,
+            workload: workload_at(generator, m, n, ctx, &format!("{}/gen/m={m}", plan.figure)),
+        })
+        .collect();
+    run_sweep(plan, points, ctx)
+}
+
+impl ExperimentContext {
+    /// Domain size used by the m sweeps (Figs. 7–8): the paper keeps
+    /// `m ≤ n`, so the domain is the grid's largest m.
+    pub fn default_domain_for_query_sweep(&self) -> usize {
+        if self.full {
+            crate::params::QUERY_SIZES_FULL[crate::params::QUERY_SIZES_FULL.len() - 1]
+        } else {
+            crate::params::QUERY_SIZES_QUICK[crate::params::QUERY_SIZES_QUICK.len() - 1]
+        }
+    }
+}
+
+fn format_axis(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Scientific-notation error formatting matching the figures' log axes.
+pub fn format_err(v: f64) -> String {
+    if v.is_nan() {
+        "nan".into()
+    } else {
+        format!("{v:.3e}")
+    }
+}

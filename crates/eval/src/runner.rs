@@ -1,0 +1,196 @@
+//! Cell execution: one (mechanism, workload, ε) measurement.
+
+use crate::mechanisms::MechanismKind;
+use lrm_core::decomposition::DecompositionConfig;
+use lrm_core::{CoreError, Mechanism};
+use lrm_dp::rng::{derive_rng, stream_of};
+use lrm_dp::Epsilon;
+use lrm_workload::Workload;
+use std::time::Instant;
+
+/// Everything needed to measure one cell of a figure.
+#[derive(Clone)]
+pub struct CellSpec<'a> {
+    /// Which mechanism to run.
+    pub kind: MechanismKind,
+    /// The workload under test.
+    pub workload: &'a Workload,
+    /// The database vector (merged to the workload's domain).
+    pub data: &'a [f64],
+    /// Privacy budget.
+    pub epsilon: f64,
+    /// LRM decomposition parameters (ignored by other mechanisms).
+    pub lrm_config: DecompositionConfig,
+    /// Monte-Carlo repetitions (the paper uses 20).
+    pub trials: usize,
+    /// Master seed; each trial derives an independent stream.
+    pub seed: u64,
+    /// Stream tag making cells independent (e.g. `"fig4/SearchLogs/n=512"`).
+    pub tag: String,
+}
+
+/// Measured outcome of one cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Mechanism display name.
+    pub mechanism: &'static str,
+    /// Closed-form expected squared error of the whole batch — the paper's
+    /// "Average Squared Error" metric is this quantity averaged over runs.
+    pub analytic_avg_error: f64,
+    /// Monte-Carlo mean (over trials) of the batch squared error.
+    pub empirical_avg_error: f64,
+    /// Wall-clock seconds spent compiling the mechanism (for LRM this is
+    /// the decomposition time the paper plots in Figs. 2–3).
+    pub compile_seconds: f64,
+    /// Wall-clock seconds per answered batch (mean over trials).
+    pub answer_seconds: f64,
+}
+
+/// Compiles a mechanism and reports the wall-clock time it took.
+pub fn compile_timed(
+    kind: MechanismKind,
+    workload: &Workload,
+    lrm_config: &DecompositionConfig,
+) -> Result<(Box<dyn Mechanism>, f64), CoreError> {
+    let t0 = Instant::now();
+    let mechanism = kind.compile(workload, lrm_config)?;
+    Ok((mechanism, t0.elapsed().as_secs_f64()))
+}
+
+/// Measures an already-compiled mechanism on one database: analytic error
+/// plus `trials` Monte-Carlo answers.
+pub fn measure(
+    mechanism: &dyn Mechanism,
+    workload: &Workload,
+    data: &[f64],
+    epsilon: f64,
+    trials: usize,
+    seed: u64,
+    tag: &str,
+) -> Result<(f64, f64, f64), CoreError> {
+    let eps = Epsilon::new(epsilon).map_err(CoreError::InvalidArgument)?;
+    let truth = workload.answer(data).map_err(CoreError::InvalidArgument)?;
+    let analytic_avg_error = mechanism.expected_error(eps, Some(data));
+
+    let mut total_sq = 0.0;
+    let t1 = Instant::now();
+    for trial in 0..trials {
+        let mut rng = derive_rng(
+            seed,
+            stream_of(&format!("{tag}/{}/trial={trial}", mechanism.name())),
+        );
+        let noisy = mechanism.answer(data, eps, &mut rng)?;
+        total_sq += noisy
+            .iter()
+            .zip(truth.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>();
+    }
+    let answer_seconds = if trials > 0 {
+        t1.elapsed().as_secs_f64() / trials as f64
+    } else {
+        0.0
+    };
+    let empirical_avg_error = if trials > 0 {
+        total_sq / trials as f64
+    } else {
+        f64::NAN
+    };
+    Ok((analytic_avg_error, empirical_avg_error, answer_seconds))
+}
+
+/// Runs one cell: compile, analytic error, `trials` Monte-Carlo answers.
+pub fn run_cell(spec: &CellSpec<'_>) -> Result<CellOutcome, CoreError> {
+    let (mechanism, compile_seconds) =
+        compile_timed(spec.kind, spec.workload, &spec.lrm_config)?;
+    let (analytic_avg_error, empirical_avg_error, answer_seconds) = measure(
+        mechanism.as_ref(),
+        spec.workload,
+        spec.data,
+        spec.epsilon,
+        spec.trials,
+        spec.seed,
+        &spec.tag,
+    )?;
+    Ok(CellOutcome {
+        mechanism: mechanism.name(),
+        analytic_avg_error,
+        empirical_avg_error,
+        compile_seconds,
+        answer_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanisms::lrm_config;
+    use lrm_workload::generators::{WRange, WorkloadGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn analytic_and_empirical_agree_for_lm() {
+        let w = WRange
+            .generate(8, 16, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let data: Vec<f64> = (0..16).map(|i| (i * 3 % 11) as f64).collect();
+        let spec = CellSpec {
+            kind: MechanismKind::Lm,
+            workload: &w,
+            data: &data,
+            epsilon: 1.0,
+            lrm_config: lrm_config(0.01, 1.2),
+            trials: 2000,
+            seed: 99,
+            tag: "test/lm".into(),
+        };
+        let out = run_cell(&spec).unwrap();
+        let rel = (out.empirical_avg_error - out.analytic_avg_error).abs()
+            / out.analytic_avg_error;
+        assert!(rel < 0.1, "rel {rel}");
+        assert_eq!(out.mechanism, "LM");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let w = WRange
+            .generate(4, 8, &mut StdRng::seed_from_u64(4))
+            .unwrap();
+        let data = vec![1.0; 8];
+        let spec = CellSpec {
+            kind: MechanismKind::Wm,
+            workload: &w,
+            data: &data,
+            epsilon: 0.5,
+            lrm_config: lrm_config(0.01, 1.2),
+            trials: 5,
+            seed: 7,
+            tag: "test/det".into(),
+        };
+        let a = run_cell(&spec).unwrap();
+        let b = run_cell(&spec).unwrap();
+        assert_eq!(a.empirical_avg_error, b.empirical_avg_error);
+    }
+
+    #[test]
+    fn zero_trials_yields_nan_empirical() {
+        let w = WRange
+            .generate(4, 8, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let data = vec![1.0; 8];
+        let spec = CellSpec {
+            kind: MechanismKind::Hm,
+            workload: &w,
+            data: &data,
+            epsilon: 0.5,
+            lrm_config: lrm_config(0.01, 1.2),
+            trials: 0,
+            seed: 7,
+            tag: "test/zero".into(),
+        };
+        let out = run_cell(&spec).unwrap();
+        assert!(out.empirical_avg_error.is_nan());
+        assert!(out.analytic_avg_error > 0.0);
+    }
+}

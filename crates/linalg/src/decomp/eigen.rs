@@ -1,0 +1,467 @@
+//! Symmetric eigendecomposition.
+//!
+//! Two implementations are provided and cross-checked in tests:
+//!
+//! * [`SymEigen::compute`] — Householder tridiagonalization followed by
+//!   implicit-shift QL iteration (the classic EISPACK `tred2`/`tql2` pair),
+//!   `O(n³)` with a small constant; the default for all sizes.
+//! * [`SymEigen::compute_jacobi`] — cyclic Jacobi rotations; slower but
+//!   extremely robust, used as an oracle in tests and for small matrices.
+//!
+//! The Matrix Mechanism baseline (paper Appendix B) needs repeated
+//! eigendecompositions for its PSD-cone projection and the `A = M^{1/2}`
+//! strategy extraction, and the Gram-based SVD fast path reduces to this
+//! routine, so it sits on the hot path of the experiment harness.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Maximum implicit-shift QL iterations per eigenvalue.
+const MAX_QL_ITERS: usize = 64;
+/// Maximum cyclic Jacobi sweeps.
+const MAX_JACOBI_SWEEPS: usize = 64;
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in **ascending** order; `vectors.col(i)` is the
+/// unit eigenvector for `values[i]`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+impl SymEigen {
+    /// Computes the eigendecomposition via tridiagonalization + QL.
+    ///
+    /// Only the symmetric part `(A + Aᵀ)/2` is used, which guards against
+    /// tiny asymmetries produced by floating-point accumulation upstream.
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        let a = symmetrize_checked(a)?;
+        let n = a.rows();
+        let mut z = a;
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        tred2(&mut z, &mut d, &mut e);
+        tql2(&mut z, &mut d, &mut e)?;
+        sort_pairs(&mut d, &mut z);
+        Ok(Self {
+            values: d,
+            vectors: z,
+        })
+    }
+
+    /// Computes the eigendecomposition via cyclic Jacobi rotations.
+    pub fn compute_jacobi(a: &Matrix) -> Result<Self> {
+        let mut a = symmetrize_checked(a)?;
+        let n = a.rows();
+        let mut v = Matrix::identity(n);
+
+        for _sweep in 0..MAX_JACOBI_SWEEPS {
+            let mut off = 0.0;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    off += a.get(p, q).powi(2);
+                }
+            }
+            if off.sqrt() <= 1e-14 * a.frobenius_norm().max(1e-300) {
+                let mut d = a.diag();
+                sort_pairs(&mut d, &mut v);
+                return Ok(Self {
+                    values: d,
+                    vectors: v,
+                });
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq == 0.0 {
+                        continue;
+                    }
+                    let theta = (a.get(q, q) - a.get(p, p)) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    rotate_sym(&mut a, p, q, c, s);
+                    rotate_cols(&mut v, p, q, c, s);
+                }
+            }
+        }
+        Err(LinalgError::NonConvergence {
+            algorithm: "jacobi eigendecomposition",
+            iterations: MAX_JACOBI_SWEEPS,
+        })
+    }
+
+    /// Reconstructs `V·diag(λ)·Vᵀ` (testing helper).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut vd = self.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                let v = vd.get(i, j) * self.values[j];
+                vd.set(i, j, v);
+            }
+        }
+        crate::ops::mul_tr(&vd, &self.vectors).expect("shapes agree")
+    }
+
+    /// Spectral function application: `f(A) = V·diag(f(λ))·Vᵀ`.
+    ///
+    /// Used for the Matrix Mechanism's `A = M^{1/2}` (Appendix B) and for
+    /// the projection onto the PSD cone (clamping eigenvalues).
+    pub fn spectral_map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let n = self.values.len();
+        let mut vd = self.vectors.clone();
+        for j in 0..n {
+            let fj = f(self.values[j]);
+            for i in 0..n {
+                let v = vd.get(i, j) * fj;
+                vd.set(i, j, v);
+            }
+        }
+        crate::ops::mul_tr(&vd, &self.vectors).expect("shapes agree")
+    }
+}
+
+fn symmetrize_checked(a: &Matrix) -> Result<Matrix> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if a.has_non_finite() {
+        return Err(LinalgError::InvalidArgument(
+            "eigendecomposition input contains NaN or infinite entries".into(),
+        ));
+    }
+    let n = a.rows();
+    Ok(Matrix::from_fn(n, n, |i, j| {
+        0.5 * (a.get(i, j) + a.get(j, i))
+    }))
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form,
+/// accumulating the orthogonal transformation in `z` (EISPACK `tred2`).
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = z.rows();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let scale: f64 = (0..=l).map(|k| z.get(i, k).abs()).sum();
+            if scale == 0.0 {
+                e[i] = z.get(i, l);
+            } else {
+                for k in 0..=l {
+                    let v = z.get(i, k) / scale;
+                    z.set(i, k, v);
+                    h += v * v;
+                }
+                let f = z.get(i, l);
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z.set(i, l, f - g);
+                let mut f_acc = 0.0;
+                for j in 0..=l {
+                    z.set(j, i, z.get(i, j) / h);
+                    let mut g_acc = 0.0;
+                    for k in 0..=j {
+                        g_acc += z.get(j, k) * z.get(i, k);
+                    }
+                    for k in (j + 1)..=l {
+                        g_acc += z.get(k, j) * z.get(i, k);
+                    }
+                    e[j] = g_acc / h;
+                    f_acc += e[j] * z.get(i, j);
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let f = z.get(i, j);
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let v = z.get(j, k) - (f * e[k] + g * z.get(i, k));
+                        z.set(j, k, v);
+                    }
+                }
+            }
+        } else {
+            e[i] = z.get(i, l);
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z.get(i, k) * z.get(k, j);
+                }
+                for k in 0..i {
+                    let v = z.get(k, j) - g * z.get(k, i);
+                    z.set(k, j, v);
+                }
+            }
+        }
+        d[i] = z.get(i, i);
+        z.set(i, i, 1.0);
+        for j in 0..i {
+            z.set(j, i, 0.0);
+            z.set(i, j, 0.0);
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix,
+/// accumulating eigenvectors in `z` (EISPACK `tql2`).
+fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a negligible subdiagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITERS {
+                return Err(LinalgError::NonConvergence {
+                    algorithm: "tql2",
+                    iterations: MAX_QL_ITERS,
+                });
+            }
+            // Form the implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (1.0, 1.0);
+            let mut p = 0.0;
+            let mut i = m;
+            let mut underflow = false;
+            while i > l {
+                i -= 1;
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // Recover from underflow by deflating.
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let f = z.get(k, i + 1);
+                    z.set(k, i + 1, s * z.get(k, i) + c * f);
+                    z.set(k, i, c * z.get(k, i) - s * f);
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Sorts eigenpairs ascending by eigenvalue, permuting eigenvector columns.
+fn sort_pairs(d: &mut [f64], z: &mut Matrix) {
+    let n = d.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("eigenvalues are finite"));
+    let sorted_d: Vec<f64> = idx.iter().map(|&i| d[i]).collect();
+    let mut sorted_z = Matrix::zeros(n, n);
+    for (new_j, &old_j) in idx.iter().enumerate() {
+        sorted_z.set_col(new_j, &z.col(old_j));
+    }
+    d.copy_from_slice(&sorted_d);
+    *z = sorted_z;
+}
+
+/// Symmetric Jacobi rotation of `a` in the `(p, q)` plane.
+fn rotate_sym(a: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = a.rows();
+    let app = a.get(p, p);
+    let aqq = a.get(q, q);
+    let apq = a.get(p, q);
+    for k in 0..n {
+        if k == p || k == q {
+            continue;
+        }
+        let akp = a.get(k, p);
+        let akq = a.get(k, q);
+        let new_kp = c * akp - s * akq;
+        let new_kq = s * akp + c * akq;
+        a.set(k, p, new_kp);
+        a.set(p, k, new_kp);
+        a.set(k, q, new_kq);
+        a.set(q, k, new_kq);
+    }
+    let new_pp = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    let new_qq = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    a.set(p, p, new_pp);
+    a.set(q, q, new_qq);
+    a.set(p, q, 0.0);
+    a.set(q, p, 0.0);
+}
+
+/// Applies the rotation to columns `p`, `q` of `v`.
+fn rotate_cols(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v.get(k, p);
+        let vkq = v.get(k, q);
+        v.set(k, p, c * vkp - s * vkq);
+        v.set(k, q, s * vkp + c * vkq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::gram;
+
+    fn pseudo_random_sym(n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let raw = Matrix::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        });
+        // Symmetrize.
+        Matrix::from_fn(n, n, |i, j| 0.5 * (raw.get(i, j) + raw.get(j, i)))
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, -1.0, 2.0]);
+        let eig = SymEigen::compute(&a).unwrap();
+        assert!((eig.values[0] + 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 2.0).abs() < 1e-12);
+        assert!((eig.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eig = SymEigen::compute(&a).unwrap();
+        assert!((eig.values[0] - 1.0).abs() < 1e-12);
+        assert!((eig.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_random() {
+        for &(n, seed) in &[(3usize, 1u64), (8, 2), (20, 3), (40, 4)] {
+            let a = pseudo_random_sym(n, seed);
+            let eig = SymEigen::compute(&a).unwrap();
+            let recon = eig.reconstruct();
+            assert!(
+                recon.approx_eq(&a, 1e-9),
+                "QL reconstruction failed for n={n}"
+            );
+            // Eigenvectors orthonormal.
+            let vtv = gram(&eig.vectors);
+            assert!(vtv.approx_eq(&Matrix::identity(n), 1e-9));
+        }
+    }
+
+    #[test]
+    fn ql_matches_jacobi() {
+        for &(n, seed) in &[(5usize, 7u64), (13, 8), (25, 9)] {
+            let a = pseudo_random_sym(n, seed);
+            let e1 = SymEigen::compute(&a).unwrap();
+            let e2 = SymEigen::compute_jacobi(&a).unwrap();
+            for (v1, v2) in e1.values.iter().zip(e2.values.iter()) {
+                assert!(
+                    (v1 - v2).abs() < 1e-9,
+                    "QL and Jacobi disagree for n={n}: {v1} vs {v2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = pseudo_random_sym(16, 11);
+        let eig = SymEigen::compute(&a).unwrap();
+        let sum: f64 = eig.values.iter().sum();
+        assert!((sum - a.trace().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_map_square_root() {
+        // Build an SPD matrix, take its square root, and square it back.
+        let b = pseudo_random_sym(10, 12);
+        let spd = {
+            let mut g = gram(&b);
+            g += &Matrix::identity(10);
+            g
+        };
+        let eig = SymEigen::compute(&spd).unwrap();
+        assert!(eig.values.iter().all(|&v| v > 0.0));
+        let root = eig.spectral_map(f64::sqrt);
+        let squared = crate::ops::matmul(&root, &root).unwrap();
+        assert!(squared.approx_eq(&spd, 1e-8));
+    }
+
+    #[test]
+    fn handles_repeated_eigenvalues() {
+        let a = Matrix::identity(6).scale(4.0);
+        let eig = SymEigen::compute(&a).unwrap();
+        for &v in &eig.values {
+            assert!((v - 4.0).abs() < 1e-12);
+        }
+        let vtv = gram(&eig.vectors);
+        assert!(vtv.approx_eq(&Matrix::identity(6), 1e-10));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(SymEigen::compute(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a.set(1, 1, f64::INFINITY);
+        assert!(SymEigen::compute(&a).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[&[5.0]]);
+        let eig = SymEigen::compute(&a).unwrap();
+        assert_eq!(eig.values, vec![5.0]);
+        assert_eq!(eig.vectors.get(0, 0).abs(), 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! LU factorization with partial pivoting.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// LU factorization `P·A = L·U` with partial (row) pivoting.
+///
+/// `L` is unit lower triangular and `U` upper triangular, packed together in
+/// a single matrix. Used for general linear solves and matrix inversion
+/// (e.g. the `(β L Lᵀ + I)⁻¹` factor of the closed-form `B` update, Eq. 9 of
+/// the paper, when the Cholesky path is not applicable).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    piv: Vec<usize>,
+    swaps: usize,
+    singular: bool,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        if a.has_non_finite() {
+            return Err(LinalgError::InvalidArgument(
+                "LU input contains NaN or infinite entries".into(),
+            ));
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut swaps = 0;
+        let mut singular = false;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k at or
+            // below the diagonal.
+            let mut p = k;
+            let mut max = lu.get(k, k).abs();
+            for i in (k + 1)..n {
+                let v = lu.get(i, k).abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(p, j));
+                    lu.set(p, j, tmp);
+                }
+                piv.swap(k, p);
+                swaps += 1;
+            }
+            let pivot = lu.get(k, k);
+            if pivot == 0.0 {
+                singular = true;
+                continue;
+            }
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let v = lu.get(i, j) - factor * lu.get(k, j);
+                    lu.set(i, j, v);
+                }
+            }
+        }
+
+        Ok(Self {
+            lu,
+            piv,
+            swaps,
+            singular,
+        })
+    }
+
+    /// True when a zero pivot was hit during elimination.
+    pub fn is_singular(&self) -> bool {
+        self.singular
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        if self.singular {
+            return 0.0;
+        }
+        let n = self.lu.rows();
+        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        (0..n).map(|i| self.lu.get(i, i)).product::<f64>() * sign
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        if self.singular {
+            return Err(LinalgError::Singular);
+        }
+        // Apply permutation, then forward / backward substitution.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j))?;
+            x.set_col(j, &col);
+        }
+        Ok(x)
+    }
+
+    /// Inverse of the original matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.lu.rows()))
+    }
+}
+
+/// Convenience wrapper: solves `A x = b` with a fresh factorization.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::compute(a)?.solve_vec(b)
+}
+
+/// Convenience wrapper: inverse of `A` with a fresh factorization.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Lu::compute(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        // x = (1, 2) → b = (4, 7)
+        let x = solve(&a, &[4.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // Requires a row swap: leading zero pivot.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::compute(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+
+        let b = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((Lu::compute(&b).unwrap().det() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[3.0, 6.0, -4.0],
+            &[2.0, 1.0, 8.0],
+        ]);
+        let inv = inverse(&a).unwrap();
+        let prod = matmul(&a, &inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let lu = Lu::compute(&a).unwrap();
+        assert!(lu.is_singular());
+        assert_eq!(lu.det(), 0.0);
+        assert!(matches!(lu.solve_vec(&[1.0, 1.0]), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn rejects_non_square_and_nan() {
+        assert!(Lu::compute(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a.set(0, 0, f64::NAN);
+        assert!(Lu::compute(&a).is_err());
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0]]);
+        let b = Matrix::from_rows(&[&[2.0, 4.0], &[5.0, 10.0]]);
+        let x = Lu::compute(&a).unwrap().solve(&b).unwrap();
+        assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]), 1e-12));
+    }
+}

@@ -1,0 +1,14 @@
+//! Matrix factorizations: LU, Cholesky, QR, symmetric eigendecomposition,
+//! and singular value decomposition.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod lu;
+pub mod qr;
+pub mod svd;
+
+pub use cholesky::Cholesky;
+pub use eigen::SymEigen;
+pub use lu::Lu;
+pub use qr::Qr;
+pub use svd::Svd;

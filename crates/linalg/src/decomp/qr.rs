@@ -1,0 +1,254 @@
+//! Householder QR factorization.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// QR factorization `A = Q·R` via Householder reflections, for `m ≥ n`.
+///
+/// Used for least-squares solves and as a building block for
+/// orthonormalization (e.g. padding the SVD-based initialization of the
+/// LRM decomposition with extra orthogonal directions).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed factorization: R in the upper triangle, Householder vectors
+    /// (below-diagonal part) underneath.
+    qr: Matrix,
+    /// Scalar `τ_k = 2 / ‖v_k‖²` for each reflector (0 for skipped columns).
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors an `m`-by-`n` matrix with `m ≥ n`.
+    pub fn compute(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "QR requires rows >= cols, got {m}x{n} (transpose first)"
+            )));
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let v = qr.get(i, k);
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                continue; // column already zero below (and at) the diagonal
+            }
+            let akk = qr.get(k, k);
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            // v = x - alpha * e1, stored in place with v_k implicit.
+            let v0 = akk - alpha;
+            // ‖v‖² = ‖x‖² - 2 alpha x_0 + alpha² = 2(norm² - alpha*akk)
+            let v_norm_sq = norm_sq - 2.0 * alpha * akk + alpha * alpha;
+            if v_norm_sq == 0.0 {
+                continue;
+            }
+            qr.set(k, k, v0);
+            let t = 2.0 / v_norm_sq;
+            tau[k] = t;
+
+            // Apply H = I - t v vᵀ to the trailing columns.
+            for j in (k + 1)..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += qr.get(i, k) * qr.get(i, j);
+                }
+                let scale = t * dot;
+                for i in k..m {
+                    let v = qr.get(i, j) - scale * qr.get(i, k);
+                    qr.set(i, j, v);
+                }
+            }
+            // The diagonal of R.
+            qr.set(k, k, alpha);
+            // Stash the v vector below the diagonal scaled so v_k = v0:
+            // entries below the diagonal already hold v_{k+1..}; rescale so
+            // the implicit head is 1 (standard LAPACK-style storage).
+            for i in (k + 1)..m {
+                let v = qr.get(i, k) / v0;
+                qr.set(i, k, v);
+            }
+            tau[k] = t * v0 * v0; // adjust for the rescaling: v' = v / v0
+        }
+
+        Ok(Self { qr, tau })
+    }
+
+    /// The upper-triangular factor `R` (`n`-by-`n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr.get(i, j) } else { 0.0 })
+    }
+
+    /// The thin orthonormal factor `Q` (`m`-by-`n`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q.set(j, j, 1.0);
+        }
+        // Apply reflectors in reverse order: Q = H_0 H_1 … H_{n-1} · I_thin.
+        for k in (0..n).rev() {
+            let t = self.tau[k];
+            if t == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                // dot = vᵀ q_j with v = (1, qr[k+1..m, k])
+                let mut dot = q.get(k, j);
+                for i in (k + 1)..m {
+                    dot += self.qr.get(i, k) * q.get(i, j);
+                }
+                let scale = t * dot;
+                let v = q.get(k, j) - scale;
+                q.set(k, j, v);
+                for i in (k + 1)..m {
+                    let v = q.get(i, j) - scale * self.qr.get(i, k);
+                    q.set(i, j, v);
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`, returning length `m`.
+    pub fn q_transpose_mul(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                op: "q_transpose_mul",
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let t = self.tau[k];
+            if t == 0.0 {
+                continue;
+            }
+            let mut dot = y[k];
+            for i in (k + 1)..m {
+                dot += self.qr.get(i, k) * y[i];
+            }
+            let scale = t * dot;
+            y[k] -= scale;
+            for i in (k + 1)..m {
+                y[i] -= scale * self.qr.get(i, k);
+            }
+        }
+        Ok(y)
+    }
+
+    /// Least-squares solve: `argmin_x ‖A x − b‖₂`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.qr.cols();
+        let y = self.q_transpose_mul(b)?;
+        let mut x = y[..n].to_vec();
+        for i in (0..n).rev() {
+            let rii = self.qr.get(i, i);
+            if rii.abs() < 1e-300 {
+                return Err(LinalgError::Singular);
+            }
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.qr.get(i, j) * x[j];
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+/// Orthonormalizes the columns of `a` (`m ≥ n`), returning `Q`.
+pub fn orthonormalize(a: &Matrix) -> Result<Matrix> {
+    Ok(Qr::compute(a)?.q())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gram, matmul};
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        for &(m, n, seed) in &[(4usize, 4usize, 1u64), (8, 5, 2), (20, 7, 3)] {
+            let a = pseudo_random(m, n, seed);
+            let qr = Qr::compute(&a).unwrap();
+            let recon = matmul(&qr.q(), &qr.r()).unwrap();
+            assert!(recon.approx_eq(&a, 1e-10), "QR reconstruction failed {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = pseudo_random(12, 6, 4);
+        let q = Qr::compute(&a).unwrap().q();
+        let qtq = gram(&q);
+        assert!(qtq.approx_eq(&Matrix::identity(6), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = pseudo_random(6, 6, 5);
+        let r = Qr::compute(&a).unwrap().r();
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = pseudo_random(15, 4, 6);
+        let b: Vec<f64> = (0..15).map(|i| (i as f64).sin()).collect();
+        let x = Qr::compute(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations: AᵀA x = Aᵀ b.
+        let ata = gram(&a);
+        let atb = crate::ops::tr_mul_vec(&a, &b).unwrap();
+        let x2 = crate::decomp::lu::solve(&ata, &atb).unwrap();
+        for (xi, x2i) in x.iter().zip(x2.iter()) {
+            assert!((xi - x2i).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn exact_solve_when_square() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = Qr::compute(&a).unwrap().solve_least_squares(&[4.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(Qr::compute(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn handles_rank_deficiency_in_factor() {
+        // Second column is a multiple of the first; Q·R must still equal A.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = Qr::compute(&a).unwrap();
+        let recon = matmul(&qr.q(), &qr.r()).unwrap();
+        assert!(recon.approx_eq(&a, 1e-10));
+        assert!(qr.solve_least_squares(&[1.0, 1.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimal, dependency-free binary (de)serialization for matrices.
+//!
+//! Workload decompositions are expensive to compute (Algorithm 1 runs for
+//! minutes at the paper's full scale), so production deployments want to
+//! cache them. The format is deliberately trivial and versioned:
+//!
+//! ```text
+//! magic  "LRMM"            (4 bytes)
+//! version u32 LE           (currently 1)
+//! rows    u64 LE
+//! cols    u64 LE
+//! data    rows·cols × f64 LE, row-major
+//! ```
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"LRMM";
+const VERSION: u32 = 1;
+
+impl Matrix {
+    /// Writes the matrix in the `LRMM` binary format.
+    pub fn write_binary<W: Write>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&(self.rows() as u64).to_le_bytes())?;
+        out.write_all(&(self.cols() as u64).to_le_bytes())?;
+        for &v in self.as_slice() {
+            out.write_all(&v.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Reads a matrix written by [`Matrix::write_binary`].
+    ///
+    /// Validates the magic, version, dimension sanity, and entry
+    /// finiteness, so a truncated or corrupted file is rejected rather
+    /// than producing NaN-poisoned arithmetic downstream.
+    pub fn read_binary<R: Read>(input: &mut R) -> Result<Matrix> {
+        let mut magic = [0u8; 4];
+        read_exact(input, &mut magic)?;
+        if &magic != MAGIC {
+            return Err(LinalgError::InvalidArgument(
+                "not an LRMM matrix file (bad magic)".into(),
+            ));
+        }
+        let mut word4 = [0u8; 4];
+        read_exact(input, &mut word4)?;
+        let version = u32::from_le_bytes(word4);
+        if version != VERSION {
+            return Err(LinalgError::InvalidArgument(format!(
+                "unsupported LRMM version {version} (expected {VERSION})"
+            )));
+        }
+        let mut word8 = [0u8; 8];
+        read_exact(input, &mut word8)?;
+        let rows = u64::from_le_bytes(word8) as usize;
+        read_exact(input, &mut word8)?;
+        let cols = u64::from_le_bytes(word8) as usize;
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidArgument(format!(
+                "invalid dimensions {rows}x{cols} in LRMM file"
+            )));
+        }
+        let count = rows.checked_mul(cols).ok_or_else(|| {
+            LinalgError::InvalidArgument("dimension overflow in LRMM file".into())
+        })?;
+        if count > (1 << 31) {
+            return Err(LinalgError::InvalidArgument(format!(
+                "LRMM file declares {count} entries; refusing (> 2^31)"
+            )));
+        }
+        let mut data = Vec::with_capacity(count);
+        for _ in 0..count {
+            read_exact(input, &mut word8)?;
+            let v = f64::from_le_bytes(word8);
+            if !v.is_finite() {
+                return Err(LinalgError::InvalidArgument(
+                    "LRMM file contains non-finite entries".into(),
+                ));
+            }
+            data.push(v);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+fn read_exact<R: Read>(input: &mut R, buf: &mut [u8]) -> Result<()> {
+    input.read_exact(buf).map_err(|e| {
+        LinalgError::InvalidArgument(format!("truncated LRMM stream: {e}"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_fn(3, 5, |i, j| (i as f64 - 1.0) * (j as f64 + 0.25))
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let mut buf = Vec::new();
+        m.write_binary(&mut buf).unwrap();
+        let back = Matrix::read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        sample().write_binary(&mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(Matrix::read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        sample().write_binary(&mut buf).unwrap();
+        for cut in [3, 10, 21, buf.len() - 1] {
+            assert!(
+                Matrix::read_binary(&mut &buf[..cut]).is_err(),
+                "accepted a stream truncated at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        sample().write_binary(&mut buf).unwrap();
+        buf[4] = 9;
+        assert!(Matrix::read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_payload() {
+        let mut buf = Vec::new();
+        sample().write_binary(&mut buf).unwrap();
+        // Overwrite the first data entry (offset 4+4+8+8 = 24) with NaN.
+        buf[24..32].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(Matrix::read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn preserves_exact_bits() {
+        let m = Matrix::from_rows(&[&[f64::MIN_POSITIVE, 1.0 + f64::EPSILON, -0.0]]);
+        let mut buf = Vec::new();
+        m.write_binary(&mut buf).unwrap();
+        let back = Matrix::read_binary(&mut buf.as_slice()).unwrap();
+        for (a, b) in m.as_slice().iter().zip(back.as_slice().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

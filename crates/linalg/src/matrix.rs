@@ -1,0 +1,636 @@
+//! Dense row-major matrix of `f64`.
+
+use crate::error::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// The workloads in the LRM paper are dense (WDiscrete fills every entry,
+/// WRelated is a product of dense Gaussian factors), so a dense
+/// representation is the natural fit. Storage is a single contiguous
+/// `Vec<f64>` with `data[i * cols + j]` holding entry `(i, j)`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero; use [`Matrix::try_zeros`] for a
+    /// fallible constructor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::try_zeros(rows, cols).expect("matrix dimensions must be non-zero")
+    }
+
+    /// Fallible variant of [`Matrix::zeros`].
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidArgument(format!(
+                "matrix dimensions must be positive, got {rows}x{cols}"
+            )));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` for each entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices. All rows must have equal length.
+    ///
+    /// # Panics
+    /// Panics on ragged input or an empty row set.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "from_rows: rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has inconsistent length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::InvalidArgument(format!(
+                "matrix dimensions must be positive, got {rows}x{cols}"
+            )));
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "buffer of length {} cannot fill a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Builds a column vector (`n`-by-1 matrix) from a slice.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Self {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Entry accessor with bounds checking in debug builds only.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry setter with bounds checking in debug builds only.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Overwrites column `j` with `v`.
+    pub fn set_col(&mut self, j: usize, v: &[f64]) {
+        debug_assert_eq!(v.len(), self.rows);
+        for (i, &x) in v.iter().enumerate() {
+            self.data[i * self.cols + j] = x;
+        }
+    }
+
+    /// Overwrites row `i` with `v`.
+    pub fn set_row(&mut self, i: usize, v: &[f64]) {
+        debug_assert_eq!(v.len(), self.cols);
+        self.row_mut(i).copy_from_slice(v);
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on larger matrices.
+        const B: usize = 32;
+        for ib in (0..self.rows).step_by(B) {
+            for jb in (0..self.cols).step_by(B) {
+                let imax = (ib + B).min(self.rows);
+                let jmax = (jb + B).min(self.cols);
+                for i in ib..imax {
+                    for j in jb..jmax {
+                        t.data[j * self.rows + i] = self.data[i * self.cols + j];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Multiplies every entry by `s`, returning a new matrix.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// `self += alpha * other`, in place.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) -> Result<()> {
+        self.check_same_shape("axpy", other)?;
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of diagonal entries. Errors on non-square input.
+    pub fn trace(&self) -> Result<f64> {
+        if !self.is_square() {
+            return Err(LinalgError::NotSquare { shape: self.shape() });
+        }
+        Ok((0..self.rows).map(|i| self.data[i * self.cols + i]).sum())
+    }
+
+    /// Frobenius norm: `sqrt(sum of squared entries)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Squared sum of all entries — the paper's query scale `Φ` when applied
+    /// to `B` (Definition 1).
+    pub fn squared_sum(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Absolute column sums — `Δ(B, L)` when applied to `L` takes the max
+    /// of these (Definition 2).
+    pub fn col_abs_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for row in self.rows_iter() {
+            for (s, &x) in sums.iter_mut().zip(row.iter()) {
+                *s += x.abs();
+            }
+        }
+        sums
+    }
+
+    /// Maximum absolute column sum, i.e. the induced 1-norm.
+    pub fn max_col_abs_sum(&self) -> f64 {
+        self.col_abs_sums()
+            .into_iter()
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Maximum absolute row sum, i.e. the induced infinity-norm.
+    pub fn max_row_abs_sum(&self) -> f64 {
+        self.rows_iter()
+            .map(|r| r.iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Extracts the contiguous submatrix with rows `r0..r1`, cols `c0..c1`.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Result<Matrix> {
+        if r1 > self.rows || c1 > self.cols || r0 >= r1 || c0 >= c1 {
+            return Err(LinalgError::InvalidArgument(format!(
+                "submatrix bounds rows {r0}..{r1}, cols {c0}..{c1} invalid for {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for i in r0..r1 {
+            out.row_mut(i - r0)
+                .copy_from_slice(&self.row(i)[c0..c1]);
+        }
+        Ok(out)
+    }
+
+    /// Stacks `self` on top of `other` (same column count).
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "vstack",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Places `self` to the left of `other` (same row count).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hstack",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(out)
+    }
+
+    /// True when every pairwise entry difference is within `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// True when any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Main diagonal as a vector (works for rectangular matrices too).
+    pub fn diag(&self) -> Vec<f64> {
+        let k = self.rows.min(self.cols);
+        (0..k).map(|i| self.data[i * self.cols + i]).collect()
+    }
+
+    fn check_same_shape(&self, op: &'static str, other: &Matrix) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix += shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix -= shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.map(|x| -x)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scale(s)
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// Matrix product; delegates to the blocked kernel in [`crate::ops`].
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::ops::matmul(self, rhs).expect("matrix product shape mismatch")
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for (i, row) in self.rows_iter().enumerate().take(max_rows) {
+            write!(f, "  [")?;
+            for (j, v) in row.iter().enumerate().take(8) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:10.4}")?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]{}", if i + 1 < self.rows { "," } else { "" })?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.trace().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(Matrix::try_zeros(0, 3).is_err());
+        assert!(Matrix::try_zeros(3, 0).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (7, 5));
+        assert_eq!(t.transpose(), m);
+        assert_eq!(m.get(2, 3), t.get(3, 2));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let sum = &a + &b;
+        assert_eq!(sum, Matrix::from_rows(&[&[6.0, 8.0], &[10.0, 12.0]]));
+        let diff = &b - &a;
+        assert_eq!(diff, Matrix::filled(2, 2, 4.0));
+        let scaled = &a * 2.0;
+        assert_eq!(scaled, Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]));
+        let neg = -&a;
+        assert_eq!(neg.get(0, 0), -1.0);
+    }
+
+    #[test]
+    fn norms_and_sums() {
+        let m = Matrix::from_rows(&[&[3.0, -4.0], &[0.0, 0.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(m.squared_sum(), 25.0);
+        assert_eq!(m.max_abs(), 4.0);
+        assert_eq!(m.col_abs_sums(), vec![3.0, 4.0]);
+        assert_eq!(m.max_col_abs_sum(), 4.0);
+        assert_eq!(m.max_row_abs_sum(), 7.0);
+    }
+
+    #[test]
+    fn stack_and_submatrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v.row(1), &[3.0, 4.0]);
+
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (1, 4));
+        assert_eq!(h.row(0), &[1.0, 2.0, 3.0, 4.0]);
+
+        let s = v.submatrix(0, 2, 1, 2).unwrap();
+        assert_eq!(s.shape(), (2, 1));
+        assert_eq!(s.get(1, 0), 4.0);
+        assert!(v.submatrix(0, 3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 1.0);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.get(0, 0), 1.5);
+        assert_eq!(a.get(0, 1), 0.5);
+        let c = Matrix::zeros(3, 3);
+        assert!(a.axpy(1.0, &c).is_err());
+    }
+
+    #[test]
+    fn diag_and_from_diag() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.diag(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(d.get(0, 1), 0.0);
+        let rect = Matrix::from_fn(2, 4, |i, j| if i == j { 7.0 } else { 0.0 });
+        assert_eq!(rect.diag(), vec![7.0, 7.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(!m.has_non_finite());
+        m.set(0, 1, f64::NAN);
+        assert!(m.has_non_finite());
+    }
+}

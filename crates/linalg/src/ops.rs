@@ -1,0 +1,331 @@
+//! Matrix multiplication kernels and related products.
+//!
+//! The hot loop of the LRM decomposition (Algorithm 1 of the paper) is a
+//! handful of GEMMs per iteration (`B·L`, `BᵀB·L`, `W·Lᵀ`, `L·Lᵀ`, …), so
+//! these kernels are cache-blocked and, above a size threshold, split across
+//! threads with `crossbeam::scope`.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Row-block size for the blocked kernel.
+const BLOCK: usize = 64;
+/// Flop threshold (`m * n * k`) above which the parallel kernel is used.
+const PAR_THRESHOLD: usize = 1 << 21;
+
+/// `C = A · B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "matmul",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    if m * n * k >= PAR_THRESHOLD {
+        matmul_parallel(a, b, &mut c);
+    } else {
+        matmul_block(a, b, c.as_mut_slice(), 0, m);
+    }
+    Ok(c)
+}
+
+/// Sequential blocked kernel over rows `r0..r1` of the output.
+///
+/// Uses the i-k-j loop order so the inner loop streams through contiguous
+/// rows of `B` and `C`, which lets LLVM vectorize it.
+fn matmul_block(a: &Matrix, b: &Matrix, c: &mut [f64], r0: usize, r1: usize) {
+    let k = a.cols();
+    let n = b.cols();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for ib in (r0..r1).step_by(BLOCK) {
+        let imax = (ib + BLOCK).min(r1);
+        for pb in (0..k).step_by(BLOCK) {
+            let pmax = (pb + BLOCK).min(k);
+            for i in ib..imax {
+                let c_row = &mut c[(i - r0) * n..(i - r0 + 1) * n];
+                let a_row = &a_data[i * k..(i + 1) * k];
+                for p in pb..pmax {
+                    let aip = a_row[p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[p * n..(p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel kernel: splits output rows across threads.
+fn matmul_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let m = a.rows();
+    let n = b.cols();
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(m)
+        .max(1);
+    let rows_per = m.div_ceil(threads);
+    let chunks: Vec<&mut [f64]> = c
+        .as_mut_slice()
+        .chunks_mut(rows_per * n)
+        .collect();
+    crossbeam::scope(|scope| {
+        for (t, chunk) in chunks.into_iter().enumerate() {
+            let r0 = t * rows_per;
+            let r1 = (r0 + chunk.len() / n).min(m);
+            scope.spawn(move |_| {
+                matmul_block(a, b, chunk, r0, r1);
+            });
+        }
+    })
+    .expect("matmul worker thread panicked");
+}
+
+/// `y = A · x` for a dense vector `x`.
+pub fn mul_vec(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
+    if a.cols() != x.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "mul_vec",
+            left: a.shape(),
+            right: (x.len(), 1),
+        });
+    }
+    Ok(a.rows_iter()
+        .map(|row| row.iter().zip(x.iter()).map(|(a, b)| a * b).sum())
+        .collect())
+}
+
+/// `y = Aᵀ · x`.
+pub fn tr_mul_vec(a: &Matrix, x: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != x.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "tr_mul_vec",
+            left: a.shape(),
+            right: (x.len(), 1),
+        });
+    }
+    let mut y = vec![0.0; a.cols()];
+    for (row, &xi) in a.rows_iter().zip(x.iter()) {
+        if xi == 0.0 {
+            continue;
+        }
+        for (yj, &aij) in y.iter_mut().zip(row.iter()) {
+            *yj += xi * aij;
+        }
+    }
+    Ok(y)
+}
+
+/// `C = Aᵀ · B` without materializing `Aᵀ`.
+pub fn tr_mul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "tr_mul",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let m = a.cols();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    // (AᵀB)_{ij} = Σ_p A_{pi} B_{pj}: stream over rows of A and B together.
+    for (a_row, b_row) in a.rows_iter().zip(b.rows_iter()) {
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = c.row_mut(i);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A · Bᵀ` without materializing `Bᵀ`.
+pub fn mul_tr(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "mul_tr",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    for (i, a_row) in a.rows_iter().enumerate() {
+        let c_row = c.row_mut(i);
+        for (j, b_row) in b.rows_iter().enumerate() {
+            c_row[j] = dot(a_row, b_row);
+        }
+    }
+    Ok(c)
+}
+
+/// Gram matrix `AᵀA` (symmetric positive semidefinite).
+pub fn gram(a: &Matrix) -> Matrix {
+    tr_mul(a, a).expect("gram: shapes always agree")
+}
+
+/// `tr(AᵀB)`, the Frobenius inner product `⟨A, B⟩`.
+pub fn frob_inner(a: &Matrix, b: &Matrix) -> Result<f64> {
+    if a.shape() != b.shape() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "frob_inner",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    Ok(a.as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .map(|(x, y)| x * y)
+        .sum())
+}
+
+/// Dense dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a.get(i, p) * b.get(p, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic LCG so this module does not depend on `rand`.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        for &(m, k, n) in &[(5, 7, 3), (17, 33, 9), (64, 65, 66), (130, 40, 70)] {
+            let a = pseudo_random(m, k, (m * k) as u64);
+            let b = pseudo_random(k, n, (k * n + 7) as u64);
+            let fast = matmul(&a, &b).unwrap();
+            let slow = naive_matmul(&a, &b);
+            assert!(
+                fast.approx_eq(&slow, 1e-10),
+                "blocked GEMM disagrees with naive for {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        // 160^3 = 4.1M flops > PAR_THRESHOLD, exercising the threaded kernel.
+        let a = pseudo_random(160, 160, 1);
+        let b = pseudo_random(160, 160, 2);
+        let fast = matmul(&a, &b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = pseudo_random(8, 8, 3);
+        let i = Matrix::identity(8);
+        assert!(matmul(&a, &i).unwrap().approx_eq(&a, 1e-12));
+        assert!(matmul(&i, &a).unwrap().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn tr_mul_and_mul_tr_match_explicit_transpose() {
+        let a = pseudo_random(13, 7, 4);
+        let b = pseudo_random(13, 5, 5);
+        let expected = matmul(&a.transpose(), &b).unwrap();
+        assert!(tr_mul(&a, &b).unwrap().approx_eq(&expected, 1e-11));
+
+        let c = pseudo_random(6, 9, 6);
+        let d = pseudo_random(4, 9, 7);
+        let expected2 = matmul(&c, &d.transpose()).unwrap();
+        assert!(mul_tr(&c, &d).unwrap().approx_eq(&expected2, 1e-11));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let a = pseudo_random(10, 4, 8);
+        let g = gram(&a);
+        assert!(g.approx_eq(&g.transpose(), 1e-12));
+        for j in 0..4 {
+            let col_norm_sq: f64 = a.col(j).iter().map(|x| x * x).sum();
+            assert!((g.get(j, j) - col_norm_sq).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_matmul() {
+        let a = pseudo_random(9, 6, 9);
+        let x: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let y = mul_vec(&a, &x).unwrap();
+        let y2 = matmul(&a, &Matrix::col_vector(&x)).unwrap();
+        for i in 0..9 {
+            assert!((y[i] - y2.get(i, 0)).abs() < 1e-11);
+        }
+        let yt = tr_mul_vec(&a, &[1.0; 9]).unwrap();
+        let col_sums: Vec<f64> = (0..6).map(|j| a.col(j).iter().sum()).collect();
+        for j in 0..6 {
+            assert!((yt[j] - col_sums[j]).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn frob_inner_matches_trace() {
+        let a = pseudo_random(5, 5, 10);
+        let b = pseudo_random(5, 5, 11);
+        let lhs = frob_inner(&a, &b).unwrap();
+        let rhs = matmul(&a.transpose(), &b).unwrap().trace().unwrap();
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+}

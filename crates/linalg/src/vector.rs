@@ -1,0 +1,87 @@
+//! Dense vector helpers used across the workspace.
+
+/// Euclidean (L2) norm.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Squared Euclidean norm.
+pub fn norm2_sq(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// L∞ norm (largest absolute value).
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+}
+
+/// `y += alpha * x`, in place.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Scales a vector in place.
+pub fn scale(v: &mut [f64], s: f64) {
+    for x in v.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Squared Euclidean distance between `a` and `b`.
+pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        let v = [3.0, -4.0];
+        assert_eq!(norm2(&v), 5.0);
+        assert_eq!(norm2_sq(&v), 25.0);
+        assert_eq!(norm1(&v), 7.0);
+        assert_eq!(norm_inf(&v), 4.0);
+        assert_eq!(norm1(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_arith() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        assert_eq!(sub(&y, &x), vec![11.0, 22.0]);
+        assert_eq!(add(&x, &x), vec![2.0, 4.0]);
+        let mut z = vec![1.0, -2.0];
+        scale(&mut z, -3.0);
+        assert_eq!(z, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

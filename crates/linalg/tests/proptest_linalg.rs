@@ -1,0 +1,138 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use lrm_linalg::decomp::{Cholesky, Lu, Qr, Svd, SymEigen};
+use lrm_linalg::{ops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: an `r×c` matrix with bounded entries.
+fn matrix(r: std::ops::Range<usize>, c: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (r, c).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-10.0f64..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+    })
+}
+
+/// Strategy: a square matrix.
+fn square(n: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    n.prop_flat_map(|n| {
+        proptest::collection::vec(-10.0f64..10.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_associates_with_vectors(a in matrix(1..6, 1..6), v in proptest::collection::vec(-5.0f64..5.0, 1..6)) {
+        // (A·diag-pad) consistency: A·(v padded/truncated) equals matmul
+        // against the column-matrix form.
+        let n = a.cols();
+        let mut x = v.clone();
+        x.resize(n, 1.0);
+        let y1 = ops::mul_vec(&a, &x).unwrap();
+        let y2 = ops::matmul(&a, &Matrix::col_vector(&x)).unwrap();
+        for i in 0..a.rows() {
+            prop_assert!((y1[i] - y2.get(i, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_involution_and_product_rule(a in matrix(1..7, 1..7), b in matrix(1..7, 1..7)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        if a.cols() == b.rows() {
+            // (AB)ᵀ = BᵀAᵀ
+            let ab_t = ops::matmul(&a, &b).unwrap().transpose();
+            let bt_at = ops::matmul(&b.transpose(), &a.transpose()).unwrap();
+            prop_assert!(ab_t.approx_eq(&bt_at, 1e-9));
+        }
+    }
+
+    #[test]
+    fn lu_solve_is_inverse_application(a in square(2..7), rhs in proptest::collection::vec(-5.0f64..5.0, 2..7)) {
+        let n = a.rows();
+        let mut b = rhs.clone();
+        b.resize(n, 1.0);
+        match Lu::compute(&a) {
+            Ok(lu) if !lu.is_singular() && lu.det().abs() > 1e-6 => {
+                let x = lu.solve_vec(&b).unwrap();
+                let back = ops::mul_vec(&a, &x).unwrap();
+                for i in 0..n {
+                    prop_assert!((back[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()),
+                        "solve mismatch at {i}");
+                }
+            }
+            _ => {} // singular: nothing to check
+        }
+    }
+
+    #[test]
+    fn cholesky_of_gram_plus_identity(a in matrix(1..7, 1..7)) {
+        // AᵀA + I is always SPD.
+        let mut spd = ops::gram(&a);
+        spd += &Matrix::identity(a.cols());
+        let ch = Cholesky::compute(&spd).unwrap();
+        let g = ch.factor();
+        let recon = ops::mul_tr(g, g).unwrap();
+        prop_assert!(recon.approx_eq(&spd, 1e-8));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_orthonormal(a in matrix(1..9, 1..9)) {
+        if a.rows() < a.cols() {
+            return Ok(()); // QR requires tall matrices
+        }
+        let qr = Qr::compute(&a).unwrap();
+        let recon = ops::matmul(&qr.q(), &qr.r()).unwrap();
+        prop_assert!(recon.approx_eq(&a, 1e-8), "QR reconstruction");
+        let qtq = ops::gram(&qr.q());
+        prop_assert!(qtq.approx_eq(&Matrix::identity(a.cols()), 1e-8), "Q orthonormality");
+    }
+
+    #[test]
+    fn svd_reconstructs_and_values_sorted(a in matrix(1..8, 1..8)) {
+        let svd = Svd::compute_jacobi(&a).unwrap();
+        prop_assert!(svd.reconstruct().approx_eq(&a, 1e-7), "SVD reconstruction");
+        for w in svd.singular_values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12, "σ not sorted");
+        }
+        prop_assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+        // ‖A‖²_F = Σσ².
+        let sum_sq: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        prop_assert!((sum_sq - a.squared_sum()).abs() < 1e-7 * (1.0 + a.squared_sum()));
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(a in square(1..8)) {
+        let sym = Matrix::from_fn(a.rows(), a.rows(), |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+        let eig = SymEigen::compute(&sym).unwrap();
+        prop_assert!(eig.reconstruct().approx_eq(&sym, 1e-7));
+        // Eigenvalues ascending.
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Trace preserved.
+        let sum: f64 = eig.values.iter().sum();
+        prop_assert!((sum - sym.trace().unwrap()).abs() < 1e-7 * (1.0 + sym.trace().unwrap().abs()));
+    }
+
+    #[test]
+    fn rank_of_outer_product_is_at_most_one(u in proptest::collection::vec(-5.0f64..5.0, 2..8), v in proptest::collection::vec(-5.0f64..5.0, 2..8)) {
+        let a = Matrix::from_fn(u.len(), v.len(), |i, j| u[i] * v[j]);
+        let svd = Svd::compute_jacobi(&a).unwrap();
+        prop_assert!(svd.rank() <= 1, "rank {} > 1", svd.rank());
+    }
+
+    #[test]
+    fn norm_inequalities(a in matrix(1..8, 1..8)) {
+        // max|a_ij| ≤ σ₁ ≤ ‖A‖_F ≤ √(mn)·max|a_ij|
+        let svd = Svd::compute_jacobi(&a).unwrap();
+        let sigma1 = svd.singular_values.first().copied().unwrap_or(0.0);
+        let fro = a.frobenius_norm();
+        let max_abs = a.max_abs();
+        prop_assert!(max_abs <= sigma1 + 1e-9);
+        prop_assert!(sigma1 <= fro + 1e-9);
+        let bound = ((a.rows() * a.cols()) as f64).sqrt() * max_abs;
+        prop_assert!(fro <= bound + 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Penalty and multiplier scheduling for the inexact Augmented Lagrangian
+//! method — the outer loop of the paper's **Algorithm 1**.
+//!
+//! Algorithm 1 handles the coupling constraint `W = B·L` by minimizing
+//!
+//! ```text
+//! J(B, L, π, β) = ½·tr(BᵀB) + ⟨π, W − BL⟩ + β/2·‖W − BL‖²_F
+//! ```
+//!
+//! and, after each (approximate) subproblem solve:
+//!
+//! * doubling `β` every 10 outer iterations (line 10-11),
+//! * updating the multiplier `π ← π + β·(W − BL)` with the **new** β
+//!   (line 12).
+//!
+//! This module owns that bookkeeping; the subproblem solves live in
+//! `lrm-core`.
+
+use lrm_linalg::Matrix;
+
+/// The β growth schedule of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct AlmSchedule {
+    /// Initial penalty `β(0)`; the paper uses 1.
+    pub beta0: f64,
+    /// Multiplicative growth factor; the paper uses 2.
+    pub growth: f64,
+    /// Outer iterations between growth events; the paper uses 10
+    /// ("if k is divisible by 10").
+    pub period: usize,
+    /// Stop once β reaches this value ("β is sufficiently large").
+    pub beta_max: f64,
+}
+
+impl Default for AlmSchedule {
+    fn default() -> Self {
+        Self {
+            beta0: 1.0,
+            growth: 2.0,
+            period: 10,
+            beta_max: 1e10,
+        }
+    }
+}
+
+impl AlmSchedule {
+    /// Validates the schedule parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.beta0 > 0.0 && self.beta0.is_finite()) {
+            return Err(format!("beta0 must be positive and finite, got {}", self.beta0));
+        }
+        if !(self.growth > 1.0 && self.growth.is_finite()) {
+            return Err(format!("growth must exceed 1, got {}", self.growth));
+        }
+        if self.period == 0 {
+            return Err("period must be at least 1".into());
+        }
+        if self.beta_max <= self.beta0 {
+            return Err(format!(
+                "beta_max ({}) must exceed beta0 ({})",
+                self.beta_max, self.beta0
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Mutable ALM state: penalty β, multiplier π, outer iteration counter.
+#[derive(Debug, Clone)]
+pub struct AlmState {
+    beta: f64,
+    multiplier: Matrix,
+    iteration: usize,
+    schedule: AlmSchedule,
+}
+
+impl AlmState {
+    /// Fresh state with `π(0) = 0` (Algorithm 1, line 1).
+    pub fn new(rows: usize, cols: usize, schedule: AlmSchedule) -> Result<Self, String> {
+        schedule.validate()?;
+        Ok(Self {
+            beta: schedule.beta0,
+            multiplier: Matrix::zeros(rows, cols),
+            iteration: 1, // the paper starts at k = 1
+            schedule,
+        })
+    }
+
+    /// Current penalty β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Current multiplier π.
+    pub fn multiplier(&self) -> &Matrix {
+        &self.multiplier
+    }
+
+    /// Current outer iteration `k` (1-based as in the paper).
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// True once β has reached the schedule's cap.
+    pub fn beta_saturated(&self) -> bool {
+        self.beta >= self.schedule.beta_max
+    }
+
+    /// Runs lines 10–13 of Algorithm 1 after an (approximate) subproblem
+    /// solve: grows β when `k` is divisible by the period, updates the
+    /// multiplier with the new β, and increments `k`.
+    ///
+    /// `residual` is `W − B(k)·L(k)`.
+    pub fn advance(&mut self, residual: &Matrix) {
+        if self.iteration.is_multiple_of(self.schedule.period) {
+            self.beta = (self.beta * self.schedule.growth).min(self.schedule.beta_max);
+        }
+        self.multiplier
+            .axpy(self.beta, residual)
+            .expect("ALM residual must match multiplier shape");
+        self.iteration += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_doubles_on_schedule() {
+        let mut state = AlmState::new(1, 1, AlmSchedule::default()).unwrap();
+        let zero = Matrix::zeros(1, 1);
+        // k = 1..9: no growth (k not divisible by 10).
+        for _ in 1..10 {
+            state.advance(&zero);
+            assert_eq!(state.beta(), 1.0);
+        }
+        // k = 10: doubles.
+        state.advance(&zero);
+        assert_eq!(state.beta(), 2.0);
+        // k = 11..19: stays.
+        for _ in 11..20 {
+            state.advance(&zero);
+        }
+        assert_eq!(state.beta(), 2.0);
+        state.advance(&zero); // k = 20
+        assert_eq!(state.beta(), 4.0);
+    }
+
+    #[test]
+    fn beta_capped() {
+        let sched = AlmSchedule {
+            beta0: 1.0,
+            growth: 10.0,
+            period: 1,
+            beta_max: 50.0,
+        };
+        let mut state = AlmState::new(1, 1, sched).unwrap();
+        let zero = Matrix::zeros(1, 1);
+        for _ in 0..10 {
+            state.advance(&zero);
+        }
+        assert_eq!(state.beta(), 50.0);
+        assert!(state.beta_saturated());
+    }
+
+    #[test]
+    fn multiplier_accumulates_with_new_beta() {
+        // With period 1 the growth happens *before* the π update, so the
+        // first update uses β = 2.
+        let sched = AlmSchedule {
+            beta0: 1.0,
+            growth: 2.0,
+            period: 1,
+            beta_max: 1e10,
+        };
+        let mut state = AlmState::new(1, 1, sched).unwrap();
+        let residual = Matrix::filled(1, 1, 3.0);
+        state.advance(&residual);
+        assert_eq!(state.multiplier().get(0, 0), 6.0); // 2 · 3
+        state.advance(&residual);
+        assert_eq!(state.multiplier().get(0, 0), 6.0 + 4.0 * 3.0);
+    }
+
+    #[test]
+    fn invalid_schedules_rejected() {
+        assert!(AlmSchedule {
+            beta0: 0.0,
+            ..AlmSchedule::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AlmSchedule {
+            growth: 1.0,
+            ..AlmSchedule::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AlmSchedule {
+            period: 0,
+            ..AlmSchedule::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AlmSchedule {
+            beta_max: 0.5,
+            ..AlmSchedule::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn iteration_counter_is_one_based() {
+        let state = AlmState::new(2, 2, AlmSchedule::default()).unwrap();
+        assert_eq!(state.iteration(), 1);
+        assert_eq!(state.multiplier().shape(), (2, 2));
+        assert!(state.multiplier().as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-heavy numerical kernels
+
+//! Optimization routines for the Low-Rank Mechanism reproduction.
+//!
+//! Every routine here exists because the paper calls for it:
+//!
+//! * [`l1`] — Euclidean projection onto the L1 ball (Duchi et al., paper
+//!   ref \[10\]); Formula (11) of the paper decouples into one such
+//!   projection per column of `L`.
+//! * [`nesterov`] — Nesterov's accelerated projected-gradient method with
+//!   backtracking Lipschitz search, i.e. the paper's **Algorithm 2**.
+//! * [`alm`] — penalty/multiplier scheduling for the inexact Augmented
+//!   Lagrangian method of the paper's **Algorithm 1** (refs \[5, 18\]).
+//! * [`spg`] — the nonmonotone spectral projected gradient method of
+//!   Birgin, Martínez & Raydan (paper ref \[2\]), used by the Matrix
+//!   Mechanism implementation in **Appendix B**.
+//! * [`lse`] — log-sum-exp smoothing of `max(·)` with the numerically
+//!   robust gradient from **Appendix B** (after d'Aspremont et al., ref
+//!   \[7\]).
+
+pub mod alm;
+pub mod l1;
+pub mod lse;
+pub mod nesterov;
+pub mod spg;
+
+pub use alm::{AlmSchedule, AlmState};
+pub use l1::{project_columns_l1, project_l1_ball};
+pub use lse::SmoothMax;
+pub use nesterov::{nesterov_projected, NesterovConfig, NesterovResult};
+pub use spg::{spg_minimize, SpgConfig, SpgResult};

@@ -1,0 +1,148 @@
+//! Log-sum-exp smoothing of the max function — paper **Appendix B**.
+//!
+//! The Matrix Mechanism objective contains `max(diag(M))`, which is
+//! non-smooth. Following the paper (after d'Aspremont et al., ref \[7\]),
+//! we replace it with
+//!
+//! ```text
+//! f_μ(v) = μ · log Σ_i exp(v_i / μ)
+//! ```
+//!
+//! which satisfies `max(v) ≤ f_μ(v) ≤ max(v) + μ·log n` and has a
+//! Lipschitz-continuous gradient with constant `1/μ`. Setting
+//! `μ = ε̂ / log n` yields a uniform `ε̂`-approximation. Both the value and
+//! the gradient use the shift-by-max trick spelled out at the end of
+//! Appendix B to avoid overflow.
+
+/// Smoothed maximum with accuracy parameter `μ`.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoothMax {
+    mu: f64,
+}
+
+impl SmoothMax {
+    /// Creates a smoother with parameter `μ > 0`.
+    ///
+    /// # Panics
+    /// Panics when `μ` is not strictly positive and finite.
+    pub fn new(mu: f64) -> Self {
+        assert!(mu > 0.0 && mu.is_finite(), "μ must be positive, got {mu}");
+        Self { mu }
+    }
+
+    /// Chooses `μ = accuracy / log n` so that `f_μ` uniformly
+    /// `accuracy`-approximates `max` over vectors of length `n`
+    /// (Appendix B).
+    pub fn with_accuracy(accuracy: f64, n: usize) -> Self {
+        assert!(n >= 1, "need at least one coordinate");
+        let log_n = (n.max(2) as f64).ln();
+        Self::new(accuracy / log_n)
+    }
+
+    /// The smoothing parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// `f_μ(v) = max(v) + μ·log Σ exp((v_i − max(v))/μ)`.
+    pub fn value(&self, v: &[f64]) -> f64 {
+        assert!(!v.is_empty(), "SmoothMax of an empty vector");
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = v.iter().map(|&x| ((x - max) / self.mu).exp()).sum();
+        max + self.mu * sum.ln()
+    }
+
+    /// Gradient: `∂f/∂v_i = (Σ_j exp((v_j − v_i)/μ))⁻¹`, computed via the
+    /// softmax-with-shift formulation (Appendix B, final display).
+    pub fn gradient(&self, v: &[f64]) -> Vec<f64> {
+        assert!(!v.is_empty(), "SmoothMax gradient of an empty vector");
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = v.iter().map(|&x| ((x - max) / self.mu).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_from_appendix_b() {
+        // max(v) ≤ f_μ(v) ≤ max(v) + μ log n.
+        let v = [1.0, 3.0, -2.0, 2.9];
+        for &mu in &[1.0, 0.1, 0.01] {
+            let sm = SmoothMax::new(mu);
+            let f = sm.value(&v);
+            assert!(f >= 3.0 - 1e-12);
+            assert!(f <= 3.0 + mu * (v.len() as f64).ln() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_accuracy_constructor() {
+        let v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let target = 0.05;
+        let sm = SmoothMax::with_accuracy(target, v.len());
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!((sm.value(&v) - max).abs() <= target + 1e-12);
+    }
+
+    #[test]
+    fn gradient_is_softmax_simplex_point() {
+        let v = [0.5, 2.0, 1.0];
+        let sm = SmoothMax::new(0.3);
+        let g = sm.gradient(&v);
+        let sum: f64 = g.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(g.iter().all(|&x| x >= 0.0));
+        // The max coordinate dominates.
+        assert!(g[1] > g[2] && g[2] > g[0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let v = [1.0, -0.5, 0.8, 0.2];
+        let sm = SmoothMax::new(0.25);
+        let g = sm.gradient(&v);
+        let h = 1e-6;
+        for i in 0..v.len() {
+            let mut vp = v;
+            vp[i] += h;
+            let mut vm = v;
+            vm[i] -= h;
+            let fd = (sm.value(&vp) - sm.value(&vm)) / (2.0 * h);
+            assert!(
+                (g[i] - fd).abs() < 1e-6,
+                "coordinate {i}: analytic {} vs fd {fd}",
+                g[i]
+            );
+        }
+    }
+
+    #[test]
+    fn no_overflow_on_large_values() {
+        let v = [1e8, 1e8 - 1.0];
+        let sm = SmoothMax::new(0.01);
+        let f = sm.value(&v);
+        assert!(f.is_finite());
+        assert!((f - 1e8).abs() < 1.0);
+        let g = sm.gradient(&v);
+        assert!(g.iter().all(|x| x.is_finite()));
+        assert!((g[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tie_splits_evenly() {
+        let sm = SmoothMax::new(0.5);
+        let g = sm.gradient(&[2.0, 2.0]);
+        assert!((g[0] - 0.5).abs() < 1e-12);
+        assert!((g[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "μ must be positive")]
+    fn rejects_bad_mu() {
+        SmoothMax::new(0.0);
+    }
+}

@@ -1,0 +1,445 @@
+//! Workload generators — Section 6 of the paper, verbatim:
+//!
+//! * **WDiscrete**: each weight is `1` with probability `p = 0.02` and `−1`
+//!   otherwise;
+//! * **WRange**: random range-count queries with endpoints drawn uniformly
+//!   from the domain;
+//! * **WRelated**: `W = C·A` where `A` (`s×n`) holds `s` independent base
+//!   queries and `C` (`m×s`) mixes them, both with i.i.d. standard-normal
+//!   entries — by construction `rank(W) ≤ s`.
+//!
+//! A few extra structured workloads (identity, total, prefix-sums,
+//! two-way marginals) are provided for tests and ablations; they are not
+//! part of the paper's evaluation grid.
+
+use crate::workload::Workload;
+use lrm_linalg::{ops, Matrix};
+use rand::Rng;
+use rand::RngCore;
+
+/// A reproducible workload generator.
+pub trait WorkloadGenerator {
+    /// Short name used in reports (e.g. `"WDiscrete"`).
+    fn name(&self) -> &'static str;
+
+    /// Generates an `m`-query workload over a domain of size `n`.
+    fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String>;
+}
+
+/// Samples one standard-normal value via the Marsaglia polar method.
+///
+/// (`rand` 0.8 ships uniform distributions only; `rand_distr` is outside
+/// the allowed dependency set, so we roll the classic transform.)
+pub fn standard_normal(rng: &mut dyn RngCore) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// WDiscrete (Section 6): `W_ij = 1` w.p. `p`, else `−1`.
+#[derive(Debug, Clone, Copy)]
+pub struct WDiscrete {
+    /// Probability of a `+1` entry; the paper fixes 0.02.
+    pub positive_probability: f64,
+}
+
+impl Default for WDiscrete {
+    fn default() -> Self {
+        Self {
+            positive_probability: 0.02,
+        }
+    }
+}
+
+impl WorkloadGenerator for WDiscrete {
+    fn name(&self) -> &'static str {
+        "WDiscrete"
+    }
+
+    fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
+        if !(0.0..=1.0).contains(&self.positive_probability) {
+            return Err(format!(
+                "positive probability must lie in [0,1], got {}",
+                self.positive_probability
+            ));
+        }
+        check_dims(m, n)?;
+        let mut w = Matrix::zeros(m, n);
+        for i in 0..m {
+            let row = w.row_mut(i);
+            for v in row.iter_mut() {
+                *v = if rng.gen_range(0.0..1.0) < self.positive_probability {
+                    1.0
+                } else {
+                    -1.0
+                };
+            }
+        }
+        Workload::new(w)
+    }
+}
+
+/// WRange (Section 6): uniform random range-count queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WRange;
+
+impl WorkloadGenerator for WRange {
+    fn name(&self) -> &'static str {
+        "WRange"
+    }
+
+    fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
+        check_dims(m, n)?;
+        let mut w = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let row = w.row_mut(i);
+            row[lo..=hi].iter_mut().for_each(|v| *v = 1.0);
+        }
+        Workload::new(w)
+    }
+}
+
+/// WRelated (Section 6): `W = C·A` with Gaussian factors; `rank(W) ≤ s`.
+#[derive(Debug, Clone, Copy)]
+pub struct WRelated {
+    /// Number of base queries `s`.
+    pub base_queries: usize,
+}
+
+impl WRelated {
+    /// The paper's parameterization `s = ratio · min(m, n)` (Fig. 9).
+    pub fn with_ratio(ratio: f64, m: usize, n: usize) -> Result<Self, String> {
+        if !(ratio > 0.0 && ratio <= 1.0) {
+            return Err(format!("s-ratio must lie in (0, 1], got {ratio}"));
+        }
+        let s = ((ratio * m.min(n) as f64).round() as usize).max(1);
+        Ok(Self { base_queries: s })
+    }
+}
+
+impl WorkloadGenerator for WRelated {
+    fn name(&self) -> &'static str {
+        "WRelated"
+    }
+
+    fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
+        check_dims(m, n)?;
+        let s = self.base_queries;
+        if s == 0 || s > m.min(n) {
+            return Err(format!(
+                "base query count s={s} must lie in [1, min(m={m}, n={n})]"
+            ));
+        }
+        let c = Matrix::from_fn(m, s, |_, _| standard_normal(rng));
+        let a = Matrix::from_fn(s, n, |_, _| standard_normal(rng));
+        let mut w = ops::matmul(&c, &a).map_err(|e| e.to_string())?;
+        // Entries of C·A have variance s; normalize to unit variance so
+        // workload magnitude is comparable across s. Without this, ‖W‖²_F
+        // (and hence every mechanism's error) grows linearly in s, whereas
+        // the paper's Fig. 9 shows the rank-insensitive baselines flat in
+        // s — their workloads are magnitude-normalized.
+        w = w.scale(1.0 / (s as f64).sqrt());
+        Workload::new(w)
+    }
+}
+
+/// The identity workload (every unit count queried once) — the implicit
+/// strategy of the NOD baseline; used in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WIdentity;
+
+impl WorkloadGenerator for WIdentity {
+    fn name(&self) -> &'static str {
+        "WIdentity"
+    }
+
+    fn generate(&self, m: usize, n: usize, _rng: &mut dyn RngCore) -> Result<Workload, String> {
+        if m != n {
+            return Err(format!("identity workload needs m == n, got {m} != {n}"));
+        }
+        Workload::new(Matrix::identity(n))
+    }
+}
+
+/// All prefix-sum queries `x₁+…+x_k` for `k = 1..=m` — the classic
+/// hierarchical/wavelet-friendly workload; used in tests and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WPrefix;
+
+impl WorkloadGenerator for WPrefix {
+    fn name(&self) -> &'static str {
+        "WPrefix"
+    }
+
+    fn generate(&self, m: usize, n: usize, _rng: &mut dyn RngCore) -> Result<Workload, String> {
+        check_dims(m, n)?;
+        if m > n {
+            return Err(format!("at most n={n} distinct prefixes exist, asked for {m}"));
+        }
+        Ok(Workload::new(Matrix::from_fn(m, n, |i, j| {
+            // Spread the m prefixes evenly over the domain.
+            let end = ((i + 1) * n).div_ceil(m);
+            if j < end {
+                1.0
+            } else {
+                0.0
+            }
+        }))
+        .expect("finite by construction"))
+    }
+}
+
+/// Range queries over a randomly permuted domain: the same rank structure
+/// as [`WRange`], but the contiguity that Privelet and the hierarchical
+/// tree exploit is destroyed. An ablation workload isolating "low rank"
+/// from "range structure" as the source of LRM's advantage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WPermutedRange;
+
+impl WorkloadGenerator for WPermutedRange {
+    fn name(&self) -> &'static str {
+        "WPermutedRange"
+    }
+
+    fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
+        check_dims(m, n)?;
+        // Fisher–Yates permutation of the column order.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let base = WRange.generate(m, n, rng)?;
+        let w = base.matrix();
+        let permuted = Matrix::from_fn(m, n, |i, j| w.get(i, perm[j]));
+        Workload::new(permuted)
+    }
+}
+
+/// Two-dimensional marginal queries: the domain is viewed as a
+/// `rows × cols` grid (`n = rows·cols`) and each query sums one full grid
+/// row or column — the classic data-cube workload of the DP literature.
+/// Row and column marginals overlap in exactly one cell each, giving a
+/// strongly correlated, low-sensitivity batch.
+#[derive(Debug, Clone, Copy)]
+pub struct WMarginal2D {
+    /// Grid rows; `n` must be divisible by this.
+    pub grid_rows: usize,
+}
+
+impl WorkloadGenerator for WMarginal2D {
+    fn name(&self) -> &'static str {
+        "WMarginal2D"
+    }
+
+    fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
+        check_dims(m, n)?;
+        let rows = self.grid_rows;
+        if rows == 0 || n % rows != 0 {
+            return Err(format!("n={n} is not divisible by grid_rows={rows}"));
+        }
+        let cols = n / rows;
+        let total_marginals = rows + cols;
+        if m > total_marginals {
+            return Err(format!(
+                "at most {total_marginals} marginals exist for a {rows}x{cols} grid, asked for {m}"
+            ));
+        }
+        // Sample m distinct marginals (rows first, then columns), shuffled.
+        let mut ids: Vec<usize> = (0..total_marginals).collect();
+        for i in (1..ids.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            ids.swap(i, j);
+        }
+        let w = Matrix::from_fn(m, n, |q, cell| {
+            let id = ids[q];
+            let (r, c) = (cell / cols, cell % cols);
+            if id < rows {
+                if r == id {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else if c == id - rows {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        Workload::new(w)
+    }
+}
+
+fn check_dims(m: usize, n: usize) -> Result<(), String> {
+    if m == 0 || n == 0 {
+        return Err(format!("workload dimensions must be positive, got m={m}, n={n}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wdiscrete_entries_and_frequency() {
+        let gen = WDiscrete::default();
+        let w = gen
+            .generate(50, 200, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let mut positives = 0usize;
+        for row in w.matrix().rows_iter() {
+            for &v in row {
+                assert!(v == 1.0 || v == -1.0, "entry {v} not ±1");
+                if v == 1.0 {
+                    positives += 1;
+                }
+            }
+        }
+        let frac = positives as f64 / (50.0 * 200.0);
+        assert!(
+            (frac - 0.02).abs() < 0.01,
+            "positive fraction {frac} far from 0.02"
+        );
+    }
+
+    #[test]
+    fn wrange_rows_are_contiguous_ranges() {
+        let w = WRange
+            .generate(40, 64, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        for row in w.matrix().rows_iter() {
+            let ones: Vec<usize> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v == 1.0)
+                .map(|(j, _)| j)
+                .collect();
+            assert!(!ones.is_empty());
+            // Contiguity: indices form an arithmetic run.
+            assert_eq!(ones.last().unwrap() - ones[0] + 1, ones.len());
+            // Zeros elsewhere.
+            assert!(row.iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn wrelated_rank_bounded_by_s() {
+        let gen = WRelated { base_queries: 5 };
+        let w = gen
+            .generate(30, 40, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        assert_eq!(w.rank(), 5);
+    }
+
+    #[test]
+    fn wrelated_ratio_parameterization() {
+        let gen = WRelated::with_ratio(0.2, 64, 256).unwrap();
+        assert_eq!(gen.base_queries, 13); // 0.2 · 64 rounded
+        assert!(WRelated::with_ratio(0.0, 64, 256).is_err());
+        assert!(WRelated::with_ratio(1.5, 64, 256).is_err());
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        for gen in [&WDiscrete::default() as &dyn WorkloadGenerator, &WRange] {
+            let a = gen.generate(10, 20, &mut StdRng::seed_from_u64(9)).unwrap();
+            let b = gen.generate(10, 20, &mut StdRng::seed_from_u64(9)).unwrap();
+            assert_eq!(a, b, "{} not deterministic", gen.name());
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn prefix_workload_structure() {
+        let w = WPrefix
+            .generate(4, 8, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(w.matrix().row(0), &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(w.matrix().row(3), &[1.0; 8]);
+        // Prefix workloads have full rank m.
+        assert_eq!(w.rank(), 4);
+    }
+
+    #[test]
+    fn identity_workload() {
+        assert!(WIdentity.generate(3, 4, &mut StdRng::seed_from_u64(6)).is_err());
+        let w = WIdentity
+            .generate(4, 4, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        assert_eq!(w.sensitivity(), 1.0);
+        assert_eq!(w.rank(), 4);
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        assert!(WRange.generate(0, 5, &mut StdRng::seed_from_u64(7)).is_err());
+        assert!(WRange.generate(5, 0, &mut StdRng::seed_from_u64(7)).is_err());
+        let bad = WRelated { base_queries: 10 };
+        assert!(bad.generate(5, 5, &mut StdRng::seed_from_u64(7)).is_err());
+    }
+
+    #[test]
+    fn permuted_range_same_row_sums_not_contiguous() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = WPermutedRange.generate(30, 64, &mut rng).unwrap();
+        let mut any_non_contiguous = false;
+        for row in w.matrix().rows_iter() {
+            // 0/1 rows with at least one 1 (a permutation of a range row).
+            assert!(row.iter().all(|&v| v == 0.0 || v == 1.0));
+            assert!(row.iter().any(|&v| v == 1.0));
+            let ones: Vec<usize> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v == 1.0)
+                .map(|(j, _)| j)
+                .collect();
+            if ones.last().unwrap() - ones[0] + 1 != ones.len() {
+                any_non_contiguous = true;
+            }
+        }
+        assert!(any_non_contiguous, "permutation left all ranges contiguous");
+    }
+
+    #[test]
+    fn marginal_2d_structure() {
+        let gen = WMarginal2D { grid_rows: 4 };
+        let w = gen.generate(10, 32, &mut StdRng::seed_from_u64(9)).unwrap(); // 4x8 grid
+        // Every marginal touches exactly one full row (8 cells) or one
+        // full column (4 cells) of the grid.
+        for row in w.matrix().rows_iter() {
+            let count = row.iter().filter(|&&v| v == 1.0).count();
+            assert!(count == 8 || count == 4, "marginal covers {count} cells");
+        }
+        // Sensitivity: a cell appears in one row and one column marginal,
+        // so at most 2 selected marginals cover it.
+        assert!(w.sensitivity() <= 2.0);
+        // Invalid grids rejected.
+        assert!(gen.generate(20, 30, &mut StdRng::seed_from_u64(9)).is_err());
+        assert!(
+            WMarginal2D { grid_rows: 4 }
+                .generate(13, 32, &mut StdRng::seed_from_u64(9))
+                .is_err()
+        );
+    }
+}

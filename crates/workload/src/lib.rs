@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Batch linear-query workloads and datasets for the LRM reproduction.
+//!
+//! * [`workload`] — the [`workload::Workload`] type: an `m×n` matrix of
+//!   query coefficients with cached rank/SVD metadata.
+//! * [`query`] — single linear queries and range-query helpers.
+//! * [`generators`] — the three workload families of the paper's
+//!   Section 6 (WDiscrete, WRange, WRelated) plus extra structured
+//!   workloads used in tests and ablations.
+//! * [`datasets`] — synthetic stand-ins for the paper's Search Logs /
+//!   Net Trace / Social Network datasets, with the paper's
+//!   "merge consecutive counts" domain-size reduction.
+
+pub mod datasets;
+pub mod generators;
+pub mod query;
+pub mod schema;
+pub mod workload;
+
+pub use datasets::Dataset;
+pub use generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+pub use workload::Workload;

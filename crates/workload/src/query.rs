@@ -1,0 +1,116 @@
+//! Single linear counting queries.
+
+use lrm_linalg::ops;
+
+/// A linear counting query: a weight vector over the `n` unit counts
+/// (Section 3.2 of the paper). The answer on a database `x` is the dot
+/// product `Σ_j w_j·x_j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearQuery {
+    weights: Vec<f64>,
+}
+
+impl LinearQuery {
+    /// Builds a query from an explicit weight vector.
+    pub fn new(weights: Vec<f64>) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("a linear query needs at least one weight".into());
+        }
+        if weights.iter().any(|w| !w.is_finite()) {
+            return Err("query weights must be finite".into());
+        }
+        Ok(Self { weights })
+    }
+
+    /// A range-count query summing unit counts `lo..=hi` over a domain of
+    /// size `n` — the building block of the WRange workload.
+    pub fn range(n: usize, lo: usize, hi: usize) -> Result<Self, String> {
+        if lo > hi || hi >= n {
+            return Err(format!(
+                "invalid range [{lo}, {hi}] for a domain of size {n}"
+            ));
+        }
+        let mut weights = vec![0.0; n];
+        weights[lo..=hi].iter_mut().for_each(|w| *w = 1.0);
+        Ok(Self { weights })
+    }
+
+    /// The total query: sums every unit count.
+    pub fn total(n: usize) -> Self {
+        Self {
+            weights: vec![1.0; n],
+        }
+    }
+
+    /// A point query on unit count `j`.
+    pub fn point(n: usize, j: usize) -> Result<Self, String> {
+        if j >= n {
+            return Err(format!("point index {j} out of domain of size {n}"));
+        }
+        let mut weights = vec![0.0; n];
+        weights[j] = 1.0;
+        Ok(Self { weights })
+    }
+
+    /// Domain size `n`.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True iff the weight vector is empty (cannot happen via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Borrow the weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Exact answer on a database vector.
+    pub fn answer(&self, x: &[f64]) -> Result<f64, String> {
+        if x.len() != self.weights.len() {
+            return Err(format!(
+                "database of size {} does not match query over {} counts",
+                x.len(),
+                self.weights.len()
+            ));
+        }
+        Ok(ops::dot(&self.weights, x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_query_weights() {
+        let q = LinearQuery::range(5, 1, 3).unwrap();
+        assert_eq!(q.weights(), &[0.0, 1.0, 1.0, 1.0, 0.0]);
+        assert!(LinearQuery::range(5, 3, 1).is_err());
+        assert!(LinearQuery::range(5, 0, 5).is_err());
+    }
+
+    #[test]
+    fn answers() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(LinearQuery::total(4).answer(&x).unwrap(), 10.0);
+        assert_eq!(LinearQuery::point(4, 2).unwrap().answer(&x).unwrap(), 3.0);
+        assert_eq!(
+            LinearQuery::range(4, 1, 2).unwrap().answer(&x).unwrap(),
+            5.0
+        );
+        let weighted = LinearQuery::new(vec![0.5, 0.0, 0.0, -1.0]).unwrap();
+        assert_eq!(weighted.answer(&x).unwrap(), 0.5 - 4.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(LinearQuery::new(vec![]).is_err());
+        assert!(LinearQuery::new(vec![f64::NAN]).is_err());
+        assert!(LinearQuery::point(3, 3).is_err());
+        let q = LinearQuery::total(3);
+        assert!(q.answer(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Attribute schemas: building histogram workloads from value predicates.
+//!
+//! The paper works directly on a unit-count vector; real deployments start
+//! one step earlier, with an attribute ("age in 0..120", "state of
+//! residence") whose domain is bucketized into the histogram the
+//! mechanisms operate on. This module provides that bridge, so range
+//! predicates over attribute *values* become [`LinearQuery`] rows over
+//! *buckets* — the medical-database example of the paper's introduction
+//! expressed as code.
+
+use crate::query::LinearQuery;
+use crate::workload::Workload;
+
+/// A numeric attribute with a bucketized domain.
+///
+/// Values in `[lo, hi)` map uniformly onto `buckets` histogram cells; the
+/// unit-count vector the mechanisms see has one entry per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    name: String,
+    lo: f64,
+    hi: f64,
+    buckets: usize,
+}
+
+impl Attribute {
+    /// Defines an attribute; `lo < hi`, at least one bucket.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64, buckets: usize) -> Result<Self, String> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(format!("invalid attribute range [{lo}, {hi})"));
+        }
+        if buckets == 0 {
+            return Err("attribute needs at least one bucket".into());
+        }
+        Ok(Self {
+            name: name.into(),
+            lo,
+            hi,
+            buckets,
+        })
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of histogram buckets (the mechanisms' domain size `n`).
+    pub fn domain_size(&self) -> usize {
+        self.buckets
+    }
+
+    /// The bucket containing `value`; values at/above `hi` clamp to the
+    /// last bucket, below `lo` to the first (standard histogram edges).
+    pub fn bucket_of(&self, value: f64) -> usize {
+        if value <= self.lo {
+            return 0;
+        }
+        let frac = (value - self.lo) / (self.hi - self.lo);
+        ((frac * self.buckets as f64) as usize).min(self.buckets - 1)
+    }
+
+    /// Count query for values in `[from, to)` — a range over buckets.
+    ///
+    /// The bucket range is inclusive of every bucket the value interval
+    /// touches; callers quantizing at bucket edges get exact counts.
+    pub fn count_between(&self, from: f64, to: f64) -> Result<LinearQuery, String> {
+        if !(from < to) {
+            return Err(format!("empty value interval [{from}, {to})"));
+        }
+        let lo_bucket = self.bucket_of(from);
+        // `to` is exclusive: subtract half a bucket's width to land inside.
+        let width = (self.hi - self.lo) / self.buckets as f64;
+        let hi_bucket = self.bucket_of(to - width * 0.5);
+        LinearQuery::range(self.buckets, lo_bucket, hi_bucket.max(lo_bucket))
+    }
+
+    /// Count query for all values at/above `threshold`.
+    pub fn count_at_least(&self, threshold: f64) -> Result<LinearQuery, String> {
+        LinearQuery::range(self.buckets, self.bucket_of(threshold), self.buckets - 1)
+    }
+
+    /// The total-population query.
+    pub fn count_all(&self) -> LinearQuery {
+        LinearQuery::total(self.buckets)
+    }
+
+    /// Builds the histogram (unit-count vector) of raw values.
+    pub fn histogram(&self, values: &[f64]) -> Vec<f64> {
+        let mut counts = vec![0.0; self.buckets];
+        for &v in values {
+            counts[self.bucket_of(v)] += 1.0;
+        }
+        counts
+    }
+
+    /// Assembles a workload from a set of queries over this attribute.
+    pub fn workload(&self, queries: &[LinearQuery]) -> Result<Workload, String> {
+        if queries.iter().any(|q| q.len() != self.buckets) {
+            return Err("query domain does not match this attribute".into());
+        }
+        Workload::from_queries(queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn age() -> Attribute {
+        Attribute::new("age", 0.0, 120.0, 24).unwrap() // 5-year buckets
+    }
+
+    #[test]
+    fn bucket_mapping() {
+        let a = age();
+        assert_eq!(a.bucket_of(0.0), 0);
+        assert_eq!(a.bucket_of(4.9), 0);
+        assert_eq!(a.bucket_of(5.0), 1);
+        assert_eq!(a.bucket_of(119.9), 23);
+        assert_eq!(a.bucket_of(500.0), 23); // clamped
+        assert_eq!(a.bucket_of(-3.0), 0); // clamped
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let a = age();
+        let h = a.histogram(&[1.0, 2.0, 7.0, 64.0, 64.5]);
+        assert_eq!(h[0], 2.0);
+        assert_eq!(h[1], 1.0);
+        assert_eq!(h[12], 2.0);
+        assert_eq!(h.iter().sum::<f64>(), 5.0);
+    }
+
+    #[test]
+    fn range_queries_match_histogram() {
+        let a = age();
+        let values = [3.0, 17.0, 21.0, 33.0, 64.0, 89.0];
+        let h = a.histogram(&values);
+        // Count 18-to-65-year-olds by predicate (quantized to buckets:
+        // [15, 65) since 18 falls in the 15–20 bucket).
+        let q = a.count_between(18.0, 65.0).unwrap();
+        let got = q.answer(&h).unwrap();
+        assert_eq!(got, 4.0); // 17 (bucket 3 = 15–20 contains 18's bucket), 21, 33, 64
+
+        let seniors = a.count_at_least(65.0).unwrap();
+        assert_eq!(seniors.answer(&h).unwrap(), 1.0); // 89
+        assert_eq!(a.count_all().answer(&h).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn workload_assembly_and_correlation() {
+        // The intro example's structure: total = young + old.
+        let a = age();
+        let total = a.count_all();
+        let young = a.count_between(0.0, 60.0).unwrap();
+        let old = a.count_at_least(60.0).unwrap();
+        let w = a.workload(&[total, young, old]).unwrap();
+        assert_eq!(w.num_queries(), 3);
+        assert_eq!(w.rank(), 2); // q1 = q2 + q3
+        assert_eq!(w.sensitivity(), 2.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Attribute::new("x", 1.0, 1.0, 4).is_err());
+        assert!(Attribute::new("x", 0.0, 1.0, 0).is_err());
+        assert!(Attribute::new("x", f64::NAN, 1.0, 4).is_err());
+        let a = age();
+        assert!(a.count_between(50.0, 50.0).is_err());
+        let other = LinearQuery::total(7);
+        assert!(a.workload(&[other]).is_err());
+    }
+}

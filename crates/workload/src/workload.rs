@@ -1,0 +1,191 @@
+//! The batch-query workload type.
+
+use crate::query::LinearQuery;
+use lrm_linalg::decomp::svd::Svd;
+use lrm_linalg::{ops, Matrix};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A batch of `m` linear counting queries over `n` unit counts, represented
+/// by its `m×n` workload matrix `W` (Section 3.2 of the paper).
+///
+/// The SVD (and hence rank and singular values) is computed lazily and
+/// cached: the LRM decomposition, the Fig. 3 `r = ratio·rank(W)` sweep and
+/// the optimality bounds all consult it repeatedly.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    matrix: Matrix,
+    svd_cache: Arc<Mutex<Option<Arc<Svd>>>>,
+}
+
+impl Workload {
+    /// Wraps a workload matrix. Rejects empty and non-finite matrices.
+    pub fn new(matrix: Matrix) -> Result<Self, String> {
+        if matrix.has_non_finite() {
+            return Err("workload matrix contains NaN or infinite entries".into());
+        }
+        Ok(Self {
+            matrix,
+            svd_cache: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// Builds a workload from row slices (one row per query).
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, String> {
+        if rows.is_empty() {
+            return Err("workload needs at least one query".into());
+        }
+        Self::new(Matrix::from_rows(rows))
+    }
+
+    /// Builds a workload from a list of [`LinearQuery`]s with equal domain.
+    pub fn from_queries(queries: &[LinearQuery]) -> Result<Self, String> {
+        if queries.is_empty() {
+            return Err("workload needs at least one query".into());
+        }
+        let n = queries[0].len();
+        if queries.iter().any(|q| q.len() != n) {
+            return Err("all queries must share the same domain size".into());
+        }
+        let rows: Vec<&[f64]> = queries.iter().map(|q| q.weights()).collect();
+        Self::from_rows(&rows)
+    }
+
+    /// Number of queries `m`.
+    pub fn num_queries(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Domain size `n`.
+    pub fn domain_size(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The workload matrix `W`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Exact batch answers `W·x`.
+    pub fn answer(&self, x: &[f64]) -> Result<Vec<f64>, String> {
+        ops::mul_vec(&self.matrix, x).map_err(|e| e.to_string())
+    }
+
+    /// L1 sensitivity `Δ' = max_j Σ_i |W_ij|` (Section 3.2).
+    pub fn sensitivity(&self) -> f64 {
+        self.matrix.max_col_abs_sum()
+    }
+
+    /// Squared sum `Σ_ij W_ij²`, which drives the NOD error (Eq. 4).
+    pub fn squared_sum(&self) -> f64 {
+        self.matrix.squared_sum()
+    }
+
+    /// Cached singular value decomposition of `W`.
+    pub fn svd(&self) -> Arc<Svd> {
+        let mut guard = self.svd_cache.lock();
+        if let Some(svd) = guard.as_ref() {
+            return Arc::clone(svd);
+        }
+        let svd = Arc::new(Svd::compute(&self.matrix).expect("workload entries are finite"));
+        *guard = Some(Arc::clone(&svd));
+        Arc::clone(guard.as_ref().expect("just inserted"))
+    }
+
+    /// Numerical rank of `W` (cached).
+    pub fn rank(&self) -> usize {
+        self.svd().rank()
+    }
+
+    /// Non-zero singular values of `W`, descending — the paper's
+    /// "eigenvalues" `{λ₁, …, λᵣ}` (Section 3.3).
+    pub fn singular_values(&self) -> Vec<f64> {
+        self.svd().nonzero_singular_values()
+    }
+}
+
+impl PartialEq for Workload {
+    fn eq(&self, other: &Self) -> bool {
+        self.matrix == other.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intro_workload() -> Workload {
+        Workload::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_answers() {
+        let w = intro_workload();
+        assert_eq!(w.num_queries(), 3);
+        assert_eq!(w.domain_size(), 4);
+        let x = [82_700.0, 19_000.0, 67_000.0, 5_900.0];
+        let ans = w.answer(&x).unwrap();
+        assert_eq!(ans, vec![174_600.0, 101_700.0, 72_900.0]);
+        assert!(w.answer(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn sensitivity_matches_paper_example() {
+        // q1 affects every state once; q2/q3 split them → Δ' = 2.
+        assert_eq!(intro_workload().sensitivity(), 2.0);
+    }
+
+    #[test]
+    fn rank_of_dependent_queries() {
+        // q1 = q2 + q3, so the rank is 2 despite 3 queries.
+        assert_eq!(intro_workload().rank(), 2);
+    }
+
+    #[test]
+    fn svd_cache_is_shared() {
+        let w = intro_workload();
+        let a = w.svd();
+        let b = w.svd();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Clones share the cache too.
+        let c = w.clone().svd();
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn from_queries_round_trip() {
+        let queries = vec![
+            LinearQuery::total(3),
+            LinearQuery::point(3, 1).unwrap(),
+            LinearQuery::range(3, 0, 1).unwrap(),
+        ];
+        let w = Workload::from_queries(&queries).unwrap();
+        assert_eq!(w.num_queries(), 3);
+        assert_eq!(w.matrix().row(2), &[1.0, 1.0, 0.0]);
+
+        let mismatched = vec![LinearQuery::total(3), LinearQuery::total(4)];
+        assert!(Workload::from_queries(&mismatched).is_err());
+        assert!(Workload::from_queries(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 0, f64::NAN);
+        assert!(Workload::new(m).is_err());
+    }
+
+    #[test]
+    fn singular_values_descending() {
+        let w = intro_workload();
+        let sv = w.singular_values();
+        assert_eq!(sv.len(), 2);
+        assert!(sv[0] >= sv[1]);
+        assert!(sv[1] > 0.0);
+    }
+}

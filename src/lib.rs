@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! # lrm — Low-Rank Mechanism for batch queries under differential privacy
+//!
+//! A from-scratch Rust reproduction of *“Low-Rank Mechanism: Optimizing
+//! Batch Queries under Differential Privacy”* (Yuan, Zhang, Winslett, Xiao,
+//! Yang, Hao — VLDB 2012), including every substrate the paper depends on:
+//!
+//! * [`linalg`] — dense linear algebra (GEMM, LU/Cholesky/QR, symmetric
+//!   eigendecomposition, SVD);
+//! * [`opt`] — L1-ball projection, Nesterov's projected gradient
+//!   (paper Algorithm 2), augmented-Lagrangian scheduling (Algorithm 1),
+//!   nonmonotone spectral projected gradient, log-sum-exp smoothing
+//!   (Appendix B);
+//! * [`dp`] — Laplace noise, sensitivity arithmetic, privacy budgets;
+//! * [`workload`] — the paper's WDiscrete / WRange / WRelated workload
+//!   generators plus synthetic stand-ins for the Search Logs / Net Trace /
+//!   Social Network datasets;
+//! * [`core`] — the Low-Rank Mechanism itself and all baselines the paper
+//!   evaluates (Laplace/NOD/NOR, Matrix Mechanism, Wavelet, Hierarchical),
+//!   with closed-form error analysis and the paper's optimality bounds;
+//! * [`eval`] — the experiment harness that regenerates every figure of the
+//!   paper's evaluation section.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lrm::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A workload of three correlated queries over four unit counts
+//! // (the running example from Section 1 of the paper).
+//! let w = Workload::from_rows(&[
+//!     &[1.0, 1.0, 1.0, 1.0], // q1 = total
+//!     &[1.0, 1.0, 0.0, 0.0], // q2 = NY + NJ
+//!     &[0.0, 0.0, 1.0, 1.0], // q3 = CA + WA
+//! ]).unwrap();
+//!
+//! let data = vec![82_700.0, 19_000.0, 67_000.0, 5_900.0];
+//! let eps = Epsilon::new(1.0).unwrap();
+//!
+//! let mech = LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let noisy = mech.answer(&data, eps, &mut rng).unwrap();
+//! assert_eq!(noisy.len(), 3);
+//!
+//! // LRM's expected error never exceeds the naive noise-on-data baseline's.
+//! let nod = NoiseOnData::compile(&w);
+//! assert!(mech.expected_error(eps, None) <= nod.expected_error(eps, None) * 1.01);
+//! ```
+
+pub use lrm_core as core;
+pub use lrm_dp as dp;
+pub use lrm_eval as eval;
+pub use lrm_linalg as linalg;
+pub use lrm_opt as opt;
+pub use lrm_workload as workload;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use lrm_core::baselines::{
+        HierarchicalMechanism, MatrixMechanism, NoiseOnData, NoiseOnResults, WaveletMechanism,
+    };
+    pub use lrm_core::decomposition::{DecompositionConfig, TargetRank, WorkloadDecomposition};
+    pub use lrm_core::extensions::{BestOfMechanism, CompensatedLowRankMechanism};
+    pub use lrm_core::lrm::LowRankMechanism;
+    pub use lrm_core::mechanism::Mechanism;
+    pub use lrm_dp::budget::Epsilon;
+    pub use lrm_linalg::Matrix;
+    pub use lrm_workload::datasets::Dataset;
+    pub use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+    pub use lrm_workload::workload::Workload;
+}

@@ -1,0 +1,89 @@
+//! End-to-end smoke tests of the experiment harness at miniature scale:
+//! each figure driver runs, produces finite records, and the records
+//! carry the right metadata.
+
+use lrm::eval::experiments::{fig2, fig4, fig7, fig9, ExperimentContext};
+use lrm::eval::report::CsvRecord;
+
+/// A context small enough for CI: 2 trials, quiet, scaled-down grids.
+fn tiny_ctx() -> ExperimentContext {
+    ExperimentContext {
+        full: false,
+        trials: 2,
+        seed: 7,
+        csv_dir: None,
+        quiet: true,
+    }
+}
+
+fn assert_records_sane(records: &[CsvRecord], figure: &str) {
+    assert!(!records.is_empty(), "{figure}: no records");
+    for r in records {
+        assert_eq!(r.figure, figure);
+        assert!(
+            r.analytic_avg_error.is_finite() && r.analytic_avg_error > 0.0,
+            "{figure}: bad analytic error {} for {} at {}={}",
+            r.analytic_avg_error,
+            r.mechanism,
+            r.x_name,
+            r.x
+        );
+        assert!(
+            r.empirical_avg_error.is_finite() && r.empirical_avg_error > 0.0,
+            "{figure}: bad empirical error for {} at {}={}",
+            r.mechanism,
+            r.x_name,
+            r.x
+        );
+        assert!(r.compile_seconds >= 0.0 && r.answer_seconds >= 0.0);
+    }
+}
+
+// The n-sweeps are too slow for a default test run at their quick grids;
+// figs 2/4 are exercised here through a stripped-down surrogate: we call
+// the real drivers only for the cheap figures and rely on the unit and
+// shape tests for the rest. Fig 4/7/9 quick grids complete in roughly a
+// minute each in release mode; they are marked #[ignore] so `cargo test
+// --workspace -- --ignored` (or the bench harness) runs them explicitly.
+
+#[test]
+#[ignore = "runs the full quick grid (~minutes); exercised via `cargo test -- --ignored`"]
+fn fig4_quick_grid_runs() {
+    let records = fig4::run(&tiny_ctx());
+    assert_records_sane(&records, "fig4");
+    // 5 mechanisms × 3 datasets × grid points, minus MM cells above cap.
+    assert!(records.len() >= 4 * 3 * 4);
+}
+
+#[test]
+#[ignore = "runs the full quick grid (~minutes); exercised via `cargo test -- --ignored`"]
+fn fig2_quick_grid_runs() {
+    let records = fig2::run(&tiny_ctx());
+    assert_records_sane(&records, "fig2");
+    assert_eq!(records.len(), 3 * 6 * 3); // workloads × γ × ε
+}
+
+#[test]
+#[ignore = "runs the full quick grid (~minutes); exercised via `cargo test -- --ignored`"]
+fn fig7_quick_grid_runs() {
+    let records = fig7::run(&tiny_ctx());
+    assert_records_sane(&records, "fig7");
+}
+
+#[test]
+#[ignore = "runs the full quick grid (~minutes); exercised via `cargo test -- --ignored`"]
+fn fig9_quick_grid_runs() {
+    let records = fig9::run(&tiny_ctx());
+    assert_records_sane(&records, "fig9");
+    // Fig 9 shape: LRM at the lowest s-ratio beats LM; at ratio 1.0 the
+    // advantage is gone.
+    let lrm_low = records
+        .iter()
+        .find(|r| r.mechanism == "LRM" && r.x < 0.15)
+        .expect("LRM cell at ratio 0.1");
+    let lm_low = records
+        .iter()
+        .find(|r| r.mechanism == "LM" && r.x < 0.15 && r.dataset == lrm_low.dataset)
+        .expect("LM cell at ratio 0.1");
+    assert!(lrm_low.analytic_avg_error < lm_low.analytic_avg_error);
+}

