@@ -33,11 +33,8 @@ fn bench_decompose_sizes(c: &mut Criterion) {
             &w,
             |bench, w| {
                 bench.iter(|| {
-                    WorkloadDecomposition::compute(
-                        black_box(w),
-                        &DecompositionConfig::default(),
-                    )
-                    .unwrap()
+                    WorkloadDecomposition::compute(black_box(w), &DecompositionConfig::default())
+                        .unwrap()
                 });
             },
         );

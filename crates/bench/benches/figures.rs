@@ -44,7 +44,9 @@ fn bench_figures(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let wdiscrete = WDiscrete::default().generate(M, N, &mut rng).unwrap();
     let wrange = WRange.generate(M, N, &mut rng).unwrap();
-    let wrelated = WRelated { base_queries: 4 }.generate(M, N, &mut rng).unwrap();
+    let wrelated = WRelated { base_queries: 4 }
+        .generate(M, N, &mut rng)
+        .unwrap();
 
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);

@@ -73,5 +73,11 @@ fn bench_cholesky(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_svd, bench_eigen, bench_cholesky);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_svd,
+    bench_eigen,
+    bench_cholesky
+);
 criterion_main!(benches);

@@ -27,7 +27,9 @@ fn bench_compile(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("LM", |b| b.iter(|| NoiseOnData::compile(black_box(&w))));
     group.bench_function("NOR", |b| b.iter(|| NoiseOnResults::compile(black_box(&w))));
-    group.bench_function("WM", |b| b.iter(|| WaveletMechanism::compile(black_box(&w))));
+    group.bench_function("WM", |b| {
+        b.iter(|| WaveletMechanism::compile(black_box(&w)))
+    });
     group.bench_function("HM", |b| {
         b.iter(|| HierarchicalMechanism::compile(black_box(&w)))
     });
@@ -54,14 +56,10 @@ fn bench_answer(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("answer");
     for mech in &mechanisms {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mech.name()),
-            mech,
-            |b, mech| {
-                let mut rng = derive_rng(1, 2);
-                b.iter(|| mech.answer(black_box(&x), eps, &mut rng).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(mech.name()), mech, |b, mech| {
+            let mut rng = derive_rng(1, 2);
+            b.iter(|| mech.answer(black_box(&x), eps, &mut rng).unwrap());
+        });
     }
     group.finish();
 }

@@ -256,6 +256,7 @@ mod tests {
         // Oracle check: x̂ = (TᵀT)⁻¹Tᵀỹ for the explicit tree matrix.
         let n = 8usize;
         let levels = 4usize; // 1+2+4+8 = 15 nodes
+
         // Build T (15×8): rows are node interval indicators, root first.
         let mut rows: Vec<Vec<f64>> = Vec::new();
         for l in 0..levels {
@@ -263,7 +264,9 @@ mod tests {
             let span = n / count;
             for k in 0..count {
                 let mut r = vec![0.0; n];
-                r[k * span..(k + 1) * span].iter_mut().for_each(|v| *v = 1.0);
+                r[k * span..(k + 1) * span]
+                    .iter_mut()
+                    .for_each(|v| *v = 1.0);
                 rows.push(r);
             }
         }
@@ -295,10 +298,7 @@ mod tests {
         let ls = lu::solve(&tt, &tty).unwrap();
 
         for (a, b) in ours.iter().zip(ls.iter()) {
-            assert!(
-                (a - b).abs() < 1e-9,
-                "two-pass {a} vs least squares {b}"
-            );
+            assert!((a - b).abs() < 1e-9, "two-pass {a} vs least squares {b}");
         }
     }
 
@@ -319,7 +319,9 @@ mod tests {
             let span = n / count;
             for k in 0..count {
                 let mut r = vec![0.0; n];
-                r[k * span..(k + 1) * span].iter_mut().for_each(|v| *v = 1.0);
+                r[k * span..(k + 1) * span]
+                    .iter_mut()
+                    .for_each(|v| *v = 1.0);
                 rows.push(r);
             }
         }

@@ -76,10 +76,7 @@ pub struct MatrixMechanism {
 
 impl MatrixMechanism {
     /// Runs the Appendix-B optimization and compiles the mechanism.
-    pub fn compile(
-        workload: &Workload,
-        config: &MatrixMechanismConfig,
-    ) -> Result<Self, CoreError> {
+    pub fn compile(workload: &Workload, config: &MatrixMechanismConfig) -> Result<Self, CoreError> {
         let w = workload.matrix();
         let n = w.cols();
         let wtw = ops::gram(w);

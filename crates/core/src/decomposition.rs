@@ -162,10 +162,7 @@ pub struct WorkloadDecomposition {
 
 impl WorkloadDecomposition {
     /// Runs Algorithm 1 on the workload.
-    pub fn compute(
-        workload: &Workload,
-        config: &DecompositionConfig,
-    ) -> Result<Self, CoreError> {
+    pub fn compute(workload: &Workload, config: &DecompositionConfig) -> Result<Self, CoreError> {
         config.validate()?;
         let w = workload.matrix();
         let (m, n) = w.shape();
@@ -177,8 +174,8 @@ impl WorkloadDecomposition {
         debug_assert_eq!(l.shape(), (r, n));
         let initial_scale = b.squared_sum();
 
-        let mut alm = AlmState::new(m, n, config.schedule.clone())
-            .map_err(CoreError::InvalidArgument)?;
+        let mut alm =
+            AlmState::new(m, n, config.schedule.clone()).map_err(CoreError::InvalidArgument)?;
 
         let mut residual = residual_of(w, &b, &l);
         let mut stats = DecompositionStats {
@@ -205,10 +202,7 @@ impl WorkloadDecomposition {
         // meaningless early iterate (the paper never operates there: its
         // γ ≤ 10 against ‖W‖_F in the hundreds). Clamp the *stopping*
         // threshold; the caller's γ still defines `converged`.
-        let gamma_eff = config
-            .gamma
-            .min(0.02 * w.frobenius_norm())
-            .max(1e-10);
+        let gamma_eff = config.gamma.min(0.02 * w.frobenius_norm()).max(1e-10);
         // Once τ ≤ γ first fires we keep iterating for a bounded number of
         // polish rounds: the ALM trajectory collapses τ by further orders
         // of magnitude at almost no cost in Φ (which is what makes the
@@ -246,8 +240,14 @@ impl WorkloadDecomposition {
             };
             for _inner in 0..alternations {
                 let b_new = update_b(&bw_pi, &l, beta)?;
-                let (l_new, lipschitz) =
-                    update_l(&bw_pi, &b_new, &l, beta, &nesterov_cfg, lipschitz_warm_start);
+                let (l_new, lipschitz) = update_l(
+                    &bw_pi,
+                    &b_new,
+                    &l,
+                    beta,
+                    &nesterov_cfg,
+                    lipschitz_warm_start,
+                );
                 lipschitz_warm_start = (lipschitz * 0.5).max(1e-6);
 
                 let change = relative_change(&b, &b_new) + relative_change(&l, &l_new);
@@ -272,7 +272,13 @@ impl WorkloadDecomposition {
                     None => {
                         polish_remaining = Some(config.polish_iters);
                         phi_at_first_feasible = b.squared_sum();
-                        best = Some((b.clone(), l.clone(), residual.clone(), tau, phi_at_first_feasible));
+                        best = Some((
+                            b.clone(),
+                            l.clone(),
+                            residual.clone(),
+                            tau,
+                            phi_at_first_feasible,
+                        ));
                     }
                     Some(ref mut left) => {
                         let phi = b.squared_sum();
@@ -770,6 +776,7 @@ mod tests {
         assert!(d.sensitivity() <= 1.0 + 1e-9);
         assert!(d.stats().residual.is_finite());
         assert!(d.stats().residual > 0.05); // genuinely cannot hit γ
+
         // Structural error is consistent with the stored residual.
         let x = vec![1.0; 16];
         let s = d.structural_error(&x).unwrap();

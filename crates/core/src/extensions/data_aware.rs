@@ -258,11 +258,8 @@ mod tests {
             ..DecompositionConfig::default()
         };
         let plain = LowRankMechanism::compile(&w, &cfg).unwrap();
-        let comp = CompensatedLowRankMechanism::from_decomposition(
-            plain.decomposition().clone(),
-            8,
-            12,
-        );
+        let comp =
+            CompensatedLowRankMechanism::from_decomposition(plain.decomposition().clone(), 8, 12);
         let x: Vec<f64> = (0..12).map(|i| 1e5 + (i * 13) as f64).collect();
         let e = eps(0.5);
         let plain_err = plain.expected_error(e, Some(&x));
@@ -282,11 +279,8 @@ mod tests {
             .unwrap();
         let cfg = DecompositionConfig::default();
         let plain = LowRankMechanism::compile(&w, &cfg).unwrap();
-        let comp = CompensatedLowRankMechanism::from_decomposition(
-            plain.decomposition().clone(),
-            6,
-            8,
-        );
+        let comp =
+            CompensatedLowRankMechanism::from_decomposition(plain.decomposition().clone(), 6, 8);
         let e = eps(1.0);
         let ratio = comp.expected_error(e, None) / plain.expected_error(e, None);
         assert!(

@@ -28,8 +28,8 @@ pub mod decomposition;
 pub mod error;
 pub mod extensions;
 pub mod lrm;
-pub mod persistence;
 pub mod mechanism;
+pub mod persistence;
 
 pub use decomposition::{DecompositionConfig, TargetRank, WorkloadDecomposition};
 pub use error::CoreError;

@@ -81,8 +81,8 @@ impl Mechanism for LowRankMechanism {
         // Intermediate strategy answers L·x.
         let mut lx = ops::mul_vec(l, x)?;
         if delta > 0.0 {
-            let noise = Laplace::centered(delta / eps.value())
-                .map_err(CoreError::InvalidArgument)?;
+            let noise =
+                Laplace::centered(delta / eps.value()).map_err(CoreError::InvalidArgument)?;
             for v in lx.iter_mut() {
                 *v += noise.sample(rng);
             }
@@ -128,9 +128,7 @@ mod tests {
         let truth = w.answer(&x).unwrap();
         // With a huge ε the noise is negligible; only the γ-residual and
         // Laplace noise at scale Δ/ε remain.
-        let got = mech
-            .answer(&x, eps(1e9), &mut derive_rng(0, 1))
-            .unwrap();
+        let got = mech.answer(&x, eps(1e9), &mut derive_rng(0, 1)).unwrap();
         assert_eq!(got.len(), 12);
         for (g, t) in got.iter().zip(truth.iter()) {
             assert!((g - t).abs() < 1.0, "answer {g} vs truth {t}");
@@ -184,9 +182,7 @@ mod tests {
         let mech = LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap();
         let mut rng = derive_rng(0, 0);
         assert!(mech.answer(&[1.0; 7], eps(1.0), &mut rng).is_err());
-        assert!(mech
-            .answer(&[f64::NAN; 8], eps(1.0), &mut rng)
-            .is_err());
+        assert!(mech.answer(&[f64::NAN; 8], eps(1.0), &mut rng).is_err());
     }
 
     #[test]

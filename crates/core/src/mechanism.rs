@@ -30,12 +30,8 @@ pub trait Mechanism {
     fn domain_size(&self) -> usize;
 
     /// Noisy answers to the whole batch on database `x` under ε-DP.
-    fn answer(
-        &self,
-        x: &[f64],
-        eps: Epsilon,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<f64>, CoreError>;
+    fn answer(&self, x: &[f64], eps: Epsilon, rng: &mut dyn RngCore)
+        -> Result<Vec<f64>, CoreError>;
 
     /// Exact expected **total** squared error `E‖ŷ − Wx‖²`.
     ///

@@ -64,7 +64,11 @@ fn rank_one_target_on_rank_one_workload() {
         ..DecompositionConfig::default()
     };
     let d = WorkloadDecomposition::compute(&w, &cfg).unwrap();
-    assert!(d.stats().residual <= 0.011, "residual {}", d.stats().residual);
+    assert!(
+        d.stats().residual <= 0.011,
+        "residual {}",
+        d.stats().residual
+    );
     assert!(d.sensitivity() <= 1.0 + 1e-9);
 }
 

@@ -49,7 +49,14 @@ impl Laplace {
     /// Draws one sample by inverse-CDF: with `u ~ U(−½, ½)`,
     /// `x = μ − s·sign(u)·ln(1 − 2|u|)`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u: f64 = rng.gen_range(-0.5..0.5);
+        // u = −½ (reachable: it is the lower endpoint of the half-open
+        // range) would give ln(0) = −∞; redraw the zero-probability point.
+        let u: f64 = loop {
+            let u = rng.gen_range(-0.5..0.5);
+            if u != -0.5 {
+                break u;
+            }
+        };
         self.location - self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
     }
 

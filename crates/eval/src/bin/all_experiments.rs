@@ -2,9 +2,7 @@
 //! and optionally dumps all CSVs. Flags: `--full`, `--trials K`,
 //! `--seed S`, `--csv DIR`, `--quiet`.
 
-use lrm_eval::experiments::{
-    fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, ExperimentContext,
-};
+use lrm_eval::experiments::{fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, ExperimentContext};
 use lrm_eval::report::write_csv;
 use std::time::Instant;
 

@@ -93,7 +93,14 @@ fn run_variants(workload: &Workload, wname: &str, ctx: &ExperimentContext) -> Ve
         workload.domain_size(),
         workload.rank()
     ));
-    table.header(&["variant", "Phi", "residual", "outer iters", "err(ε=0.1)", "time (s)"]);
+    table.header(&[
+        "variant",
+        "Phi",
+        "residual",
+        "outer iters",
+        "err(ε=0.1)",
+        "time (s)",
+    ]);
 
     let mut records = Vec::new();
     for variant in variants() {
@@ -101,7 +108,14 @@ fn run_variants(workload: &Workload, wname: &str, ctx: &ExperimentContext) -> Ve
         let decomposition = match WorkloadDecomposition::compute(workload, &variant.config) {
             Ok(d) => d,
             Err(e) => {
-                table.row(vec![variant.name.into(), format!("err:{e}"), String::new(), String::new(), String::new(), String::new()]);
+                table.row(vec![
+                    variant.name.into(),
+                    format!("err:{e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
                 continue;
             }
         };
@@ -146,7 +160,11 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
     let mut records = Vec::new();
 
     let wrange = WRange
-        .generate(m, n, &mut derive_rng(ctx.seed, stream_of("ablation/wrange")))
+        .generate(
+            m,
+            n,
+            &mut derive_rng(ctx.seed, stream_of("ablation/wrange")),
+        )
         .expect("valid dims");
     records.extend(run_variants(&wrange, "WRange", ctx));
 

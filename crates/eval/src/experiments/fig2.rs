@@ -18,8 +18,8 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
     let dataset = Dataset::SearchLogs;
     let data = dataset.load_merged(n).expect("n is below dataset size");
 
-    let wrelated = WRelated::with_ratio(params::DEFAULT_S_RATIO, m, n)
-        .expect("default ratio is valid");
+    let wrelated =
+        WRelated::with_ratio(params::DEFAULT_S_RATIO, m, n).expect("default ratio is valid");
     let generators: [(&str, &dyn WorkloadGenerator); 3] = [
         ("WDiscrete", &WDiscrete::default()),
         ("WRange", &WRange),

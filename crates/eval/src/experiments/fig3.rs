@@ -18,8 +18,8 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
     let dataset = Dataset::SearchLogs;
     let data = dataset.load_merged(n).expect("n is below dataset size");
 
-    let wrelated = WRelated::with_ratio(params::DEFAULT_S_RATIO, m, n)
-        .expect("default ratio is valid");
+    let wrelated =
+        WRelated::with_ratio(params::DEFAULT_S_RATIO, m, n).expect("default ratio is valid");
     let generators: [(&str, &dyn WorkloadGenerator); 3] = [
         ("WDiscrete", &WDiscrete::default()),
         ("WRange", &WRange),
@@ -33,7 +33,14 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         let mut table = TableWriter::new(format!(
             "Fig 3 — LRM error & time vs r (= ratio·rank(W)); {wname}, rank(W)={rank}, m={m}, n={n}"
         ));
-        table.header(&["ratio", "r", "eps=1", "eps=0.1", "eps=0.01", "decomp time (s)"]);
+        table.header(&[
+            "ratio",
+            "r",
+            "eps=1",
+            "eps=0.1",
+            "eps=0.01",
+            "decomp time (s)",
+        ]);
 
         for &ratio in &params::RANK_RATIOS {
             let r = ((ratio * rank as f64).round() as usize).max(1);

@@ -23,19 +23,12 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
     let points: Vec<SweepPoint> = params::S_RATIOS
         .iter()
         .map(|&ratio| {
-            let generator =
-                WRelated::with_ratio(ratio, m, n).expect("grid ratios are valid");
+            let generator = WRelated::with_ratio(ratio, m, n).expect("grid ratios are valid");
             SweepPoint {
                 x: ratio,
                 m,
                 n,
-                workload: workload_at(
-                    &generator,
-                    m,
-                    n,
-                    ctx,
-                    &format!("fig9/gen/ratio={ratio}"),
-                ),
+                workload: workload_at(&generator, m, n, ctx, &format!("fig9/gen/ratio={ratio}")),
             }
         })
         .collect();

@@ -125,7 +125,13 @@ impl ExperimentContext {
     /// LRM solver budgets adapted to problem size: the figure grids span
     /// two orders of magnitude in `m·n`, and the full-accuracy budgets
     /// that polish a 3×4 example would take hours at n = 8192.
-    pub fn lrm_config_for(&self, gamma: f64, rank_ratio: f64, m: usize, n: usize) -> DecompositionConfig {
+    pub fn lrm_config_for(
+        &self,
+        gamma: f64,
+        rank_ratio: f64,
+        m: usize,
+        n: usize,
+    ) -> DecompositionConfig {
         let size = m * n;
         let base = DecompositionConfig {
             gamma,
@@ -165,9 +171,11 @@ mod tests {
     #[test]
     fn arg_parsing() {
         let ctx = ExperimentContext::from_args(
-            ["--full", "--trials", "5", "--seed", "42", "--csv", "/tmp/x", "--quiet"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--full", "--trials", "5", "--seed", "42", "--csv", "/tmp/x", "--quiet",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .unwrap();
         assert!(ctx.full);
@@ -177,10 +185,10 @@ mod tests {
         assert!(ctx.quiet);
 
         assert!(ExperimentContext::from_args(["--bogus".to_string()].into_iter()).is_err());
-        assert!(
-            ExperimentContext::from_args(["--trials".to_string(), "x".to_string()].into_iter())
-                .is_err()
-        );
+        assert!(ExperimentContext::from_args(
+            ["--trials".to_string(), "x".to_string()].into_iter()
+        )
+        .is_err());
     }
 
     #[test]

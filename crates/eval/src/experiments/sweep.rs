@@ -3,9 +3,9 @@
 
 use crate::experiments::ExperimentContext;
 use crate::mechanisms::MechanismKind;
+use crate::params;
 use crate::report::{CsvRecord, TableWriter};
 use crate::runner::{compile_timed, measure};
-use crate::params;
 use lrm_dp::rng::{derive_rng, stream_of};
 use lrm_workload::datasets::Dataset;
 use lrm_workload::generators::WorkloadGenerator;
@@ -74,9 +74,12 @@ pub fn run_sweep(
                 if *kind == MechanismKind::Mm && point.n > ctx.mm_domain_cap() {
                     // Appendix-B MM is O(n³) per iteration; the paper
                     // itself calls this overhead out as prohibitive.
-                    return (*kind, Err(lrm_core::CoreError::InvalidArgument(
-                        "skipped: n beyond the MM domain cap".into(),
-                    )));
+                    return (
+                        *kind,
+                        Err(lrm_core::CoreError::InvalidArgument(
+                            "skipped: n beyond the MM domain cap".into(),
+                        )),
+                    );
                 }
                 let cfg = ctx.lrm_config_for(
                     params::DEFAULT_GAMMA,

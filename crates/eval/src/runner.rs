@@ -101,8 +101,7 @@ pub fn measure(
 
 /// Runs one cell: compile, analytic error, `trials` Monte-Carlo answers.
 pub fn run_cell(spec: &CellSpec<'_>) -> Result<CellOutcome, CoreError> {
-    let (mechanism, compile_seconds) =
-        compile_timed(spec.kind, spec.workload, &spec.lrm_config)?;
+    let (mechanism, compile_seconds) = compile_timed(spec.kind, spec.workload, &spec.lrm_config)?;
     let (analytic_avg_error, empirical_avg_error, answer_seconds) = measure(
         mechanism.as_ref(),
         spec.workload,
@@ -146,8 +145,7 @@ mod tests {
             tag: "test/lm".into(),
         };
         let out = run_cell(&spec).unwrap();
-        let rel = (out.empirical_avg_error - out.analytic_avg_error).abs()
-            / out.analytic_avg_error;
+        let rel = (out.empirical_avg_error - out.analytic_avg_error).abs() / out.analytic_avg_error;
         assert!(rel < 0.1, "rel {rel}");
         assert_eq!(out.mechanism, "LM");
     }

@@ -184,7 +184,9 @@ mod tests {
         sys += &Matrix::identity(3);
         let ch = Cholesky::compute(&sys).unwrap();
         let inv = ch.inverse().unwrap();
-        assert!(matmul(&sys, &inv).unwrap().approx_eq(&Matrix::identity(3), 1e-10));
+        assert!(matmul(&sys, &inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-10));
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl Lu {
             return 0.0;
         }
         let n = self.lu.rows();
-        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         (0..n).map(|i| self.lu.get(i, i)).product::<f64>() * sign
     }
 
@@ -189,11 +193,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[3.0, 6.0, -4.0],
-            &[2.0, 1.0, 8.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]]);
         let inv = inverse(&a).unwrap();
         let prod = matmul(&a, &inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
@@ -205,7 +205,10 @@ mod tests {
         let lu = Lu::compute(&a).unwrap();
         assert!(lu.is_singular());
         assert_eq!(lu.det(), 0.0);
-        assert!(matches!(lu.solve_vec(&[1.0, 1.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            lu.solve_vec(&[1.0, 1.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

@@ -192,7 +192,10 @@ mod tests {
             let a = pseudo_random(m, n, seed);
             let qr = Qr::compute(&a).unwrap();
             let recon = matmul(&qr.q(), &qr.r()).unwrap();
-            assert!(recon.approx_eq(&a, 1e-10), "QR reconstruction failed {m}x{n}");
+            assert!(
+                recon.approx_eq(&a, 1e-10),
+                "QR reconstruction failed {m}x{n}"
+            );
         }
     }
 
@@ -232,7 +235,10 @@ mod tests {
     #[test]
     fn exact_solve_when_square() {
         let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
-        let x = Qr::compute(&a).unwrap().solve_least_squares(&[4.0, 7.0]).unwrap();
+        let x = Qr::compute(&a)
+            .unwrap()
+            .solve_least_squares(&[4.0, 7.0])
+            .unwrap();
         assert!((x[0] - 1.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
     }

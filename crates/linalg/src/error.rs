@@ -52,7 +52,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NonConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }

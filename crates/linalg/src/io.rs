@@ -87,9 +87,9 @@ impl Matrix {
 }
 
 fn read_exact<R: Read>(input: &mut R, buf: &mut [u8]) -> Result<()> {
-    input.read_exact(buf).map_err(|e| {
-        LinalgError::InvalidArgument(format!("truncated LRMM stream: {e}"))
-    })
+    input
+        .read_exact(buf)
+        .map_err(|e| LinalgError::InvalidArgument(format!("truncated LRMM stream: {e}")))
 }
 
 #[cfg(test)]

@@ -197,7 +197,9 @@ impl Matrix {
     /// Copy of column `j`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         debug_assert!(j < self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Overwrites column `j` with `v`.
@@ -271,7 +273,9 @@ impl Matrix {
     /// Sum of diagonal entries. Errors on non-square input.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self.data[i * self.cols + i]).sum())
     }
@@ -306,9 +310,7 @@ impl Matrix {
 
     /// Maximum absolute column sum, i.e. the induced 1-norm.
     pub fn max_col_abs_sum(&self) -> f64 {
-        self.col_abs_sums()
-            .into_iter()
-            .fold(0.0_f64, f64::max)
+        self.col_abs_sums().into_iter().fold(0.0_f64, f64::max)
     }
 
     /// Maximum absolute row sum, i.e. the induced infinity-norm.
@@ -328,8 +330,7 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(r1 - r0, c1 - c0);
         for i in r0..r1 {
-            out.row_mut(i - r0)
-                .copy_from_slice(&self.row(i)[c0..c1]);
+            out.row_mut(i - r0).copy_from_slice(&self.row(i)[c0..c1]);
         }
         Ok(out)
     }
@@ -441,7 +442,11 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,

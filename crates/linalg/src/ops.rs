@@ -3,7 +3,7 @@
 //! The hot loop of the LRM decomposition (Algorithm 1 of the paper) is a
 //! handful of GEMMs per iteration (`B·L`, `BᵀB·L`, `W·Lᵀ`, `L·Lᵀ`, …), so
 //! these kernels are cache-blocked and, above a size threshold, split across
-//! threads with `crossbeam::scope`.
+//! threads with `std::thread::scope`.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
@@ -74,20 +74,16 @@ fn matmul_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix) {
         .min(m)
         .max(1);
     let rows_per = m.div_ceil(threads);
-    let chunks: Vec<&mut [f64]> = c
-        .as_mut_slice()
-        .chunks_mut(rows_per * n)
-        .collect();
-    crossbeam::scope(|scope| {
+    let chunks: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(rows_per * n).collect();
+    std::thread::scope(|scope| {
         for (t, chunk) in chunks.into_iter().enumerate() {
             let r0 = t * rows_per;
             let r1 = (r0 + chunk.len() / n).min(m);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 matmul_block(a, b, chunk, r0, r1);
             });
         }
-    })
-    .expect("matmul worker thread panicked");
+    });
 }
 
 /// `y = A · x` for a dense vector `x`.

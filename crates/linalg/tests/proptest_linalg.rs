@@ -32,8 +32,8 @@ proptest! {
         x.resize(n, 1.0);
         let y1 = ops::mul_vec(&a, &x).unwrap();
         let y2 = ops::matmul(&a, &Matrix::col_vector(&x)).unwrap();
-        for i in 0..a.rows() {
-            prop_assert!((y1[i] - y2.get(i, 0)).abs() < 1e-9);
+        for (i, y1i) in y1.iter().enumerate() {
+            prop_assert!((y1i - y2.get(i, 0)).abs() < 1e-9);
         }
     }
 

@@ -47,7 +47,10 @@ impl AlmSchedule {
     /// Validates the schedule parameters.
     pub fn validate(&self) -> Result<(), String> {
         if !(self.beta0 > 0.0 && self.beta0.is_finite()) {
-            return Err(format!("beta0 must be positive and finite, got {}", self.beta0));
+            return Err(format!(
+                "beta0 must be positive and finite, got {}",
+                self.beta0
+            ));
         }
         if !(self.growth > 1.0 && self.growth.is_finite()) {
             return Err(format!("growth must exceed 1, got {}", self.growth));

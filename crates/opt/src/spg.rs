@@ -188,11 +188,7 @@ mod tests {
     fn ill_conditioned_quadratic() {
         let diag = [1.0, 100.0, 10000.0];
         let res = spg_minimize(
-            |x| {
-                0.5 * (0..3)
-                    .map(|i| diag[i] * x.get(i, 0).powi(2))
-                    .sum::<f64>()
-            },
+            |x| 0.5 * (0..3).map(|i| diag[i] * x.get(i, 0).powi(2)).sum::<f64>(),
             |x| Matrix::from_fn(3, 1, |i, _| diag[i] * x.get(i, 0)),
             |_x| {},
             Matrix::filled(3, 1, 1.0),

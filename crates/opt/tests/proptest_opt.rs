@@ -1,9 +1,7 @@
 //! Property-based tests for the optimization toolkit.
 
 use lrm_linalg::Matrix;
-use lrm_opt::{
-    nesterov_projected, project_columns_l1, project_l1_ball, NesterovConfig, SmoothMax,
-};
+use lrm_opt::{nesterov_projected, project_columns_l1, project_l1_ball, NesterovConfig, SmoothMax};
 use proptest::prelude::*;
 
 proptest! {

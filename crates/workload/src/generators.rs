@@ -182,7 +182,9 @@ impl WorkloadGenerator for WPrefix {
     fn generate(&self, m: usize, n: usize, _rng: &mut dyn RngCore) -> Result<Workload, String> {
         check_dims(m, n)?;
         if m > n {
-            return Err(format!("at most n={n} distinct prefixes exist, asked for {m}"));
+            return Err(format!(
+                "at most n={n} distinct prefixes exist, asked for {m}"
+            ));
         }
         Ok(Workload::new(Matrix::from_fn(m, n, |i, j| {
             // Spread the m prefixes evenly over the domain.
@@ -243,7 +245,7 @@ impl WorkloadGenerator for WMarginal2D {
     fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
         check_dims(m, n)?;
         let rows = self.grid_rows;
-        if rows == 0 || n % rows != 0 {
+        if rows == 0 || !n.is_multiple_of(rows) {
             return Err(format!("n={n} is not divisible by grid_rows={rows}"));
         }
         let cols = n / rows;
@@ -280,7 +282,9 @@ impl WorkloadGenerator for WMarginal2D {
 
 fn check_dims(m: usize, n: usize) -> Result<(), String> {
     if m == 0 || n == 0 {
-        return Err(format!("workload dimensions must be positive, got m={m}, n={n}"));
+        return Err(format!(
+            "workload dimensions must be positive, got m={m}, n={n}"
+        ));
     }
     Ok(())
 }
@@ -336,9 +340,7 @@ mod tests {
     #[test]
     fn wrelated_rank_bounded_by_s() {
         let gen = WRelated { base_queries: 5 };
-        let w = gen
-            .generate(30, 40, &mut StdRng::seed_from_u64(3))
-            .unwrap();
+        let w = gen.generate(30, 40, &mut StdRng::seed_from_u64(3)).unwrap();
         assert_eq!(w.rank(), 5);
     }
 
@@ -383,7 +385,9 @@ mod tests {
 
     #[test]
     fn identity_workload() {
-        assert!(WIdentity.generate(3, 4, &mut StdRng::seed_from_u64(6)).is_err());
+        assert!(WIdentity
+            .generate(3, 4, &mut StdRng::seed_from_u64(6))
+            .is_err());
         let w = WIdentity
             .generate(4, 4, &mut StdRng::seed_from_u64(6))
             .unwrap();
@@ -393,8 +397,12 @@ mod tests {
 
     #[test]
     fn zero_dims_rejected() {
-        assert!(WRange.generate(0, 5, &mut StdRng::seed_from_u64(7)).is_err());
-        assert!(WRange.generate(5, 0, &mut StdRng::seed_from_u64(7)).is_err());
+        assert!(WRange
+            .generate(0, 5, &mut StdRng::seed_from_u64(7))
+            .is_err());
+        assert!(WRange
+            .generate(5, 0, &mut StdRng::seed_from_u64(7))
+            .is_err());
         let bad = WRelated { base_queries: 10 };
         assert!(bad.generate(5, 5, &mut StdRng::seed_from_u64(7)).is_err());
     }
@@ -407,7 +415,7 @@ mod tests {
         for row in w.matrix().rows_iter() {
             // 0/1 rows with at least one 1 (a permutation of a range row).
             assert!(row.iter().all(|&v| v == 0.0 || v == 1.0));
-            assert!(row.iter().any(|&v| v == 1.0));
+            assert!(row.contains(&1.0));
             let ones: Vec<usize> = row
                 .iter()
                 .enumerate()
@@ -425,6 +433,7 @@ mod tests {
     fn marginal_2d_structure() {
         let gen = WMarginal2D { grid_rows: 4 };
         let w = gen.generate(10, 32, &mut StdRng::seed_from_u64(9)).unwrap(); // 4x8 grid
+
         // Every marginal touches exactly one full row (8 cells) or one
         // full column (4 cells) of the grid.
         for row in w.matrix().rows_iter() {
@@ -436,10 +445,8 @@ mod tests {
         assert!(w.sensitivity() <= 2.0);
         // Invalid grids rejected.
         assert!(gen.generate(20, 30, &mut StdRng::seed_from_u64(9)).is_err());
-        assert!(
-            WMarginal2D { grid_rows: 4 }
-                .generate(13, 32, &mut StdRng::seed_from_u64(9))
-                .is_err()
-        );
+        assert!(WMarginal2D { grid_rows: 4 }
+            .generate(13, 32, &mut StdRng::seed_from_u64(9))
+            .is_err());
     }
 }

@@ -65,7 +65,7 @@ impl Attribute {
     /// The bucket range is inclusive of every bucket the value interval
     /// touches; callers quantizing at bucket edges get exact counts.
     pub fn count_between(&self, from: f64, to: f64) -> Result<LinearQuery, String> {
-        if !(from < to) {
+        if from.partial_cmp(&to) != Some(std::cmp::Ordering::Less) {
             return Err(format!("empty value interval [{from}, {to})"));
         }
         let lo_bucket = self.bucket_of(from);

@@ -34,7 +34,9 @@ fn main() {
     let cases: Vec<(&str, Workload)> = vec![
         (
             "small dense (WDiscrete 16x24)",
-            WDiscrete::default().generate(16, 24, &mut rng).expect("dims"),
+            WDiscrete::default()
+                .generate(16, 24, &mut rng)
+                .expect("dims"),
         ),
         (
             "large ranges (WRange 24x512)",
@@ -72,7 +74,9 @@ fn main() {
         w.num_queries(),
         w.domain_size(),
     );
-    let x: Vec<f64> = (0..48).map(|i| 50_000.0 + (i * 997 % 5_000) as f64).collect();
+    let x: Vec<f64> = (0..48)
+        .map(|i| 50_000.0 + (i * 997 % 5_000) as f64)
+        .collect();
     println!(
         "  undersized decomposition: residual ‖W−BL‖_F = {:.3}",
         plain.decomposition().stats().residual

@@ -33,7 +33,10 @@ fn main() {
     let lrm = LowRankMechanism::compile(&workload, &DecompositionConfig::default())
         .expect("decomposition succeeds");
 
-    println!("NOQ sensitivity Δ' = {} (the paper derives 5)\n", nor.sensitivity());
+    println!(
+        "NOQ sensitivity Δ' = {} (the paper derives 5)\n",
+        nor.sensitivity()
+    );
     println!("expected total squared error at {eps}:");
     let scale = eps.value() * eps.value(); // report in units of 1/ε²
     println!(

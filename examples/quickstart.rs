@@ -32,10 +32,12 @@ fn main() {
     let nod = NoiseOnData::compile(&workload);
     let nor = NoiseOnResults::compile(&workload);
 
-    println!("workload: m = {} queries over n = {} unit counts, rank(W) = {}",
+    println!(
+        "workload: m = {} queries over n = {} unit counts, rank(W) = {}",
         workload.num_queries(),
         workload.domain_size(),
-        workload.rank());
+        workload.rank()
+    );
     println!(
         "decomposition: r = {}, Φ(B,L) = {:.3}, Δ(B,L) = {:.3}, ‖W−BL‖_F = {:.2e}\n",
         lrm.decomposition().rank(),
@@ -45,9 +47,18 @@ fn main() {
     );
 
     println!("expected total squared error at {eps}:");
-    println!("  noise on results (Eq. 5): {:>8.1}", nor.expected_error(eps, Some(&data)));
-    println!("  noise on data    (Eq. 4): {:>8.1}", nod.expected_error(eps, Some(&data)));
-    println!("  low-rank mechanism (Eq. 6): {:>6.1}\n", lrm.expected_error(eps, Some(&data)));
+    println!(
+        "  noise on results (Eq. 5): {:>8.1}",
+        nor.expected_error(eps, Some(&data))
+    );
+    println!(
+        "  noise on data    (Eq. 4): {:>8.1}",
+        nod.expected_error(eps, Some(&data))
+    );
+    println!(
+        "  low-rank mechanism (Eq. 6): {:>6.1}\n",
+        lrm.expected_error(eps, Some(&data))
+    );
 
     // One noisy release. Answers remain close to the truth at ε = 1
     // because the counts are large — that's the point of DP calibration.

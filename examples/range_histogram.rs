@@ -37,10 +37,19 @@ fn main() {
     );
     println!("expected avg squared error per query at {eps}:");
     for (name, err) in [
-        ("LM (noise on data)", lm.expected_average_error(eps, Some(&data))),
+        (
+            "LM (noise on data)",
+            lm.expected_average_error(eps, Some(&data)),
+        ),
         ("WM (Privelet)", wm.expected_average_error(eps, Some(&data))),
-        ("HM (Hay et al.)", hm.expected_average_error(eps, Some(&data))),
-        ("LRM (this paper)", lrm.expected_average_error(eps, Some(&data))),
+        (
+            "HM (Hay et al.)",
+            hm.expected_average_error(eps, Some(&data)),
+        ),
+        (
+            "LRM (this paper)",
+            lrm.expected_average_error(eps, Some(&data)),
+        ),
     ] {
         println!("  {name:<22}{err:>14.0}");
     }
@@ -48,7 +57,10 @@ fn main() {
     // A concrete range query released by each mechanism.
     let truth = workload.answer(&data).expect("shapes match");
     println!("\nfirst three queries, one noisy release each:");
-    println!("{:<10}{:>12}{:>12}{:>12}{:>12}", "query", "exact", "LM", "WM", "LRM");
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}{:>12}",
+        "query", "exact", "LM", "WM", "LRM"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let lm_ans = lm.answer(&data, eps, &mut rng).expect("answers");
     let wm_ans = wm.answer(&data, eps, &mut rng).expect("answers");

@@ -18,7 +18,9 @@ fn main() {
     let workload = WRelated { base_queries: s }
         .generate(m, n, &mut rng)
         .expect("valid dims");
-    let data = Dataset::NetTrace.load_merged(n).expect("n below dataset size");
+    let data = Dataset::NetTrace
+        .load_merged(n)
+        .expect("n below dataset size");
     let eps = Epsilon::new(0.1).expect("positive budget");
 
     println!(

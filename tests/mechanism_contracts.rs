@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: every mechanism honours the common
 //! contract (shape, unbiasedness, closed-form error, ε-scaling).
 
-use lrm::core::baselines::{MatrixMechanismConfig, MatrixMechanism};
+use lrm::core::baselines::{MatrixMechanism, MatrixMechanismConfig};
 use lrm::core::mechanism::Mechanism;
 use lrm::dp::rng::derive_rng;
 use lrm::prelude::*;
@@ -135,7 +135,8 @@ fn mechanisms_reject_malformed_databases() {
             mech.name()
         );
         assert!(
-            mech.answer(&[f64::INFINITY; 9], eps(1.0), &mut rng).is_err(),
+            mech.answer(&[f64::INFINITY; 9], eps(1.0), &mut rng)
+                .is_err(),
             "{} accepted non-finite counts",
             mech.name()
         );

@@ -92,8 +92,14 @@ fn wdiscrete_small_domain_lm_wins_among_baselines() {
     let lm = NoiseOnData::compile(&w).expected_error(e, None);
     let wm = WaveletMechanism::compile(&w).expected_error(e, None);
     let hm = HierarchicalMechanism::compile(&w).expected_error(e, None);
-    assert!(lm < wm, "LM {lm} not below WM {wm} on small dense workloads");
-    assert!(lm < hm, "LM {lm} not below HM {hm} on small dense workloads");
+    assert!(
+        lm < wm,
+        "LM {lm} not below WM {wm} on small dense workloads"
+    );
+    assert!(
+        lm < hm,
+        "LM {lm} not below HM {hm} on small dense workloads"
+    );
 }
 
 /// Lemma 3: the optimizer's noise error never exceeds the SVD-construction
@@ -146,7 +152,9 @@ fn gamma_insensitivity() {
 #[test]
 fn rank_ratio_sensitivity() {
     let gen = WRelated { base_queries: 6 };
-    let w = gen.generate(24, 40, &mut StdRng::seed_from_u64(31)).unwrap();
+    let w = gen
+        .generate(24, 40, &mut StdRng::seed_from_u64(31))
+        .unwrap();
     let data: Vec<f64> = (0..40).map(|i| 500.0 + i as f64).collect();
     let e = eps(0.1);
     let err_for = |ratio: f64| {

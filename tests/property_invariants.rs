@@ -9,9 +9,8 @@ use proptest::prelude::*;
 /// Strategy: a small random workload matrix with entries in [-2, 2].
 fn small_workload() -> impl Strategy<Value = Workload> {
     (2usize..6, 2usize..8).prop_flat_map(|(m, n)| {
-        proptest::collection::vec(-2.0f64..2.0, m * n).prop_map(move |data| {
-            Workload::new(Matrix::from_vec(m, n, data).unwrap()).unwrap()
-        })
+        proptest::collection::vec(-2.0f64..2.0, m * n)
+            .prop_map(move |data| Workload::new(Matrix::from_vec(m, n, data).unwrap()).unwrap())
     })
 }
 

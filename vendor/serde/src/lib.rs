@@ -1,0 +1,14 @@
+//! Offline facade for the [`serde`](https://serde.rs) derive surface used by
+//! this workspace. The real serde is unavailable (no registry access), and the
+//! workspace only uses `#[derive(Serialize)]` as a marker on result-record
+//! types — all actual output (CSV, tables) is hand-rolled. The traits are
+//! empty markers and the derives expand to nothing; swap this vendored crate
+//! for the real dependency once the build environment has network access.
+
+/// Marker trait; the paired derive macro expands to nothing.
+pub trait Serialize {}
+
+/// Marker trait; the paired derive macro expands to nothing.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

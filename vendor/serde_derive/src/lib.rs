@@ -1,0 +1,21 @@
+//! No-op derive macros backing the vendored `serde` facade.
+//!
+//! The workspace only *derives* `Serialize` (as a forward-compatible marker
+//! on result-record types); nothing actually serializes through serde — CSV
+//! and table output are hand-rolled. The derives therefore expand to nothing,
+//! which keeps `#[derive(Serialize)]` compiling without pulling `syn`/`quote`
+//! (unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted so `#[derive(Serialize)]` compiles.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted so `#[derive(Deserialize)]` compiles.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
