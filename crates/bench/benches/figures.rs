@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lrm_core::decomposition::{DecompositionConfig, TargetRank};
-use lrm_eval::mechanisms::MechanismKind;
+use lrm_core::engine::Engine;
+use lrm_eval::mechanisms::{self, MechanismKind};
 use lrm_eval::runner::{run_cell, CellSpec};
 use lrm_workload::datasets::Dataset;
 use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
@@ -37,7 +38,11 @@ fn cell(kind: MechanismKind, workload: &Workload, gamma: f64, ratio: f64, tag: &
         seed: 1,
         tag: tag.to_string(),
     };
-    run_cell(&spec).unwrap().empirical_avg_error
+    // Fresh engine per cell: the benchmark deliberately measures compile
+    // (decomposition) time too, so cache hits would defeat its purpose.
+    run_cell(&Engine::default(), &spec)
+        .unwrap()
+        .empirical_avg_error
 }
 
 fn bench_figures(c: &mut Criterion) {
@@ -62,7 +67,7 @@ fn bench_figures(c: &mut Criterion) {
     // Fig. 4: WDiscrete n-sweep cell — all five mechanisms.
     group.bench_function("fig4_wdiscrete_cell", |b| {
         b.iter(|| {
-            MechanismKind::FIG4_SET
+            mechanisms::FIG4_SET
                 .iter()
                 .map(|k| cell(*k, &wdiscrete, 1e-2, 1.2, "bench/fig4"))
                 .sum::<f64>()
@@ -71,7 +76,7 @@ fn bench_figures(c: &mut Criterion) {
     // Fig. 5: WRange n-sweep cell.
     group.bench_function("fig5_wrange_cell", |b| {
         b.iter(|| {
-            MechanismKind::FIG4_SET
+            mechanisms::FIG4_SET
                 .iter()
                 .map(|k| cell(*k, &wrange, 1e-2, 1.2, "bench/fig5"))
                 .sum::<f64>()
@@ -80,7 +85,7 @@ fn bench_figures(c: &mut Criterion) {
     // Fig. 6: WRelated n-sweep cell.
     group.bench_function("fig6_wrelated_cell", |b| {
         b.iter(|| {
-            MechanismKind::FIG4_SET
+            mechanisms::FIG4_SET
                 .iter()
                 .map(|k| cell(*k, &wrelated, 1e-2, 1.2, "bench/fig6"))
                 .sum::<f64>()
@@ -89,7 +94,7 @@ fn bench_figures(c: &mut Criterion) {
     // Fig. 7: WRange m-sweep cell — the four-mechanism set.
     group.bench_function("fig7_wrange_cell", |b| {
         b.iter(|| {
-            MechanismKind::FIG7_SET
+            mechanisms::FIG7_SET
                 .iter()
                 .map(|k| cell(*k, &wrange, 1e-2, 1.2, "bench/fig7"))
                 .sum::<f64>()
@@ -98,7 +103,7 @@ fn bench_figures(c: &mut Criterion) {
     // Fig. 8: WRelated m-sweep cell.
     group.bench_function("fig8_wrelated_cell", |b| {
         b.iter(|| {
-            MechanismKind::FIG7_SET
+            mechanisms::FIG7_SET
                 .iter()
                 .map(|k| cell(*k, &wrelated, 1e-2, 1.2, "bench/fig8"))
                 .sum::<f64>()
@@ -107,7 +112,7 @@ fn bench_figures(c: &mut Criterion) {
     // Fig. 9: WRelated s-sweep cell at low rank (LRM's best regime).
     group.bench_function("fig9_low_rank_cell", |b| {
         b.iter(|| {
-            MechanismKind::FIG7_SET
+            mechanisms::FIG7_SET
                 .iter()
                 .map(|k| cell(*k, &wrelated, 1e-2, 1.2, "bench/fig9"))
                 .sum::<f64>()

@@ -195,7 +195,7 @@ impl Mechanism for HierarchicalMechanism {
         padded.resize(self.n_pad, 0.0);
 
         let scale = self.num_levels() as f64 / eps.value();
-        let noise = Laplace::centered(scale).map_err(CoreError::InvalidArgument)?;
+        let noise = Laplace::centered(scale)?;
         let mut tree = self.exact_tree(&padded);
         for level in tree.iter_mut() {
             for v in level.iter_mut() {

@@ -177,8 +177,7 @@ impl Mechanism for MatrixMechanism {
         // z = A·x + Lap(Δ_A/ε)^n, then ŷ = P·z with P·A = W.
         let mut z = ops::mul_vec(&self.strategy, x)?;
         if self.sensitivity > 0.0 {
-            let noise = Laplace::centered(self.sensitivity / eps.value())
-                .map_err(CoreError::InvalidArgument)?;
+            let noise = Laplace::centered(self.sensitivity / eps.value())?;
             for v in z.iter_mut() {
                 *v += noise.sample(rng);
             }

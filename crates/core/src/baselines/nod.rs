@@ -72,8 +72,7 @@ impl Mechanism for NoiseOnData {
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, CoreError> {
         self.check_database(x)?;
-        let noise = Laplace::centered(self.unit_sensitivity / eps.value())
-            .map_err(CoreError::InvalidArgument)?;
+        let noise = Laplace::centered(self.unit_sensitivity / eps.value())?;
         let noisy: Vec<f64> = x.iter().map(|&v| v + noise.sample(rng)).collect();
         Ok(ops::mul_vec(&self.w, &noisy)?)
     }

@@ -59,8 +59,7 @@ impl Mechanism for NoiseOnResults {
         self.check_database(x)?;
         let mut y = ops::mul_vec(&self.w, x)?;
         if self.sensitivity > 0.0 {
-            let noise = Laplace::centered(self.sensitivity / eps.value())
-                .map_err(CoreError::InvalidArgument)?;
+            let noise = Laplace::centered(self.sensitivity / eps.value())?;
             for v in y.iter_mut() {
                 *v += noise.sample(rng);
             }

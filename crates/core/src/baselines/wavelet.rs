@@ -193,13 +193,11 @@ impl Mechanism for WaveletMechanism {
 
         // Noise each coefficient at scale ρ/(ε·W_c).
         let eps_v = eps.value();
-        let avg_noise = Laplace::centered(self.rho / (eps_v * self.n_pad as f64))
-            .map_err(CoreError::InvalidArgument)?;
+        let avg_noise = Laplace::centered(self.rho / (eps_v * self.n_pad as f64))?;
         average += avg_noise.sample(rng);
         for (l, level_details) in details.iter_mut().enumerate() {
             let weight = (1usize << (l + 1)) as f64;
-            let noise = Laplace::centered(self.rho / (eps_v * weight))
-                .map_err(CoreError::InvalidArgument)?;
+            let noise = Laplace::centered(self.rho / (eps_v * weight))?;
             for d in level_details.iter_mut() {
                 *d += noise.sample(rng);
             }

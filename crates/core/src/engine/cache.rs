@@ -1,0 +1,179 @@
+//! The compiled-strategy cache.
+//!
+//! Strategy search is the expensive, data-independent step of every
+//! mechanism here (Algorithm 1 takes minutes at the paper's full scale;
+//! answering is microseconds), so the engine memoizes compiled strategies
+//! by `(workload fingerprint, kind, options digest)`:
+//!
+//! * **Memory layer** — an `Arc`-shared map; a repeated compile of an
+//!   already-seen workload is an O(1) map lookup with zero decomposition
+//!   work.
+//! * **Disk layer (optional)** — decomposition-backed strategies spill
+//!   their `(B, L)` factors through the `LRMD` persistence format, so a
+//!   fresh process pointed at the same spill directory skips Algorithm 1
+//!   and only pays the (cheap) load-and-revalidate path.
+//!
+//! Caching is privacy-neutral: a strategy depends only on the public
+//! workload `W` (keyed by its content fingerprint) and public solver
+//! options — never on data or ε — so reuse releases nothing.
+
+use crate::engine::registry::MechanismKind;
+use crate::mechanism::Mechanism;
+use crate::persistence::{load_decomposition, save_decomposition};
+use lrm_workload::{Fingerprint, Workload};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: workload content, mechanism kind, and the digest of the
+/// options that kind reads.
+pub(crate) type CacheKey = (Fingerprint, MechanismKind, u64);
+
+/// A cached compiled strategy.
+#[derive(Clone)]
+pub(crate) struct CachedStrategy {
+    pub mechanism: Arc<dyn Mechanism + Send + Sync>,
+    /// The workload matrix this strategy was compiled for. A memory hit is
+    /// confirmed against it before being served: the 64-bit fingerprint in
+    /// the key is non-cryptographic, and a collision here would silently
+    /// answer with a strategy built for a different `W`. The O(m·n)
+    /// compare is negligible next to the strategy search it replaces.
+    pub workload_matrix: Arc<lrm_linalg::Matrix>,
+    /// Decomposition rank `r` for decomposition-backed kinds.
+    pub strategy_rank: Option<usize>,
+    /// Closed-form expected average error at the engine's reference ε,
+    /// computed once at insert so cache hits pay no error evaluation.
+    pub expected_avg_error: f64,
+}
+
+/// Where a compile was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Full strategy search ran.
+    Miss,
+    /// Served from the in-memory map — no decomposition work at all.
+    MemoryHit,
+    /// Factors loaded from the spill directory and revalidated — no
+    /// decomposition work, only I/O and a residual recompute.
+    DiskHit,
+}
+
+/// Counters exposed by [`Engine::cache_stats`](super::Engine::cache_stats).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Compiles served from memory.
+    pub memory_hits: u64,
+    /// Compiles served by loading spilled factors.
+    pub disk_hits: u64,
+    /// Compiles that ran the full strategy search.
+    pub misses: u64,
+    /// Strategies currently held in memory.
+    pub entries: usize,
+}
+
+pub(crate) struct StrategyCache {
+    entries: Mutex<HashMap<CacheKey, CachedStrategy>>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    spill_dir: Option<PathBuf>,
+}
+
+impl StrategyCache {
+    pub fn new(spill_dir: Option<PathBuf>) -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            spill_dir,
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Memory lookup. Counting is the caller's job (via [`record`]) so
+    /// every outcome is tallied in exactly one place.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CachedStrategy> {
+        self.entries.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Records which path a compile took.
+    pub fn record(&self, outcome: CacheOutcome) {
+        match outcome {
+            CacheOutcome::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::DiskHit => self.disk_hits.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::MemoryHit => self.memory_hits.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    pub fn insert(&self, key: CacheKey, strategy: CachedStrategy) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, strategy);
+    }
+
+    /// Drops every resident strategy; counters and the spill layer are
+    /// untouched.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+    }
+
+    fn spill_path(&self, key: &CacheKey) -> Option<PathBuf> {
+        let (fingerprint, kind, digest) = key;
+        self.spill_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "{}-{fingerprint}-{digest:016x}.lrmd",
+                kind.label().to_lowercase().replace(['γ', '+'], "x")
+            ))
+        })
+    }
+
+    /// Tries to serve a decomposition-backed compile from the spill
+    /// directory. Unreadable, corrupt, or mismatched files are treated as
+    /// misses — the subsequent compile overwrites them.
+    pub fn try_disk_load(
+        &self,
+        key: &CacheKey,
+        workload: &Workload,
+    ) -> Option<crate::decomposition::WorkloadDecomposition> {
+        let path = self.spill_path(key)?;
+        if !path.exists() {
+            return None;
+        }
+        load_decomposition(workload, &path).ok()
+    }
+
+    /// Best-effort spill of freshly computed factors; a full cache (or a
+    /// read-only directory) must not fail the compile that produced them.
+    pub fn spill(
+        &self,
+        key: &CacheKey,
+        decomposition: &crate::decomposition::WorkloadDecomposition,
+    ) {
+        if let Some(path) = self.spill_path(key) {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = save_decomposition(decomposition, &path);
+        }
+    }
+}
+
+impl std::fmt::Debug for StrategyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategyCache")
+            .field("stats", &self.stats())
+            .field("spill_dir", &self.spill_dir)
+            .finish()
+    }
+}

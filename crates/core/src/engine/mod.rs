@@ -1,0 +1,530 @@
+//! The serving engine: compile once, cache by workload, answer many times
+//! under a tracked privacy budget.
+//!
+//! The paper's operational insight is that strategy search (Algorithm 1)
+//! is the expensive, *data-independent* step while answering is
+//! microseconds. This module packages that shape as an API:
+//!
+//! * [`MechanismKind`] — the mechanism registry: every strategy in this
+//!   crate behind one enum, compiled through one dispatch;
+//! * [`Engine::compile`] — returns a [`CompiledMechanism`] (strategy +
+//!   [`CompileMeta`]: wall-time, rank, cache outcome, expected error at
+//!   the engine's reference ε), served through a two-layer
+//!   compiled-strategy cache (in-memory map + optional `LRMD` disk spill)
+//!   keyed by the workload's content [`lrm_workload::Fingerprint`];
+//! * [`Engine::compile_best`] — argmin over a panel of kinds by
+//!   closed-form expected error (free: it reads only public quantities);
+//! * [`Session`] — answering under a [`BudgetLedger`](lrm_dp::BudgetLedger):
+//!   each release debits ε, and exhaustion is a typed error, not a silent
+//!   over-spend.
+//!
+//! ```
+//! use lrm_core::engine::{Engine, MechanismKind};
+//! use lrm_dp::Epsilon;
+//! use lrm_workload::Workload;
+//!
+//! let w = Workload::from_rows(&[
+//!     &[1.0, 1.0, 1.0, 1.0],
+//!     &[1.0, 1.0, 0.0, 0.0],
+//!     &[0.0, 0.0, 1.0, 1.0],
+//! ]).unwrap();
+//!
+//! let engine = Engine::builder().build();
+//! let compiled = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+//! let mut session = compiled.session(Epsilon::new(1.0).unwrap());
+//!
+//! let mut rng = lrm_dp::rng::derive_rng(7, 0);
+//! let half = Epsilon::new(0.5).unwrap();
+//! let release = session
+//!     .answer(&[82_700.0, 19_000.0, 67_000.0, 5_900.0], half, &mut rng)
+//!     .unwrap();
+//! assert_eq!(release.answers.len(), 3);
+//! assert!((release.eps_remaining - 0.5).abs() < 1e-12);
+//! ```
+
+mod cache;
+mod registry;
+mod session;
+
+pub use cache::{CacheOutcome, CacheStats};
+pub use registry::{CompileOptions, MechanismKind};
+pub use session::{BatchAnswer, EngineError, Session};
+
+use crate::error::CoreError;
+use crate::mechanism::Mechanism;
+use cache::{CachedStrategy, StrategyCache};
+use lrm_dp::Epsilon;
+use lrm_workload::{Fingerprint, Workload};
+use rand::RngCore;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Builder for [`Engine`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    reference_eps: Epsilon,
+    defaults: CompileOptions,
+    spill_dir: Option<PathBuf>,
+}
+
+impl EngineBuilder {
+    /// Starts from the defaults: reference ε = 1, default compile options,
+    /// no disk spill.
+    pub fn new() -> Self {
+        Self {
+            reference_eps: Epsilon::new(1.0).expect("1.0 is a valid budget"),
+            defaults: CompileOptions::default(),
+            spill_dir: None,
+        }
+    }
+
+    /// Sets the reference ε used for the expected-error metadata and for
+    /// [`Engine::compile_best`] comparisons. All noise errors scale as
+    /// `1/ε²`, so the reference only matters when relaxed-LRM structural
+    /// residuals enter a comparison.
+    pub fn reference_epsilon(mut self, eps: Epsilon) -> Self {
+        self.reference_eps = eps;
+        self
+    }
+
+    /// Sets the default [`CompileOptions`] used by
+    /// [`Engine::compile_default`].
+    pub fn compile_options(mut self, options: CompileOptions) -> Self {
+        self.defaults = options;
+        self
+    }
+
+    /// Enables the on-disk spill layer: decomposition-backed strategies
+    /// are persisted here (`LRMD` format) and reloaded instead of
+    /// recompiled, across processes.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Engine {
+        Engine {
+            reference_eps: self.reference_eps,
+            defaults: self.defaults,
+            cache: StrategyCache::new(self.spill_dir),
+        }
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The compile-once / answer-many entry point. See the
+/// [module docs](self) for the full picture.
+#[derive(Debug)]
+pub struct Engine {
+    reference_eps: Epsilon,
+    defaults: CompileOptions,
+    cache: StrategyCache,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::builder().build()
+    }
+}
+
+impl Engine {
+    /// Starts an [`EngineBuilder`].
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The ε all compile metadata reports expected errors at.
+    pub fn reference_epsilon(&self) -> Epsilon {
+        self.reference_eps
+    }
+
+    /// The options [`Engine::compile_default`] uses.
+    pub fn default_options(&self) -> &CompileOptions {
+        &self.defaults
+    }
+
+    /// Cache counters: memory hits, disk hits, misses, resident entries.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Compiles `kind` for `workload`, served from the strategy cache when
+    /// the same `(workload, kind, options)` triple has been seen before.
+    pub fn compile(
+        &self,
+        workload: &Workload,
+        kind: MechanismKind,
+        options: &CompileOptions,
+    ) -> Result<CompiledMechanism, CoreError> {
+        let t0 = Instant::now();
+        let fingerprint = workload.fingerprint();
+        let key = (fingerprint, kind, options.digest(kind));
+
+        if let Some(cached) = self.cache.lookup(&key) {
+            // Confirm the hit against the actual matrix: on the
+            // astronomically rare fingerprint collision we must recompile
+            // rather than serve a strategy built for a different workload.
+            if *cached.workload_matrix == *workload.matrix() {
+                self.cache.record(CacheOutcome::MemoryHit);
+                return Ok(self.finish(kind, fingerprint, CacheOutcome::MemoryHit, t0, cached));
+            }
+        }
+
+        if kind.is_decomposition_backed() {
+            if let Some(decomposition) = self.cache.try_disk_load(&key, workload) {
+                let cached = self.admit(
+                    key,
+                    workload,
+                    Some(decomposition.rank()),
+                    registry::rebuild_from_decomposition(kind, decomposition, workload),
+                );
+                self.cache.record(CacheOutcome::DiskHit);
+                return Ok(self.finish(kind, fingerprint, CacheOutcome::DiskHit, t0, cached));
+            }
+        }
+
+        let built = registry::build(kind, workload, options)?;
+        if let Some(decomposition) = &built.decomposition {
+            self.cache.spill(&key, decomposition);
+        }
+        let rank = built.decomposition.as_ref().map(|d| d.rank());
+        let cached = self.admit(key, workload, rank, built.mechanism);
+        self.cache.record(CacheOutcome::Miss);
+        Ok(self.finish(kind, fingerprint, CacheOutcome::Miss, t0, cached))
+    }
+
+    /// Builds the cache entry for a freshly compiled (or disk-loaded)
+    /// strategy, evaluating its expected error once so later memory hits
+    /// are pure map lookups.
+    fn admit(
+        &self,
+        key: cache::CacheKey,
+        workload: &Workload,
+        strategy_rank: Option<usize>,
+        mechanism: Arc<dyn Mechanism + Send + Sync>,
+    ) -> CachedStrategy {
+        let cached = CachedStrategy {
+            expected_avg_error: mechanism.expected_average_error(self.reference_eps, None),
+            workload_matrix: Arc::new(workload.matrix().clone()),
+            strategy_rank,
+            mechanism,
+        };
+        self.cache.insert(key, cached.clone());
+        cached
+    }
+
+    /// Drops every strategy resident in the memory cache (counters and
+    /// the disk spill layer are untouched). Long sweeps over many distinct
+    /// workloads — where no future compile will ever hit — call this to
+    /// keep the cache from retaining every strategy they ever built.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// [`Engine::compile`] with the engine's default options.
+    pub fn compile_default(
+        &self,
+        workload: &Workload,
+        kind: MechanismKind,
+    ) -> Result<CompiledMechanism, CoreError> {
+        self.compile(workload, kind, &self.defaults)
+    }
+
+    /// Compiles every kind in `panel` and returns the one with the lowest
+    /// closed-form expected error at the engine's reference ε — the argmin
+    /// the paper's figures take by eye.
+    ///
+    /// Selection reads only public quantities (workload, options, ε), so
+    /// it consumes no privacy budget. Kinds that fail to compile are
+    /// skipped as long as at least one succeeds; all candidates stay in
+    /// the strategy cache afterwards.
+    pub fn compile_best(
+        &self,
+        workload: &Workload,
+        panel: &[MechanismKind],
+        options: &CompileOptions,
+    ) -> Result<CompiledMechanism, CoreError> {
+        let mut best: Option<CompiledMechanism> = None;
+        let mut last_err: Option<CoreError> = None;
+        for &kind in panel {
+            match self.compile(workload, kind, options) {
+                Ok(candidate) => {
+                    let better = best.as_ref().is_none_or(|b| {
+                        candidate.meta.expected_avg_error < b.meta.expected_avg_error
+                    });
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        best.ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                CoreError::InvalidArgument("compile_best needs a non-empty panel".into())
+            })
+        })
+    }
+
+    /// [`Engine::compile_best`] over [`MechanismKind::STANDARD_PANEL`]
+    /// with the engine's default options.
+    pub fn compile_best_default(
+        &self,
+        workload: &Workload,
+    ) -> Result<CompiledMechanism, CoreError> {
+        self.compile_best(workload, &MechanismKind::STANDARD_PANEL, &self.defaults)
+    }
+
+    fn finish(
+        &self,
+        kind: MechanismKind,
+        fingerprint: Fingerprint,
+        cache: CacheOutcome,
+        t0: Instant,
+        cached: CachedStrategy,
+    ) -> CompiledMechanism {
+        CompiledMechanism {
+            meta: CompileMeta {
+                kind,
+                label: kind.label(),
+                fingerprint,
+                cache,
+                compile_seconds: t0.elapsed().as_secs_f64(),
+                strategy_rank: cached.strategy_rank,
+                expected_avg_error: cached.expected_avg_error,
+                reference_eps: self.reference_eps,
+            },
+            mechanism: cached.mechanism,
+        }
+    }
+}
+
+/// Structured metadata attached to every [`Engine::compile`] result.
+#[derive(Debug, Clone)]
+pub struct CompileMeta {
+    /// The registry entry that was compiled.
+    pub kind: MechanismKind,
+    /// Figure-legend label of the kind.
+    pub label: &'static str,
+    /// Content hash of the workload this strategy answers.
+    pub fingerprint: Fingerprint,
+    /// Where the compile was served from.
+    pub cache: CacheOutcome,
+    /// Wall-clock seconds this compile call took (≈0 on a memory hit).
+    pub compile_seconds: f64,
+    /// Decomposition rank `r` for decomposition-backed kinds.
+    pub strategy_rank: Option<usize>,
+    /// Closed-form expected **average** squared error at
+    /// [`CompileMeta::reference_eps`] (data-independent terms only).
+    pub expected_avg_error: f64,
+    /// The reference ε the expected error is quoted at.
+    pub reference_eps: Epsilon,
+}
+
+/// A compiled strategy plus its [`CompileMeta`].
+///
+/// Implements [`Mechanism`] by delegation, so it can be measured or
+/// answered directly; [`CompiledMechanism::session`] opens a
+/// budget-tracked [`Session`] over it.
+#[derive(Clone)]
+pub struct CompiledMechanism {
+    mechanism: Arc<dyn Mechanism + Send + Sync>,
+    meta: CompileMeta,
+}
+
+impl CompiledMechanism {
+    /// The compile metadata.
+    pub fn meta(&self) -> &CompileMeta {
+        &self.meta
+    }
+
+    /// Opens a budget-tracked [`Session`] holding `total` as its overall
+    /// ε guarantee.
+    pub fn session(&self, total: Epsilon) -> Session {
+        Session::open(self, total)
+    }
+
+    pub(crate) fn shared_mechanism(&self) -> Arc<dyn Mechanism + Send + Sync> {
+        Arc::clone(&self.mechanism)
+    }
+}
+
+impl Mechanism for CompiledMechanism {
+    fn name(&self) -> &'static str {
+        self.meta.label
+    }
+
+    fn num_queries(&self) -> usize {
+        self.mechanism.num_queries()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.mechanism.domain_size()
+    }
+
+    fn answer(
+        &self,
+        x: &[f64],
+        eps: Epsilon,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.mechanism.answer(x, eps, rng)
+    }
+
+    fn expected_error(&self, eps: Epsilon, x: Option<&[f64]>) -> f64 {
+        self.mechanism.expected_error(eps, x)
+    }
+}
+
+impl std::fmt::Debug for CompiledMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledMechanism")
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_dp::rng::derive_rng;
+    use lrm_workload::generators::{WRange, WRelated, WorkloadGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn workload() -> Workload {
+        WRange
+            .generate(8, 16, &mut StdRng::seed_from_u64(11))
+            .unwrap()
+    }
+
+    #[test]
+    fn second_compile_is_a_memory_hit() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        let first = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(first.meta().cache, CacheOutcome::Miss);
+
+        let second = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(second.meta().cache, CacheOutcome::MemoryHit);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.misses, stats.memory_hits), (1, 1));
+
+        // Same strategy object, not a recompile.
+        assert!(Arc::ptr_eq(&first.mechanism, &second.mechanism));
+    }
+
+    #[test]
+    fn clear_cache_drops_entries_but_keeps_counters() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        engine.compile_default(&w, MechanismKind::Laplace).unwrap();
+        assert_eq!(engine.cache_stats().entries, 1);
+
+        engine.clear_cache();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+
+        // A post-clear compile of the same workload recompiles.
+        let again = engine.compile_default(&w, MechanismKind::Laplace).unwrap();
+        assert_eq!(again.meta().cache, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn different_options_are_different_cache_entries() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+
+        let mut opts = CompileOptions::default();
+        opts.decomposition.gamma = 0.5;
+        let other = engine.compile(&w, MechanismKind::Lrm, &opts).unwrap();
+        assert_eq!(other.meta().cache, CacheOutcome::Miss);
+        assert_eq!(engine.cache_stats().entries, 2);
+    }
+
+    #[test]
+    fn disk_spill_survives_an_engine_restart() {
+        let dir = std::env::temp_dir().join(format!("lrm_engine_spill_{}", std::process::id()));
+        let w = workload();
+
+        let engine = Engine::builder().spill_dir(&dir).build();
+        engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+
+        // A fresh engine (cold memory cache) over the same spill dir.
+        let engine2 = Engine::builder().spill_dir(&dir).build();
+        let reloaded = engine2.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(reloaded.meta().cache, CacheOutcome::DiskHit);
+        assert_eq!(engine2.cache_stats().disk_hits, 1);
+
+        // And the reloaded strategy answers identically.
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let direct = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        let a = direct.answer(&x, eps(1.0), &mut derive_rng(5, 6)).unwrap();
+        let b = reloaded
+            .answer(&x, eps(1.0), &mut derive_rng(5, 6))
+            .unwrap();
+        assert_eq!(a, b);
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compile_best_prefers_lrm_on_low_rank_workloads() {
+        let engine = Engine::builder().reference_epsilon(eps(0.1)).build();
+        let w = WRelated { base_queries: 3 }
+            .generate(24, 48, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        let best = engine.compile_best_default(&w).unwrap();
+        assert_eq!(best.meta().kind, MechanismKind::Lrm);
+
+        // Never worse than the Laplace baseline (it is in the panel).
+        let lm = engine.compile_default(&w, MechanismKind::Laplace).unwrap();
+        assert!(best.meta().expected_avg_error <= lm.meta().expected_avg_error);
+    }
+
+    #[test]
+    fn compile_best_tolerates_failing_candidates() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        // An impossible LRM config (zero iterations) fails; the panel
+        // still yields the best of the remaining kinds.
+        let mut opts = CompileOptions::default();
+        opts.decomposition.max_outer_iters = 0;
+        let best = engine
+            .compile_best(&w, &[MechanismKind::Lrm, MechanismKind::Laplace], &opts)
+            .unwrap();
+        assert_eq!(best.meta().kind, MechanismKind::Laplace);
+
+        // All candidates failing surfaces the error.
+        assert!(engine
+            .compile_best(&w, &[MechanismKind::Lrm], &opts)
+            .is_err());
+        assert!(engine.compile_best(&w, &[], &opts).is_err());
+    }
+
+    #[test]
+    fn meta_reports_rank_and_reference_error() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        let lrm = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert!(lrm.meta().strategy_rank.is_some());
+        assert!(lrm.meta().expected_avg_error > 0.0);
+        assert_eq!(lrm.meta().label, "LRM");
+
+        let wm = engine.compile_default(&w, MechanismKind::Wavelet).unwrap();
+        assert!(wm.meta().strategy_rank.is_none());
+    }
+}

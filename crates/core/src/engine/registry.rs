@@ -1,0 +1,330 @@
+//! The mechanism registry: one enum naming every strategy the engine can
+//! compile, with a single dispatch point replacing the per-type `compile`
+//! constructors at the API surface.
+
+use crate::baselines::{
+    HierarchicalMechanism, MatrixMechanism, MatrixMechanismConfig, NoiseOnData, NoiseOnResults,
+    WaveletMechanism,
+};
+use crate::decomposition::{DecompositionConfig, WorkloadDecomposition};
+use crate::error::CoreError;
+use crate::extensions::CompensatedLowRankMechanism;
+use crate::lrm::LowRankMechanism;
+use crate::mechanism::Mechanism;
+use lrm_workload::Workload;
+use std::fmt;
+use std::sync::Arc;
+
+/// Every mechanism the [`Engine`](super::Engine) can compile.
+///
+/// The registry is the runtime counterpart of the paper's evaluation
+/// legend: one name per strategy, compiled through one dispatch
+/// ([`Engine::compile`](super::Engine::compile)) instead of per-type
+/// constructors.
+///
+/// Two variants share an implementation: in this codebase the paper's "LM"
+/// baseline is noise-on-data (Eq. 4), so [`MechanismKind::Laplace`] (the
+/// figure-legend name) and [`MechanismKind::Nod`] (the equation name)
+/// compile the same mechanism under different labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MechanismKind {
+    /// The Low-Rank Mechanism (Eq. 6) with the configured decomposition.
+    Lrm,
+    /// LRM under the relaxed program (Formula 8) with the larger
+    /// [`CompileOptions::relaxed_gamma`] tolerance — faster to compile,
+    /// with a data-dependent structural residual.
+    LrmRelaxed,
+    /// The classic Laplace baseline the figures plot as "LM".
+    Laplace,
+    /// Noise on data (Eq. 4) — identical to [`MechanismKind::Laplace`],
+    /// labelled by its equation name.
+    Nod,
+    /// Noise on results (Eq. 5).
+    Nor,
+    /// The Matrix Mechanism (Appendix B). `O(n³)` per solver iteration —
+    /// keep the domain small.
+    MatrixMechanism,
+    /// The Wavelet Mechanism (Privelet, ref \[28\]).
+    Wavelet,
+    /// The Hierarchical Mechanism (Hay et al., ref \[15\]).
+    Hierarchical,
+    /// Residual-compensated LRM (the paper's §7 future-work direction):
+    /// spends part of ε answering the decomposition residual, removing the
+    /// relaxed program's structural bias.
+    DataAware,
+}
+
+impl MechanismKind {
+    /// Every registered kind, in legend order.
+    pub const ALL: [MechanismKind; 9] = [
+        MechanismKind::Lrm,
+        MechanismKind::LrmRelaxed,
+        MechanismKind::Laplace,
+        MechanismKind::Nod,
+        MechanismKind::Nor,
+        MechanismKind::MatrixMechanism,
+        MechanismKind::Wavelet,
+        MechanismKind::Hierarchical,
+        MechanismKind::DataAware,
+    ];
+
+    /// The candidate panel [`Engine::compile_best`](super::Engine::compile_best)
+    /// defaults to: every mechanism that is cheap enough to compile at any
+    /// domain size (the Matrix Mechanism's `O(n³)` solver is excluded, as
+    /// in the paper's Figs. 7–9).
+    pub const STANDARD_PANEL: [MechanismKind; 5] = [
+        MechanismKind::Laplace,
+        MechanismKind::Nor,
+        MechanismKind::Wavelet,
+        MechanismKind::Hierarchical,
+        MechanismKind::Lrm,
+    ];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MechanismKind::Lrm => "LRM",
+            MechanismKind::LrmRelaxed => "LRM-γ",
+            MechanismKind::Laplace => "LM",
+            MechanismKind::Nod => "NOD",
+            MechanismKind::Nor => "NOR",
+            MechanismKind::MatrixMechanism => "MM",
+            MechanismKind::Wavelet => "WM",
+            MechanismKind::Hierarchical => "HM",
+            MechanismKind::DataAware => "LRM+",
+        }
+    }
+
+    /// Whether compiling this kind runs the (expensive, cacheable-to-disk)
+    /// workload decomposition of Algorithm 1.
+    pub fn is_decomposition_backed(&self) -> bool {
+        matches!(
+            self,
+            MechanismKind::Lrm | MechanismKind::LrmRelaxed | MechanismKind::DataAware
+        )
+    }
+}
+
+impl fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-compile knobs consulted by [`Engine::compile`](super::Engine::compile).
+///
+/// Only the fields a kind actually reads take part in its cache key, so
+/// e.g. a Wavelet strategy is reused regardless of the LRM solver budgets.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Algorithm 1 parameters for the decomposition-backed kinds.
+    pub decomposition: DecompositionConfig,
+    /// The γ tolerance [`MechanismKind::LrmRelaxed`] overrides
+    /// `decomposition.gamma` with (the paper's Fig. 2 shows accuracy flat
+    /// up to γ ≈ 10 while compile time drops).
+    pub relaxed_gamma: f64,
+    /// Appendix-B solver parameters for [`MechanismKind::MatrixMechanism`].
+    pub matrix_mechanism: MatrixMechanismConfig,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            decomposition: DecompositionConfig::default(),
+            relaxed_gamma: 1.0,
+            matrix_mechanism: MatrixMechanismConfig::default(),
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Shorthand: default options with the given decomposition config.
+    pub fn with_decomposition(decomposition: DecompositionConfig) -> Self {
+        Self {
+            decomposition,
+            ..Self::default()
+        }
+    }
+
+    /// FNV-1a digest of the fields `kind` reads, for the strategy-cache
+    /// key. Hashes the `Debug` rendering — exhaustive over fields by
+    /// construction, and the cache only ever compares digests for
+    /// equality.
+    pub(crate) fn digest(&self, kind: MechanismKind) -> u64 {
+        let relevant = match kind {
+            MechanismKind::Lrm => format!("lrm|{:?}", self.decomposition),
+            MechanismKind::LrmRelaxed => {
+                format!("lrmr|{:?}|γ={}", self.decomposition, self.relaxed_gamma)
+            }
+            MechanismKind::DataAware => format!("da|{:?}", self.decomposition),
+            MechanismKind::MatrixMechanism => format!("mm|{:?}", self.matrix_mechanism),
+            // Parameter-free compiles: any options produce the same strategy.
+            MechanismKind::Laplace
+            | MechanismKind::Nod
+            | MechanismKind::Nor
+            | MechanismKind::Wavelet
+            | MechanismKind::Hierarchical => String::new(),
+        };
+        lrm_workload::workload::fnv1a_bytes(lrm_workload::workload::FNV_OFFSET, relevant.as_bytes())
+    }
+
+    /// The decomposition config a kind actually compiles with.
+    pub(crate) fn decomposition_for(&self, kind: MechanismKind) -> DecompositionConfig {
+        match kind {
+            MechanismKind::LrmRelaxed => DecompositionConfig {
+                gamma: self.relaxed_gamma,
+                ..self.decomposition.clone()
+            },
+            _ => self.decomposition.clone(),
+        }
+    }
+}
+
+/// A freshly built strategy plus, for decomposition-backed kinds, the
+/// factors worth spilling to disk.
+pub(crate) struct Built {
+    pub mechanism: Arc<dyn Mechanism + Send + Sync>,
+    pub decomposition: Option<WorkloadDecomposition>,
+}
+
+/// Compiles `kind` from scratch (no cache involvement).
+pub(crate) fn build(
+    kind: MechanismKind,
+    workload: &Workload,
+    options: &CompileOptions,
+) -> Result<Built, CoreError> {
+    let built = match kind {
+        MechanismKind::Lrm | MechanismKind::LrmRelaxed => {
+            let cfg = options.decomposition_for(kind);
+            let mech = LowRankMechanism::compile(workload, &cfg)?;
+            let dec = mech.decomposition().clone();
+            Built {
+                mechanism: Arc::new(mech),
+                decomposition: Some(dec),
+            }
+        }
+        MechanismKind::DataAware => {
+            let mech = CompensatedLowRankMechanism::compile(workload, &options.decomposition)?;
+            let dec = mech.decomposition().clone();
+            Built {
+                mechanism: Arc::new(mech),
+                decomposition: Some(dec),
+            }
+        }
+        MechanismKind::Laplace | MechanismKind::Nod => Built {
+            mechanism: Arc::new(NoiseOnData::compile(workload)),
+            decomposition: None,
+        },
+        MechanismKind::Nor => Built {
+            mechanism: Arc::new(NoiseOnResults::compile(workload)),
+            decomposition: None,
+        },
+        MechanismKind::MatrixMechanism => Built {
+            mechanism: Arc::new(MatrixMechanism::compile(
+                workload,
+                &options.matrix_mechanism,
+            )?),
+            decomposition: None,
+        },
+        MechanismKind::Wavelet => Built {
+            mechanism: Arc::new(WaveletMechanism::compile(workload)),
+            decomposition: None,
+        },
+        MechanismKind::Hierarchical => Built {
+            mechanism: Arc::new(HierarchicalMechanism::compile(workload)),
+            decomposition: None,
+        },
+    };
+    Ok(built)
+}
+
+/// Rebuilds a decomposition-backed mechanism from factors loaded off disk.
+pub(crate) fn rebuild_from_decomposition(
+    kind: MechanismKind,
+    decomposition: WorkloadDecomposition,
+    workload: &Workload,
+) -> Arc<dyn Mechanism + Send + Sync> {
+    let (m, n) = (workload.num_queries(), workload.domain_size());
+    match kind {
+        MechanismKind::DataAware => Arc::new(CompensatedLowRankMechanism::from_decomposition(
+            decomposition,
+            m,
+            n,
+        )),
+        _ => Arc::new(LowRankMechanism::from_decomposition(decomposition, m, n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_workload::generators::{WRange, WorkloadGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_are_unique_except_the_documented_lm_alias() {
+        let labels: Vec<&str> = MechanismKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "labels must be distinct");
+        assert_eq!(MechanismKind::Laplace.label(), "LM");
+        assert_eq!(MechanismKind::Nod.label(), "NOD");
+    }
+
+    #[test]
+    fn digest_separates_kinds_by_what_they_read() {
+        let base = CompileOptions::default();
+        let mut tweaked = CompileOptions::default();
+        tweaked.decomposition.gamma = 0.5;
+        // LRM cares about the decomposition config…
+        assert_ne!(
+            base.digest(MechanismKind::Lrm),
+            tweaked.digest(MechanismKind::Lrm)
+        );
+        // …Wavelet does not.
+        assert_eq!(
+            base.digest(MechanismKind::Wavelet),
+            tweaked.digest(MechanismKind::Wavelet)
+        );
+        // Relaxed γ only affects the relaxed kind.
+        let relaxed = CompileOptions {
+            relaxed_gamma: 5.0,
+            ..CompileOptions::default()
+        };
+        assert_ne!(
+            base.digest(MechanismKind::LrmRelaxed),
+            relaxed.digest(MechanismKind::LrmRelaxed)
+        );
+        assert_eq!(
+            base.digest(MechanismKind::Lrm),
+            relaxed.digest(MechanismKind::Lrm)
+        );
+    }
+
+    #[test]
+    fn every_kind_builds_and_answers() {
+        let w = WRange
+            .generate(6, 8, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let opts = CompileOptions::default();
+        let eps = lrm_dp::Epsilon::new(1.0).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        for kind in MechanismKind::ALL {
+            let built = build(kind, &w, &opts).unwrap();
+            assert_eq!(
+                built.decomposition.is_some(),
+                kind.is_decomposition_backed(),
+                "{kind}"
+            );
+            let mut rng = lrm_dp::rng::derive_rng(3, 4);
+            let y = built.mechanism.answer(&x, eps, &mut rng).unwrap();
+            assert_eq!(y.len(), 6, "{kind}");
+            assert!(
+                built.mechanism.expected_error(eps, Some(&x)) > 0.0,
+                "{kind}"
+            );
+        }
+    }
+}

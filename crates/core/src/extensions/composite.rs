@@ -6,6 +6,12 @@
 //! the operational reality behind the paper's figures: LM wins on small
 //! dense workloads, WM/HM on large range workloads, LRM wherever the
 //! workload has low rank — a deployment should just take the argmin.
+//!
+//! [`crate::engine::Engine::compile_best`] is the canonical entry point
+//! for this selection: it compiles a registry panel through the strategy
+//! cache and compares at the engine's reference ε. [`BestOfMechanism`]
+//! remains for the lower-level case of already-compiled candidates
+//! compared at a caller-chosen ε (optionally with a public data hint).
 
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;

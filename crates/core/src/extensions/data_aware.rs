@@ -115,7 +115,7 @@ impl Mechanism for CompensatedLowRankMechanism {
         // Low-rank part at ε₁.
         let mut lx = ops::mul_vec(l, x)?;
         if delta > 0.0 {
-            let noise = Laplace::centered(delta / eps1).map_err(CoreError::InvalidArgument)?;
+            let noise = Laplace::centered(delta / eps1)?;
             for v in lx.iter_mut() {
                 *v += noise.sample(rng);
             }
@@ -124,7 +124,7 @@ impl Mechanism for CompensatedLowRankMechanism {
 
         // Residual part at ε₂ (skipped when the whole budget went to LRM).
         if self.lrm_fraction < 1.0 {
-            let noise = Laplace::centered(1.0 / eps2).map_err(CoreError::InvalidArgument)?;
+            let noise = Laplace::centered(1.0 / eps2)?;
             let noisy_x: Vec<f64> = x.iter().map(|&v| v + noise.sample(rng)).collect();
             let residual_answers = ops::mul_vec(residual, &noisy_x)?;
             for (yi, ri) in y.iter_mut().zip(residual_answers.iter()) {

@@ -20,11 +20,16 @@
 //!   relaxed-decomposition error bound;
 //! * [`mechanism`] — the common [`mechanism::Mechanism`] interface with
 //!   closed-form expected errors (all mechanisms here publish
-//!   `linear map · Laplace vector`, so exact error formulas exist).
+//!   `linear map · Laplace vector`, so exact error formulas exist);
+//! * [`engine`] — the serving layer: the [`engine::MechanismKind`]
+//!   registry, the compile-once/answer-many [`engine::Engine`] with its
+//!   fingerprint-keyed strategy cache, and budget-tracked
+//!   [`engine::Session`]s.
 
 pub mod baselines;
 pub mod bounds;
 pub mod decomposition;
+pub mod engine;
 pub mod error;
 pub mod extensions;
 pub mod lrm;
@@ -32,6 +37,10 @@ pub mod mechanism;
 pub mod persistence;
 
 pub use decomposition::{DecompositionConfig, TargetRank, WorkloadDecomposition};
+pub use engine::{
+    BatchAnswer, CompileMeta, CompileOptions, CompiledMechanism, Engine, EngineBuilder,
+    EngineError, MechanismKind, Session,
+};
 pub use error::CoreError;
 pub use lrm::LowRankMechanism;
 pub use mechanism::Mechanism;

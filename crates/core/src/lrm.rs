@@ -81,8 +81,7 @@ impl Mechanism for LowRankMechanism {
         // Intermediate strategy answers L·x.
         let mut lx = ops::mul_vec(l, x)?;
         if delta > 0.0 {
-            let noise =
-                Laplace::centered(delta / eps.value()).map_err(CoreError::InvalidArgument)?;
+            let noise = Laplace::centered(delta / eps.value())?;
             for v in lx.iter_mut() {
                 *v += noise.sample(rng);
             }

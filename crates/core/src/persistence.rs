@@ -26,8 +26,7 @@ pub fn save_decomposition(
     decomposition: &WorkloadDecomposition,
     path: &Path,
 ) -> Result<(), CoreError> {
-    let file = File::create(path)
-        .map_err(|e| CoreError::InvalidArgument(format!("cannot create {path:?}: {e}")))?;
+    let file = File::create(path).map_err(|e| CoreError::io(path, e))?;
     let mut out = BufWriter::new(file);
     (|| -> std::io::Result<()> {
         out.write_all(MAGIC)?;
@@ -36,23 +35,25 @@ pub fn save_decomposition(
         decomposition.l().write_binary(&mut out)?;
         out.flush()
     })()
-    .map_err(|e| CoreError::InvalidArgument(format!("write failed: {e}")))?;
+    .map_err(|e| CoreError::io(path, e))?;
     Ok(())
 }
 
 /// Loads factors saved by [`save_decomposition`] and revalidates them
 /// against the workload: shapes must match, the sensitivity constraint
 /// `Δ(B,L) ≤ 1` must hold, and the residual is recomputed fresh (never
-/// trusted from disk). Returns a ready-to-use mechanism.
-pub fn load_mechanism(workload: &Workload, path: &Path) -> Result<LowRankMechanism, CoreError> {
-    let file = File::open(path)
-        .map_err(|e| CoreError::InvalidArgument(format!("cannot open {path:?}: {e}")))?;
+/// trusted from disk).
+pub fn load_decomposition(
+    workload: &Workload,
+    path: &Path,
+) -> Result<WorkloadDecomposition, CoreError> {
+    let file = File::open(path).map_err(|e| CoreError::io(path, e))?;
     let mut input = BufReader::new(file);
 
     let mut magic = [0u8; 4];
     input
         .read_exact(&mut magic)
-        .map_err(|e| CoreError::InvalidArgument(format!("truncated file: {e}")))?;
+        .map_err(|e| CoreError::io(path, e))?;
     if &magic != MAGIC {
         return Err(CoreError::InvalidArgument(
             "not an LRMD decomposition file (bad magic)".into(),
@@ -61,7 +62,7 @@ pub fn load_mechanism(workload: &Workload, path: &Path) -> Result<LowRankMechani
     let mut word4 = [0u8; 4];
     input
         .read_exact(&mut word4)
-        .map_err(|e| CoreError::InvalidArgument(format!("truncated file: {e}")))?;
+        .map_err(|e| CoreError::io(path, e))?;
     let version = u32::from_le_bytes(word4);
     if version != VERSION {
         return Err(CoreError::InvalidArgument(format!(
@@ -92,8 +93,17 @@ pub fn load_mechanism(workload: &Workload, path: &Path) -> Result<LowRankMechani
     // than silent wrong answers.
     let bl = ops::matmul(&b, &l)?;
     let residual = workload.matrix() - &bl;
-    let decomposition = WorkloadDecomposition::from_parts(b, l, residual);
-    Ok(LowRankMechanism::from_decomposition(decomposition, m, n))
+    Ok(WorkloadDecomposition::from_parts(b, l, residual))
+}
+
+/// [`load_decomposition`] wrapped into a ready-to-use mechanism.
+pub fn load_mechanism(workload: &Workload, path: &Path) -> Result<LowRankMechanism, CoreError> {
+    let decomposition = load_decomposition(workload, path)?;
+    Ok(LowRankMechanism::from_decomposition(
+        decomposition,
+        workload.num_queries(),
+        workload.domain_size(),
+    ))
 }
 
 #[cfg(test)]

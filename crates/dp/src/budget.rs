@@ -1,5 +1,6 @@
 //! Privacy budget type.
 
+use crate::error::DpError;
 use std::fmt;
 
 /// An ε-differential-privacy budget: strictly positive and finite.
@@ -12,13 +13,11 @@ pub struct Epsilon(f64);
 
 impl Epsilon {
     /// Creates a budget; rejects non-positive, NaN, or infinite values.
-    pub fn new(value: f64) -> Result<Self, String> {
+    pub fn new(value: f64) -> Result<Self, DpError> {
         if value.is_finite() && value > 0.0 {
             Ok(Self(value))
         } else {
-            Err(format!(
-                "privacy budget must be positive and finite, got {value}"
-            ))
+            Err(DpError::NonPositiveEpsilon(value))
         }
     }
 
@@ -33,17 +32,17 @@ impl Epsilon {
     ///
     /// The Hierarchical Mechanism uses this to give each tree level an
     /// equal share.
-    pub fn split(&self, k: usize) -> Result<Self, String> {
+    pub fn split(&self, k: usize) -> Result<Self, DpError> {
         if k == 0 {
-            return Err("cannot split a budget into zero parts".into());
+            return Err(DpError::EmptySplit);
         }
         Self::new(self.0 / k as f64)
     }
 
     /// Consumes a fraction of the budget (0 < fraction ≤ 1).
-    pub fn fraction(&self, fraction: f64) -> Result<Self, String> {
+    pub fn fraction(&self, fraction: f64) -> Result<Self, DpError> {
         if !(fraction > 0.0 && fraction <= 1.0) {
-            return Err(format!("fraction must be in (0, 1], got {fraction}"));
+            return Err(DpError::FractionOutOfRange(fraction));
         }
         Self::new(self.0 * fraction)
     }

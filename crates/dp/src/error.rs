@@ -1,0 +1,61 @@
+//! Typed errors for the differential-privacy primitives.
+
+use std::fmt;
+
+/// Errors raised by the DP primitive constructors in this crate.
+///
+/// Every variant carries the offending value so callers can report exactly
+/// what was rejected without re-deriving it from a message string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DpError {
+    /// A privacy budget that is not strictly positive and finite.
+    NonPositiveEpsilon(f64),
+    /// A budget split into zero parts.
+    EmptySplit,
+    /// A budget fraction outside `(0, 1]`.
+    FractionOutOfRange(f64),
+    /// A Laplace scale that is not strictly positive and finite.
+    NonPositiveScale(f64),
+    /// A Laplace location that is not finite.
+    NonFiniteLocation(f64),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::NonPositiveEpsilon(v) => {
+                write!(f, "privacy budget must be positive and finite, got {v}")
+            }
+            DpError::EmptySplit => write!(f, "cannot split a budget into zero parts"),
+            DpError::FractionOutOfRange(v) => {
+                write!(f, "fraction must be in (0, 1], got {v}")
+            }
+            DpError::NonPositiveScale(v) => {
+                write!(f, "Laplace scale must be positive and finite, got {v}")
+            }
+            DpError::NonFiniteLocation(v) => {
+                write!(f, "Laplace location must be finite, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_value() {
+        assert!(DpError::NonPositiveEpsilon(-2.0).to_string().contains("-2"));
+        assert!(DpError::FractionOutOfRange(1.5).to_string().contains("1.5"));
+        assert!(DpError::NonPositiveScale(0.0).to_string().contains('0'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(DpError::EmptySplit);
+        assert!(e.source().is_none());
+    }
+}

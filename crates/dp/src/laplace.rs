@@ -5,6 +5,7 @@
 //! `Lap(s)` has density `exp(−|x|/s)/(2s)` and variance `2s²` — the `2s²`
 //! is where the `2·Φ·Δ²/ε²` of Lemma 1 comes from.
 
+use crate::error::DpError;
 use rand::Rng;
 
 /// A Laplace distribution with the given location and scale.
@@ -16,18 +17,18 @@ pub struct Laplace {
 
 impl Laplace {
     /// Creates a distribution; the scale must be positive and finite.
-    pub fn new(location: f64, scale: f64) -> Result<Self, String> {
+    pub fn new(location: f64, scale: f64) -> Result<Self, DpError> {
         if !(scale > 0.0 && scale.is_finite()) {
-            return Err(format!("Laplace scale must be positive, got {scale}"));
+            return Err(DpError::NonPositiveScale(scale));
         }
         if !location.is_finite() {
-            return Err(format!("Laplace location must be finite, got {location}"));
+            return Err(DpError::NonFiniteLocation(location));
         }
         Ok(Self { location, scale })
     }
 
     /// Zero-mean Laplace with the given scale — `Lap(s)` in the paper.
-    pub fn centered(scale: f64) -> Result<Self, String> {
+    pub fn centered(scale: f64) -> Result<Self, DpError> {
         Self::new(0.0, scale)
     }
 

@@ -1,0 +1,254 @@
+//! Privacy-budget accounting by sequential composition.
+//!
+//! Sequential composition (the same theorem behind [`Epsilon::split`]): the
+//! releases `M₁(x), …, M_k(x)` with budgets `ε₁, …, ε_k` jointly satisfy
+//! `(Σεᵢ)`-DP. A [`BudgetLedger`] enforces the contrapositive — it holds a
+//! fixed total and *debits* every release, refusing any debit that would
+//! push the cumulative spend past the total, so a serving loop can never
+//! silently exceed its advertised guarantee.
+
+use crate::budget::Epsilon;
+use crate::error::DpError;
+use std::fmt;
+
+/// Relative slack absorbing f64 rounding so that, e.g., ten debits of ε/10
+/// sum to exactly ε instead of being rejected by the last few ulps.
+const RELATIVE_SLACK: f64 = 1e-9;
+
+/// A sequential-composition ledger over a fixed total ε.
+///
+/// ```
+/// use lrm_dp::{BudgetLedger, Epsilon};
+///
+/// let mut ledger = BudgetLedger::new(Epsilon::new(1.0).unwrap());
+/// let half = Epsilon::new(0.5).unwrap();
+/// ledger.debit(half).unwrap();
+/// ledger.debit(half).unwrap();
+/// assert!(ledger.is_exhausted());
+/// assert!(ledger.debit(half).is_err()); // over-spend refused, typed
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetLedger {
+    total: f64,
+    spent: f64,
+    debits: usize,
+}
+
+impl BudgetLedger {
+    /// Opens a ledger holding `total` as the overall privacy guarantee.
+    pub fn new(total: Epsilon) -> Self {
+        Self {
+            total: total.value(),
+            spent: 0.0,
+            debits: 0,
+        }
+    }
+
+    /// The fixed total ε this ledger enforces.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Cumulative ε debited so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available, never negative.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Number of successful debits.
+    pub fn debits(&self) -> usize {
+        self.debits
+    }
+
+    /// Whether the remaining budget is (numerically) zero.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() <= self.total * RELATIVE_SLACK
+    }
+
+    /// The remaining budget as an [`Epsilon`], if any is left.
+    pub fn remaining_epsilon(&self) -> Result<Epsilon, DpError> {
+        Epsilon::new(self.remaining())
+    }
+
+    /// Checks whether `eps` could be debited without actually debiting.
+    ///
+    /// An exhausted ledger refuses *every* debit, including ones smaller
+    /// than the rounding slack — otherwise a stream of sub-slack "dust"
+    /// debits could keep releasing forever while `spent` stays clamped at
+    /// `total`. With this guard the true cumulative spend can exceed the
+    /// advertised total by at most one slack (`total × 1e-9`) over the
+    /// ledger's whole lifetime.
+    pub fn check(&self, eps: Epsilon) -> Result<(), BudgetError> {
+        if self.is_exhausted() || eps.value() > self.remaining() + self.total * RELATIVE_SLACK {
+            return Err(BudgetError::Exhausted {
+                requested: eps.value(),
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Debits `eps`, returning the remaining budget; refuses (leaving the
+    /// ledger untouched) when the debit would exceed the total.
+    pub fn debit(&mut self, eps: Epsilon) -> Result<f64, BudgetError> {
+        self.check(eps)?;
+        // The slack can let `spent` creep a few ulps past `total`; clamp so
+        // `remaining`/`spent` never misreport the guarantee.
+        self.spent = (self.spent + eps.value()).min(self.total);
+        self.debits += 1;
+        Ok(self.remaining())
+    }
+}
+
+impl fmt::Display for BudgetLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ε-ledger: spent {:.6}/{:.6} over {} release(s)",
+            self.spent, self.total, self.debits
+        )
+    }
+}
+
+/// Typed failure of a ledger operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetError {
+    /// A debit was refused because it would exceed the ledger's total.
+    Exhausted {
+        /// The ε the caller asked to spend.
+        requested: f64,
+        /// The ε actually left in the ledger.
+        remaining: f64,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, only ε={remaining} remains"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn tracks_spend_and_remaining() {
+        let mut ledger = BudgetLedger::new(eps(1.0));
+        assert_eq!(ledger.spent(), 0.0);
+        assert_eq!(ledger.remaining(), 1.0);
+        assert!(!ledger.is_exhausted());
+
+        let remaining = ledger.debit(eps(0.25)).unwrap();
+        assert!((remaining - 0.75).abs() < 1e-15);
+        assert_eq!(ledger.debits(), 1);
+    }
+
+    #[test]
+    fn two_halves_equal_one_whole() {
+        // Sequential composition accounting: two releases at ε/2 leave the
+        // ledger in the same state as one release at ε.
+        let mut split = BudgetLedger::new(eps(1.0));
+        split.debit(eps(0.5)).unwrap();
+        split.debit(eps(0.5)).unwrap();
+
+        let mut whole = BudgetLedger::new(eps(1.0));
+        whole.debit(eps(1.0)).unwrap();
+
+        assert_eq!(split.spent(), whole.spent());
+        assert_eq!(split.remaining(), whole.remaining());
+        assert!(split.is_exhausted() && whole.is_exhausted());
+    }
+
+    #[test]
+    fn refuses_over_spend_without_mutating() {
+        let mut ledger = BudgetLedger::new(eps(1.0));
+        ledger.debit(eps(0.75)).unwrap();
+        let err = ledger.debit(eps(0.5)).unwrap_err();
+        match err {
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => {
+                assert_eq!(requested, 0.5);
+                assert!((remaining - 0.25).abs() < 1e-15);
+            }
+        }
+        // The refused debit left the ledger untouched.
+        assert!((ledger.spent() - 0.75).abs() < 1e-15);
+        assert_eq!(ledger.debits(), 1);
+        // A debit that does fit still goes through.
+        ledger.debit(eps(0.25)).unwrap();
+        assert!(ledger.is_exhausted());
+    }
+
+    #[test]
+    fn float_dust_does_not_block_the_last_release() {
+        // 10 × ε/10 must consume exactly ε despite f64 rounding.
+        let mut ledger = BudgetLedger::new(eps(1.0));
+        let share = eps(1.0 / 10.0);
+        for _ in 0..10 {
+            ledger.debit(share).unwrap();
+        }
+        assert!(ledger.is_exhausted());
+        assert!(ledger.spent() <= ledger.total());
+        assert!(ledger.debit(share).is_err());
+    }
+
+    #[test]
+    fn exhausted_ledger_refuses_dust_debits() {
+        // Debits below the rounding slack must not leak through an
+        // exhausted ledger: ε=1e-9 dust released in a loop would compose
+        // to an unbounded true spend while `spent` stays clamped at total.
+        let mut ledger = BudgetLedger::new(eps(1.0));
+        ledger.debit(eps(1.0)).unwrap();
+        assert!(ledger.is_exhausted());
+        assert!(ledger.debit(eps(1e-9)).is_err());
+        assert!(ledger.debit(eps(1e-15)).is_err());
+        assert_eq!(ledger.debits(), 1);
+    }
+
+    #[test]
+    fn check_is_side_effect_free() {
+        let ledger = BudgetLedger::new(eps(0.2));
+        assert!(ledger.check(eps(0.2)).is_ok());
+        assert!(ledger.check(eps(0.3)).is_err());
+        assert_eq!(ledger.spent(), 0.0);
+    }
+
+    #[test]
+    fn remaining_epsilon_round_trips() {
+        let mut ledger = BudgetLedger::new(eps(1.0));
+        ledger.debit(eps(0.4)).unwrap();
+        let rest = ledger.remaining_epsilon().unwrap();
+        assert!((rest.value() - 0.6).abs() < 1e-12);
+        ledger.debit(rest).unwrap();
+        assert!(ledger.remaining_epsilon().is_err());
+    }
+
+    #[test]
+    fn display_mentions_spend() {
+        let mut ledger = BudgetLedger::new(eps(1.0));
+        ledger.debit(eps(0.5)).unwrap();
+        let s = ledger.to_string();
+        assert!(s.contains("0.5") && s.contains("1 release"), "{s}");
+    }
+}

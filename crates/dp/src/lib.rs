@@ -3,6 +3,10 @@
 //!
 //! * [`budget`] — the ε privacy budget type with validation and
 //!   sequential-composition arithmetic.
+//! * [`ledger`] — the [`BudgetLedger`], which debits a fixed total ε per
+//!   release and refuses over-spends with a typed [`BudgetError`].
+//! * [`error`] — the typed [`DpError`] every constructor in this crate
+//!   reports.
 //! * [`laplace`] — Laplace distribution sampling (inverse-CDF), the noise
 //!   primitive of every mechanism in the paper (Eq. 3).
 //! * [`sensitivity`] — L1 sensitivity arithmetic: the workload sensitivity
@@ -13,9 +17,13 @@
 //!   the harness is reproducible bit-for-bit.
 
 pub mod budget;
+pub mod error;
 pub mod laplace;
+pub mod ledger;
 pub mod rng;
 pub mod sensitivity;
 
 pub use budget::Epsilon;
+pub use error::DpError;
 pub use laplace::Laplace;
+pub use ledger::{BudgetError, BudgetLedger};

@@ -154,7 +154,7 @@ fn run_variants(workload: &Workload, wname: &str, ctx: &ExperimentContext) -> Ve
     records
 }
 
-/// Runs the full ablation suite.
+/// Runs the full ablation suite, evicting its strategies on the way out.
 pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
     let (m, n) = if ctx.full { (64, 256) } else { (24, 64) };
     let mut records = Vec::new();
@@ -182,13 +182,17 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         );
         table.header(&["workload", "LM", "WM", "HM", "LRM"]);
         for (name, w) in [("WRange", &wrange), ("WPermutedRange", &wperm)] {
-            use lrm_core::baselines::{HierarchicalMechanism, NoiseOnData, WaveletMechanism};
-            let lm = NoiseOnData::compile(w).expected_error(eps, None);
-            let wm = WaveletMechanism::compile(w).expected_error(eps, None);
-            let hm = HierarchicalMechanism::compile(w).expected_error(eps, None);
-            let lrm = LowRankMechanism::compile(w, &DecompositionConfig::default())
-                .map(|mech| mech.expected_error(eps, None))
-                .unwrap_or(f64::NAN);
+            use lrm_core::engine::MechanismKind;
+            let err = |kind: MechanismKind| {
+                ctx.engine()
+                    .compile_default(w, kind)
+                    .map(|c| c.expected_error(eps, None))
+                    .unwrap_or(f64::NAN)
+            };
+            let lm = err(MechanismKind::Laplace);
+            let wm = err(MechanismKind::Wavelet);
+            let hm = err(MechanismKind::Hierarchical);
+            let lrm = err(MechanismKind::Lrm);
             table.row(vec![
                 name.into(),
                 format_err(lm),
@@ -199,5 +203,6 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         }
         println!("{}", table.render());
     }
+    ctx.engine().clear_cache();
     records
 }

@@ -49,7 +49,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
             let mut lrm_config = ctx.lrm_config_for(params::DEFAULT_GAMMA, ratio, m, n);
             lrm_config.target_rank = TargetRank::Exact(r);
             let (mechanism, compile_seconds) =
-                match compile_timed(MechanismKind::Lrm, &workload, &lrm_config) {
+                match compile_timed(ctx.engine(), MechanismKind::Lrm, &workload, &lrm_config) {
                     Ok(pair) => pair,
                     Err(e) => {
                         row.push(format!("err:{e}"));
@@ -60,13 +60,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
             for &eps in &params::EPSILONS {
                 let tag = format!("fig3/{wname}/ratio={ratio}/eps={eps}");
                 match measure(
-                    mechanism.as_ref(),
-                    &workload,
-                    &data,
-                    eps,
-                    ctx.trials,
-                    ctx.seed,
-                    &tag,
+                    &mechanism, &workload, &data, eps, ctx.trials, ctx.seed, &tag,
                 ) {
                     Ok((analytic, empirical, answer_seconds)) => {
                         row.push(format_err(empirical));
@@ -93,6 +87,9 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         if !ctx.quiet {
             println!("{}", table.render());
         }
+        // Each (workload, r) strategy was already reused across all three
+        // ε — nothing further in the run revisits it.
+        ctx.engine().clear_cache();
     }
     records
 }

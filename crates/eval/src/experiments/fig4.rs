@@ -3,7 +3,7 @@
 
 use crate::experiments::sweep::{run_domain_sweep, SweepPlan};
 use crate::experiments::ExperimentContext;
-use crate::mechanisms::MechanismKind;
+use crate::mechanisms;
 use crate::report::CsvRecord;
 use lrm_workload::generators::WDiscrete;
 
@@ -13,7 +13,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         figure: "fig4",
         title: "Fig 4 — error vs domain size n (WDiscrete)",
         x_name: "n",
-        mechanisms: &MechanismKind::FIG4_SET,
+        mechanisms: &mechanisms::FIG4_SET,
         workload_name: "WDiscrete",
     };
     run_domain_sweep(&plan, &WDiscrete::default(), ctx)

@@ -3,7 +3,7 @@
 
 use crate::experiments::sweep::{run_domain_sweep, SweepPlan};
 use crate::experiments::ExperimentContext;
-use crate::mechanisms::MechanismKind;
+use crate::mechanisms;
 use crate::report::CsvRecord;
 use lrm_workload::generators::WRange;
 
@@ -13,7 +13,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         figure: "fig5",
         title: "Fig 5 — error vs domain size n (WRange)",
         x_name: "n",
-        mechanisms: &MechanismKind::FIG4_SET,
+        mechanisms: &mechanisms::FIG4_SET,
         workload_name: "WRange",
     };
     run_domain_sweep(&plan, &WRange, ctx)

@@ -3,7 +3,7 @@
 
 use crate::experiments::sweep::{run_domain_sweep, SweepPlan};
 use crate::experiments::ExperimentContext;
-use crate::mechanisms::MechanismKind;
+use crate::mechanisms;
 use crate::params;
 use crate::report::CsvRecord;
 use lrm_workload::generators::WRelated;
@@ -20,7 +20,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         figure: "fig6",
         title: "Fig 6 — error vs domain size n (WRelated)",
         x_name: "n",
-        mechanisms: &MechanismKind::FIG4_SET,
+        mechanisms: &mechanisms::FIG4_SET,
         workload_name: "WRelated",
     };
     run_domain_sweep(&plan, &WRelated { base_queries: s }, ctx)

@@ -3,7 +3,7 @@
 
 use crate::experiments::sweep::{run_query_sweep, SweepPlan};
 use crate::experiments::ExperimentContext;
-use crate::mechanisms::MechanismKind;
+use crate::mechanisms;
 use crate::report::CsvRecord;
 use lrm_workload::generators::WRange;
 
@@ -13,7 +13,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         figure: "fig7",
         title: "Fig 7 — error vs query count m (WRange)",
         x_name: "m",
-        mechanisms: &MechanismKind::FIG7_SET,
+        mechanisms: &mechanisms::FIG7_SET,
         workload_name: "WRange",
     };
     run_query_sweep(&plan, &WRange, ctx)

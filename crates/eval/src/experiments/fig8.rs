@@ -3,7 +3,7 @@
 
 use crate::experiments::sweep::{run_sweep, workload_at, SweepPlan, SweepPoint};
 use crate::experiments::ExperimentContext;
-use crate::mechanisms::MechanismKind;
+use crate::mechanisms;
 use crate::params;
 use crate::report::CsvRecord;
 use lrm_workload::generators::WRelated;
@@ -15,7 +15,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         figure: "fig8",
         title: "Fig 8 — error vs query count m (WRelated)",
         x_name: "m",
-        mechanisms: &MechanismKind::FIG7_SET,
+        mechanisms: &mechanisms::FIG7_SET,
         workload_name: "WRelated",
     };
     // s tracks m: s = ratio·min(m, n) as in the paper's generator, so the

@@ -4,7 +4,7 @@
 
 use crate::experiments::sweep::{run_sweep, workload_at, SweepPlan, SweepPoint};
 use crate::experiments::ExperimentContext;
-use crate::mechanisms::MechanismKind;
+use crate::mechanisms;
 use crate::params;
 use crate::report::CsvRecord;
 use lrm_workload::generators::WRelated;
@@ -17,7 +17,7 @@ pub fn run(ctx: &ExperimentContext) -> Vec<CsvRecord> {
         figure: "fig9",
         title: "Fig 9 — error vs s-ratio (WRelated, s = ratio·min(m,n))",
         x_name: "s-ratio",
-        mechanisms: &MechanismKind::FIG7_SET,
+        mechanisms: &mechanisms::FIG7_SET,
         workload_name: "WRelated",
     };
     let points: Vec<SweepPoint> = params::S_RATIOS

@@ -13,7 +13,9 @@ mod sweep;
 
 use crate::params;
 use lrm_core::decomposition::{DecompositionConfig, TargetRank};
+use lrm_core::engine::Engine;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 pub use sweep::{run_domain_sweep, run_query_sweep, SweepPlan};
 
@@ -31,6 +33,12 @@ pub struct ExperimentContext {
     pub csv_dir: Option<PathBuf>,
     /// Suppress table printing (used by tests and benches).
     pub quiet: bool,
+    /// The serving engine all cells compile through. Shared (`Arc`) so
+    /// clones of the context reuse one strategy cache within a figure;
+    /// the figure drivers call [`Engine::clear_cache`] once a workload's
+    /// cells are done, so a full grid run never retains every strategy it
+    /// ever built.
+    pub engine: Arc<Engine>,
 }
 
 impl Default for ExperimentContext {
@@ -41,6 +49,7 @@ impl Default for ExperimentContext {
             seed: 20120827, // VLDB 2012 opening day
             csv_dir: None,
             quiet: false,
+            engine: Arc::new(Engine::default()),
         }
     }
 }
@@ -111,6 +120,11 @@ impl ExperimentContext {
         } else {
             params::DEFAULT_DOMAIN_QUICK
         }
+    }
+
+    /// The engine the harness compiles every mechanism through.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Largest domain MM is attempted on (Appendix B is O(n³) per step).

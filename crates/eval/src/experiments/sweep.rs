@@ -71,7 +71,7 @@ pub fn run_sweep(
             .mechanisms
             .iter()
             .map(|kind| {
-                if *kind == MechanismKind::Mm && point.n > ctx.mm_domain_cap() {
+                if *kind == MechanismKind::MatrixMechanism && point.n > ctx.mm_domain_cap() {
                     // Appendix-B MM is O(n³) per iteration; the paper
                     // itself calls this overhead out as prohibitive.
                     return (
@@ -87,7 +87,10 @@ pub fn run_sweep(
                     point.m,
                     point.n,
                 );
-                (*kind, compile_timed(*kind, &point.workload, &cfg))
+                (
+                    *kind,
+                    compile_timed(ctx.engine(), *kind, &point.workload, &cfg),
+                )
             })
             .collect();
 
@@ -103,12 +106,12 @@ pub fn run_sweep(
                             "{}/{}/{}/{}={}",
                             plan.figure,
                             dataset.name(),
-                            kind.name(),
+                            kind.label(),
                             plan.x_name,
                             point.x
                         );
                         match measure(
-                            mechanism.as_ref(),
+                            mechanism,
                             &point.workload,
                             &data,
                             params::EPSILON_MAIN,
@@ -122,7 +125,7 @@ pub fn run_sweep(
                                     figure: plan.figure.into(),
                                     dataset: dataset.name().into(),
                                     workload: plan.workload_name.into(),
-                                    mechanism: kind.name().into(),
+                                    mechanism: kind.label().into(),
                                     x_name: plan.x_name.into(),
                                     x: point.x,
                                     epsilon: params::EPSILON_MAIN,
@@ -140,6 +143,11 @@ pub fn run_sweep(
             }
             tables[d].push(row);
         }
+        // Every point is a distinct workload (distinct fingerprint), so
+        // nothing later in the run can hit these entries — evict them
+        // rather than retain every strategy of the whole sweep.
+        drop(compiled);
+        ctx.engine().clear_cache();
     }
 
     for (d, dataset) in Dataset::ALL.iter().enumerate() {
@@ -152,7 +160,7 @@ pub fn run_sweep(
         ));
         let mut header: Vec<&str> = vec![plan.x_name];
         for kind in plan.mechanisms {
-            header.push(kind.name());
+            header.push(kind.label());
         }
         table.header(&header);
         for row in tables[d].drain(..) {

@@ -1,83 +1,30 @@
-//! Mechanism selection and construction for the harness.
+//! Mechanism selection for the harness.
+//!
+//! The registry itself lives in [`lrm_core::engine`]; this module only
+//! re-exports it and names the paper's figure panels, plus the LRM
+//! configuration shorthand the experiments share.
 
-use lrm_core::baselines::{
-    HierarchicalMechanism, MatrixMechanism, MatrixMechanismConfig, NoiseOnData, NoiseOnResults,
-    WaveletMechanism,
-};
 use lrm_core::decomposition::{DecompositionConfig, TargetRank};
-use lrm_core::{CoreError, LowRankMechanism, Mechanism};
-use lrm_workload::Workload;
 
-/// The mechanisms plotted in the paper's figures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum MechanismKind {
-    /// Low-Rank Mechanism (this paper).
-    Lrm,
-    /// The naive Laplace baseline plotted as "LM" (noise on data, Eq. 4;
-    /// see DESIGN.md §5 on this reading).
-    Lm,
-    /// Noise on results (Eq. 5) — implemented for completeness; not
-    /// plotted in the paper's figures.
-    Nor,
-    /// Matrix Mechanism (Appendix B).
-    Mm,
-    /// Wavelet Mechanism (Privelet).
-    Wm,
-    /// Hierarchical Mechanism (Hay et al.).
-    Hm,
-}
+pub use lrm_core::engine::{CompileOptions, MechanismKind};
 
-impl MechanismKind {
-    /// The five mechanisms of Figs. 4–6, in the paper's legend order.
-    pub const FIG4_SET: [MechanismKind; 5] = [
-        MechanismKind::Mm,
-        MechanismKind::Lm,
-        MechanismKind::Wm,
-        MechanismKind::Hm,
-        MechanismKind::Lrm,
-    ];
+/// The five mechanisms of Figs. 4–6, in the paper's legend order.
+pub const FIG4_SET: [MechanismKind; 5] = [
+    MechanismKind::MatrixMechanism,
+    MechanismKind::Laplace,
+    MechanismKind::Wavelet,
+    MechanismKind::Hierarchical,
+    MechanismKind::Lrm,
+];
 
-    /// The four mechanisms of Figs. 7–9 (MM excluded "because of its poor
-    /// performance", Section 6.2).
-    pub const FIG7_SET: [MechanismKind; 4] = [
-        MechanismKind::Lm,
-        MechanismKind::Wm,
-        MechanismKind::Hm,
-        MechanismKind::Lrm,
-    ];
-
-    /// Display name matching the paper's legends.
-    pub fn name(&self) -> &'static str {
-        match self {
-            MechanismKind::Lrm => "LRM",
-            MechanismKind::Lm => "LM",
-            MechanismKind::Nor => "NOR",
-            MechanismKind::Mm => "MM",
-            MechanismKind::Wm => "WM",
-            MechanismKind::Hm => "HM",
-        }
-    }
-
-    /// Compiles the mechanism for a workload. `lrm_config` parameterizes
-    /// LRM (γ, r, ALM budgets); MM uses its Appendix-B defaults.
-    pub fn compile(
-        &self,
-        workload: &Workload,
-        lrm_config: &DecompositionConfig,
-    ) -> Result<Box<dyn Mechanism>, CoreError> {
-        Ok(match self {
-            MechanismKind::Lrm => Box::new(LowRankMechanism::compile(workload, lrm_config)?),
-            MechanismKind::Lm => Box::new(NoiseOnData::compile(workload)),
-            MechanismKind::Nor => Box::new(NoiseOnResults::compile(workload)),
-            MechanismKind::Mm => Box::new(MatrixMechanism::compile(
-                workload,
-                &MatrixMechanismConfig::default(),
-            )?),
-            MechanismKind::Wm => Box::new(WaveletMechanism::compile(workload)),
-            MechanismKind::Hm => Box::new(HierarchicalMechanism::compile(workload)),
-        })
-    }
-}
+/// The four mechanisms of Figs. 7–9 (MM excluded "because of its poor
+/// performance", Section 6.2).
+pub const FIG7_SET: [MechanismKind; 4] = [
+    MechanismKind::Laplace,
+    MechanismKind::Wavelet,
+    MechanismKind::Hierarchical,
+    MechanismKind::Lrm,
+];
 
 /// LRM configuration with the harness defaults for a given (γ, r-ratio).
 pub fn lrm_config(gamma: f64, rank_ratio: f64) -> DecompositionConfig {
@@ -91,40 +38,39 @@ pub fn lrm_config(gamma: f64, rank_ratio: f64) -> DecompositionConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::ExperimentContext;
+    use lrm_core::Mechanism as _;
     use lrm_dp::Epsilon;
     use lrm_workload::generators::{WRange, WorkloadGenerator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
-    fn all_kinds_compile_and_answer() {
+    fn figure_panels_compile_through_the_engine() {
+        let ctx = ExperimentContext {
+            quiet: true,
+            ..ExperimentContext::default()
+        };
         let w = WRange
             .generate(6, 8, &mut StdRng::seed_from_u64(1))
             .unwrap();
-        let cfg = lrm_config(0.01, 1.2);
+        let options = CompileOptions::with_decomposition(lrm_config(0.01, 1.2));
         let eps = Epsilon::new(1.0).unwrap();
         let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
-        for kind in [
-            MechanismKind::Lrm,
-            MechanismKind::Lm,
-            MechanismKind::Nor,
-            MechanismKind::Mm,
-            MechanismKind::Wm,
-            MechanismKind::Hm,
-        ] {
-            let mech = kind.compile(&w, &cfg).unwrap();
-            assert_eq!(mech.name(), kind.name());
+        for kind in FIG4_SET {
+            let compiled = ctx.engine().compile(&w, kind, &options).unwrap();
+            assert_eq!(compiled.meta().label, kind.label());
             let mut rng = lrm_dp::rng::derive_rng(1, 2);
-            let y = mech.answer(&x, eps, &mut rng).unwrap();
-            assert_eq!(y.len(), 6, "{}", kind.name());
-            assert!(mech.expected_error(eps, Some(&x)) > 0.0);
+            let y = compiled.answer(&x, eps, &mut rng).unwrap();
+            assert_eq!(y.len(), 6, "{}", kind.label());
+            assert!(compiled.expected_error(eps, Some(&x)) > 0.0);
         }
     }
 
     #[test]
     fn figure_sets_match_paper() {
-        assert_eq!(MechanismKind::FIG4_SET.len(), 5);
-        assert_eq!(MechanismKind::FIG7_SET.len(), 4);
-        assert!(!MechanismKind::FIG7_SET.contains(&MechanismKind::Mm));
+        assert_eq!(FIG4_SET.len(), 5);
+        assert_eq!(FIG7_SET.len(), 4);
+        assert!(!FIG7_SET.contains(&MechanismKind::MatrixMechanism));
     }
 }

@@ -1,7 +1,12 @@
 //! Cell execution: one (mechanism, workload, ε) measurement.
+//!
+//! All compilation goes through the [`Engine`] — the harness never calls a
+//! per-mechanism constructor, so a cell that revisits an already-compiled
+//! `(workload, kind, options)` triple is a cache hit.
 
 use crate::mechanisms::MechanismKind;
 use lrm_core::decomposition::DecompositionConfig;
+use lrm_core::engine::{CompileOptions, CompiledMechanism, Engine};
 use lrm_core::{CoreError, Mechanism};
 use lrm_dp::rng::{derive_rng, stream_of};
 use lrm_dp::Epsilon;
@@ -46,15 +51,18 @@ pub struct CellOutcome {
     pub answer_seconds: f64,
 }
 
-/// Compiles a mechanism and reports the wall-clock time it took.
+/// Compiles a mechanism through the engine and reports the wall-clock
+/// time the call took (≈0 when served from the strategy cache).
 pub fn compile_timed(
+    engine: &Engine,
     kind: MechanismKind,
     workload: &Workload,
     lrm_config: &DecompositionConfig,
-) -> Result<(Box<dyn Mechanism>, f64), CoreError> {
-    let t0 = Instant::now();
-    let mechanism = kind.compile(workload, lrm_config)?;
-    Ok((mechanism, t0.elapsed().as_secs_f64()))
+) -> Result<(CompiledMechanism, f64), CoreError> {
+    let options = CompileOptions::with_decomposition(lrm_config.clone());
+    let compiled = engine.compile(workload, kind, &options)?;
+    let seconds = compiled.meta().compile_seconds;
+    Ok((compiled, seconds))
 }
 
 /// Measures an already-compiled mechanism on one database: analytic error
@@ -68,7 +76,7 @@ pub fn measure(
     seed: u64,
     tag: &str,
 ) -> Result<(f64, f64, f64), CoreError> {
-    let eps = Epsilon::new(epsilon).map_err(CoreError::InvalidArgument)?;
+    let eps = Epsilon::new(epsilon)?;
     let truth = workload.answer(data).map_err(CoreError::InvalidArgument)?;
     let analytic_avg_error = mechanism.expected_error(eps, Some(data));
 
@@ -99,11 +107,13 @@ pub fn measure(
     Ok((analytic_avg_error, empirical_avg_error, answer_seconds))
 }
 
-/// Runs one cell: compile, analytic error, `trials` Monte-Carlo answers.
-pub fn run_cell(spec: &CellSpec<'_>) -> Result<CellOutcome, CoreError> {
-    let (mechanism, compile_seconds) = compile_timed(spec.kind, spec.workload, &spec.lrm_config)?;
+/// Runs one cell: compile (through the engine), analytic error, `trials`
+/// Monte-Carlo answers.
+pub fn run_cell(engine: &Engine, spec: &CellSpec<'_>) -> Result<CellOutcome, CoreError> {
+    let (mechanism, compile_seconds) =
+        compile_timed(engine, spec.kind, spec.workload, &spec.lrm_config)?;
     let (analytic_avg_error, empirical_avg_error, answer_seconds) = measure(
-        mechanism.as_ref(),
+        &mechanism,
         spec.workload,
         spec.data,
         spec.epsilon,
@@ -112,7 +122,7 @@ pub fn run_cell(spec: &CellSpec<'_>) -> Result<CellOutcome, CoreError> {
         &spec.tag,
     )?;
     Ok(CellOutcome {
-        mechanism: mechanism.name(),
+        mechanism: mechanism.meta().label,
         analytic_avg_error,
         empirical_avg_error,
         compile_seconds,
@@ -135,7 +145,7 @@ mod tests {
             .unwrap();
         let data: Vec<f64> = (0..16).map(|i| (i * 3 % 11) as f64).collect();
         let spec = CellSpec {
-            kind: MechanismKind::Lm,
+            kind: MechanismKind::Laplace,
             workload: &w,
             data: &data,
             epsilon: 1.0,
@@ -144,7 +154,7 @@ mod tests {
             seed: 99,
             tag: "test/lm".into(),
         };
-        let out = run_cell(&spec).unwrap();
+        let out = run_cell(&Engine::default(), &spec).unwrap();
         let rel = (out.empirical_avg_error - out.analytic_avg_error).abs() / out.analytic_avg_error;
         assert!(rel < 0.1, "rel {rel}");
         assert_eq!(out.mechanism, "LM");
@@ -157,7 +167,7 @@ mod tests {
             .unwrap();
         let data = vec![1.0; 8];
         let spec = CellSpec {
-            kind: MechanismKind::Wm,
+            kind: MechanismKind::Wavelet,
             workload: &w,
             data: &data,
             epsilon: 0.5,
@@ -166,8 +176,11 @@ mod tests {
             seed: 7,
             tag: "test/det".into(),
         };
-        let a = run_cell(&spec).unwrap();
-        let b = run_cell(&spec).unwrap();
+        // The second run is served from the strategy cache; results must
+        // still be bit-identical.
+        let engine = Engine::default();
+        let a = run_cell(&engine, &spec).unwrap();
+        let b = run_cell(&engine, &spec).unwrap();
         assert_eq!(a.empirical_avg_error, b.empirical_avg_error);
     }
 
@@ -178,7 +191,7 @@ mod tests {
             .unwrap();
         let data = vec![1.0; 8];
         let spec = CellSpec {
-            kind: MechanismKind::Hm,
+            kind: MechanismKind::Hierarchical,
             workload: &w,
             data: &data,
             epsilon: 0.5,
@@ -187,7 +200,7 @@ mod tests {
             seed: 7,
             tag: "test/zero".into(),
         };
-        let out = run_cell(&spec).unwrap();
+        let out = run_cell(&Engine::default(), &spec).unwrap();
         assert!(out.empirical_avg_error.is_nan());
         assert!(out.analytic_avg_error > 0.0);
     }

@@ -19,4 +19,4 @@ pub mod workload;
 
 pub use datasets::Dataset;
 pub use generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
-pub use workload::Workload;
+pub use workload::{Fingerprint, Workload};

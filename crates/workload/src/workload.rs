@@ -4,7 +4,56 @@ use crate::query::LinearQuery;
 use lrm_linalg::decomp::svd::Svd;
 use lrm_linalg::{ops, Matrix};
 use parking_lot::Mutex;
+use std::fmt;
 use std::sync::Arc;
+
+/// A 64-bit content hash identifying a workload matrix: FNV-1a over the
+/// dimensions and the IEEE-754 bit pattern of every entry.
+///
+/// Bit-identical matrices always hash equal; distinct matrices collide
+/// only with 64-bit-hash probability, and FNV-1a is *not* cryptographic,
+/// so collisions are constructible on purpose. A fingerprint can
+/// therefore key a compiled-strategy cache — the strategy search depends
+/// only on `W`, and `W` is public, so reuse across equal fingerprints is
+/// privacy-neutral — but correctness-critical hits must confirm the
+/// actual matrix (as the engine's memory cache does) rather than trust
+/// the hash alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// The raw 64-bit hash.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a offset basis — the initial state for [`fnv1a_bytes`].
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a state. This is the hash the workload
+/// [`Fingerprint`] is built from; cache keys layered on top of the
+/// fingerprint (e.g. the engine's compile-options digest) should use it
+/// too so the two can never silently diverge.
+pub fn fnv1a_bytes(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &byte in bytes {
+        h ^= byte as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv1a_u64(hash: u64, word: u64) -> u64 {
+    fnv1a_bytes(hash, &word.to_le_bytes())
+}
 
 /// A batch of `m` linear counting queries over `n` unit counts, represented
 /// by its `m×n` workload matrix `W` (Section 3.2 of the paper).
@@ -16,6 +65,7 @@ use std::sync::Arc;
 pub struct Workload {
     matrix: Matrix,
     svd_cache: Arc<Mutex<Option<Arc<Svd>>>>,
+    fingerprint_cache: Arc<Mutex<Option<Fingerprint>>>,
 }
 
 impl Workload {
@@ -27,6 +77,7 @@ impl Workload {
         Ok(Self {
             matrix,
             svd_cache: Arc::new(Mutex::new(None)),
+            fingerprint_cache: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -101,6 +152,29 @@ impl Workload {
     /// "eigenvalues" `{λ₁, …, λᵣ}` (Section 3.3).
     pub fn singular_values(&self) -> Vec<f64> {
         self.svd().nonzero_singular_values()
+    }
+
+    /// Content hash of the workload matrix (cached; clones share it).
+    ///
+    /// The hash covers the dimensions and every entry's bit pattern, so
+    /// bit-equal matrices — and only those — collide. It is the key of the
+    /// engine's compiled-strategy cache.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut guard = self.fingerprint_cache.lock();
+        if let Some(fp) = *guard {
+            return fp;
+        }
+        let mut h = FNV_OFFSET;
+        h = fnv1a_u64(h, self.matrix.rows() as u64);
+        h = fnv1a_u64(h, self.matrix.cols() as u64);
+        for r in 0..self.matrix.rows() {
+            for &v in self.matrix.row(r) {
+                h = fnv1a_u64(h, v.to_bits());
+            }
+        }
+        let fp = Fingerprint(h);
+        *guard = Some(fp);
+        fp
     }
 }
 
@@ -178,6 +252,34 @@ mod tests {
         let mut m = Matrix::zeros(2, 2);
         m.set(0, 0, f64::NAN);
         assert!(Workload::new(m).is_err());
+    }
+
+    #[test]
+    fn fingerprint_identifies_content() {
+        let a = intro_workload();
+        let b = intro_workload();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Cached and shared across clones.
+        assert_eq!(a.clone().fingerprint(), a.fingerprint());
+
+        // Any entry change moves the fingerprint.
+        let mut m = a.matrix().clone();
+        m.set(0, 0, 2.0);
+        let c = Workload::new(m).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // Same entries, different shape: 1x4 vs 4x1.
+        let flat = Workload::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap();
+        let tall = Workload::from_rows(&[&[1.0][..], &[1.0][..], &[1.0][..], &[1.0][..]]).unwrap();
+        assert_ne!(flat.fingerprint(), tall.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_display_is_hex() {
+        let fp = intro_workload().fingerprint();
+        let s = fp.to_string();
+        assert_eq!(s.len(), 16);
+        assert_eq!(u64::from_str_radix(&s, 16).unwrap(), fp.as_u64());
     }
 
     #[test]

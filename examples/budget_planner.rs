@@ -1,33 +1,19 @@
-//! Mechanism selection and residual compensation — the extension layer on
-//! top of the paper (DESIGN.md §8): given a workload, pick the best
-//! strategy by closed-form error (free: it only reads public data), and
-//! show how the compensated LRM removes the relaxed decomposition's bias
-//! on large-count databases.
+//! Mechanism selection and budget planning through the engine: pick the
+//! best strategy per workload by closed-form error (free: it only reads
+//! public data), then serve a release schedule under a tracked ledger —
+//! including the typed refusal when the plan over-spends.
 //!
 //! ```sh
 //! cargo run --release --example budget_planner
 //! ```
 
 use lrm::core::decomposition::TargetRank;
-use lrm::core::mechanism::Mechanism;
 use lrm::prelude::*;
 use rand::SeedableRng;
 
-fn candidates(w: &Workload) -> Vec<Box<dyn Mechanism>> {
-    vec![
-        Box::new(NoiseOnData::compile(w)),
-        Box::new(NoiseOnResults::compile(w)),
-        Box::new(WaveletMechanism::compile(w)),
-        Box::new(HierarchicalMechanism::compile(w)),
-        Box::new(
-            LowRankMechanism::compile(w, &DecompositionConfig::default())
-                .expect("decomposition succeeds"),
-        ),
-    ]
-}
-
 fn main() {
     let eps = Epsilon::new(0.1).expect("positive budget");
+    let engine = Engine::builder().reference_epsilon(eps).build();
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
 
     println!("-- automatic mechanism selection (no privacy cost) --\n");
@@ -50,45 +36,75 @@ fn main() {
         ),
     ];
     for (name, w) in &cases {
-        let best = BestOfMechanism::choose(candidates(w), eps, None).expect("candidates agree");
+        let best = engine.compile_best_default(w).expect("panel compiles");
         println!(
-            "  {name:<32} -> {:<4} (expected batch error {:.3e})",
-            best.chosen_name(),
-            best.expected_error(eps, None)
+            "  {name:<32} -> {:<4} (expected avg error {:.3e}, compiled in {:.2}s)",
+            best.meta().label,
+            best.meta().expected_avg_error,
+            best.meta().compile_seconds
         );
+    }
+
+    println!("\n-- a release schedule under one ledger --\n");
+    // Plan: four weekly releases at ε/4 each out of a total ε = 0.1.
+    let (_, w) = &cases[2];
+    let data: Vec<f64> = (0..w.domain_size())
+        .map(|i| 50_000.0 + (i * 997 % 5_000) as f64)
+        .collect();
+    let best = engine.compile_best_default(w).expect("panel compiles");
+    let mut session = best.session(eps);
+    let weekly = eps.split(4).expect("4 > 0");
+    for week in 1..=4 {
+        let release = session
+            .answer(&data, weekly, &mut rng)
+            .expect("the schedule fits the ledger");
+        println!(
+            "  week {week}: {} answered {} queries at ε={:.3}; remaining ε={:.3}",
+            release.mechanism,
+            release.answers.len(),
+            release.eps_spent.value(),
+            release.eps_remaining
+        );
+    }
+    // A fifth release would break the advertised guarantee — the ledger
+    // says no, with a typed error (not a silent over-spend).
+    match session.answer(&data, weekly, &mut rng) {
+        Err(EngineError::Budget(BudgetError::Exhausted {
+            requested,
+            remaining,
+        })) => println!("  week 5 refused: requested ε={requested:.3}, remaining ε={remaining:.3}"),
+        other => unreachable!("expected exhaustion, got {other:?}"),
     }
 
     println!("\n-- residual compensation (paper §7 future work) --\n");
     // An undersized decomposition (r < rank) cannot match W exactly; on a
-    // large-count database the leftover bias dominates plain LRM.
+    // large-count database the leftover bias dominates plain LRM. The
+    // DataAware kind spends part of ε answering the residual, removing
+    // the bias.
     let w = WRange.generate(16, 48, &mut rng).expect("dims");
-    let cfg = DecompositionConfig {
+    let undersized = CompileOptions::with_decomposition(DecompositionConfig {
         target_rank: TargetRank::Exact(6), // rank(W) is ~16
         polish_iters: 0,
         max_outer_iters: 15,
         ..DecompositionConfig::default()
-    };
-    let plain = LowRankMechanism::compile(&w, &cfg).expect("decomposition succeeds");
-    let comp = CompensatedLowRankMechanism::from_decomposition(
-        plain.decomposition().clone(),
-        w.num_queries(),
-        w.domain_size(),
-    );
+    });
+    let plain = engine
+        .compile(&w, MechanismKind::Lrm, &undersized)
+        .expect("decomposition succeeds");
+    let compensated = engine
+        .compile(&w, MechanismKind::DataAware, &undersized)
+        .expect("decomposition succeeds");
     let x: Vec<f64> = (0..48)
         .map(|i| 50_000.0 + (i * 997 % 5_000) as f64)
         .collect();
     println!(
-        "  undersized decomposition: residual ‖W−BL‖_F = {:.3}",
-        plain.decomposition().stats().residual
-    );
-    println!(
-        "  plain LRM expected error:        {:.3e}  (structural bias dominates)",
+        "  plain {} expected error:        {:.3e}  (structural bias dominates)",
+        plain.meta().label,
         plain.expected_error(eps, Some(&x))
     );
     println!(
-        "  compensated LRM expected error:  {:.3e}  (unbiased; ε split {:.0}%/{:.0}%)",
-        comp.expected_error(eps, Some(&x)),
-        100.0 * comp.lrm_fraction(),
-        100.0 * (1.0 - comp.lrm_fraction())
+        "  compensated {} expected error: {:.3e}  (unbiased)",
+        compensated.meta().label,
+        compensated.expected_error(eps, Some(&x))
     );
 }

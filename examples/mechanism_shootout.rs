@@ -1,15 +1,22 @@
-//! Head-to-head of every mechanism in this crate (including the Matrix
+//! Head-to-head of every mechanism in the registry (including the Matrix
 //! Mechanism of Appendix B) on one workload of each family, reproducing
-//! the qualitative ordering of the paper's Figs. 4–6 at desk scale.
+//! the qualitative ordering of the paper's Figs. 4–6 at desk scale — all
+//! through one engine dispatch instead of per-type constructors.
 //!
 //! ```sh
 //! cargo run --release --example mechanism_shootout
 //! ```
 
-use lrm::core::baselines::{MatrixMechanism, MatrixMechanismConfig};
-use lrm::core::mechanism::Mechanism;
 use lrm::prelude::*;
 use rand::SeedableRng;
+
+const CONTENDERS: [MechanismKind; 5] = [
+    MechanismKind::MatrixMechanism,
+    MechanismKind::Laplace,
+    MechanismKind::Wavelet,
+    MechanismKind::Hierarchical,
+    MechanismKind::Lrm,
+];
 
 fn main() {
     let (m, n) = (32, 64);
@@ -17,6 +24,7 @@ fn main() {
     let data = Dataset::SocialNetwork
         .load_merged(n)
         .expect("n below dataset size");
+    let engine = Engine::builder().reference_epsilon(eps).build();
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let families: Vec<(&str, Workload)> = vec![
@@ -34,30 +42,32 @@ fn main() {
     ];
 
     println!("m = {m}, n = {n}, {eps}; expected avg squared error per query\n");
-    println!(
-        "{:<15}{:>12}{:>12}{:>12}{:>12}{:>12}",
-        "workload", "MM", "LM", "WM", "HM", "LRM"
-    );
+    print!("{:<15}", "workload");
+    for kind in CONTENDERS {
+        print!("{:>12}", kind.label());
+    }
+    println!();
     for (name, w) in &families {
-        let mm = MatrixMechanism::compile(w, &MatrixMechanismConfig::default())
-            .expect("MM compiles at this size");
-        let lm = NoiseOnData::compile(w);
-        let wm = WaveletMechanism::compile(w);
-        let hm = HierarchicalMechanism::compile(w);
-        let lrm = LowRankMechanism::compile(w, &DecompositionConfig::default())
-            .expect("decomposition succeeds");
-        println!(
-            "{:<15}{:>12.0}{:>12.0}{:>12.0}{:>12.0}{:>12.0}",
-            name,
-            mm.expected_average_error(eps, Some(&data)),
-            lm.expected_average_error(eps, Some(&data)),
-            wm.expected_average_error(eps, Some(&data)),
-            hm.expected_average_error(eps, Some(&data)),
-            lrm.expected_average_error(eps, Some(&data)),
-        );
+        print!("{name:<15}");
+        for kind in CONTENDERS {
+            let compiled = engine
+                .compile_default(w, kind)
+                .expect("all contenders compile at this size");
+            print!(
+                "{:>12.0}",
+                compiled.expected_average_error(eps, Some(&data))
+            );
+        }
+        println!();
     }
     println!(
         "\nExpected shape (paper Figs. 4–6): MM worst by ~an order of magnitude;\n\
          WM/HM competitive on WRange; LRM lowest, especially on WRelated."
+    );
+
+    let stats = engine.cache_stats();
+    println!(
+        "\nstrategy cache: {} compiles, {} memory hits ({} strategies resident)",
+        stats.misses, stats.memory_hits, stats.entries
     );
 }

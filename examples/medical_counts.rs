@@ -28,14 +28,20 @@ fn main() {
     let data = [82_700.0, 19_000.0, 67_000.0, 5_900.0];
     let eps = Epsilon::new(0.5).expect("positive budget");
 
-    let nor = NoiseOnResults::compile(&workload);
-    let nod = NoiseOnData::compile(&workload);
-    let lrm = LowRankMechanism::compile(&workload, &DecompositionConfig::default())
+    let engine = Engine::builder().reference_epsilon(eps).build();
+    let nor = engine
+        .compile_default(&workload, MechanismKind::Nor)
+        .expect("baselines compile");
+    let nod = engine
+        .compile_default(&workload, MechanismKind::Nod)
+        .expect("baselines compile");
+    let lrm = engine
+        .compile_default(&workload, MechanismKind::Lrm)
         .expect("decomposition succeeds");
 
     println!(
         "NOQ sensitivity Δ' = {} (the paper derives 5)\n",
-        nor.sensitivity()
+        workload.sensitivity()
     );
     println!("expected total squared error at {eps}:");
     let scale = eps.value() * eps.value(); // report in units of 1/ε²
@@ -52,18 +58,29 @@ fn main() {
         lrm.expected_error(eps, Some(&data)) * scale
     );
 
-    // Average absolute deviation over repeated releases.
+    // Average absolute deviation over repeated releases, each debited from
+    // one ledger: 200 releases at ε = 0.5 compose to a total of ε = 100.
+    let trials: usize = 200;
+    let total = Epsilon::new(eps.value() * trials as f64).expect("positive");
+    let mut session = lrm.session(total);
     let exact = workload.answer(&data).expect("shapes match");
-    let trials = 200;
     let mut mean_abs = vec![0.0; exact.len()];
-    for t in 0..trials {
+    for t in 0..trials as u64 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + t);
-        let noisy = lrm.answer(&data, eps, &mut rng).expect("answer succeeds");
-        for (acc, (a, b)) in mean_abs.iter_mut().zip(noisy.iter().zip(exact.iter())) {
+        let release = session
+            .answer(&data, eps, &mut rng)
+            .expect("ledger covers all trials");
+        for (acc, (a, b)) in mean_abs
+            .iter_mut()
+            .zip(release.answers.iter().zip(exact.iter()))
+        {
             *acc += (a - b).abs() / trials as f64;
         }
     }
-    println!("mean |error| per query over {trials} LRM releases:");
+    println!(
+        "mean |error| per query over {trials} LRM releases ({}):",
+        session.ledger()
+    );
     for (i, err) in mean_abs.iter().enumerate() {
         println!("  q{}: {err:.2}", i + 1);
     }

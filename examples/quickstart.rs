@@ -1,6 +1,6 @@
-//! Quickstart: answer a small batch of correlated linear queries under
-//! ε-differential privacy with the Low-Rank Mechanism, and compare its
-//! expected error against the naive baselines.
+//! Quickstart: compile a small batch of correlated linear queries once,
+//! then serve noisy releases through a budget-tracked session, comparing
+//! the Low-Rank Mechanism against the naive baselines.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -25,51 +25,86 @@ fn main() {
     let data = [82_700.0, 19_000.0, 67_000.0, 5_900.0];
     let eps = Epsilon::new(1.0).expect("positive budget");
 
-    // Compile each mechanism once (the strategy search is
-    // data-independent, so this consumes no privacy budget).
-    let lrm = LowRankMechanism::compile(&workload, &DecompositionConfig::default())
+    // One engine per process: it owns the compiled-strategy cache.
+    // Compilation is data-independent, so it consumes no privacy budget.
+    let engine = Engine::builder().reference_epsilon(eps).build();
+    let lrm = engine
+        .compile_default(&workload, MechanismKind::Lrm)
         .expect("decomposition succeeds");
-    let nod = NoiseOnData::compile(&workload);
-    let nor = NoiseOnResults::compile(&workload);
+    let nod = engine
+        .compile_default(&workload, MechanismKind::Nod)
+        .expect("baselines always compile");
+    let nor = engine
+        .compile_default(&workload, MechanismKind::Nor)
+        .expect("baselines always compile");
 
     println!(
-        "workload: m = {} queries over n = {} unit counts, rank(W) = {}",
+        "workload: m = {} queries over n = {} unit counts, rank(W) = {}, fingerprint {}",
         workload.num_queries(),
         workload.domain_size(),
-        workload.rank()
+        workload.rank(),
+        workload.fingerprint()
     );
     println!(
-        "decomposition: r = {}, Φ(B,L) = {:.3}, Δ(B,L) = {:.3}, ‖W−BL‖_F = {:.2e}\n",
-        lrm.decomposition().rank(),
-        lrm.decomposition().scale(),
-        lrm.decomposition().sensitivity(),
-        lrm.decomposition().stats().residual
+        "compiled {} in {:.3}s: strategy rank r = {}, cache: {:?}\n",
+        lrm.meta().label,
+        lrm.meta().compile_seconds,
+        lrm.meta()
+            .strategy_rank
+            .expect("LRM is decomposition-backed"),
+        lrm.meta().cache
     );
 
-    println!("expected total squared error at {eps}:");
+    println!("expected avg squared error per query at {eps}:");
+    for compiled in [&nor, &nod, &lrm] {
+        println!(
+            "  {:<4} {:>10.2}",
+            compiled.meta().label,
+            compiled.meta().expected_avg_error
+        );
+    }
+
+    // Recompiling the same workload is an O(1) cache hit — no
+    // decomposition work at all.
+    let again = engine
+        .compile_default(&workload, MechanismKind::Lrm)
+        .expect("cached");
     println!(
-        "  noise on results (Eq. 5): {:>8.1}",
-        nor.expected_error(eps, Some(&data))
-    );
-    println!(
-        "  noise on data    (Eq. 4): {:>8.1}",
-        nod.expected_error(eps, Some(&data))
-    );
-    println!(
-        "  low-rank mechanism (Eq. 6): {:>6.1}\n",
-        lrm.expected_error(eps, Some(&data))
+        "\nrecompile of the same workload: cache {:?} ({:.1e}s)\n",
+        again.meta().cache,
+        again.meta().compile_seconds
     );
 
-    // One noisy release. Answers remain close to the truth at ε = 1
-    // because the counts are large — that's the point of DP calibration.
+    // Serve one noisy release under a tracked total budget. Answers stay
+    // close to the truth at ε = 1 because the counts are large — that's
+    // the point of DP calibration.
+    let mut session = lrm.session(eps);
     let mut rng = rand::rngs::StdRng::seed_from_u64(2012);
-    let noisy = lrm.answer(&data, eps, &mut rng).expect("answer succeeds");
+    let release = session
+        .answer(&data, eps, &mut rng)
+        .expect("budget covers one release");
     let exact = workload.answer(&data).expect("shapes match");
+
     println!("{:<28}{:>12}{:>14}", "query", "exact", "LRM (one run)");
     for (name, (e, n)) in ["q1 = NY+NJ+CA+WA", "q2 = NY+NJ", "q3 = CA+WA"]
         .iter()
-        .zip(exact.iter().zip(noisy.iter()))
+        .zip(exact.iter().zip(release.answers.iter()))
     {
         println!("{name:<28}{e:>12.0}{n:>14.1}");
+    }
+    println!(
+        "\nledger after the release: spent ε={:.2}, remaining ε={:.2}",
+        session.ledger().spent(),
+        release.eps_remaining
+    );
+
+    // The session refuses to over-spend: a second full-ε release fails
+    // with a typed error instead of silently degrading the guarantee.
+    match session.answer(&data, eps, &mut rng) {
+        Err(EngineError::Budget(BudgetError::Exhausted {
+            requested,
+            remaining,
+        })) => println!("second release refused: requested ε={requested}, remaining ε={remaining}"),
+        other => unreachable!("expected budget exhaustion, got {other:?}"),
     }
 }

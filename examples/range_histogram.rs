@@ -1,13 +1,13 @@
 //! Range-count queries over a histogram — the WRange scenario of the
 //! paper's evaluation. Compares LRM against the mechanisms purpose-built
 //! for ranges (Wavelet/Privelet and the hierarchical tree) on a synthetic
-//! Search-Logs-style dataset.
+//! Search-Logs-style dataset, with one budget-tracked session per
+//! mechanism for the sample releases.
 //!
 //! ```sh
 //! cargo run --release --example range_histogram
 //! ```
 
-use lrm::core::mechanism::Mechanism as _;
 use lrm::prelude::*;
 use rand::SeedableRng;
 
@@ -24,37 +24,40 @@ fn main() {
         .expect("n below dataset size");
 
     let eps = Epsilon::new(0.1).expect("positive budget");
+    let engine = Engine::builder().reference_epsilon(eps).build();
 
-    let lrm = LowRankMechanism::compile(&workload, &DecompositionConfig::default())
-        .expect("decomposition succeeds");
-    let lm = NoiseOnData::compile(&workload);
-    let wm = WaveletMechanism::compile(&workload);
-    let hm = HierarchicalMechanism::compile(&workload);
+    let contenders = [
+        ("LM (noise on data)", MechanismKind::Laplace),
+        ("WM (Privelet)", MechanismKind::Wavelet),
+        ("HM (Hay et al.)", MechanismKind::Hierarchical),
+        ("LRM (this paper)", MechanismKind::Lrm),
+    ];
+    let compiled: Vec<(&str, CompiledMechanism)> = contenders
+        .iter()
+        .map(|&(name, kind)| {
+            (
+                name,
+                engine
+                    .compile_default(&workload, kind)
+                    .expect("compiles at this size"),
+            )
+        })
+        .collect();
 
     println!(
         "m = {m} random range queries over n = {n} buckets; rank(W) = {}\n",
         workload.rank()
     );
     println!("expected avg squared error per query at {eps}:");
-    for (name, err) in [
-        (
-            "LM (noise on data)",
-            lm.expected_average_error(eps, Some(&data)),
-        ),
-        ("WM (Privelet)", wm.expected_average_error(eps, Some(&data))),
-        (
-            "HM (Hay et al.)",
-            hm.expected_average_error(eps, Some(&data)),
-        ),
-        (
-            "LRM (this paper)",
-            lrm.expected_average_error(eps, Some(&data)),
-        ),
-    ] {
-        println!("  {name:<22}{err:>14.0}");
+    for (name, mech) in &compiled {
+        println!(
+            "  {name:<22}{:>14.0}",
+            mech.expected_average_error(eps, Some(&data))
+        );
     }
 
-    // A concrete range query released by each mechanism.
+    // A concrete range query released by each mechanism, each from its own
+    // session (independent ledgers — these are separate deployments).
     let truth = workload.answer(&data).expect("shapes match");
     println!("\nfirst three queries, one noisy release each:");
     println!(
@@ -62,9 +65,16 @@ fn main() {
         "query", "exact", "LM", "WM", "LRM"
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let lm_ans = lm.answer(&data, eps, &mut rng).expect("answers");
-    let wm_ans = wm.answer(&data, eps, &mut rng).expect("answers");
-    let lrm_ans = lrm.answer(&data, eps, &mut rng).expect("answers");
+    let mut release_of = |kind_index: usize| {
+        let (_, mech) = &compiled[kind_index];
+        mech.session(eps)
+            .answer(&data, eps, &mut rng)
+            .expect("one release fits the budget")
+            .answers
+    };
+    let lm_ans = release_of(0);
+    let wm_ans = release_of(1);
+    let lrm_ans = release_of(3);
     for i in 0..3 {
         println!(
             "q{:<9}{:>12.0}{:>12.0}{:>12.0}{:>12.0}",

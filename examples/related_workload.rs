@@ -3,12 +3,14 @@
 //! advantage is largest (Figs. 6, 8, 9 of the paper). Think: hundreds of
 //! dashboards all derived from a handful of underlying aggregates.
 //!
+//! Also demonstrates the compiled-strategy cache's disk spill: a second
+//! engine pointed at the same directory skips Algorithm 1 entirely.
+//!
 //! ```sh
 //! cargo run --release --example related_workload
 //! ```
 
 use lrm::core::bounds;
-use lrm::core::mechanism::Mechanism as _;
 use lrm::prelude::*;
 use rand::SeedableRng;
 
@@ -28,21 +30,54 @@ fn main() {
         workload.rank()
     );
 
-    let lrm = LowRankMechanism::compile(&workload, &DecompositionConfig::default())
+    let spill = std::env::temp_dir().join("lrm_example_spill");
+    let engine = Engine::builder()
+        .reference_epsilon(eps)
+        .spill_dir(&spill)
+        .build();
+
+    let lrm = engine
+        .compile_default(&workload, MechanismKind::Lrm)
         .expect("decomposition succeeds");
-    let lm = NoiseOnData::compile(&workload);
-    let wm = WaveletMechanism::compile(&workload);
-    let hm = HierarchicalMechanism::compile(&workload);
+    println!(
+        "compiled LRM in {:.2}s (cache: {:?}, strategy rank r = {})",
+        lrm.meta().compile_seconds,
+        lrm.meta().cache,
+        lrm.meta().strategy_rank.expect("decomposition-backed")
+    );
+
+    // A fresh engine over the same spill dir: no decomposition work, just
+    // a load-and-revalidate of the spilled (B, L) factors.
+    let warm = Engine::builder()
+        .reference_epsilon(eps)
+        .spill_dir(&spill)
+        .build();
+    let reloaded = warm
+        .compile_default(&workload, MechanismKind::Lrm)
+        .expect("spilled strategy loads");
+    println!(
+        "second engine, same spill dir: cache {:?} in {:.3}s\n",
+        reloaded.meta().cache,
+        reloaded.meta().compile_seconds
+    );
 
     println!("expected avg squared error per query at {eps}:");
     let lrm_err = lrm.expected_average_error(eps, Some(&data));
-    for (name, err) in [
-        ("LM", lm.expected_average_error(eps, Some(&data))),
-        ("WM", wm.expected_average_error(eps, Some(&data))),
-        ("HM", hm.expected_average_error(eps, Some(&data))),
-        ("LRM", lrm_err),
+    for kind in [
+        MechanismKind::Laplace,
+        MechanismKind::Wavelet,
+        MechanismKind::Hierarchical,
+        MechanismKind::Lrm,
     ] {
-        println!("  {name:<5}{err:>16.0}   ({:>6.1}x LRM)", err / lrm_err);
+        let err = engine
+            .compile_default(&workload, kind)
+            .expect("compiles at this size")
+            .expected_average_error(eps, Some(&data));
+        println!(
+            "  {:<5}{err:>16.0}   ({:>6.1}x LRM)",
+            kind.label(),
+            err / lrm_err
+        );
     }
 
     // The optimality context of Section 4.1: LRM's analytic error vs the
@@ -61,4 +96,6 @@ fn main() {
     if let Some(ratio) = bounds::theorem2_ratio(&svals) {
         println!("Theorem 2 approximation factor (C/4)²·r: {ratio:.1}");
     }
+
+    let _ = std::fs::remove_dir_all(spill);
 }

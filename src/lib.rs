@@ -11,17 +11,28 @@
 //!   (paper Algorithm 2), augmented-Lagrangian scheduling (Algorithm 1),
 //!   nonmonotone spectral projected gradient, log-sum-exp smoothing
 //!   (Appendix B);
-//! * [`dp`] — Laplace noise, sensitivity arithmetic, privacy budgets;
+//! * [`dp`] — Laplace noise, sensitivity arithmetic, privacy budgets and
+//!   the sequential-composition [`BudgetLedger`](lrm_dp::BudgetLedger);
 //! * [`workload`] — the paper's WDiscrete / WRange / WRelated workload
 //!   generators plus synthetic stand-ins for the Search Logs / Net Trace /
-//!   Social Network datasets;
-//! * [`core`] — the Low-Rank Mechanism itself and all baselines the paper
+//!   Social Network datasets, each workload carrying a content
+//!   [`Fingerprint`](lrm_workload::Fingerprint);
+//! * [`core`] — the Low-Rank Mechanism itself, all baselines the paper
 //!   evaluates (Laplace/NOD/NOR, Matrix Mechanism, Wavelet, Hierarchical),
-//!   with closed-form error analysis and the paper's optimality bounds;
+//!   closed-form error analysis, the paper's optimality bounds — and the
+//!   serving [`Engine`](lrm_core::engine::Engine) described below;
 //! * [`eval`] — the experiment harness that regenerates every figure of the
 //!   paper's evaluation section.
 //!
-//! ## Quickstart
+//! ## Quickstart: compile once, answer many, never over-spend
+//!
+//! Strategy search (Algorithm 1) is the expensive, *data-independent* step;
+//! answering is microseconds. The API is shaped around that: an
+//! [`Engine`](lrm_core::engine::Engine) compiles a workload into a strategy
+//! (cached by the workload's content fingerprint — recompiles are O(1)
+//! lookups), and a [`Session`](lrm_core::engine::Session) serves releases
+//! while a ledger debits every ε and refuses over-spends with a typed
+//! error.
 //!
 //! ```
 //! use lrm::prelude::*;
@@ -34,18 +45,40 @@
 //!     &[1.0, 1.0, 0.0, 0.0], // q2 = NY + NJ
 //!     &[0.0, 0.0, 1.0, 1.0], // q3 = CA + WA
 //! ]).unwrap();
-//!
 //! let data = vec![82_700.0, 19_000.0, 67_000.0, 5_900.0];
-//! let eps = Epsilon::new(1.0).unwrap();
 //!
-//! let mech = LowRankMechanism::compile(&w, &DecompositionConfig::default()).unwrap();
+//! // Compile once — data-independent, so it consumes no privacy budget.
+//! let engine = Engine::builder().build();
+//! let compiled = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+//! assert_eq!(compiled.meta().label, "LRM");
+//!
+//! // Serve releases under a tracked total of ε = 1.
+//! let mut session = compiled.session(Epsilon::new(1.0).unwrap());
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let noisy = mech.answer(&data, eps, &mut rng).unwrap();
-//! assert_eq!(noisy.len(), 3);
+//! let half = Epsilon::new(0.5).unwrap();
 //!
-//! // LRM's expected error never exceeds the naive noise-on-data baseline's.
-//! let nod = NoiseOnData::compile(&w);
-//! assert!(mech.expected_error(eps, None) <= nod.expected_error(eps, None) * 1.01);
+//! let first = session.answer(&data, half, &mut rng).unwrap();
+//! assert_eq!(first.answers.len(), 3);
+//! assert!((first.eps_remaining - 0.5).abs() < 1e-12);
+//!
+//! let second = session.answer(&data, half, &mut rng).unwrap();
+//! assert!(second.eps_remaining < 1e-12);
+//!
+//! // A third release would exceed ε = 1: the ledger refuses, typed.
+//! assert!(matches!(
+//!     session.answer(&data, half, &mut rng),
+//!     Err(EngineError::Budget(BudgetError::Exhausted { .. }))
+//! ));
+//!
+//! // Recompiling the same workload is a cache hit — no decomposition.
+//! let again = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+//! assert_eq!(again.meta().cache, CacheOutcome::MemoryHit);
+//!
+//! // Don't know which mechanism fits? Ask for the panel argmin (free:
+//! // it compares closed-form errors of public quantities only).
+//! let best = engine.compile_best_default(&w).unwrap();
+//! let lm = engine.compile_default(&w, MechanismKind::Laplace).unwrap();
+//! assert!(best.meta().expected_avg_error <= lm.meta().expected_avg_error);
 //! ```
 
 pub use lrm_core as core;
@@ -61,12 +94,22 @@ pub mod prelude {
         HierarchicalMechanism, MatrixMechanism, NoiseOnData, NoiseOnResults, WaveletMechanism,
     };
     pub use lrm_core::decomposition::{DecompositionConfig, TargetRank, WorkloadDecomposition};
-    pub use lrm_core::extensions::{BestOfMechanism, CompensatedLowRankMechanism};
+    pub use lrm_core::engine::{
+        BatchAnswer, CacheOutcome, CacheStats, CompileMeta, CompileOptions, CompiledMechanism,
+        Engine, EngineBuilder, EngineError, MechanismKind, Session,
+    };
+    // `BestOfMechanism` is intentionally not re-exported: the prelude's
+    // canonical selector is `Engine::compile_best`. The lower-level
+    // already-compiled-candidates variant stays at
+    // `lrm::core::extensions::BestOfMechanism`.
+    pub use lrm_core::extensions::CompensatedLowRankMechanism;
     pub use lrm_core::lrm::LowRankMechanism;
     pub use lrm_core::mechanism::Mechanism;
+    pub use lrm_core::CoreError;
     pub use lrm_dp::budget::Epsilon;
+    pub use lrm_dp::{BudgetError, BudgetLedger, DpError};
     pub use lrm_linalg::Matrix;
     pub use lrm_workload::datasets::Dataset;
     pub use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
-    pub use lrm_workload::workload::Workload;
+    pub use lrm_workload::workload::{Fingerprint, Workload};
 }

@@ -13,6 +13,7 @@ fn tiny_ctx() -> ExperimentContext {
         seed: 7,
         csv_dir: None,
         quiet: true,
+        ..ExperimentContext::default()
     }
 }
 
