@@ -28,6 +28,55 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// A/B input shapes for the dense-kernel zero-skip decision (see the
+/// `matmul_block` doc comment in `lrm_linalg::ops`): a fully dense input,
+/// a 0/1 range-workload input (~1/3 zeros runs), and a 5%-filled input.
+/// The sparse inputs are ALSO run through `CsrOp`/`IntervalsOp` SpMM — the
+/// structured path the zero-skip used to approximate inside the dense
+/// kernel.
+fn bench_matmul_sparsity(c: &mut Criterion) {
+    use lrm_linalg::{CsrOp, MatrixOp};
+    let n = 512usize;
+    let dense = pseudo_random(n, n, 21);
+    let rhs = pseudo_random(n, n, 22);
+    let mut state: u64 = 23;
+    let mut next = |bound: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize % bound
+    };
+    let mut range01 = Matrix::zeros(n, n);
+    for i in 0..n {
+        let a = next(n);
+        let b = next(n);
+        let (lo, hi) = (a.min(b), a.max(b));
+        range01.row_mut(i)[lo..=hi]
+            .iter_mut()
+            .for_each(|v| *v = 1.0);
+    }
+    let sparse5 = pseudo_random(n, n, 24).map(|v| if v > 0.9 { v } else { 0.0 });
+
+    let mut group = c.benchmark_group("matmul_sparsity");
+    group.sample_size(10);
+    for (label, a) in [
+        ("dense", &dense),
+        ("range01", &range01),
+        ("sparse5pct", &sparse5),
+    ] {
+        group.bench_with_input(BenchmarkId::new("gemm", label), a, |bench, a| {
+            bench.iter(|| ops::matmul(black_box(a), black_box(&rhs)).unwrap());
+        });
+    }
+    for (label, a) in [("range01", &range01), ("sparse5pct", &sparse5)] {
+        let csr = CsrOp::from_dense(a);
+        group.bench_with_input(BenchmarkId::new("csr_spmm", label), &csr, |bench, csr| {
+            bench.iter(|| csr.apply_right(black_box(&rhs)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_svd(c: &mut Criterion) {
     let mut group = c.benchmark_group("svd");
     group.sample_size(10);
@@ -76,6 +125,7 @@ fn bench_cholesky(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_sparsity,
     bench_svd,
     bench_eigen,
     bench_cholesky

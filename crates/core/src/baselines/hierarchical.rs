@@ -29,14 +29,19 @@
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
 use lrm_dp::{Epsilon, Laplace};
-use lrm_linalg::{ops, Matrix};
+use lrm_linalg::operator::MatrixOp;
 use lrm_workload::Workload;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// Compiled hierarchical mechanism for one workload.
+///
+/// The workload stays behind its structure-aware operator: the error
+/// trace streams rows through `fill_row` at compile time, and answering
+/// is one structured `W·x̄` matvec — no dense `W` copy.
 #[derive(Debug, Clone)]
 pub struct HierarchicalMechanism {
-    w: Matrix,
+    w: Arc<dyn MatrixOp>,
     n_pad: usize,
     /// Tree height: leaves = 2^height; the tree has `height + 1` levels.
     height: usize,
@@ -48,17 +53,18 @@ impl HierarchicalMechanism {
     /// Compiles the mechanism: pads the domain to a power of two and
     /// precomputes the closed-form error trace.
     pub fn compile(workload: &Workload) -> Self {
-        let w = workload.matrix().clone();
+        let w = Arc::clone(workload.op());
         let n = w.cols();
         let n_pad = n.next_power_of_two();
         let height = n_pad.trailing_zeros() as usize;
 
-        // Row prefix sums on the padded domain.
+        // Row prefix sums on the padded domain, streamed row by row.
         let m = w.rows();
         let mut prefix = vec![vec![0.0; n_pad + 1]; m];
-        for (i, row) in w.rows_iter().enumerate() {
-            let p = &mut prefix[i];
-            for (j, &v) in row.iter().enumerate() {
+        let mut row_buf = vec![0.0; n];
+        for (i, p) in prefix.iter_mut().enumerate() {
+            w.fill_row(i, &mut row_buf);
+            for (j, &v) in row_buf.iter().enumerate() {
                 p[j + 1] = p[j] + v;
             }
             for j in n..n_pad {
@@ -204,7 +210,7 @@ impl Mechanism for HierarchicalMechanism {
         }
 
         let leaves = Self::constrained_inference(&tree);
-        Ok(ops::mul_vec(&self.w, &leaves[..self.w.cols()])?)
+        Ok(self.w.matvec(&leaves[..self.w.cols()]))
     }
 
     fn expected_error(&self, eps: Epsilon, _x: Option<&[f64]>) -> f64 {
@@ -218,6 +224,7 @@ mod tests {
     use super::*;
     use lrm_dp::rng::derive_rng;
     use lrm_linalg::decomp::lu;
+    use lrm_linalg::{ops, Matrix};
     use lrm_workload::generators::{WRange, WorkloadGenerator};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -330,7 +337,7 @@ mod tests {
         let tt_inv = lu::inverse(&ops::gram(&t)).unwrap();
         let wt = w.matrix().transpose();
         let prod = ops::matmul(&tt_inv, &wt).unwrap(); // (TᵀT)⁻¹Wᵀ
-        let full = ops::matmul(w.matrix(), &prod).unwrap(); // W(TᵀT)⁻¹Wᵀ
+        let full = ops::matmul(&w.matrix(), &prod).unwrap(); // W(TᵀT)⁻¹Wᵀ
         let oracle = full.trace().unwrap();
 
         assert!(

@@ -76,10 +76,15 @@ pub struct MatrixMechanism {
 
 impl MatrixMechanism {
     /// Runs the Appendix-B optimization and compiles the mechanism.
+    ///
+    /// The workload enters only through `WᵀW` and the final recombination
+    /// `W·M^{−1/2}` — both computed through the structure-aware operator,
+    /// so even here the dense `W` is never materialized (the `n×n`
+    /// strategy objects are inherently dense; that is MM's own cost).
     pub fn compile(workload: &Workload, config: &MatrixMechanismConfig) -> Result<Self, CoreError> {
-        let w = workload.matrix();
+        let w = workload.op();
         let n = w.cols();
-        let wtw = ops::gram(w);
+        let wtw = w.gram_cols();
         let scale = (wtw.trace()? / n as f64).max(f64::MIN_POSITIVE);
         let floor = scale * config.psd_floor_rel;
         let smoother = SmoothMax::with_accuracy(
@@ -125,7 +130,7 @@ impl MatrixMechanism {
         let eig = SymEigen::compute(&m_star)?;
         let strategy = eig.spectral_map(|l| l.max(0.0).sqrt());
         let pinv_root = eig.spectral_map(|l| if l > floor * 0.5 { 1.0 / l.sqrt() } else { 0.0 });
-        let recombine = ops::matmul(w, &pinv_root)?;
+        let recombine = w.apply_right(&pinv_root);
         let sensitivity = strategy.max_col_abs_sum();
 
         Ok(Self {
@@ -133,7 +138,7 @@ impl MatrixMechanism {
             recombine,
             sensitivity,
             objective: result.objective,
-            m: w.rows(),
+            m: workload.num_queries(),
             n,
         })
     }
@@ -242,9 +247,9 @@ mod tests {
         let mech = MatrixMechanism::compile(&w, &MatrixMechanismConfig::default()).unwrap();
         let pa = ops::matmul(&mech.recombine, &mech.strategy).unwrap();
         assert!(
-            pa.approx_eq(w.matrix(), 1e-6),
+            pa.approx_eq(&w.matrix(), 1e-6),
             "P·A differs from W by {}",
-            (&pa - w.matrix()).max_abs()
+            (&pa - &*w.matrix()).max_abs()
         );
     }
 
@@ -294,7 +299,7 @@ mod tests {
         let w = WRange
             .generate(10, 16, &mut StdRng::seed_from_u64(4))
             .unwrap();
-        let wtw = ops::gram(w.matrix());
+        let wtw = ops::gram(&w.matrix());
         let n = 16;
         let scale = wtw.trace().unwrap() / n as f64;
         // f(M₀) = max(diag) · tr(WᵀW)/scale = scale · tr/scale = tr(WᵀW).

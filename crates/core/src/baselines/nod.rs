@@ -3,9 +3,10 @@
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
 use lrm_dp::{Epsilon, Laplace};
-use lrm_linalg::{ops, Matrix};
+use lrm_linalg::operator::MatrixOp;
 use lrm_workload::Workload;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// The noise-on-data baseline `M_D`:
 ///
@@ -21,9 +22,15 @@ use rand::RngCore;
 /// This is the curve labelled **LM** in the paper's figures — the naive
 /// Laplace baseline that, per Section 2.2, the Matrix Mechanism "almost
 /// never" beats (see DESIGN.md §5 for the reading).
+///
+/// The workload is held as its structure-aware operator: answering is one
+/// `W·(x + η)` matvec, so a range workload over a huge domain answers in
+/// `O(m + n)` with `O(m)` strategy storage — no dense `W` copy.
 #[derive(Debug, Clone)]
 pub struct NoiseOnData {
-    w: Matrix,
+    w: Arc<dyn MatrixOp>,
+    /// `Σ W_ij²`, precomputed for the closed-form error.
+    squared_sum: f64,
     /// Unit-count sensitivity; 1 for counting queries.
     unit_sensitivity: f64,
 }
@@ -32,7 +39,8 @@ impl NoiseOnData {
     /// Compiles the baseline for a workload (unit sensitivity 1).
     pub fn compile(workload: &Workload) -> Self {
         Self {
-            w: workload.matrix().clone(),
+            w: Arc::clone(workload.op()),
+            squared_sum: workload.squared_sum(),
             unit_sensitivity: 1.0,
         }
     }
@@ -46,7 +54,8 @@ impl NoiseOnData {
             )));
         }
         Ok(Self {
-            w: workload.matrix().clone(),
+            w: Arc::clone(workload.op()),
+            squared_sum: workload.squared_sum(),
             unit_sensitivity: delta,
         })
     }
@@ -74,12 +83,12 @@ impl Mechanism for NoiseOnData {
         self.check_database(x)?;
         let noise = Laplace::centered(self.unit_sensitivity / eps.value())?;
         let noisy: Vec<f64> = x.iter().map(|&v| v + noise.sample(rng)).collect();
-        Ok(ops::mul_vec(&self.w, &noisy)?)
+        Ok(self.w.matvec(&noisy))
     }
 
     fn expected_error(&self, eps: Epsilon, _x: Option<&[f64]>) -> f64 {
         let scale = self.unit_sensitivity / eps.value();
-        2.0 * scale * scale * self.w.squared_sum()
+        2.0 * scale * scale * self.squared_sum
     }
 }
 

@@ -3,9 +3,10 @@
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
 use lrm_dp::{Epsilon, Laplace};
-use lrm_linalg::{ops, Matrix};
+use lrm_linalg::operator::MatrixOp;
 use lrm_workload::Workload;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// The noise-on-results baseline `M_R` (also "noise on queries", NOQ):
 ///
@@ -16,9 +17,12 @@ use rand::RngCore;
 /// with `Δ' = max_j Σ_i |W_ij|` — the workload's L1 sensitivity. Expected
 /// total squared error: `2·m·Δ'²/ε²`. Per Section 3.2, NOR beats NOD iff
 /// `m·max_j Σ_i W_ij² < Σ_ij W_ij²`, which requires `m < n`.
+///
+/// Like [`super::NoiseOnData`], the workload stays behind its
+/// structure-aware operator — answering is one structured matvec.
 #[derive(Debug, Clone)]
 pub struct NoiseOnResults {
-    w: Matrix,
+    w: Arc<dyn MatrixOp>,
     sensitivity: f64,
 }
 
@@ -26,7 +30,7 @@ impl NoiseOnResults {
     /// Compiles the baseline for a workload.
     pub fn compile(workload: &Workload) -> Self {
         Self {
-            w: workload.matrix().clone(),
+            w: Arc::clone(workload.op()),
             sensitivity: workload.sensitivity(),
         }
     }
@@ -57,7 +61,7 @@ impl Mechanism for NoiseOnResults {
         rng: &mut dyn RngCore,
     ) -> Result<Vec<f64>, CoreError> {
         self.check_database(x)?;
-        let mut y = ops::mul_vec(&self.w, x)?;
+        let mut y = self.w.matvec(x);
         if self.sensitivity > 0.0 {
             let noise = Laplace::centered(self.sensitivity / eps.value())?;
             for v in y.iter_mut() {

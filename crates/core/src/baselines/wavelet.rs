@@ -26,14 +26,19 @@
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
 use lrm_dp::{Epsilon, Laplace};
-use lrm_linalg::{ops, Matrix};
+use lrm_linalg::operator::MatrixOp;
 use lrm_workload::Workload;
 use rand::RngCore;
+use std::sync::Arc;
 
 /// Compiled Privelet mechanism for one workload.
+///
+/// The workload stays behind its structure-aware operator: compile-time
+/// row prefix sums stream one row at a time through `fill_row`, and
+/// answering is one structured `W·x̂` matvec — no dense `W` copy.
 #[derive(Debug, Clone)]
 pub struct WaveletMechanism {
-    w: Matrix,
+    w: Arc<dyn MatrixOp>,
     n_pad: usize,
     /// `h = log₂ n_pad`; zero for a single-leaf domain.
     levels: usize,
@@ -47,18 +52,20 @@ impl WaveletMechanism {
     /// Compiles the mechanism: fixes the padded Haar tree and precomputes
     /// the closed-form error terms.
     pub fn compile(workload: &Workload) -> Self {
-        let w = workload.matrix().clone();
+        let w = Arc::clone(workload.op());
         let n = w.cols();
         let n_pad = n.next_power_of_two();
         let levels = n_pad.trailing_zeros() as usize;
         let rho = 1.0 + levels as f64;
 
-        // Row prefix sums over the padded domain (padding columns are 0).
+        // Row prefix sums over the padded domain (padding columns are 0),
+        // streamed row by row through the operator.
         let m = w.rows();
         let mut prefix = vec![vec![0.0; n_pad + 1]; m];
-        for (i, row) in w.rows_iter().enumerate() {
-            let p = &mut prefix[i];
-            for (j, &v) in row.iter().enumerate() {
+        let mut row_buf = vec![0.0; n];
+        for (i, p) in prefix.iter_mut().enumerate() {
+            w.fill_row(i, &mut row_buf);
+            for (j, &v) in row_buf.iter().enumerate() {
                 p[j + 1] = p[j] + v;
             }
             for j in n..n_pad {
@@ -204,7 +211,7 @@ impl Mechanism for WaveletMechanism {
         }
 
         let reconstructed = Self::haar_inverse(average, &details);
-        Ok(ops::mul_vec(&self.w, &reconstructed[..self.w.cols()])?)
+        Ok(self.w.matvec(&reconstructed[..self.w.cols()]))
     }
 
     fn expected_error(&self, eps: Epsilon, _x: Option<&[f64]>) -> f64 {

@@ -24,9 +24,10 @@
 use crate::error::CoreError;
 use lrm_dp::sensitivity;
 use lrm_linalg::decomp::Cholesky;
+use lrm_linalg::operator::MatrixOp;
 use lrm_linalg::{ops, Matrix};
 use lrm_opt::{nesterov_projected, project_columns_l1, AlmSchedule, AlmState, NesterovConfig};
-use lrm_workload::Workload;
+use lrm_workload::{Workload, WorkloadStructure};
 
 /// How to choose the inner dimension `r` of the decomposition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,10 +163,22 @@ pub struct WorkloadDecomposition {
 
 impl WorkloadDecomposition {
     /// Runs Algorithm 1 on the workload.
+    ///
+    /// Every product involving `W` goes through the workload's
+    /// [`MatrixOp`]: `W·Lᵀ` and `Bᵀ·W` are structured operator products,
+    /// the residual is assembled as `−(B·L) + W` without materializing
+    /// `W`, and the Lemma 3 initializer consumes the operator-aware SVD.
+    /// For sparse/implicit workloads the dense `m×n` matrix therefore
+    /// never exists — only the multiplier π and the residual are dense
+    /// (they are genuinely dense objects of the algorithm), and the
+    /// GEMMs against π are skipped outright while π is still zero, which
+    /// covers every outer iteration of a run that converges before the
+    /// first multiplier update.
     pub fn compute(workload: &Workload, config: &DecompositionConfig) -> Result<Self, CoreError> {
         config.validate()?;
-        let w = workload.matrix();
-        let (m, n) = w.shape();
+        let op = workload.op().as_ref();
+        let (m, n) = op.shape();
+        let w_fro = op.frobenius_sq().sqrt();
         let r = config.target_rank.resolve(workload)?;
 
         // --- Initialization: the Lemma 3 feasible construction. ---
@@ -177,7 +190,7 @@ impl WorkloadDecomposition {
         let mut alm =
             AlmState::new(m, n, config.schedule.clone()).map_err(CoreError::InvalidArgument)?;
 
-        let mut residual = residual_of(w, &b, &l);
+        let mut residual = residual_of(op, &b, &l);
         let mut stats = DecompositionStats {
             outer_iterations: 0,
             residual: residual.frobenius_norm(),
@@ -202,14 +215,14 @@ impl WorkloadDecomposition {
         // meaningless early iterate (the paper never operates there: its
         // γ ≤ 10 against ‖W‖_F in the hundreds). Clamp the *stopping*
         // threshold; the caller's γ still defines `converged`.
-        let gamma_eff = config.gamma.min(0.02 * w.frobenius_norm()).max(1e-10);
+        let gamma_eff = config.gamma.min(0.02 * w_fro).max(1e-10);
         // Once τ ≤ γ first fires we keep iterating for a bounded number of
         // polish rounds: the ALM trajectory collapses τ by further orders
         // of magnitude at almost no cost in Φ (which is what makes the
         // paper's Fig. 2 flat in γ — the structural error ‖(W−BL)x‖²
         // becomes negligible even for large-count databases). We track the
         // best feasible iterate seen and return it.
-        let polish_floor = 1e-5 * (1.0 + w.frobenius_norm());
+        let polish_floor = 1e-5 * (1.0 + w_fro);
         let mut polish_remaining: Option<usize> = None;
         let mut polish_stall = 0usize;
         let mut best: Option<(Matrix, Matrix, Matrix, f64, f64)> = None; // (B, L, res, τ, Φ)
@@ -218,9 +231,25 @@ impl WorkloadDecomposition {
         for _outer in 0..config.max_outer_iters {
             let beta = alm.beta();
             let pi = alm.multiplier();
-            // Target matrix recurring in both updates: βW + π.
-            let mut bw_pi = w.scale(beta);
-            bw_pi += pi;
+            // Both updates target βW + π. W stays behind the operator; the
+            // π GEMMs are skipped while π is still exactly zero (true for
+            // every iteration before the first multiplier update — i.e.
+            // the whole run, when the initializer already satisfies τ ≤ γ).
+            let pi_is_zero = pi.max_abs() == 0.0;
+            // Dense workloads materialize βW + π once per outer iteration
+            // and run the fused GEMMs — the exact pre-operator arithmetic,
+            // kept because the β=1 ALM phase is chaotic enough that a
+            // different-but-equivalent rounding can change which attractor
+            // a borderline run lands in. Structured workloads use the
+            // split products; βW + π for them would BE the densification
+            // this refactor removes.
+            let fused_bw_pi: Option<Matrix> = if workload.structure() == WorkloadStructure::Dense {
+                let mut bw_pi = workload.matrix().scale(beta);
+                bw_pi += pi;
+                Some(bw_pi)
+            } else {
+                None
+            };
 
             // --- Inner loop: alternate B (Eq. 9) and L (Algorithm 2). ---
             // During the polish phase the subproblems are solved harder:
@@ -239,9 +268,34 @@ impl WorkloadDecomposition {
                 (config.inner_alternations, config.nesterov.clone())
             };
             for _inner in 0..alternations {
-                let b_new = update_b(&bw_pi, &l, beta)?;
+                // (βW + π)·Lᵀ — the Eq. 9 right-hand side. Structured
+                // path: W·Lᵀ is a structured operator product and the
+                // dense π·Lᵀ GEMM is skipped while π = 0.
+                let rhs_b = if let Some(bw_pi) = &fused_bw_pi {
+                    ops::mul_tr(bw_pi, &l)?
+                } else {
+                    let mut rhs = op.mul_tr(&l);
+                    rhs.map_inplace(|x| x * beta);
+                    if !pi_is_zero {
+                        rhs += &ops::mul_tr(pi, &l)?;
+                    }
+                    rhs
+                };
+                let b_new = update_b(&rhs_b, &l, beta)?;
+
+                // Bᵀ(βW + π) — the Formula 10 linear term, same split.
+                let bt_target = if let Some(bw_pi) = &fused_bw_pi {
+                    ops::tr_mul(&b_new, bw_pi)?
+                } else {
+                    let mut t = op.tr_mul(&b_new);
+                    t.map_inplace(|x| x * beta);
+                    if !pi_is_zero {
+                        t += &ops::tr_mul(&b_new, pi)?;
+                    }
+                    t
+                };
                 let (l_new, lipschitz) = update_l(
-                    &bw_pi,
+                    &bt_target,
                     &b_new,
                     &l,
                     beta,
@@ -258,7 +312,7 @@ impl WorkloadDecomposition {
                 }
             }
 
-            residual = residual_of(w, &b, &l);
+            residual = residual_of(op, &b, &l);
             let tau = residual.frobenius_norm();
             stats.outer_iterations += 1;
             stats.residual = tau;
@@ -345,10 +399,10 @@ impl WorkloadDecomposition {
         // off rowspace(L)) at a negligible Φ increase. This is what drives
         // τ the last orders of magnitude down and keeps the Theorem-3
         // structural term out of sight for any γ — the paper's flat Fig. 2.
-        if let Ok(refit) = refit_b(w, &l) {
-            let refit_residual = residual_of(w, &refit, &l);
+        if let Ok(refit) = refit_b(op, &l) {
+            let refit_residual = residual_of(op, &refit, &l);
             let refit_tau = refit_residual.frobenius_norm();
-            // Guard: far from convergence the LS fit chases the残residual
+            // Guard: far from convergence the LS fit chases the residual
             // with an enormous Φ; only accept a cheap improvement.
             let phi_ok = refit.squared_sum() <= b.squared_sum() * 1.05 + 1e-12;
             if refit_tau < stats.residual && phi_ok {
@@ -357,7 +411,7 @@ impl WorkloadDecomposition {
                 stats.residual = refit_tau;
             }
         }
-        if !had_feasible && stats.residual > 0.02 * w.frobenius_norm() {
+        if !had_feasible && stats.residual > 0.02 * w_fro {
             // The ALM iterate is still far from W (e.g. an undersized r or
             // an exhausted budget on a hard instance). When the Lemma 3
             // initializer was essentially exact (r ≥ rank(W)), fall back
@@ -368,9 +422,9 @@ impl WorkloadDecomposition {
             // even if it missed the literal γ — the paper's Algorithm 1
             // likewise returns the last ALM iterate on exhaustion.
             let (init_b, init_l) = lemma3_initializer(workload, r);
-            let init_residual = residual_of(w, &init_b, &init_l);
+            let init_residual = residual_of(op, &init_b, &init_l);
             let init_tau = init_residual.frobenius_norm();
-            if init_tau < stats.residual && init_tau <= 1e-6 * (1.0 + w.frobenius_norm()) {
+            if init_tau < stats.residual && init_tau <= 1e-6 * (1.0 + w_fro) {
                 b = init_b;
                 l = init_l;
                 residual = init_residual;
@@ -386,7 +440,7 @@ impl WorkloadDecomposition {
         let over = l.max_col_abs_sum();
         if over > 1.0 + 1e-9 {
             project_columns_l1(&mut l, 1.0);
-            residual = residual_of(w, &b, &l);
+            residual = residual_of(op, &b, &l);
             stats.residual = residual.frobenius_norm();
         }
 
@@ -475,9 +529,15 @@ fn stats_converged(residual: f64, gamma: f64) -> bool {
     residual <= gamma.max(1e-10)
 }
 
-fn residual_of(w: &Matrix, b: &Matrix, l: &Matrix) -> Matrix {
-    let bl = ops::matmul(b, l).expect("decomposition shapes agree");
-    w - &bl
+/// `W − B·L`, assembled as `−(B·L) + W` so the workload operator never has
+/// to densify: the only `m×n` buffer is the residual itself (which the
+/// Theorem-3 structural term genuinely needs). Bit-identical to the dense
+/// `w − bl` (IEEE subtraction is `a + (−b)`).
+pub(crate) fn residual_of(op: &dyn MatrixOp, b: &Matrix, l: &Matrix) -> Matrix {
+    let mut out = ops::matmul(b, l).expect("decomposition shapes agree");
+    out.map_inplace(|x| -x);
+    op.add_to(&mut out);
+    out
 }
 
 fn relative_change(old: &Matrix, new: &Matrix) -> f64 {
@@ -487,9 +547,9 @@ fn relative_change(old: &Matrix, new: &Matrix) -> f64 {
 
 /// The β→∞ limit of Eq. 9: the ridge-stabilized least-squares refit
 /// `B = W·Lᵀ·(LLᵀ + δI)⁻¹`, used as the final step of the solver.
-fn refit_b(w: &Matrix, l: &Matrix) -> Result<Matrix, CoreError> {
+fn refit_b(op: &dyn MatrixOp, l: &Matrix) -> Result<Matrix, CoreError> {
     let r = l.rows();
-    let rhs = ops::mul_tr(w, l)?; // W·Lᵀ, m×r
+    let rhs = op.mul_tr(l); // W·Lᵀ, m×r
     let mut sys = ops::mul_tr(l, l)?; // L·Lᵀ, r×r
     let ridge = (sys.trace()? / r as f64).max(1e-300) * 1e-12;
     for i in 0..r {
@@ -501,24 +561,26 @@ fn refit_b(w: &Matrix, l: &Matrix) -> Result<Matrix, CoreError> {
 }
 
 /// Eq. 9: `B = (βW + π)·Lᵀ·(β·LLᵀ + I)⁻¹`, via a Cholesky solve of the SPD
-/// system from the right.
-fn update_b(bw_pi: &Matrix, l: &Matrix, beta: f64) -> Result<Matrix, CoreError> {
+/// system from the right. The caller supplies `rhs = (βW + π)·Lᵀ`, already
+/// split into a structured `W·Lᵀ` product and a (skippable) `π·Lᵀ` GEMM.
+fn update_b(rhs: &Matrix, l: &Matrix, beta: f64) -> Result<Matrix, CoreError> {
     let r = l.rows();
-    let rhs = ops::mul_tr(bw_pi, l)?; // (βW + π)·Lᵀ, m×r
     let mut sys = ops::mul_tr(l, l)?; // L·Lᵀ, r×r
     sys = sys.scale(beta);
     sys += &Matrix::identity(r);
     let chol = Cholesky::compute(&sys)?;
-    Ok(chol.solve_right(&rhs)?)
+    Ok(chol.solve_right(rhs)?)
 }
 
 /// Algorithm 2 on Formula 10:
 /// `G(L) = β/2·tr(LᵀBᵀBL) − tr((βW+π)ᵀBL)`,
 /// `∂G/∂L = β·BᵀB·L − Bᵀ(βW + π)`,
-/// subject to per-column L1 balls. Returns the new `L` and the discovered
-/// Lipschitz estimate (used to warm-start the next call).
+/// subject to per-column L1 balls. The caller supplies
+/// `bt_target = Bᵀ(βW + π)` (structured `Bᵀ·W` product plus skippable
+/// `Bᵀ·π` GEMM). Returns the new `L` and the discovered Lipschitz
+/// estimate (used to warm-start the next call).
 fn update_l(
-    bw_pi: &Matrix,
+    bt_target: &Matrix,
     b: &Matrix,
     l0: &Matrix,
     beta: f64,
@@ -526,17 +588,16 @@ fn update_l(
     lipschitz_warm_start: f64,
 ) -> (Matrix, f64) {
     let btb = ops::gram(b); // BᵀB, r×r
-    let bt_target = ops::tr_mul(b, bw_pi).expect("shapes agree"); // Bᵀ(βW+π), r×n
 
     let objective = |l: &Matrix| -> f64 {
         let btbl = ops::matmul(&btb, l).expect("shapes agree");
         0.5 * beta * ops::frob_inner(l, &btbl).expect("shapes agree")
-            - ops::frob_inner(&bt_target, l).expect("shapes agree")
+            - ops::frob_inner(bt_target, l).expect("shapes agree")
     };
     let gradient = |l: &Matrix| -> Matrix {
         let mut g = ops::matmul(&btb, l).expect("shapes agree");
         g = g.scale(beta);
-        g -= &bt_target;
+        g -= bt_target;
         g
     };
     let project = |l: &mut Matrix| {
@@ -628,8 +689,7 @@ fn top_right_singular_vector(residual: &Matrix, deflated: &[Vec<f64>]) -> Option
 /// optimizer can actually use the extra dimensions — all-zero padding is a
 /// stationary point of the alternating updates.
 fn lemma3_initializer(workload: &Workload, r: usize) -> (Matrix, Matrix) {
-    let w = workload.matrix();
-    let (m, n) = w.shape();
+    let (m, n) = (workload.num_queries(), workload.domain_size());
     let svd = workload.svd();
     let nonzero = svd.nonzero_singular_values();
     let rho = nonzero.len().min(r);

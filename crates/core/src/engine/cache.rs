@@ -34,12 +34,14 @@ pub(crate) type CacheKey = (Fingerprint, MechanismKind, u64);
 #[derive(Clone)]
 pub(crate) struct CachedStrategy {
     pub mechanism: Arc<dyn Mechanism + Send + Sync>,
-    /// The workload matrix this strategy was compiled for. A memory hit is
-    /// confirmed against it before being served: the 64-bit fingerprint in
-    /// the key is non-cryptographic, and a collision here would silently
-    /// answer with a strategy built for a different `W`. The O(m·n)
-    /// compare is negligible next to the strategy search it replaces.
-    pub workload_matrix: Arc<lrm_linalg::Matrix>,
+    /// The workload operator this strategy was compiled for. A memory hit
+    /// is confirmed against it before being served: the 64-bit fingerprint
+    /// in the key is non-cryptographic, and a collision here would
+    /// silently answer with a strategy built for a different `W`. The
+    /// row-streamed logical compare (`op_logical_eq`) costs O(m·n) time
+    /// but only O(n) scratch — structured workloads are never densified
+    /// for it.
+    pub workload_op: Arc<dyn lrm_linalg::MatrixOp>,
     /// Decomposition rank `r` for decomposition-backed kinds.
     pub strategy_rank: Option<usize>,
     /// Closed-form expected average error at the engine's reference ε,

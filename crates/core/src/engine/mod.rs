@@ -168,10 +168,15 @@ impl Engine {
         let key = (fingerprint, kind, options.digest(kind));
 
         if let Some(cached) = self.cache.lookup(&key) {
-            // Confirm the hit against the actual matrix: on the
+            // Confirm the hit against the actual workload: on the
             // astronomically rare fingerprint collision we must recompile
             // rather than serve a strategy built for a different workload.
-            if *cached.workload_matrix == *workload.matrix() {
+            // The compare streams rows through the operators — structured
+            // workloads stay structured.
+            if lrm_linalg::operator::op_logical_eq(
+                cached.workload_op.as_ref(),
+                workload.op().as_ref(),
+            ) {
                 self.cache.record(CacheOutcome::MemoryHit);
                 return Ok(self.finish(kind, fingerprint, CacheOutcome::MemoryHit, t0, cached));
             }
@@ -212,7 +217,7 @@ impl Engine {
     ) -> CachedStrategy {
         let cached = CachedStrategy {
             expected_avg_error: mechanism.expected_average_error(self.reference_eps, None),
-            workload_matrix: Arc::new(workload.matrix().clone()),
+            workload_op: Arc::clone(workload.op()),
             strategy_rank,
             mechanism,
         };

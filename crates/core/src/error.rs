@@ -113,6 +113,18 @@ impl From<DpError> for CoreError {
     }
 }
 
+impl From<lrm_workload::WorkloadError> for CoreError {
+    fn from(e: lrm_workload::WorkloadError) -> Self {
+        use lrm_workload::WorkloadError;
+        match e {
+            WorkloadError::DomainMismatch { expected, got } => {
+                CoreError::DomainMismatch { expected, got }
+            }
+            other => CoreError::InvalidArgument(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +143,24 @@ mod tests {
         );
         let src = e.source().expect("has a source");
         assert!(src.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn workload_errors_convert() {
+        use lrm_workload::WorkloadError;
+        let e = CoreError::from(WorkloadError::DomainMismatch {
+            expected: 8,
+            got: 7,
+        });
+        assert_eq!(
+            e,
+            CoreError::DomainMismatch {
+                expected: 8,
+                got: 7
+            }
+        );
+        let e2 = CoreError::from(WorkloadError::NonFinite);
+        assert!(matches!(e2, CoreError::InvalidArgument(_)));
     }
 
     #[test]

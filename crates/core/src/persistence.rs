@@ -12,7 +12,7 @@
 use crate::decomposition::WorkloadDecomposition;
 use crate::error::CoreError;
 use crate::lrm::LowRankMechanism;
-use lrm_linalg::{ops, Matrix};
+use lrm_linalg::Matrix;
 use lrm_workload::Workload;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -90,9 +90,9 @@ pub fn load_decomposition(
     }
     // Recompute the residual against the *current* workload; a stale file
     // for a different workload becomes a visible (huge) residual rather
-    // than silent wrong answers.
-    let bl = ops::matmul(&b, &l)?;
-    let residual = workload.matrix() - &bl;
+    // than silent wrong answers. Assembled through the operator, so a
+    // structured workload is not densified by the load path.
+    let residual = crate::decomposition::residual_of(workload.op().as_ref(), &b, &l);
     Ok(WorkloadDecomposition::from_parts(b, l, residual))
 }
 

@@ -77,7 +77,7 @@ pub fn measure(
     tag: &str,
 ) -> Result<(f64, f64, f64), CoreError> {
     let eps = Epsilon::new(epsilon)?;
-    let truth = workload.answer(data).map_err(CoreError::InvalidArgument)?;
+    let truth = workload.answer(data)?;
     let analytic_avg_error = mechanism.expected_error(eps, Some(data));
 
     let mut total_sq = 0.0;

@@ -22,6 +22,7 @@
 use crate::decomp::eigen::SymEigen;
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use crate::operator::MatrixOp;
 use crate::ops;
 
 /// Maximum one-sided Jacobi sweeps.
@@ -92,9 +93,11 @@ impl Svd {
         check_input(a)?;
         let (m, n) = a.shape();
         if m >= n {
-            // AᵀA = V Σ² Vᵀ, then u_j = A v_j / σ_j.
+            // AᵀA = V Σ² Vᵀ, then u_j = A v_j / σ_j. Rank-deficient Grams
+            // can stall the QL iteration's relative negligibility test on
+            // their zero cluster; fall back to the robust Jacobi path.
             let g = ops::gram(a);
-            let eig = SymEigen::compute(&g)?;
+            let eig = SymEigen::compute(&g).or_else(|_| SymEigen::compute_jacobi(&g))?;
             let (sigma, v) = descending_sqrt(eig);
             let u = recover_factor(a, &v, &sigma, false);
             Ok(Self {
@@ -106,9 +109,81 @@ impl Svd {
         } else {
             // AAᵀ = U Σ² Uᵀ, then v_j = Aᵀ u_j / σ_j.
             let g = ops::mul_tr(a, a)?;
-            let eig = SymEigen::compute(&g)?;
+            let eig = SymEigen::compute(&g).or_else(|_| SymEigen::compute_jacobi(&g))?;
             let (sigma, u) = descending_sqrt(eig);
             let v = recover_factor(a, &u, &sigma, true);
+            Ok(Self {
+                u,
+                singular_values: sigma,
+                vt: v.transpose(),
+                method: SvdMethod::Gram,
+            })
+        }
+    }
+
+    /// Operator-aware Gram SVD: eigendecomposes the smaller of
+    /// `W·Wᵀ` / `Wᵀ·W` computed *through* a [`MatrixOp`] and recovers the
+    /// other factor with structured matvecs — the dense `W` is never
+    /// materialized. For a workload held as a [`crate::operator::CsrOp`]
+    /// or [`crate::operator::IntervalsOp`] this replaces the `O(m·n²)`
+    /// dense SVD with `O(min(m,n)³)` eigenwork plus `min(m,n)` cheap
+    /// products.
+    ///
+    /// Accuracy matches [`Svd::compute_gram`] (the `√ε` small-σ caveat
+    /// applies, reflected in [`Svd::default_rank_tolerance`]).
+    pub fn compute_op(op: &dyn MatrixOp) -> Result<Self> {
+        let (m, n) = op.shape();
+        if !op.frobenius_sq().is_finite() {
+            return Err(LinalgError::InvalidArgument(
+                "SVD input contains NaN or infinite entries".into(),
+            ));
+        }
+        let (g, rows_side) = op.gram_small();
+        // Structured Grams are often massively rank-deficient (e.g. 512
+        // coarse range queries of rank ≤ 32), where the QL iteration's
+        // relative negligibility test can stall on the zero cluster; the
+        // cyclic Jacobi path is slower but unconditionally robust there.
+        let eig = SymEigen::compute(&g).or_else(|_| SymEigen::compute_jacobi(&g))?;
+        if rows_side {
+            // G = W·Wᵀ = U Σ² Uᵀ, then vᵀ_j = (Wᵀ u_j)ᵀ / σ_j.
+            let (sigma, u) = descending_sqrt(eig);
+            let k = sigma.len();
+            let sigma_max = sigma.first().copied().unwrap_or(0.0);
+            let tol = sigma_max * (m.max(n) as f64).sqrt() * f64::EPSILON.sqrt();
+            let mut vt = Matrix::zeros(k, n);
+            for (j, &s) in sigma.iter().enumerate() {
+                if s <= tol {
+                    continue;
+                }
+                let uj = u.col(j);
+                let mut row = op.matvec_t(&uj);
+                let inv = 1.0 / s;
+                row.iter_mut().for_each(|x| *x *= inv);
+                vt.set_row(j, &row);
+            }
+            Ok(Self {
+                u,
+                singular_values: sigma,
+                vt,
+                method: SvdMethod::Gram,
+            })
+        } else {
+            // G = Wᵀ·W = V Σ² Vᵀ, then u_j = W v_j / σ_j.
+            let (sigma, v) = descending_sqrt(eig);
+            let k = sigma.len();
+            let sigma_max = sigma.first().copied().unwrap_or(0.0);
+            let tol = sigma_max * (m.max(n) as f64).sqrt() * f64::EPSILON.sqrt();
+            let mut u = Matrix::zeros(m, k);
+            for (j, &s) in sigma.iter().enumerate() {
+                if s <= tol {
+                    continue;
+                }
+                let vj = v.col(j);
+                let mut col = op.matvec(&vj);
+                let inv = 1.0 / s;
+                col.iter_mut().for_each(|x| *x *= inv);
+                u.set_col(j, &col);
+            }
             Ok(Self {
                 u,
                 singular_values: sigma,
@@ -436,6 +511,45 @@ mod tests {
         assert_eq!(svd.rank(), 0);
         assert!(svd.singular_values.iter().all(|&s| s == 0.0));
         assert!(svd.reconstruct().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn operator_path_matches_dense() {
+        use crate::operator::{CsrOp, DenseOp, IntervalsOp};
+        // Wide and tall sparse patterns.
+        for &(m, n, seed) in &[(9usize, 14usize, 21u64), (14, 9, 22)] {
+            let a = pseudo_random(m, n, seed).map(|v| if v > 0.0 { v } else { 0.0 });
+            let dense = Svd::compute_jacobi(&a).unwrap();
+            for op in [
+                &CsrOp::from_dense(&a) as &dyn crate::operator::MatrixOp,
+                &DenseOp::new(a.clone()),
+            ] {
+                let via_op = Svd::compute_op(op).unwrap();
+                for (sj, sg) in dense
+                    .singular_values
+                    .iter()
+                    .zip(via_op.singular_values.iter())
+                {
+                    assert!(
+                        (sj - sg).abs() < 1e-7 * (1.0 + sj),
+                        "σ mismatch for {m}x{n}: {sj} vs {sg}"
+                    );
+                }
+                assert!(via_op.reconstruct().approx_eq(&a, 1e-7));
+            }
+        }
+        // An interval workload: rank and reconstruction through the
+        // O(m²) overlap Gram.
+        let op = IntervalsOp::new(16, vec![(0, 15), (0, 7), (8, 15), (3, 5)]);
+        let svd = Svd::compute_op(&op).unwrap();
+        assert_eq!(svd.rank(), 3); // row0 = row1 + row2
+        let mut dense = Matrix::zeros(4, 16);
+        for i in 0..4 {
+            let mut buf = vec![0.0; 16];
+            op.fill_row(i, &mut buf);
+            dense.set_row(i, &buf);
+        }
+        assert!(svd.reconstruct().approx_eq(&dense, 1e-8));
     }
 
     #[test]

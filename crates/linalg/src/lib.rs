@@ -8,6 +8,9 @@
 //! scratch:
 //!
 //! * a dense row-major [`Matrix`] with the usual arithmetic,
+//! * structure-aware workload operators ([`operator`]): the [`MatrixOp`]
+//!   trait with dense, CSR-sparse, and implicit interval (range/prefix)
+//!   implementations, so structured workloads never have to densify,
 //! * cache-blocked and multi-threaded matrix multiplication ([`ops`]),
 //! * LU / Cholesky / Householder-QR factorizations ([`decomp`]),
 //! * symmetric eigendecomposition (cyclic Jacobi and tridiagonal QL),
@@ -34,11 +37,13 @@ pub mod decomp;
 pub mod error;
 pub mod io;
 pub mod matrix;
+pub mod operator;
 pub mod ops;
 pub mod vector;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
+pub use operator::{CsrOp, DenseOp, IntervalsOp, MatrixOp};
 
 /// Machine epsilon for `f64`, re-exported for tolerance computations.
 pub const EPS: f64 = f64::EPSILON;

@@ -1,0 +1,93 @@
+//! Typed errors for workload construction and answering.
+//!
+//! PR 2 migrated `lrm_dp` and `lrm_core` off `Result<_, String>`; this
+//! module finishes the job for `lrm_workload`. `lrm_core` provides
+//! `From<WorkloadError> for CoreError`, so mechanism code can use `?`
+//! directly on workload operations.
+
+use std::fmt;
+
+/// Errors surfaced by [`Workload`](crate::workload::Workload) construction
+/// and answering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A workload needs at least one query and a non-empty domain.
+    Empty,
+    /// The workload matrix contains NaN or infinite entries.
+    NonFinite,
+    /// A database or query vector does not match the workload's domain.
+    DomainMismatch {
+        /// Domain size `n` the workload covers.
+        expected: usize,
+        /// Length of the supplied vector.
+        got: usize,
+    },
+    /// Queries passed to `from_queries` disagree on the domain size.
+    InconsistentQueries {
+        /// Domain size of the first query.
+        expected: usize,
+        /// Domain size of the offending query.
+        got: usize,
+    },
+    /// An interval row is inverted or runs past the domain.
+    InvalidInterval {
+        /// Inclusive lower bound.
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+        /// Domain size `n` the interval must fit in.
+        domain: usize,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Empty => write!(f, "workload needs at least one query"),
+            WorkloadError::NonFinite => {
+                write!(f, "workload matrix contains NaN or infinite entries")
+            }
+            WorkloadError::DomainMismatch { expected, got } => write!(
+                f,
+                "vector of length {got} does not match the workload domain of size {expected}"
+            ),
+            WorkloadError::InconsistentQueries { expected, got } => write!(
+                f,
+                "all queries must share the same domain size (saw {expected} and {got})"
+            ),
+            WorkloadError::InvalidInterval { lo, hi, domain } => write!(
+                f,
+                "invalid interval [{lo}, {hi}] for a domain of size {domain}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_all_variants() {
+        assert!(WorkloadError::Empty.to_string().contains("at least one"));
+        assert!(WorkloadError::NonFinite.to_string().contains("NaN"));
+        let dm = WorkloadError::DomainMismatch {
+            expected: 4,
+            got: 3,
+        };
+        assert!(dm.to_string().contains('4') && dm.to_string().contains('3'));
+        let iq = WorkloadError::InconsistentQueries {
+            expected: 5,
+            got: 6,
+        };
+        assert!(iq.to_string().contains('5') && iq.to_string().contains('6'));
+        let iv = WorkloadError::InvalidInterval {
+            lo: 3,
+            hi: 1,
+            domain: 4,
+        };
+        assert!(iv.to_string().contains("[3, 1]"));
+    }
+}

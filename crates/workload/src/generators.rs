@@ -11,8 +11,18 @@
 //! A few extra structured workloads (identity, total, prefix-sums,
 //! two-way marginals) are provided for tests and ablations; they are not
 //! part of the paper's evaluation grid.
+//!
+//! Generators construct the *structured* representation directly where one
+//! exists: WRange, WPrefix and WIdentity produce implicit interval
+//! operators (`O(m)` storage — a range row is a `(lo, hi)` pair, not `n`
+//! floats), WMarginal2D and WPermutedRange produce CSR, and only the
+//! genuinely dense families (WDiscrete, WRelated) densify. Downstream, the
+//! whole pipeline — fingerprint, SVD/rank, the Algorithm-1 solver, the
+//! baselines — consumes the operator form, so these workloads never
+//! materialize an `m×n` matrix at all.
 
 use crate::workload::Workload;
+use lrm_linalg::operator::CsrOp;
 use lrm_linalg::{ops, Matrix};
 use rand::Rng;
 use rand::RngCore;
@@ -80,11 +90,13 @@ impl WorkloadGenerator for WDiscrete {
                 };
             }
         }
-        Workload::new(w)
+        Workload::new(w).map_err(|e| e.to_string())
     }
 }
 
-/// WRange (Section 6): uniform random range-count queries.
+/// WRange (Section 6): uniform random range-count queries, held as an
+/// implicit interval operator — each query is a `(lo, hi)` pair, never a
+/// dense row.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WRange;
 
@@ -95,15 +107,55 @@ impl WorkloadGenerator for WRange {
 
     fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
         check_dims(m, n)?;
-        let mut w = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a = rng.gen_range(0..n);
-            let b = rng.gen_range(0..n);
-            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            let row = w.row_mut(i);
-            row[lo..=hi].iter_mut().for_each(|v| *v = 1.0);
+        let intervals: Vec<(usize, usize)> = (0..m)
+            .map(|_| {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a <= b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        Workload::from_intervals(n, intervals).map_err(|e| e.to_string())
+    }
+}
+
+/// Range-count queries whose endpoints snap to `cuts` evenly spaced
+/// boundaries — the "reporting on fixed bucket edges" workload. Every row
+/// is a difference of at most `cuts` distinct prefix indicators, so
+/// `rank(W) ≤ cuts` no matter how many queries are asked: the `m ≫ rank`
+/// regime the Low-Rank Mechanism targets, in implicit interval form.
+#[derive(Debug, Clone, Copy)]
+pub struct WRangeCoarse {
+    /// Number of distinct boundary positions (≥ 2).
+    pub cuts: usize,
+}
+
+impl WorkloadGenerator for WRangeCoarse {
+    fn name(&self) -> &'static str {
+        "WRangeCoarse"
+    }
+
+    fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
+        check_dims(m, n)?;
+        if self.cuts < 2 {
+            return Err(format!("need at least 2 boundary cuts, got {}", self.cuts));
         }
-        Workload::new(w)
+        let cuts = self.cuts.min(n);
+        // Boundary b_k = k·n/cuts for k = 0..cuts (b_cuts = n).
+        let boundary = |k: usize| k * n / cuts;
+        let intervals: Vec<(usize, usize)> = (0..m)
+            .map(|_| {
+                let a = rng.gen_range(0..cuts);
+                let b = rng.gen_range(0..cuts);
+                let (lo_cut, hi_cut) = if a <= b { (a, b) } else { (b, a) };
+                // Query spans [boundary(lo), boundary(hi+1) − 1].
+                (boundary(lo_cut), boundary(hi_cut + 1) - 1)
+            })
+            .collect();
+        Workload::from_intervals(n, intervals).map_err(|e| e.to_string())
     }
 }
 
@@ -147,7 +199,7 @@ impl WorkloadGenerator for WRelated {
         // the paper's Fig. 9 shows the rank-insensitive baselines flat in
         // s — their workloads are magnitude-normalized.
         w = w.scale(1.0 / (s as f64).sqrt());
-        Workload::new(w)
+        Workload::new(w).map_err(|e| e.to_string())
     }
 }
 
@@ -165,7 +217,9 @@ impl WorkloadGenerator for WIdentity {
         if m != n {
             return Err(format!("identity workload needs m == n, got {m} != {n}"));
         }
-        Workload::new(Matrix::identity(n))
+        check_dims(m, n)?;
+        // Point queries are width-1 intervals.
+        Workload::from_intervals(n, (0..n).map(|i| (i, i)).collect()).map_err(|e| e.to_string())
     }
 }
 
@@ -186,16 +240,11 @@ impl WorkloadGenerator for WPrefix {
                 "at most n={n} distinct prefixes exist, asked for {m}"
             ));
         }
-        Ok(Workload::new(Matrix::from_fn(m, n, |i, j| {
-            // Spread the m prefixes evenly over the domain.
-            let end = ((i + 1) * n).div_ceil(m);
-            if j < end {
-                1.0
-            } else {
-                0.0
-            }
-        }))
-        .expect("finite by construction"))
+        // Spread the m prefixes evenly over the domain; each is the
+        // interval [0, end-1].
+        let intervals: Vec<(usize, usize)> =
+            (0..m).map(|i| (0, ((i + 1) * n).div_ceil(m) - 1)).collect();
+        Ok(Workload::from_intervals(n, intervals).expect("valid by construction"))
     }
 }
 
@@ -213,16 +262,31 @@ impl WorkloadGenerator for WPermutedRange {
 
     fn generate(&self, m: usize, n: usize, rng: &mut dyn RngCore) -> Result<Workload, String> {
         check_dims(m, n)?;
-        // Fisher–Yates permutation of the column order.
+        // Fisher–Yates permutation of the column order: permuted column j
+        // holds original column perm[j], i.e. original column p lands at
+        // inv[p].
         let mut perm: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
             let j = rng.gen_range(0..=i);
             perm.swap(i, j);
         }
-        let base = WRange.generate(m, n, rng)?;
-        let w = base.matrix();
-        let permuted = Matrix::from_fn(m, n, |i, j| w.get(i, perm[j]));
-        Workload::new(permuted)
+        let mut inv = vec![0usize; n];
+        for (j, &p) in perm.iter().enumerate() {
+            inv[p] = j;
+        }
+        // Scatter each range's columns through the permutation; the result
+        // is sparse but no longer contiguous → CSR.
+        let rows: Vec<Vec<(usize, f64)>> = (0..m)
+            .map(|_| {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                let mut cols: Vec<usize> = (lo..=hi).map(|p| inv[p]).collect();
+                cols.sort_unstable();
+                cols.into_iter().map(|c| (c, 1.0)).collect()
+            })
+            .collect();
+        Workload::from_csr(CsrOp::from_row_entries(m, n, &rows)).map_err(|e| e.to_string())
     }
 }
 
@@ -261,22 +325,21 @@ impl WorkloadGenerator for WMarginal2D {
             let j = rng.gen_range(0..=i);
             ids.swap(i, j);
         }
-        let w = Matrix::from_fn(m, n, |q, cell| {
-            let id = ids[q];
-            let (r, c) = (cell / cols, cell % cols);
-            if id < rows {
-                if r == id {
-                    1.0
+        // A row marginal touches `cols` consecutive cells; a column
+        // marginal touches `rows` strided cells — both naturally sparse.
+        let entries: Vec<Vec<(usize, f64)>> = ids
+            .iter()
+            .take(m)
+            .map(|&id| {
+                if id < rows {
+                    (0..cols).map(|c| (id * cols + c, 1.0)).collect()
                 } else {
-                    0.0
+                    let c = id - rows;
+                    (0..rows).map(|r| (r * cols + c, 1.0)).collect()
                 }
-            } else if c == id - rows {
-                1.0
-            } else {
-                0.0
-            }
-        });
-        Workload::new(w)
+            })
+            .collect();
+        Workload::from_csr(CsrOp::from_row_entries(m, n, &entries)).map_err(|e| e.to_string())
     }
 }
 
@@ -335,6 +398,26 @@ mod tests {
             // Zeros elsewhere.
             assert!(row.iter().all(|&v| v == 0.0 || v == 1.0));
         }
+    }
+
+    #[test]
+    fn wrange_coarse_is_low_rank_intervals() {
+        let gen = WRangeCoarse { cuts: 8 };
+        let w = gen
+            .generate(100, 64, &mut StdRng::seed_from_u64(12))
+            .unwrap();
+        assert_eq!(w.structure(), crate::workload::WorkloadStructure::Intervals);
+        // 100 queries, but rank bounded by the 8 boundary cuts.
+        assert!(w.rank() <= 8, "rank {} exceeds cuts", w.rank());
+        assert!(w.rank() >= 2);
+        // Rows are 0/1 contiguous ranges aligned to boundaries of width 8.
+        for row in w.matrix().rows_iter() {
+            let ones = row.iter().filter(|&&v| v == 1.0).count();
+            assert!(ones > 0 && ones % 8 == 0, "unaligned range of {ones}");
+        }
+        assert!(WRangeCoarse { cuts: 1 }
+            .generate(5, 16, &mut StdRng::seed_from_u64(1))
+            .is_err());
     }
 
     #[test]

@@ -1,22 +1,28 @@
 #![warn(missing_docs)]
 //! Batch linear-query workloads and datasets for the LRM reproduction.
 //!
-//! * [`workload`] — the [`workload::Workload`] type: an `m×n` matrix of
-//!   query coefficients with cached rank/SVD metadata.
+//! * [`workload`] — the [`workload::Workload`] type: an `m×n` batch of
+//!   query coefficients behind a structure-aware
+//!   [`MatrixOp`](lrm_linalg::MatrixOp) (dense, CSR-sparse, or implicit
+//!   intervals) with cached rank/SVD metadata.
 //! * [`query`] — single linear queries and range-query helpers.
 //! * [`generators`] — the three workload families of the paper's
 //!   Section 6 (WDiscrete, WRange, WRelated) plus extra structured
-//!   workloads used in tests and ablations.
+//!   workloads used in tests and ablations; range/prefix/marginal
+//!   families construct their sparse or implicit form directly.
 //! * [`datasets`] — synthetic stand-ins for the paper's Search Logs /
 //!   Net Trace / Social Network datasets, with the paper's
 //!   "merge consecutive counts" domain-size reduction.
+//! * [`error`] — the typed [`WorkloadError`].
 
 pub mod datasets;
+pub mod error;
 pub mod generators;
 pub mod query;
 pub mod schema;
 pub mod workload;
 
 pub use datasets::Dataset;
+pub use error::WorkloadError;
 pub use generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
-pub use workload::{Fingerprint, Workload};
+pub use workload::{Fingerprint, Workload, WorkloadStructure};

@@ -99,7 +99,7 @@ impl Attribute {
         if queries.iter().any(|q| q.len() != self.buckets) {
             return Err("query domain does not match this attribute".into());
         }
-        Workload::from_queries(queries)
+        Workload::from_queries(queries).map_err(|e| e.to_string())
     }
 }
 

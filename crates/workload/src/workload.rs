@@ -1,8 +1,10 @@
 //! The batch-query workload type.
 
+use crate::error::WorkloadError;
 use crate::query::LinearQuery;
 use lrm_linalg::decomp::svd::Svd;
-use lrm_linalg::{ops, Matrix};
+use lrm_linalg::operator::{op_logical_eq, CsrOp, DenseOp, IntervalsOp, MatrixOp};
+use lrm_linalg::Matrix;
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -10,14 +12,17 @@ use std::sync::Arc;
 /// A 64-bit content hash identifying a workload matrix: FNV-1a over the
 /// dimensions and the IEEE-754 bit pattern of every entry.
 ///
-/// Bit-identical matrices always hash equal; distinct matrices collide
-/// only with 64-bit-hash probability, and FNV-1a is *not* cryptographic,
-/// so collisions are constructible on purpose. A fingerprint can
-/// therefore key a compiled-strategy cache — the strategy search depends
-/// only on `W`, and `W` is public, so reuse across equal fingerprints is
-/// privacy-neutral — but correctness-critical hits must confirm the
-/// actual matrix (as the engine's memory cache does) rather than trust
-/// the hash alone.
+/// Bit-identical matrices always hash equal — *regardless of the storage
+/// representation*: a dense, CSR, and interval construction of the same
+/// `W` produce the same fingerprint, because the hash walks the logical
+/// entries (via `MatrixOp::fill_row`), never the storage. Distinct
+/// matrices collide only with 64-bit-hash probability, and FNV-1a is
+/// *not* cryptographic, so collisions are constructible on purpose. A
+/// fingerprint can therefore key a compiled-strategy cache — the strategy
+/// search depends only on `W`, and `W` is public, so reuse across equal
+/// fingerprints is privacy-neutral — but correctness-critical hits must
+/// confirm the actual matrix (as the engine's memory cache does, row by
+/// row through the operator) rather than trust the hash alone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fingerprint(u64);
 
@@ -55,90 +60,228 @@ fn fnv1a_u64(hash: u64, word: u64) -> u64 {
     fnv1a_bytes(hash, &word.to_le_bytes())
 }
 
-/// A batch of `m` linear counting queries over `n` unit counts, represented
-/// by its `m×n` workload matrix `W` (Section 3.2 of the paper).
+/// Which representation a [`Workload`] stores its matrix in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadStructure {
+    /// Explicit dense `m×n` storage.
+    Dense,
+    /// Compressed sparse rows ([`CsrOp`]).
+    Sparse,
+    /// Implicit interval-indicator rows ([`IntervalsOp`]) — range and
+    /// prefix workloads; `O(m)` storage, `O(m + n)` products.
+    Intervals,
+}
+
+impl WorkloadStructure {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadStructure::Dense => "dense",
+            WorkloadStructure::Sparse => "sparse",
+            WorkloadStructure::Intervals => "intervals",
+        }
+    }
+}
+
+/// A batch of `m` linear counting queries over `n` unit counts,
+/// represented by its `m×n` workload matrix `W` (Section 3.2 of the
+/// paper) behind a structure-aware [`MatrixOp`].
+///
+/// Range and prefix workloads are held as implicit interval operators,
+/// marginal-style workloads as CSR — both answer every product the
+/// mechanisms and the Algorithm-1 solver need without ever materializing
+/// the dense `m×n` matrix. [`Workload::matrix`] remains as the explicit
+/// densification escape hatch (and is how dense-constructed workloads
+/// store `W` in the first place).
 ///
 /// The SVD (and hence rank and singular values) is computed lazily and
 /// cached: the LRM decomposition, the Fig. 3 `r = ratio·rank(W)` sweep and
-/// the optimality bounds all consult it repeatedly.
-#[derive(Debug, Clone)]
+/// the optimality bounds all consult it repeatedly. For structured
+/// workloads it is computed from the small-side Gram matrix through the
+/// operator — also without densifying.
+#[derive(Clone)]
 pub struct Workload {
-    matrix: Matrix,
+    op: Arc<dyn MatrixOp>,
+    structure: WorkloadStructure,
+    dense_cache: Arc<Mutex<Option<Arc<Matrix>>>>,
     svd_cache: Arc<Mutex<Option<Arc<Svd>>>>,
     fingerprint_cache: Arc<Mutex<Option<Fingerprint>>>,
 }
 
 impl Workload {
-    /// Wraps a workload matrix. Rejects empty and non-finite matrices.
-    pub fn new(matrix: Matrix) -> Result<Self, String> {
+    /// Wraps a dense workload matrix. Rejects non-finite matrices.
+    pub fn new(matrix: Matrix) -> Result<Self, WorkloadError> {
         if matrix.has_non_finite() {
-            return Err("workload matrix contains NaN or infinite entries".into());
+            return Err(WorkloadError::NonFinite);
         }
+        let shared = Arc::new(matrix);
         Ok(Self {
-            matrix,
+            op: Arc::new(DenseOp::shared(Arc::clone(&shared))),
+            structure: WorkloadStructure::Dense,
+            dense_cache: Arc::new(Mutex::new(Some(shared))),
             svd_cache: Arc::new(Mutex::new(None)),
             fingerprint_cache: Arc::new(Mutex::new(None)),
         })
     }
 
-    /// Builds a workload from row slices (one row per query).
-    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, String> {
+    /// Builds a dense workload from row slices (one row per query).
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, WorkloadError> {
         if rows.is_empty() {
-            return Err("workload needs at least one query".into());
+            return Err(WorkloadError::Empty);
         }
         Self::new(Matrix::from_rows(rows))
     }
 
-    /// Builds a workload from a list of [`LinearQuery`]s with equal domain.
-    pub fn from_queries(queries: &[LinearQuery]) -> Result<Self, String> {
+    /// Builds a dense workload from a list of [`LinearQuery`]s with equal
+    /// domain.
+    pub fn from_queries(queries: &[LinearQuery]) -> Result<Self, WorkloadError> {
         if queries.is_empty() {
-            return Err("workload needs at least one query".into());
+            return Err(WorkloadError::Empty);
         }
         let n = queries[0].len();
-        if queries.iter().any(|q| q.len() != n) {
-            return Err("all queries must share the same domain size".into());
+        if let Some(bad) = queries.iter().find(|q| q.len() != n) {
+            return Err(WorkloadError::InconsistentQueries {
+                expected: n,
+                got: bad.len(),
+            });
         }
         let rows: Vec<&[f64]> = queries.iter().map(|q| q.weights()).collect();
         Self::from_rows(&rows)
     }
 
+    /// Builds an implicit interval workload: row `i` is the indicator of
+    /// the inclusive column range `intervals[i]`. Range-count and
+    /// prefix-sum workloads take this form — `O(m)` storage, and every
+    /// product through the operator runs in `O(m + n)` per column.
+    pub fn from_intervals(n: usize, intervals: Vec<(usize, usize)>) -> Result<Self, WorkloadError> {
+        if n == 0 || intervals.is_empty() {
+            return Err(WorkloadError::Empty);
+        }
+        if let Some(&(lo, hi)) = intervals.iter().find(|&&(lo, hi)| lo > hi || hi >= n) {
+            return Err(WorkloadError::InvalidInterval { lo, hi, domain: n });
+        }
+        Self::from_operator(
+            Arc::new(IntervalsOp::new(n, intervals)),
+            WorkloadStructure::Intervals,
+        )
+    }
+
+    /// Builds a sparse workload from CSR storage.
+    pub fn from_csr(csr: CsrOp) -> Result<Self, WorkloadError> {
+        Self::from_operator(Arc::new(csr), WorkloadStructure::Sparse)
+    }
+
+    /// Wraps an arbitrary operator with an explicit structure tag. Rejects
+    /// operators with non-finite entries or empty shapes.
+    pub fn from_operator(
+        op: Arc<dyn MatrixOp>,
+        structure: WorkloadStructure,
+    ) -> Result<Self, WorkloadError> {
+        if op.rows() == 0 || op.cols() == 0 {
+            return Err(WorkloadError::Empty);
+        }
+        // Per-entry finiteness, streamed through the operator — the same
+        // check (and the same verdict) the dense constructor applies, so
+        // validation cannot depend on the storage representation. (A sum
+        // of squares would falsely reject finite entries large enough to
+        // overflow it.)
+        let mut buf = vec![0.0; op.cols()];
+        for i in 0..op.rows() {
+            op.fill_row(i, &mut buf);
+            if buf.iter().any(|v| !v.is_finite()) {
+                return Err(WorkloadError::NonFinite);
+            }
+        }
+        Ok(Self {
+            op,
+            structure,
+            dense_cache: Arc::new(Mutex::new(None)),
+            svd_cache: Arc::new(Mutex::new(None)),
+            fingerprint_cache: Arc::new(Mutex::new(None)),
+        })
+    }
+
+    /// A dense copy of this workload: same matrix, same fingerprint,
+    /// [`WorkloadStructure::Dense`] representation. This is the "force
+    /// dense" switch — e.g. the scaling sweep uses it to time the dense
+    /// path against the structured one on identical inputs.
+    pub fn to_dense_workload(&self) -> Self {
+        Self::new((*self.matrix()).clone()).expect("finite by construction")
+    }
+
     /// Number of queries `m`.
     pub fn num_queries(&self) -> usize {
-        self.matrix.rows()
+        self.op.rows()
     }
 
     /// Domain size `n`.
     pub fn domain_size(&self) -> usize {
-        self.matrix.cols()
+        self.op.cols()
     }
 
-    /// The workload matrix `W`.
-    pub fn matrix(&self) -> &Matrix {
-        &self.matrix
+    /// The structure-aware operator for `W` — what every product should go
+    /// through.
+    pub fn op(&self) -> &Arc<dyn MatrixOp> {
+        &self.op
+    }
+
+    /// Which representation this workload stores `W` in.
+    pub fn structure(&self) -> WorkloadStructure {
+        self.structure
+    }
+
+    /// The workload matrix `W`, densified on first use and cached.
+    ///
+    /// For structured workloads this is the `O(m·n)` escape hatch (it
+    /// counts into `lrm_linalg::operator::densification_count`); the
+    /// mechanism and solver paths never need it.
+    pub fn matrix(&self) -> Arc<Matrix> {
+        let mut guard = self.dense_cache.lock();
+        if let Some(m) = guard.as_ref() {
+            return Arc::clone(m);
+        }
+        let dense = Arc::new(self.op.to_dense());
+        *guard = Some(Arc::clone(&dense));
+        dense
     }
 
     /// Exact batch answers `W·x`.
-    pub fn answer(&self, x: &[f64]) -> Result<Vec<f64>, String> {
-        ops::mul_vec(&self.matrix, x).map_err(|e| e.to_string())
+    pub fn answer(&self, x: &[f64]) -> Result<Vec<f64>, WorkloadError> {
+        if x.len() != self.domain_size() {
+            return Err(WorkloadError::DomainMismatch {
+                expected: self.domain_size(),
+                got: x.len(),
+            });
+        }
+        Ok(self.op.matvec(x))
     }
 
     /// L1 sensitivity `Δ' = max_j Σ_i |W_ij|` (Section 3.2).
     pub fn sensitivity(&self) -> f64 {
-        self.matrix.max_col_abs_sum()
+        self.op.col_abs_sums().into_iter().fold(0.0_f64, f64::max)
     }
 
     /// Squared sum `Σ_ij W_ij²`, which drives the NOD error (Eq. 4).
     pub fn squared_sum(&self) -> f64 {
-        self.matrix.squared_sum()
+        self.op.frobenius_sq()
     }
 
     /// Cached singular value decomposition of `W`.
+    ///
+    /// Dense workloads use the dense SVD (Jacobi below the size threshold,
+    /// Gram above); structured workloads always take the operator-aware
+    /// Gram path, which never densifies `W`.
     pub fn svd(&self) -> Arc<Svd> {
         let mut guard = self.svd_cache.lock();
         if let Some(svd) = guard.as_ref() {
             return Arc::clone(svd);
         }
-        let svd = Arc::new(Svd::compute(&self.matrix).expect("workload entries are finite"));
+        let svd = Arc::new(match self.structure {
+            WorkloadStructure::Dense => {
+                Svd::compute(&self.matrix()).expect("workload entries are finite")
+            }
+            _ => Svd::compute_op(self.op.as_ref()).expect("workload entries are finite"),
+        });
         *guard = Some(Arc::clone(&svd));
         Arc::clone(guard.as_ref().expect("just inserted"))
     }
@@ -156,19 +299,24 @@ impl Workload {
 
     /// Content hash of the workload matrix (cached; clones share it).
     ///
-    /// The hash covers the dimensions and every entry's bit pattern, so
-    /// bit-equal matrices — and only those — collide. It is the key of the
+    /// The hash covers the dimensions and every logical entry's bit
+    /// pattern — walked through the operator, so dense, sparse, and
+    /// interval constructions of the same `W` hash identically without
+    /// the structured forms ever densifying. It is the key of the
     /// engine's compiled-strategy cache.
     pub fn fingerprint(&self) -> Fingerprint {
         let mut guard = self.fingerprint_cache.lock();
         if let Some(fp) = *guard {
             return fp;
         }
+        let (m, n) = (self.op.rows(), self.op.cols());
         let mut h = FNV_OFFSET;
-        h = fnv1a_u64(h, self.matrix.rows() as u64);
-        h = fnv1a_u64(h, self.matrix.cols() as u64);
-        for r in 0..self.matrix.rows() {
-            for &v in self.matrix.row(r) {
+        h = fnv1a_u64(h, m as u64);
+        h = fnv1a_u64(h, n as u64);
+        let mut buf = vec![0.0; n];
+        for i in 0..m {
+            self.op.fill_row(i, &mut buf);
+            for &v in &buf {
                 h = fnv1a_u64(h, v.to_bits());
             }
         }
@@ -179,8 +327,19 @@ impl Workload {
 }
 
 impl PartialEq for Workload {
+    /// Logical (entry-wise) equality, independent of representation.
     fn eq(&self, other: &Self) -> bool {
-        self.matrix == other.matrix
+        op_logical_eq(self.op.as_ref(), other.op.as_ref())
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("shape", &(self.num_queries(), self.domain_size()))
+            .field("structure", &self.structure)
+            .field("op", &self.op)
+            .finish()
     }
 }
 
@@ -197,27 +356,53 @@ mod tests {
         .unwrap()
     }
 
+    fn intro_intervals() -> Workload {
+        Workload::from_intervals(4, vec![(0, 3), (0, 1), (2, 3)]).unwrap()
+    }
+
     #[test]
     fn dimensions_and_answers() {
         let w = intro_workload();
         assert_eq!(w.num_queries(), 3);
         assert_eq!(w.domain_size(), 4);
+        assert_eq!(w.structure(), WorkloadStructure::Dense);
         let x = [82_700.0, 19_000.0, 67_000.0, 5_900.0];
         let ans = w.answer(&x).unwrap();
         assert_eq!(ans, vec![174_600.0, 101_700.0, 72_900.0]);
-        assert!(w.answer(&[1.0]).is_err());
+        assert_eq!(
+            w.answer(&[1.0]),
+            Err(WorkloadError::DomainMismatch {
+                expected: 4,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn interval_form_answers_identically() {
+        let dense = intro_workload();
+        let implicit = intro_intervals();
+        assert_eq!(implicit.structure(), WorkloadStructure::Intervals);
+        assert_eq!(dense, implicit);
+        let x = [82_700.0, 19_000.0, 67_000.0, 5_900.0];
+        assert_eq!(dense.answer(&x).unwrap(), implicit.answer(&x).unwrap());
+        assert_eq!(dense.sensitivity(), implicit.sensitivity());
+        assert_eq!(dense.squared_sum(), implicit.squared_sum());
     }
 
     #[test]
     fn sensitivity_matches_paper_example() {
         // q1 affects every state once; q2/q3 split them → Δ' = 2.
         assert_eq!(intro_workload().sensitivity(), 2.0);
+        assert_eq!(intro_intervals().sensitivity(), 2.0);
     }
 
     #[test]
     fn rank_of_dependent_queries() {
-        // q1 = q2 + q3, so the rank is 2 despite 3 queries.
+        // q1 = q2 + q3, so the rank is 2 despite 3 queries — on both the
+        // dense SVD path and the operator Gram path.
         assert_eq!(intro_workload().rank(), 2);
+        assert_eq!(intro_intervals().rank(), 2);
     }
 
     #[test]
@@ -243,15 +428,31 @@ mod tests {
         assert_eq!(w.matrix().row(2), &[1.0, 1.0, 0.0]);
 
         let mismatched = vec![LinearQuery::total(3), LinearQuery::total(4)];
-        assert!(Workload::from_queries(&mismatched).is_err());
-        assert!(Workload::from_queries(&[]).is_err());
+        assert_eq!(
+            Workload::from_queries(&mismatched),
+            Err(WorkloadError::InconsistentQueries {
+                expected: 3,
+                got: 4
+            })
+        );
+        assert_eq!(Workload::from_queries(&[]), Err(WorkloadError::Empty));
     }
 
     #[test]
     fn rejects_non_finite() {
         let mut m = Matrix::zeros(2, 2);
         m.set(0, 0, f64::NAN);
-        assert!(Workload::new(m).is_err());
+        assert_eq!(Workload::new(m), Err(WorkloadError::NonFinite));
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert_eq!(
+            Workload::from_intervals(4, vec![]),
+            Err(WorkloadError::Empty)
+        );
+        assert!(Workload::from_intervals(4, vec![(2, 5)]).is_err());
+        assert!(Workload::from_intervals(4, vec![(3, 1)]).is_err());
     }
 
     #[test]
@@ -263,7 +464,7 @@ mod tests {
         assert_eq!(a.clone().fingerprint(), a.fingerprint());
 
         // Any entry change moves the fingerprint.
-        let mut m = a.matrix().clone();
+        let mut m = (*a.matrix()).clone();
         m.set(0, 0, 2.0);
         let c = Workload::new(m).unwrap();
         assert_ne!(a.fingerprint(), c.fingerprint());
@@ -272,6 +473,20 @@ mod tests {
         let flat = Workload::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]).unwrap();
         let tall = Workload::from_rows(&[&[1.0][..], &[1.0][..], &[1.0][..], &[1.0][..]]).unwrap();
         assert_ne!(flat.fingerprint(), tall.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_representation_independent() {
+        let dense = intro_workload();
+        let implicit = intro_intervals();
+        let sparse = Workload::from_csr(CsrOp::from_dense(&dense.matrix())).unwrap();
+        assert_eq!(dense.fingerprint(), implicit.fingerprint());
+        assert_eq!(dense.fingerprint(), sparse.fingerprint());
+        // And the forced-dense copy of a structured workload too.
+        assert_eq!(
+            implicit.to_dense_workload().fingerprint(),
+            implicit.fingerprint()
+        );
     }
 
     #[test]
@@ -289,5 +504,19 @@ mod tests {
         assert_eq!(sv.len(), 2);
         assert!(sv[0] >= sv[1]);
         assert!(sv[1] > 0.0);
+
+        // Operator path agrees with the dense path.
+        let sv2 = intro_intervals().singular_values();
+        assert_eq!(sv2.len(), 2);
+        for (a, b) in sv.iter().zip(sv2.iter()) {
+            assert!((a - b).abs() < 1e-9, "σ mismatch {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn structure_labels() {
+        assert_eq!(WorkloadStructure::Dense.label(), "dense");
+        assert_eq!(WorkloadStructure::Sparse.label(), "sparse");
+        assert_eq!(WorkloadStructure::Intervals.label(), "intervals");
     }
 }

@@ -1,0 +1,101 @@
+//! The fingerprint contract across representations: a workload's content
+//! hash (and its answers, sensitivity, and norms) must be identical
+//! whether `W` is stored dense, as CSR, or as implicit intervals — the
+//! engine's strategy cache keys on this.
+
+use lrm_linalg::operator::CsrOp;
+use lrm_linalg::Matrix;
+use lrm_workload::{Workload, WorkloadStructure};
+use proptest::prelude::*;
+
+/// Strategy: a domain size plus inclusive intervals over it.
+fn intervals(
+    rows: std::ops::Range<usize>,
+    n: std::ops::Range<usize>,
+) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    n.prop_flat_map(move |cols| {
+        proptest::collection::vec((0..cols, 0..cols), rows.clone()).prop_map(move |pairs| {
+            (
+                cols,
+                pairs
+                    .into_iter()
+                    .map(|(a, b)| (a.min(b), a.max(b)))
+                    .collect(),
+            )
+        })
+    })
+}
+
+fn dense_matrix_of(n: usize, ivs: &[(usize, usize)]) -> Matrix {
+    let mut m = Matrix::zeros(ivs.len(), n);
+    for (i, &(lo, hi)) in ivs.iter().enumerate() {
+        m.row_mut(i)[lo..=hi].iter_mut().for_each(|v| *v = 1.0);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fingerprint_identical_across_representations(
+        (n, ivs) in intervals(1..12, 1..32),
+    ) {
+        let implicit = Workload::from_intervals(n, ivs.clone()).unwrap();
+        let dense_m = dense_matrix_of(n, &ivs);
+        let dense = Workload::new(dense_m.clone()).unwrap();
+        let sparse = Workload::from_csr(CsrOp::from_dense(&dense_m)).unwrap();
+
+        prop_assert_eq!(implicit.structure(), WorkloadStructure::Intervals);
+        prop_assert_eq!(dense.structure(), WorkloadStructure::Dense);
+        prop_assert_eq!(sparse.structure(), WorkloadStructure::Sparse);
+
+        // One fingerprint, three storages.
+        prop_assert_eq!(implicit.fingerprint(), dense.fingerprint());
+        prop_assert_eq!(implicit.fingerprint(), sparse.fingerprint());
+        // …and the forced-dense copy of the implicit workload.
+        prop_assert_eq!(
+            implicit.to_dense_workload().fingerprint(),
+            implicit.fingerprint()
+        );
+
+        // Logical equality agrees with the hash.
+        prop_assert_eq!(&implicit, &dense);
+        prop_assert_eq!(&implicit, &sparse);
+
+        // Derived public quantities are representation-independent too.
+        prop_assert_eq!(implicit.sensitivity(), dense.sensitivity());
+        prop_assert_eq!(implicit.squared_sum(), dense.squared_sum());
+        let x: Vec<f64> = (0..n).map(|j| (j as f64) * 0.31 - 1.0).collect();
+        let a = implicit.answer(&x).unwrap();
+        let b = dense.answer(&x).unwrap();
+        let c = sparse.answer(&x).unwrap();
+        for ((ai, bi), ci) in a.iter().zip(b.iter()).zip(c.iter()) {
+            prop_assert!((ai - bi).abs() < 1e-10);
+            prop_assert!((ai - ci).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_different_workloads(
+        (n, ivs) in intervals(2..10, 2..24),
+    ) {
+        let w = Workload::from_intervals(n, ivs.clone()).unwrap();
+        // Perturb one interval (grow or shrink by one column).
+        let mut other = ivs.clone();
+        let (lo, hi) = other[0];
+        other[0] = if hi + 1 < n {
+            (lo, hi + 1)
+        } else if lo < hi {
+            (lo + 1, hi)
+        } else if lo > 0 {
+            (lo - 1, hi)
+        } else {
+            // Single full-domain interval over n = 1: nothing to perturb.
+            return Ok(());
+        };
+        let v = Workload::from_intervals(n, other).unwrap();
+        prop_assert_ne!(w.fingerprint(), v.fingerprint());
+        prop_assert_ne!(&w, &v);
+    }
+}

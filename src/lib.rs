@@ -108,8 +108,10 @@ pub mod prelude {
     pub use lrm_core::CoreError;
     pub use lrm_dp::budget::Epsilon;
     pub use lrm_dp::{BudgetError, BudgetLedger, DpError};
+    pub use lrm_linalg::operator::{CsrOp, DenseOp, IntervalsOp, MatrixOp};
     pub use lrm_linalg::Matrix;
     pub use lrm_workload::datasets::Dataset;
+    pub use lrm_workload::error::WorkloadError;
     pub use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
-    pub use lrm_workload::workload::{Fingerprint, Workload};
+    pub use lrm_workload::workload::{Fingerprint, Workload, WorkloadStructure};
 }
