@@ -311,6 +311,25 @@ impl Engine {
     }
 }
 
+// Thread-sharing contract: `lrm-server` worker pools compile through one
+// shared `&Engine` and answer through shared `CompiledMechanism`s across
+// threads. Every strategy is held as `Arc<dyn Mechanism + Send + Sync>`
+// and the cache serializes behind its own locks, so these bounds hold
+// structurally — this assertion turns any regression (e.g. an interior
+// non-`Sync` cell added to the cache) into a compile error here instead
+// of a trait-bound error in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineBuilder>();
+    assert_send_sync::<CompiledMechanism>();
+    assert_send_sync::<CompileMeta>();
+    const fn assert_send<T: Send>() {}
+    // A `Session` is single-owner (answering takes `&mut self`) but may
+    // move to a worker thread.
+    assert_send::<Session>();
+};
+
 /// Structured metadata attached to every [`Engine::compile`] result.
 #[derive(Debug, Clone)]
 pub struct CompileMeta {

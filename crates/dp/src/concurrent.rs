@@ -1,0 +1,185 @@
+//! A thread-safe layer over [`BudgetLedger`] for concurrent serving.
+//!
+//! A serving runtime debits one tenant's budget from many worker threads
+//! at once. The sequential [`BudgetLedger`] already guarantees that the
+//! *observed* spend never exceeds the advertised total by more than one
+//! rounding slack (`total × 1e-9`) over its lifetime; [`SharedLedger`]
+//! preserves exactly that bound under contention by serializing every
+//! check-and-debit behind one mutex — there is no check/debit race window
+//! in which two threads can both reserve the last slice of budget.
+//!
+//! The type is a cheap `Arc` handle: clones share the same ledger, so a
+//! scheduler thread can admission-[`check`](SharedLedger::check) while
+//! workers [`debit`](SharedLedger::debit) after each successful release
+//! (debit-after-success: a refused release never spends).
+
+use crate::budget::Epsilon;
+use crate::ledger::{BudgetError, BudgetLedger};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A cloneable, thread-safe [`BudgetLedger`].
+///
+/// ```
+/// use lrm_dp::{concurrent::SharedLedger, Epsilon};
+///
+/// let ledger = SharedLedger::new(Epsilon::new(1.0).unwrap());
+/// let half = Epsilon::new(0.5).unwrap();
+/// let handle = ledger.clone(); // same ledger, another thread's handle
+/// ledger.debit(half).unwrap();
+/// handle.debit(half).unwrap();
+/// assert!(ledger.is_exhausted());
+/// assert!(handle.debit(half).is_err());
+/// ```
+#[derive(Clone)]
+pub struct SharedLedger {
+    inner: Arc<Mutex<BudgetLedger>>,
+}
+
+impl SharedLedger {
+    /// Opens a shared ledger holding `total` as the overall guarantee.
+    pub fn new(total: Epsilon) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(BudgetLedger::new(total))),
+        }
+    }
+
+    /// Locks the ledger, recovering from poisoning: a panic in one worker
+    /// must not turn every later budget operation into a second panic —
+    /// the ledger state itself is always valid (debits are applied
+    /// atomically under the lock).
+    fn lock(&self) -> std::sync::MutexGuard<'_, BudgetLedger> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Side-effect-free admission check: could `eps` be debited right now?
+    ///
+    /// Under contention this is advisory — another thread may spend the
+    /// budget between a successful `check` and the later
+    /// [`debit`](SharedLedger::debit) — which
+    /// is precisely why the debit re-validates atomically. Use `check` to
+    /// fail fast at admission, never as a reservation.
+    pub fn check(&self, eps: Epsilon) -> Result<(), BudgetError> {
+        self.lock().check(eps)
+    }
+
+    /// Atomically check-and-debit `eps`, returning the remaining budget.
+    ///
+    /// Exactly the sequential [`BudgetLedger::debit`] semantics, serialized:
+    /// the cumulative ε granted across all threads can never exceed the
+    /// total by more than the documented one-slack bound.
+    pub fn debit(&self, eps: Epsilon) -> Result<f64, BudgetError> {
+        self.lock().debit(eps)
+    }
+
+    /// A point-in-time copy of the underlying ledger (total, spent, debit
+    /// count) for reporting.
+    pub fn snapshot(&self) -> BudgetLedger {
+        self.lock().clone()
+    }
+
+    /// The fixed total ε this ledger enforces.
+    pub fn total(&self) -> f64 {
+        self.lock().total()
+    }
+
+    /// Cumulative ε debited so far.
+    pub fn spent(&self) -> f64 {
+        self.lock().spent()
+    }
+
+    /// Budget still available, never negative.
+    pub fn remaining(&self) -> f64 {
+        self.lock().remaining()
+    }
+
+    /// Number of successful debits.
+    pub fn debits(&self) -> usize {
+        self.lock().debits()
+    }
+
+    /// Whether the remaining budget is (numerically) zero.
+    pub fn is_exhausted(&self) -> bool {
+        self.lock().is_exhausted()
+    }
+}
+
+impl fmt::Debug for SharedLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SharedLedger")
+            .field(&self.snapshot())
+            .finish()
+    }
+}
+
+impl fmt::Display for SharedLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SharedLedger::new(eps(1.0));
+        let b = a.clone();
+        a.debit(eps(0.25)).unwrap();
+        b.debit(eps(0.25)).unwrap();
+        assert!((a.spent() - 0.5).abs() < 1e-15);
+        assert_eq!(a.debits(), 2);
+        assert_eq!(b.debits(), 2);
+    }
+
+    #[test]
+    fn check_then_debit_round_trip() {
+        let l = SharedLedger::new(eps(0.2));
+        assert!(l.check(eps(0.2)).is_ok());
+        assert!(l.check(eps(0.3)).is_err());
+        l.debit(eps(0.2)).unwrap();
+        assert!(l.is_exhausted());
+        assert!(matches!(
+            l.debit(eps(0.1)),
+            Err(BudgetError::Exhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let l = SharedLedger::new(eps(1.0));
+        let before = l.snapshot();
+        l.debit(eps(0.5)).unwrap();
+        assert_eq!(before.spent(), 0.0);
+        assert!((l.snapshot().spent() - 0.5).abs() < 1e-15);
+        assert!((l.remaining() - 0.5).abs() < 1e-15);
+        assert!((l.total() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn survives_a_poisoned_lock() {
+        let l = SharedLedger::new(eps(1.0));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.inner.lock().unwrap();
+            panic!("poison the ledger lock");
+        })
+        .join();
+        // The ledger stays usable and consistent after the panic.
+        l.debit(eps(0.5)).unwrap();
+        assert!((l.spent() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_and_debug_render() {
+        let l = SharedLedger::new(eps(1.0));
+        l.debit(eps(0.5)).unwrap();
+        assert!(l.to_string().contains("1 release"));
+        assert!(format!("{l:?}").contains("SharedLedger"));
+    }
+}

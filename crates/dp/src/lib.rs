@@ -5,6 +5,9 @@
 //!   sequential-composition arithmetic.
 //! * [`ledger`] — the [`BudgetLedger`], which debits a fixed total ε per
 //!   release and refuses over-spends with a typed [`BudgetError`].
+//! * [`concurrent`] — the [`SharedLedger`] thread-safe layer over the
+//!   ledger, preserving the one-slack over-spend bound under contention
+//!   (what the `lrm-server` per-tenant ledgers are built on).
 //! * [`error`] — the typed [`DpError`] every constructor in this crate
 //!   reports.
 //! * [`laplace`] — Laplace distribution sampling (inverse-CDF), the noise
@@ -17,6 +20,7 @@
 //!   the harness is reproducible bit-for-bit.
 
 pub mod budget;
+pub mod concurrent;
 pub mod error;
 pub mod laplace;
 pub mod ledger;
@@ -24,6 +28,7 @@ pub mod rng;
 pub mod sensitivity;
 
 pub use budget::Epsilon;
+pub use concurrent::SharedLedger;
 pub use error::DpError;
 pub use laplace::Laplace;
 pub use ledger::{BudgetError, BudgetLedger};

@@ -1,0 +1,155 @@
+//! Concurrency audit for the budget ledger (ISSUE 5 satellite).
+//!
+//! The sequential [`BudgetLedger`] documents a lifetime over-spend bound of
+//! one rounding slack (`total × 1e-9`); these tests prove the
+//! [`SharedLedger`] layer preserves that bound when many threads debit one
+//! tenant concurrently. There is no loom in this offline workspace, so the
+//! tests shake interleavings the pedestrian way: many threads, many
+//! iterations, mixed debit sizes, and yields between attempts — and they
+//! assert on the *granted* amounts each thread actually observed, not on
+//! the ledger's (clamped) internal counter, so a lost-update bug cannot
+//! hide behind the clamp.
+
+use lrm_dp::concurrent::SharedLedger;
+use lrm_dp::{BudgetError, Epsilon};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The ledger's documented lifetime over-spend bound.
+const RELATIVE_SLACK: f64 = 1e-9;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// Hammers one shared ledger from `threads` threads, each attempting every
+/// debit in `sizes` repeatedly (`rounds` passes), and returns the ε each
+/// thread was actually granted.
+fn hammer(total: f64, threads: usize, rounds: usize, sizes: &[f64]) -> Vec<f64> {
+    let ledger = SharedLedger::new(eps(total));
+    let started = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ledger = ledger.clone();
+                let started = &started;
+                s.spawn(move || {
+                    // Barrier-ish start so the threads actually contend.
+                    started.fetch_add(1, Ordering::SeqCst);
+                    while started.load(Ordering::SeqCst) < threads {
+                        std::hint::spin_loop();
+                    }
+                    let mut granted = 0.0;
+                    for round in 0..rounds {
+                        for i in 0..sizes.len() {
+                            // Stagger the order per thread so different
+                            // sizes collide at the boundary.
+                            let size = sizes[(i + t + round) % sizes.len()];
+                            match ledger.debit(eps(size)) {
+                                Ok(_) => granted += size,
+                                Err(BudgetError::Exhausted { .. }) => {}
+                            }
+                            if (i + t) % 3 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    granted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn concurrent_debits_never_exceed_one_slack() {
+    let total = 1.0;
+    let granted = hammer(total, 16, 50, &[0.01, 0.003, 0.0007]);
+    let granted_sum: f64 = granted.iter().sum();
+    // The bound under test: everything actually granted, summed across all
+    // threads, stays within the documented one-slack envelope.
+    assert!(
+        granted_sum <= total * (1.0 + RELATIVE_SLACK) + 1e-12,
+        "over-spend: granted {granted_sum} > total {total} + slack"
+    );
+    // The run must have actually driven the ledger to the boundary — the
+    // leftover must be too small for even the smallest debit — or the test
+    // proved nothing about contention at exhaustion.
+    assert!(
+        granted_sum >= total - 0.0007,
+        "ledger never reached exhaustion (granted {granted_sum}); the boundary was not exercised"
+    );
+}
+
+#[test]
+fn dust_debits_stay_blocked_under_contention() {
+    // Exhaust, then have many threads fling sub-slack dust at the ledger:
+    // not one grain may leak through (the sequential ledger's dust guard
+    // must hold behind the shared lock too).
+    let ledger = SharedLedger::new(eps(1.0));
+    ledger.debit(eps(1.0)).unwrap();
+    let leaked: usize = std::thread::scope(|s| {
+        (0..8)
+            .map(|_| {
+                let ledger = ledger.clone();
+                s.spawn(move || {
+                    (0..1000)
+                        .filter(|_| ledger.debit(eps(1e-12)).is_ok())
+                        .count()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(leaked, 0, "{leaked} dust debits leaked through exhaustion");
+    assert_eq!(ledger.debits(), 1);
+}
+
+#[test]
+fn successful_debit_count_matches_ledger() {
+    // The debit counter is part of the audit trail: it must agree with the
+    // number of grants the callers observed.
+    let ledger = SharedLedger::new(eps(1.0));
+    let grants: usize = std::thread::scope(|s| {
+        (0..12)
+            .map(|_| {
+                let ledger = ledger.clone();
+                s.spawn(move || {
+                    (0..100)
+                        .filter(|_| ledger.debit(eps(0.004)).is_ok())
+                        .count()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    assert_eq!(ledger.debits(), grants);
+    // 250 × 0.004 = 1.0 exactly fills the budget.
+    assert_eq!(grants, 250);
+    assert!(ledger.is_exhausted());
+}
+
+proptest! {
+    /// Property form of the audit: for arbitrary totals and debit-size
+    /// menus, the contended grant total stays within one slack of the
+    /// advertised budget.
+    #[test]
+    fn over_spend_bound_holds_for_arbitrary_sizes(
+        total in 0.05f64..4.0,
+        sizes in proptest::collection::vec(1e-4f64..0.2, 1..4),
+        threads in 2usize..9,
+    ) {
+        let scaled: Vec<f64> = sizes.iter().map(|s| s * total).collect();
+        let rounds = 1 + (2.0 / (scaled.iter().sum::<f64>() * threads as f64)).ceil() as usize;
+        let granted: f64 = hammer(total, threads, rounds.min(50), &scaled).iter().sum();
+        prop_assert!(
+            granted <= total * (1.0 + RELATIVE_SLACK) + 1e-12,
+            "granted {} vs total {}", granted, total
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-tenant serving load harness: the coalescing `lrm-server` against
+//! a per-query baseline on the same trace, at equal ε.
+//!
+//! ```text
+//! load_sim [--n N] [--cuts C] [--tenants T] [--clients K] [--requests R]
+//!          [--burst B] [--spec-queries Q] [--window-ms W] [--max-batch M]
+//!          [--workers P] [--eps E] [--tenant-budget EB] [--seed S]
+//!          [--out PATH] [--quiet]
+//! load_sim --smoke [--budget-seconds S] [--quiet]
+//! ```
+//!
+//! `--smoke` runs the CI regression gate on a pinned small configuration
+//! and fails unless (a) the coalescing run sustains **strictly higher
+//! throughput** than the per-query baseline, (b) **zero** tenants were
+//! granted more ε than they registered (within the ledger's documented
+//! one-slack bound), (c) **zero** operator densifications occurred in
+//! either run, and (d) at least one batch actually coalesced. The smoke
+//! runs in its own process, which is what makes the global densification
+//! counter assertable.
+
+use lrm_eval::experiments::serving::{run_serving_bench, ServingConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+struct Args {
+    cfg: ServingConfig,
+    out: Option<PathBuf>,
+    smoke: bool,
+    budget_seconds: f64,
+    /// Shaping flags seen on the command line; `--smoke` is a pinned
+    /// configuration and refuses these rather than silently ignoring
+    /// them (same contract as `scaling_sweep`).
+    shaping_flags: Vec<&'static str>,
+    saw_budget: bool,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut out = Args {
+        cfg: ServingConfig::default(),
+        out: None,
+        smoke: false,
+        budget_seconds: 150.0,
+        shaping_flags: Vec::new(),
+        saw_budget: false,
+    };
+    fn next_parse<T: std::str::FromStr>(
+        flag: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<T, String> {
+        let v = args.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("bad {flag}: {v}"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => out.smoke = true,
+            "--quiet" => out.cfg.quiet = true,
+            "--n" => {
+                out.shaping_flags.push("--n");
+                out.cfg.buckets = next_parse("--n", &mut args)?;
+            }
+            "--cuts" => {
+                out.shaping_flags.push("--cuts");
+                out.cfg.cuts = next_parse("--cuts", &mut args)?;
+            }
+            "--tenants" => {
+                out.shaping_flags.push("--tenants");
+                out.cfg.tenants = next_parse("--tenants", &mut args)?;
+            }
+            "--clients" => {
+                out.shaping_flags.push("--clients");
+                out.cfg.clients = next_parse("--clients", &mut args)?;
+            }
+            "--requests" => {
+                out.shaping_flags.push("--requests");
+                out.cfg.requests_per_client = next_parse("--requests", &mut args)?;
+            }
+            "--burst" => {
+                out.shaping_flags.push("--burst");
+                out.cfg.burst = next_parse("--burst", &mut args)?;
+            }
+            "--spec-queries" => {
+                out.shaping_flags.push("--spec-queries");
+                out.cfg.spec_queries = next_parse("--spec-queries", &mut args)?;
+            }
+            "--window-ms" => {
+                out.shaping_flags.push("--window-ms");
+                let ms: f64 = next_parse("--window-ms", &mut args)?;
+                out.cfg.window = Duration::from_secs_f64(ms / 1e3);
+            }
+            "--max-batch" => {
+                out.shaping_flags.push("--max-batch");
+                out.cfg.max_batch = next_parse("--max-batch", &mut args)?;
+            }
+            "--workers" => {
+                out.shaping_flags.push("--workers");
+                out.cfg.workers = next_parse("--workers", &mut args)?;
+            }
+            "--eps" => {
+                out.shaping_flags.push("--eps");
+                out.cfg.eps_request = next_parse("--eps", &mut args)?;
+            }
+            "--tenant-budget" => {
+                out.shaping_flags.push("--tenant-budget");
+                out.cfg.tenant_budget = next_parse("--tenant-budget", &mut args)?;
+            }
+            "--seed" => {
+                out.shaping_flags.push("--seed");
+                out.cfg.seed = next_parse("--seed", &mut args)?;
+            }
+            "--out" => {
+                out.shaping_flags.push("--out");
+                let v = args.next().ok_or("--out needs a path")?;
+                out.out = Some(PathBuf::from(v));
+            }
+            "--budget-seconds" => {
+                out.saw_budget = true;
+                out.budget_seconds = next_parse("--budget-seconds", &mut args)?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument: {other} (try --smoke, --n, --cuts, --tenants, --clients, --requests, --burst, --spec-queries, --window-ms, --max-batch, --workers, --eps, --tenant-budget, --seed, --out, --quiet, --budget-seconds)"
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("load_sim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.smoke {
+        if !args.shaping_flags.is_empty() {
+            eprintln!(
+                "load_sim: --smoke runs a pinned configuration and does not accept {}",
+                args.shaping_flags.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let cfg = ServingConfig {
+            quiet: args.cfg.quiet,
+            ..ServingConfig::smoke()
+        };
+        let t0 = Instant::now();
+        let report = run_serving_bench(&cfg);
+        let elapsed = t0.elapsed().as_secs_f64();
+        println!(
+            "smoke: speedup {:.2}x, {} coalesced batches (mean occupancy {:.2}), \
+             error ratio {:.2}, overspend {}, densifications {}",
+            report.speedup(),
+            report.coalesced.coalesced_batches,
+            report.coalesced.mean_occupancy,
+            report.error_ratio(),
+            report.coalesced.overspend || report.baseline.overspend,
+            report.coalesced.densifications + report.baseline.densifications,
+        );
+        let mut failed = false;
+        if report.speedup() <= 1.0 {
+            eprintln!(
+                "FAIL: coalescing throughput {:.1} req/s is not strictly above the baseline {:.1} req/s",
+                report.coalesced.requests_per_second, report.baseline.requests_per_second
+            );
+            failed = true;
+        }
+        if report.coalesced.overspend || report.baseline.overspend {
+            eprintln!("FAIL: a tenant was granted more ε than it registered");
+            failed = true;
+        }
+        if report.coalesced.densifications + report.baseline.densifications != 0 {
+            eprintln!("FAIL: the serving path densified a structured workload");
+            failed = true;
+        }
+        if report.coalesced.coalesced_batches == 0 {
+            eprintln!("FAIL: the coalescing run never coalesced a batch");
+            failed = true;
+        }
+        if elapsed > args.budget_seconds {
+            eprintln!(
+                "FAIL: smoke took {elapsed:.1}s > budget {:.1}s",
+                args.budget_seconds
+            );
+            failed = true;
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    if args.saw_budget {
+        eprintln!("load_sim: --budget-seconds only applies to --smoke");
+        return ExitCode::FAILURE;
+    }
+    let report = run_serving_bench(&args.cfg);
+    println!(
+        "coalescing vs per-query baseline: {:.2}x throughput, {:.2}x error ratio, smoke gate {}",
+        report.speedup(),
+        report.error_ratio(),
+        if report.passes_smoke() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    let label = format!(
+        "serving load harness, {} clients x {} requests, {} tenants, eps {} (coalescing vs per-query)",
+        report.config.clients,
+        report.config.requests_per_client,
+        report.config.tenants,
+        report.config.eps_request
+    );
+    if let Some(path) = &args.out {
+        if let Err(e) = report.write(path, &label) {
+            eprintln!("load_sim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", path.display());
+    } else {
+        println!("{}", report.to_json(&label));
+    }
+    if report.passes_smoke() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -193,6 +193,44 @@ impl Svd {
         }
     }
 
+    /// Keeps only the leading `rho` singular triples: `U` becomes `m×ρ`,
+    /// `Vᵀ` becomes `ρ×n`, and the singular-value list is cut to length
+    /// `ρ`. Because singular values are stored descending, dropping the
+    /// tail discards exactly the null-space (or near-null) factors.
+    ///
+    /// Downstream consumers that walk the factors — the Lemma 3
+    /// initializer, error formulas summing over σ — then touch `O(ρ)`
+    /// columns instead of `O(min(m,n))`, which matters for the massively
+    /// rank-deficient workloads the structured generators produce (e.g.
+    /// 512 coarse range queries of rank ≤ 33).
+    /// Since a [`Matrix`] cannot be zero-width, at least one triple is
+    /// always kept: truncating a rank-0 (all-zero) SVD to its rank keeps
+    /// one zero singular value with zero vectors, which still
+    /// reconstructs the zero matrix and still reports rank 0.
+    pub fn truncated(&self, rho: usize) -> Svd {
+        let k = self.singular_values.len().min(rho).max(1);
+        let mut u = Matrix::zeros(self.u.rows(), k);
+        let mut vt = Matrix::zeros(k, self.vt.cols());
+        for j in 0..k {
+            u.set_col(j, &self.u.col(j));
+            vt.set_row(j, self.vt.row(j));
+        }
+        Svd {
+            u,
+            singular_values: self.singular_values[..k].to_vec(),
+            vt,
+            method: self.method,
+        }
+    }
+
+    /// [`Svd::truncated`] at the numerical rank: only the top-ρ factors
+    /// survive, where ρ counts singular values above the
+    /// [default tolerance](Svd::default_rank_tolerance). The rank itself
+    /// is unchanged by construction.
+    pub fn truncated_to_rank(&self) -> Svd {
+        self.truncated(self.rank())
+    }
+
     /// `U·diag(σ)·Vᵀ` (testing helper).
     pub fn reconstruct(&self) -> Matrix {
         let k = self.singular_values.len();
@@ -550,6 +588,52 @@ mod tests {
             dense.set_row(i, &buf);
         }
         assert!(svd.reconstruct().approx_eq(&dense, 1e-8));
+    }
+
+    #[test]
+    fn truncation_keeps_top_factors_only() {
+        // rank-3 product: truncating to rank drops the null space without
+        // changing the reconstruction or the rank.
+        let c = pseudo_random(12, 3, 31);
+        let r = pseudo_random(3, 9, 32);
+        let w = ops::matmul(&c, &r).unwrap();
+        let full = Svd::compute_jacobi(&w).unwrap();
+        assert_eq!(full.singular_values.len(), 9);
+
+        let top = full.truncated_to_rank();
+        assert_eq!(top.singular_values.len(), 3);
+        assert_eq!(top.u.shape(), (12, 3));
+        assert_eq!(top.vt.shape(), (3, 9));
+        assert_eq!(top.rank(), 3);
+        assert!(top.reconstruct().approx_eq(&w, 1e-9));
+        assert_eq!(
+            top.nonzero_singular_values(),
+            full.nonzero_singular_values()
+        );
+
+        // Truncating beyond the stored width is a no-op-sized copy.
+        let wide = full.truncated(99);
+        assert_eq!(wide.singular_values.len(), 9);
+        // Truncating below the rank keeps the leading triples (the best
+        // rank-2 approximation's factors).
+        let two = full.truncated(2);
+        assert_eq!(two.u.shape(), (12, 2));
+        assert_eq!(two.singular_values, full.singular_values[..2].to_vec());
+    }
+
+    #[test]
+    fn truncating_a_zero_matrix_keeps_one_zero_triple() {
+        // A Matrix cannot be zero-width, so rank-0 truncation clamps to
+        // one (zero) triple and stays a valid SVD of the zero matrix.
+        let z = Matrix::zeros(4, 3);
+        let svd = Svd::compute(&z).unwrap();
+        assert_eq!(svd.rank(), 0);
+        let top = svd.truncated_to_rank();
+        assert_eq!(top.singular_values, vec![0.0]);
+        assert_eq!(top.u.shape(), (4, 1));
+        assert_eq!(top.vt.shape(), (1, 3));
+        assert_eq!(top.rank(), 0);
+        assert!(top.reconstruct().approx_eq(&z, 1e-15));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Batch assembly: merging compatible prepared specs into one structured
+//! workload.
+//!
+//! This is the paper's premise turned into scheduling policy: queries
+//! answered *together* through one low-rank strategy beat queries answered
+//! alone, so concurrently-arriving compatible specs are concatenated into
+//! one combined workload that shares a single compiled strategy and **one
+//! noise draw per strategy column** — `r` Laplace samples for the whole
+//! batch instead of `Σ rᵢ` across its members. Compatibility is exact:
+//! same schema, same structural class (so the merge stays one uniform
+//! `IntervalsOp`/CSR operator, never densified), and the same per-release
+//! ε (so the single noise draw is correctly scaled for every member).
+//!
+//! Each member's answer is the contiguous slice of the combined batch
+//! answer its rows occupy — releasing a slice is post-processing of the
+//! one ε-DP release, so per-member accounting at the full ε is (strictly
+//! conservatively) sound.
+
+use crate::spec::{PreparedRows, PreparedSpec, SpecClass};
+use lrm_dp::Epsilon;
+use lrm_linalg::operator::CsrOp;
+use lrm_workload::{Workload, WorkloadError};
+use std::ops::Range;
+
+/// What makes two submissions coalescible. `eps` enters via its IEEE-754
+/// bits: budgets are `Copy` floats and exact equality is the right notion
+/// — releases at even slightly different ε need differently-scaled noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct BatchKey {
+    pub schema_fingerprint: u64,
+    pub class: SpecClass,
+    pub eps_bits: u64,
+}
+
+impl BatchKey {
+    pub fn of(spec: &PreparedSpec, eps: Epsilon) -> Self {
+        Self {
+            schema_fingerprint: spec.schema_fingerprint(),
+            class: spec.class(),
+            eps_bits: eps.value().to_bits(),
+        }
+    }
+}
+
+/// Concatenates the members' rows (in submission order) into one
+/// structured workload, returning it with each member's row span. Takes
+/// references: the members' rows are copied exactly once, into the
+/// workload — no intermediate clone on the worker hot path.
+pub(crate) fn combine(
+    domain_size: usize,
+    specs: &[&PreparedSpec],
+) -> Result<(Workload, Vec<Range<usize>>), WorkloadError> {
+    debug_assert!(!specs.is_empty());
+    let mut spans = Vec::with_capacity(specs.len());
+    let mut offset = 0;
+    for spec in specs {
+        let len = spec.num_queries();
+        spans.push(offset..offset + len);
+        offset += len;
+    }
+
+    let workload = match specs[0].class() {
+        SpecClass::Intervals => {
+            let mut intervals = Vec::with_capacity(offset);
+            for spec in specs {
+                match spec.rows() {
+                    PreparedRows::Intervals(rows) => intervals.extend_from_slice(rows),
+                    PreparedRows::Sparse(_) => unreachable!("batch key fixes the class"),
+                }
+            }
+            Workload::from_intervals(domain_size, intervals)?
+        }
+        SpecClass::Sparse => {
+            let mut rows = Vec::with_capacity(offset);
+            for spec in specs {
+                match spec.rows() {
+                    PreparedRows::Sparse(entries) => rows.extend_from_slice(entries),
+                    PreparedRows::Intervals(_) => unreachable!("batch key fixes the class"),
+                }
+            }
+            Workload::from_csr(CsrOp::from_row_entries(rows.len(), domain_size, &rows))?
+        }
+    };
+    Ok((workload, spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::QuerySpec;
+    use lrm_workload::{Attribute, Schema, WorkloadStructure};
+
+    fn schema() -> Schema {
+        Schema::single(Attribute::new("v", 0.0, 64.0, 64).unwrap())
+    }
+
+    fn prepared(spec: QuerySpec) -> PreparedSpec {
+        spec.compile(&schema()).unwrap()
+    }
+
+    #[test]
+    fn batch_key_separates_class_eps_and_schema() {
+        let s = schema();
+        let a = QuerySpec::Total.compile(&s).unwrap();
+        let eps1 = Epsilon::new(0.5).unwrap();
+        let eps2 = Epsilon::new(0.25).unwrap();
+        assert_eq!(BatchKey::of(&a, eps1), BatchKey::of(&a, eps1));
+        assert_ne!(BatchKey::of(&a, eps1), BatchKey::of(&a, eps2));
+
+        let other_schema = Schema::single(Attribute::new("w", 0.0, 64.0, 64).unwrap());
+        let b = QuerySpec::Total.compile(&other_schema).unwrap();
+        assert_ne!(BatchKey::of(&a, eps1), BatchKey::of(&b, eps1));
+
+        let two_d = Schema::product(vec![
+            Attribute::new("x", 0.0, 1.0, 4).unwrap(),
+            Attribute::new("y", 0.0, 1.0, 4).unwrap(),
+        ])
+        .unwrap();
+        let sparse = QuerySpec::Marginal { attr: 1 }.compile(&two_d).unwrap();
+        let contiguous = QuerySpec::Marginal { attr: 0 }.compile(&two_d).unwrap();
+        assert_ne!(
+            BatchKey::of(&sparse, eps1),
+            BatchKey::of(&contiguous, eps1),
+            "different structural classes must not share a batch"
+        );
+    }
+
+    #[test]
+    fn combine_concatenates_in_order() {
+        let a = prepared(QuerySpec::Ranges {
+            attr: 0,
+            ranges: vec![(0.0, 32.0), (32.0, 64.0)],
+        });
+        let b = prepared(QuerySpec::Prefixes {
+            attr: 0,
+            thresholds: vec![16.0, 48.0, 64.0],
+        });
+        let (w, spans) = combine(64, &[&a, &b]).unwrap();
+        assert_eq!(w.structure(), WorkloadStructure::Intervals);
+        assert_eq!(w.num_queries(), 5);
+        assert_eq!(spans, vec![0..2, 2..5]);
+
+        // The combined answers are exactly the members' answers, stacked.
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let combined = w.answer(&x).unwrap();
+        let wa = a.to_workload().unwrap().answer(&x).unwrap();
+        let wb = b.to_workload().unwrap().answer(&x).unwrap();
+        assert_eq!(&combined[spans[0].clone()], &wa[..]);
+        assert_eq!(&combined[spans[1].clone()], &wb[..]);
+    }
+
+    #[test]
+    fn combine_sparse_rows() {
+        let two_d = Schema::product(vec![
+            Attribute::new("x", 0.0, 1.0, 4).unwrap(),
+            Attribute::new("y", 0.0, 1.0, 3).unwrap(),
+        ])
+        .unwrap();
+        let a = QuerySpec::Marginal { attr: 1 }.compile(&two_d).unwrap();
+        let b = QuerySpec::Ranges {
+            attr: 1,
+            ranges: vec![(0.0, 0.5)],
+        }
+        .compile(&two_d)
+        .unwrap();
+        let (w, spans) = combine(12, &[&a, &b]).unwrap();
+        assert_eq!(w.structure(), WorkloadStructure::Sparse);
+        assert_eq!(w.num_queries(), 4);
+        assert_eq!(spans, vec![0..3, 3..4]);
+    }
+}

@@ -1,0 +1,182 @@
+//! The serving metrics surface.
+//!
+//! Counters are plain relaxed atomics bumped on the hot path; latencies
+//! are recorded per request (submit → response) into a mutex-guarded
+//! vector and reduced to percentiles only when a snapshot is taken. The
+//! queue-depth gauge counts requests that have been submitted but not yet
+//! responded to — it spans the scheduler's coalescing window *and* the
+//! worker queue, which is the number an operator actually wants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Internal live counters (shared across scheduler, workers, clients).
+#[derive(Debug, Default)]
+pub(crate) struct ServerMetrics {
+    pub submitted: AtomicU64,
+    pub answered: AtomicU64,
+    pub rejected_admission: AtomicU64,
+    pub rejected_settlement: AtomicU64,
+    pub failed: AtomicU64,
+    pub batches: AtomicU64,
+    pub coalesced_batches: AtomicU64,
+    pub single_batches: AtomicU64,
+    pub batch_requests: AtomicU64,
+    pub batch_rows: AtomicU64,
+    pub max_occupancy: AtomicU64,
+    pub queue_depth: AtomicU64,
+    pub peak_queue_depth: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl ServerMetrics {
+    /// A request entered the queue.
+    pub fn enqueued(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A request left the queue (answered or rejected); records latency.
+    pub fn dequeued(&self, latency: Duration) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latencies_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(us);
+    }
+
+    /// A batch was flushed to the workers.
+    pub fn batch_flushed(&self, requests: u64, rows: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if requests > 1 {
+            self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.single_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batch_requests.fetch_add(requests, Ordering::Relaxed);
+        self.batch_rows.fetch_add(rows, Ordering::Relaxed);
+        self.max_occupancy.fetch_max(requests, Ordering::Relaxed);
+    }
+
+    /// Reduces the live counters to an immutable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut latencies = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        latencies.sort_unstable();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batch_requests = self.batch_requests.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            rejected_admission: self.rejected_admission.load(Ordering::Relaxed),
+            rejected_settlement: self.rejected_settlement.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            single_batches: self.single_batches.load(Ordering::Relaxed),
+            mean_occupancy: if batches > 0 {
+                batch_requests as f64 / batches as f64
+            } else {
+                0.0
+            },
+            max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
+            batch_rows: self.batch_rows.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            p50_latency: percentile(&latencies, 0.50),
+            p99_latency: percentile(&latencies, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted micros list.
+fn percentile(sorted_us: &[u64], q: f64) -> Duration {
+    if sorted_us.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    Duration::from_micros(sorted_us[rank - 1])
+}
+
+/// A point-in-time copy of the serving counters, exposed through
+/// [`ServerReport`](crate::server::ServerReport).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests that entered the queue.
+    pub submitted: u64,
+    /// Requests answered with a release.
+    pub answered: u64,
+    /// Requests refused at admission (unknown tenant / budget).
+    pub rejected_admission: u64,
+    /// Requests refused at settlement (budget spent concurrently between
+    /// admission and release).
+    pub rejected_settlement: u64,
+    /// Requests failed by a compile/answer error.
+    pub failed: u64,
+    /// Batches flushed to the worker pool.
+    pub batches: u64,
+    /// Batches carrying two or more coalesced requests.
+    pub coalesced_batches: u64,
+    /// Single-request batches (the fallthrough path).
+    pub single_batches: u64,
+    /// Mean requests per batch.
+    pub mean_occupancy: f64,
+    /// Largest batch observed.
+    pub max_occupancy: u64,
+    /// Total workload rows answered across all batches.
+    pub batch_rows: u64,
+    /// Peak submitted-but-unanswered requests.
+    pub peak_queue_depth: u64,
+    /// Median submit→response latency.
+    pub p50_latency: Duration,
+    /// 99th-percentile submit→response latency.
+    pub p99_latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_roll_up() {
+        let m = ServerMetrics::default();
+        m.enqueued();
+        m.enqueued();
+        m.enqueued();
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 3);
+        m.batch_flushed(2, 10);
+        m.batch_flushed(1, 3);
+        m.dequeued(Duration::from_millis(4));
+        m.dequeued(Duration::from_millis(8));
+        m.dequeued(Duration::from_millis(100));
+        m.answered.fetch_add(3, Ordering::Relaxed);
+
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.answered, 3);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.coalesced_batches, 1);
+        assert_eq!(s.single_batches, 1);
+        assert_eq!(s.max_occupancy, 2);
+        assert_eq!(s.batch_rows, 13);
+        assert!((s.mean_occupancy - 1.5).abs() < 1e-12);
+        assert_eq!(s.peak_queue_depth, 3);
+        assert_eq!(s.p50_latency, Duration::from_millis(8));
+        assert_eq!(s.p99_latency, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn percentiles_on_empty_and_single() {
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+        assert_eq!(percentile(&[7], 0.5), Duration::from_micros(7));
+        assert_eq!(percentile(&[7], 0.99), Duration::from_micros(7));
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), Duration::from_micros(50));
+        assert_eq!(percentile(&v, 0.99), Duration::from_micros(99));
+    }
+}

@@ -1,0 +1,651 @@
+//! The serving runtime: scheduler, worker pool, sessions-at-scale.
+//!
+//! Request lifecycle (one batch, end to end):
+//!
+//! 1. **spec** — a client hands [`Client::submit`] a [`QuerySpec`]; it is
+//!    validated and translated against the server's [`Schema`] into
+//!    structured rows (never densified) on the client's thread.
+//! 2. **admit** — the scheduler admission-checks the tenant's ledger
+//!    (typed [`ServerError::Admission`] on unknown tenant or an
+//!    already-insufficient budget; advisory, see step 6).
+//! 3. **coalesce** — compatible submissions (same schema, structural
+//!    class, and ε — see [`coalesce`](crate::coalesce)) arriving within
+//!    the bounded window are collected into one open batch; the batch
+//!    closes when the window elapses or `max_batch` is reached. A lone
+//!    spec falls through as a single-request batch.
+//! 4. **compile / cache** — a worker concatenates the batch into one
+//!    combined structured workload and compiles it through the shared
+//!    [`Engine`]: repeated workloads are O(1) cache hits, and the whole
+//!    batch shares a single strategy.
+//! 5. **noise** — one [`Mechanism::answer`] call for the whole batch:
+//!    one noise draw per strategy column, not per member.
+//! 6. **slice + settle** — each member's answer is the contiguous slice
+//!    of the batch answer its rows occupy. Immediately before a slice is
+//!    released, the tenant's ε is debited atomically
+//!    (debit-after-success); if concurrent traffic exhausted the tenant
+//!    between admission and settlement, the slice is withheld and the
+//!    request fails with the same typed budget error — never an
+//!    over-spend.
+//!
+//! The runtime is plain `std::thread::scope` + `mpsc` channels (like the
+//! SpMM kernels in `lrm-linalg`): no async runtime, no unbounded queues
+//! that outlive [`Server::serve`].
+
+use crate::coalesce::{combine, BatchKey};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::spec::{PreparedSpec, QuerySpec, SpecError};
+use crate::tenants::{AdmissionError, TenantLedgers, TenantSpend};
+use lrm_core::engine::{CacheStats, CompileOptions, Engine, MechanismKind};
+use lrm_core::error::CoreError;
+use lrm_core::mechanism::Mechanism;
+use lrm_dp::rng::derive_rng;
+use lrm_dp::Epsilon;
+use lrm_workload::{Schema, WorkloadError};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Builder for [`Server`].
+#[derive(Debug)]
+pub struct ServerBuilder {
+    schema: Schema,
+    data: Vec<f64>,
+    engine: Engine,
+    mechanism: MechanismKind,
+    options: CompileOptions,
+    coalesce_window: Duration,
+    max_batch: usize,
+    workers: usize,
+    seed: u64,
+}
+
+impl ServerBuilder {
+    /// Starts a builder over the private database `data`, bucketized by
+    /// `schema` (row-major flattened; `data.len()` must equal
+    /// `schema.domain_size()`).
+    pub fn new(schema: Schema, data: Vec<f64>) -> Self {
+        Self {
+            schema,
+            data,
+            engine: Engine::default(),
+            mechanism: MechanismKind::Lrm,
+            options: CompileOptions::default(),
+            coalesce_window: Duration::from_millis(10),
+            max_batch: 8,
+            workers: 2,
+            seed: 0xC0A1_E5CE,
+        }
+    }
+
+    /// Uses a pre-configured engine (reference ε, compile defaults, disk
+    /// spill). The engine's strategy cache is shared by every batch.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The mechanism every batch compiles to (default
+    /// [`MechanismKind::Lrm`]).
+    pub fn mechanism(mut self, kind: MechanismKind) -> Self {
+        self.mechanism = kind;
+        self
+    }
+
+    /// Compile options for the batch strategies.
+    pub fn compile_options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// How long an open batch waits for compatible companions before it
+    /// is flushed (default 10 ms). Zero disables coalescing: every
+    /// submission flushes immediately as a single-request batch.
+    pub fn coalesce_window(mut self, window: Duration) -> Self {
+        self.coalesce_window = window;
+        self
+    }
+
+    /// Largest number of requests one batch may coalesce (default 8); a
+    /// full batch flushes without waiting out the window. `1` disables
+    /// coalescing.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Worker threads answering batches (default 2).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Master seed for the per-batch noise streams (batch `i` draws from
+    /// `derive_rng(seed, i)`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and finishes the builder.
+    pub fn build(self) -> Result<Server, ServerError> {
+        if self.data.len() != self.schema.domain_size() {
+            return Err(ServerError::Workload(WorkloadError::DomainMismatch {
+                expected: self.schema.domain_size(),
+                got: self.data.len(),
+            }));
+        }
+        if self.data.iter().any(|v| !v.is_finite()) {
+            return Err(ServerError::Workload(WorkloadError::NonFinite));
+        }
+        if self.max_batch == 0 {
+            return Err(ServerError::Core(CoreError::InvalidArgument(
+                "max_batch must be at least 1".into(),
+            )));
+        }
+        if self.workers == 0 {
+            return Err(ServerError::Core(CoreError::InvalidArgument(
+                "the worker pool needs at least one thread".into(),
+            )));
+        }
+        Ok(Server {
+            schema: self.schema,
+            data: self.data,
+            engine: self.engine,
+            mechanism: self.mechanism,
+            options: self.options,
+            coalesce_window: self.coalesce_window,
+            max_batch: self.max_batch,
+            workers: self.workers,
+            seed: self.seed,
+            tenants: TenantLedgers::default(),
+            batch_counter: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+}
+
+/// The batch-serving runtime. See the [module docs](self) for the request
+/// lifecycle; construct via [`Server::builder`], register tenants, then
+/// drive traffic through [`Server::serve`].
+pub struct Server {
+    schema: Schema,
+    data: Vec<f64>,
+    engine: Engine,
+    mechanism: MechanismKind,
+    options: CompileOptions,
+    coalesce_window: Duration,
+    max_batch: usize,
+    workers: usize,
+    seed: u64,
+    tenants: TenantLedgers,
+    /// Lifetime batch counter. The batch index labels the noise stream
+    /// (`derive_rng(seed, index)`), so it must never reset while the
+    /// server lives: tenant ledgers span [`Server::serve`] calls, and a
+    /// repeated index would re-release the same Laplace draws for
+    /// freshly-debited ε — breaking sequential composition.
+    batch_counter: std::sync::atomic::AtomicU64,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("domain_size", &self.schema.domain_size())
+            .field("mechanism", &self.mechanism)
+            .field("coalesce_window", &self.coalesce_window)
+            .field("max_batch", &self.max_batch)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts a [`ServerBuilder`] over `schema` and the private database
+    /// `data`.
+    pub fn builder(schema: Schema, data: Vec<f64>) -> ServerBuilder {
+        ServerBuilder::new(schema, data)
+    }
+
+    /// Registers (or resets) a tenant with a total ε budget.
+    pub fn register_tenant(&self, tenant: &str, total: Epsilon) {
+        self.tenants.register(tenant, total);
+    }
+
+    /// The schema requests are translated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The shared engine (e.g. for cache statistics).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Point-in-time budget positions of every registered tenant.
+    pub fn tenant_spend(&self) -> Vec<TenantSpend> {
+        self.tenants.snapshot()
+    }
+
+    /// Runs the runtime: spawns the coalescing scheduler and the worker
+    /// pool, hands `f` a [`Client`] to drive traffic through, and shuts
+    /// everything down (draining every in-flight batch) when `f` returns.
+    /// Returns `f`'s result plus the [`ServerReport`] for the run.
+    pub fn serve<R>(&self, f: impl FnOnce(&Client<'_>) -> R) -> (R, ServerReport) {
+        let metrics = ServerMetrics::default();
+        let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
+        let job_rx = Mutex::new(job_rx);
+        let (sub_tx, sub_rx) = mpsc::channel::<Submission>();
+
+        let result = std::thread::scope(|s| {
+            let m = &metrics;
+            s.spawn(|| self.scheduler_loop(m, sub_rx, job_tx));
+            let jobs = &job_rx;
+            for _ in 0..self.workers {
+                s.spawn(|| self.worker_loop(m, jobs));
+            }
+            let client = Client {
+                server: self,
+                metrics: m,
+                tx: sub_tx,
+            };
+            f(&client)
+            // `client` (the last submission sender) drops here: the
+            // scheduler flushes its open batches and exits, the workers
+            // drain the job queue and exit, and the scope joins them all.
+        });
+
+        let report = ServerReport {
+            metrics: metrics.snapshot(),
+            cache: self.engine.cache_stats(),
+            tenants: self.tenants.snapshot(),
+        };
+        (result, report)
+    }
+
+    /// The coalescing scheduler: groups admissible submissions by
+    /// [`BatchKey`] within the bounded window.
+    fn scheduler_loop(
+        &self,
+        metrics: &ServerMetrics,
+        rx: Receiver<Submission>,
+        jobs: Sender<BatchJob>,
+    ) {
+        let mut open: HashMap<BatchKey, OpenBatch> = HashMap::new();
+        let mut next_seq: u64 = 0;
+        loop {
+            let now = Instant::now();
+            let due = Self::due_batches(&mut open, now);
+            for batch in due {
+                self.flush(metrics, &jobs, batch);
+            }
+            let msg = match open.values().map(|b| b.deadline).min() {
+                Some(deadline) => rx.recv_timeout(deadline.saturating_duration_since(now)),
+                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            match msg {
+                Ok(sub) => {
+                    if let Err(e) = self.tenants.check(&sub.tenant, sub.eps) {
+                        metrics
+                            .rejected_admission
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        respond(metrics, sub, Err(ServerError::Admission(e)));
+                        continue;
+                    }
+                    let key = BatchKey::of(&sub.prepared, sub.eps);
+                    let batch = open.entry(key).or_insert_with(|| {
+                        let seq = next_seq;
+                        next_seq += 1;
+                        OpenBatch {
+                            seq,
+                            deadline: Instant::now() + self.coalesce_window,
+                            submissions: Vec::new(),
+                        }
+                    });
+                    batch.submissions.push(sub);
+                    if batch.submissions.len() >= self.max_batch || self.coalesce_window.is_zero() {
+                        let batch = open.remove(&key).expect("batch just touched");
+                        self.flush(metrics, &jobs, batch);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Shutdown: flush every open batch (in opening order)
+                    // so no accepted request is ever dropped.
+                    let mut rest: Vec<OpenBatch> = open.drain().map(|(_, b)| b).collect();
+                    rest.sort_by_key(|b| b.seq);
+                    for batch in rest {
+                        self.flush(metrics, &jobs, batch);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the open batches whose window has elapsed, in
+    /// opening order (so batch indices stay deterministic).
+    fn due_batches(open: &mut HashMap<BatchKey, OpenBatch>, now: Instant) -> Vec<OpenBatch> {
+        let due_keys: Vec<BatchKey> = open
+            .iter()
+            .filter(|(_, b)| b.deadline <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut due: Vec<OpenBatch> = due_keys
+            .into_iter()
+            .map(|k| open.remove(&k).expect("key just listed"))
+            .collect();
+        due.sort_by_key(|b| b.seq);
+        due
+    }
+
+    /// Hands a closed batch to the worker pool. The index comes from the
+    /// server-lifetime [`Server::batch_counter`] so no noise stream is
+    /// ever repeated, however many `serve` runs this server hosts.
+    fn flush(&self, metrics: &ServerMetrics, jobs: &Sender<BatchJob>, batch: OpenBatch) {
+        let requests = batch.submissions.len() as u64;
+        let rows: usize = batch
+            .submissions
+            .iter()
+            .map(|s| s.prepared.num_queries())
+            .sum();
+        metrics.batch_flushed(requests, rows as u64);
+        let job = BatchJob {
+            index: self
+                .batch_counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            eps: batch.submissions[0].eps,
+            submissions: batch.submissions,
+        };
+        if let Err(mpsc::SendError(job)) = jobs.send(job) {
+            // Workers are gone (can only happen if one panicked): fail the
+            // batch members instead of hanging their tickets.
+            for sub in job.submissions {
+                metrics
+                    .failed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                respond(metrics, sub, Err(ServerError::Shutdown));
+            }
+        }
+    }
+
+    /// A worker: answer batches until the scheduler hangs up.
+    fn worker_loop(&self, metrics: &ServerMetrics, jobs: &Mutex<Receiver<BatchJob>>) {
+        loop {
+            let job = {
+                let guard = jobs.lock().unwrap_or_else(|e| e.into_inner());
+                guard.recv()
+            };
+            match job {
+                Ok(job) => self.answer_batch(metrics, job),
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Compile → one noisy release → slice → settle, for one batch.
+    fn answer_batch(&self, metrics: &ServerMetrics, job: BatchJob) {
+        use std::sync::atomic::Ordering;
+        let specs: Vec<&PreparedSpec> = job.submissions.iter().map(|s| &s.prepared).collect();
+        let (workload, spans) = match combine(self.schema.domain_size(), &specs) {
+            Ok(v) => v,
+            Err(e) => return self.fail_batch(metrics, job, ServerError::Workload(e)),
+        };
+        let compiled = match self
+            .engine
+            .compile(&workload, self.mechanism, &self.options)
+        {
+            Ok(c) => c,
+            Err(e) => return self.fail_batch(metrics, job, ServerError::Core(e)),
+        };
+        // One noise draw for the whole batch, from the batch's own
+        // deterministic stream.
+        let mut rng = derive_rng(self.seed, job.index);
+        let answers = match compiled.answer(&self.data, job.eps, &mut rng) {
+            Ok(a) => a,
+            Err(e) => return self.fail_batch(metrics, job, ServerError::Core(e)),
+        };
+        let expected_avg_error = compiled.expected_average_error(job.eps, Some(&self.data));
+        let batch_size = job.submissions.len();
+        for (sub, span) in job.submissions.into_iter().zip(spans) {
+            // Settlement: debit-after-success, atomically re-validated.
+            // A refused debit withholds the slice — nothing is released,
+            // nothing is spent.
+            match self.tenants.debit(&sub.tenant, sub.eps) {
+                Ok(eps_remaining) => {
+                    metrics.answered.fetch_add(1, Ordering::Relaxed);
+                    let release = Release {
+                        answers: answers[span].to_vec(),
+                        eps_spent: sub.eps,
+                        eps_remaining,
+                        mechanism: compiled.meta().label,
+                        expected_avg_error,
+                        batch_index: job.index,
+                        batch_size,
+                    };
+                    respond(metrics, sub, Ok(release));
+                }
+                Err(e) => {
+                    metrics.rejected_settlement.fetch_add(1, Ordering::Relaxed);
+                    respond(metrics, sub, Err(ServerError::Admission(e)));
+                }
+            }
+        }
+    }
+
+    /// Fails every member of a batch with the same error.
+    fn fail_batch(&self, metrics: &ServerMetrics, job: BatchJob, error: ServerError) {
+        for sub in job.submissions {
+            metrics
+                .failed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            respond(metrics, sub, Err(error.clone()));
+        }
+    }
+}
+
+/// Records the request's exit from the queue and delivers its outcome
+/// (delivery failure — the ticket was dropped — is fine: the request is
+/// complete either way).
+fn respond(metrics: &ServerMetrics, sub: Submission, outcome: Result<Release, ServerError>) {
+    metrics.dequeued(sub.submitted_at.elapsed());
+    let _ = sub.responder.send(outcome);
+}
+
+/// One admitted request traveling through the runtime.
+struct Submission {
+    tenant: String,
+    prepared: PreparedSpec,
+    eps: Epsilon,
+    submitted_at: Instant,
+    responder: Sender<Result<Release, ServerError>>,
+}
+
+/// A closed batch on its way to a worker.
+struct BatchJob {
+    index: u64,
+    eps: Epsilon,
+    submissions: Vec<Submission>,
+}
+
+/// A batch still collecting companions in the scheduler.
+struct OpenBatch {
+    seq: u64,
+    deadline: Instant,
+    submissions: Vec<Submission>,
+}
+
+/// The submission handle [`Server::serve`] passes to its closure. Clone
+/// it freely — one per client thread — every clone feeds the same
+/// scheduler.
+pub struct Client<'a> {
+    server: &'a Server,
+    metrics: &'a ServerMetrics,
+    tx: Sender<Submission>,
+}
+
+impl Clone for Client<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            server: self.server,
+            metrics: self.metrics,
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Client<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client<'_> {
+    /// Submits a spec on behalf of `tenant`, requesting one release at
+    /// `eps`. Spec translation and tenant lookup fail synchronously;
+    /// everything later (budget, compile, answer) arrives through the
+    /// returned [`Ticket`].
+    pub fn submit(
+        &self,
+        tenant: &str,
+        spec: &QuerySpec,
+        eps: Epsilon,
+    ) -> Result<Ticket, ServerError> {
+        let prepared = spec
+            .compile(&self.server.schema)
+            .map_err(ServerError::Spec)?;
+        if self.server.tenants.get(tenant).is_none() {
+            return Err(ServerError::Admission(AdmissionError::UnknownTenant {
+                tenant: tenant.to_string(),
+            }));
+        }
+        let (responder, rx) = mpsc::channel();
+        self.metrics.enqueued();
+        let sub = Submission {
+            tenant: tenant.to_string(),
+            prepared,
+            eps,
+            submitted_at: Instant::now(),
+            responder,
+        };
+        if self.tx.send(sub).is_err() {
+            // Scheduler gone (worker panic during shutdown); roll the
+            // queue accounting back.
+            self.metrics.dequeued(Duration::ZERO);
+            use std::sync::atomic::Ordering;
+            self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
+            return Err(ServerError::Shutdown);
+        }
+        Ok(Ticket { rx })
+    }
+}
+
+/// A pending response. [`Ticket::wait`] blocks until the batch containing
+/// the request is answered (or the request is rejected).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<Release, ServerError>>,
+}
+
+impl Ticket {
+    /// Blocks for the outcome.
+    pub fn wait(self) -> Result<Release, ServerError> {
+        self.rx.recv().unwrap_or(Err(ServerError::Shutdown))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Release, ServerError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// One granted release: the tenant's slice of a batch answer plus the
+/// accounting that justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Release {
+    /// Noisy answers for exactly the queries this tenant's spec asked.
+    pub answers: Vec<f64>,
+    /// The ε debited from the tenant for this release.
+    pub eps_spent: Epsilon,
+    /// The tenant's budget after the debit.
+    pub eps_remaining: f64,
+    /// Label of the strategy that answered the batch.
+    pub mechanism: &'static str,
+    /// Closed-form expected average squared error of the *batch* release
+    /// (every member shares the batch's strategy and noise).
+    pub expected_avg_error: f64,
+    /// Index of the batch this release was sliced from (also the noise
+    /// stream label: the batch drew from `derive_rng(seed, batch_index)`).
+    pub batch_index: u64,
+    /// How many requests shared the batch.
+    pub batch_size: usize,
+}
+
+impl Release {
+    /// Whether this release shared its batch with other requests.
+    pub fn coalesced(&self) -> bool {
+        self.batch_size > 1
+    }
+}
+
+/// Everything a [`Server::serve`] run can report about itself.
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Scheduler/worker counters and latency percentiles.
+    pub metrics: MetricsSnapshot,
+    /// The shared engine's compiled-strategy cache counters.
+    pub cache: CacheStats,
+    /// Per-tenant budget positions at shutdown.
+    pub tenants: Vec<TenantSpend>,
+}
+
+/// Typed failure of a serving request (or of server construction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The spec failed translation against the schema.
+    Spec(SpecError),
+    /// Admission or settlement refused the request (unknown tenant /
+    /// budget exhausted).
+    Admission(AdmissionError),
+    /// Workload assembly rejected the batch.
+    Workload(WorkloadError),
+    /// Strategy compilation or answering failed.
+    Core(CoreError),
+    /// The runtime shut down before the request completed.
+    Shutdown,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Spec(e) => write!(f, "{e}"),
+            ServerError::Admission(e) => write!(f, "{e}"),
+            ServerError::Workload(e) => write!(f, "{e}"),
+            ServerError::Core(e) => write!(f, "{e}"),
+            ServerError::Shutdown => write!(f, "the serving runtime shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Spec(e) => Some(e),
+            ServerError::Admission(e) => Some(e),
+            ServerError::Workload(e) => Some(e),
+            ServerError::Core(e) => Some(e),
+            ServerError::Shutdown => None,
+        }
+    }
+}
+
+impl From<SpecError> for ServerError {
+    fn from(e: SpecError) -> Self {
+        ServerError::Spec(e)
+    }
+}
+
+impl From<AdmissionError> for ServerError {
+    fn from(e: AdmissionError) -> Self {
+        ServerError::Admission(e)
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-tenant budget ledgers.
+//!
+//! Every tenant (analyst) owns one [`SharedLedger`]: the scheduler
+//! admission-checks against it (fail fast, advisory) and a worker debits
+//! it *after* the batch release succeeds and *before* the tenant's answer
+//! slice leaves the server — debit-after-success, atomically re-validated
+//! under the ledger lock, so the one-slack over-spend bound of
+//! [`lrm_dp::BudgetLedger`] holds per tenant however many workers settle
+//! concurrently. A slice that fails settlement is never released:
+//! withholding it is privacy-free (nothing about the data is observable
+//! from a response that never arrives), so a refused debit spends nothing.
+
+use lrm_dp::concurrent::SharedLedger;
+use lrm_dp::{BudgetError, Epsilon};
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// The tenant registry: a concurrent map of tenant id → shared ledger.
+#[derive(Debug, Default)]
+pub(crate) struct TenantLedgers {
+    ledgers: RwLock<HashMap<String, SharedLedger>>,
+}
+
+/// One tenant's budget position, reported in the
+/// [`ServerReport`](crate::server::ServerReport).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpend {
+    /// Tenant id.
+    pub tenant: String,
+    /// The total ε this tenant registered with.
+    pub total: f64,
+    /// Cumulative ε granted to this tenant.
+    pub spent: f64,
+    /// Number of granted releases.
+    pub releases: usize,
+}
+
+impl TenantLedgers {
+    /// Registers (or resets) a tenant with a fresh budget.
+    pub fn register(&self, tenant: &str, total: Epsilon) {
+        self.ledgers
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(tenant.to_string(), SharedLedger::new(total));
+    }
+
+    /// The tenant's ledger handle, if registered.
+    pub fn get(&self, tenant: &str) -> Option<SharedLedger> {
+        self.ledgers
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(tenant)
+            .cloned()
+    }
+
+    /// Advisory admission check (see [`SharedLedger::check`]).
+    pub fn check(&self, tenant: &str, eps: Epsilon) -> Result<(), AdmissionError> {
+        let ledger = self
+            .get(tenant)
+            .ok_or_else(|| AdmissionError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })?;
+        ledger.check(eps).map_err(AdmissionError::Budget)
+    }
+
+    /// Atomic settlement debit (see [`SharedLedger::debit`]); returns the
+    /// remaining budget.
+    pub fn debit(&self, tenant: &str, eps: Epsilon) -> Result<f64, AdmissionError> {
+        let ledger = self
+            .get(tenant)
+            .ok_or_else(|| AdmissionError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })?;
+        ledger.debit(eps).map_err(AdmissionError::Budget)
+    }
+
+    /// Point-in-time budget positions of every tenant, sorted by id.
+    pub fn snapshot(&self) -> Vec<TenantSpend> {
+        let mut spends: Vec<TenantSpend> = self
+            .ledgers
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(tenant, ledger)| {
+                let l = ledger.snapshot();
+                TenantSpend {
+                    tenant: tenant.clone(),
+                    total: l.total(),
+                    spent: l.spent(),
+                    releases: l.debits(),
+                }
+            })
+            .collect();
+        spends.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        spends
+    }
+}
+
+/// Typed admission/settlement failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The request names a tenant that was never registered.
+    UnknownTenant {
+        /// The unregistered tenant id.
+        tenant: String,
+    },
+    /// The tenant's remaining budget cannot cover the request.
+    Budget(BudgetError),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant {tenant:?}")
+            }
+            AdmissionError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdmissionError::Budget(e) => Some(e),
+            AdmissionError::UnknownTenant { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn register_check_debit_cycle() {
+        let tenants = TenantLedgers::default();
+        tenants.register("acme", eps(1.0));
+        assert!(tenants.check("acme", eps(0.5)).is_ok());
+        assert!((tenants.debit("acme", eps(0.5)).unwrap() - 0.5).abs() < 1e-15);
+        assert!(tenants.check("acme", eps(0.6)).is_err());
+        assert!(matches!(
+            tenants.debit("acme", eps(0.6)),
+            Err(AdmissionError::Budget(BudgetError::Exhausted { .. }))
+        ));
+    }
+
+    #[test]
+    fn unknown_tenant_is_typed() {
+        let tenants = TenantLedgers::default();
+        assert_eq!(
+            tenants.check("ghost", eps(0.1)),
+            Err(AdmissionError::UnknownTenant {
+                tenant: "ghost".into()
+            })
+        );
+        assert!(tenants.get("ghost").is_none());
+    }
+
+    #[test]
+    fn snapshot_sorted_and_accurate() {
+        let tenants = TenantLedgers::default();
+        tenants.register("zeta", eps(2.0));
+        tenants.register("alpha", eps(1.0));
+        tenants.debit("zeta", eps(0.5)).unwrap();
+        let snap = tenants.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].tenant, "alpha");
+        assert_eq!(snap[0].spent, 0.0);
+        assert_eq!(snap[1].tenant, "zeta");
+        assert!((snap[1].spent - 0.5).abs() < 1e-15);
+        assert_eq!(snap[1].releases, 1);
+    }
+
+    #[test]
+    fn re_register_resets_the_budget() {
+        let tenants = TenantLedgers::default();
+        tenants.register("acme", eps(0.5));
+        tenants.debit("acme", eps(0.5)).unwrap();
+        assert!(tenants.check("acme", eps(0.1)).is_err());
+        tenants.register("acme", eps(1.0));
+        assert!(tenants.check("acme", eps(0.1)).is_ok());
+    }
+}

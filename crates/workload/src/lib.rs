@@ -6,6 +6,9 @@
 //!   [`MatrixOp`](lrm_linalg::MatrixOp) (dense, CSR-sparse, or implicit
 //!   intervals) with cached rank/SVD metadata.
 //! * [`query`] — single linear queries and range-query helpers.
+//! * [`schema`] — bucketized [`schema::Attribute`]s and the
+//!   [`schema::Schema`] product layout the serving runtime translates
+//!   query specs against.
 //! * [`generators`] — the three workload families of the paper's
 //!   Section 6 (WDiscrete, WRange, WRelated) plus extra structured
 //!   workloads used in tests and ablations; range/prefix/marginal
@@ -25,4 +28,5 @@ pub mod workload;
 pub use datasets::Dataset;
 pub use error::WorkloadError;
 pub use generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+pub use schema::{Attribute, Schema};
 pub use workload::{Fingerprint, Workload, WorkloadStructure};

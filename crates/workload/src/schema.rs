@@ -60,19 +60,50 @@ impl Attribute {
         ((frac * self.buckets as f64) as usize).min(self.buckets - 1)
     }
 
+    /// The inclusive bucket interval `[lo, hi]` touched by the value
+    /// interval `[from, to)` — the structured (never-densified) form of
+    /// [`Attribute::count_between`], and what the `lrm-server` spec
+    /// translation feeds to [`Workload::from_intervals`].
+    ///
+    /// The bucket range is inclusive of every bucket the value interval
+    /// touches; callers quantizing at bucket edges get exact counts.
+    pub fn bucket_range(&self, from: f64, to: f64) -> Result<(usize, usize), String> {
+        if from.partial_cmp(&to) != Some(std::cmp::Ordering::Less) {
+            return Err(format!("empty value interval [{from}, {to})"));
+        }
+        let lo_bucket = self.bucket_of(from);
+        // `to` is exclusive, so the last touched bucket is the one the
+        // interval enters strictly: ⌈frac·buckets⌉ − 1. (An exact bucket
+        // edge contributes nothing — `[0, edge)` stops at the bucket
+        // below — while crossing an edge by any amount includes the
+        // bucket above it.)
+        let frac = ((to - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let hi_bucket = ((frac * self.buckets as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.buckets - 1);
+        Ok((lo_bucket, hi_bucket.max(lo_bucket)))
+    }
+
+    /// The inclusive bucket interval of the prefix "all values below
+    /// `up_to`" — bucket 0 through the bucket containing the threshold.
+    pub fn bucket_prefix(&self, up_to: f64) -> Result<(usize, usize), String> {
+        self.bucket_range(self.lo, up_to)
+    }
+
+    /// The value at the lower edge of `bucket` (so trace generators can
+    /// snap predicates exactly onto bucket boundaries).
+    pub fn bucket_edge(&self, bucket: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.buckets as f64;
+        self.lo + width * bucket as f64
+    }
+
     /// Count query for values in `[from, to)` — a range over buckets.
     ///
     /// The bucket range is inclusive of every bucket the value interval
     /// touches; callers quantizing at bucket edges get exact counts.
     pub fn count_between(&self, from: f64, to: f64) -> Result<LinearQuery, String> {
-        if from.partial_cmp(&to) != Some(std::cmp::Ordering::Less) {
-            return Err(format!("empty value interval [{from}, {to})"));
-        }
-        let lo_bucket = self.bucket_of(from);
-        // `to` is exclusive: subtract half a bucket's width to land inside.
-        let width = (self.hi - self.lo) / self.buckets as f64;
-        let hi_bucket = self.bucket_of(to - width * 0.5);
-        LinearQuery::range(self.buckets, lo_bucket, hi_bucket.max(lo_bucket))
+        let (lo_bucket, hi_bucket) = self.bucket_range(from, to)?;
+        LinearQuery::range(self.buckets, lo_bucket, hi_bucket)
     }
 
     /// Count query for all values at/above `threshold`.
@@ -100,6 +131,133 @@ impl Attribute {
             return Err("query domain does not match this attribute".into());
         }
         Workload::from_queries(queries).map_err(|e| e.to_string())
+    }
+}
+
+/// A fixed attribute layout the serving runtime answers queries against:
+/// one or two bucketized [`Attribute`]s whose cross product, flattened
+/// row-major (attribute 0 outermost), is the unit-count domain the
+/// mechanisms see.
+///
+/// The flattening is what makes structured serving work: a value range
+/// over attribute 0 covers a *contiguous* block of cells (an implicit
+/// interval row, never densified), while a range or marginal over
+/// attribute 1 covers a strided cell set (a CSR row). `lrm-server`
+/// translates every incoming `QuerySpec` through this type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// A one-attribute schema: the histogram domain is the attribute's
+    /// buckets.
+    pub fn single(attribute: Attribute) -> Self {
+        Self {
+            attributes: vec![attribute],
+        }
+    }
+
+    /// A product schema over one or two attributes (row-major flattening,
+    /// attribute 0 outermost). Higher arities are rejected until a
+    /// Kronecker operator lands (see ROADMAP).
+    pub fn product(attributes: Vec<Attribute>) -> Result<Self, String> {
+        if attributes.is_empty() {
+            return Err("a schema needs at least one attribute".into());
+        }
+        if attributes.len() > 2 {
+            return Err(format!(
+                "schemas support at most two attributes for now (got {})",
+                attributes.len()
+            ));
+        }
+        Ok(Self { attributes })
+    }
+
+    /// The attributes, in flattening order (attribute 0 outermost).
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute `idx`, if present.
+    pub fn attribute(&self, idx: usize) -> Option<&Attribute> {
+        self.attributes.get(idx)
+    }
+
+    /// Number of attributes (1 or 2).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Total flattened domain size `n` (product of bucket counts).
+    pub fn domain_size(&self) -> usize {
+        self.attributes.iter().map(|a| a.domain_size()).product()
+    }
+
+    /// Number of cells one step of attribute 0 spans: the bucket count of
+    /// attribute 1, or 1 for single-attribute schemas.
+    pub fn inner_stride(&self) -> usize {
+        self.attributes.get(1).map_or(1, |a| a.domain_size())
+    }
+
+    /// Flattened cell index of a (row-major) bucket tuple.
+    pub fn cell(&self, buckets: &[usize]) -> Result<usize, String> {
+        if buckets.len() != self.arity() {
+            return Err(format!(
+                "bucket tuple of arity {} does not match schema arity {}",
+                buckets.len(),
+                self.arity()
+            ));
+        }
+        let mut idx = 0;
+        for (attr, &b) in self.attributes.iter().zip(buckets) {
+            if b >= attr.domain_size() {
+                return Err(format!(
+                    "bucket {b} out of range for attribute {:?}",
+                    attr.name()
+                ));
+            }
+            idx = idx * attr.domain_size() + b;
+        }
+        Ok(idx)
+    }
+
+    /// Builds the flattened histogram (unit-count vector) of raw records,
+    /// one value per attribute per record.
+    pub fn histogram(&self, records: &[Vec<f64>]) -> Result<Vec<f64>, String> {
+        let mut counts = vec![0.0; self.domain_size()];
+        for record in records {
+            if record.len() != self.arity() {
+                return Err(format!(
+                    "record of arity {} does not match schema arity {}",
+                    record.len(),
+                    self.arity()
+                ));
+            }
+            let buckets: Vec<usize> = self
+                .attributes
+                .iter()
+                .zip(record)
+                .map(|(a, &v)| a.bucket_of(v))
+                .collect();
+            counts[self.cell(&buckets)?] += 1.0;
+        }
+        Ok(counts)
+    }
+
+    /// Content hash of the schema layout (names, value ranges, bucket
+    /// counts, order) — what the serving runtime uses to refuse specs
+    /// compiled against a different schema.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::workload::{fnv1a_bytes, FNV_OFFSET};
+        let mut h = fnv1a_bytes(FNV_OFFSET, &(self.arity() as u64).to_le_bytes());
+        for attr in &self.attributes {
+            h = fnv1a_bytes(h, attr.name().as_bytes());
+            h = fnv1a_bytes(h, &attr.lo.to_bits().to_le_bytes());
+            h = fnv1a_bytes(h, &attr.hi.to_bits().to_le_bytes());
+            h = fnv1a_bytes(h, &(attr.buckets as u64).to_le_bytes());
+        }
+        h
     }
 }
 
@@ -159,6 +317,81 @@ mod tests {
         assert_eq!(w.num_queries(), 3);
         assert_eq!(w.rank(), 2); // q1 = q2 + q3
         assert_eq!(w.sensitivity(), 2.0);
+    }
+
+    #[test]
+    fn bucket_range_and_prefix() {
+        let a = age();
+        assert_eq!(a.bucket_range(0.0, 120.0).unwrap(), (0, 23));
+        assert_eq!(a.bucket_range(15.0, 65.0).unwrap(), (3, 12));
+        assert_eq!(a.bucket_prefix(60.0).unwrap(), (0, 11));
+        assert!(a.bucket_range(50.0, 50.0).is_err());
+        // Entering a bucket by less than half its width still counts it:
+        // [0, 61) touches the [60, 65) bucket.
+        assert_eq!(a.bucket_range(0.0, 61.0).unwrap(), (0, 12));
+        // An interval inside one bucket maps to that bucket.
+        assert_eq!(a.bucket_range(61.0, 62.0).unwrap(), (12, 12));
+        // Values past the attribute range clamp to the last bucket.
+        assert_eq!(a.bucket_range(0.0, 500.0).unwrap(), (0, 23));
+        // Snapped edges round-trip: the interval [edge(i), edge(j)) covers
+        // exactly buckets i..=j-1.
+        assert_eq!(a.bucket_edge(3), 15.0);
+        assert_eq!(
+            a.bucket_range(a.bucket_edge(3), a.bucket_edge(7)).unwrap(),
+            (3, 6)
+        );
+        // And matches the dense query the same predicate produces.
+        let q = a.count_between(15.0, 65.0).unwrap();
+        let (lo, hi) = a.bucket_range(15.0, 65.0).unwrap();
+        let dense = LinearQuery::range(a.domain_size(), lo, hi).unwrap();
+        assert_eq!(q, dense);
+    }
+
+    #[test]
+    fn schema_flattening_row_major() {
+        let a = Attribute::new("age", 0.0, 120.0, 4).unwrap();
+        let b = Attribute::new("income", 0.0, 100.0, 3).unwrap();
+        let s = Schema::product(vec![a, b]).unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.domain_size(), 12);
+        assert_eq!(s.inner_stride(), 3);
+        assert_eq!(s.cell(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.cell(&[1, 0]).unwrap(), 3);
+        assert_eq!(s.cell(&[2, 2]).unwrap(), 8);
+        assert!(s.cell(&[4, 0]).is_err());
+        assert!(s.cell(&[0]).is_err());
+
+        let h = s
+            .histogram(&[vec![10.0, 10.0], vec![10.0, 40.0], vec![100.0, 90.0]])
+            .unwrap();
+        assert_eq!(h.iter().sum::<f64>(), 3.0);
+        assert_eq!(h[0], 1.0); // (bucket 0, bucket 0)
+        assert_eq!(h[1], 1.0); // (bucket 0, bucket 1)
+        assert_eq!(h[s.cell(&[3, 2]).unwrap()], 1.0);
+        assert!(s.histogram(&[vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn schema_validation_and_fingerprint() {
+        assert!(Schema::product(vec![]).is_err());
+        let a = || Attribute::new("a", 0.0, 1.0, 4).unwrap();
+        assert!(Schema::product(vec![a(), a(), a()]).is_err());
+
+        let one = Schema::single(a());
+        assert_eq!(one.arity(), 1);
+        assert_eq!(one.inner_stride(), 1);
+        assert_eq!(one.domain_size(), 4);
+        assert_eq!(one.fingerprint(), Schema::single(a()).fingerprint());
+
+        // Any layout change moves the fingerprint.
+        let renamed = Schema::single(Attribute::new("b", 0.0, 1.0, 4).unwrap());
+        let rebucketed = Schema::single(Attribute::new("a", 0.0, 1.0, 8).unwrap());
+        let widened = Schema::single(Attribute::new("a", 0.0, 2.0, 4).unwrap());
+        assert_ne!(one.fingerprint(), renamed.fingerprint());
+        assert_ne!(one.fingerprint(), rebucketed.fingerprint());
+        assert_ne!(one.fingerprint(), widened.fingerprint());
+        let two = Schema::product(vec![a(), a()]).unwrap();
+        assert_ne!(one.fingerprint(), two.fingerprint());
     }
 
     #[test]

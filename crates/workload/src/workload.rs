@@ -270,7 +270,11 @@ impl Workload {
     ///
     /// Dense workloads use the dense SVD (Jacobi below the size threshold,
     /// Gram above); structured workloads always take the operator-aware
-    /// Gram path, which never densifies `W`.
+    /// Gram path, which never densifies `W`, **and return only the top-ρ
+    /// factors** (ρ = numerical rank): the Lemma 3 initializer never reads
+    /// the null space, and structured workloads are routinely massively
+    /// rank-deficient (`m` coarse range queries of rank ≤ cuts+1), so the
+    /// trailing zero columns would be pure dead weight in the cache.
     pub fn svd(&self) -> Arc<Svd> {
         let mut guard = self.svd_cache.lock();
         if let Some(svd) = guard.as_ref() {
@@ -280,7 +284,9 @@ impl Workload {
             WorkloadStructure::Dense => {
                 Svd::compute(&self.matrix()).expect("workload entries are finite")
             }
-            _ => Svd::compute_op(self.op.as_ref()).expect("workload entries are finite"),
+            _ => Svd::compute_op(self.op.as_ref())
+                .expect("workload entries are finite")
+                .truncated_to_rank(),
         });
         *guard = Some(Arc::clone(&svd));
         Arc::clone(guard.as_ref().expect("just inserted"))
@@ -511,6 +517,29 @@ mod tests {
         for (a, b) in sv.iter().zip(sv2.iter()) {
             assert!((a - b).abs() < 1e-9, "σ mismatch {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn structured_svd_returns_only_top_factors() {
+        // 4 interval queries of rank 3 over n = 16: the structured SVD
+        // keeps exactly ρ = 3 triples (m×ρ and ρ×n factors), while the
+        // dense path keeps the full min(m, n) width.
+        let implicit =
+            Workload::from_intervals(16, vec![(0, 15), (0, 7), (8, 15), (3, 5)]).unwrap();
+        let svd = implicit.svd();
+        assert_eq!(implicit.rank(), 3);
+        assert_eq!(svd.singular_values.len(), 3);
+        assert_eq!(svd.u.shape(), (4, 3));
+        assert_eq!(svd.vt.shape(), (3, 16));
+        // Rank, non-zero singular values, and the reconstruction agree
+        // with the dense-path SVD of the same W.
+        let dense = implicit.to_dense_workload();
+        assert_eq!(dense.rank(), 3);
+        let dsv = dense.singular_values();
+        for (a, b) in implicit.singular_values().iter().zip(dsv.iter()) {
+            assert!((a - b).abs() < 1e-9, "σ mismatch {a} vs {b}");
+        }
+        assert!(svd.reconstruct().approx_eq(&dense.matrix(), 1e-8));
     }
 
     #[test]

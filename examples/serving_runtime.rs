@@ -1,0 +1,126 @@
+//! The serving runtime end to end: a medical-records curator serves two
+//! analyst tenants concurrently. Compatible requests arriving together
+//! coalesce into one batch — one compiled strategy, one noise draw per
+//! strategy column — each tenant gets the slice of the batch answer its
+//! spec asked for, and every release is debited from that tenant's own
+//! ledger (over-spends are typed refusals, never silent).
+//!
+//! ```sh
+//! cargo run --release --example serving_runtime
+//! ```
+
+use lrm::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // The private database: an age histogram with 5-year buckets.
+    let schema = Schema::single(Attribute::new("age", 0.0, 120.0, 24).expect("valid attribute"));
+    let data: Vec<f64> = (0..24)
+        .map(|i| 1_000.0 + 750.0 * ((i as f64) * 0.7).sin().abs())
+        .collect();
+
+    let server = Server::builder(schema, data)
+        .mechanism(MechanismKind::Lrm)
+        // Wide enough that the back-to-back submissions below reliably
+        // coalesce (the batch actually closes on max_batch, not the
+        // window); a lone spec waits this long before falling through.
+        .coalesce_window(Duration::from_millis(300))
+        .max_batch(2)
+        .workers(2)
+        .seed(7)
+        .build()
+        .expect("valid server configuration");
+    server.register_tenant("epidemiology", Epsilon::new(1.0).expect("ε"));
+    server.register_tenant("actuarial", Epsilon::new(0.5).expect("ε"));
+
+    let eps = Epsilon::new(0.25).expect("ε");
+    let (outcomes, report) = server.serve(|client| {
+        // Two compatible specs submitted back to back: they share a batch.
+        let epi = client
+            .submit(
+                "epidemiology",
+                &QuerySpec::Ranges {
+                    attr: 0,
+                    ranges: vec![(0.0, 20.0), (20.0, 65.0), (65.0, 120.0)],
+                },
+                eps,
+            )
+            .expect("valid spec");
+        let act = client
+            .submit(
+                "actuarial",
+                &QuerySpec::Prefixes {
+                    attr: 0,
+                    thresholds: vec![30.0, 60.0, 90.0],
+                },
+                eps,
+            )
+            .expect("valid spec");
+        let epi = epi.wait().expect("granted");
+        let act = act.wait().expect("granted");
+
+        // An unknown tenant is refused synchronously, typed.
+        let ghost = client.submit("ghost", &QuerySpec::Total, eps);
+        assert!(matches!(ghost, Err(ServerError::Admission(_))));
+
+        // Spend the actuarial tenant to exhaustion: the refusal is a
+        // typed budget error, not a silent over-spend.
+        let second = client
+            .submit("actuarial", &QuerySpec::Total, eps)
+            .expect("valid spec")
+            .wait()
+            .expect("second release fits the budget");
+        let refused = client
+            .submit("actuarial", &QuerySpec::Total, eps)
+            .expect("valid spec")
+            .wait();
+        assert!(matches!(
+            refused,
+            Err(ServerError::Admission(AdmissionError::Budget(_)))
+        ));
+        (epi, act, second)
+    });
+
+    let (epi, act, second) = outcomes;
+    println!("-- coalesced batch --\n");
+    println!(
+        "epidemiology ranges  : {:>9.1?}  (batch {}, {} members, ε left {:.2})",
+        epi.answers, epi.batch_index, epi.batch_size, epi.eps_remaining
+    );
+    println!(
+        "actuarial prefixes   : {:>9.1?}  (batch {}, {} members, ε left {:.2})",
+        act.answers, act.batch_index, act.batch_size, act.eps_remaining
+    );
+    assert!(epi.coalesced() && act.coalesced());
+    assert_eq!(epi.batch_index, act.batch_index);
+    println!(
+        "actuarial total      : {:>9.1?}  (single fallthrough, ε left {:.2})",
+        second.answers, second.eps_remaining
+    );
+
+    println!("\n-- run report --\n");
+    let m = &report.metrics;
+    println!(
+        "submitted {} | answered {} | refused {} (admission) + {} (settlement)",
+        m.submitted, m.answered, m.rejected_admission, m.rejected_settlement
+    );
+    println!(
+        "batches {} ({} coalesced, mean occupancy {:.1}) | cache {} miss / {} hit",
+        m.batches,
+        m.coalesced_batches,
+        m.mean_occupancy,
+        report.cache.misses,
+        report.cache.memory_hits
+    );
+    println!(
+        "latency p50 {:.1} ms, p99 {:.1} ms",
+        m.p50_latency.as_secs_f64() * 1e3,
+        m.p99_latency.as_secs_f64() * 1e3
+    );
+    for t in &report.tenants {
+        println!(
+            "tenant {:>13}: spent ε {:.2}/{:.2} over {} release(s)",
+            t.tenant, t.spent, t.total, t.releases
+        );
+    }
+}

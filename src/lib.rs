@@ -22,7 +22,15 @@
 //!   closed-form error analysis, the paper's optimality bounds — and the
 //!   serving [`Engine`](lrm_core::engine::Engine) described below;
 //! * [`eval`] — the experiment harness that regenerates every figure of the
-//!   paper's evaluation section.
+//!   paper's evaluation section;
+//! * [`server`] — the concurrent batch-serving runtime: a [`QuerySpec`]
+//!   front door over a [`Schema`], a coalescing scheduler that merges
+//!   compatible concurrent requests into one strategy + one noise draw,
+//!   per-tenant budget ledgers, and a worker pool over the engine's
+//!   strategy cache.
+//!
+//! [`QuerySpec`]: lrm_server::QuerySpec
+//! [`Schema`]: lrm_workload::Schema
 //!
 //! ## Quickstart: compile once, answer many, never over-spend
 //!
@@ -86,6 +94,7 @@ pub use lrm_dp as dp;
 pub use lrm_eval as eval;
 pub use lrm_linalg as linalg;
 pub use lrm_opt as opt;
+pub use lrm_server as server;
 pub use lrm_workload as workload;
 
 /// Commonly used items, re-exported for convenience.
@@ -107,11 +116,16 @@ pub mod prelude {
     pub use lrm_core::mechanism::Mechanism;
     pub use lrm_core::CoreError;
     pub use lrm_dp::budget::Epsilon;
-    pub use lrm_dp::{BudgetError, BudgetLedger, DpError};
+    pub use lrm_dp::{BudgetError, BudgetLedger, DpError, SharedLedger};
     pub use lrm_linalg::operator::{CsrOp, DenseOp, IntervalsOp, MatrixOp};
     pub use lrm_linalg::Matrix;
+    pub use lrm_server::{
+        AdmissionError, QuerySpec, Release, Server, ServerBuilder, ServerError, ServerReport,
+        SpecError, TenantSpend, Ticket,
+    };
     pub use lrm_workload::datasets::Dataset;
     pub use lrm_workload::error::WorkloadError;
     pub use lrm_workload::generators::{WDiscrete, WRange, WRelated, WorkloadGenerator};
+    pub use lrm_workload::schema::{Attribute, Schema};
     pub use lrm_workload::workload::{Fingerprint, Workload, WorkloadStructure};
 }
