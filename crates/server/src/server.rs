@@ -65,6 +65,10 @@ impl ServerBuilder {
     /// Starts a builder over the private database `data`, bucketized by
     /// `schema` (row-major flattened; `data.len()` must equal
     /// `schema.domain_size()`).
+    ///
+    /// The noise seed defaults to fresh OS entropy (see
+    /// [`ServerBuilder::seed`]): out of the box every server instance
+    /// draws an unpredictable, never-repeating family of noise streams.
     pub fn new(schema: Schema, data: Vec<f64>) -> Self {
         Self {
             schema,
@@ -75,7 +79,7 @@ impl ServerBuilder {
             coalesce_window: Duration::from_millis(10),
             max_batch: 8,
             workers: 2,
-            seed: 0xC0A1_E5CE,
+            seed: entropy_seed(),
         }
     }
 
@@ -123,6 +127,14 @@ impl ServerBuilder {
 
     /// Master seed for the per-batch noise streams (batch `i` draws from
     /// `derive_rng(seed, i)`).
+    ///
+    /// **For reproducible experiments and tests only.** The seed is the
+    /// whole secret behind the noise: anyone who knows it (and a
+    /// release's [`batch_index`](Release::batch_index)) can regenerate
+    /// every Laplace draw and subtract it, voiding the ε-DP guarantee.
+    /// Production servers must keep the default (fresh OS entropy per
+    /// builder) or supply their own secret, uniformly random value —
+    /// never a constant baked into code or config shared with clients.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -404,7 +416,11 @@ impl Server {
             Ok(a) => a,
             Err(e) => return self.fail_batch(metrics, job, ServerError::Core(e)),
         };
-        let expected_avg_error = compiled.expected_average_error(job.eps, Some(&self.data));
+        // Data-independent error bound only (`x = None`): the structural
+        // residual ‖(W − BL)x‖² is an exact, un-noised statistic of the
+        // private database, and this number goes out to tenants without
+        // any budget debit — it must never depend on the data.
+        let expected_avg_error = compiled.expected_average_error(job.eps, None);
         let batch_size = job.submissions.len();
         for (sub, span) in job.submissions.into_iter().zip(spans) {
             // Settlement: debit-after-success, atomically re-validated.
@@ -441,6 +457,22 @@ impl Server {
             respond(metrics, sub, Err(error.clone()));
         }
     }
+}
+
+/// A fresh unpredictable seed from OS entropy.
+///
+/// The vendored `rand` has no `OsRng`, so this taps the standard
+/// library's SipHash keys: each [`RandomState`] is derived from
+/// per-thread keys initialized from operating-system randomness, which
+/// is exactly the "secret, uniformly random" requirement the noise seed
+/// carries (see [`ServerBuilder::seed`]).
+///
+/// [`RandomState`]: std::collections::hash_map::RandomState
+fn entropy_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    std::collections::hash_map::RandomState::new()
+        .build_hasher()
+        .finish()
 }
 
 /// Records the request's exit from the queue and delivers its outcome
@@ -529,9 +561,11 @@ impl Client<'_> {
         };
         if self.tx.send(sub).is_err() {
             // Scheduler gone (worker panic during shutdown); roll the
-            // queue accounting back.
-            self.metrics.dequeued(Duration::ZERO);
+            // queue accounting back without recording a latency sample —
+            // the request never entered the queue, and a synthetic zero
+            // would drag p50/p99 down.
             use std::sync::atomic::Ordering;
+            self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
             self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
             return Err(ServerError::Shutdown);
         }
@@ -552,9 +586,16 @@ impl Ticket {
         self.rx.recv().unwrap_or(Err(ServerError::Shutdown))
     }
 
-    /// Non-blocking poll: `None` while the request is still in flight.
+    /// Non-blocking poll: `None` while the request is still in flight;
+    /// `Some(Err(ServerError::Shutdown))` if the runtime went away
+    /// without responding (so a polling client terminates, like
+    /// [`Ticket::wait`] does, instead of spinning forever).
     pub fn try_wait(&self) -> Option<Result<Release, ServerError>> {
-        self.rx.try_recv().ok()
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServerError::Shutdown)),
+        }
     }
 }
 
@@ -570,11 +611,17 @@ pub struct Release {
     pub eps_remaining: f64,
     /// Label of the strategy that answered the batch.
     pub mechanism: &'static str,
-    /// Closed-form expected average squared error of the *batch* release
-    /// (every member shares the batch's strategy and noise).
+    /// Closed-form expected average squared *noise* error of the batch
+    /// release (every member shares the batch's strategy and noise).
+    /// Deliberately data-independent: it omits the structural residual
+    /// `‖(W − BL)x‖²`, which is an exact statistic of the private
+    /// database and cannot be published without spending budget.
     pub expected_avg_error: f64,
     /// Index of the batch this release was sliced from (also the noise
     /// stream label: the batch drew from `derive_rng(seed, batch_index)`).
+    /// Harmless on its own — reconstructing the noise additionally
+    /// requires the master seed, which is secret OS entropy unless an
+    /// experiment pinned it (see [`ServerBuilder::seed`]).
     pub batch_index: u64,
     /// How many requests shared the batch.
     pub batch_size: usize,
@@ -647,5 +694,45 @@ impl From<SpecError> for ServerError {
 impl From<AdmissionError> for ServerError {
     fn from(e: AdmissionError) -> Self {
         ServerError::Admission(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrm_workload::Attribute;
+
+    #[test]
+    fn try_wait_distinguishes_in_flight_from_shutdown() {
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+        assert_eq!(ticket.try_wait(), None); // still in flight
+        tx.send(Ok(Release {
+            answers: vec![1.0],
+            eps_spent: Epsilon::new(0.5).unwrap(),
+            eps_remaining: 0.5,
+            mechanism: "test",
+            expected_avg_error: 0.0,
+            batch_index: 0,
+            batch_size: 1,
+        }))
+        .unwrap();
+        assert!(matches!(ticket.try_wait(), Some(Ok(_))));
+
+        let (tx, rx) = mpsc::channel::<Result<Release, ServerError>>();
+        let ticket = Ticket { rx };
+        drop(tx); // runtime gone without responding
+        assert_eq!(ticket.try_wait(), Some(Err(ServerError::Shutdown)));
+    }
+
+    #[test]
+    fn default_seed_is_fresh_entropy_per_builder() {
+        let schema = || Schema::single(Attribute::new("v", 0.0, 4.0, 4).unwrap());
+        let a = ServerBuilder::new(schema(), vec![0.0; 4]);
+        let b = ServerBuilder::new(schema(), vec![0.0; 4]);
+        // Not the old hard-coded constant, and not shared across
+        // instances: a client cannot predict the noise stream.
+        assert_ne!(a.seed, 0xC0A1_E5CE);
+        assert_ne!(a.seed, b.seed);
     }
 }
