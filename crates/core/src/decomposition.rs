@@ -26,7 +26,9 @@ use lrm_dp::sensitivity;
 use lrm_linalg::decomp::Cholesky;
 use lrm_linalg::operator::MatrixOp;
 use lrm_linalg::{ops, Matrix};
-use lrm_opt::{nesterov_projected, project_columns_l1, AlmSchedule, AlmState, NesterovConfig};
+use lrm_opt::{
+    nesterov_projected, project_columns_l1, AlmSchedule, AlmState, NesterovConfig, WarmStart,
+};
 use lrm_workload::{Workload, WorkloadStructure};
 
 /// How to choose the inner dimension `r` of the decomposition.
@@ -149,6 +151,9 @@ pub struct DecompositionStats {
     /// True when the solver never reached `τ ≤ γ` and the result is the
     /// (feasible) Lemma 3 initializer instead of the last ALM iterate.
     pub fell_back_to_initializer: bool,
+    /// True when the run started from a caller-supplied warm-start seed
+    /// (a cached decomposition) instead of the Lemma 3 construction.
+    pub warm_started: bool,
 }
 
 /// The decomposition `W ≈ B·L` produced by Algorithm 1.
@@ -175,22 +180,85 @@ impl WorkloadDecomposition {
     /// covers every outer iteration of a run that converges before the
     /// first multiplier update.
     pub fn compute(workload: &Workload, config: &DecompositionConfig) -> Result<Self, CoreError> {
+        Self::compute_with_init(workload, config, None)
+    }
+
+    /// Runs Algorithm 1 from a warm-start seed instead of the Lemma 3
+    /// construction: the seed `L` is re-projected onto the target rank
+    /// (feasible by construction, see [`WarmStart::reproject_l`]) and `B`
+    /// is either taken from the seed (when its shape matches exactly) or
+    /// refit in closed form — the β→∞ limit of Eq. 9, which is the best
+    /// `B` for the seeded `L` and works across different query counts
+    /// `m`. Everything after the initializer — the outer loop, the
+    /// convergence criteria, the polish phase, the safety fallbacks — is
+    /// the identical code path as [`Self::compute`], so a warm-started
+    /// decomposition meets exactly the same feasibility and convergence
+    /// contract as a cold one; only the starting point (and therefore
+    /// the recorded `outer_iterations`) differs.
+    ///
+    /// A seed over the wrong domain size (or a failing closed-form
+    /// refit) is ignored and the run falls back to the cold initializer;
+    /// `stats().warm_started` reports what actually happened.
+    pub fn compute_with_init(
+        workload: &Workload,
+        config: &DecompositionConfig,
+        init: Option<&WarmStart>,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
         let op = workload.op().as_ref();
         let (m, n) = op.shape();
         let w_fro = op.frobenius_sq().sqrt();
         let r = config.target_rank.resolve(workload)?;
 
-        // --- Initialization: the Lemma 3 feasible construction. ---
-        let (mut b, mut l) = lemma3_initializer(workload, r);
+        // --- Initialization: warm-start seed, else Lemma 3. ---
+        let warm_init = init
+            .filter(|seed| seed.domain_size() == n && seed.rank() > 0)
+            .and_then(|seed| {
+                let l = seed.reproject_l(r);
+                // Always refit B against the *new* workload (the β→∞
+                // limit of Eq. 9) instead of trusting the seed's B: the
+                // seed was fit to a similar-but-different W, and carrying
+                // its B verbatim would bake the old workload into the
+                // warm-start multiplier below. The refit also makes seeds
+                // portable across query counts m.
+                let b = refit_b(op, &l).ok()?;
+                if b.has_non_finite() || l.has_non_finite() {
+                    return None;
+                }
+                Some((b, l))
+            });
+        let warm_started = warm_init.is_some();
+        let (mut b, mut l) = match warm_init {
+            Some(pair) => pair,
+            None => lemma3_initializer(workload, r),
+        };
         debug_assert_eq!(b.shape(), (m, r));
         debug_assert_eq!(l.shape(), (r, n));
         let initial_scale = b.squared_sum();
 
-        let mut alm =
-            AlmState::new(m, n, config.schedule.clone()).map_err(CoreError::InvalidArgument)?;
-
         let mut residual = residual_of(op, &b, &l);
+
+        // A warm seed must resume the ALM trajectory, not replay it: with
+        // (near-)exact inner solves the iterates depend only on (β, π),
+        // so a fresh π = 0 would let the first β₀ subproblem walk the
+        // seed straight back to the high-residual regime the cold run
+        // climbs out of, forgetting the seed entirely. Reconstruct the
+        // multiplier from the seed's own KKT condition instead — at an
+        // ALM optimum `∂(½tr(BᵀB) − ⟨π, BL⟩)/∂B = 0` gives `B = π·Lᵀ`,
+        // solved (ridge-stabilized) by `π = B·(LLᵀ)⁻¹·L`. The convergence
+        // criteria are untouched; only the starting multiplier differs.
+        let mut alm = None;
+        if warm_started {
+            if let Ok(pi0) = kkt_multiplier(&b, &l) {
+                alm = AlmState::with_multiplier(pi0, config.schedule.clone()).ok();
+            }
+        }
+        let mut alm = match alm {
+            Some(state) => state,
+            None => {
+                AlmState::new(m, n, config.schedule.clone()).map_err(CoreError::InvalidArgument)?
+            }
+        };
         let mut stats = DecompositionStats {
             outer_iterations: 0,
             residual: residual.frobenius_norm(),
@@ -198,6 +266,7 @@ impl WorkloadDecomposition {
             converged: stats_converged(residual.frobenius_norm(), config.gamma),
             initial_scale,
             fell_back_to_initializer: false,
+            warm_started,
         };
         if stats.converged && initial_scale == 0.0 {
             // Zero workload: (B, L) = (0, 0) is already optimal.
@@ -313,7 +382,28 @@ impl WorkloadDecomposition {
             }
 
             residual = residual_of(op, &b, &l);
-            let tau = residual.frobenius_norm();
+            let mut tau = residual.frobenius_norm();
+
+            // Warm runs check feasibility through the β→∞ refit lens every
+            // iteration (cold runs only at the very end): the ALM iterate's
+            // B lags the penalty schedule by design, so its τ can hover
+            // just above γ for many outer iterations while the *optimal* B
+            // for the current L has long been feasible. The tolerance is
+            // identical — only which B is measured differs — and the same
+            // Φ guard as the final refit keeps the swap from trading scale
+            // for residual.
+            if warm_started && tau > gamma_eff {
+                if let Ok(refit) = refit_b(op, &l) {
+                    let refit_residual = residual_of(op, &refit, &l);
+                    let refit_tau = refit_residual.frobenius_norm();
+                    let phi_ok = refit.squared_sum() <= b.squared_sum() * 1.05 + 1e-12;
+                    if refit_tau <= gamma_eff && phi_ok {
+                        b = refit;
+                        residual = refit_residual;
+                        tau = refit_tau;
+                    }
+                }
+            }
             stats.outer_iterations += 1;
             stats.residual = tau;
             stats.final_beta = alm.beta();
@@ -464,6 +554,7 @@ impl WorkloadDecomposition {
             converged: true,
             initial_scale: b.squared_sum(),
             fell_back_to_initializer: false,
+            warm_started: false,
         };
         Self {
             b,
@@ -543,6 +634,42 @@ pub(crate) fn residual_of(op: &dyn MatrixOp, b: &Matrix, l: &Matrix) -> Matrix {
 fn relative_change(old: &Matrix, new: &Matrix) -> f64 {
     let denom = old.frobenius_norm().max(1e-12);
     (new - old).frobenius_norm() / denom
+}
+
+/// The multiplier a warm-start seed would have ended with: at an ALM
+/// optimum the B-stationarity of the Lagrangian gives `B = π·Lᵀ`, whose
+/// ridge-stabilized solution is `π = B·(LLᵀ + δI)⁻¹·L`. For `W = B·L`
+/// this makes the seed an exact fixed point of the Eq. 9 update at any β
+/// — which is precisely what "resuming" the trajectory means.
+fn kkt_multiplier(b: &Matrix, l: &Matrix) -> Result<Matrix, CoreError> {
+    let r = l.rows();
+    let base = ops::mul_tr(l, l)?; // L·Lᵀ, r×r
+    let mean_eig = (base.trace()? / r as f64).max(1e-300);
+    let b_norm = b.frobenius_norm().max(1e-300);
+    // When the seed's L has near-dead directions, LLᵀ is nearly singular
+    // and the tiniest ridge lets π blow up along the noise directions —
+    // injecting a multiplier with ‖π‖ ≫ ‖B‖ makes the first subproblem
+    // *diverge* instead of resume (healthy seeds measure ‖π‖/‖B‖ well
+    // under 1). Escalate the ridge until the solve stops amplifying; a
+    // stronger ridge only damps the weak directions, so the fixed-point
+    // property is preserved exactly where it is trustworthy.
+    for ridge_rel in [1e-12, 1e-8, 1e-5, 1e-2] {
+        let mut sys = base.clone();
+        let ridge = mean_eig * ridge_rel;
+        for i in 0..r {
+            let v = sys.get(i, i) + ridge;
+            sys.set(i, i, v);
+        }
+        let chol = Cholesky::compute(&sys)?;
+        let x = chol.solve_right(b)?; // B·(LLᵀ + δI)⁻¹, m×r
+        let pi = ops::matmul(&x, l)?;
+        if pi.frobenius_norm() <= 4.0 * b_norm {
+            return Ok(pi);
+        }
+    }
+    Err(CoreError::InvalidArgument(
+        "seed factors too ill-conditioned for a multiplier warm start".into(),
+    ))
 }
 
 /// The β→∞ limit of Eq. 9: the ridge-stabilized least-squares refit
@@ -876,6 +1003,95 @@ mod tests {
         let d2 = decompose_default(&w);
         assert_eq!(d1.b(), d2.b());
         assert_eq!(d1.l(), d2.l());
+    }
+
+    /// A dashboard-style panel over `n` bins: `cuts` equal ranges, four
+    /// quarter rollups, and the grand total — the workload family whose
+    /// near-duplicates motivate warm starts.
+    fn panel(n: usize, cuts: usize) -> Workload {
+        let mut iv = Vec::with_capacity(cuts + 5);
+        for c in 0..cuts {
+            iv.push((c * n / cuts, (c + 1) * n / cuts - 1));
+        }
+        for q in 0..4 {
+            iv.push((q * n / 4, (q + 1) * n / 4 - 1));
+        }
+        iv.push((0, n - 1));
+        Workload::from_intervals(n, iv).unwrap()
+    }
+
+    #[test]
+    fn warm_start_saves_iterations_on_a_near_duplicate() {
+        // The motivating production case: the same range panel with one
+        // extra cut. Seeding from the neighbor's factors must meet the
+        // identical convergence contract in fewer outer iterations.
+        let cfg = DecompositionConfig {
+            polish_iters: 0,
+            ..DecompositionConfig::default()
+        };
+        let wa = panel(64, 15);
+        let wb = panel(64, 16);
+        let cold_a = WorkloadDecomposition::compute(&wa, &cfg).unwrap();
+        let cold_b = WorkloadDecomposition::compute(&wb, &cfg).unwrap();
+        assert!(!cold_b.stats().warm_started);
+
+        let seed = WarmStart::new(cold_a.b().clone(), cold_a.l().clone());
+        let warm_b = WorkloadDecomposition::compute_with_init(&wb, &cfg, Some(&seed)).unwrap();
+        assert!(warm_b.stats().warm_started);
+        assert_eq!(warm_b.stats().converged, cold_b.stats().converged);
+        assert!(warm_b.sensitivity() <= 1.0 + 1e-9);
+        // Same tolerance as cold: both residuals sit under the clamped γ.
+        let gamma_eff = cfg.gamma.min(0.02 * wb.op().frobenius_sq().sqrt());
+        assert!(warm_b.stats().residual <= gamma_eff + 1e-12);
+        assert!(
+            warm_b.stats().outer_iterations < cold_b.stats().outer_iterations,
+            "warm {} vs cold {} iterations",
+            warm_b.stats().outer_iterations,
+            cold_b.stats().outer_iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_reprojects_across_ranks() {
+        // A cached rank-4 decomposition seeding a rank-6 target (and vice
+        // versa) still produces a feasible, converged result.
+        let w = Workload::from_intervals(24, vec![(0, 5), (6, 11), (12, 17), (18, 23)]).unwrap();
+        let cfg4 = DecompositionConfig {
+            target_rank: TargetRank::Exact(4),
+            polish_iters: 0,
+            ..DecompositionConfig::default()
+        };
+        let cfg6 = DecompositionConfig {
+            target_rank: TargetRank::Exact(6),
+            polish_iters: 0,
+            ..DecompositionConfig::default()
+        };
+        let d4 = WorkloadDecomposition::compute(&w, &cfg4).unwrap();
+        let seed = WarmStart::new(d4.b().clone(), d4.l().clone());
+
+        let up = WorkloadDecomposition::compute_with_init(&w, &cfg6, Some(&seed)).unwrap();
+        assert!(up.stats().warm_started);
+        assert_eq!(up.rank(), 6);
+        assert!(up.sensitivity() <= 1.0 + 1e-9);
+
+        let d6 = WorkloadDecomposition::compute(&w, &cfg6).unwrap();
+        let seed6 = WarmStart::new(d6.b().clone(), d6.l().clone());
+        let down = WorkloadDecomposition::compute_with_init(&w, &cfg4, Some(&seed6)).unwrap();
+        assert!(down.stats().warm_started);
+        assert_eq!(down.rank(), 4);
+        assert!(down.sensitivity() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn mismatched_domain_seed_falls_back_to_cold() {
+        let w = Workload::from_intervals(16, vec![(0, 7), (8, 15)]).unwrap();
+        let other = Workload::from_intervals(32, vec![(0, 15), (16, 31)]).unwrap();
+        let cfg = DecompositionConfig::default();
+        let d = WorkloadDecomposition::compute(&other, &cfg).unwrap();
+        let seed = WarmStart::new(d.b().clone(), d.l().clone());
+        let got = WorkloadDecomposition::compute_with_init(&w, &cfg, Some(&seed)).unwrap();
+        assert!(!got.stats().warm_started, "wrong-n seed must be ignored");
+        assert!(got.sensitivity() <= 1.0 + 1e-9);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The compiled-strategy cache.
+//! The compiled-strategy cache and its similarity index.
 //!
 //! Strategy search is the expensive, data-independent step of every
 //! mechanism here (Algorithm 1 takes minutes at the paper's full scale;
@@ -8,18 +8,30 @@
 //! * **Memory layer** — an `Arc`-shared map; a repeated compile of an
 //!   already-seen workload is an O(1) map lookup with zero decomposition
 //!   work.
-//! * **Disk layer (optional)** — decomposition-backed strategies spill
-//!   their `(B, L)` factors through the `LRMD` persistence format, so a
-//!   fresh process pointed at the same spill directory skips Algorithm 1
-//!   and only pays the (cheap) load-and-revalidate path.
+//! * **Store layer (optional)** — decomposition-backed strategies persist
+//!   their `(B, L)` factors through the versioned `LRMS` strategy store
+//!   (see [`super::store`]), so a fresh process pointed at the same
+//!   directory skips Algorithm 1 and only pays the (cheap)
+//!   load-and-revalidate path.
+//! * **Similarity index** — on an exact miss, a nearest cached
+//!   decomposition over the same `(kind, options, structural class, n)`
+//!   with compatible rank and a close coarse column profile seeds the ALM
+//!   solver as a warm start. A similarity hit is **never served**: the
+//!   solver still runs to the full convergence contract; only its
+//!   starting point changes.
 //!
 //! Caching is privacy-neutral: a strategy depends only on the public
 //! workload `W` (keyed by its content fingerprint) and public solver
-//! options — never on data or ε — so reuse releases nothing.
+//! options — never on data or ε — so reuse releases nothing. Warm
+//! starting is equally neutral: the seed is public for the same reason,
+//! and the seeded solve satisfies the same `Δ(B,L) ≤ 1` constraint.
 
+use crate::decomposition::WorkloadDecomposition;
 use crate::engine::registry::MechanismKind;
+use crate::engine::store::{StoredHeader, StrategyStore};
 use crate::mechanism::Mechanism;
-use crate::persistence::{load_decomposition, save_decomposition};
+use lrm_linalg::operator::profile_distance;
+use lrm_opt::WarmStart;
 use lrm_workload::{Fingerprint, Workload};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -29,6 +41,18 @@ use std::sync::{Arc, Mutex};
 /// Cache key: workload content, mechanism kind, and the digest of the
 /// options that kind reads.
 pub(crate) type CacheKey = (Fingerprint, MechanismKind, u64);
+
+/// Number of buckets in the coarse column profile the similarity index
+/// compares — coarse enough that a nudged panel boundary barely moves it,
+/// fine enough that disjoint workloads are far apart.
+pub(crate) const PROFILE_BUCKETS: usize = 16;
+
+/// L1 distance above which two profiles are "not similar" (the full range
+/// is `[0, 2]`; near-duplicates measure well under 0.1).
+const SIMILARITY_THRESHOLD: f64 = 0.5;
+
+/// Bound on resident similarity entries; oldest admitted go first.
+const SIM_CAPACITY: usize = 256;
 
 /// A cached compiled strategy.
 #[derive(Clone)]
@@ -44,6 +68,9 @@ pub(crate) struct CachedStrategy {
     pub workload_op: Arc<dyn lrm_linalg::MatrixOp>,
     /// Decomposition rank `r` for decomposition-backed kinds.
     pub strategy_rank: Option<usize>,
+    /// Outer ALM iterations of the compile that produced this strategy
+    /// (`None` for non-iterative kinds and disk reloads).
+    pub alm_iterations: Option<usize>,
     /// Closed-form expected average error at the engine's reference ε,
     /// computed once at insert so cache hits pay no error evaluation.
     pub expected_avg_error: f64,
@@ -52,11 +79,14 @@ pub(crate) struct CachedStrategy {
 /// Where a compile was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// Full strategy search ran.
+    /// Full strategy search ran from the cold (Lemma 3) initializer.
     Miss,
+    /// Full strategy search ran, seeded by a similar cached decomposition
+    /// — same convergence contract, fewer iterations.
+    WarmStart,
     /// Served from the in-memory map — no decomposition work at all.
     MemoryHit,
-    /// Factors loaded from the spill directory and revalidated — no
+    /// Factors loaded from the strategy store and revalidated — no
     /// decomposition work, only I/O and a residual recompute.
     DiskHit,
 }
@@ -66,30 +96,99 @@ pub enum CacheOutcome {
 pub struct CacheStats {
     /// Compiles served from memory.
     pub memory_hits: u64,
-    /// Compiles served by loading spilled factors.
+    /// Compiles served by loading stored factors.
     pub disk_hits: u64,
-    /// Compiles that ran the full strategy search.
+    /// Compiles that ran the full strategy search cold.
     pub misses: u64,
+    /// Compiles that ran the full strategy search from a similarity seed.
+    pub warm_hits: u64,
+    /// Factor loads from the on-disk strategy store (exact reloads and
+    /// disk-resident warm-start seeds).
+    pub store_loads: u64,
+    /// Store files evicted to stay under the capacity bound.
+    pub evictions: u64,
     /// Strategies currently held in memory.
     pub entries: usize,
 }
 
+/// Where a similarity seed's factors live.
+enum SeedSource {
+    /// Still resident from a compile in this process.
+    Memory(Arc<WorkloadDecomposition>),
+    /// On disk; loaded lazily only when the entry wins a nearest-seed
+    /// query. This is what makes a restarted process warm from a
+    /// header-only scan.
+    Disk(PathBuf),
+}
+
+/// One similarity-index entry: the public coordinates of a cached
+/// decomposition, plus a handle to its factors.
+struct SimEntry {
+    kind: MechanismKind,
+    digest: u64,
+    class: &'static str,
+    n: usize,
+    rank: usize,
+    fingerprint: u64,
+    cold_iterations: usize,
+    profile: Vec<f64>,
+    source: SeedSource,
+}
+
+/// What the similarity index reports about a winning seed — surfaced as
+/// warm-start provenance in [`CompileMeta`](super::CompileMeta).
+#[derive(Debug, Clone)]
+pub(crate) struct SeedInfo {
+    pub fingerprint: u64,
+    pub distance: f64,
+    pub cold_iterations: usize,
+}
+
 pub(crate) struct StrategyCache {
     entries: Mutex<HashMap<CacheKey, CachedStrategy>>,
+    sim: Mutex<Vec<SimEntry>>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     misses: AtomicU64,
-    spill_dir: Option<PathBuf>,
+    warm_hits: AtomicU64,
+    store_loads: AtomicU64,
+    evictions: AtomicU64,
+    store: Option<StrategyStore>,
 }
 
 impl StrategyCache {
-    pub fn new(spill_dir: Option<PathBuf>) -> Self {
+    /// Opens the cache; with a store directory, a header-only scan of the
+    /// surviving `LRMS` files seeds the similarity index so a restarted
+    /// process warms from its predecessor's work without loading a single
+    /// factor matrix up front.
+    pub fn new(store_dir: Option<PathBuf>, store_capacity: usize) -> Self {
+        let store = store_dir.map(|dir| StrategyStore::open(dir, store_capacity));
+        let mut sim = Vec::new();
+        if let Some(store) = &store {
+            for (header, path) in store.scan() {
+                sim.push(SimEntry {
+                    kind: header.kind,
+                    digest: header.digest,
+                    class: intern_class(&header.class),
+                    n: header.n,
+                    rank: header.rank,
+                    fingerprint: header.fingerprint,
+                    cold_iterations: header.cold_iterations,
+                    profile: header.profile,
+                    source: SeedSource::Disk(path),
+                });
+            }
+        }
         Self {
             entries: Mutex::new(HashMap::new()),
+            sim: Mutex::new(sim),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            spill_dir,
+            warm_hits: AtomicU64::new(0),
+            store_loads: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            store,
         }
     }
 
@@ -98,6 +197,9 @@ impl StrategyCache {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            store_loads: self.store_loads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.entries.lock().expect("cache lock").len(),
         }
     }
@@ -112,6 +214,7 @@ impl StrategyCache {
     pub fn record(&self, outcome: CacheOutcome) {
         match outcome {
             CacheOutcome::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
+            CacheOutcome::WarmStart => self.warm_hits.fetch_add(1, Ordering::Relaxed),
             CacheOutcome::DiskHit => self.disk_hits.fetch_add(1, Ordering::Relaxed),
             CacheOutcome::MemoryHit => self.memory_hits.fetch_add(1, Ordering::Relaxed),
         };
@@ -124,50 +227,187 @@ impl StrategyCache {
             .insert(key, strategy);
     }
 
-    /// Drops every resident strategy; counters and the spill layer are
-    /// untouched.
+    /// Drops every strategy resident in memory — the compiled map and the
+    /// memory-backed similarity entries. Disk-backed similarity entries
+    /// (headers pointing at store files) survive: they hold no factors.
     pub fn clear(&self) {
         self.entries.lock().expect("cache lock").clear();
+        self.sim
+            .lock()
+            .expect("sim lock")
+            .retain(|e| matches!(e.source, SeedSource::Disk(_)));
     }
 
-    fn spill_path(&self, key: &CacheKey) -> Option<PathBuf> {
-        let (fingerprint, kind, digest) = key;
-        self.spill_dir.as_ref().map(|dir| {
-            dir.join(format!(
-                "{}-{fingerprint}-{digest:016x}.lrmd",
-                kind.label().to_lowercase().replace(['γ', '+'], "x")
-            ))
-        })
-    }
-
-    /// Tries to serve a decomposition-backed compile from the spill
-    /// directory. Unreadable, corrupt, or mismatched files are treated as
-    /// misses — the subsequent compile overwrites them.
+    /// Tries to serve a decomposition-backed compile from the strategy
+    /// store. Unreadable, corrupt, version-mismatched, or invalid files
+    /// are treated as misses — the subsequent compile overwrites them.
+    /// On success returns the decomposition and the stored cold iteration
+    /// count.
     pub fn try_disk_load(
         &self,
         key: &CacheKey,
         workload: &Workload,
-    ) -> Option<crate::decomposition::WorkloadDecomposition> {
-        let path = self.spill_path(key)?;
+    ) -> Option<(WorkloadDecomposition, StoredHeader)> {
+        let store = self.store.as_ref()?;
+        let path = store.path_for(key.0.as_u64(), key.1, key.2);
         if !path.exists() {
             return None;
         }
-        load_decomposition(workload, &path).ok()
+        let (dec, header) = store.load_exact(&path, workload).ok()?;
+        self.store_loads.fetch_add(1, Ordering::Relaxed);
+        Some((dec, header))
     }
 
-    /// Best-effort spill of freshly computed factors; a full cache (or a
-    /// read-only directory) must not fail the compile that produced them.
-    pub fn spill(
+    /// Best-effort persist of freshly computed factors plus their public
+    /// coordinates; a full disk (or read-only directory) must not fail
+    /// the compile that produced them.
+    pub fn persist(
         &self,
         key: &CacheKey,
-        decomposition: &crate::decomposition::WorkloadDecomposition,
+        workload: &Workload,
+        profile: &[f64],
+        decomposition: &WorkloadDecomposition,
     ) {
-        if let Some(path) = self.spill_path(key) {
-            if let Some(dir) = path.parent() {
-                let _ = std::fs::create_dir_all(dir);
+        if let Some(store) = &self.store {
+            let header = StoredHeader {
+                fingerprint: key.0.as_u64(),
+                digest: key.2,
+                kind: key.1,
+                class: workload.op().structure_class().to_string(),
+                m: workload.num_queries(),
+                n: workload.domain_size(),
+                rank: decomposition.rank(),
+                cold_iterations: decomposition.stats().outer_iterations,
+                profile: profile.to_vec(),
+            };
+            let evicted = store.save(&header, decomposition);
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                // Evicted files may back similarity entries; drop the
+                // dangling ones so a nearest-seed query never chases a
+                // deleted path.
+                self.sim
+                    .lock()
+                    .expect("sim lock")
+                    .retain(|e| match &e.source {
+                        SeedSource::Disk(p) => p.exists(),
+                        SeedSource::Memory(_) => true,
+                    });
             }
-            let _ = save_decomposition(decomposition, &path);
         }
+    }
+
+    /// Admits a decomposition into the similarity index (replacing any
+    /// previous entry for the same key coordinates).
+    pub fn admit_seed(
+        &self,
+        key: &CacheKey,
+        workload: &Workload,
+        profile: Vec<f64>,
+        cold_iterations: usize,
+        decomposition: Arc<WorkloadDecomposition>,
+    ) {
+        let mut sim = self.sim.lock().expect("sim lock");
+        let (fingerprint, kind, digest) = (key.0.as_u64(), key.1, key.2);
+        sim.retain(|e| (e.fingerprint, e.kind, e.digest) != (fingerprint, kind, digest));
+        if sim.len() >= SIM_CAPACITY {
+            sim.remove(0);
+        }
+        sim.push(SimEntry {
+            kind,
+            digest,
+            class: workload.op().structure_class(),
+            n: workload.domain_size(),
+            rank: decomposition.rank(),
+            fingerprint,
+            cold_iterations,
+            profile,
+            source: SeedSource::Memory(decomposition),
+        });
+    }
+
+    /// Nearest cached decomposition usable as a warm-start seed for the
+    /// given compile coordinates, or `None` when nothing is close enough.
+    /// Candidates must match `(kind, options digest, structural class,
+    /// n)` exactly, sit within a factor of two of the target rank (when
+    /// the target is known), and measure under the profile-distance
+    /// threshold; the closest wins. Disk-backed winners are loaded here
+    /// (and dropped from the index if their file has rotted).
+    pub fn nearest_seed(
+        &self,
+        kind: MechanismKind,
+        digest: u64,
+        workload: &Workload,
+        target_rank: Option<usize>,
+        profile: &[f64],
+    ) -> Option<(WarmStart, SeedInfo)> {
+        let class = workload.op().structure_class();
+        let n = workload.domain_size();
+        let fingerprint = workload.fingerprint().as_u64();
+        loop {
+            let (info, source_path) = {
+                let sim = self.sim.lock().expect("sim lock");
+                let mut best: Option<(usize, f64)> = None;
+                for (i, e) in sim.iter().enumerate() {
+                    if e.kind != kind
+                        || e.digest != digest
+                        || e.class != class
+                        || e.n != n
+                        || e.fingerprint == fingerprint
+                    {
+                        continue;
+                    }
+                    if let Some(r) = target_rank {
+                        if e.rank < r.div_ceil(2) || e.rank > 2 * r {
+                            continue;
+                        }
+                    }
+                    let d = profile_distance(&e.profile, profile);
+                    if d >= SIMILARITY_THRESHOLD {
+                        continue;
+                    }
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+                let (i, d) = best?;
+                let e = &sim[i];
+                let info = SeedInfo {
+                    fingerprint: e.fingerprint,
+                    distance: d,
+                    cold_iterations: e.cold_iterations,
+                };
+                match &e.source {
+                    SeedSource::Memory(dec) => {
+                        return Some((WarmStart::new(dec.b().clone(), dec.l().clone()), info));
+                    }
+                    SeedSource::Disk(path) => (info, path.clone()),
+                }
+            };
+            match self.store.as_ref()?.load_seed(&source_path) {
+                Ok((b, l)) if b.cols() == l.rows() && l.cols() == n => {
+                    self.store_loads.fetch_add(1, Ordering::Relaxed);
+                    return Some((WarmStart::new(b, l), info));
+                }
+                _ => {
+                    // Rotten entry: drop it and rescan for the next best.
+                    self.sim
+                        .lock()
+                        .expect("sim lock")
+                        .retain(|e| !matches!(&e.source, SeedSource::Disk(p) if p == &source_path));
+                }
+            }
+        }
+    }
+}
+
+/// Maps a stored class string back to the `&'static str` tags the live
+/// operators report, so disk- and memory-sourced entries compare equal.
+fn intern_class(class: &str) -> &'static str {
+    match class {
+        "sparse" => "sparse",
+        "intervals" => "intervals",
+        _ => "dense",
     }
 }
 
@@ -175,7 +415,8 @@ impl std::fmt::Debug for StrategyCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StrategyCache")
             .field("stats", &self.stats())
-            .field("spill_dir", &self.spill_dir)
+            .field("sim_entries", &self.sim.lock().expect("sim lock").len())
+            .field("store", &self.store)
             .finish()
     }
 }

@@ -45,6 +45,7 @@
 mod cache;
 mod registry;
 mod session;
+mod store;
 
 pub use cache::{CacheOutcome, CacheStats};
 pub use registry::{CompileOptions, MechanismKind};
@@ -52,13 +53,17 @@ pub use session::{BatchAnswer, EngineError, Session};
 
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
-use cache::{CachedStrategy, StrategyCache};
+use cache::{CachedStrategy, StrategyCache, PROFILE_BUCKETS};
 use lrm_dp::Epsilon;
+use lrm_linalg::operator::coarse_column_profile;
 use lrm_workload::{Fingerprint, Workload};
 use rand::RngCore;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Default bound on resident strategy-store files.
+const DEFAULT_STORE_CAPACITY: usize = 512;
 
 /// Builder for [`Engine`].
 #[derive(Debug)]
@@ -66,6 +71,7 @@ pub struct EngineBuilder {
     reference_eps: Epsilon,
     defaults: CompileOptions,
     spill_dir: Option<PathBuf>,
+    store_capacity: usize,
 }
 
 impl EngineBuilder {
@@ -76,6 +82,7 @@ impl EngineBuilder {
             reference_eps: Epsilon::new(1.0).expect("1.0 is a valid budget"),
             defaults: CompileOptions::default(),
             spill_dir: None,
+            store_capacity: DEFAULT_STORE_CAPACITY,
         }
     }
 
@@ -95,20 +102,31 @@ impl EngineBuilder {
         self
     }
 
-    /// Enables the on-disk spill layer: decomposition-backed strategies
-    /// are persisted here (`LRMD` format) and reloaded instead of
-    /// recompiled, across processes.
+    /// Enables the on-disk strategy store: decomposition-backed strategies
+    /// are persisted here (versioned `LRMS` format) and reloaded —
+    /// revalidated exactly, or reused as warm-start seeds for similar
+    /// workloads — instead of recompiled, across processes and restarts.
     pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.spill_dir = Some(dir.into());
         self
     }
 
-    /// Finishes the builder.
+    /// Bounds the number of files the strategy store retains; beyond it,
+    /// the least recently written entries are evicted at save time.
+    /// Default: 512.
+    pub fn store_capacity(mut self, capacity: usize) -> Self {
+        self.store_capacity = capacity.max(1);
+        self
+    }
+
+    /// Finishes the builder. With a spill directory configured, surviving
+    /// store files are header-scanned here to rebuild the similarity
+    /// index, so the first compiles after a restart can already warm-start.
     pub fn build(self) -> Engine {
         Engine {
             reference_eps: self.reference_eps,
             defaults: self.defaults,
-            cache: StrategyCache::new(self.spill_dir),
+            cache: StrategyCache::new(self.spill_dir, self.store_capacity),
         }
     }
 }
@@ -150,7 +168,8 @@ impl Engine {
         &self.defaults
     }
 
-    /// Cache counters: memory hits, disk hits, misses, resident entries.
+    /// Cache counters: memory hits, disk hits, cold misses, warm-started
+    /// compiles, store loads, store evictions, resident entries.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -178,31 +197,137 @@ impl Engine {
                 workload.op().as_ref(),
             ) {
                 self.cache.record(CacheOutcome::MemoryHit);
-                return Ok(self.finish(kind, fingerprint, CacheOutcome::MemoryHit, t0, cached));
+                return Ok(self.finish(
+                    kind,
+                    fingerprint,
+                    CacheOutcome::MemoryHit,
+                    t0,
+                    cached,
+                    None,
+                ));
             }
         }
 
         if kind.is_decomposition_backed() {
-            if let Some(decomposition) = self.cache.try_disk_load(&key, workload) {
+            let profile = coarse_column_profile(workload.op().as_ref(), PROFILE_BUCKETS);
+
+            if let Some((decomposition, header)) = self.cache.try_disk_load(&key, workload) {
+                let decomposition = Arc::new(decomposition);
+                self.cache.admit_seed(
+                    &key,
+                    workload,
+                    profile,
+                    header.cold_iterations,
+                    Arc::clone(&decomposition),
+                );
                 let cached = self.admit(
                     key,
                     workload,
                     Some(decomposition.rank()),
-                    registry::rebuild_from_decomposition(kind, decomposition, workload),
+                    None,
+                    registry::rebuild_from_decomposition(kind, (*decomposition).clone(), workload),
                 );
                 self.cache.record(CacheOutcome::DiskHit);
-                return Ok(self.finish(kind, fingerprint, CacheOutcome::DiskHit, t0, cached));
+                return Ok(self.finish(kind, fingerprint, CacheOutcome::DiskHit, t0, cached, None));
+            }
+
+            // Exact miss: a similar cached decomposition — same kind,
+            // options, structural class, and domain, with compatible rank
+            // and a close column profile — seeds the solver. The seeded
+            // compile runs the full convergence contract; the seed is
+            // never served directly.
+            let target_rank = match options.decomposition_for(kind).target_rank {
+                crate::decomposition::TargetRank::Exact(r) => Some(r),
+                crate::decomposition::TargetRank::RatioOfRank(_) => None,
+            };
+            if let Some((seed, info)) =
+                self.cache
+                    .nearest_seed(kind, key.2, workload, target_rank, &profile)
+            {
+                if let Ok(built) = registry::build_with_seed(kind, workload, options, &seed) {
+                    let dec = built
+                        .decomposition
+                        .expect("decomposition-backed kinds always produce factors");
+                    if dec.stats().warm_started {
+                        let iterations = dec.stats().outer_iterations;
+                        self.cache.persist(&key, workload, &profile, &dec);
+                        let dec = Arc::new(dec);
+                        self.cache.admit_seed(
+                            &key,
+                            workload,
+                            profile,
+                            iterations,
+                            Arc::clone(&dec),
+                        );
+                        let cached = self.admit(
+                            key,
+                            workload,
+                            Some(dec.rank()),
+                            Some(iterations),
+                            built.mechanism,
+                        );
+                        self.cache.record(CacheOutcome::WarmStart);
+                        let provenance = WarmStartProvenance {
+                            seed_fingerprint: info.fingerprint,
+                            profile_distance: info.distance,
+                            seed_iterations: info.cold_iterations,
+                            iterations,
+                        };
+                        return Ok(self.finish(
+                            kind,
+                            fingerprint,
+                            CacheOutcome::WarmStart,
+                            t0,
+                            cached,
+                            Some(provenance),
+                        ));
+                    }
+                    // The solver rejected the seed (e.g. ill-conditioned
+                    // factors) and ran cold anyway: report it as a miss.
+                    let iterations = dec.stats().outer_iterations;
+                    self.cache.persist(&key, workload, &profile, &dec);
+                    let dec = Arc::new(dec);
+                    self.cache
+                        .admit_seed(&key, workload, profile, iterations, Arc::clone(&dec));
+                    let cached = self.admit(
+                        key,
+                        workload,
+                        Some(dec.rank()),
+                        Some(iterations),
+                        built.mechanism,
+                    );
+                    self.cache.record(CacheOutcome::Miss);
+                    return Ok(self.finish(
+                        kind,
+                        fingerprint,
+                        CacheOutcome::Miss,
+                        t0,
+                        cached,
+                        None,
+                    ));
+                }
             }
         }
 
         let built = registry::build(kind, workload, options)?;
+        let mut alm_iterations = None;
         if let Some(decomposition) = &built.decomposition {
-            self.cache.spill(&key, decomposition);
+            let profile = coarse_column_profile(workload.op().as_ref(), PROFILE_BUCKETS);
+            let iterations = decomposition.stats().outer_iterations;
+            alm_iterations = Some(iterations);
+            self.cache.persist(&key, workload, &profile, decomposition);
+            self.cache.admit_seed(
+                &key,
+                workload,
+                profile,
+                iterations,
+                Arc::new(decomposition.clone()),
+            );
         }
         let rank = built.decomposition.as_ref().map(|d| d.rank());
-        let cached = self.admit(key, workload, rank, built.mechanism);
+        let cached = self.admit(key, workload, rank, alm_iterations, built.mechanism);
         self.cache.record(CacheOutcome::Miss);
-        Ok(self.finish(kind, fingerprint, CacheOutcome::Miss, t0, cached))
+        Ok(self.finish(kind, fingerprint, CacheOutcome::Miss, t0, cached, None))
     }
 
     /// Builds the cache entry for a freshly compiled (or disk-loaded)
@@ -213,12 +338,14 @@ impl Engine {
         key: cache::CacheKey,
         workload: &Workload,
         strategy_rank: Option<usize>,
+        alm_iterations: Option<usize>,
         mechanism: Arc<dyn Mechanism + Send + Sync>,
     ) -> CachedStrategy {
         let cached = CachedStrategy {
             expected_avg_error: mechanism.expected_average_error(self.reference_eps, None),
             workload_op: Arc::clone(workload.op()),
             strategy_rank,
+            alm_iterations,
             mechanism,
         };
         self.cache.insert(key, cached.clone());
@@ -294,6 +421,7 @@ impl Engine {
         cache: CacheOutcome,
         t0: Instant,
         cached: CachedStrategy,
+        warm_start: Option<WarmStartProvenance>,
     ) -> CompiledMechanism {
         CompiledMechanism {
             meta: CompileMeta {
@@ -303,6 +431,8 @@ impl Engine {
                 cache,
                 compile_seconds: t0.elapsed().as_secs_f64(),
                 strategy_rank: cached.strategy_rank,
+                alm_iterations: cached.alm_iterations,
+                warm_start,
                 expected_avg_error: cached.expected_avg_error,
                 reference_eps: self.reference_eps,
             },
@@ -330,6 +460,31 @@ const _: () = {
     assert_send::<Session>();
 };
 
+/// Warm-start provenance: where a [`CacheOutcome::WarmStart`] compile's
+/// seed came from and what it bought. All quantities here are public
+/// (derived from workloads and solver behavior, never from data).
+#[derive(Debug, Clone)]
+pub struct WarmStartProvenance {
+    /// Raw fingerprint of the workload whose decomposition seeded this
+    /// compile.
+    pub seed_fingerprint: u64,
+    /// L1 distance between the two coarse column profiles (0 = identical).
+    pub profile_distance: f64,
+    /// Outer ALM iterations the *seed's* compile took — the baseline the
+    /// savings are quoted against.
+    pub seed_iterations: usize,
+    /// Outer ALM iterations the seeded compile took.
+    pub iterations: usize,
+}
+
+impl WarmStartProvenance {
+    /// Iterations the warm start saved relative to the seed's compile
+    /// (saturating: a warm run slower than its seed's reports 0).
+    pub fn iterations_saved(&self) -> usize {
+        self.seed_iterations.saturating_sub(self.iterations)
+    }
+}
+
 /// Structured metadata attached to every [`Engine::compile`] result.
 #[derive(Debug, Clone)]
 pub struct CompileMeta {
@@ -345,6 +500,11 @@ pub struct CompileMeta {
     pub compile_seconds: f64,
     /// Decomposition rank `r` for decomposition-backed kinds.
     pub strategy_rank: Option<usize>,
+    /// Outer ALM iterations the compile ran (`None` for non-iterative
+    /// kinds and for strategies reloaded from the store).
+    pub alm_iterations: Option<usize>,
+    /// Present iff the compile was seeded by a similar cached strategy.
+    pub warm_start: Option<WarmStartProvenance>,
     /// Closed-form expected **average** squared error at
     /// [`CompileMeta::reference_eps`] (data-independent terms only).
     pub expected_avg_error: f64,
@@ -537,6 +697,128 @@ mod tests {
             .compile_best(&w, &[MechanismKind::Lrm], &opts)
             .is_err());
         assert!(engine.compile_best(&w, &[], &opts).is_err());
+    }
+
+    /// A dashboard-style range panel: `cuts` equal ranges, four quarter
+    /// rollups, and the grand total over `n` bins. Panels with nearby cut
+    /// counts are the similarity index's motivating near-duplicates.
+    fn panel(n: usize, cuts: usize) -> Workload {
+        let mut iv = Vec::with_capacity(cuts + 5);
+        for c in 0..cuts {
+            iv.push((c * n / cuts, (c + 1) * n / cuts - 1));
+        }
+        for q in 0..4 {
+            iv.push((q * n / 4, (q + 1) * n / 4 - 1));
+        }
+        iv.push((0, n - 1));
+        Workload::from_intervals(n, iv).unwrap()
+    }
+
+    #[test]
+    fn similar_workload_warm_starts_but_is_never_served() {
+        let engine = Engine::builder().build();
+        let wa = panel(64, 15);
+        let wb = panel(64, 16);
+        let first = engine.compile_default(&wa, MechanismKind::Lrm).unwrap();
+        assert_eq!(first.meta().cache, CacheOutcome::Miss);
+        assert!(first.meta().alm_iterations.is_some());
+
+        let second = engine.compile_default(&wb, MechanismKind::Lrm).unwrap();
+        assert_eq!(second.meta().cache, CacheOutcome::WarmStart);
+        let prov = second.meta().warm_start.as_ref().expect("provenance");
+        assert_eq!(prov.seed_fingerprint, wa.fingerprint().as_u64());
+        assert!(prov.profile_distance < 0.5);
+        assert_eq!(Some(prov.iterations), second.meta().alm_iterations);
+
+        // Seeding only: the warm compile produced a *new* strategy for
+        // wb's own queries, not the cached strategy for wa.
+        assert!(!Arc::ptr_eq(&first.mechanism, &second.mechanism));
+        assert_eq!(second.num_queries(), wb.num_queries());
+
+        let stats = engine.cache_stats();
+        assert_eq!((stats.misses, stats.warm_hits), (1, 1));
+
+        // A repeat of wb is an exact memory hit, not another warm start.
+        let third = engine.compile_default(&wb, MechanismKind::Lrm).unwrap();
+        assert_eq!(third.meta().cache, CacheOutcome::MemoryHit);
+    }
+
+    #[test]
+    fn dissimilar_workload_compiles_cold() {
+        let engine = Engine::builder().build();
+        // Same class and n, but all the mass in opposite halves: profile
+        // distance far above the similarity threshold.
+        let left = Workload::from_intervals(32, vec![(0, 3), (4, 7), (8, 11), (12, 15)]).unwrap();
+        let right =
+            Workload::from_intervals(32, vec![(16, 19), (20, 23), (24, 27), (28, 31)]).unwrap();
+        engine.compile_default(&left, MechanismKind::Lrm).unwrap();
+        let second = engine.compile_default(&right, MechanismKind::Lrm).unwrap();
+        assert_eq!(second.meta().cache, CacheOutcome::Miss);
+        assert!(second.meta().warm_start.is_none());
+        assert_eq!(engine.cache_stats().warm_hits, 0);
+    }
+
+    #[test]
+    fn restarted_engine_warms_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("lrm_engine_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wa = panel(64, 15);
+        let wb = panel(64, 16);
+
+        let engine = Engine::builder().spill_dir(&dir).build();
+        engine.compile_default(&wa, MechanismKind::Lrm).unwrap();
+        drop(engine);
+
+        // A fresh process: the header scan alone rebuilds the index, so
+        // the near-duplicate warm-starts from the store without wa ever
+        // being compiled here…
+        let engine2 = Engine::builder().spill_dir(&dir).build();
+        let warmed = engine2.compile_default(&wb, MechanismKind::Lrm).unwrap();
+        assert_eq!(warmed.meta().cache, CacheOutcome::WarmStart);
+        assert_eq!(
+            warmed.meta().warm_start.as_ref().unwrap().seed_fingerprint,
+            wa.fingerprint().as_u64()
+        );
+        assert!(engine2.cache_stats().store_loads >= 1);
+
+        // …and the exact workload reloads with zero recompiles.
+        let reloaded = engine2.compile_default(&wa, MechanismKind::Lrm).unwrap();
+        assert_eq!(reloaded.meta().cache, CacheOutcome::DiskHit);
+        assert_eq!(engine2.cache_stats().misses, 0);
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn version_mismatched_store_entries_are_recompiled() {
+        let dir = std::env::temp_dir().join(format!("lrm_engine_vmm_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = panel(64, 15);
+
+        let engine = Engine::builder().spill_dir(&dir).build();
+        engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        drop(engine);
+
+        // Corrupt the version word of every stored entry.
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let path = entry.path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[4] = 0xEE;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+
+        let engine2 = Engine::builder().spill_dir(&dir).build();
+        let again = engine2.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(again.meta().cache, CacheOutcome::Miss);
+        assert_eq!(engine2.cache_stats().store_loads, 0);
+
+        // The recompile overwrote the bad entry: a third engine reloads.
+        drop(engine2);
+        let engine3 = Engine::builder().spill_dir(&dir).build();
+        let reloaded = engine3.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(reloaded.meta().cache, CacheOutcome::DiskHit);
+
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -103,6 +103,30 @@ impl MechanismKind {
             MechanismKind::Lrm | MechanismKind::LrmRelaxed | MechanismKind::DataAware
         )
     }
+
+    /// Stable one-byte tag for the strategy-store file format. Values are
+    /// part of the on-disk contract: never reuse a tag for a different
+    /// kind.
+    pub(crate) fn store_tag(self) -> u8 {
+        match self {
+            MechanismKind::Lrm => 1,
+            MechanismKind::LrmRelaxed => 2,
+            MechanismKind::Laplace => 3,
+            MechanismKind::Nod => 4,
+            MechanismKind::Nor => 5,
+            MechanismKind::MatrixMechanism => 6,
+            MechanismKind::Wavelet => 7,
+            MechanismKind::Hierarchical => 8,
+            MechanismKind::DataAware => 9,
+        }
+    }
+
+    /// Inverse of [`MechanismKind::store_tag`].
+    pub(crate) fn from_store_tag(tag: u8) -> Option<Self> {
+        MechanismKind::ALL
+            .into_iter()
+            .find(|k| k.store_tag() == tag)
+    }
 }
 
 impl fmt::Display for MechanismKind {
@@ -236,6 +260,27 @@ pub(crate) fn build(
         },
     };
     Ok(built)
+}
+
+/// Compiles a decomposition-backed `kind` seeded by a warm start from a
+/// similar cached strategy, instead of the Lemma 3 cold initializer. The
+/// convergence contract is identical to [`build`] — only the starting
+/// point differs — so the result is a full-fledged strategy, never a
+/// shortcut.
+pub(crate) fn build_with_seed(
+    kind: MechanismKind,
+    workload: &Workload,
+    options: &CompileOptions,
+    seed: &lrm_opt::WarmStart,
+) -> Result<Built, CoreError> {
+    debug_assert!(kind.is_decomposition_backed());
+    let cfg = options.decomposition_for(kind);
+    let dec = WorkloadDecomposition::compute_with_init(workload, &cfg, Some(seed))?;
+    let mechanism = rebuild_from_decomposition(kind, dec.clone(), workload);
+    Ok(Built {
+        mechanism,
+        decomposition: Some(dec),
+    })
 }
 
 /// Rebuilds a decomposition-backed mechanism from factors loaded off disk.

@@ -1,0 +1,445 @@
+//! The cross-restart strategy store (`LRMS` format).
+//!
+//! The engine's original disk layer was a bare spill of `(B, L)` factors.
+//! The store promotes it into a first-class artifact: every file carries a
+//! versioned header with enough public metadata — workload fingerprint,
+//! mechanism kind, options digest, shapes, rank, structural class, coarse
+//! column profile, and the iteration count of the compile that produced it
+//! — that a fresh process can rebuild the *similarity index* from a
+//! header-only scan, without deserializing a single factor matrix. Exact
+//! hits then lazily load and revalidate factors; near misses lazily load
+//! factors as warm-start seeds.
+//!
+//! Trust model (same as the `LRMD` persistence format): nothing loaded
+//! from disk is served without revalidation. Shapes must fit the live
+//! workload, the sensitivity constraint `Δ(L) ≤ 1` is re-checked, and the
+//! residual is always recomputed against the live workload — a stale or
+//! tampered file becomes a visible error or a huge residual, never a
+//! silent wrong answer. Version-mismatched files are rejected with a
+//! typed error and simply recompiled over.
+//!
+//! The store is bounded: beyond `capacity` files, the least recently
+//! written entries (by mtime) are evicted at save time.
+
+use crate::decomposition::WorkloadDecomposition;
+use crate::engine::registry::MechanismKind;
+use lrm_linalg::Matrix;
+use lrm_workload::Workload;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"LRMS";
+const VERSION: u32 = 1;
+
+/// Why a store file could not be used. Internal: the engine maps every
+/// variant to "treat as miss and recompile", but tests distinguish them.
+#[derive(Debug)]
+pub(crate) enum StoreError {
+    /// I/O or truncation.
+    Io(std::io::Error),
+    /// Not an `LRMS` file at all.
+    BadMagic,
+    /// An `LRMS` file from an incompatible format revision.
+    VersionMismatch { found: u32 },
+    /// Header or factors are inconsistent with the live workload.
+    Invalid(String),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not an LRMS strategy file (bad magic)"),
+            StoreError::VersionMismatch { found } => {
+                write!(f, "unsupported LRMS version {found} (expected {VERSION})")
+            }
+            StoreError::Invalid(why) => write!(f, "invalid LRMS entry: {why}"),
+        }
+    }
+}
+
+/// The header of one stored strategy — everything the similarity index
+/// needs, with the factor matrices left on disk.
+#[derive(Debug, Clone)]
+pub(crate) struct StoredHeader {
+    pub fingerprint: u64,
+    pub digest: u64,
+    pub kind: MechanismKind,
+    pub class: String,
+    pub m: usize,
+    pub n: usize,
+    pub rank: usize,
+    /// Outer ALM iterations of the compile that produced this entry — the
+    /// baseline a warm start's savings are quoted against.
+    pub cold_iterations: usize,
+    pub profile: Vec<f64>,
+}
+
+/// A bounded directory of `LRMS` files addressed by
+/// `(fingerprint, kind, options digest)`.
+#[derive(Debug)]
+pub(crate) struct StrategyStore {
+    dir: PathBuf,
+    capacity: usize,
+}
+
+impl StrategyStore {
+    pub fn open(dir: PathBuf, capacity: usize) -> Self {
+        Self { dir, capacity }
+    }
+
+    pub fn path_for(&self, fingerprint: u64, kind: MechanismKind, digest: u64) -> PathBuf {
+        self.dir.join(format!(
+            "{fingerprint:016x}-{:02x}-{digest:016x}.lrms",
+            kind.store_tag()
+        ))
+    }
+
+    /// Header-only scan of every readable `LRMS` file — what a restarted
+    /// engine rebuilds its similarity index from. Unreadable, corrupt, or
+    /// version-mismatched files are skipped, not errors: the store is a
+    /// cache, and the worst case is a cold compile.
+    pub fn scan(&self) -> Vec<(StoredHeader, PathBuf)> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut found = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("lrms") {
+                continue;
+            }
+            if let Ok(header) = read_header_only(&path) {
+                found.push((header, path));
+            }
+        }
+        found
+    }
+
+    /// Loads and revalidates the factors behind `path` for serving:
+    /// header must match the live workload's shape, `Δ(L) ≤ 1` must hold,
+    /// and the residual is recomputed fresh.
+    pub fn load_exact(
+        &self,
+        path: &Path,
+        workload: &Workload,
+    ) -> Result<(WorkloadDecomposition, StoredHeader), StoreError> {
+        let file = File::open(path)?;
+        let mut input = BufReader::new(file);
+        let header = read_header(&mut input)?;
+        let b = Matrix::read_binary(&mut input)
+            .map_err(|e| StoreError::Invalid(format!("bad B block: {e}")))?;
+        let l = Matrix::read_binary(&mut input)
+            .map_err(|e| StoreError::Invalid(format!("bad L block: {e}")))?;
+        let (m, n) = (workload.num_queries(), workload.domain_size());
+        if b.rows() != m || l.cols() != n || b.cols() != l.rows() || l.rows() != header.rank {
+            return Err(StoreError::Invalid(format!(
+                "stored factors B {}x{}, L {}x{} do not fit a {m}x{n} workload",
+                b.rows(),
+                b.cols(),
+                l.rows(),
+                l.cols()
+            )));
+        }
+        let sensitivity = l.max_col_abs_sum();
+        if sensitivity > 1.0 + 1e-6 {
+            return Err(StoreError::Invalid(format!(
+                "stored L violates the sensitivity constraint: Δ = {sensitivity}"
+            )));
+        }
+        let residual = crate::decomposition::residual_of(workload.op().as_ref(), &b, &l);
+        Ok((WorkloadDecomposition::from_parts(b, l, residual), header))
+    }
+
+    /// Loads the factors behind `path` as a warm-start *seed*: only basic
+    /// well-formedness is checked here, because a seed is never served —
+    /// the solver re-projects, refits, and re-converges under the full
+    /// contract regardless of what the seed contains.
+    pub fn load_seed(&self, path: &Path) -> Result<(Matrix, Matrix), StoreError> {
+        let file = File::open(path)?;
+        let mut input = BufReader::new(file);
+        let _header = read_header(&mut input)?;
+        let b = Matrix::read_binary(&mut input)
+            .map_err(|e| StoreError::Invalid(format!("bad B block: {e}")))?;
+        let l = Matrix::read_binary(&mut input)
+            .map_err(|e| StoreError::Invalid(format!("bad L block: {e}")))?;
+        if b.cols() != l.rows() {
+            return Err(StoreError::Invalid(
+                "stored factors do not share an inner dimension".into(),
+            ));
+        }
+        if b.as_slice().iter().any(|x| !x.is_finite())
+            || l.as_slice().iter().any(|x| !x.is_finite())
+        {
+            return Err(StoreError::Invalid("stored factors are not finite".into()));
+        }
+        Ok((b, l))
+    }
+
+    /// Best-effort save. Returns the number of old entries evicted to stay
+    /// under capacity; a full disk or read-only directory must not fail
+    /// the compile that produced the factors.
+    pub fn save(&self, header: &StoredHeader, decomposition: &WorkloadDecomposition) -> u64 {
+        let path = self.path_for(header.fingerprint, header.kind, header.digest);
+        let _ = std::fs::create_dir_all(&self.dir);
+        let write = (|| -> std::io::Result<()> {
+            let file = File::create(&path)?;
+            let mut out = BufWriter::new(file);
+            write_header(&mut out, header)?;
+            decomposition.b().write_binary(&mut out)?;
+            decomposition.l().write_binary(&mut out)?;
+            out.flush()
+        })();
+        if write.is_err() {
+            let _ = std::fs::remove_file(&path);
+            return 0;
+        }
+        self.evict_beyond_capacity(&path)
+    }
+
+    /// Removes oldest-mtime entries until at most `capacity` remain,
+    /// never evicting `just_written`. Returns how many were removed.
+    fn evict_beyond_capacity(&self, just_written: &Path) -> u64 {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf)> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("lrms") || path == just_written
+                {
+                    return None;
+                }
+                let mtime = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                Some((mtime, path))
+            })
+            .collect();
+        // +1 for the file just written, which always survives.
+        if files.len() < self.capacity {
+            return 0;
+        }
+        files.sort();
+        let excess = files.len() + 1 - self.capacity;
+        let mut evicted = 0;
+        for (_, path) in files.into_iter().take(excess) {
+            if std::fs::remove_file(path).is_ok() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+fn write_header(out: &mut impl Write, h: &StoredHeader) -> std::io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&h.fingerprint.to_le_bytes())?;
+    out.write_all(&h.digest.to_le_bytes())?;
+    out.write_all(&[h.kind.store_tag()])?;
+    let class = h.class.as_bytes();
+    out.write_all(&[u8::try_from(class.len()).unwrap_or(u8::MAX)])?;
+    out.write_all(&class[..class.len().min(u8::MAX as usize)])?;
+    for dim in [h.m, h.n, h.rank, h.cold_iterations] {
+        out.write_all(&(dim as u64).to_le_bytes())?;
+    }
+    out.write_all(&(h.profile.len() as u16).to_le_bytes())?;
+    for &p in &h.profile {
+        out.write_all(&p.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_header(input: &mut impl Read) -> Result<StoredHeader, StoreError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let mut word4 = [0u8; 4];
+    input.read_exact(&mut word4)?;
+    let version = u32::from_le_bytes(word4);
+    if version != VERSION {
+        return Err(StoreError::VersionMismatch { found: version });
+    }
+    let mut word8 = [0u8; 8];
+    input.read_exact(&mut word8)?;
+    let fingerprint = u64::from_le_bytes(word8);
+    input.read_exact(&mut word8)?;
+    let digest = u64::from_le_bytes(word8);
+    let mut byte = [0u8; 1];
+    input.read_exact(&mut byte)?;
+    let kind = MechanismKind::from_store_tag(byte[0])
+        .ok_or_else(|| StoreError::Invalid(format!("unknown mechanism tag {}", byte[0])))?;
+    input.read_exact(&mut byte)?;
+    let mut class_bytes = vec![0u8; byte[0] as usize];
+    input.read_exact(&mut class_bytes)?;
+    let class = String::from_utf8(class_bytes)
+        .map_err(|_| StoreError::Invalid("class tag is not UTF-8".into()))?;
+    let mut dims = [0usize; 4];
+    for dim in &mut dims {
+        input.read_exact(&mut word8)?;
+        *dim = u64::from_le_bytes(word8) as usize;
+    }
+    let [m, n, rank, cold_iterations] = dims;
+    let mut word2 = [0u8; 2];
+    input.read_exact(&mut word2)?;
+    let profile_len = u16::from_le_bytes(word2) as usize;
+    if profile_len > 4096 {
+        return Err(StoreError::Invalid(format!(
+            "implausible profile length {profile_len}"
+        )));
+    }
+    let mut profile = Vec::with_capacity(profile_len);
+    for _ in 0..profile_len {
+        input.read_exact(&mut word8)?;
+        profile.push(f64::from_le_bytes(word8));
+    }
+    if profile.iter().any(|p| !p.is_finite()) {
+        return Err(StoreError::Invalid("profile is not finite".into()));
+    }
+    Ok(StoredHeader {
+        fingerprint,
+        digest,
+        kind,
+        class,
+        m,
+        n,
+        rank,
+        cold_iterations,
+        profile,
+    })
+}
+
+fn read_header_only(path: &Path) -> Result<StoredHeader, StoreError> {
+    let file = File::open(path)?;
+    let mut input = BufReader::new(file);
+    read_header(&mut input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::{DecompositionConfig, WorkloadDecomposition};
+    use lrm_workload::generators::{WRange, WorkloadGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lrm_store_{name}_{}", std::process::id()))
+    }
+
+    fn sample() -> (Workload, WorkloadDecomposition, StoredHeader) {
+        let w = WRange
+            .generate(6, 12, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let d = WorkloadDecomposition::compute(&w, &DecompositionConfig::default()).unwrap();
+        let header = StoredHeader {
+            fingerprint: w.fingerprint().as_u64(),
+            digest: 0xABCD,
+            kind: MechanismKind::Lrm,
+            class: "dense".into(),
+            m: 6,
+            n: 12,
+            rank: d.rank(),
+            cold_iterations: d.stats().outer_iterations,
+            profile: vec![0.25, 0.25, 0.25, 0.25],
+        };
+        (w, d, header)
+    }
+
+    #[test]
+    fn header_round_trips_through_scan() {
+        let dir = tmp("scan");
+        let store = StrategyStore::open(dir.clone(), 16);
+        let (_, d, header) = sample();
+        assert_eq!(store.save(&header, &d), 0);
+
+        let scanned = store.scan();
+        assert_eq!(scanned.len(), 1);
+        let (h, path) = &scanned[0];
+        assert_eq!(h.fingerprint, header.fingerprint);
+        assert_eq!(h.digest, header.digest);
+        assert_eq!(h.kind, MechanismKind::Lrm);
+        assert_eq!(h.class, "dense");
+        assert_eq!((h.m, h.n, h.rank), (header.m, header.n, header.rank));
+        assert_eq!(h.cold_iterations, header.cold_iterations);
+        assert_eq!(h.profile, header.profile);
+        assert_eq!(
+            path,
+            &store.path_for(header.fingerprint, header.kind, header.digest)
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn exact_load_revalidates_and_version_mismatch_is_typed() {
+        let dir = tmp("reload");
+        let store = StrategyStore::open(dir.clone(), 16);
+        let (w, d, header) = sample();
+        store.save(&header, &d);
+        let path = store.path_for(header.fingerprint, header.kind, header.digest);
+
+        let (loaded, h) = store.load_exact(&path, &w).unwrap();
+        assert_eq!(loaded.rank(), d.rank());
+        assert_eq!(h.cold_iterations, header.cold_iterations);
+        assert!((loaded.stats().residual - d.stats().residual).abs() < 1e-9);
+
+        // Bump the on-disk version: the rejection is typed, and the scan
+        // skips the file instead of erroring.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        match store.load_exact(&path, &w) {
+            Err(StoreError::VersionMismatch { found: 99 }) => {}
+            other => panic!("expected a version mismatch, got {other:?}"),
+        }
+        assert!(store.scan().is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn eviction_keeps_the_newest_entries() {
+        let dir = tmp("evict");
+        let store = StrategyStore::open(dir.clone(), 2);
+        let (_, d, header) = sample();
+        let mut evicted_total = 0;
+        for i in 0..4u64 {
+            let h = StoredHeader {
+                fingerprint: i,
+                ..header.clone()
+            };
+            // Distinct mtimes so the LRU order is unambiguous.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            evicted_total += store.save(&h, &d);
+        }
+        assert_eq!(evicted_total, 2);
+        let left: Vec<u64> = store.scan().iter().map(|(h, _)| h.fingerprint).collect();
+        assert_eq!(left.len(), 2);
+        assert!(left.contains(&3), "newest entry must survive, got {left:?}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn seed_load_checks_only_well_formedness() {
+        let dir = tmp("seed");
+        let store = StrategyStore::open(dir.clone(), 16);
+        let (_, d, header) = sample();
+        store.save(&header, &d);
+        let path = store.path_for(header.fingerprint, header.kind, header.digest);
+        let (b, l) = store.load_seed(&path).unwrap();
+        assert_eq!(b.cols(), l.rows());
+        assert_eq!(l.cols(), 12);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

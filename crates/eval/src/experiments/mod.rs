@@ -12,6 +12,7 @@ pub mod fig9;
 pub mod scaling;
 pub mod serving;
 mod sweep;
+pub mod warm_start;
 
 use crate::params;
 use lrm_core::decomposition::{DecompositionConfig, TargetRank};

@@ -89,6 +89,25 @@ impl AlmState {
         })
     }
 
+    /// State resuming from a caller-supplied multiplier instead of
+    /// `π(0) = 0` — the ALM warm start. With exact inner solves the
+    /// trajectory depends only on `(β, π)`, so reusing a seed's KKT
+    /// multiplier (for the paper's Lagrangian, `π` solves `B = π·Lᵀ` at
+    /// the optimum) is what actually resumes a previous run; a `(B, L)`
+    /// seed alone would be forgotten by the first β₀ subproblem solve.
+    pub fn with_multiplier(multiplier: Matrix, schedule: AlmSchedule) -> Result<Self, String> {
+        schedule.validate()?;
+        if multiplier.as_slice().iter().any(|x| !x.is_finite()) {
+            return Err("warm-start multiplier must be finite".into());
+        }
+        Ok(Self {
+            beta: schedule.beta0,
+            multiplier,
+            iteration: 1,
+            schedule,
+        })
+    }
+
     /// Current penalty β.
     pub fn beta(&self) -> f64 {
         self.beta

@@ -18,15 +18,21 @@
 //! * [`lse`] — log-sum-exp smoothing of `max(·)` with the numerically
 //!   robust gradient from **Appendix B** (after d'Aspremont et al., ref
 //!   \[7\]).
+//! * [`warm`] — warm-start seeds for Algorithm 1: a cached `(B, L)`
+//!   decomposition re-projected onto a (possibly different) target rank
+//!   replaces the Lemma 3 SVD initializer when a similar workload has
+//!   already been solved.
 
 pub mod alm;
 pub mod l1;
 pub mod lse;
 pub mod nesterov;
 pub mod spg;
+pub mod warm;
 
 pub use alm::{AlmSchedule, AlmState};
 pub use l1::{project_columns_l1, project_l1_ball};
 pub use lse::SmoothMax;
 pub use nesterov::{nesterov_projected, NesterovConfig, NesterovResult};
 pub use spg::{spg_minimize, SpgConfig, SpgResult};
+pub use warm::WarmStart;

@@ -20,6 +20,7 @@ use crate::spec::{PreparedRows, PreparedSpec, SpecClass};
 use lrm_dp::Epsilon;
 use lrm_linalg::operator::CsrOp;
 use lrm_workload::{Workload, WorkloadError};
+use std::collections::HashSet;
 use std::ops::Range;
 
 /// What makes two submissions coalescible. `eps` enters via its IEEE-754
@@ -40,6 +41,69 @@ impl BatchKey {
             eps_bits: eps.value().to_bits(),
         }
     }
+}
+
+/// Running upper-bound estimate of the combined rank of an open batch,
+/// used by the scheduler's rank-growth close.
+///
+/// Interval rows are differences of prefix indicators, so the combined
+/// row space is spanned by the prefix vectors at the distinct boundary
+/// points `{lo, hi+1}` the batch has seen — the size of that set bounds
+/// the combined rank. CSR batches are bounded by their number of
+/// *distinct* rows instead (duplicate rows add nothing), tracked by row
+/// hash. Either way, a member that contributes no new element cannot
+/// raise the rank of the combined workload: the batch's shared structure
+/// is saturated, and further members only add window latency and
+/// fingerprint churn. Hash collisions on the sparse side can only
+/// under-estimate, which closes a batch early — never a correctness
+/// issue, members are answered identically either way.
+#[derive(Debug, Default)]
+pub(crate) struct RankTracker {
+    elements: HashSet<u64>,
+}
+
+impl RankTracker {
+    /// Folds one member's rows into the estimate; returns whether the
+    /// estimated combined rank grew.
+    pub fn admit(&mut self, spec: &PreparedSpec) -> bool {
+        let mut grew = false;
+        match spec.rows() {
+            PreparedRows::Intervals(rows) => {
+                for &(lo, hi) in rows {
+                    grew |= self.elements.insert(lo as u64);
+                    grew |= self.elements.insert(hi as u64 + 1);
+                }
+            }
+            PreparedRows::Sparse(rows) => {
+                for row in rows {
+                    grew |= self.elements.insert(hash_sparse_row(row));
+                }
+            }
+        }
+        grew
+    }
+
+    /// The current rank upper bound.
+    #[cfg(test)]
+    pub fn estimate(&self) -> usize {
+        self.elements.len()
+    }
+}
+
+/// FNV-1a over a sparse row's `(cell, weight)` entries.
+fn hash_sparse_row(row: &[(usize, f64)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for &(cell, weight) in row {
+        fold(cell as u64);
+        fold(weight.to_bits());
+    }
+    h
 }
 
 /// Concatenates the members' rows (in submission order) into one
@@ -147,6 +211,60 @@ mod tests {
         let wb = b.to_workload().unwrap().answer(&x).unwrap();
         assert_eq!(&combined[spans[0].clone()], &wa[..]);
         assert_eq!(&combined[spans[1].clone()], &wb[..]);
+    }
+
+    #[test]
+    fn rank_tracker_saturates_on_shared_boundaries() {
+        let mut tracker = RankTracker::default();
+        let a = prepared(QuerySpec::Ranges {
+            attr: 0,
+            ranges: vec![(0.0, 16.0), (16.0, 32.0)],
+        });
+        assert!(tracker.admit(&a), "first member always grows the estimate");
+        assert_eq!(tracker.estimate(), 3); // boundary points {0, 16, 32}
+
+        // Prefixes over the same grid re-use those boundaries exactly.
+        let b = prepared(QuerySpec::Prefixes {
+            attr: 0,
+            thresholds: vec![16.0, 32.0],
+        });
+        assert!(!tracker.admit(&b), "no new boundary points, no rank growth");
+        assert_eq!(tracker.estimate(), 3);
+
+        // A member off the grid grows the estimate again.
+        let c = prepared(QuerySpec::Ranges {
+            attr: 0,
+            ranges: vec![(8.0, 24.0)],
+        });
+        assert!(tracker.admit(&c));
+        assert_eq!(tracker.estimate(), 5); // + {8, 24}
+    }
+
+    #[test]
+    fn rank_tracker_counts_distinct_sparse_rows() {
+        let two_d = Schema::product(vec![
+            Attribute::new("x", 0.0, 1.0, 4).unwrap(),
+            Attribute::new("y", 0.0, 1.0, 3).unwrap(),
+        ])
+        .unwrap();
+        let marginal = QuerySpec::Marginal { attr: 1 }.compile(&two_d).unwrap();
+        let mut tracker = RankTracker::default();
+        assert!(tracker.admit(&marginal));
+        assert_eq!(tracker.estimate(), 3); // three distinct strided rows
+
+        // The identical spec again: pure duplicates, zero growth.
+        assert!(!tracker.admit(&marginal));
+        assert_eq!(tracker.estimate(), 3);
+
+        // A different inner-attribute slice is a new row.
+        let slice = QuerySpec::Ranges {
+            attr: 1,
+            ranges: vec![(0.0, 0.7)],
+        }
+        .compile(&two_d)
+        .unwrap();
+        assert!(tracker.admit(&slice));
+        assert_eq!(tracker.estimate(), 4);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The background compile farm: popularity-ranked precompilation of
+//! shapes observed in the admission stream.
+//!
+//! Strategy compilation is the expensive step of the whole runtime —
+//! seconds per cold shape against microseconds per answer — and real
+//! traffic repeats shapes. The scheduler records every admitted
+//! submission's *standalone* shape here; idle farm workers drain the
+//! queue most-popular-first and push each shape through the shared
+//! [`Engine`](lrm_core::engine::Engine) cache (exact hits, similarity
+//! warm starts, and the cross-restart store all apply), so a hot shape is
+//! compiled — or at least warm-started — before a tenant waits on it.
+//!
+//! The farm is bounded two ways: a configurable **compile budget** (total
+//! wall-clock the farm may spend compiling per [`serve`] run) and the
+//! queue itself (each distinct shape is compiled at most once per run).
+//! Farm compiles touch only the strategy cache — they never answer, never
+//! draw noise, and never debit a ledger — so the privacy story is
+//! untouched: precompiling a workload is data-independent preprocessing.
+//!
+//! [`serve`]: crate::server::Server::serve
+
+use crate::spec::{PreparedRows, PreparedSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Shared farm state for one `serve` run: the popularity-ranked shape
+/// queue plus the budget and shutdown accounting.
+#[derive(Debug)]
+pub(crate) struct FarmState {
+    /// Total compile wall-clock the farm may spend this run.
+    budget: Duration,
+    queue: Mutex<FarmQueue>,
+    /// Microseconds of compile time spent so far.
+    spent_us: AtomicU64,
+    /// Set when the admission stream has ended: the farm drains what it
+    /// can afford and exits.
+    input_done: AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct FarmQueue {
+    /// Shapes waiting to be compiled, keyed by shape hash.
+    pending: HashMap<u64, PendingShape>,
+    /// Shapes already claimed this run (compiled or in flight): observing
+    /// them again only matters for popularity, which they no longer need.
+    claimed: std::collections::HashSet<u64>,
+}
+
+#[derive(Debug)]
+struct PendingShape {
+    spec: PreparedSpec,
+    hits: u64,
+    /// Arrival order, the tie-breaker under equal popularity (keeps the
+    /// drain order deterministic).
+    seq: u64,
+}
+
+/// What a farm worker gets when it asks for work.
+pub(crate) enum Claim {
+    /// A shape to compile (the most popular pending one).
+    Shape(PreparedSpec),
+    /// Nothing pending right now; poll again unless the input is done.
+    Empty,
+    /// The compile budget is spent — this worker is finished for the run.
+    Exhausted,
+}
+
+impl FarmState {
+    pub fn new(budget: Duration) -> Self {
+        Self {
+            budget,
+            queue: Mutex::new(FarmQueue::default()),
+            spent_us: AtomicU64::new(0),
+            input_done: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one admitted submission's shape. Returns `true` when the
+    /// shape is new to this run (first observation).
+    pub fn observe(&self, spec: &PreparedSpec) -> bool {
+        let key = shape_hash(spec);
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.claimed.contains(&key) {
+            return false;
+        }
+        let seq = (q.pending.len() + q.claimed.len()) as u64;
+        match q.pending.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().hits += 1;
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(PendingShape {
+                    spec: spec.clone(),
+                    hits: 1,
+                    seq,
+                });
+                true
+            }
+        }
+    }
+
+    /// Claims the most popular pending shape for compilation.
+    pub fn claim(&self) -> Claim {
+        if Duration::from_micros(self.spent_us.load(Ordering::Relaxed)) >= self.budget {
+            return Claim::Exhausted;
+        }
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let best = q
+            .pending
+            .iter()
+            .max_by_key(|(_, s)| (s.hits, std::cmp::Reverse(s.seq)))
+            .map(|(&k, _)| k);
+        match best {
+            Some(key) => {
+                let shape = q.pending.remove(&key).expect("key just listed");
+                q.claimed.insert(key);
+                Claim::Shape(shape.spec)
+            }
+            None => Claim::Empty,
+        }
+    }
+
+    /// Adds one compile's wall-clock to the budget accounting.
+    pub fn record_spent(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.spent_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Signals that no further observations are coming (the scheduler has
+    /// shut down): workers drain the remaining queue under the budget and
+    /// exit.
+    pub fn finish_input(&self) {
+        self.input_done.store(true, Ordering::Release);
+    }
+
+    /// Whether the admission stream has ended.
+    pub fn input_done(&self) -> bool {
+        self.input_done.load(Ordering::Acquire)
+    }
+}
+
+/// FNV-1a over a prepared spec's domain and rows: the farm's shape
+/// identity. Two specs with identical rows over the same domain are one
+/// shape however they were phrased.
+fn shape_hash(spec: &PreparedSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    fold(spec.domain_size() as u64);
+    match spec.rows() {
+        PreparedRows::Intervals(rows) => {
+            fold(0);
+            for &(lo, hi) in rows {
+                fold(lo as u64);
+                fold(hi as u64);
+            }
+        }
+        PreparedRows::Sparse(rows) => {
+            fold(1);
+            for row in rows {
+                fold(row.len() as u64);
+                for &(cell, weight) in row {
+                    fold(cell as u64);
+                    fold(weight.to_bits());
+                }
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::QuerySpec;
+    use lrm_workload::{Attribute, Schema};
+
+    fn prep(spec: QuerySpec) -> PreparedSpec {
+        let schema = Schema::single(Attribute::new("v", 0.0, 32.0, 32).unwrap());
+        spec.compile(&schema).unwrap()
+    }
+
+    #[test]
+    fn popularity_orders_the_drain() {
+        let farm = FarmState::new(Duration::from_secs(10));
+        let rare = prep(QuerySpec::Total);
+        let hot = prep(QuerySpec::Prefixes {
+            attr: 0,
+            thresholds: vec![8.0, 16.0],
+        });
+        assert!(farm.observe(&rare));
+        assert!(farm.observe(&hot));
+        assert!(!farm.observe(&hot)); // popularity bump, not a new shape
+        assert!(!farm.observe(&hot));
+
+        match farm.claim() {
+            Claim::Shape(s) => assert_eq!(&s, &hot),
+            _ => panic!("expected the hot shape first"),
+        }
+        match farm.claim() {
+            Claim::Shape(s) => assert_eq!(&s, &rare),
+            _ => panic!("expected the rare shape second"),
+        }
+        assert!(matches!(farm.claim(), Claim::Empty));
+
+        // A claimed shape observed again is not re-enqueued.
+        assert!(!farm.observe(&hot));
+        assert!(matches!(farm.claim(), Claim::Empty));
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_claims() {
+        let farm = FarmState::new(Duration::from_millis(5));
+        farm.observe(&prep(QuerySpec::Total));
+        farm.record_spent(Duration::from_millis(6));
+        assert!(matches!(farm.claim(), Claim::Exhausted));
+    }
+
+    #[test]
+    fn input_done_flag_round_trips() {
+        let farm = FarmState::new(Duration::from_secs(1));
+        assert!(!farm.input_done());
+        farm.finish_input();
+        assert!(farm.input_done());
+    }
+}

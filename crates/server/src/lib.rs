@@ -46,6 +46,7 @@
 //! ```
 
 pub mod coalesce;
+mod farm;
 pub mod metrics;
 pub mod server;
 pub mod spec;

@@ -27,6 +27,10 @@ pub(crate) struct ServerMetrics {
     pub max_occupancy: AtomicU64,
     pub queue_depth: AtomicU64,
     pub peak_queue_depth: AtomicU64,
+    pub rank_closed_batches: AtomicU64,
+    pub farm_shapes: AtomicU64,
+    pub farm_precompiled: AtomicU64,
+    pub farm_compile_us: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -88,6 +92,10 @@ impl ServerMetrics {
             max_occupancy: self.max_occupancy.load(Ordering::Relaxed),
             batch_rows: self.batch_rows.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            rank_closed_batches: self.rank_closed_batches.load(Ordering::Relaxed),
+            farm_shapes: self.farm_shapes.load(Ordering::Relaxed),
+            farm_precompiled: self.farm_precompiled.load(Ordering::Relaxed),
+            farm_compile_time: Duration::from_micros(self.farm_compile_us.load(Ordering::Relaxed)),
             p50_latency: percentile(&latencies, 0.50),
             p99_latency: percentile(&latencies, 0.99),
         }
@@ -132,6 +140,17 @@ pub struct MetricsSnapshot {
     pub batch_rows: u64,
     /// Peak submitted-but-unanswered requests.
     pub peak_queue_depth: u64,
+    /// Batches closed by the rank-growth rule (the estimated combined
+    /// rank stopped growing) rather than by the cap, the window, or
+    /// shutdown.
+    pub rank_closed_batches: u64,
+    /// Distinct shapes the compile farm observed in the admission stream.
+    pub farm_shapes: u64,
+    /// Shapes the farm pushed through the engine cache.
+    pub farm_precompiled: u64,
+    /// Total wall-clock the farm spent compiling (bounded by the
+    /// configured compile budget).
+    pub farm_compile_time: Duration,
     /// Median submit→response latency.
     pub p50_latency: Duration,
     /// 99th-percentile submit→response latency.

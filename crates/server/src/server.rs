@@ -11,8 +11,13 @@
 //! 3. **coalesce** — compatible submissions (same schema, structural
 //!    class, and ε — see [`coalesce`](crate::coalesce)) arriving within
 //!    the bounded window are collected into one open batch; the batch
-//!    closes when the window elapses or `max_batch` is reached. A lone
-//!    spec falls through as a single-request batch.
+//!    closes when its estimated combined rank stops growing (see
+//!    [`ServerBuilder::rank_close`]), when the window elapses, or at the
+//!    `max_batch` ceiling. A lone spec falls through as a single-request
+//!    batch. The scheduler also feeds every admitted shape to the
+//!    background compile farm (see
+//!    [`ServerBuilder::precompile_workers`]), which precompiles popular
+//!    shapes through the engine cache while workers are otherwise idle.
 //! 4. **compile / cache** — a worker concatenates the batch into one
 //!    combined structured workload and compiles it through the shared
 //!    [`Engine`]: repeated workloads are O(1) cache hits, and the whole
@@ -31,7 +36,8 @@
 //! SpMM kernels in `lrm-linalg`): no async runtime, no unbounded queues
 //! that outlive [`Server::serve`].
 
-use crate::coalesce::{combine, BatchKey};
+use crate::coalesce::{combine, BatchKey, RankTracker};
+use crate::farm::{Claim, FarmState};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::spec::{PreparedSpec, QuerySpec, SpecError};
 use crate::tenants::{AdmissionError, TenantLedgers, TenantSpend};
@@ -57,7 +63,10 @@ pub struct ServerBuilder {
     options: CompileOptions,
     coalesce_window: Duration,
     max_batch: usize,
+    rank_close: bool,
     workers: usize,
+    precompile_workers: usize,
+    compile_budget: Duration,
     seed: u64,
 }
 
@@ -78,7 +87,10 @@ impl ServerBuilder {
             options: CompileOptions::default(),
             coalesce_window: Duration::from_millis(10),
             max_batch: 8,
+            rank_close: true,
             workers: 2,
+            precompile_workers: 0,
+            compile_budget: Duration::from_secs(2),
             seed: entropy_seed(),
         }
     }
@@ -119,9 +131,47 @@ impl ServerBuilder {
         self
     }
 
+    /// Whether the scheduler closes a batch as soon as its estimated
+    /// combined rank stops growing (default `true`).
+    ///
+    /// An open batch tracks an upper bound on the rank of its combined
+    /// workload — distinct interval boundary points, or distinct CSR
+    /// rows. A member that adds nothing to that bound cannot change the
+    /// strategy the batch compiles to: the batch's shared structure is
+    /// saturated, and holding it open only adds window latency and makes
+    /// the combined fingerprint less likely to repeat (fewer exact cache
+    /// hits). Closing at saturation replaces `max_batch` as the primary
+    /// close trigger — the cap stays as a hard ceiling — and fixes the
+    /// measured BENCH_5 throughput inversion past `max_batch` 16 at
+    /// n = 256.
+    pub fn rank_close(mut self, enabled: bool) -> Self {
+        self.rank_close = enabled;
+        self
+    }
+
     /// Worker threads answering batches (default 2).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Background compile-farm threads (default 0: farm off). Farm
+    /// workers drain a popularity-ranked queue of the standalone shapes
+    /// observed in the admission stream and precompile each through the
+    /// shared engine cache — exact hits, similarity warm starts, and the
+    /// cross-restart strategy store all apply — so hot shapes are warm
+    /// before a tenant waits on them. Farm compiles never answer, never
+    /// draw noise, and never debit a ledger.
+    pub fn precompile_workers(mut self, workers: usize) -> Self {
+        self.precompile_workers = workers;
+        self
+    }
+
+    /// Total compile wall-clock the farm may spend per [`Server::serve`]
+    /// run (default 2 s). A soft cap: the compile in flight when the
+    /// budget runs out finishes, nothing new starts.
+    pub fn compile_budget(mut self, budget: Duration) -> Self {
+        self.compile_budget = budget;
         self
     }
 
@@ -169,7 +219,10 @@ impl ServerBuilder {
             options: self.options,
             coalesce_window: self.coalesce_window,
             max_batch: self.max_batch,
+            rank_close: self.rank_close,
             workers: self.workers,
+            precompile_workers: self.precompile_workers,
+            compile_budget: self.compile_budget,
             seed: self.seed,
             tenants: TenantLedgers::default(),
             batch_counter: std::sync::atomic::AtomicU64::new(0),
@@ -188,7 +241,10 @@ pub struct Server {
     options: CompileOptions,
     coalesce_window: Duration,
     max_batch: usize,
+    rank_close: bool,
     workers: usize,
+    precompile_workers: usize,
+    compile_budget: Duration,
     seed: u64,
     tenants: TenantLedgers,
     /// Lifetime batch counter. The batch index labels the noise stream
@@ -244,16 +300,21 @@ impl Server {
     /// Returns `f`'s result plus the [`ServerReport`] for the run.
     pub fn serve<R>(&self, f: impl FnOnce(&Client<'_>) -> R) -> (R, ServerReport) {
         let metrics = ServerMetrics::default();
+        let farm = FarmState::new(self.compile_budget);
         let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
         let job_rx = Mutex::new(job_rx);
         let (sub_tx, sub_rx) = mpsc::channel::<Submission>();
 
         let result = std::thread::scope(|s| {
             let m = &metrics;
-            s.spawn(|| self.scheduler_loop(m, sub_rx, job_tx));
+            let farm = &farm;
+            s.spawn(|| self.scheduler_loop(m, farm, sub_rx, job_tx));
             let jobs = &job_rx;
             for _ in 0..self.workers {
                 s.spawn(|| self.worker_loop(m, jobs));
+            }
+            for _ in 0..self.precompile_workers {
+                s.spawn(|| self.farm_loop(m, farm));
             }
             let client = Client {
                 server: self,
@@ -262,8 +323,10 @@ impl Server {
             };
             f(&client)
             // `client` (the last submission sender) drops here: the
-            // scheduler flushes its open batches and exits, the workers
-            // drain the job queue and exit, and the scope joins them all.
+            // scheduler flushes its open batches, signals the farm that
+            // the admission stream is over, and exits; the workers drain
+            // the job queue, the farm drains what its budget affords, and
+            // the scope joins them all.
         });
 
         let report = ServerReport {
@@ -279,6 +342,7 @@ impl Server {
     fn scheduler_loop(
         &self,
         metrics: &ServerMetrics,
+        farm: &FarmState,
         rx: Receiver<Submission>,
         jobs: Sender<BatchJob>,
     ) {
@@ -303,6 +367,11 @@ impl Server {
                         respond(metrics, sub, Err(ServerError::Admission(e)));
                         continue;
                     }
+                    if self.precompile_workers > 0 && farm.observe(&sub.prepared) {
+                        metrics
+                            .farm_shapes
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
                     let key = BatchKey::of(&sub.prepared, sub.eps);
                     let batch = open.entry(key).or_insert_with(|| {
                         let seq = next_seq;
@@ -310,11 +379,25 @@ impl Server {
                         OpenBatch {
                             seq,
                             deadline: Instant::now() + self.coalesce_window,
+                            rank: RankTracker::default(),
                             submissions: Vec::new(),
                         }
                     });
+                    let rank_grew = batch.rank.admit(&sub.prepared);
                     batch.submissions.push(sub);
-                    if batch.submissions.len() >= self.max_batch || self.coalesce_window.is_zero() {
+                    // Rank-growth close: a member that adds no new rank
+                    // element means the batch's shared structure is
+                    // saturated — flush now (the member still rides along
+                    // and shares the noise draw). The cap stays as a hard
+                    // ceiling.
+                    let saturated = self.rank_close && !rank_grew && batch.submissions.len() > 1;
+                    let at_ceiling = batch.submissions.len() >= self.max_batch;
+                    if at_ceiling || saturated || self.coalesce_window.is_zero() {
+                        if saturated && !at_ceiling && !self.coalesce_window.is_zero() {
+                            metrics
+                                .rank_closed_batches
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
                         let batch = open.remove(&key).expect("batch just touched");
                         self.flush(metrics, &jobs, batch);
                     }
@@ -328,6 +411,9 @@ impl Server {
                     for batch in rest {
                         self.flush(metrics, &jobs, batch);
                     }
+                    // No further observations: the farm drains what its
+                    // budget affords and exits.
+                    farm.finish_input();
                     break;
                 }
             }
@@ -390,6 +476,37 @@ impl Server {
             match job {
                 Ok(job) => self.answer_batch(metrics, job),
                 Err(_) => break,
+            }
+        }
+    }
+
+    /// A farm worker: precompile popularity-ranked shapes through the
+    /// engine cache until the queue is drained (after the admission
+    /// stream ends) or the compile budget is spent. Best-effort by
+    /// design: a failed compile is dropped — the serving path will
+    /// surface the same error to the tenant that actually asks.
+    fn farm_loop(&self, metrics: &ServerMetrics, farm: &FarmState) {
+        use std::sync::atomic::Ordering;
+        loop {
+            match farm.claim() {
+                Claim::Shape(prepared) => {
+                    let t0 = Instant::now();
+                    if let Ok(workload) = prepared.to_workload() {
+                        let _ = self
+                            .engine
+                            .compile(&workload, self.mechanism, &self.options);
+                    }
+                    let elapsed = t0.elapsed();
+                    farm.record_spent(elapsed);
+                    metrics.farm_precompiled.fetch_add(1, Ordering::Relaxed);
+                    metrics.farm_compile_us.fetch_add(
+                        elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+                        Ordering::Relaxed,
+                    );
+                }
+                Claim::Empty if farm.input_done() => break,
+                Claim::Empty => std::thread::sleep(Duration::from_micros(500)),
+                Claim::Exhausted => break,
             }
         }
     }
@@ -503,6 +620,8 @@ struct BatchJob {
 struct OpenBatch {
     seq: u64,
     deadline: Instant,
+    /// Running combined-rank estimate for the rank-growth close.
+    rank: RankTracker,
     submissions: Vec<Submission>,
 }
 

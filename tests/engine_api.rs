@@ -114,10 +114,18 @@ fn cache_hits_by_fingerprint_equality() {
     let stats = engine.cache_stats();
     assert_eq!((stats.misses, stats.memory_hits), (1, 1));
 
-    // Different content: a genuine miss.
+    // Different content: never *served* from the cache. The similarity
+    // index may seed the solver from the cached neighbor (WarmStart),
+    // but the strategy search still runs in full — what is ruled out is
+    // a memory hit.
     let miss = engine.compile_default(&other, MechanismKind::Lrm).unwrap();
-    assert_eq!(miss.meta().cache, CacheOutcome::Miss);
-    assert_eq!(engine.cache_stats().misses, 2);
+    assert!(matches!(
+        miss.meta().cache,
+        CacheOutcome::Miss | CacheOutcome::WarmStart
+    ));
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses + stats.warm_hits, 2);
+    assert_eq!(stats.memory_hits, 1);
 
     // Cached strategies answer identically to the original compile.
     let x: Vec<f64> = (0..16).map(|i| (i * 3) as f64).collect();
