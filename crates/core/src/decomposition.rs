@@ -298,6 +298,17 @@ impl WorkloadDecomposition {
         let mut phi_at_first_feasible = f64::INFINITY;
 
         for _outer in 0..config.max_outer_iters {
+            // Cooperative per-batch compile deadline (see
+            // `lrm_opt::deadline`): an over-budget ALM run is abandoned
+            // with a typed error so the serving layer can answer the
+            // batch with a non-iterative fallback at the same ε. Checked
+            // once per outer iteration; the Nesterov inner loop polls the
+            // same token and truncates itself, bounding the overshoot to
+            // roughly one inner alternation.
+            lrm_testing::failpoint!("core::alm::stall");
+            if lrm_opt::deadline::expired() {
+                return Err(CoreError::DeadlineExceeded);
+            }
             let beta = alm.beta();
             let pi = alm.multiplier();
             // Both updates target βW + π. W stays behind the operator; the

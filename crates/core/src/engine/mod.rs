@@ -435,9 +435,41 @@ impl Engine {
                 warm_start,
                 expected_avg_error: cached.expected_avg_error,
                 reference_eps: self.reference_eps,
+                degraded: false,
             },
             mechanism: cached.mechanism,
         }
+    }
+
+    /// [`Engine::compile`] under a cooperative wall-clock budget: the
+    /// iterative solvers poll a thread-local deadline token
+    /// ([`lrm_opt::deadline`]) once per iteration and the compile is
+    /// abandoned with [`CoreError::DeadlineExceeded`] when it expires.
+    ///
+    /// The deadline is an execution constraint, not part of the strategy
+    /// identity — it never enters the cache key, and an abandoned
+    /// compile caches nothing. Cache and store hits return well within
+    /// any realistic budget; only cold/warm ALM runs can be cut off.
+    /// Callers (the serving runtime) are expected to fall back to a
+    /// non-iterative kind such as [`MechanismKind::Laplace`] at the same
+    /// ε and hand the shape to a background farm for recompile.
+    pub fn compile_with_deadline(
+        &self,
+        workload: &Workload,
+        kind: MechanismKind,
+        options: &CompileOptions,
+        budget: std::time::Duration,
+    ) -> Result<CompiledMechanism, CoreError> {
+        lrm_opt::deadline::with_deadline(lrm_opt::deadline::Deadline::after(budget), || {
+            self.compile(workload, kind, options)
+        })
+    }
+
+    /// The strategy-store spill directory this engine persists to, if
+    /// one was configured. The serving layer parks its own durable
+    /// state (e.g. the farm's popularity queue) next to the store.
+    pub fn spill_dir(&self) -> Option<&std::path::Path> {
+        self.cache.spill_dir()
     }
 }
 
@@ -510,6 +542,11 @@ pub struct CompileMeta {
     pub expected_avg_error: f64,
     /// The reference ε the expected error is quoted at.
     pub reference_eps: Epsilon,
+    /// Whether this strategy is a degraded-mode stand-in: the requested
+    /// kind blew its compile deadline and a guaranteed-fast fallback
+    /// answered instead — same ε, correct privacy accounting, higher
+    /// error. Set by [`CompiledMechanism::mark_degraded`].
+    pub degraded: bool,
 }
 
 /// A compiled strategy plus its [`CompileMeta`].
@@ -533,6 +570,14 @@ impl CompiledMechanism {
     /// ε guarantee.
     pub fn session(&self, total: Epsilon) -> Session {
         Session::open(self, total)
+    }
+
+    /// Marks this strategy as a degraded-mode stand-in for a kind whose
+    /// compile blew its deadline (see [`CompileMeta::degraded`]). Only
+    /// the metadata changes; privacy accounting is untouched.
+    pub fn mark_degraded(mut self) -> Self {
+        self.meta.degraded = true;
+        self
     }
 
     pub(crate) fn shared_mechanism(&self) -> Arc<dyn Mechanism + Send + Sync> {
@@ -607,6 +652,53 @@ mod tests {
 
         // Same strategy object, not a recompile.
         assert!(Arc::ptr_eq(&first.mechanism, &second.mechanism));
+    }
+
+    #[test]
+    fn expired_deadline_abandons_iterative_compiles_only() {
+        let engine = Engine::builder().build();
+        let w = workload();
+
+        // A zero budget is expired before the first ALM outer iteration.
+        let err = engine
+            .compile_with_deadline(
+                &w,
+                MechanismKind::Lrm,
+                engine.default_options(),
+                std::time::Duration::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, CoreError::DeadlineExceeded);
+        // An abandoned compile caches nothing.
+        assert_eq!(engine.cache_stats().entries, 0);
+
+        // Non-iterative kinds never poll the deadline.
+        let fallback = engine
+            .compile_with_deadline(
+                &w,
+                MechanismKind::Laplace,
+                engine.default_options(),
+                std::time::Duration::ZERO,
+            )
+            .unwrap()
+            .mark_degraded();
+        assert!(fallback.meta().degraded);
+        assert_eq!(fallback.meta().label, "LM");
+
+        // A generous budget compiles normally, unmarked.
+        let full = engine
+            .compile_with_deadline(
+                &w,
+                MechanismKind::Lrm,
+                engine.default_options(),
+                std::time::Duration::from_secs(600),
+            )
+            .unwrap();
+        assert!(!full.meta().degraded);
+        // The deadline is not part of the cache identity: a plain
+        // compile afterwards is a memory hit.
+        let again = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(again.meta().cache, CacheOutcome::MemoryHit);
     }
 
     #[test]

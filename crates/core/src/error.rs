@@ -29,6 +29,10 @@ pub enum CoreError {
         /// The underlying I/O error (shared so `CoreError` stays `Clone`).
         source: Arc<std::io::Error>,
     },
+    /// An iterative compile was abandoned because its cooperative
+    /// deadline ([`lrm_opt::deadline`]) expired; the caller should fall
+    /// back to a non-iterative strategy at the same ε.
+    DeadlineExceeded,
 }
 
 impl CoreError {
@@ -53,6 +57,9 @@ impl fmt::Display for CoreError {
             CoreError::Dp(e) => write!(f, "privacy parameter rejected: {e}"),
             CoreError::Io { path, source } => {
                 write!(f, "I/O failure on {}: {source}", path.display())
+            }
+            CoreError::DeadlineExceeded => {
+                write!(f, "compile abandoned: cooperative deadline expired")
             }
         }
     }
@@ -96,6 +103,7 @@ impl PartialEq for CoreError {
                     source: s2,
                 },
             ) => p1 == p2 && s1.kind() == s2.kind(),
+            (CoreError::DeadlineExceeded, CoreError::DeadlineExceeded) => true,
             _ => false,
         }
     }

@@ -1,0 +1,442 @@
+//! Crash-durable ε-budget accounting: [`DurableLedger`].
+//!
+//! A [`DurableLedger`] wraps the sequential [`BudgetLedger`] with a
+//! two-phase debit protocol and (optionally) the write-ahead journal of
+//! [`crate::journal`]:
+//!
+//! 1. [`begin`](DurableLedger::begin) *reserves* ε and appends a
+//!    fsync'd `Intent` record — only after this may noise be drawn;
+//! 2. [`settle`](DurableLedger::settle) finalizes the debit once the
+//!    noisy answer is (about to be) released;
+//! 3. [`abort`](DurableLedger::abort) refunds a reservation whose
+//!    noise was never released.
+//!
+//! The same API works without a journal
+//! ([`in_memory`](DurableLedger::in_memory)) so callers need not
+//! branch on durability.
+//!
+//! # Conservative by construction
+//!
+//! Every failure resolves toward *more* spent budget, never less:
+//!
+//! * a journal replay counts unsettled intents as spent — a kill
+//!   between intent and settle wastes the reserved ε at worst;
+//! * [`settle`](DurableLedger::settle) debits locally even when its
+//!   journal append fails (the on-disk intent already replays as
+//!   spent, so local and durable views agree);
+//! * [`abort`](DurableLedger::abort) refunds only when the `Abort`
+//!   record is durably appended; if the append fails, the reservation
+//!   is kept forever (budget lost, guarantee intact);
+//! * a journal with damage before its final frame opens fully
+//!   exhausted.
+
+use crate::budget::Epsilon;
+use crate::journal::{LedgerJournal, Record};
+use crate::ledger::{BudgetError, BudgetLedger};
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe, optionally journal-backed two-phase budget ledger.
+///
+/// Cloning is cheap and shares the underlying state (like
+/// [`crate::SharedLedger`]).
+#[derive(Debug, Clone)]
+pub struct DurableLedger {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Settled (released) spend.
+    ledger: BudgetLedger,
+    /// ε reserved by live intents, not yet settled or aborted.
+    reserved: f64,
+    /// Live intents: id → reserved ε.
+    pending: HashMap<u64, f64>,
+    next_id: u64,
+    journal: Option<LedgerJournal>,
+}
+
+impl Inner {
+    /// The ledger as admission control must see it: reservations count
+    /// as spent, because a crash would replay them that way.
+    fn view(&self) -> BudgetLedger {
+        BudgetLedger::restore(
+            self.ledger.total(),
+            self.ledger.spent() + self.reserved,
+            self.ledger.debits(),
+        )
+    }
+}
+
+/// What [`DurableLedger::open`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResumeSummary {
+    /// Whether a prior journal with the same total was honored (false
+    /// for a fresh ledger or a total change, which resets the grant).
+    pub resumed: bool,
+    /// Whether the journal had damage before its final frame; the
+    /// ledger opened fully exhausted.
+    pub corrupted: bool,
+    /// Complete records replayed.
+    pub replayed: usize,
+    /// Settled spend after recovery (includes recovered intents).
+    pub spent: f64,
+    /// ε from unsettled intents folded into the spend — reserved by a
+    /// previous process but never released.
+    pub recovered_pending: f64,
+}
+
+/// Failure of a durable-ledger operation.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The debit was refused by budget accounting.
+    Budget(BudgetError),
+    /// The journal append failed; nothing was reserved and no noise
+    /// may be drawn for this debit.
+    Io(io::Error),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Budget(e) => write!(f, "{e}"),
+            DurableError::Io(e) => write!(f, "budget journal append failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Budget(e) => Some(e),
+            DurableError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<BudgetError> for DurableError {
+    fn from(e: BudgetError) -> Self {
+        DurableError::Budget(e)
+    }
+}
+
+impl DurableLedger {
+    /// A ledger with no journal: same two-phase API, process-lifetime
+    /// durability (the previous behavior of the serving runtime).
+    pub fn in_memory(total: Epsilon) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                ledger: BudgetLedger::new(total),
+                reserved: 0.0,
+                pending: HashMap::new(),
+                next_id: 0,
+                journal: None,
+            })),
+        }
+    }
+
+    /// Opens (creating if absent) the journal at `path`, replays it,
+    /// and compacts it.
+    ///
+    /// If the journal's recorded total equals `total`, accounting
+    /// resumes where the previous process stopped — unsettled intents
+    /// are folded into the settled spend (conservative). A different
+    /// total is an explicit re-grant and resets the spend to zero. A
+    /// corrupted journal opens the ledger fully exhausted.
+    pub fn open(path: &Path, total: Epsilon) -> io::Result<(Self, ResumeSummary)> {
+        let rep = LedgerJournal::replay_file(path)?;
+        let pending_sum: f64 = rep.pending.values().sum();
+        let (resumed, settled, debits) = if rep.corrupted {
+            (true, total.value(), rep.debits)
+        } else {
+            match rep.total {
+                Some(t) if t == total.value() => (
+                    true,
+                    (rep.settled + pending_sum).min(total.value()),
+                    rep.debits,
+                ),
+                _ => (false, 0.0, 0),
+            }
+        };
+        let journal = LedgerJournal::create_compacted(path, total.value(), settled, debits)?;
+        let summary = ResumeSummary {
+            resumed: resumed && rep.records > 0,
+            corrupted: rep.corrupted,
+            replayed: rep.records,
+            spent: settled,
+            recovered_pending: if resumed && !rep.corrupted {
+                pending_sum
+            } else {
+                0.0
+            },
+        };
+        Ok((
+            Self {
+                inner: Arc::new(Mutex::new(Inner {
+                    ledger: BudgetLedger::restore(total.value(), settled, debits as usize),
+                    reserved: 0.0,
+                    pending: HashMap::new(),
+                    next_id: rep.next_id,
+                    journal: Some(journal),
+                })),
+            },
+            summary,
+        ))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether `eps` could currently be reserved (reservations held by
+    /// in-flight debits count as spent).
+    pub fn check(&self, eps: Epsilon) -> Result<(), BudgetError> {
+        self.lock().view().check(eps)
+    }
+
+    /// Phase one of a debit: reserves `eps` and durably records the
+    /// intent. Only after this returns `Ok` may noise be drawn for the
+    /// release it covers. On `Err`, nothing is reserved and nothing may
+    /// be released.
+    pub fn begin(&self, eps: Epsilon) -> Result<u64, DurableError> {
+        let mut inner = self.lock();
+        inner.view().check(eps)?;
+        let id = inner.next_id;
+        if let Some(journal) = &mut inner.journal {
+            // An append failure may still have torn bytes onto disk;
+            // replay drops a torn tail, consistent with "no noise was
+            // drawn for this debit".
+            journal
+                .append(&Record::Intent {
+                    id,
+                    eps: eps.value(),
+                })
+                .map_err(DurableError::Io)?;
+        }
+        inner.next_id += 1;
+        inner.pending.insert(id, eps.value());
+        inner.reserved += eps.value();
+        Ok(id)
+    }
+
+    /// Phase two, success path: finalizes debit `id` and returns the
+    /// remaining budget. Must be called *before* the noisy answer
+    /// escapes the process. Unknown ids are a no-op (tolerated so a
+    /// supervisor replaying work cannot double-debit).
+    pub fn settle(&self, id: u64) -> f64 {
+        let mut inner = self.lock();
+        let Some(eps) = inner.pending.remove(&id) else {
+            return inner.view().remaining();
+        };
+        inner.reserved = (inner.reserved - eps).max(0.0);
+        // Force the local debit (never refuse): admission was checked at
+        // begin() and the release is already committed to happen.
+        inner.ledger = BudgetLedger::restore(
+            inner.ledger.total(),
+            inner.ledger.spent() + eps,
+            inner.ledger.debits() + 1,
+        );
+        if let Some(journal) = &mut inner.journal {
+            // Tolerated on failure: the on-disk intent replays as spent,
+            // which is exactly the local state we just committed.
+            let _ = journal.append(&Record::Settle { id });
+        }
+        inner.view().remaining()
+    }
+
+    /// Phase two, failure path: refunds debit `id` whose noise was
+    /// never released. The refund only happens if the `Abort` record is
+    /// durably appended; otherwise the reservation is kept forever
+    /// (conservative — the on-disk intent would replay as spent).
+    pub fn abort(&self, id: u64) {
+        let mut inner = self.lock();
+        let Some(eps) = inner.pending.remove(&id) else {
+            return;
+        };
+        let refund = match &mut inner.journal {
+            Some(journal) => journal.append(&Record::Abort { id }).is_ok(),
+            None => true,
+        };
+        if refund {
+            inner.reserved = (inner.reserved - eps).max(0.0);
+        }
+    }
+
+    /// Convenience single-phase debit: `begin` + immediate `settle`.
+    pub fn debit(&self, eps: Epsilon) -> Result<f64, DurableError> {
+        let id = self.begin(eps)?;
+        Ok(self.settle(id))
+    }
+
+    /// The fixed total ε.
+    pub fn total(&self) -> f64 {
+        self.lock().ledger.total()
+    }
+
+    /// Settled (released) spend — excludes live reservations.
+    pub fn spent(&self) -> f64 {
+        self.lock().ledger.spent()
+    }
+
+    /// ε reserved by in-flight debits.
+    pub fn reserved(&self) -> f64 {
+        self.lock().reserved
+    }
+
+    /// Budget available for new reservations.
+    pub fn remaining(&self) -> f64 {
+        self.lock().view().remaining()
+    }
+
+    /// Number of settled debits.
+    pub fn debits(&self) -> usize {
+        self.lock().ledger.debits()
+    }
+
+    /// Whether reservations have (numerically) exhausted the budget.
+    pub fn is_exhausted(&self) -> bool {
+        self.lock().view().is_exhausted()
+    }
+
+    /// A point-in-time copy of the *settled* accounting (reservations
+    /// excluded), for reporting.
+    pub fn snapshot(&self) -> BudgetLedger {
+        self.lock().ledger.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lrm_durable_{name}_{}.epsj", std::process::id()))
+    }
+
+    #[test]
+    fn in_memory_two_phase_debit() {
+        let ledger = DurableLedger::in_memory(eps(1.0));
+        let id = ledger.begin(eps(0.4)).unwrap();
+        // Reserved ε gates admission before it is settled.
+        assert!(ledger.check(eps(0.7)).is_err());
+        assert!(ledger.check(eps(0.6)).is_ok());
+        let remaining = ledger.settle(id);
+        assert!((remaining - 0.6).abs() < 1e-12);
+        assert_eq!(ledger.debits(), 1);
+    }
+
+    #[test]
+    fn abort_refunds_in_memory() {
+        let ledger = DurableLedger::in_memory(eps(1.0));
+        let id = ledger.begin(eps(0.9)).unwrap();
+        assert!(ledger.begin(eps(0.5)).is_err());
+        ledger.abort(id);
+        assert!(ledger.begin(eps(0.5)).is_ok());
+    }
+
+    #[test]
+    fn settle_of_unknown_id_is_a_noop() {
+        let ledger = DurableLedger::in_memory(eps(1.0));
+        let before = ledger.spent();
+        ledger.settle(42);
+        ledger.abort(42);
+        assert_eq!(ledger.spent(), before);
+        assert_eq!(ledger.debits(), 0);
+    }
+
+    #[test]
+    fn durable_spend_survives_reopen() {
+        let path = tmp("reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ledger, summary) = DurableLedger::open(&path, eps(2.0)).unwrap();
+            assert!(!summary.resumed);
+            ledger.debit(eps(0.5)).unwrap();
+            ledger.debit(eps(0.25)).unwrap();
+        }
+        let (ledger, summary) = DurableLedger::open(&path, eps(2.0)).unwrap();
+        assert!(summary.resumed);
+        assert!(!summary.corrupted);
+        assert!((summary.spent - 0.75).abs() < 1e-12);
+        assert!((ledger.spent() - 0.75).abs() < 1e-12);
+        assert_eq!(ledger.debits(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsettled_intent_counts_as_spent_after_reopen() {
+        let path = tmp("pending");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ledger, _) = DurableLedger::open(&path, eps(1.0)).unwrap();
+            let _id = ledger.begin(eps(0.5)).unwrap();
+            // Process "dies" here: intent durably recorded, never settled.
+        }
+        let (ledger, summary) = DurableLedger::open(&path, eps(1.0)).unwrap();
+        assert!((summary.recovered_pending - 0.5).abs() < 1e-12);
+        assert!((ledger.spent() - 0.5).abs() < 1e-12);
+        // The recovered spend gates new debits.
+        assert!(ledger.begin(eps(0.75)).is_err());
+        assert!(ledger.begin(eps(0.5)).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn aborted_intent_is_refunded_after_reopen() {
+        let path = tmp("abort");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ledger, _) = DurableLedger::open(&path, eps(1.0)).unwrap();
+            let id = ledger.begin(eps(0.5)).unwrap();
+            ledger.abort(id);
+        }
+        let (ledger, _) = DurableLedger::open(&path, eps(1.0)).unwrap();
+        assert_eq!(ledger.spent(), 0.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn total_change_resets_the_grant() {
+        let path = tmp("regrant");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ledger, _) = DurableLedger::open(&path, eps(1.0)).unwrap();
+            ledger.debit(eps(0.8)).unwrap();
+        }
+        let (ledger, summary) = DurableLedger::open(&path, eps(3.0)).unwrap();
+        assert!(!summary.resumed);
+        assert_eq!(ledger.spent(), 0.0);
+        assert_eq!(ledger.total(), 3.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_journal_opens_exhausted() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ledger, _) = DurableLedger::open(&path, eps(1.0)).unwrap();
+            ledger.debit(eps(0.1)).unwrap();
+            ledger.debit(eps(0.1)).unwrap();
+        }
+        // Flip a bit in the first record (not the final frame).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (ledger, summary) = DurableLedger::open(&path, eps(1.0)).unwrap();
+        assert!(summary.corrupted);
+        assert!(ledger.is_exhausted());
+        assert!(ledger.begin(eps(0.05)).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -44,6 +44,18 @@ impl BudgetLedger {
         }
     }
 
+    /// Reconstructs a ledger from journal replay (or builds an
+    /// admission view that counts reservations as spent); `spent` is
+    /// clamped into `[0, total]`, matching [`BudgetLedger::debit`]'s
+    /// own clamp.
+    pub(crate) fn restore(total: f64, spent: f64, debits: usize) -> Self {
+        Self {
+            total,
+            spent: spent.clamp(0.0, total),
+            debits,
+        }
+    }
+
     /// The fixed total ε this ledger enforces.
     pub fn total(&self) -> f64 {
         self.total

@@ -6,8 +6,13 @@
 //! * [`ledger`] — the [`BudgetLedger`], which debits a fixed total ε per
 //!   release and refuses over-spends with a typed [`BudgetError`].
 //! * [`concurrent`] — the [`SharedLedger`] thread-safe layer over the
-//!   ledger, preserving the one-slack over-spend bound under contention
-//!   (what the `lrm-server` per-tenant ledgers are built on).
+//!   ledger, preserving the one-slack over-spend bound under contention.
+//! * [`journal`] + [`durable`] — the crash-durable layer: a CRC-framed
+//!   write-ahead journal (`LRMJ`) and the [`DurableLedger`] two-phase
+//!   debit protocol (intent → settle/abort) built on it, so a tenant's
+//!   ε-spend survives process restarts and a kill at any instant can
+//!   only waste budget, never refund it (what the `lrm-server`
+//!   per-tenant ledgers are built on).
 //! * [`error`] — the typed [`DpError`] every constructor in this crate
 //!   reports.
 //! * [`laplace`] — Laplace distribution sampling (inverse-CDF), the noise
@@ -21,7 +26,9 @@
 
 pub mod budget;
 pub mod concurrent;
+pub mod durable;
 pub mod error;
+pub mod journal;
 pub mod laplace;
 pub mod ledger;
 pub mod rng;
@@ -29,6 +36,7 @@ pub mod sensitivity;
 
 pub use budget::Epsilon;
 pub use concurrent::SharedLedger;
+pub use durable::{DurableError, DurableLedger, ResumeSummary};
 pub use error::DpError;
 pub use laplace::Laplace;
 pub use ledger::{BudgetError, BudgetLedger};

@@ -1,6 +1,7 @@
 //! Per-figure experiment drivers.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;

@@ -1,0 +1,126 @@
+//! Cooperative compile deadlines for the iterative solvers.
+//!
+//! The serving runtime needs bounded-latency compiles: an ALM run that
+//! blows its per-batch budget must be *abandoned*, not awaited. Threading
+//! a deadline parameter through every solver signature (and through the
+//! engine's cache digest, where it must NOT appear — a deadline is an
+//! execution constraint, not part of the strategy identity) would touch
+//! a dozen APIs; instead the deadline is a thread-local token scoped by
+//! [`with_deadline`], and the inner loops poll [`expired`] once per
+//! (expensive) iteration:
+//!
+//! * the ALM outer loop (`lrm_core::decomposition`) aborts with a typed
+//!   error, leaving the caller to fall back to a non-iterative strategy;
+//! * Nesterov's inner loop ([`crate::nesterov`]) returns its current
+//!   iterate early — a truncated inner solve is just a looser inexact
+//!   step for the outer loop to absorb.
+//!
+//! The token is cooperative: a stalled *non-iterating* computation (one
+//! giant GEMM) is not interrupted. Poll frequency is one `Instant::now`
+//! per iteration, noise against the GEMMs each iteration performs.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// A compile deadline: either unbounded or a wall-clock instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline — [`expired`] is always `false`.
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// Deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline(Some(Instant::now() + budget))
+    }
+
+    /// Deadline at a specific instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline(Some(instant))
+    }
+
+    /// Whether this deadline has passed.
+    pub fn is_expired(&self) -> bool {
+        self.0.is_some_and(|t| Instant::now() >= t)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Restores the previous thread-local deadline even if `f` panics or
+/// returns early via `?`.
+struct Restore(Option<Instant>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.0));
+    }
+}
+
+/// Runs `f` with `deadline` installed as the calling thread's compile
+/// deadline; the previous deadline (if any) is restored afterwards,
+/// including on panic. Nested scopes keep the *tighter* constraint: an
+/// outer deadline is not loosened by an inner `Deadline::none()`.
+pub fn with_deadline<R>(deadline: Deadline, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT.with(|c| c.get());
+    let effective = match (prev, deadline.0) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let _restore = Restore(prev);
+    CURRENT.with(|c| c.set(effective));
+    f()
+}
+
+/// Whether the calling thread's current compile deadline (if any) has
+/// passed. Cheap enough to poll once per solver iteration.
+pub fn expired() -> bool {
+    CURRENT
+        .with(|c| c.get())
+        .is_some_and(|t| Instant::now() >= t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deadline_never_expires() {
+        assert!(!expired());
+        with_deadline(Deadline::none(), || assert!(!expired()));
+    }
+
+    #[test]
+    fn elapsed_deadline_expires_and_scope_restores() {
+        with_deadline(Deadline::at(Instant::now()), || {
+            assert!(expired());
+        });
+        assert!(!expired());
+    }
+
+    #[test]
+    fn nested_scopes_keep_the_tighter_deadline() {
+        with_deadline(Deadline::at(Instant::now()), || {
+            // An inner, looser scope must not mask the expired outer one.
+            with_deadline(Deadline::after(Duration::from_secs(3600)), || {
+                assert!(expired());
+            });
+            with_deadline(Deadline::none(), || assert!(expired()));
+            assert!(expired());
+        });
+    }
+
+    #[test]
+    fn restore_survives_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_deadline(Deadline::at(Instant::now()), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!expired());
+    }
+}

@@ -18,12 +18,17 @@
 //! * [`lse`] — log-sum-exp smoothing of `max(·)` with the numerically
 //!   robust gradient from **Appendix B** (after d'Aspremont et al., ref
 //!   \[7\]).
+//! * [`deadline`] — cooperative compile deadlines: a thread-local token
+//!   the iterative solvers poll once per iteration, so a serving runtime
+//!   can abandon an over-budget compile without threading a deadline
+//!   parameter through every solver signature.
 //! * [`warm`] — warm-start seeds for Algorithm 1: a cached `(B, L)`
 //!   decomposition re-projected onto a (possibly different) target rank
 //!   replaces the Lemma 3 SVD initializer when a similar workload has
 //!   already been solved.
 
 pub mod alm;
+pub mod deadline;
 pub mod l1;
 pub mod lse;
 pub mod nesterov;
@@ -31,6 +36,7 @@ pub mod spg;
 pub mod warm;
 
 pub use alm::{AlmSchedule, AlmState};
+pub use deadline::Deadline;
 pub use l1::{project_columns_l1, project_l1_ball};
 pub use lse::SmoothMax;
 pub use nesterov::{nesterov_projected, NesterovConfig, NesterovResult};

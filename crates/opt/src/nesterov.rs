@@ -77,6 +77,18 @@ pub fn nesterov_projected(
     let mut delta_curr = 1.0_f64; // δ(t−1)
 
     for t in 1..=cfg.max_iters {
+        // Cooperative compile deadline: return the current (feasible)
+        // iterate early — a truncated inner solve is just a looser
+        // inexact step for the ALM outer loop, which aborts itself.
+        if crate::deadline::expired() {
+            return NesterovResult {
+                objective: objective(&x_curr),
+                x: x_curr,
+                iterations: t - 1,
+                converged: false,
+                lipschitz: omega,
+            };
+        }
         // Extrapolation point S = L(t) + α (L(t) − L(t−1)).
         let alpha = (delta_prev - 1.0) / delta_curr;
         let mut s = x_curr.clone();

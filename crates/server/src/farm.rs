@@ -21,9 +21,14 @@
 
 use crate::spec::{PreparedRows, PreparedSpec};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// Magic + version of the persisted popularity-queue format.
+const FARM_MAGIC: &[u8; 4] = b"LRMF";
+const FARM_VERSION: u32 = 1;
 
 /// Shared farm state for one `serve` run: the popularity-ranked shape
 /// queue plus the budget and shutdown accounting.
@@ -140,12 +145,178 @@ impl FarmState {
     pub fn input_done(&self) -> bool {
         self.input_done.load(Ordering::Acquire)
     }
+
+    /// Loads a persisted popularity queue (see [`FarmState::save`]).
+    /// Entries compiled against a different schema are skipped, and any
+    /// damage stops the parse at the last clean entry — the queue is a
+    /// performance hint, not privacy state, so best-effort recovery is
+    /// correct (a lost entry re-earns its place from live traffic).
+    /// Returns the number of shapes enqueued.
+    pub fn load(&self, path: &Path, schema_fp: u64) -> usize {
+        let Ok(bytes) = std::fs::read(path) else {
+            return 0;
+        };
+        let mut cur = Cursor {
+            buf: &bytes,
+            pos: 0,
+        };
+        let Some(magic) = cur.take(4) else { return 0 };
+        if magic != FARM_MAGIC {
+            return 0;
+        }
+        if cur.u32() != Some(FARM_VERSION) {
+            return 0;
+        }
+        let Some(count) = cur.u32() else { return 0 };
+        let mut loaded = 0;
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for _ in 0..count {
+            let Some((hits, spec)) = decode_entry(&mut cur) else {
+                break; // damaged tail: keep what parsed cleanly
+            };
+            if spec.schema_fingerprint() != schema_fp {
+                continue;
+            }
+            let key = shape_hash(&spec);
+            if q.claimed.contains(&key) {
+                continue;
+            }
+            let seq = (q.pending.len() + q.claimed.len()) as u64;
+            match q.pending.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().hits += hits;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(PendingShape { spec, hits, seq });
+                    loaded += 1;
+                }
+            }
+        }
+        loaded
+    }
+
+    /// Persists the pending popularity queue (most popular first) so a
+    /// restarted server resumes precompiling where this run left off.
+    /// Claimed shapes are omitted: they already live in the engine's
+    /// strategy store.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut entries: Vec<&PendingShape> = q.pending.values().collect();
+        entries.sort_by(|a, b| b.hits.cmp(&a.hits).then(a.seq.cmp(&b.seq)));
+        let mut out = Vec::new();
+        out.extend_from_slice(FARM_MAGIC);
+        out.extend_from_slice(&FARM_VERSION.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for e in entries {
+            encode_entry(&mut out, e.hits, &e.spec);
+        }
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename: a crash mid-save leaves the previous queue
+        // intact instead of a torn file.
+        let tmp = path.with_extension("lrmf.tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Serializes one queue entry: popularity plus the full spec parts.
+fn encode_entry(out: &mut Vec<u8>, hits: u64, spec: &PreparedSpec) {
+    out.extend_from_slice(&hits.to_le_bytes());
+    out.extend_from_slice(&(spec.domain_size() as u64).to_le_bytes());
+    out.extend_from_slice(&spec.schema_fingerprint().to_le_bytes());
+    match spec.rows() {
+        PreparedRows::Intervals(rows) => {
+            out.push(0);
+            out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+            for &(lo, hi) in rows {
+                out.extend_from_slice(&(lo as u64).to_le_bytes());
+                out.extend_from_slice(&(hi as u64).to_le_bytes());
+            }
+        }
+        PreparedRows::Sparse(rows) => {
+            out.push(1);
+            out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+            for row in rows {
+                out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for &(cell, weight) in row {
+                    out.extend_from_slice(&(cell as u64).to_le_bytes());
+                    out.extend_from_slice(&weight.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Parses one queue entry; `None` on any truncation or unknown tag.
+fn decode_entry(cur: &mut Cursor<'_>) -> Option<(u64, PreparedSpec)> {
+    let hits = cur.u64()?;
+    let domain_size = usize::try_from(cur.u64()?).ok()?;
+    let schema_fp = cur.u64()?;
+    let tag = cur.u8()?;
+    let nrows = cur.u32()? as usize;
+    let rows = match tag {
+        0 => {
+            let mut rows = Vec::with_capacity(nrows.min(1 << 16));
+            for _ in 0..nrows {
+                let lo = usize::try_from(cur.u64()?).ok()?;
+                let hi = usize::try_from(cur.u64()?).ok()?;
+                rows.push((lo, hi));
+            }
+            PreparedRows::Intervals(rows)
+        }
+        1 => {
+            let mut rows = Vec::with_capacity(nrows.min(1 << 16));
+            for _ in 0..nrows {
+                let len = cur.u32()? as usize;
+                let mut row = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    let cell = usize::try_from(cur.u64()?).ok()?;
+                    let weight = f64::from_bits(cur.u64()?);
+                    row.push((cell, weight));
+                }
+                rows.push(row);
+            }
+            PreparedRows::Sparse(rows)
+        }
+        _ => return None,
+    };
+    Some((hits, PreparedSpec::from_parts(domain_size, schema_fp, rows)))
+}
+
+/// A bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
 }
 
 /// FNV-1a over a prepared spec's domain and rows: the farm's shape
-/// identity. Two specs with identical rows over the same domain are one
-/// shape however they were phrased.
-fn shape_hash(spec: &PreparedSpec) -> u64 {
+/// identity, also the key of the server's panic-quarantine set. Two
+/// specs with identical rows over the same domain are one shape however
+/// they were phrased.
+pub(crate) fn shape_hash(spec: &PreparedSpec) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut fold = |v: u64| {
         for b in v.to_le_bytes() {
@@ -229,5 +400,59 @@ mod tests {
         assert!(!farm.input_done());
         farm.finish_input();
         assert!(farm.input_done());
+    }
+
+    #[test]
+    fn queue_persists_across_instances() {
+        let path = std::env::temp_dir().join(format!(
+            "lrm_farm_queue_{}_{:?}.lrmf",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let schema = Schema::single(Attribute::new("v", 0.0, 32.0, 32).unwrap());
+        let fp = schema.fingerprint();
+        let rare = prep(QuerySpec::Total);
+        let hot = prep(QuerySpec::Prefixes {
+            attr: 0,
+            thresholds: vec![8.0, 16.0],
+        });
+        let sparse2d = {
+            let s2 = Schema::product(vec![
+                Attribute::new("x", 0.0, 1.0, 4).unwrap(),
+                Attribute::new("y", 0.0, 1.0, 3).unwrap(),
+            ])
+            .unwrap();
+            QuerySpec::Marginal { attr: 1 }.compile(&s2).unwrap()
+        };
+
+        let farm = FarmState::new(Duration::from_secs(10));
+        farm.observe(&rare);
+        farm.observe(&hot);
+        farm.observe(&hot);
+        farm.observe(&sparse2d); // different schema: dropped on reload
+        farm.save(&path).unwrap();
+
+        let resumed = FarmState::new(Duration::from_secs(10));
+        assert_eq!(resumed.load(&path, fp), 2);
+        // Popularity survived: the hot shape drains first.
+        match resumed.claim() {
+            Claim::Shape(s) => assert_eq!(&s, &hot),
+            _ => panic!("expected the hot shape first"),
+        }
+        match resumed.claim() {
+            Claim::Shape(s) => assert_eq!(&s, &rare),
+            _ => panic!("expected the rare shape second"),
+        }
+        assert!(matches!(resumed.claim(), Claim::Empty));
+
+        // A truncated file keeps whatever parsed cleanly — never panics.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let partial = FarmState::new(Duration::from_secs(10));
+        assert!(partial.load(&path, fp) <= 2);
+
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -10,8 +10,14 @@
 //! (never densified), a **worker pool** answers each batch through the
 //! shared compiled-strategy [`Engine`](lrm_core::engine::Engine) cache
 //! with one noise draw per strategy column, and **per-tenant budget
-//! ledgers** ([`lrm_dp::SharedLedger`]) debit every release after it
-//! succeeds — over-spends are typed refusals, never silent.
+//! ledgers** ([`lrm_dp::DurableLedger`]) run a two-phase debit around
+//! every release — over-spends are typed refusals, never silent, and
+//! with a [state directory](server::ServerBuilder::state_dir) the
+//! accounting survives crashes and restarts. Worker panics are contained
+//! (the offending shape is quarantined, the pool never empties), compile
+//! overruns degrade to a guaranteed-fast fallback at the same ε, and a
+//! bounded queue sheds load synchronously (see the
+//! [server module docs](server) for the failure model).
 //!
 //! Built on `std::thread::scope` + `mpsc` channels (like the SpMM kernels
 //! in `lrm-linalg`): no async runtime.
@@ -55,7 +61,7 @@ pub mod tenants;
 pub use metrics::MetricsSnapshot;
 pub use server::{Client, Release, Server, ServerBuilder, ServerError, ServerReport, Ticket};
 pub use spec::{PreparedRows, PreparedSpec, QuerySpec, SpecClass, SpecError};
-pub use tenants::{AdmissionError, TenantSpend};
+pub use tenants::{AdmissionError, TenantResume, TenantSpend};
 
 // Cross-thread sharing audit: the scheduler, every worker, and every
 // client thread borrow these concurrently, so their thread-safety is a
@@ -69,6 +75,7 @@ const _: () = {
     assert_send_sync::<lrm_workload::Workload>();
     assert_send_sync::<lrm_workload::Schema>();
     assert_send_sync::<lrm_dp::SharedLedger>();
+    assert_send_sync::<lrm_dp::DurableLedger>();
     assert_send_sync::<Release>();
     assert_send_sync::<ServerError>();
     const fn assert_send<T: Send>() {}

@@ -31,6 +31,11 @@ pub(crate) struct ServerMetrics {
     pub farm_shapes: AtomicU64,
     pub farm_precompiled: AtomicU64,
     pub farm_compile_us: AtomicU64,
+    pub worker_respawns: AtomicU64,
+    pub quarantined_shapes: AtomicU64,
+    pub degraded_releases: AtomicU64,
+    pub shed: AtomicU64,
+    pub ledger_replays: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -96,6 +101,11 @@ impl ServerMetrics {
             farm_shapes: self.farm_shapes.load(Ordering::Relaxed),
             farm_precompiled: self.farm_precompiled.load(Ordering::Relaxed),
             farm_compile_time: Duration::from_micros(self.farm_compile_us.load(Ordering::Relaxed)),
+            worker_respawns: self.worker_respawns.load(Ordering::Relaxed),
+            quarantined_shapes: self.quarantined_shapes.load(Ordering::Relaxed),
+            degraded_releases: self.degraded_releases.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            ledger_replays: self.ledger_replays.load(Ordering::Relaxed),
             p50_latency: percentile(&latencies, 0.50),
             p99_latency: percentile(&latencies, 0.99),
         }
@@ -151,6 +161,20 @@ pub struct MetricsSnapshot {
     /// Total wall-clock the farm spent compiling (bounded by the
     /// configured compile budget).
     pub farm_compile_time: Duration,
+    /// Worker panics contained and recovered from (the worker kept — or
+    /// logically respawned into — its pool slot).
+    pub worker_respawns: u64,
+    /// Distinct workload shapes quarantined after crashing a worker.
+    pub quarantined_shapes: u64,
+    /// Releases answered by the degraded-mode fallback because the
+    /// configured mechanism blew its compile deadline.
+    pub degraded_releases: u64,
+    /// Requests shed at submission because the queue was at its
+    /// configured depth cap.
+    pub shed: u64,
+    /// Tenant ε-journals replayed when tenants registered (restart
+    /// resumes honored by the durable ledgers).
+    pub ledger_replays: u64,
     /// Median submit→response latency.
     pub p50_latency: Duration,
     /// 99th-percentile submit→response latency.

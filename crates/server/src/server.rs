@@ -25,32 +25,60 @@
 //! 5. **noise** — one [`Mechanism::answer`] call for the whole batch:
 //!    one noise draw per strategy column, not per member.
 //! 6. **slice + settle** — each member's answer is the contiguous slice
-//!    of the batch answer its rows occupy. Immediately before a slice is
-//!    released, the tenant's ε is debited atomically
-//!    (debit-after-success); if concurrent traffic exhausted the tenant
-//!    between admission and settlement, the slice is withheld and the
-//!    request fails with the same typed budget error — never an
-//!    over-spend.
+//!    of the batch answer its rows occupy. The settlement is two-phase:
+//!    an *intent* durably reserves the member's ε **before** any noise
+//!    is drawn, and the debit settles immediately before the slice is
+//!    released. If concurrent traffic exhausted the tenant between
+//!    admission and the intent, the slice is withheld and the request
+//!    fails with the same typed budget error — never an over-spend. A
+//!    crash between intent and settle replays the intent as spent
+//!    (wasted budget at worst, never unaccounted noise).
 //!
 //! The runtime is plain `std::thread::scope` + `mpsc` channels (like the
 //! SpMM kernels in `lrm-linalg`): no async runtime, no unbounded queues
 //! that outlive [`Server::serve`].
+//!
+//! # Failure containment
+//!
+//! * **Durable ε-ledgers** — with [`ServerBuilder::state_dir`]
+//!   configured, every tenant ledger is a fsync'd write-ahead journal;
+//!   registration resumes the recorded spend across restarts, and the
+//!   noise-epoch file keeps batch indices (the noise-stream labels)
+//!   disjoint across restarts even under a pinned seed.
+//! * **Worker supervision** — a panic while answering a batch is caught;
+//!   the not-yet-responded members fail with
+//!   [`ServerError::Quarantined`], their workload shapes enter a
+//!   quarantine set refused at admission from then on, and the worker
+//!   keeps its pool slot (a logical respawn) until its panic budget is
+//!   spent — and even then the last live worker never retires, so the
+//!   pool never goes empty.
+//! * **Compile deadlines** — with [`ServerBuilder::compile_deadline`]
+//!   set, a compile that overruns is abandoned cooperatively and the
+//!   batch is answered by the guaranteed-fast Laplace baseline at the
+//!   same ε ([`Release::degraded`] is set); the shape goes to the
+//!   compile farm for a background recompile.
+//! * **Bounded admission** — with [`ServerBuilder::max_queue_depth`]
+//!   set, submissions beyond the cap are shed synchronously with
+//!   [`ServerError::Overloaded`] instead of growing the queue without
+//!   bound.
 
 use crate::coalesce::{combine, BatchKey, RankTracker};
-use crate::farm::{Claim, FarmState};
+use crate::farm::{shape_hash, Claim, FarmState};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::spec::{PreparedSpec, QuerySpec, SpecError};
-use crate::tenants::{AdmissionError, TenantLedgers, TenantSpend};
-use lrm_core::engine::{CacheStats, CompileOptions, Engine, MechanismKind};
+use crate::tenants::{AdmissionError, TenantLedgers, TenantResume, TenantSpend};
+use lrm_core::engine::{CacheStats, CompileOptions, CompiledMechanism, Engine, MechanismKind};
 use lrm_core::error::CoreError;
 use lrm_core::mechanism::Mechanism;
 use lrm_dp::rng::derive_rng;
 use lrm_dp::Epsilon;
-use lrm_workload::{Schema, WorkloadError};
-use std::collections::HashMap;
+use lrm_workload::{Schema, Workload, WorkloadError};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Builder for [`Server`].
@@ -68,6 +96,10 @@ pub struct ServerBuilder {
     precompile_workers: usize,
     compile_budget: Duration,
     seed: u64,
+    state_dir: Option<PathBuf>,
+    compile_deadline: Option<Duration>,
+    max_queue_depth: Option<usize>,
+    worker_panic_budget: u64,
 }
 
 impl ServerBuilder {
@@ -92,6 +124,10 @@ impl ServerBuilder {
             precompile_workers: 0,
             compile_budget: Duration::from_secs(2),
             seed: entropy_seed(),
+            state_dir: None,
+            compile_deadline: None,
+            max_queue_depth: None,
+            worker_panic_budget: 8,
         }
     }
 
@@ -190,6 +226,46 @@ impl ServerBuilder {
         self
     }
 
+    /// Directory for the server's durable state: per-tenant ε-budget
+    /// journals (`ledgers/`), the noise-epoch file, and the compile
+    /// farm's persisted popularity queue. Restarting a server over the
+    /// same directory resumes tenant spend (conservatively — unsettled
+    /// intents replay as spent), keeps noise-stream labels disjoint, and
+    /// resumes the precompile queue. Without it, everything above lives
+    /// for the process only (the previous behavior).
+    pub fn state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Cooperative per-batch compile deadline (default: none). A compile
+    /// that overruns is abandoned at the next solver-iteration check and
+    /// the batch is answered by the Laplace baseline at the same ε, with
+    /// [`Release::degraded`] set; the shape is handed to the compile
+    /// farm so a background recompile (or the next run, via the
+    /// persisted queue) can lift the degradation.
+    pub fn compile_deadline(mut self, deadline: Duration) -> Self {
+        self.compile_deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the submitted-but-unanswered queue (default: unbounded).
+    /// [`Client::submit`] sheds requests beyond the cap synchronously
+    /// with [`ServerError::Overloaded`] — load stays visible to the
+    /// client instead of accumulating as unbounded latency.
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = Some(depth.max(1));
+        self
+    }
+
+    /// How many contained panics one worker absorbs before retiring its
+    /// pool slot (default 8). The last live worker never retires,
+    /// whatever the budget says: the pool must never go empty.
+    pub fn worker_panic_budget(mut self, budget: u64) -> Self {
+        self.worker_panic_budget = budget.max(1);
+        self
+    }
+
     /// Validates and finishes the builder.
     pub fn build(self) -> Result<Server, ServerError> {
         if self.data.len() != self.schema.domain_size() {
@@ -211,6 +287,25 @@ impl ServerBuilder {
                 "the worker pool needs at least one thread".into(),
             )));
         }
+        // With durable state, claim a fresh noise epoch before anything
+        // else: batch indices label noise streams (`derive_rng(seed,
+        // index)`), and restarting at index 0 under a pinned seed would
+        // re-release the exact Laplace draws of the previous process for
+        // freshly-debited ε. The epoch file makes every restart's index
+        // range disjoint. Refusing to build on epoch-file I/O failure is
+        // the conservative choice.
+        let batch_start = match &self.state_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| ServerError::State {
+                    reason: format!("state dir {}: {e}", dir.display()),
+                })?;
+                let epoch = next_noise_epoch(dir).map_err(|e| ServerError::State {
+                    reason: format!("noise epoch file: {e}"),
+                })?;
+                epoch << 32
+            }
+            None => 0,
+        };
         Ok(Server {
             schema: self.schema,
             data: self.data,
@@ -224,10 +319,35 @@ impl ServerBuilder {
             precompile_workers: self.precompile_workers,
             compile_budget: self.compile_budget,
             seed: self.seed,
-            tenants: TenantLedgers::default(),
-            batch_counter: std::sync::atomic::AtomicU64::new(0),
+            compile_deadline: self.compile_deadline,
+            max_queue_depth: self.max_queue_depth,
+            worker_panic_budget: self.worker_panic_budget,
+            tenants: TenantLedgers::new(self.state_dir.as_ref().map(|d| d.join("ledgers"))),
+            state_dir: self.state_dir,
+            quarantine: RwLock::new(HashSet::new()),
+            batch_counter: AtomicU64::new(batch_start),
         })
     }
+}
+
+/// Reads the previous noise epoch under `dir`, durably records the next
+/// one, and returns it. Epoch 0 is never returned: the first run of a
+/// durable server already starts at epoch 1, so its indices are disjoint
+/// from any non-durable run's (which start at 0).
+fn next_noise_epoch(dir: &Path) -> std::io::Result<u64> {
+    use std::io::Write as _;
+    let path = dir.join("noise_epoch");
+    let prev = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    let next = prev
+        .checked_add(1)
+        .ok_or_else(|| std::io::Error::other("noise epoch counter overflow"))?;
+    let mut file = std::fs::File::create(&path)?;
+    write!(file, "{next}")?;
+    file.sync_all()?;
+    Ok(next)
 }
 
 /// The batch-serving runtime. See the [module docs](self) for the request
@@ -246,13 +366,21 @@ pub struct Server {
     precompile_workers: usize,
     compile_budget: Duration,
     seed: u64,
+    compile_deadline: Option<Duration>,
+    max_queue_depth: Option<usize>,
+    worker_panic_budget: u64,
+    state_dir: Option<PathBuf>,
     tenants: TenantLedgers,
+    /// Workload shapes that crashed a worker; refused at admission.
+    quarantine: RwLock<HashSet<u64>>,
     /// Lifetime batch counter. The batch index labels the noise stream
     /// (`derive_rng(seed, index)`), so it must never reset while the
     /// server lives: tenant ledgers span [`Server::serve`] calls, and a
     /// repeated index would re-release the same Laplace draws for
-    /// freshly-debited ε — breaking sequential composition.
-    batch_counter: std::sync::atomic::AtomicU64,
+    /// freshly-debited ε — breaking sequential composition. With a
+    /// state directory, the counter starts at `epoch << 32` so indices
+    /// stay disjoint across *process* restarts too.
+    batch_counter: AtomicU64,
 }
 
 impl fmt::Debug for Server {
@@ -275,8 +403,28 @@ impl Server {
     }
 
     /// Registers (or resets) a tenant with a total ε budget.
+    ///
+    /// With a [state directory](ServerBuilder::state_dir) this opens the
+    /// tenant's durable journal and panics on I/O failure; use
+    /// [`Server::try_register_tenant`] to handle that case.
     pub fn register_tenant(&self, tenant: &str, total: Epsilon) {
-        self.tenants.register(tenant, total);
+        self.tenants
+            .register(tenant, total)
+            .expect("tenant budget journal failed to open");
+    }
+
+    /// Registers (or resets) a tenant, reporting what its durable
+    /// journal (if any) recorded: whether a prior spend was resumed,
+    /// whether the journal was damaged (the ledger opens fully
+    /// exhausted), and how much ε unsettled intents recovered as spent.
+    pub fn try_register_tenant(
+        &self,
+        tenant: &str,
+        total: Epsilon,
+    ) -> Result<TenantResume, ServerError> {
+        self.tenants
+            .register(tenant, total)
+            .map_err(ServerError::Admission)
     }
 
     /// The schema requests are translated against.
@@ -301,6 +449,16 @@ impl Server {
     pub fn serve<R>(&self, f: impl FnOnce(&Client<'_>) -> R) -> (R, ServerReport) {
         let metrics = ServerMetrics::default();
         let farm = FarmState::new(self.compile_budget);
+        // Resume the persisted popularity queue, if a prior run (over
+        // the same state or spill directory) left one behind.
+        let farm_path = self.farm_queue_path();
+        if let Some(path) = &farm_path {
+            let loaded = farm.load(path, self.schema.fingerprint());
+            metrics
+                .farm_shapes
+                .fetch_add(loaded as u64, Ordering::Relaxed);
+        }
+        let live_workers = AtomicUsize::new(self.workers);
         let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
         let job_rx = Mutex::new(job_rx);
         let (sub_tx, sub_rx) = mpsc::channel::<Submission>();
@@ -308,10 +466,11 @@ impl Server {
         let result = std::thread::scope(|s| {
             let m = &metrics;
             let farm = &farm;
+            let live = &live_workers;
             s.spawn(|| self.scheduler_loop(m, farm, sub_rx, job_tx));
             let jobs = &job_rx;
             for _ in 0..self.workers {
-                s.spawn(|| self.worker_loop(m, jobs));
+                s.spawn(|| self.worker_loop(m, jobs, farm, live));
             }
             for _ in 0..self.precompile_workers {
                 s.spawn(|| self.farm_loop(m, farm));
@@ -329,12 +488,28 @@ impl Server {
             // the scope joins them all.
         });
 
+        if let Some(path) = &farm_path {
+            // Best effort: a lost queue is a cold start, not an error.
+            let _ = farm.save(path);
+        }
+        metrics
+            .ledger_replays
+            .store(self.tenants.replays(), Ordering::Relaxed);
         let report = ServerReport {
             metrics: metrics.snapshot(),
             cache: self.engine.cache_stats(),
             tenants: self.tenants.snapshot(),
         };
         (result, report)
+    }
+
+    /// Where the farm's popularity queue persists: the state directory
+    /// if configured, else alongside the engine's strategy store.
+    fn farm_queue_path(&self) -> Option<PathBuf> {
+        self.state_dir
+            .clone()
+            .or_else(|| self.engine.spill_dir().map(Path::to_path_buf))
+            .map(|d| d.join("farm_queue.lrmf"))
     }
 
     /// The coalescing scheduler: groups admissible submissions by
@@ -365,6 +540,19 @@ impl Server {
                             .rejected_admission
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         respond(metrics, sub, Err(ServerError::Admission(e)));
+                        continue;
+                    }
+                    let shape = shape_hash(&sub.prepared);
+                    if self
+                        .quarantine
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .contains(&shape)
+                    {
+                        metrics
+                            .failed
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        respond(metrics, sub, Err(ServerError::Quarantined { shape }));
                         continue;
                     }
                     if self.precompile_workers > 0 && farm.observe(&sub.prepared) {
@@ -466,16 +654,67 @@ impl Server {
         }
     }
 
-    /// A worker: answer batches until the scheduler hangs up.
-    fn worker_loop(&self, metrics: &ServerMetrics, jobs: &Mutex<Receiver<BatchJob>>) {
+    /// A supervised worker: answer batches until the scheduler hangs up,
+    /// containing panics. A panic while answering fails the batch's
+    /// not-yet-responded members with [`ServerError::Quarantined`],
+    /// quarantines their workload shapes (refused at admission from then
+    /// on — the shape, not the tenant, is what crashed the worker), and
+    /// keeps this pool slot running (a logical respawn). A worker that
+    /// spends its panic budget retires — unless it is the last live
+    /// worker, which soldiers on: the pool must never go empty while the
+    /// scheduler can still flush batches at it.
+    fn worker_loop(
+        &self,
+        metrics: &ServerMetrics,
+        jobs: &Mutex<Receiver<BatchJob>>,
+        farm: &FarmState,
+        live_workers: &AtomicUsize,
+    ) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut panics: u64 = 0;
         loop {
             let job = {
                 let guard = jobs.lock().unwrap_or_else(|e| e.into_inner());
                 guard.recv()
             };
-            match job {
-                Ok(job) => self.answer_batch(metrics, job),
-                Err(_) => break,
+            let Ok(mut job) = job else { break };
+            // AssertUnwindSafe: on panic we only touch `job.submissions`
+            // (a plain Vec the answer loop shrinks with `remove(0)`, so
+            // exactly the unresponded members remain) and shared state
+            // whose own locks handle poisoning.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.answer_batch(metrics, farm, &mut job)
+            }));
+            if outcome.is_ok() {
+                continue;
+            }
+            panics += 1;
+            metrics.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            while !job.submissions.is_empty() {
+                let sub = job.submissions.remove(0);
+                let shape = shape_hash(&sub.prepared);
+                if self
+                    .quarantine
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .insert(shape)
+                {
+                    metrics.quarantined_shapes.fetch_add(1, Ordering::Relaxed);
+                }
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                respond(metrics, sub, Err(ServerError::Quarantined { shape }));
+            }
+            if panics >= self.worker_panic_budget {
+                let retired = live_workers
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        (n > 1).then(|| n - 1)
+                    })
+                    .is_ok();
+                if retired {
+                    break;
+                }
+                // Last worker standing: reset the budget and keep going.
+                panics = 0;
             }
         }
     }
@@ -486,7 +725,6 @@ impl Server {
     /// design: a failed compile is dropped — the serving path will
     /// surface the same error to the tenant that actually asks.
     fn farm_loop(&self, metrics: &ServerMetrics, farm: &FarmState) {
-        use std::sync::atomic::Ordering;
         loop {
             match farm.claim() {
                 Claim::Shape(prepared) => {
@@ -511,27 +749,66 @@ impl Server {
         }
     }
 
-    /// Compile → one noisy release → slice → settle, for one batch.
-    fn answer_batch(&self, metrics: &ServerMetrics, job: BatchJob) {
-        use std::sync::atomic::Ordering;
-        let specs: Vec<&PreparedSpec> = job.submissions.iter().map(|s| &s.prepared).collect();
-        let (workload, spans) = match combine(self.schema.domain_size(), &specs) {
+    /// Compile → intents → one noisy release → slice → settle, for one
+    /// batch. Takes the job by `&mut` so that if this method panics (a
+    /// worker fault), the supervisor in [`Server::worker_loop`] finds
+    /// exactly the not-yet-responded members still in
+    /// `job.submissions`.
+    fn answer_batch(&self, metrics: &ServerMetrics, farm: &FarmState, job: &mut BatchJob) {
+        lrm_testing::failpoint!("server::worker::panic");
+        let combined = {
+            let specs: Vec<&PreparedSpec> = job.submissions.iter().map(|s| &s.prepared).collect();
+            combine(self.schema.domain_size(), &specs)
+        };
+        let (workload, spans) = match combined {
             Ok(v) => v,
             Err(e) => return self.fail_batch(metrics, job, ServerError::Workload(e)),
         };
-        let compiled = match self
-            .engine
-            .compile(&workload, self.mechanism, &self.options)
-        {
+        let compiled = match self.compile_batch(&workload) {
             Ok(c) => c,
-            Err(e) => return self.fail_batch(metrics, job, ServerError::Core(e)),
+            Err(e) => return self.fail_batch(metrics, job, e),
         };
+        let degraded = compiled.meta().degraded;
+        if degraded {
+            // The configured mechanism blew its deadline; hand every
+            // member's standalone shape to the farm so a background
+            // recompile (or the next run, via the persisted queue) can
+            // answer it undegraded.
+            for sub in &job.submissions {
+                if farm.observe(&sub.prepared) {
+                    metrics.farm_shapes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Phase one: durably reserve every member's ε BEFORE any noise
+        // is drawn. From here on a crash can only waste reserved budget
+        // (the intent replays as spent) — never release unaccounted
+        // noise.
+        let intents: Vec<Result<u64, AdmissionError>> = job
+            .submissions
+            .iter()
+            .map(|sub| self.tenants.begin(&sub.tenant, sub.eps))
+            .collect();
         // One noise draw for the whole batch, from the batch's own
-        // deterministic stream.
-        let mut rng = derive_rng(self.seed, job.index);
-        let answers = match compiled.answer(&self.data, job.eps, &mut rng) {
-            Ok(a) => a,
-            Err(e) => return self.fail_batch(metrics, job, ServerError::Core(e)),
+        // deterministic stream — skipped entirely if no intent was
+        // granted (no release will happen, so no noise may exist).
+        let answers = if intents.iter().any(Result::is_ok) {
+            let mut rng = derive_rng(self.seed, job.index);
+            match compiled.answer(&self.data, job.eps, &mut rng) {
+                Ok(a) => Some(a),
+                Err(e) => {
+                    // The noise never leaves the process: refund every
+                    // reservation (durably, or keep it — conservative).
+                    for (sub, intent) in job.submissions.iter().zip(&intents) {
+                        if let Ok(id) = intent {
+                            self.tenants.abort(&sub.tenant, *id);
+                        }
+                    }
+                    return self.fail_batch(metrics, job, ServerError::Core(e));
+                }
+            }
+        } else {
+            None
         };
         // Data-independent error bound only (`x = None`): the structural
         // residual ‖(W − BL)x‖² is an exact, un-noised statistic of the
@@ -539,13 +816,28 @@ impl Server {
         // any budget debit — it must never depend on the data.
         let expected_avg_error = compiled.expected_average_error(job.eps, None);
         let batch_size = job.submissions.len();
-        for (sub, span) in job.submissions.into_iter().zip(spans) {
-            // Settlement: debit-after-success, atomically re-validated.
-            // A refused debit withholds the slice — nothing is released,
-            // nothing is spent.
-            match self.tenants.debit(&sub.tenant, sub.eps) {
-                Ok(eps_remaining) => {
+        // The crash window the fault harness aims at: noise exists,
+        // settlements have not landed. The durable intents above are
+        // what make a kill here safe.
+        lrm_testing::failpoint!("server::settle::crash");
+        let mut spans = spans.into_iter();
+        let mut intents = intents.into_iter();
+        while !job.submissions.is_empty() {
+            // `remove(0)`, not `drain(..)`: a panic mid-loop must leave
+            // the unresponded members in the job for the supervisor
+            // (Drain's drop would discard them, hanging their tickets).
+            let sub = job.submissions.remove(0);
+            let span = spans.next().expect("one span per member");
+            match intents.next().expect("one intent per member") {
+                Ok(id) => {
+                    let eps_remaining = self.tenants.settle(&sub.tenant, id);
                     metrics.answered.fetch_add(1, Ordering::Relaxed);
+                    if degraded {
+                        metrics.degraded_releases.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let answers = answers
+                        .as_ref()
+                        .expect("noise was drawn: this member's intent was granted");
                     let release = Release {
                         answers: answers[span].to_vec(),
                         eps_spent: sub.eps,
@@ -554,6 +846,7 @@ impl Server {
                         expected_avg_error,
                         batch_index: job.index,
                         batch_size,
+                        degraded,
                     };
                     respond(metrics, sub, Ok(release));
                 }
@@ -565,12 +858,38 @@ impl Server {
         }
     }
 
+    /// Compiles the combined workload, under the configured deadline if
+    /// any. A deadline overrun abandons the compile (nothing is cached)
+    /// and answers with the guaranteed-fast Laplace baseline at the same
+    /// ε, marked degraded — availability degrades to a worse error
+    /// bound, never to a privacy change.
+    fn compile_batch(&self, workload: &Workload) -> Result<CompiledMechanism, ServerError> {
+        match self.compile_deadline {
+            None => self
+                .engine
+                .compile(workload, self.mechanism, &self.options)
+                .map_err(ServerError::Core),
+            Some(budget) => match self.engine.compile_with_deadline(
+                workload,
+                self.mechanism,
+                &self.options,
+                budget,
+            ) {
+                Ok(c) => Ok(c),
+                Err(CoreError::DeadlineExceeded) => self
+                    .engine
+                    .compile(workload, MechanismKind::Laplace, &self.options)
+                    .map(CompiledMechanism::mark_degraded)
+                    .map_err(ServerError::Core),
+                Err(e) => Err(ServerError::Core(e)),
+            },
+        }
+    }
+
     /// Fails every member of a batch with the same error.
-    fn fail_batch(&self, metrics: &ServerMetrics, job: BatchJob, error: ServerError) {
-        for sub in job.submissions {
-            metrics
-                .failed
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    fn fail_batch(&self, metrics: &ServerMetrics, job: &mut BatchJob, error: ServerError) {
+        for sub in job.submissions.drain(..) {
+            metrics.failed.fetch_add(1, Ordering::Relaxed);
             respond(metrics, sub, Err(error.clone()));
         }
     }
@@ -669,6 +988,19 @@ impl Client<'_> {
                 tenant: tenant.to_string(),
             }));
         }
+        if let Some(cap) = self.server.max_queue_depth {
+            // Bounded admission: shed synchronously at the cap instead
+            // of growing the queue without bound. The shed request never
+            // enters the queue accounting (no submit, no latency
+            // sample); `retry_after` is one coalescing window — by then
+            // the scheduler has flushed at least one batch.
+            if self.metrics.queue_depth.load(Ordering::Relaxed) as usize >= cap {
+                self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServerError::Overloaded {
+                    retry_after: self.server.coalesce_window.max(Duration::from_millis(1)),
+                });
+            }
+        }
         let (responder, rx) = mpsc::channel();
         self.metrics.enqueued();
         let sub = Submission {
@@ -683,7 +1015,6 @@ impl Client<'_> {
             // queue accounting back without recording a latency sample —
             // the request never entered the queue, and a synthetic zero
             // would drag p50/p99 down.
-            use std::sync::atomic::Ordering;
             self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
             self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
             return Err(ServerError::Shutdown);
@@ -716,6 +1047,18 @@ impl Ticket {
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServerError::Shutdown)),
         }
     }
+
+    /// Bounded wait: blocks up to `timeout` for the outcome. `None`
+    /// means the request is *still in flight* (the ticket stays valid —
+    /// wait again); `Some(Err(ServerError::Shutdown))` means the runtime
+    /// went away without responding.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Release, ServerError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServerError::Shutdown)),
+        }
+    }
 }
 
 /// One granted release: the tenant's slice of a batch answer plus the
@@ -744,6 +1087,11 @@ pub struct Release {
     pub batch_index: u64,
     /// How many requests shared the batch.
     pub batch_size: usize,
+    /// Whether this release came from the degraded-mode fallback: the
+    /// configured mechanism blew its compile deadline, so the batch was
+    /// answered by the Laplace baseline at the same ε. The privacy
+    /// accounting is identical — only the expected error is worse.
+    pub degraded: bool,
 }
 
 impl Release {
@@ -778,6 +1126,27 @@ pub enum ServerError {
     Core(CoreError),
     /// The runtime shut down before the request completed.
     Shutdown,
+    /// The request's workload shape previously crashed a worker and is
+    /// quarantined: the server refuses it at admission rather than
+    /// letting it take down another pool slot.
+    Quarantined {
+        /// The quarantined shape's identity hash.
+        shape: u64,
+    },
+    /// The request was shed at submission: the queue is at its
+    /// configured depth cap (see [`ServerBuilder::max_queue_depth`]).
+    /// Nothing was admitted and no budget was touched.
+    Overloaded {
+        /// A resubmission hint: one coalescing window from now the
+        /// scheduler has flushed at least one batch.
+        retry_after: Duration,
+    },
+    /// The server's durable state (noise-epoch file or state directory)
+    /// failed an I/O operation at build time.
+    State {
+        /// What failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -788,6 +1157,18 @@ impl fmt::Display for ServerError {
             ServerError::Workload(e) => write!(f, "{e}"),
             ServerError::Core(e) => write!(f, "{e}"),
             ServerError::Shutdown => write!(f, "the serving runtime shut down"),
+            ServerError::Quarantined { shape } => {
+                write!(
+                    f,
+                    "workload shape {shape:#018x} is quarantined after crashing a worker"
+                )
+            }
+            ServerError::Overloaded { retry_after } => {
+                write!(f, "server overloaded: retry after {retry_after:?}")
+            }
+            ServerError::State { reason } => {
+                write!(f, "durable server state failed: {reason}")
+            }
         }
     }
 }
@@ -799,7 +1180,10 @@ impl std::error::Error for ServerError {
             ServerError::Admission(e) => Some(e),
             ServerError::Workload(e) => Some(e),
             ServerError::Core(e) => Some(e),
-            ServerError::Shutdown => None,
+            ServerError::Shutdown
+            | ServerError::Quarantined { .. }
+            | ServerError::Overloaded { .. }
+            | ServerError::State { .. } => None,
         }
     }
 }
@@ -834,6 +1218,7 @@ mod tests {
             expected_avg_error: 0.0,
             batch_index: 0,
             batch_size: 1,
+            degraded: false,
         }))
         .unwrap();
         assert!(matches!(ticket.try_wait(), Some(Ok(_))));

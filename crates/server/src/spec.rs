@@ -180,6 +180,22 @@ pub struct PreparedSpec {
 }
 
 impl PreparedSpec {
+    /// Reassembles a spec from persisted parts (the farm's durable
+    /// popularity queue). Crate-internal: the public path to a
+    /// `PreparedSpec` is [`QuerySpec::compile`], which validates against
+    /// a live schema.
+    pub(crate) fn from_parts(
+        domain_size: usize,
+        schema_fingerprint: u64,
+        rows: PreparedRows,
+    ) -> Self {
+        Self {
+            domain_size,
+            schema_fingerprint,
+            rows,
+        }
+    }
+
     /// Number of queries (rows) this spec contributes to a batch.
     pub fn num_queries(&self) -> usize {
         match &self.rows {

@@ -1,24 +1,35 @@
-//! Per-tenant budget ledgers.
+//! Per-tenant budget ledgers, durably journaled.
 //!
-//! Every tenant (analyst) owns one [`SharedLedger`]: the scheduler
-//! admission-checks against it (fail fast, advisory) and a worker debits
-//! it *after* the batch release succeeds and *before* the tenant's answer
-//! slice leaves the server — debit-after-success, atomically re-validated
-//! under the ledger lock, so the one-slack over-spend bound of
-//! [`lrm_dp::BudgetLedger`] holds per tenant however many workers settle
-//! concurrently. A slice that fails settlement is never released:
-//! withholding it is privacy-free (nothing about the data is observable
-//! from a response that never arrives), so a refused debit spends nothing.
+//! Every tenant (analyst) owns one [`DurableLedger`]: the scheduler
+//! admission-checks against it (fail fast, advisory) and a worker runs
+//! the two-phase debit protocol around every release — an `Intent` is
+//! durably recorded *before* noise is drawn, the debit settles *before*
+//! the tenant's answer slice leaves the server, and an intent whose
+//! noise was never released is aborted (refunded only if the abort is
+//! durably recorded). With a state directory configured, each tenant's
+//! ledger is backed by a fsync'd write-ahead journal
+//! ([`lrm_dp::journal`]): a crash replays every unsettled intent as
+//! spent, so the server can over-charge a tenant across a kill but can
+//! never under-charge one. A slice that fails settlement is never
+//! released: withholding it is privacy-free (nothing about the data is
+//! observable from a response that never arrives), so a refused debit
+//! spends nothing.
 
-use lrm_dp::concurrent::SharedLedger;
-use lrm_dp::{BudgetError, Epsilon};
+use lrm_dp::{BudgetError, DurableError, DurableLedger, Epsilon};
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-/// The tenant registry: a concurrent map of tenant id → shared ledger.
+/// The tenant registry: a concurrent map of tenant id → durable ledger.
 #[derive(Debug, Default)]
 pub(crate) struct TenantLedgers {
-    ledgers: RwLock<HashMap<String, SharedLedger>>,
+    ledgers: RwLock<HashMap<String, DurableLedger>>,
+    /// Journal directory; `None` keeps every ledger in memory (the
+    /// previous behavior — durability for the process lifetime only).
+    dir: Option<PathBuf>,
+    /// Ledger journals replayed on registration (restart resumes).
+    replays: AtomicU64,
 }
 
 /// One tenant's budget position, reported in the
@@ -35,17 +46,79 @@ pub struct TenantSpend {
     pub releases: usize,
 }
 
+/// What registering a tenant found on disk (see
+/// [`Server::try_register_tenant`](crate::server::Server::try_register_tenant)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantResume {
+    /// Whether a prior journal with the same total was honored.
+    pub resumed: bool,
+    /// Whether the journal was damaged; the ledger opened fully
+    /// exhausted (conservative).
+    pub corrupted: bool,
+    /// Settled spend after recovery.
+    pub spent: f64,
+    /// ε reserved by a previous process but never released, now folded
+    /// into the spend.
+    pub recovered_pending: f64,
+}
+
 impl TenantLedgers {
-    /// Registers (or resets) a tenant with a fresh budget.
-    pub fn register(&self, tenant: &str, total: Epsilon) {
+    /// A registry journaling under `dir` (`None` = in-memory ledgers).
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        Self {
+            ledgers: RwLock::new(HashMap::new()),
+            dir,
+            replays: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers (or resets) a tenant with a fresh budget, resuming its
+    /// durable journal when one exists with the same total.
+    pub fn register(&self, tenant: &str, total: Epsilon) -> Result<TenantResume, AdmissionError> {
+        let (ledger, resume) = match &self.dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| AdmissionError::Ledger {
+                    tenant: tenant.to_string(),
+                    reason: e.to_string(),
+                })?;
+                let path = dir.join(ledger_file_name(tenant));
+                let (ledger, summary) =
+                    DurableLedger::open(&path, total).map_err(|e| AdmissionError::Ledger {
+                        tenant: tenant.to_string(),
+                        reason: e.to_string(),
+                    })?;
+                if summary.resumed {
+                    self.replays.fetch_add(1, Ordering::Relaxed);
+                }
+                (
+                    ledger,
+                    TenantResume {
+                        resumed: summary.resumed,
+                        corrupted: summary.corrupted,
+                        spent: summary.spent,
+                        recovered_pending: summary.recovered_pending,
+                    },
+                )
+            }
+            None => (
+                DurableLedger::in_memory(total),
+                TenantResume {
+                    resumed: false,
+                    corrupted: false,
+                    spent: 0.0,
+                    recovered_pending: 0.0,
+                },
+            ),
+        };
         self.ledgers
             .write()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(tenant.to_string(), SharedLedger::new(total));
+            .insert(tenant.to_string(), ledger);
+        Ok(resume)
     }
 
     /// The tenant's ledger handle, if registered.
-    pub fn get(&self, tenant: &str) -> Option<SharedLedger> {
+    pub fn get(&self, tenant: &str) -> Option<DurableLedger> {
         self.ledgers
             .read()
             .unwrap_or_else(|e| e.into_inner())
@@ -53,7 +126,7 @@ impl TenantLedgers {
             .cloned()
     }
 
-    /// Advisory admission check (see [`SharedLedger::check`]).
+    /// Advisory admission check (reservations count as spent).
     pub fn check(&self, tenant: &str, eps: Epsilon) -> Result<(), AdmissionError> {
         let ledger = self
             .get(tenant)
@@ -63,15 +136,54 @@ impl TenantLedgers {
         ledger.check(eps).map_err(AdmissionError::Budget)
     }
 
-    /// Atomic settlement debit (see [`SharedLedger::debit`]); returns the
-    /// remaining budget.
-    pub fn debit(&self, tenant: &str, eps: Epsilon) -> Result<f64, AdmissionError> {
+    /// Phase one of a settlement: durably reserves `eps` for one
+    /// release. Only after this returns `Ok` may noise be drawn for the
+    /// tenant's slice.
+    pub fn begin(&self, tenant: &str, eps: Epsilon) -> Result<u64, AdmissionError> {
         let ledger = self
             .get(tenant)
             .ok_or_else(|| AdmissionError::UnknownTenant {
                 tenant: tenant.to_string(),
             })?;
-        ledger.debit(eps).map_err(AdmissionError::Budget)
+        ledger.begin(eps).map_err(|e| match e {
+            DurableError::Budget(b) => AdmissionError::Budget(b),
+            DurableError::Io(io) => AdmissionError::Ledger {
+                tenant: tenant.to_string(),
+                reason: io.to_string(),
+            },
+        })
+    }
+
+    /// Phase two, success path: finalizes intent `id` and returns the
+    /// remaining budget. Never refuses (admission happened at `begin`).
+    pub fn settle(&self, tenant: &str, id: u64) -> f64 {
+        match self.get(tenant) {
+            Some(ledger) => ledger.settle(id),
+            None => 0.0,
+        }
+    }
+
+    /// Phase two, failure path: refunds intent `id` (only if the abort
+    /// is durably recorded — otherwise the reservation is kept, which is
+    /// conservative).
+    pub fn abort(&self, tenant: &str, id: u64) {
+        if let Some(ledger) = self.get(tenant) {
+            ledger.abort(id);
+        }
+    }
+
+    /// Single-phase debit: `begin` + immediate `settle`; returns the
+    /// remaining budget. The serving path always uses the two phases
+    /// explicitly (intent before noise); this shorthand serves tests.
+    #[cfg(test)]
+    pub fn debit(&self, tenant: &str, eps: Epsilon) -> Result<f64, AdmissionError> {
+        let id = self.begin(tenant, eps)?;
+        Ok(self.settle(tenant, id))
+    }
+
+    /// Ledger journals replayed on registration so far.
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
     }
 
     /// Point-in-time budget positions of every tenant, sorted by id.
@@ -96,6 +208,30 @@ impl TenantLedgers {
     }
 }
 
+/// Journal file name for one tenant: a sanitized prefix for operator
+/// readability plus an FNV-1a hash of the exact id for uniqueness
+/// (distinct tenants whose names sanitize identically get distinct
+/// files).
+fn ledger_file_name(tenant: &str) -> String {
+    let safe: String = tenant
+        .chars()
+        .take(32)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{safe}-{h:016x}.epsj")
+}
+
 /// Typed admission/settlement failure.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdmissionError {
@@ -106,6 +242,14 @@ pub enum AdmissionError {
     },
     /// The tenant's remaining budget cannot cover the request.
     Budget(BudgetError),
+    /// The tenant's durable budget journal failed an I/O operation; the
+    /// request is refused (nothing was reserved, no noise is drawn).
+    Ledger {
+        /// The affected tenant id.
+        tenant: String,
+        /// The underlying I/O failure.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -115,6 +259,9 @@ impl std::fmt::Display for AdmissionError {
                 write!(f, "unknown tenant {tenant:?}")
             }
             AdmissionError::Budget(e) => write!(f, "{e}"),
+            AdmissionError::Ledger { tenant, reason } => {
+                write!(f, "budget journal for tenant {tenant:?} failed: {reason}")
+            }
         }
     }
 }
@@ -123,7 +270,7 @@ impl std::error::Error for AdmissionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AdmissionError::Budget(e) => Some(e),
-            AdmissionError::UnknownTenant { .. } => None,
+            AdmissionError::UnknownTenant { .. } | AdmissionError::Ledger { .. } => None,
         }
     }
 }
@@ -139,7 +286,7 @@ mod tests {
     #[test]
     fn register_check_debit_cycle() {
         let tenants = TenantLedgers::default();
-        tenants.register("acme", eps(1.0));
+        tenants.register("acme", eps(1.0)).unwrap();
         assert!(tenants.check("acme", eps(0.5)).is_ok());
         assert!((tenants.debit("acme", eps(0.5)).unwrap() - 0.5).abs() < 1e-15);
         assert!(tenants.check("acme", eps(0.6)).is_err());
@@ -164,8 +311,8 @@ mod tests {
     #[test]
     fn snapshot_sorted_and_accurate() {
         let tenants = TenantLedgers::default();
-        tenants.register("zeta", eps(2.0));
-        tenants.register("alpha", eps(1.0));
+        tenants.register("zeta", eps(2.0)).unwrap();
+        tenants.register("alpha", eps(1.0)).unwrap();
         tenants.debit("zeta", eps(0.5)).unwrap();
         let snap = tenants.snapshot();
         assert_eq!(snap.len(), 2);
@@ -179,10 +326,62 @@ mod tests {
     #[test]
     fn re_register_resets_the_budget() {
         let tenants = TenantLedgers::default();
-        tenants.register("acme", eps(0.5));
+        tenants.register("acme", eps(0.5)).unwrap();
         tenants.debit("acme", eps(0.5)).unwrap();
         assert!(tenants.check("acme", eps(0.1)).is_err());
-        tenants.register("acme", eps(1.0));
+        tenants.register("acme", eps(1.0)).unwrap();
         assert!(tenants.check("acme", eps(0.1)).is_ok());
+    }
+
+    #[test]
+    fn two_phase_reservation_gates_admission() {
+        let tenants = TenantLedgers::default();
+        tenants.register("acme", eps(1.0)).unwrap();
+        let id = tenants.begin("acme", eps(0.7)).unwrap();
+        // The live reservation counts as spent for concurrent checks.
+        assert!(tenants.check("acme", eps(0.5)).is_err());
+        tenants.abort("acme", id);
+        assert!(tenants.check("acme", eps(0.5)).is_ok());
+        let id = tenants.begin("acme", eps(0.7)).unwrap();
+        let remaining = tenants.settle("acme", id);
+        assert!((remaining - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durable_registry_resumes_spend_across_instances() {
+        let dir = std::env::temp_dir().join(format!(
+            "lrm_tenants_resume_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let tenants = TenantLedgers::new(Some(dir.clone()));
+            let r = tenants.register("acme", eps(1.0)).unwrap();
+            assert!(!r.resumed);
+            tenants.debit("acme", eps(0.25)).unwrap();
+            // A second tenant with a hostile name shares the directory.
+            tenants.register("../acme", eps(1.0)).unwrap();
+            tenants.debit("../acme", eps(0.5)).unwrap();
+            assert_eq!(tenants.replays(), 0);
+        }
+        let tenants = TenantLedgers::new(Some(dir.clone()));
+        let r = tenants.register("acme", eps(1.0)).unwrap();
+        assert!(r.resumed);
+        assert!((r.spent - 0.25).abs() < 1e-12);
+        let r2 = tenants.register("../acme", eps(1.0)).unwrap();
+        assert!((r2.spent - 0.5).abs() < 1e-12);
+        assert_eq!(tenants.replays(), 2);
+        assert!(tenants.check("acme", eps(0.8)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_file_names_are_unique_and_safe() {
+        let a = ledger_file_name("../../etc/passwd");
+        let b = ledger_file_name(".././etc/passwd");
+        assert_ne!(a, b);
+        assert!(!a.contains('/') && !a.contains(".."));
+        assert!(a.ends_with(".epsj"));
     }
 }

@@ -1,0 +1,221 @@
+#![warn(missing_docs)]
+
+//! Deterministic fault-injection sites for the LRM workspace.
+//!
+//! Production crates mark interesting failure points with the
+//! [`failpoint!`] macro:
+//!
+//! ```ignore
+//! lrm_testing::failpoint!("server::worker::panic");
+//! ```
+//!
+//! In release builds (`debug_assertions` off) the macro expands to
+//! nothing, so shipping code pays zero cost. In dev/test builds every
+//! hit consults a process-global registry: an *armed* site can panic or
+//! stall the calling thread, letting the chaos harness (`lrm-eval`'s
+//! `chaos` bin) inject worker panics, compile stalls, and torn journal
+//! writes at named places without conditional compilation in the
+//! production crates themselves.
+//!
+//! Determinism lives in the *caller*: the registry itself has no clock
+//! and no RNG. A harness derives its arming choices (which site, which
+//! hit ordinal, which action) from its seed, arms before a run, and
+//! calls [`reset`] between runs.
+//!
+//! Sites that need custom behavior (e.g. a torn journal write, which
+//! must corrupt bytes rather than panic) call [`triggered`] instead of
+//! the macro and implement the fault themselves.
+//!
+//! Because the registry is process-global, tests that arm sites must
+//! serialize themselves (the workspace keeps such tests in dedicated
+//! integration-test binaries, one process each, guarded by a mutex).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// What an armed site does to the thread that hits it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a message naming the site (the message always
+    /// contains the substring `failpoint`, so harnesses can filter
+    /// expected panics out of their panic hook).
+    Panic,
+    /// Sleep the calling thread for this many milliseconds — models a
+    /// compile stall that a cooperative deadline must catch.
+    SleepMs(u64),
+    /// Perform no built-in action; only meaningful for sites that call
+    /// [`triggered`] and implement the fault themselves.
+    Custom,
+}
+
+/// When an armed site fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FireRule {
+    /// Fire on every hit.
+    Always,
+    /// Fire exactly once, on the `at`-th hit (1-based) counted from
+    /// arming.
+    Once {
+        /// 1-based hit ordinal at which the site fires.
+        at: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    armed: Option<(FailAction, FireRule)>,
+    hits: u64,
+    fired: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<String, SiteState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, SiteState>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arms `site` with `action` under `rule`, resetting its hit counter.
+pub fn arm(site: &str, action: FailAction, rule: FireRule) {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let state = reg.entry(site.to_string()).or_default();
+    state.armed = Some((action, rule));
+    state.hits = 0;
+    state.fired = 0;
+}
+
+/// Disarms `site` (hit counting continues).
+pub fn disarm(site: &str) {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(state) = reg.get_mut(site) {
+        state.armed = None;
+    }
+}
+
+/// Disarms every site and clears all counters.
+pub fn reset() {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Number of times `site` has been hit since it was last armed (or
+/// since [`reset`], whichever is later).
+pub fn hits(site: &str) -> u64 {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.get(site).map_or(0, |s| s.hits)
+}
+
+/// Number of times `site` has actually fired.
+pub fn fired(site: &str) -> u64 {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    reg.get(site).map_or(0, |s| s.fired)
+}
+
+/// Records a hit and decides whether the site fires; returns the action
+/// to perform. Shared by [`hit`] and [`triggered`].
+fn evaluate(site: &str) -> Option<FailAction> {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let state = reg.entry(site.to_string()).or_default();
+    state.hits += 1;
+    let (action, rule) = state.armed?;
+    let fires = match rule {
+        FireRule::Always => true,
+        FireRule::Once { at } => state.hits == at,
+    };
+    if fires {
+        state.fired += 1;
+        Some(action)
+    } else {
+        None
+    }
+}
+
+/// Records a hit on `site` and performs the armed action if it fires.
+/// Called through the [`failpoint!`] macro — production code should not
+/// call this directly so the release no-op gating stays in one place.
+pub fn hit(site: &str) {
+    match evaluate(site) {
+        Some(FailAction::Panic) => panic!("failpoint '{site}' fired"),
+        Some(FailAction::SleepMs(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        Some(FailAction::Custom) | None => {}
+    }
+}
+
+/// Records a hit on `site` and returns whether it fired, performing no
+/// built-in action. For sites whose fault needs custom behavior (torn
+/// writes, truncation) that the call site implements itself.
+///
+/// In release builds this always returns `false` without touching the
+/// registry.
+pub fn triggered(site: &str) -> bool {
+    if cfg!(debug_assertions) {
+        evaluate(site).is_some()
+    } else {
+        false
+    }
+}
+
+/// Marks a named fault-injection site. Expands to nothing in release
+/// builds; in dev/test builds, records a hit and performs the armed
+/// action (panic or sleep), if any.
+#[macro_export]
+macro_rules! failpoint {
+    ($site:expr) => {{
+        #[cfg(debug_assertions)]
+        $crate::hit($site);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The registry is process-global; serialize the tests in this
+    // binary so their arming choices do not interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unarmed_site_is_a_counted_noop() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        failpoint!("test::noop");
+        failpoint!("test::noop");
+        assert_eq!(hits("test::noop"), 2);
+        assert_eq!(fired("test::noop"), 0);
+    }
+
+    #[test]
+    fn once_rule_fires_on_the_nth_hit_only() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        arm("test::nth", FailAction::Custom, FireRule::Once { at: 3 });
+        assert!(!triggered("test::nth"));
+        assert!(!triggered("test::nth"));
+        assert!(triggered("test::nth"));
+        assert!(!triggered("test::nth"));
+        assert_eq!(fired("test::nth"), 1);
+    }
+
+    #[test]
+    fn panic_action_panics_with_filterable_message() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        arm("test::boom", FailAction::Panic, FireRule::Always);
+        let caught = std::panic::catch_unwind(|| hit("test::boom"));
+        let err = caught.expect_err("armed panic site must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("failpoint"), "message was {msg:?}");
+        reset();
+    }
+
+    #[test]
+    fn disarm_stops_firing_but_keeps_counting() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        arm("test::off", FailAction::Custom, FireRule::Always);
+        assert!(triggered("test::off"));
+        disarm("test::off");
+        assert!(!triggered("test::off"));
+        assert_eq!(hits("test::off"), 2);
+    }
+}
