@@ -9,6 +9,6 @@ pub mod wavelet;
 
 pub use hierarchical::HierarchicalMechanism;
 pub use mm::{MatrixMechanism, MatrixMechanismConfig};
-pub use nod::NoiseOnData;
+pub use nod::{GaussianNoiseOnData, NoiseOnData};
 pub use nor::NoiseOnResults;
 pub use wavelet::WaveletMechanism;

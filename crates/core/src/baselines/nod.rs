@@ -1,8 +1,9 @@
-//! Noise on Data (NOD) — Eq. 4 of the paper.
+//! Noise on Data (NOD) — Eq. 4 of the paper — and its approximate-DP
+//! (Gaussian) twin.
 
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
-use lrm_dp::{Epsilon, Laplace};
+use lrm_dp::{Budget, Epsilon, Gaussian, Laplace};
 use lrm_linalg::operator::MatrixOp;
 use lrm_workload::Workload;
 use rand::RngCore;
@@ -92,6 +93,140 @@ impl Mechanism for NoiseOnData {
     }
 }
 
+/// The Gaussian noise-on-data baseline (`"GM"`):
+///
+/// ```text
+/// M_G(Q, D) = W·(x + N(0, σ²)^n)
+/// ```
+///
+/// with σ from the analytic Gaussian mechanism against the unit-count
+/// **L2** sensitivity (one record changes one count by one, so Δ₂ = Δ₁
+/// here). This is the approximate-DP counterpart of [`NoiseOnData`]: the
+/// baseline every Gaussian LRM strategy has to beat, and the in-flavor
+/// degraded fallback the server compiles when an ApproxDp LRM compile
+/// blows its deadline. Expected total squared error: `σ²·Σ_ij W_ij²`.
+///
+/// Like every Gaussian mechanism it answers only through
+/// [`Mechanism::answer_budget`]; [`Mechanism::answer`] is a typed error.
+/// It supports [`Mechanism::answer_with_topup`] on the n-dimensional
+/// count noise, so coalesced cross-ε batches can be served from it too.
+#[derive(Debug, Clone)]
+pub struct GaussianNoiseOnData {
+    w: Arc<dyn MatrixOp>,
+    /// `Σ W_ij²`, precomputed for the closed-form error.
+    squared_sum: f64,
+    /// Unit-count L2 sensitivity; 1 for counting queries.
+    unit_sensitivity: f64,
+}
+
+impl GaussianNoiseOnData {
+    /// Compiles the baseline for a workload (unit sensitivity 1).
+    pub fn compile(workload: &Workload) -> Self {
+        Self {
+            w: Arc::clone(workload.op()),
+            squared_sum: workload.squared_sum(),
+            unit_sensitivity: 1.0,
+        }
+    }
+
+    /// Variant with a non-unit record-to-count sensitivity.
+    pub fn with_unit_sensitivity(workload: &Workload, delta: f64) -> Result<Self, CoreError> {
+        if !(delta > 0.0 && delta.is_finite()) {
+            return Err(CoreError::InvalidArgument(format!(
+                "unit sensitivity must be positive, got {delta}"
+            )));
+        }
+        Ok(Self {
+            w: Arc::clone(workload.op()),
+            squared_sum: workload.squared_sum(),
+            unit_sensitivity: delta,
+        })
+    }
+}
+
+impl Mechanism for GaussianNoiseOnData {
+    fn name(&self) -> &'static str {
+        "GM"
+    }
+
+    fn num_queries(&self) -> usize {
+        self.w.rows()
+    }
+
+    fn domain_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    fn answer(
+        &self,
+        _x: &[f64],
+        _eps: Epsilon,
+        _rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        Err(CoreError::InvalidArgument(
+            "the Gaussian baseline cannot release at a pure ε; \
+             supply an (ε, δ) budget via answer_budget"
+                .into(),
+        ))
+    }
+
+    fn answer_budget(
+        &self,
+        x: &[f64],
+        budget: Budget,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.check_database(x)?;
+        let noise = Gaussian::calibrated(self.unit_sensitivity, budget)?;
+        let noisy: Vec<f64> = x.iter().map(|&v| v + noise.sample(rng)).collect();
+        Ok(self.w.matvec(&noisy))
+    }
+
+    fn answer_with_topup(
+        &self,
+        x: &[f64],
+        base: Budget,
+        target: Budget,
+        base_rng: &mut dyn RngCore,
+        topup_rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.check_database(x)?;
+        let sigma_base = Gaussian::calibrated(self.unit_sensitivity, base)?.sigma();
+        let sigma_target = Gaussian::calibrated(self.unit_sensitivity, target)?.sigma();
+        if sigma_target < sigma_base * (1.0 - 1e-12) {
+            return Err(CoreError::InvalidArgument(format!(
+                "top-up base must be the weakest member budget: \
+                 σ(target) = {sigma_target} < σ(base) = {sigma_base}"
+            )));
+        }
+        // Same two-pass discipline as the LRM top-up: all base draws
+        // first, so the shared sequence is independent of this member's
+        // own budget.
+        let base_noise = Gaussian::centered(sigma_base)?;
+        let mut noisy: Vec<f64> = x.iter().map(|&v| v + base_noise.sample(base_rng)).collect();
+        let topup_var = (sigma_target * sigma_target - sigma_base * sigma_base).max(0.0);
+        if topup_var > 0.0 {
+            let topup = Gaussian::centered(topup_var.sqrt())?;
+            for v in noisy.iter_mut() {
+                *v += topup.sample(topup_rng);
+            }
+        }
+        Ok(self.w.matvec(&noisy))
+    }
+
+    /// No finite Gaussian noise achieves pure ε-DP.
+    fn expected_error(&self, _eps: Epsilon, _x: Option<&[f64]>) -> f64 {
+        f64::INFINITY
+    }
+
+    fn expected_error_budget(&self, budget: Budget, _x: Option<&[f64]>) -> f64 {
+        match Gaussian::calibrated(self.unit_sensitivity, budget) {
+            Ok(g) => g.variance() * self.squared_sum,
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +303,89 @@ mod tests {
         let e = eps(1.0);
         assert!((mech.expected_error(e, None) - 4.0 * base.expected_error(e, None)).abs() < 1e-9);
         assert!(NoiseOnData::with_unit_sensitivity(&w, 0.0).is_err());
+    }
+
+    #[test]
+    fn gaussian_baseline_rejects_pure_and_matches_analytic() {
+        let w = toy();
+        let mech = GaussianNoiseOnData::compile(&w);
+        assert_eq!(mech.name(), "GM");
+        let x = [5.0, 2.0, 1.0];
+        assert!(mech.answer(&x, eps(1.0), &mut derive_rng(0, 0)).is_err());
+        assert!(mech.expected_error(eps(1.0), None).is_infinite());
+
+        let truth = w.answer(&x).unwrap();
+        let budget = lrm_dp::Budget::approx(eps(1.0), 1e-6).unwrap();
+        let trials = 4000;
+        let mut sq = 0.0;
+        for t in 0..trials {
+            let got = mech
+                .answer_budget(&x, budget, &mut derive_rng(11, t))
+                .unwrap();
+            sq += got
+                .iter()
+                .zip(truth.iter())
+                .map(|(g, y)| (g - y) * (g - y))
+                .sum::<f64>();
+        }
+        let empirical = sq / trials as f64;
+        let analytic = mech.expected_error_budget(budget, None);
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.1,
+            "{empirical} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn gaussian_baseline_topup_is_reproducible_and_ordered() {
+        let w = toy();
+        let mech = GaussianNoiseOnData::compile(&w);
+        let x = [5.0, 2.0, 1.0];
+        let loose = lrm_dp::Budget::approx(eps(2.0), 1e-6).unwrap();
+        let tight = lrm_dp::Budget::approx(eps(0.5), 1e-6).unwrap();
+
+        let a = mech
+            .answer_with_topup(
+                &x,
+                loose,
+                tight,
+                &mut derive_rng(5, 0),
+                &mut derive_rng(5, 1),
+            )
+            .unwrap();
+        let b = mech
+            .answer_with_topup(
+                &x,
+                loose,
+                tight,
+                &mut derive_rng(5, 0),
+                &mut derive_rng(5, 1),
+            )
+            .unwrap();
+        assert_eq!(a, b);
+        // Removing noise is impossible.
+        assert!(mech
+            .answer_with_topup(
+                &x,
+                tight,
+                loose,
+                &mut derive_rng(5, 0),
+                &mut derive_rng(5, 1)
+            )
+            .is_err());
+        // Zero residual: equals the plain release on the base stream.
+        let d = mech
+            .answer_with_topup(
+                &x,
+                loose,
+                loose,
+                &mut derive_rng(5, 0),
+                &mut derive_rng(5, 9),
+            )
+            .unwrap();
+        let plain = mech
+            .answer_budget(&x, loose, &mut derive_rng(5, 0))
+            .unwrap();
+        assert_eq!(d, plain);
     }
 }

@@ -22,14 +22,38 @@
 //! monotonically in practice.
 
 use crate::error::CoreError;
-use lrm_dp::sensitivity;
+use lrm_dp::{sensitivity, Budget, Gaussian, SensitivityNorm};
 use lrm_linalg::decomp::Cholesky;
 use lrm_linalg::operator::MatrixOp;
 use lrm_linalg::{ops, Matrix};
 use lrm_opt::{
-    nesterov_projected, project_columns_l1, AlmSchedule, AlmState, NesterovConfig, WarmStart,
+    nesterov_projected, project_columns_l1, project_columns_l2, AlmSchedule, AlmState,
+    NesterovConfig, WarmStart,
 };
 use lrm_workload::{Workload, WorkloadStructure};
+
+/// Projects every column of `l` onto the unit-radius ball of the given
+/// sensitivity norm — the feasible set of the pure-ε (L1/Laplace) or
+/// approximate-DP (L2/Gaussian) decomposition respectively.
+fn project_columns(l: &mut Matrix, radius: f64, norm: SensitivityNorm) {
+    match norm {
+        SensitivityNorm::L1 => {
+            project_columns_l1(l, radius);
+        }
+        SensitivityNorm::L2 => {
+            project_columns_l2(l, radius);
+        }
+    }
+}
+
+/// `max_j ‖L_:j‖` under the given norm — the sensitivity the feasibility
+/// safety check re-asserts before privacy accounting trusts `Δ ≤ 1`.
+fn max_col_norm(l: &Matrix, norm: SensitivityNorm) -> f64 {
+    match norm {
+        SensitivityNorm::L1 => l.max_col_abs_sum(),
+        SensitivityNorm::L2 => sensitivity::l2_sensitivity(l),
+    }
+}
 
 /// How to choose the inner dimension `r` of the decomposition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,6 +187,11 @@ pub struct WorkloadDecomposition {
     l: Matrix,
     /// `W − B·L`, kept for the structural-error term of Theorem 3.
     residual_matrix: Matrix,
+    /// Which column norm bounds the sensitivity of `L` — L1 for the
+    /// paper's pure-ε (Laplace) mechanism, L2 for the approximate-DP
+    /// (Gaussian) variant. The norm is part of the strategy's identity:
+    /// an L1-feasible `L` says nothing about Gaussian calibration.
+    norm: SensitivityNorm,
     stats: DecompositionStats,
 }
 
@@ -180,7 +209,21 @@ impl WorkloadDecomposition {
     /// covers every outer iteration of a run that converges before the
     /// first multiplier update.
     pub fn compute(workload: &Workload, config: &DecompositionConfig) -> Result<Self, CoreError> {
-        Self::compute_with_init(workload, config, None)
+        Self::compute_with_init_flavored(workload, config, SensitivityNorm::L1, None)
+    }
+
+    /// Runs Algorithm 1 with the feasible set chosen by `norm`: per-column
+    /// **L1** balls for the paper's pure-ε (Laplace) mechanism, per-column
+    /// **L2** balls for the approximate-DP (Gaussian) variant. The L2 ball
+    /// contains the L1 ball, so the Gaussian program optimizes over a
+    /// strictly larger feasible set — everything else (the ALM outer loop,
+    /// the convergence contract, the polish phase) is shared code.
+    pub fn compute_flavored(
+        workload: &Workload,
+        config: &DecompositionConfig,
+        norm: SensitivityNorm,
+    ) -> Result<Self, CoreError> {
+        Self::compute_with_init_flavored(workload, config, norm, None)
     }
 
     /// Runs Algorithm 1 from a warm-start seed instead of the Lemma 3
@@ -204,6 +247,20 @@ impl WorkloadDecomposition {
         config: &DecompositionConfig,
         init: Option<&WarmStart>,
     ) -> Result<Self, CoreError> {
+        Self::compute_with_init_flavored(workload, config, SensitivityNorm::L1, init)
+    }
+
+    /// [`Self::compute_flavored`] from a warm-start seed. The seed is
+    /// re-projected onto the **target** norm's feasible set
+    /// ([`WarmStart::reproject_l`] / [`WarmStart::reproject_l_l2`]), which
+    /// is what lets an L1-optimized neighbor seed — never serve — an L2
+    /// compile: the factors carry over, the feasible set does not.
+    pub fn compute_with_init_flavored(
+        workload: &Workload,
+        config: &DecompositionConfig,
+        norm: SensitivityNorm,
+        init: Option<&WarmStart>,
+    ) -> Result<Self, CoreError> {
         config.validate()?;
         let op = workload.op().as_ref();
         let (m, n) = op.shape();
@@ -214,7 +271,10 @@ impl WorkloadDecomposition {
         let warm_init = init
             .filter(|seed| seed.domain_size() == n && seed.rank() > 0)
             .and_then(|seed| {
-                let l = seed.reproject_l(r);
+                let l = match norm {
+                    SensitivityNorm::L1 => seed.reproject_l(r),
+                    SensitivityNorm::L2 => seed.reproject_l_l2(r),
+                };
                 // Always refit B against the *new* workload (the β→∞
                 // limit of Eq. 9) instead of trusting the seed's B: the
                 // seed was fit to a similar-but-different W, and carrying
@@ -274,6 +334,7 @@ impl WorkloadDecomposition {
                 b,
                 l,
                 residual_matrix: residual,
+                norm,
                 stats,
             });
         }
@@ -379,6 +440,7 @@ impl WorkloadDecomposition {
                     &b_new,
                     &l,
                     beta,
+                    norm,
                     &nesterov_cfg,
                     lipschitz_warm_start,
                 );
@@ -484,7 +546,7 @@ impl WorkloadDecomposition {
             // directions so the lost rank is spent where it reduces the
             // constraint violation most.
             if tau > gamma_eff {
-                revive_dead_directions(&mut b, &mut l, &residual);
+                revive_dead_directions(&mut b, &mut l, &residual, norm);
             }
         }
         let had_feasible = best.is_some();
@@ -537,10 +599,11 @@ impl WorkloadDecomposition {
 
         // Numerical safety: the Nesterov projection guarantees feasibility,
         // but re-assert it so downstream privacy accounting can rely on
-        // Δ(B, L) ≤ 1.
-        let over = l.max_col_abs_sum();
+        // Δ(B, L) ≤ 1 — measured in the norm this decomposition's
+        // mechanism actually calibrates noise against.
+        let over = max_col_norm(&l, norm);
         if over > 1.0 + 1e-9 {
-            project_columns_l1(&mut l, 1.0);
+            project_columns(&mut l, 1.0, norm);
             residual = residual_of(op, &b, &l);
             stats.residual = residual.frobenius_norm();
         }
@@ -549,6 +612,7 @@ impl WorkloadDecomposition {
             b,
             l,
             residual_matrix: residual,
+            norm,
             stats,
         })
     }
@@ -558,6 +622,17 @@ impl WorkloadDecomposition {
     /// residual must be `W − B·L` for the workload it will answer — the
     /// loader recomputes it rather than trusting storage.
     pub fn from_parts(b: Matrix, l: Matrix, residual: Matrix) -> Self {
+        Self::from_parts_with_norm(b, l, residual, SensitivityNorm::L1)
+    }
+
+    /// [`Self::from_parts`] with an explicit sensitivity norm — used when
+    /// loading an approximate-DP (L2/Gaussian) strategy from the store.
+    pub fn from_parts_with_norm(
+        b: Matrix,
+        l: Matrix,
+        residual: Matrix,
+        norm: SensitivityNorm,
+    ) -> Self {
         let stats = DecompositionStats {
             outer_iterations: 0,
             residual: residual.frobenius_norm(),
@@ -571,6 +646,7 @@ impl WorkloadDecomposition {
             b,
             l,
             residual_matrix: residual,
+            norm,
             stats,
         }
     }
@@ -605,16 +681,56 @@ impl WorkloadDecomposition {
         sensitivity::query_scale(&self.b)
     }
 
-    /// The paper's query sensitivity `Δ(B, L) = max_j Σ_i |L_ij|`
-    /// (Definition 2); ≤ 1 by construction.
-    pub fn sensitivity(&self) -> f64 {
-        sensitivity::l1_sensitivity(&self.l)
+    /// The sensitivity norm this decomposition's feasible set (and
+    /// therefore its noise calibration) is defined in.
+    pub fn norm(&self) -> SensitivityNorm {
+        self.norm
     }
 
-    /// Lemma 1: expected squared noise error `2·Φ·Δ²/ε²`.
+    /// The query sensitivity `Δ(B, L) = max_j ‖L_:j‖` under this
+    /// decomposition's [`norm`](Self::norm) (the paper's Definition 2 for
+    /// L1; the Gaussian variant's L2 twin); ≤ 1 by construction.
+    pub fn sensitivity(&self) -> f64 {
+        match self.norm {
+            SensitivityNorm::L1 => sensitivity::l1_sensitivity(&self.l),
+            SensitivityNorm::L2 => sensitivity::l2_sensitivity(&self.l),
+        }
+    }
+
+    /// Lemma 1: expected squared noise error `2·Φ·Δ²/ε²` of the Laplace
+    /// release. An L2 decomposition cannot be released at a pure-ε budget
+    /// at all, so it reports `+∞` here — use
+    /// [`Self::expected_noise_error_budget`].
     pub fn expected_noise_error(&self, eps: f64) -> f64 {
-        let delta = self.sensitivity();
-        2.0 * self.scale() * delta * delta / (eps * eps)
+        match self.norm {
+            SensitivityNorm::L1 => {
+                let delta = self.sensitivity();
+                2.0 * self.scale() * delta * delta / (eps * eps)
+            }
+            SensitivityNorm::L2 => f64::INFINITY,
+        }
+    }
+
+    /// Expected squared noise error under an (ε, δ) budget: the Lemma 1
+    /// Laplace formula for L1 decompositions (pure ε-DP also satisfies
+    /// every (ε, δ), at unchanged noise), or `σ²·Φ` for L2 decompositions
+    /// with σ from the analytic Gaussian calibration. An L2 decomposition
+    /// under a pure (δ = 0) budget reports `+∞`: no finite Gaussian noise
+    /// achieves ε-DP.
+    pub fn expected_noise_error_budget(&self, budget: Budget) -> f64 {
+        match self.norm {
+            SensitivityNorm::L1 => self.expected_noise_error(budget.eps().value()),
+            SensitivityNorm::L2 => {
+                let delta2 = self.sensitivity();
+                if delta2 == 0.0 {
+                    return 0.0;
+                }
+                match Gaussian::calibrated(delta2, budget) {
+                    Ok(g) => sensitivity::linear_gaussian_error(&self.b, g.sigma()),
+                    Err(_) => f64::INFINITY,
+                }
+            }
+        }
     }
 
     /// Structural error `‖(W − BL)·x‖²` of the relaxed decomposition
@@ -713,7 +829,9 @@ fn update_b(rhs: &Matrix, l: &Matrix, beta: f64) -> Result<Matrix, CoreError> {
 /// Algorithm 2 on Formula 10:
 /// `G(L) = β/2·tr(LᵀBᵀBL) − tr((βW+π)ᵀBL)`,
 /// `∂G/∂L = β·BᵀB·L − Bᵀ(βW + π)`,
-/// subject to per-column L1 balls. The caller supplies
+/// subject to per-column balls in the decomposition's sensitivity norm
+/// (L1 per Formula 11; L2 for the Gaussian variant — a radial rescale, so
+/// Algorithm 2 is otherwise unchanged). The caller supplies
 /// `bt_target = Bᵀ(βW + π)` (structured `Bᵀ·W` product plus skippable
 /// `Bᵀ·π` GEMM). Returns the new `L` and the discovered Lipschitz
 /// estimate (used to warm-start the next call).
@@ -722,6 +840,7 @@ fn update_l(
     b: &Matrix,
     l0: &Matrix,
     beta: f64,
+    norm: SensitivityNorm,
     nesterov: &NesterovConfig,
     lipschitz_warm_start: f64,
 ) -> (Matrix, f64) {
@@ -738,8 +857,8 @@ fn update_l(
         g -= bt_target;
         g
     };
-    let project = |l: &mut Matrix| {
-        project_columns_l1(l, 1.0);
+    let project = move |l: &mut Matrix| {
+        project_columns(l, 1.0, norm);
     };
 
     let cfg = NesterovConfig {
@@ -754,7 +873,12 @@ fn update_l(
 /// column of `B` both ≈ 0) and re-seeds them with the top right-singular
 /// vectors of the residual `W − BL`, scaled small enough that the
 /// re-projected columns stay feasible. Returns the number of revived rows.
-fn revive_dead_directions(b: &mut Matrix, l: &mut Matrix, residual: &Matrix) -> usize {
+fn revive_dead_directions(
+    b: &mut Matrix,
+    l: &mut Matrix,
+    residual: &Matrix,
+    norm: SensitivityNorm,
+) -> usize {
     let r = l.rows();
     let l_scale = l.max_abs().max(1e-12);
     let b_scale = b.max_abs().max(1e-12);
@@ -782,7 +906,7 @@ fn revive_dead_directions(b: &mut Matrix, l: &mut Matrix, residual: &Matrix) -> 
             deflated.push(direction);
         }
     }
-    project_columns_l1(l, 1.0);
+    project_columns(l, 1.0, norm);
     dead.len()
 }
 
@@ -1117,5 +1241,86 @@ mod tests {
         let eps = 0.5;
         let expected = 2.0 * d.scale() * d.sensitivity().powi(2) / (eps * eps);
         assert!((d.expected_noise_error(eps) - expected).abs() < 1e-9 * expected.max(1.0));
+    }
+
+    #[test]
+    fn l2_flavor_is_l2_feasible_and_meets_the_same_gamma() {
+        let w = WRange
+            .generate(12, 16, &mut StdRng::seed_from_u64(21))
+            .unwrap();
+        let cfg = DecompositionConfig::default();
+        let d1 = WorkloadDecomposition::compute(&w, &cfg).unwrap();
+        let d2 = WorkloadDecomposition::compute_flavored(&w, &cfg, SensitivityNorm::L2).unwrap();
+        assert_eq!(d1.norm(), SensitivityNorm::L1);
+        assert_eq!(d2.norm(), SensitivityNorm::L2);
+        // Feasible in the L2 norm and converged under the same contract.
+        assert!(d2.sensitivity() <= 1.0 + 1e-9, "Δ₂ = {}", d2.sensitivity());
+        assert!(d2.stats().converged, "residual {}", d2.stats().residual);
+        // The L2 ball contains the L1 ball: the Gaussian program optimizes
+        // over a larger feasible set, so its scale should not blow up past
+        // the Laplace program's (deterministic solver — no flake margin
+        // needed beyond heuristic slack).
+        assert!(
+            d2.scale() <= d1.scale() * 1.25 + 1e-9,
+            "Φ₂ {} vs Φ₁ {}",
+            d2.scale(),
+            d1.scale()
+        );
+    }
+
+    #[test]
+    fn l2_flavor_noise_error_needs_a_delta() {
+        let w = WRange
+            .generate(8, 12, &mut StdRng::seed_from_u64(22))
+            .unwrap();
+        let d = WorkloadDecomposition::compute_flavored(
+            &w,
+            &DecompositionConfig::default(),
+            SensitivityNorm::L2,
+        )
+        .unwrap();
+        // No finite Gaussian noise achieves pure ε-DP.
+        assert!(d.expected_noise_error(1.0).is_infinite());
+        let eps = lrm_dp::Epsilon::new(1.0).unwrap();
+        assert!(d
+            .expected_noise_error_budget(Budget::pure(eps))
+            .is_infinite());
+        // A looser δ needs less noise.
+        let tight = d.expected_noise_error_budget(Budget::approx(eps, 1e-9).unwrap());
+        let loose = d.expected_noise_error_budget(Budget::approx(eps, 1e-3).unwrap());
+        assert!(tight.is_finite() && tight > 0.0);
+        assert!(loose < tight, "loose {loose} vs tight {tight}");
+        // And the error is exactly σ²·Φ.
+        let budget = Budget::approx(eps, 1e-6).unwrap();
+        let sigma = Gaussian::calibrated(d.sensitivity(), budget)
+            .unwrap()
+            .sigma();
+        let err = d.expected_noise_error_budget(budget);
+        assert!((err - sigma * sigma * d.scale()).abs() <= 1e-9 * err);
+    }
+
+    #[test]
+    fn l1_seed_warm_starts_an_l2_compile() {
+        // Cross-flavor seeding: an L1-optimized neighbor seeds the L2
+        // program; the result is a fresh, L2-feasible, converged
+        // decomposition — the seed is never served.
+        let cfg = DecompositionConfig {
+            polish_iters: 0,
+            ..DecompositionConfig::default()
+        };
+        let w = panel(64, 15);
+        let l1 = WorkloadDecomposition::compute(&w, &cfg).unwrap();
+        let seed = WarmStart::new(l1.b().clone(), l1.l().clone());
+        let l2 = WorkloadDecomposition::compute_with_init_flavored(
+            &w,
+            &cfg,
+            SensitivityNorm::L2,
+            Some(&seed),
+        )
+        .unwrap();
+        assert!(l2.stats().warm_started);
+        assert_eq!(l2.norm(), SensitivityNorm::L2);
+        assert!(l2.sensitivity() <= 1.0 + 1e-9);
+        assert!(l2.stats().converged);
     }
 }

@@ -27,9 +27,10 @@
 //! and the seeded solve satisfies the same `Δ(B,L) ≤ 1` constraint.
 
 use crate::decomposition::WorkloadDecomposition;
-use crate::engine::registry::MechanismKind;
+use crate::engine::registry::{MechanismKind, NoiseFlavor};
 use crate::engine::store::{StoredHeader, StrategyStore};
 use crate::mechanism::Mechanism;
+use lrm_dp::SensitivityNorm;
 use lrm_linalg::operator::profile_distance;
 use lrm_opt::WarmStart;
 use lrm_workload::{Fingerprint, Workload};
@@ -131,6 +132,10 @@ struct SimEntry {
     rank: usize,
     fingerprint: u64,
     cold_iterations: usize,
+    /// Sensitivity norm the seed's factors were optimized under. Seeds
+    /// cross flavors freely (the solver re-projects onto the target
+    /// feasible set), but provenance records when they did.
+    norm: SensitivityNorm,
     profile: Vec<f64>,
     source: SeedSource,
 }
@@ -142,6 +147,13 @@ pub(crate) struct SeedInfo {
     pub fingerprint: u64,
     pub distance: f64,
     pub cold_iterations: usize,
+    /// The seed came from a different options digest (e.g. a different γ,
+    /// or the other noise flavor). Exact-digest seeds always win over
+    /// cross-digest ones at any distance.
+    pub cross_digest: bool,
+    /// The norm the seed was optimized under — `!=` the compile's own
+    /// norm exactly when this is a cross-flavor warm start.
+    pub seed_norm: SensitivityNorm,
 }
 
 pub(crate) struct StrategyCache {
@@ -174,6 +186,7 @@ impl StrategyCache {
                     rank: header.rank,
                     fingerprint: header.fingerprint,
                     cold_iterations: header.cold_iterations,
+                    norm: header.flavor.norm(),
                     profile: header.profile,
                     source: SeedSource::Disk(path),
                 });
@@ -252,13 +265,14 @@ impl StrategyCache {
         &self,
         key: &CacheKey,
         workload: &Workload,
+        flavor: NoiseFlavor,
     ) -> Option<(WorkloadDecomposition, StoredHeader)> {
         let store = self.store.as_ref()?;
         let path = store.path_for(key.0.as_u64(), key.1, key.2);
         if !path.exists() {
             return None;
         }
-        let (dec, header) = store.load_exact(&path, workload).ok()?;
+        let (dec, header) = store.load_exact(&path, workload, flavor).ok()?;
         self.store_loads.fetch_add(1, Ordering::Relaxed);
         Some((dec, header))
     }
@@ -272,12 +286,14 @@ impl StrategyCache {
         workload: &Workload,
         profile: &[f64],
         decomposition: &WorkloadDecomposition,
+        flavor: NoiseFlavor,
     ) {
         if let Some(store) = &self.store {
             let header = StoredHeader {
                 fingerprint: key.0.as_u64(),
                 digest: key.2,
                 kind: key.1,
+                flavor,
                 class: workload.op().structure_class().to_string(),
                 m: workload.num_queries(),
                 n: workload.domain_size(),
@@ -326,6 +342,7 @@ impl StrategyCache {
             rank: decomposition.rank(),
             fingerprint,
             cold_iterations,
+            norm: decomposition.norm(),
             profile,
             source: SeedSource::Memory(decomposition),
         });
@@ -333,11 +350,16 @@ impl StrategyCache {
 
     /// Nearest cached decomposition usable as a warm-start seed for the
     /// given compile coordinates, or `None` when nothing is close enough.
-    /// Candidates must match `(kind, options digest, structural class,
-    /// n)` exactly, sit within a factor of two of the target rank (when
-    /// the target is known), and measure under the profile-distance
-    /// threshold; the closest wins. Disk-backed winners are loaded here
-    /// (and dropped from the index if their file has rotted).
+    /// Candidates must match `(kind, structural class, n)` exactly, sit
+    /// within a factor of two of the target rank (when the target is
+    /// known), and measure under the profile-distance threshold.
+    /// Exact-digest candidates always beat cross-digest ones (a different
+    /// γ, or the other noise flavor — the cross-flavor case is what lets
+    /// an L1 neighbor *seed*, never serve, an L2 compile); within each
+    /// group the closest wins. The compile's own `(fingerprint, digest)`
+    /// entry is excluded — that would be an exact hit, not a seed.
+    /// Disk-backed winners are loaded here (and dropped from the index if
+    /// their file has rotted).
     pub fn nearest_seed(
         &self,
         kind: MechanismKind,
@@ -352,13 +374,12 @@ impl StrategyCache {
         loop {
             let (info, source_path) = {
                 let sim = self.sim.lock().expect("sim lock");
-                let mut best: Option<(usize, f64)> = None;
+                let mut best: Option<(usize, (bool, f64))> = None;
                 for (i, e) in sim.iter().enumerate() {
                     if e.kind != kind
-                        || e.digest != digest
                         || e.class != class
                         || e.n != n
-                        || e.fingerprint == fingerprint
+                        || (e.fingerprint == fingerprint && e.digest == digest)
                     {
                         continue;
                     }
@@ -371,16 +392,19 @@ impl StrategyCache {
                     if d >= SIMILARITY_THRESHOLD {
                         continue;
                     }
-                    if best.is_none_or(|(_, bd)| d < bd) {
-                        best = Some((i, d));
+                    let rank_key = (e.digest != digest, d);
+                    if best.is_none_or(|(_, bk)| rank_key < bk) {
+                        best = Some((i, rank_key));
                     }
                 }
-                let (i, d) = best?;
+                let (i, (cross_digest, d)) = best?;
                 let e = &sim[i];
                 let info = SeedInfo {
                     fingerprint: e.fingerprint,
                     distance: d,
                     cold_iterations: e.cold_iterations,
+                    cross_digest,
+                    seed_norm: e.norm,
                 };
                 match &e.source {
                     SeedSource::Memory(dec) => {

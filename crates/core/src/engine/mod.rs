@@ -48,13 +48,13 @@ mod session;
 mod store;
 
 pub use cache::{CacheOutcome, CacheStats};
-pub use registry::{CompileOptions, MechanismKind};
+pub use registry::{CompileOptions, MechanismKind, NoiseFlavor};
 pub use session::{BatchAnswer, EngineError, Session};
 
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
 use cache::{CachedStrategy, StrategyCache, PROFILE_BUCKETS};
-use lrm_dp::Epsilon;
+use lrm_dp::{Budget, Epsilon};
 use lrm_linalg::operator::coarse_column_profile;
 use lrm_workload::{Fingerprint, Workload};
 use rand::RngCore;
@@ -65,21 +65,26 @@ use std::time::Instant;
 /// Default bound on resident strategy-store files.
 const DEFAULT_STORE_CAPACITY: usize = 512;
 
+/// Default reference δ quoted by approximate-DP compile metadata.
+const DEFAULT_REFERENCE_DELTA: f64 = 1e-6;
+
 /// Builder for [`Engine`].
 #[derive(Debug)]
 pub struct EngineBuilder {
     reference_eps: Epsilon,
+    reference_delta: f64,
     defaults: CompileOptions,
     spill_dir: Option<PathBuf>,
     store_capacity: usize,
 }
 
 impl EngineBuilder {
-    /// Starts from the defaults: reference ε = 1, default compile options,
-    /// no disk spill.
+    /// Starts from the defaults: reference ε = 1, reference δ = 1e-6,
+    /// default compile options, no disk spill.
     pub fn new() -> Self {
         Self {
             reference_eps: Epsilon::new(1.0).expect("1.0 is a valid budget"),
+            reference_delta: DEFAULT_REFERENCE_DELTA,
             defaults: CompileOptions::default(),
             spill_dir: None,
             store_capacity: DEFAULT_STORE_CAPACITY,
@@ -92,6 +97,22 @@ impl EngineBuilder {
     /// residuals enter a comparison.
     pub fn reference_epsilon(mut self, eps: Epsilon) -> Self {
         self.reference_eps = eps;
+        self
+    }
+
+    /// Sets the reference δ that pairs with the reference ε when an
+    /// approximate-DP ([`NoiseFlavor::ApproxDp`]) compile quotes its
+    /// expected error — Gaussian noise has no pure-ε error at all.
+    /// Ignored by pure compiles. Default: 1e-6.
+    ///
+    /// Panics if `delta` is not in `(0, 1)` — a configuration error, not
+    /// a runtime condition.
+    pub fn reference_delta(mut self, delta: f64) -> Self {
+        assert!(
+            delta.is_finite() && delta > 0.0 && delta < 1.0,
+            "reference δ must be in (0, 1), got {delta}"
+        );
+        self.reference_delta = delta;
         self
     }
 
@@ -125,6 +146,7 @@ impl EngineBuilder {
     pub fn build(self) -> Engine {
         Engine {
             reference_eps: self.reference_eps,
+            reference_delta: self.reference_delta,
             defaults: self.defaults,
             cache: StrategyCache::new(self.spill_dir, self.store_capacity),
         }
@@ -142,6 +164,7 @@ impl Default for EngineBuilder {
 #[derive(Debug)]
 pub struct Engine {
     reference_eps: Epsilon,
+    reference_delta: f64,
     defaults: CompileOptions,
     cache: StrategyCache,
 }
@@ -161,6 +184,20 @@ impl Engine {
     /// The ε all compile metadata reports expected errors at.
     pub fn reference_epsilon(&self) -> Epsilon {
         self.reference_eps
+    }
+
+    /// The δ paired with the reference ε for approximate-DP metadata.
+    pub fn reference_delta(&self) -> f64 {
+        self.reference_delta
+    }
+
+    /// The (ε, δ) budget `flavor`'s expected-error metadata is quoted at.
+    fn reference_budget(&self, flavor: NoiseFlavor) -> Budget {
+        match flavor {
+            NoiseFlavor::PureDp => Budget::pure(self.reference_eps),
+            NoiseFlavor::ApproxDp => Budget::approx(self.reference_eps, self.reference_delta)
+                .expect("builder-validated reference δ"),
+        }
     }
 
     /// The options [`Engine::compile_default`] uses.
@@ -183,8 +220,10 @@ impl Engine {
         options: &CompileOptions,
     ) -> Result<CompiledMechanism, CoreError> {
         let t0 = Instant::now();
+        registry::check_flavor_supported(kind, options.flavor)?;
         let fingerprint = workload.fingerprint();
         let key = (fingerprint, kind, options.digest(kind));
+        let flavor = options.flavor;
 
         if let Some(cached) = self.cache.lookup(&key) {
             // Confirm the hit against the actual workload: on the
@@ -199,6 +238,7 @@ impl Engine {
                 self.cache.record(CacheOutcome::MemoryHit);
                 return Ok(self.finish(
                     kind,
+                    flavor,
                     fingerprint,
                     CacheOutcome::MemoryHit,
                     t0,
@@ -211,7 +251,8 @@ impl Engine {
         if kind.is_decomposition_backed() {
             let profile = coarse_column_profile(workload.op().as_ref(), PROFILE_BUCKETS);
 
-            if let Some((decomposition, header)) = self.cache.try_disk_load(&key, workload) {
+            if let Some((decomposition, header)) = self.cache.try_disk_load(&key, workload, flavor)
+            {
                 let decomposition = Arc::new(decomposition);
                 self.cache.admit_seed(
                     &key,
@@ -222,13 +263,22 @@ impl Engine {
                 );
                 let cached = self.admit(
                     key,
+                    flavor,
                     workload,
                     Some(decomposition.rank()),
                     None,
                     registry::rebuild_from_decomposition(kind, (*decomposition).clone(), workload),
                 );
                 self.cache.record(CacheOutcome::DiskHit);
-                return Ok(self.finish(kind, fingerprint, CacheOutcome::DiskHit, t0, cached, None));
+                return Ok(self.finish(
+                    kind,
+                    flavor,
+                    fingerprint,
+                    CacheOutcome::DiskHit,
+                    t0,
+                    cached,
+                    None,
+                ));
             }
 
             // Exact miss: a similar cached decomposition — same kind,
@@ -250,7 +300,7 @@ impl Engine {
                         .expect("decomposition-backed kinds always produce factors");
                     if dec.stats().warm_started {
                         let iterations = dec.stats().outer_iterations;
-                        self.cache.persist(&key, workload, &profile, &dec);
+                        self.cache.persist(&key, workload, &profile, &dec, flavor);
                         let dec = Arc::new(dec);
                         self.cache.admit_seed(
                             &key,
@@ -261,6 +311,7 @@ impl Engine {
                         );
                         let cached = self.admit(
                             key,
+                            flavor,
                             workload,
                             Some(dec.rank()),
                             Some(iterations),
@@ -272,9 +323,12 @@ impl Engine {
                             profile_distance: info.distance,
                             seed_iterations: info.cold_iterations,
                             iterations,
+                            cross_digest: info.cross_digest,
+                            cross_flavor: info.seed_norm != flavor.norm(),
                         };
                         return Ok(self.finish(
                             kind,
+                            flavor,
                             fingerprint,
                             CacheOutcome::WarmStart,
                             t0,
@@ -285,12 +339,13 @@ impl Engine {
                     // The solver rejected the seed (e.g. ill-conditioned
                     // factors) and ran cold anyway: report it as a miss.
                     let iterations = dec.stats().outer_iterations;
-                    self.cache.persist(&key, workload, &profile, &dec);
+                    self.cache.persist(&key, workload, &profile, &dec, flavor);
                     let dec = Arc::new(dec);
                     self.cache
                         .admit_seed(&key, workload, profile, iterations, Arc::clone(&dec));
                     let cached = self.admit(
                         key,
+                        flavor,
                         workload,
                         Some(dec.rank()),
                         Some(iterations),
@@ -299,6 +354,7 @@ impl Engine {
                     self.cache.record(CacheOutcome::Miss);
                     return Ok(self.finish(
                         kind,
+                        flavor,
                         fingerprint,
                         CacheOutcome::Miss,
                         t0,
@@ -315,7 +371,8 @@ impl Engine {
             let profile = coarse_column_profile(workload.op().as_ref(), PROFILE_BUCKETS);
             let iterations = decomposition.stats().outer_iterations;
             alm_iterations = Some(iterations);
-            self.cache.persist(&key, workload, &profile, decomposition);
+            self.cache
+                .persist(&key, workload, &profile, decomposition, flavor);
             self.cache.admit_seed(
                 &key,
                 workload,
@@ -325,24 +382,35 @@ impl Engine {
             );
         }
         let rank = built.decomposition.as_ref().map(|d| d.rank());
-        let cached = self.admit(key, workload, rank, alm_iterations, built.mechanism);
+        let cached = self.admit(key, flavor, workload, rank, alm_iterations, built.mechanism);
         self.cache.record(CacheOutcome::Miss);
-        Ok(self.finish(kind, fingerprint, CacheOutcome::Miss, t0, cached, None))
+        Ok(self.finish(
+            kind,
+            flavor,
+            fingerprint,
+            CacheOutcome::Miss,
+            t0,
+            cached,
+            None,
+        ))
     }
 
     /// Builds the cache entry for a freshly compiled (or disk-loaded)
-    /// strategy, evaluating its expected error once so later memory hits
-    /// are pure map lookups.
+    /// strategy, evaluating its expected error once — at the reference
+    /// budget matching the compile's flavor — so later memory hits are
+    /// pure map lookups.
     fn admit(
         &self,
         key: cache::CacheKey,
+        flavor: NoiseFlavor,
         workload: &Workload,
         strategy_rank: Option<usize>,
         alm_iterations: Option<usize>,
         mechanism: Arc<dyn Mechanism + Send + Sync>,
     ) -> CachedStrategy {
         let cached = CachedStrategy {
-            expected_avg_error: mechanism.expected_average_error(self.reference_eps, None),
+            expected_avg_error: mechanism
+                .expected_average_error_budget(self.reference_budget(flavor), None),
             workload_op: Arc::clone(workload.op()),
             strategy_rank,
             alm_iterations,
@@ -414,9 +482,13 @@ impl Engine {
         self.compile_best(workload, &MechanismKind::STANDARD_PANEL, &self.defaults)
     }
 
+    // Internal assembly point for every compile path; the argument list
+    // is the full CompileMeta provenance and is not worth a builder.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         kind: MechanismKind,
+        flavor: NoiseFlavor,
         fingerprint: Fingerprint,
         cache: CacheOutcome,
         t0: Instant,
@@ -426,7 +498,8 @@ impl Engine {
         CompiledMechanism {
             meta: CompileMeta {
                 kind,
-                label: kind.label(),
+                flavor,
+                label: kind.label_for(flavor),
                 fingerprint,
                 cache,
                 compile_seconds: t0.elapsed().as_secs_f64(),
@@ -435,6 +508,10 @@ impl Engine {
                 warm_start,
                 expected_avg_error: cached.expected_avg_error,
                 reference_eps: self.reference_eps,
+                reference_delta: match flavor {
+                    NoiseFlavor::PureDp => 0.0,
+                    NoiseFlavor::ApproxDp => self.reference_delta,
+                },
                 degraded: false,
             },
             mechanism: cached.mechanism,
@@ -507,6 +584,15 @@ pub struct WarmStartProvenance {
     pub seed_iterations: usize,
     /// Outer ALM iterations the seeded compile took.
     pub iterations: usize,
+    /// The seed came from a different options digest (e.g. another γ, or
+    /// the other noise flavor). Exact-digest seeds are always preferred,
+    /// so this is only ever `true` when no exact-digest neighbor existed.
+    pub cross_digest: bool,
+    /// The seed's factors were optimized under the other sensitivity norm
+    /// (an L1 neighbor seeding an L2 compile, or vice versa). The solver
+    /// re-projected them onto this compile's feasible set and re-converged
+    /// under the full contract — seeds cross flavors, strategies never do.
+    pub cross_flavor: bool,
 }
 
 impl WarmStartProvenance {
@@ -522,7 +608,10 @@ impl WarmStartProvenance {
 pub struct CompileMeta {
     /// The registry entry that was compiled.
     pub kind: MechanismKind,
-    /// Figure-legend label of the kind.
+    /// The noise model the strategy is calibrated for.
+    pub flavor: NoiseFlavor,
+    /// Figure-legend label of the kind under its flavor (`"LRM"` pure,
+    /// `"LRM-G"` approximate, …).
     pub label: &'static str,
     /// Content hash of the workload this strategy answers.
     pub fingerprint: Fingerprint,
@@ -538,10 +627,15 @@ pub struct CompileMeta {
     /// Present iff the compile was seeded by a similar cached strategy.
     pub warm_start: Option<WarmStartProvenance>,
     /// Closed-form expected **average** squared error at
-    /// [`CompileMeta::reference_eps`] (data-independent terms only).
+    /// [`CompileMeta::reference_eps`] (paired with
+    /// [`CompileMeta::reference_delta`] for approximate compiles;
+    /// data-independent terms only).
     pub expected_avg_error: f64,
     /// The reference ε the expected error is quoted at.
     pub reference_eps: Epsilon,
+    /// The reference δ the expected error is quoted at — `0` for pure
+    /// compiles, the engine's configured reference δ for approximate ones.
+    pub reference_delta: f64,
     /// Whether this strategy is a degraded-mode stand-in: the requested
     /// kind blew its compile deadline and a guaranteed-fast fallback
     /// answered instead — same ε, correct privacy accounting, higher
@@ -570,6 +664,13 @@ impl CompiledMechanism {
     /// ε guarantee.
     pub fn session(&self, total: Epsilon) -> Session {
         Session::open(self, total)
+    }
+
+    /// Opens a budget-tracked [`Session`] holding `total` as its overall
+    /// (ε, δ) guarantee — the entry point for approximate-DP strategies,
+    /// whose releases need a δ to exist at all.
+    pub fn session_budget(&self, total: Budget) -> Session {
+        Session::open_budget(self, total)
     }
 
     /// Marks this strategy as a degraded-mode stand-in for a kind whose
@@ -609,6 +710,34 @@ impl Mechanism for CompiledMechanism {
 
     fn expected_error(&self, eps: Epsilon, x: Option<&[f64]>) -> f64 {
         self.mechanism.expected_error(eps, x)
+    }
+
+    // The budget/top-up methods must delegate explicitly: the trait
+    // defaults would route them through `CompiledMechanism::answer`,
+    // which a Gaussian inner mechanism rejects.
+    fn answer_budget(
+        &self,
+        x: &[f64],
+        budget: Budget,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.mechanism.answer_budget(x, budget, rng)
+    }
+
+    fn answer_with_topup(
+        &self,
+        x: &[f64],
+        base: Budget,
+        target: Budget,
+        base_rng: &mut dyn RngCore,
+        topup_rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.mechanism
+            .answer_with_topup(x, base, target, base_rng, topup_rng)
+    }
+
+    fn expected_error_budget(&self, budget: Budget, x: Option<&[f64]>) -> f64 {
+        self.mechanism.expected_error_budget(budget, x)
     }
 }
 
@@ -727,8 +856,110 @@ mod tests {
         let mut opts = CompileOptions::default();
         opts.decomposition.gamma = 0.5;
         let other = engine.compile(&w, MechanismKind::Lrm, &opts).unwrap();
-        assert_eq!(other.meta().cache, CacheOutcome::Miss);
+        // A different digest is a different cache entry — but the first
+        // compile's decomposition is close enough to seed it, so the
+        // second full solve starts warm (cross-digest, same flavor).
+        assert_eq!(other.meta().cache, CacheOutcome::WarmStart);
+        let prov = other.meta().warm_start.as_ref().unwrap();
+        assert!(prov.cross_digest);
+        assert!(!prov.cross_flavor);
         assert_eq!(engine.cache_stats().entries, 2);
+
+        // Repeats of both option sets are exact memory hits.
+        let again = engine.compile(&w, MechanismKind::Lrm, &opts).unwrap();
+        assert_eq!(again.meta().cache, CacheOutcome::MemoryHit);
+    }
+
+    #[test]
+    fn flavors_are_separate_cache_entries_and_labels() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        let pure = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(pure.meta().flavor, NoiseFlavor::PureDp);
+        assert_eq!(pure.meta().label, "LRM");
+        assert_eq!(pure.meta().reference_delta, 0.0);
+
+        let opts = CompileOptions::with_flavor(NoiseFlavor::ApproxDp);
+        let approx = engine.compile(&w, MechanismKind::Lrm, &opts).unwrap();
+        assert_eq!(approx.meta().flavor, NoiseFlavor::ApproxDp);
+        assert_eq!(approx.meta().label, "LRM-G");
+        assert!(approx.meta().reference_delta > 0.0);
+        assert!(approx.meta().expected_avg_error.is_finite());
+        assert_eq!(engine.cache_stats().entries, 2);
+        assert!(!Arc::ptr_eq(&pure.mechanism, &approx.mechanism));
+
+        // The pure strategy is NEVER served for an approximate request:
+        // a repeat approximate compile hits its own entry…
+        let again = engine.compile(&w, MechanismKind::Lrm, &opts).unwrap();
+        assert_eq!(again.meta().cache, CacheOutcome::MemoryHit);
+        assert!(Arc::ptr_eq(&approx.mechanism, &again.mechanism));
+        // …and the compiled artifacts enforce their own calibration.
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert!(approx.answer(&x, eps(1.0), &mut derive_rng(0, 0)).is_err());
+        let b = Budget::approx(eps(1.0), 1e-6).unwrap();
+        assert!(approx.answer_budget(&x, b, &mut derive_rng(0, 0)).is_ok());
+    }
+
+    #[test]
+    fn pure_neighbor_seeds_an_approx_compile_across_flavors() {
+        let engine = Engine::builder().build();
+        let w = panel(64, 15);
+        let first = engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(first.meta().cache, CacheOutcome::Miss);
+
+        // Same workload, other flavor: no exact entry, no exact-digest
+        // neighbor — the pure decomposition seeds the L2 solve.
+        let opts = CompileOptions::with_flavor(NoiseFlavor::ApproxDp);
+        let approx = engine.compile(&w, MechanismKind::Lrm, &opts).unwrap();
+        assert_eq!(approx.meta().cache, CacheOutcome::WarmStart);
+        let prov = approx.meta().warm_start.as_ref().unwrap();
+        assert!(prov.cross_digest);
+        assert!(prov.cross_flavor, "an L1 seed into an L2 compile");
+        assert_eq!(prov.seed_fingerprint, w.fingerprint().as_u64());
+        assert_eq!(approx.meta().label, "LRM-G");
+    }
+
+    #[test]
+    fn approx_compile_of_unsupported_kind_is_a_typed_error() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        let opts = CompileOptions::with_flavor(NoiseFlavor::ApproxDp);
+        let err = engine
+            .compile(&w, MechanismKind::Wavelet, &opts)
+            .unwrap_err();
+        assert!(err.to_string().contains("no approximate-DP"), "{err}");
+        // Nothing was cached for the failed compile.
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn pure_store_dir_warm_starts_but_never_serves_an_approx_compile() {
+        let dir = std::env::temp_dir().join(format!("lrm_engine_xflavor_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = panel(64, 15);
+
+        // A PR-7-style engine writes a pure entry.
+        let engine = Engine::builder().spill_dir(&dir).build();
+        engine.compile_default(&w, MechanismKind::Lrm).unwrap();
+        drop(engine);
+
+        // A fresh engine asked for the approximate flavor of the SAME
+        // workload: the stored pure entry must not disk-hit (different
+        // digest ⇒ different path; and load_exact would reject the flavor
+        // anyway), but its header seeds the L2 solve from disk.
+        let engine2 = Engine::builder().spill_dir(&dir).build();
+        let opts = CompileOptions::with_flavor(NoiseFlavor::ApproxDp);
+        let approx = engine2.compile(&w, MechanismKind::Lrm, &opts).unwrap();
+        assert_eq!(approx.meta().cache, CacheOutcome::WarmStart);
+        let prov = approx.meta().warm_start.as_ref().unwrap();
+        assert!(prov.cross_flavor);
+        assert_eq!(engine2.cache_stats().disk_hits, 0);
+
+        // The pure entry still disk-hits for pure requests.
+        let pure = engine2.compile_default(&w, MechanismKind::Lrm).unwrap();
+        assert_eq!(pure.meta().cache, CacheOutcome::DiskHit);
+
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
@@ -911,6 +1142,45 @@ mod tests {
         assert_eq!(reloaded.meta().cache, CacheOutcome::DiskHit);
 
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn budget_sessions_compose_delta_and_refuse_overspend() {
+        let engine = Engine::builder().build();
+        let w = workload();
+        let opts = CompileOptions::with_flavor(NoiseFlavor::ApproxDp);
+        let compiled = engine.compile(&w, MechanismKind::Lrm, &opts).unwrap();
+        let total = Budget::approx(eps(1.0), 2e-6).unwrap();
+        let mut session = compiled.session_budget(total);
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+
+        let per_release = Budget::approx(eps(0.5), 1e-6).unwrap();
+        let first = session
+            .answer_budget(&x, per_release, &mut derive_rng(1, 0))
+            .unwrap();
+        assert_eq!(first.delta_spent, 1e-6);
+        assert!((first.delta_remaining - 1e-6).abs() < 1e-18);
+        assert!((first.eps_remaining - 0.5).abs() < 1e-12);
+        assert!(first.expected_avg_error.is_finite());
+
+        session
+            .answer_budget(&x, per_release, &mut derive_rng(1, 1))
+            .unwrap();
+        // ε and δ are both exhausted now; a third release is refused and
+        // the ledger is untouched by the refusal.
+        let before = session.ledger().delta_spent();
+        assert!(session
+            .answer_budget(&x, per_release, &mut derive_rng(1, 2))
+            .is_err());
+        assert_eq!(session.ledger().delta_spent(), before);
+
+        // A pure session over the Gaussian strategy can't release at all:
+        // answer() is rejected by the mechanism before any debit.
+        let mut pure_session = compiled.session(eps(1.0));
+        assert!(pure_session
+            .answer(&x, eps(0.5), &mut derive_rng(1, 3))
+            .is_err());
+        assert_eq!(pure_session.ledger().spent(), 0.0);
     }
 
     #[test]

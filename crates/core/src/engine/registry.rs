@@ -3,17 +3,78 @@
 //! constructors at the API surface.
 
 use crate::baselines::{
-    HierarchicalMechanism, MatrixMechanism, MatrixMechanismConfig, NoiseOnData, NoiseOnResults,
-    WaveletMechanism,
+    GaussianNoiseOnData, HierarchicalMechanism, MatrixMechanism, MatrixMechanismConfig,
+    NoiseOnData, NoiseOnResults, WaveletMechanism,
 };
 use crate::decomposition::{DecompositionConfig, WorkloadDecomposition};
 use crate::error::CoreError;
 use crate::extensions::CompensatedLowRankMechanism;
 use crate::lrm::LowRankMechanism;
 use crate::mechanism::Mechanism;
+use lrm_dp::SensitivityNorm;
 use lrm_workload::Workload;
 use std::fmt;
 use std::sync::Arc;
+
+/// The noise model a strategy is calibrated for.
+///
+/// The flavor decides the sensitivity norm the decomposition constrains
+/// (`Δ₁` vs `Δ₂`), the noise distribution of every release (Laplace vs
+/// Gaussian), and the privacy guarantee a session debits (pure ε vs
+/// (ε, δ)). It is part of the strategy-cache key and the on-disk store
+/// header: an L1-optimized strategy is **never** served for an L2 request
+/// or vice versa — the calibrations do not transfer, only the warm-start
+/// seeds do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NoiseFlavor {
+    /// Pure ε-DP: Laplace noise against L1 sensitivity.
+    #[default]
+    PureDp,
+    /// Approximate (ε, δ)-DP: Gaussian noise against L2 sensitivity,
+    /// calibrated by the analytic Gaussian mechanism.
+    ApproxDp,
+}
+
+impl NoiseFlavor {
+    /// The sensitivity norm this flavor's decomposition constrains.
+    pub fn norm(self) -> SensitivityNorm {
+        match self {
+            NoiseFlavor::PureDp => SensitivityNorm::L1,
+            NoiseFlavor::ApproxDp => SensitivityNorm::L2,
+        }
+    }
+
+    /// Short lowercase token for digests, filenames, and metrics labels.
+    pub fn token(self) -> &'static str {
+        match self {
+            NoiseFlavor::PureDp => "pure",
+            NoiseFlavor::ApproxDp => "approx",
+        }
+    }
+
+    /// Stable one-byte tag for the strategy-store file format (v2+).
+    pub(crate) fn store_tag(self) -> u8 {
+        match self {
+            NoiseFlavor::PureDp => 0,
+            NoiseFlavor::ApproxDp => 1,
+        }
+    }
+
+    /// Inverse of [`NoiseFlavor::store_tag`].
+    pub(crate) fn from_store_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(NoiseFlavor::PureDp),
+            1 => Some(NoiseFlavor::ApproxDp),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NoiseFlavor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
 
 /// Every mechanism the [`Engine`](super::Engine) can compile.
 ///
@@ -104,6 +165,36 @@ impl MechanismKind {
         )
     }
 
+    /// Whether this kind has an approximate-DP (Gaussian) calibration.
+    ///
+    /// The decomposition-backed LRM kinds re-run Algorithm 1 under the L2
+    /// constraint; the noise-on-data kinds swap Laplace count noise for
+    /// calibrated Gaussian count noise. The remaining baselines publish
+    /// `T·η` for strategy matrices whose published error analysis is
+    /// Laplace-specific, so they stay pure-only.
+    pub fn supports_approx(&self) -> bool {
+        matches!(
+            self,
+            MechanismKind::Lrm
+                | MechanismKind::LrmRelaxed
+                | MechanismKind::Laplace
+                | MechanismKind::Nod
+        )
+    }
+
+    /// Display label for a kind compiled under `flavor`. Pure labels match
+    /// the paper's figure legends; approximate labels append a Gaussian
+    /// marker so dashboards can tell the calibrations apart.
+    pub fn label_for(&self, flavor: NoiseFlavor) -> &'static str {
+        match (self, flavor) {
+            (MechanismKind::Lrm, NoiseFlavor::ApproxDp) => "LRM-G",
+            (MechanismKind::LrmRelaxed, NoiseFlavor::ApproxDp) => "LRM-γG",
+            (MechanismKind::Laplace, NoiseFlavor::ApproxDp) => "GM",
+            (MechanismKind::Nod, NoiseFlavor::ApproxDp) => "GNOD",
+            _ => self.label(),
+        }
+    }
+
     /// Stable one-byte tag for the strategy-store file format. Values are
     /// part of the on-disk contract: never reuse a tag for a different
     /// kind.
@@ -149,6 +240,9 @@ pub struct CompileOptions {
     pub relaxed_gamma: f64,
     /// Appendix-B solver parameters for [`MechanismKind::MatrixMechanism`].
     pub matrix_mechanism: MatrixMechanismConfig,
+    /// The noise model to calibrate for. Part of the cache key: pure and
+    /// approximate strategies for the same workload never alias.
+    pub flavor: NoiseFlavor,
 }
 
 impl Default for CompileOptions {
@@ -157,6 +251,7 @@ impl Default for CompileOptions {
             decomposition: DecompositionConfig::default(),
             relaxed_gamma: 1.0,
             matrix_mechanism: MatrixMechanismConfig::default(),
+            flavor: NoiseFlavor::PureDp,
         }
     }
 }
@@ -170,12 +265,25 @@ impl CompileOptions {
         }
     }
 
+    /// Shorthand: default options under the given noise flavor.
+    pub fn with_flavor(flavor: NoiseFlavor) -> Self {
+        Self {
+            flavor,
+            ..Self::default()
+        }
+    }
+
     /// FNV-1a digest of the fields `kind` reads, for the strategy-cache
     /// key. Hashes the `Debug` rendering — exhaustive over fields by
     /// construction, and the cache only ever compares digests for
     /// equality.
+    ///
+    /// The flavor contributes a `"|approx"` suffix **only** when it is
+    /// [`NoiseFlavor::ApproxDp`]: pure digests stay bit-identical to what
+    /// earlier releases wrote, so every pre-flavor `.lrms` store file keeps
+    /// its name and keeps hitting.
     pub(crate) fn digest(&self, kind: MechanismKind) -> u64 {
-        let relevant = match kind {
+        let mut relevant = match kind {
             MechanismKind::Lrm => format!("lrm|{:?}", self.decomposition),
             MechanismKind::LrmRelaxed => {
                 format!("lrmr|{:?}|γ={}", self.decomposition, self.relaxed_gamma)
@@ -189,6 +297,9 @@ impl CompileOptions {
             | MechanismKind::Wavelet
             | MechanismKind::Hierarchical => String::new(),
         };
+        if self.flavor == NoiseFlavor::ApproxDp {
+            relevant.push_str("|approx");
+        }
         lrm_workload::workload::fnv1a_bytes(lrm_workload::workload::FNV_OFFSET, relevant.as_bytes())
     }
 
@@ -211,16 +322,31 @@ pub(crate) struct Built {
     pub decomposition: Option<WorkloadDecomposition>,
 }
 
+/// Typed rejection for kinds with no Gaussian calibration.
+pub(crate) fn check_flavor_supported(
+    kind: MechanismKind,
+    flavor: NoiseFlavor,
+) -> Result<(), CoreError> {
+    if flavor == NoiseFlavor::ApproxDp && !kind.supports_approx() {
+        return Err(CoreError::InvalidArgument(format!(
+            "{kind} has no approximate-DP (Gaussian) calibration; \
+             supported kinds: LRM, LRM-γ, LM, NOD"
+        )));
+    }
+    Ok(())
+}
+
 /// Compiles `kind` from scratch (no cache involvement).
 pub(crate) fn build(
     kind: MechanismKind,
     workload: &Workload,
     options: &CompileOptions,
 ) -> Result<Built, CoreError> {
+    check_flavor_supported(kind, options.flavor)?;
     let built = match kind {
         MechanismKind::Lrm | MechanismKind::LrmRelaxed => {
             let cfg = options.decomposition_for(kind);
-            let mech = LowRankMechanism::compile(workload, &cfg)?;
+            let mech = LowRankMechanism::compile_flavored(workload, &cfg, options.flavor.norm())?;
             let dec = mech.decomposition().clone();
             Built {
                 mechanism: Arc::new(mech),
@@ -236,7 +362,10 @@ pub(crate) fn build(
             }
         }
         MechanismKind::Laplace | MechanismKind::Nod => Built {
-            mechanism: Arc::new(NoiseOnData::compile(workload)),
+            mechanism: match options.flavor {
+                NoiseFlavor::PureDp => Arc::new(NoiseOnData::compile(workload)),
+                NoiseFlavor::ApproxDp => Arc::new(GaussianNoiseOnData::compile(workload)),
+            },
             decomposition: None,
         },
         MechanismKind::Nor => Built {
@@ -274,8 +403,14 @@ pub(crate) fn build_with_seed(
     seed: &lrm_opt::WarmStart,
 ) -> Result<Built, CoreError> {
     debug_assert!(kind.is_decomposition_backed());
+    check_flavor_supported(kind, options.flavor)?;
     let cfg = options.decomposition_for(kind);
-    let dec = WorkloadDecomposition::compute_with_init(workload, &cfg, Some(seed))?;
+    let dec = WorkloadDecomposition::compute_with_init_flavored(
+        workload,
+        &cfg,
+        options.flavor.norm(),
+        Some(seed),
+    )?;
     let mechanism = rebuild_from_decomposition(kind, dec.clone(), workload);
     Ok(Built {
         mechanism,
@@ -346,6 +481,72 @@ mod tests {
             base.digest(MechanismKind::Lrm),
             relaxed.digest(MechanismKind::Lrm)
         );
+    }
+
+    #[test]
+    fn flavor_separates_digests_only_for_approx() {
+        let pure = CompileOptions::default();
+        let approx = CompileOptions::with_flavor(NoiseFlavor::ApproxDp);
+        for kind in MechanismKind::ALL {
+            if kind.supports_approx() {
+                assert_ne!(pure.digest(kind), approx.digest(kind), "{kind}");
+            }
+        }
+        // Pure digests are what PR-7 stores were keyed by — unchanged.
+        assert_eq!(
+            pure.digest(MechanismKind::Lrm),
+            CompileOptions::default().digest(MechanismKind::Lrm)
+        );
+    }
+
+    #[test]
+    fn approx_labels_and_support_matrix() {
+        assert_eq!(MechanismKind::Lrm.label_for(NoiseFlavor::ApproxDp), "LRM-G");
+        assert_eq!(
+            MechanismKind::LrmRelaxed.label_for(NoiseFlavor::ApproxDp),
+            "LRM-γG"
+        );
+        assert_eq!(
+            MechanismKind::Laplace.label_for(NoiseFlavor::ApproxDp),
+            "GM"
+        );
+        assert_eq!(MechanismKind::Nod.label_for(NoiseFlavor::ApproxDp), "GNOD");
+        for kind in MechanismKind::ALL {
+            assert_eq!(kind.label_for(NoiseFlavor::PureDp), kind.label(), "{kind}");
+        }
+        assert!(!MechanismKind::Wavelet.supports_approx());
+        assert!(!MechanismKind::DataAware.supports_approx());
+    }
+
+    #[test]
+    fn approx_kinds_build_gaussian_mechanisms() {
+        let w = WRange
+            .generate(6, 8, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        let opts = CompileOptions::with_flavor(NoiseFlavor::ApproxDp);
+        let budget = lrm_dp::Budget::approx(lrm_dp::Epsilon::new(1.0).unwrap(), 1e-6).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        for kind in [
+            MechanismKind::Lrm,
+            MechanismKind::LrmRelaxed,
+            MechanismKind::Laplace,
+            MechanismKind::Nod,
+        ] {
+            let built = build(kind, &w, &opts).unwrap();
+            let mut rng = lrm_dp::rng::derive_rng(8, 9);
+            // Pure release rejected, budgeted release works.
+            assert!(built
+                .mechanism
+                .answer(&x, lrm_dp::Epsilon::new(1.0).unwrap(), &mut rng)
+                .is_err());
+            let y = built.mechanism.answer_budget(&x, budget, &mut rng).unwrap();
+            assert_eq!(y.len(), 6, "{kind}");
+            let err = built.mechanism.expected_error_budget(budget, Some(&x));
+            assert!(err.is_finite() && err > 0.0, "{kind}: {err}");
+        }
+        // Unsupported kinds are a typed error, not a silent pure fallback.
+        assert!(build(MechanismKind::Wavelet, &w, &opts).is_err());
+        assert!(build(MechanismKind::DataAware, &w, &opts).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::engine::CompiledMechanism;
 use crate::error::CoreError;
 use crate::mechanism::Mechanism;
-use lrm_dp::{BudgetError, BudgetLedger, Epsilon};
+use lrm_dp::{Budget, BudgetError, BudgetLedger, Epsilon};
 use rand::RngCore;
 use std::fmt;
 use std::sync::Arc;
@@ -14,8 +14,11 @@ use std::sync::Arc;
 /// Every [`answer`](Session::answer) debits its ε from the ledger *after*
 /// the release succeeds; once the total is spent further answers fail with
 /// [`EngineError::Budget`]\([`BudgetError::Exhausted`]\) instead of
-/// silently over-spending. The strategy itself is shared (cheaply, via
-/// `Arc`) with the engine cache — opening a session costs nothing.
+/// silently over-spending. Approximate-DP sessions
+/// ([`Session::open_budget`]) compose δ the same way: both components are
+/// checked and debited per release. The strategy itself is shared
+/// (cheaply, via `Arc`) with the engine cache — opening a session costs
+/// nothing.
 pub struct Session {
     mechanism: Arc<dyn Mechanism + Send + Sync>,
     label: &'static str,
@@ -29,6 +32,16 @@ impl Session {
             mechanism: compiled.shared_mechanism(),
             label: compiled.meta().label,
             ledger: BudgetLedger::new(total),
+        }
+    }
+
+    /// Opens a session with a total (ε, δ) budget — required for
+    /// approximate-DP strategies, whose releases consume δ.
+    pub fn open_budget(compiled: &CompiledMechanism, total: Budget) -> Self {
+        Self {
+            mechanism: compiled.shared_mechanism(),
+            label: compiled.meta().label,
+            ledger: BudgetLedger::with_budget(total),
         }
     }
 
@@ -53,7 +66,37 @@ impl Session {
             answers,
             eps_spent: eps,
             eps_remaining,
+            delta_spent: 0.0,
+            delta_remaining: self.ledger.delta_remaining(),
             expected_avg_error: self.mechanism.expected_average_error(eps, Some(x)),
+            mechanism: self.label,
+        })
+    }
+
+    /// One noisy release of the whole batch at an (ε, δ) `budget`, with
+    /// both components checked against and debited from the session
+    /// ledger. This is the only release path a Gaussian strategy accepts.
+    pub fn answer_budget(
+        &mut self,
+        x: &[f64],
+        budget: Budget,
+        rng: &mut dyn RngCore,
+    ) -> Result<BatchAnswer, EngineError> {
+        self.ledger.check_budget(budget)?;
+        let answers = self.mechanism.answer_budget(x, budget, rng)?;
+        let eps_remaining = self
+            .ledger
+            .debit_budget(budget)
+            .expect("debit cannot fail after check");
+        Ok(BatchAnswer {
+            answers,
+            eps_spent: budget.eps(),
+            eps_remaining,
+            delta_spent: budget.delta(),
+            delta_remaining: self.ledger.delta_remaining(),
+            expected_avg_error: self
+                .mechanism
+                .expected_average_error_budget(budget, Some(x)),
             mechanism: self.label,
         })
     }
@@ -98,6 +141,10 @@ pub struct BatchAnswer {
     pub eps_spent: Epsilon,
     /// Budget left in the session after the debit.
     pub eps_remaining: f64,
+    /// The δ this release consumed (`0` for pure releases).
+    pub delta_spent: f64,
+    /// δ left in the session after the debit (`0` for pure sessions).
+    pub delta_remaining: f64,
     /// Closed-form expected average squared error of this release.
     pub expected_avg_error: f64,
     /// Label of the strategy that answered.

@@ -22,7 +22,8 @@
 //! written entries (by mtime) are evicted at save time.
 
 use crate::decomposition::WorkloadDecomposition;
-use crate::engine::registry::MechanismKind;
+use crate::engine::registry::{MechanismKind, NoiseFlavor};
+use lrm_dp::{sensitivity, SensitivityNorm};
 use lrm_linalg::Matrix;
 use lrm_workload::Workload;
 use std::fs::File;
@@ -30,7 +31,15 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"LRMS";
-const VERSION: u32 = 1;
+/// v1: pre-flavor files (everything is pure ε-DP / Laplace / L1).
+/// v2: one noise-flavor byte after the mechanism kind tag.
+///
+/// Both versions load; v1 entries are read as [`NoiseFlavor::PureDp`] —
+/// exactly what every v1 compile was — so a store directory written by an
+/// earlier release keeps serving pure requests and is never offered to an
+/// approximate-DP request.
+const VERSION: u32 = 2;
+const MIN_VERSION: u32 = 1;
 
 /// Why a store file could not be used. Internal: the engine maps every
 /// variant to "treat as miss and recompile", but tests distinguish them.
@@ -58,7 +67,10 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
             StoreError::BadMagic => write!(f, "not an LRMS strategy file (bad magic)"),
             StoreError::VersionMismatch { found } => {
-                write!(f, "unsupported LRMS version {found} (expected {VERSION})")
+                write!(
+                    f,
+                    "unsupported LRMS version {found} (expected {MIN_VERSION}..={VERSION})"
+                )
             }
             StoreError::Invalid(why) => write!(f, "invalid LRMS entry: {why}"),
         }
@@ -72,6 +84,9 @@ pub(crate) struct StoredHeader {
     pub fingerprint: u64,
     pub digest: u64,
     pub kind: MechanismKind,
+    /// Noise model the stored strategy was calibrated for. v1 files have
+    /// no flavor byte and always read back as [`NoiseFlavor::PureDp`].
+    pub flavor: NoiseFlavor,
     pub class: String,
     pub m: usize,
     pub n: usize,
@@ -129,16 +144,28 @@ impl StrategyStore {
     }
 
     /// Loads and revalidates the factors behind `path` for serving:
-    /// header must match the live workload's shape, `Δ(L) ≤ 1` must hold,
-    /// and the residual is recomputed fresh.
+    /// header must match the live workload's shape **and the requested
+    /// noise flavor**, the flavor's own sensitivity constraint (`Δ₁(L) ≤ 1`
+    /// pure, `Δ₂(L) ≤ 1` approximate) must hold, and the residual is
+    /// recomputed fresh. The flavor check is what makes cross-calibration
+    /// serving impossible: a pre-PR-8 (v1) file is always pure and is a
+    /// typed error for an approximate request.
     pub fn load_exact(
         &self,
         path: &Path,
         workload: &Workload,
+        flavor: NoiseFlavor,
     ) -> Result<(WorkloadDecomposition, StoredHeader), StoreError> {
         let file = File::open(path)?;
         let mut input = BufReader::new(file);
         let header = read_header(&mut input)?;
+        if header.flavor != flavor {
+            return Err(StoreError::Invalid(format!(
+                "stored strategy is {}-calibrated but the request is {}: \
+                 calibrations never transfer across flavors",
+                header.flavor, flavor
+            )));
+        }
         let b = Matrix::read_binary(&mut input)
             .map_err(|e| StoreError::Invalid(format!("bad B block: {e}")))?;
         let l = Matrix::read_binary(&mut input)
@@ -153,14 +180,22 @@ impl StrategyStore {
                 l.cols()
             )));
         }
-        let sensitivity = l.max_col_abs_sum();
-        if sensitivity > 1.0 + 1e-6 {
+        let norm = flavor.norm();
+        let delta = match norm {
+            SensitivityNorm::L1 => l.max_col_abs_sum(),
+            SensitivityNorm::L2 => sensitivity::l2_sensitivity(&l),
+        };
+        if delta > 1.0 + 1e-6 {
             return Err(StoreError::Invalid(format!(
-                "stored L violates the sensitivity constraint: Δ = {sensitivity}"
+                "stored L violates the {} sensitivity constraint: Δ = {delta}",
+                norm.token()
             )));
         }
         let residual = crate::decomposition::residual_of(workload.op().as_ref(), &b, &l);
-        Ok((WorkloadDecomposition::from_parts(b, l, residual), header))
+        Ok((
+            WorkloadDecomposition::from_parts_with_norm(b, l, residual, norm),
+            header,
+        ))
     }
 
     /// Loads the factors behind `path` as a warm-start *seed*: only basic
@@ -252,6 +287,7 @@ fn write_header(out: &mut impl Write, h: &StoredHeader) -> std::io::Result<()> {
     out.write_all(&h.fingerprint.to_le_bytes())?;
     out.write_all(&h.digest.to_le_bytes())?;
     out.write_all(&[h.kind.store_tag()])?;
+    out.write_all(&[h.flavor.store_tag()])?;
     let class = h.class.as_bytes();
     out.write_all(&[u8::try_from(class.len()).unwrap_or(u8::MAX)])?;
     out.write_all(&class[..class.len().min(u8::MAX as usize)])?;
@@ -274,7 +310,7 @@ fn read_header(input: &mut impl Read) -> Result<StoredHeader, StoreError> {
     let mut word4 = [0u8; 4];
     input.read_exact(&mut word4)?;
     let version = u32::from_le_bytes(word4);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(StoreError::VersionMismatch { found: version });
     }
     let mut word8 = [0u8; 8];
@@ -286,6 +322,14 @@ fn read_header(input: &mut impl Read) -> Result<StoredHeader, StoreError> {
     input.read_exact(&mut byte)?;
     let kind = MechanismKind::from_store_tag(byte[0])
         .ok_or_else(|| StoreError::Invalid(format!("unknown mechanism tag {}", byte[0])))?;
+    let flavor = if version >= 2 {
+        input.read_exact(&mut byte)?;
+        NoiseFlavor::from_store_tag(byte[0])
+            .ok_or_else(|| StoreError::Invalid(format!("unknown flavor tag {}", byte[0])))?
+    } else {
+        // Every v1 compile was Laplace-calibrated.
+        NoiseFlavor::PureDp
+    };
     input.read_exact(&mut byte)?;
     let mut class_bytes = vec![0u8; byte[0] as usize];
     input.read_exact(&mut class_bytes)?;
@@ -317,6 +361,7 @@ fn read_header(input: &mut impl Read) -> Result<StoredHeader, StoreError> {
         fingerprint,
         digest,
         kind,
+        flavor,
         class,
         m,
         n,
@@ -353,6 +398,7 @@ mod tests {
             fingerprint: w.fingerprint().as_u64(),
             digest: 0xABCD,
             kind: MechanismKind::Lrm,
+            flavor: NoiseFlavor::PureDp,
             class: "dense".into(),
             m: 6,
             n: 12,
@@ -361,6 +407,31 @@ mod tests {
             profile: vec![0.25, 0.25, 0.25, 0.25],
         };
         (w, d, header)
+    }
+
+    /// Byte-for-byte writer for the v1 (pre-flavor) header layout, kept
+    /// only so the migration test can fabricate a PR-7-era store file.
+    fn write_v1_file(path: &Path, h: &StoredHeader, d: &WorkloadDecomposition) {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&h.fingerprint.to_le_bytes());
+        out.extend_from_slice(&h.digest.to_le_bytes());
+        out.push(h.kind.store_tag());
+        let class = h.class.as_bytes();
+        out.push(u8::try_from(class.len()).unwrap());
+        out.extend_from_slice(class);
+        for dim in [h.m, h.n, h.rank, h.cold_iterations] {
+            out.extend_from_slice(&(dim as u64).to_le_bytes());
+        }
+        out.extend_from_slice(&(h.profile.len() as u16).to_le_bytes());
+        for &p in &h.profile {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        d.b().write_binary(&mut out).unwrap();
+        d.l().write_binary(&mut out).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, out).unwrap();
     }
 
     #[test]
@@ -395,7 +466,7 @@ mod tests {
         store.save(&header, &d);
         let path = store.path_for(header.fingerprint, header.kind, header.digest);
 
-        let (loaded, h) = store.load_exact(&path, &w).unwrap();
+        let (loaded, h) = store.load_exact(&path, &w, NoiseFlavor::PureDp).unwrap();
         assert_eq!(loaded.rank(), d.rank());
         assert_eq!(h.cold_iterations, header.cold_iterations);
         assert!((loaded.stats().residual - d.stats().residual).abs() < 1e-9);
@@ -405,11 +476,84 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[4] = 99;
         std::fs::write(&path, &bytes).unwrap();
-        match store.load_exact(&path, &w) {
+        match store.load_exact(&path, &w, NoiseFlavor::PureDp) {
             Err(StoreError::VersionMismatch { found: 99 }) => {}
             other => panic!("expected a version mismatch, got {other:?}"),
         }
         assert!(store.scan().is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn v1_store_files_migrate_as_pure_and_never_serve_approx() {
+        let dir = tmp("migrate_v1");
+        let store = StrategyStore::open(dir.clone(), 16);
+        let (w, d, header) = sample();
+        let path = store.path_for(header.fingerprint, header.kind, header.digest);
+        write_v1_file(&path, &header, &d);
+
+        // The header-only scan sees the v1 entry as a pure strategy.
+        let scanned = store.scan();
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].0.flavor, NoiseFlavor::PureDp);
+        assert_eq!(scanned[0].0.fingerprint, header.fingerprint);
+
+        // It keeps serving pure requests…
+        let (loaded, h) = store.load_exact(&path, &w, NoiseFlavor::PureDp).unwrap();
+        assert_eq!(h.flavor, NoiseFlavor::PureDp);
+        assert_eq!(loaded.norm(), SensitivityNorm::L1);
+
+        // …and is a typed rejection for an approximate request.
+        match store.load_exact(&path, &w, NoiseFlavor::ApproxDp) {
+            Err(StoreError::Invalid(why)) => {
+                assert!(why.contains("calibrations never transfer"), "{why}")
+            }
+            other => panic!("expected a flavor rejection, got {other:?}"),
+        }
+        // Seeds are flavor-agnostic: the factors are still usable as a
+        // warm start for an L2 compile.
+        assert!(store.load_seed(&path).is_ok());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn approx_entries_round_trip_with_their_flavor() {
+        let dir = tmp("approx_rt");
+        let store = StrategyStore::open(dir.clone(), 16);
+        let w = WRange
+            .generate(6, 12, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let d = WorkloadDecomposition::compute_flavored(
+            &w,
+            &DecompositionConfig::default(),
+            SensitivityNorm::L2,
+        )
+        .unwrap();
+        let header = StoredHeader {
+            fingerprint: w.fingerprint().as_u64(),
+            digest: 0xBEEF,
+            kind: MechanismKind::Lrm,
+            flavor: NoiseFlavor::ApproxDp,
+            class: "dense".into(),
+            m: 6,
+            n: 12,
+            rank: d.rank(),
+            cold_iterations: d.stats().outer_iterations,
+            profile: vec![0.25; 4],
+        };
+        store.save(&header, &d);
+        let path = store.path_for(header.fingerprint, header.kind, header.digest);
+
+        let scanned = store.scan();
+        assert_eq!(scanned[0].0.flavor, NoiseFlavor::ApproxDp);
+
+        let (loaded, h) = store.load_exact(&path, &w, NoiseFlavor::ApproxDp).unwrap();
+        assert_eq!(h.flavor, NoiseFlavor::ApproxDp);
+        assert_eq!(loaded.norm(), SensitivityNorm::L2);
+        assert!(loaded.sensitivity() <= 1.0 + 1e-6);
+
+        // And the mirror-image rejection: an L2 strategy never serves pure.
+        assert!(store.load_exact(&path, &w, NoiseFlavor::PureDp).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -39,7 +39,7 @@ pub mod persistence;
 pub use decomposition::{DecompositionConfig, TargetRank, WorkloadDecomposition};
 pub use engine::{
     BatchAnswer, CompileMeta, CompileOptions, CompiledMechanism, Engine, EngineBuilder,
-    EngineError, MechanismKind, Session,
+    EngineError, MechanismKind, NoiseFlavor, Session,
 };
 pub use error::CoreError;
 pub use lrm::LowRankMechanism;

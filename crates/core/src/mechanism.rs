@@ -1,7 +1,7 @@
 //! The common interface all differentially private mechanisms implement.
 
 use crate::error::CoreError;
-use lrm_dp::Epsilon;
+use lrm_dp::{Budget, Epsilon};
 use rand::RngCore;
 
 /// A compiled ε-differentially-private mechanism for one fixed workload.
@@ -44,6 +44,61 @@ pub trait Mechanism {
     /// paper's figures plot.
     fn expected_average_error(&self, eps: Epsilon, x: Option<&[f64]>) -> f64 {
         self.expected_error(eps, x) / self.num_queries() as f64
+    }
+
+    /// Noisy answers to the whole batch under an (ε, δ) [`Budget`].
+    ///
+    /// The default forwards to [`Mechanism::answer`] at `budget.eps()`: a
+    /// pure ε-DP mechanism satisfies (ε, δ)-DP for every δ ≥ 0 at
+    /// unchanged noise, so the δ component is legitimately ignored.
+    /// Approximate-DP (Gaussian) mechanisms override this — for them the
+    /// δ is what makes finite noise possible at all, and their
+    /// [`Mechanism::answer`] rejects pure requests.
+    fn answer_budget(
+        &self,
+        x: &[f64],
+        budget: Budget,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.answer(x, budget.eps(), rng)
+    }
+
+    /// Exact expected **total** squared error of an
+    /// [`answer_budget`](Mechanism::answer_budget) release. Default: the
+    /// pure formula at `budget.eps()` (δ buys a pure mechanism nothing).
+    fn expected_error_budget(&self, budget: Budget, x: Option<&[f64]>) -> f64 {
+        self.expected_error(budget.eps(), x)
+    }
+
+    /// Expected **average** squared error of a budgeted release.
+    fn expected_average_error_budget(&self, budget: Budget, x: Option<&[f64]>) -> f64 {
+        self.expected_error_budget(budget, x) / self.num_queries() as f64
+    }
+
+    /// Coalesced answering with residual noise top-up: one **base** noise
+    /// draw calibrated at the weakest member budget of a coalesced batch
+    /// (from `base_rng`), plus an independent per-member top-up (from
+    /// `topup_rng`) of variance `σ²(target) − σ²(base)`, so the returned
+    /// release meets exactly `target`'s (ε, δ) guarantee. Gaussian noise
+    /// is closed under addition, which is what makes one shared data pass
+    /// serve many budgets; Laplace noise is not, so pure-DP mechanisms
+    /// keep the default: a typed error.
+    ///
+    /// `base` must be the *weakest* budget in the batch (largest ε at the
+    /// shared δ): σ(target) ≥ σ(base) is required, since noise can be
+    /// added after the fact but never removed.
+    fn answer_with_topup(
+        &self,
+        _x: &[f64],
+        _base: Budget,
+        _target: Budget,
+        _base_rng: &mut dyn RngCore,
+        _topup_rng: &mut dyn RngCore,
+    ) -> Result<Vec<f64>, CoreError> {
+        Err(CoreError::InvalidArgument(format!(
+            "{} does not support residual noise top-up (Gaussian strategies only)",
+            self.name()
+        )))
     }
 
     /// Validates a database vector against the compiled domain.

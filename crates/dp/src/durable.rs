@@ -1,11 +1,11 @@
-//! Crash-durable ε-budget accounting: [`DurableLedger`].
+//! Crash-durable (ε, δ)-budget accounting: [`DurableLedger`].
 //!
 //! A [`DurableLedger`] wraps the sequential [`BudgetLedger`] with a
 //! two-phase debit protocol and (optionally) the write-ahead journal of
 //! [`crate::journal`]:
 //!
-//! 1. [`begin`](DurableLedger::begin) *reserves* ε and appends a
-//!    fsync'd `Intent` record — only after this may noise be drawn;
+//! 1. [`begin`](DurableLedger::begin) *reserves* the budget and appends
+//!    a fsync'd `Intent` record — only after this may noise be drawn;
 //! 2. [`settle`](DurableLedger::settle) finalizes the debit once the
 //!    noisy answer is (about to be) released;
 //! 3. [`abort`](DurableLedger::abort) refunds a reservation whose
@@ -13,14 +13,17 @@
 //!
 //! The same API works without a journal
 //! ([`in_memory`](DurableLedger::in_memory)) so callers need not
-//! branch on durability.
+//! branch on durability. Approximate-DP ledgers track a δ column next
+//! to ε through the whole protocol — intents reserve both, settles
+//! spend both, aborts refund both — using the v2 journal frames.
 //!
 //! # Conservative by construction
 //!
-//! Every failure resolves toward *more* spent budget, never less:
+//! Every failure resolves toward *more* spent budget, never less, in
+//! **both** columns:
 //!
 //! * a journal replay counts unsettled intents as spent — a kill
-//!   between intent and settle wastes the reserved ε at worst;
+//!   between intent and settle wastes the reserved (ε, δ) at worst;
 //! * [`settle`](DurableLedger::settle) debits locally even when its
 //!   journal append fails (the on-disk intent already replays as
 //!   spent, so local and durable views agree);
@@ -28,9 +31,9 @@
 //!   record is durably appended; if the append fails, the reservation
 //!   is kept forever (budget lost, guarantee intact);
 //! * a journal with damage before its final frame opens fully
-//!   exhausted.
+//!   exhausted — ε *and* δ.
 
-use crate::budget::Epsilon;
+use crate::budget::{Budget, Epsilon};
 use crate::journal::{LedgerJournal, Record};
 use crate::ledger::{BudgetError, BudgetLedger};
 use std::collections::HashMap;
@@ -50,12 +53,14 @@ pub struct DurableLedger {
 
 #[derive(Debug)]
 struct Inner {
-    /// Settled (released) spend.
+    /// Settled (released) spend, both columns.
     ledger: BudgetLedger,
     /// ε reserved by live intents, not yet settled or aborted.
     reserved: f64,
-    /// Live intents: id → reserved ε.
-    pending: HashMap<u64, f64>,
+    /// δ reserved by live intents.
+    reserved_delta: f64,
+    /// Live intents: id → reserved (ε, δ).
+    pending: HashMap<u64, (f64, f64)>,
     next_id: u64,
     journal: Option<LedgerJournal>,
 }
@@ -67,6 +72,8 @@ impl Inner {
         BudgetLedger::restore(
             self.ledger.total(),
             self.ledger.spent() + self.reserved,
+            self.ledger.delta_total(),
+            self.ledger.delta_spent() + self.reserved_delta,
             self.ledger.debits(),
         )
     }
@@ -83,11 +90,15 @@ pub struct ResumeSummary {
     pub corrupted: bool,
     /// Complete records replayed.
     pub replayed: usize,
-    /// Settled spend after recovery (includes recovered intents).
+    /// Settled ε spend after recovery (includes recovered intents).
     pub spent: f64,
+    /// Settled δ spend after recovery (includes recovered intents).
+    pub delta_spent: f64,
     /// ε from unsettled intents folded into the spend — reserved by a
     /// previous process but never released.
     pub recovered_pending: f64,
+    /// δ from unsettled intents folded into the spend.
+    pub recovered_pending_delta: f64,
 }
 
 /// Failure of a durable-ledger operation.
@@ -125,13 +136,20 @@ impl From<BudgetError> for DurableError {
 }
 
 impl DurableLedger {
-    /// A ledger with no journal: same two-phase API, process-lifetime
-    /// durability (the previous behavior of the serving runtime).
+    /// A pure ε-DP ledger with no journal: same two-phase API,
+    /// process-lifetime durability (the previous behavior of the
+    /// serving runtime).
     pub fn in_memory(total: Epsilon) -> Self {
+        Self::in_memory_budget(Budget::pure(total))
+    }
+
+    /// An (ε, δ) ledger with no journal.
+    pub fn in_memory_budget(total: Budget) -> Self {
         Self {
             inner: Arc::new(Mutex::new(Inner {
-                ledger: BudgetLedger::new(total),
+                ledger: BudgetLedger::with_budget(total),
                 reserved: 0.0,
+                reserved_delta: 0.0,
                 pending: HashMap::new(),
                 next_id: 0,
                 journal: None,
@@ -139,37 +157,65 @@ impl DurableLedger {
         }
     }
 
+    /// Opens (creating if absent) the journal at `path` for a pure
+    /// ε-DP grant. See [`DurableLedger::open_budget`].
+    pub fn open(path: &Path, total: Epsilon) -> io::Result<(Self, ResumeSummary)> {
+        Self::open_budget(path, Budget::pure(total))
+    }
+
     /// Opens (creating if absent) the journal at `path`, replays it,
     /// and compacts it.
     ///
-    /// If the journal's recorded total equals `total`, accounting
-    /// resumes where the previous process stopped — unsettled intents
-    /// are folded into the settled spend (conservative). A different
-    /// total is an explicit re-grant and resets the spend to zero. A
-    /// corrupted journal opens the ledger fully exhausted.
-    pub fn open(path: &Path, total: Epsilon) -> io::Result<(Self, ResumeSummary)> {
+    /// If the journal's recorded (ε, δ) total equals `total`,
+    /// accounting resumes where the previous process stopped —
+    /// unsettled intents are folded into the settled spend of both
+    /// columns (conservative). A different total in *either* column is
+    /// an explicit re-grant and resets the spend to zero. A corrupted
+    /// journal opens the ledger fully exhausted. An ε-only (v1)
+    /// journal resumes under a pure grant exactly as before; under an
+    /// approximate-DP grant its δ-total of 0 differs from the new
+    /// grant, so the grant resets — a v1 history can never be
+    /// mistaken for δ spend.
+    pub fn open_budget(path: &Path, total: Budget) -> io::Result<(Self, ResumeSummary)> {
         let rep = LedgerJournal::replay_file(path)?;
-        let pending_sum: f64 = rep.pending.values().sum();
-        let (resumed, settled, debits) = if rep.corrupted {
-            (true, total.value(), rep.debits)
+        let pending_sum: f64 = rep.pending.values().map(|(e, _)| e).sum();
+        let pending_delta: f64 = rep.pending.values().map(|(_, d)| d).sum();
+        let total_eps = total.eps().value();
+        let total_delta = total.delta();
+        let (resumed, settled, settled_delta, debits) = if rep.corrupted {
+            (true, total_eps, total_delta, rep.debits)
         } else {
             match rep.total {
-                Some(t) if t == total.value() => (
+                Some(t) if t == total_eps && rep.total_delta == total_delta => (
                     true,
-                    (rep.settled + pending_sum).min(total.value()),
+                    (rep.settled + pending_sum).min(total_eps),
+                    (rep.settled_delta + pending_delta).min(total_delta),
                     rep.debits,
                 ),
-                _ => (false, 0.0, 0),
+                _ => (false, 0.0, 0.0, 0),
             }
         };
-        let journal = LedgerJournal::create_compacted(path, total.value(), settled, debits)?;
+        let journal = LedgerJournal::create_compacted(
+            path,
+            total_eps,
+            total_delta,
+            settled,
+            settled_delta,
+            debits,
+        )?;
         let summary = ResumeSummary {
             resumed: resumed && rep.records > 0,
             corrupted: rep.corrupted,
             replayed: rep.records,
             spent: settled,
+            delta_spent: settled_delta,
             recovered_pending: if resumed && !rep.corrupted {
                 pending_sum
+            } else {
+                0.0
+            },
+            recovered_pending_delta: if resumed && !rep.corrupted {
+                pending_delta
             } else {
                 0.0
             },
@@ -177,8 +223,15 @@ impl DurableLedger {
         Ok((
             Self {
                 inner: Arc::new(Mutex::new(Inner {
-                    ledger: BudgetLedger::restore(total.value(), settled, debits as usize),
+                    ledger: BudgetLedger::restore(
+                        total_eps,
+                        settled,
+                        total_delta,
+                        settled_delta,
+                        debits as usize,
+                    ),
                     reserved: 0.0,
+                    reserved_delta: 0.0,
                     pending: HashMap::new(),
                     next_id: rep.next_id,
                     journal: Some(journal),
@@ -198,13 +251,24 @@ impl DurableLedger {
         self.lock().view().check(eps)
     }
 
-    /// Phase one of a debit: reserves `eps` and durably records the
-    /// intent. Only after this returns `Ok` may noise be drawn for the
-    /// release it covers. On `Err`, nothing is reserved and nothing may
-    /// be released.
+    /// Whether an (ε, δ) budget could currently be reserved.
+    pub fn check_budget(&self, budget: Budget) -> Result<(), BudgetError> {
+        self.lock().view().check_budget(budget)
+    }
+
+    /// Phase one of a pure ε-DP debit. See
+    /// [`DurableLedger::begin_budget`].
     pub fn begin(&self, eps: Epsilon) -> Result<u64, DurableError> {
+        self.begin_budget(Budget::pure(eps))
+    }
+
+    /// Phase one of a debit: reserves the (ε, δ) budget and durably
+    /// records the intent. Only after this returns `Ok` may noise be
+    /// drawn for the release it covers. On `Err`, nothing is reserved
+    /// and nothing may be released.
+    pub fn begin_budget(&self, budget: Budget) -> Result<u64, DurableError> {
         let mut inner = self.lock();
-        inner.view().check(eps)?;
+        inner.view().check_budget(budget)?;
         let id = inner.next_id;
         if let Some(journal) = &mut inner.journal {
             // An append failure may still have torn bytes onto disk;
@@ -213,31 +277,38 @@ impl DurableLedger {
             journal
                 .append(&Record::Intent {
                     id,
-                    eps: eps.value(),
+                    eps: budget.eps().value(),
+                    delta: budget.delta(),
                 })
                 .map_err(DurableError::Io)?;
         }
         inner.next_id += 1;
-        inner.pending.insert(id, eps.value());
-        inner.reserved += eps.value();
+        inner
+            .pending
+            .insert(id, (budget.eps().value(), budget.delta()));
+        inner.reserved += budget.eps().value();
+        inner.reserved_delta += budget.delta();
         Ok(id)
     }
 
     /// Phase two, success path: finalizes debit `id` and returns the
-    /// remaining budget. Must be called *before* the noisy answer
+    /// remaining ε budget. Must be called *before* the noisy answer
     /// escapes the process. Unknown ids are a no-op (tolerated so a
     /// supervisor replaying work cannot double-debit).
     pub fn settle(&self, id: u64) -> f64 {
         let mut inner = self.lock();
-        let Some(eps) = inner.pending.remove(&id) else {
+        let Some((eps, delta)) = inner.pending.remove(&id) else {
             return inner.view().remaining();
         };
         inner.reserved = (inner.reserved - eps).max(0.0);
+        inner.reserved_delta = (inner.reserved_delta - delta).max(0.0);
         // Force the local debit (never refuse): admission was checked at
         // begin() and the release is already committed to happen.
         inner.ledger = BudgetLedger::restore(
             inner.ledger.total(),
             inner.ledger.spent() + eps,
+            inner.ledger.delta_total(),
+            inner.ledger.delta_spent() + delta,
             inner.ledger.debits() + 1,
         );
         if let Some(journal) = &mut inner.journal {
@@ -254,7 +325,7 @@ impl DurableLedger {
     /// (conservative — the on-disk intent would replay as spent).
     pub fn abort(&self, id: u64) {
         let mut inner = self.lock();
-        let Some(eps) = inner.pending.remove(&id) else {
+        let Some((eps, delta)) = inner.pending.remove(&id) else {
             return;
         };
         let refund = match &mut inner.journal {
@@ -263,6 +334,7 @@ impl DurableLedger {
         };
         if refund {
             inner.reserved = (inner.reserved - eps).max(0.0);
+            inner.reserved_delta = (inner.reserved_delta - delta).max(0.0);
         }
     }
 
@@ -272,14 +344,30 @@ impl DurableLedger {
         Ok(self.settle(id))
     }
 
+    /// Convenience single-phase (ε, δ) debit.
+    pub fn debit_budget(&self, budget: Budget) -> Result<f64, DurableError> {
+        let id = self.begin_budget(budget)?;
+        Ok(self.settle(id))
+    }
+
     /// The fixed total ε.
     pub fn total(&self) -> f64 {
         self.lock().ledger.total()
     }
 
-    /// Settled (released) spend — excludes live reservations.
+    /// The fixed total δ (0 for a pure ε-DP ledger).
+    pub fn delta_total(&self) -> f64 {
+        self.lock().ledger.delta_total()
+    }
+
+    /// Settled (released) ε spend — excludes live reservations.
     pub fn spent(&self) -> f64 {
         self.lock().ledger.spent()
+    }
+
+    /// Settled (released) δ spend — excludes live reservations.
+    pub fn delta_spent(&self) -> f64 {
+        self.lock().ledger.delta_spent()
     }
 
     /// ε reserved by in-flight debits.
@@ -287,9 +375,19 @@ impl DurableLedger {
         self.lock().reserved
     }
 
-    /// Budget available for new reservations.
+    /// δ reserved by in-flight debits.
+    pub fn reserved_delta(&self) -> f64 {
+        self.lock().reserved_delta
+    }
+
+    /// ε budget available for new reservations.
     pub fn remaining(&self) -> f64 {
         self.lock().view().remaining()
+    }
+
+    /// δ budget available for new reservations.
+    pub fn delta_remaining(&self) -> f64 {
+        self.lock().view().delta_remaining()
     }
 
     /// Number of settled debits.
@@ -297,7 +395,7 @@ impl DurableLedger {
         self.lock().ledger.debits()
     }
 
-    /// Whether reservations have (numerically) exhausted the budget.
+    /// Whether reservations have (numerically) exhausted the ε budget.
     pub fn is_exhausted(&self) -> bool {
         self.lock().view().is_exhausted()
     }
@@ -316,6 +414,10 @@ mod tests {
 
     fn eps(v: f64) -> Epsilon {
         Epsilon::new(v).unwrap()
+    }
+
+    fn budget(e: f64, d: f64) -> Budget {
+        Budget::new(eps(e), d).unwrap()
     }
 
     fn tmp(name: &str) -> PathBuf {
@@ -438,5 +540,114 @@ mod tests {
         assert!(ledger.is_exhausted());
         assert!(ledger.begin(eps(0.05)).is_err());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn delta_spend_survives_reopen() {
+        let path = tmp("delta_reopen");
+        let _ = std::fs::remove_file(&path);
+        let grant = budget(2.0, 1e-5);
+        {
+            let (ledger, summary) = DurableLedger::open_budget(&path, grant).unwrap();
+            assert!(!summary.resumed);
+            ledger.debit_budget(budget(0.5, 4e-6)).unwrap();
+        }
+        let (ledger, summary) = DurableLedger::open_budget(&path, grant).unwrap();
+        assert!(summary.resumed);
+        assert!((summary.delta_spent - 4e-6).abs() < 1e-18);
+        assert!((ledger.delta_spent() - 4e-6).abs() < 1e-18);
+        assert_eq!(ledger.delta_total(), 1e-5);
+        // The recovered δ spend gates new δ debits.
+        assert!(ledger.debit_budget(budget(0.1, 7e-6)).is_err());
+        assert!(ledger.debit_budget(budget(0.1, 6e-6)).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsettled_delta_intent_counts_as_spent_after_reopen() {
+        // The "torn tail never refunds δ" replay property end to end: a
+        // process dies after the δ intent is durably recorded but before
+        // settle; the δ must be charged on resume.
+        let path = tmp("delta_pending");
+        let _ = std::fs::remove_file(&path);
+        let grant = budget(1.0, 1e-5);
+        {
+            let (ledger, _) = DurableLedger::open_budget(&path, grant).unwrap();
+            let _id = ledger.begin_budget(budget(0.5, 4e-6)).unwrap();
+            // Process "dies" here.
+        }
+        let (ledger, summary) = DurableLedger::open_budget(&path, grant).unwrap();
+        assert!((summary.recovered_pending_delta - 4e-6).abs() < 1e-18);
+        assert!((ledger.delta_spent() - 4e-6).abs() < 1e-18);
+        assert!(ledger.begin_budget(budget(0.1, 7e-6)).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn delta_grant_change_resets() {
+        // Same ε total, different δ total: the grant must reset rather
+        // than resume a ledger whose δ column means something else.
+        let path = tmp("delta_regrant");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ledger, _) = DurableLedger::open_budget(&path, budget(1.0, 1e-5)).unwrap();
+            ledger.debit_budget(budget(0.5, 4e-6)).unwrap();
+        }
+        let (ledger, summary) = DurableLedger::open_budget(&path, budget(1.0, 1e-4)).unwrap();
+        assert!(!summary.resumed);
+        assert_eq!(ledger.spent(), 0.0);
+        assert_eq!(ledger.delta_spent(), 0.0);
+        assert_eq!(ledger.delta_total(), 1e-4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v1_journal_under_approx_grant_resets_not_resumes() {
+        // A PR-7-era ε-only journal (δ-total 0) reopened under an
+        // approximate-DP grant differs in the δ column, so it must
+        // reset — v1 history can never masquerade as δ spend.
+        let path = tmp("v1_under_approx");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (ledger, _) = DurableLedger::open(&path, eps(1.0)).unwrap();
+            ledger.debit(eps(0.5)).unwrap();
+        }
+        let (ledger, summary) = DurableLedger::open_budget(&path, budget(1.0, 1e-6)).unwrap();
+        assert!(!summary.resumed);
+        assert_eq!(ledger.spent(), 0.0);
+        assert_eq!(ledger.delta_total(), 1e-6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_journal_exhausts_delta_too() {
+        let path = tmp("delta_corrupt");
+        let _ = std::fs::remove_file(&path);
+        let grant = budget(1.0, 1e-5);
+        {
+            let (ledger, _) = DurableLedger::open_budget(&path, grant).unwrap();
+            ledger.debit_budget(budget(0.1, 1e-6)).unwrap();
+            ledger.debit_budget(budget(0.1, 1e-6)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (ledger, summary) = DurableLedger::open_budget(&path, grant).unwrap();
+        assert!(summary.corrupted);
+        assert!(ledger.is_exhausted());
+        assert_eq!(ledger.delta_remaining(), 0.0);
+        assert!(ledger.begin_budget(budget(0.01, 1e-9)).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn abort_refunds_delta() {
+        let ledger = DurableLedger::in_memory_budget(budget(1.0, 1e-6));
+        let id = ledger.begin_budget(budget(0.5, 1e-6)).unwrap();
+        assert!(ledger.check_budget(budget(0.1, 1e-9)).is_err());
+        ledger.abort(id);
+        assert_eq!(ledger.reserved_delta(), 0.0);
+        assert!(ledger.check_budget(budget(0.1, 1e-7)).is_ok());
     }
 }

@@ -14,10 +14,17 @@ pub enum DpError {
     EmptySplit,
     /// A budget fraction outside `(0, 1]`.
     FractionOutOfRange(f64),
-    /// A Laplace scale that is not strictly positive and finite.
+    /// A noise scale (Laplace `s` or Gaussian `σ`) that is not strictly
+    /// positive and finite.
     NonPositiveScale(f64),
-    /// A Laplace location that is not finite.
+    /// A noise location that is not finite.
     NonFiniteLocation(f64),
+    /// An approximate-DP δ outside `[0, 1)` (or outside `(0, 1)` where a
+    /// strictly positive δ is required).
+    DeltaOutOfRange(f64),
+    /// A sensitivity that is not strictly positive and finite, where a
+    /// noise calibration requires one.
+    NonPositiveSensitivity(f64),
 }
 
 impl fmt::Display for DpError {
@@ -31,10 +38,16 @@ impl fmt::Display for DpError {
                 write!(f, "fraction must be in (0, 1], got {v}")
             }
             DpError::NonPositiveScale(v) => {
-                write!(f, "Laplace scale must be positive and finite, got {v}")
+                write!(f, "noise scale must be positive and finite, got {v}")
             }
             DpError::NonFiniteLocation(v) => {
-                write!(f, "Laplace location must be finite, got {v}")
+                write!(f, "noise location must be finite, got {v}")
+            }
+            DpError::DeltaOutOfRange(v) => {
+                write!(f, "approximate-DP δ must lie in [0, 1), got {v}")
+            }
+            DpError::NonPositiveSensitivity(v) => {
+                write!(f, "sensitivity must be positive and finite, got {v}")
             }
         }
     }

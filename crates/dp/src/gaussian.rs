@@ -1,0 +1,441 @@
+//! Gaussian distribution sampling and analytic (ε, δ) calibration.
+//!
+//! The Gaussian mechanism (the journal extension of the paper, and the
+//! approximate-DP regime generally) perturbs query answers with zero-mean
+//! normal noise `N(0, σ²)` calibrated against the **L2** sensitivity of
+//! the query map. Calibration here is *analytic* (Balle & Wang, ICML
+//! 2018): instead of the classic — and for ε ≥ 1 invalid — bound
+//! `σ = Δ₂√(2·ln(1.25/δ))/ε`, the exact privacy profile
+//!
+//! ```text
+//! δ(ε, σ) = Φ(Δ₂/2σ − εσ/Δ₂) − e^ε · Φ(−Δ₂/2σ − εσ/Δ₂)
+//! ```
+//!
+//! is inverted for σ by bisection (δ is strictly decreasing in σ), which
+//! is tight at every ε and never over- or under-noises. The profile is
+//! exposed as [`gaussian_profile_delta`] so tests can verify the bound
+//! independently (e.g. against direct numerical integration of
+//! `∫ max(p(y) − e^ε·q(y), 0) dy`).
+//!
+//! Φ is computed from an in-crate `erfc`: a Maclaurin series for small
+//! arguments and the Legendre continued fraction (via the scaled
+//! `erfcx(x) = e^{x²}·erfc(x)`, evaluated by modified Lentz) for large
+//! ones — near machine precision across the range, with a log-space
+//! variant so `e^ε · Φ(−t)` keeps its mass even when `Φ(−t)` underflows.
+
+use crate::budget::Budget;
+use crate::error::DpError;
+use rand::Rng;
+
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+const FRAC_2_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+
+/// `erf(x)` by Maclaurin series — accurate (relative error a few ulps
+/// amplified by at most `e^{x²}` of cancellation) for `|x| ≤ 2`.
+fn erf_series(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    for n in 1..200 {
+        let n = n as f64;
+        term *= -x2 / n;
+        let contrib = term / (2.0 * n + 1.0);
+        sum += contrib;
+        if contrib.abs() < 1e-18 * sum.abs().max(1e-300) {
+            break;
+        }
+    }
+    FRAC_2_SQRT_PI * sum
+}
+
+/// Scaled complementary error function `erfcx(x) = e^{x²}·erfc(x)` for
+/// `x ≥ 2`, by the Legendre continued fraction
+/// `√π·erfcx(x) = 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + …))))`
+/// evaluated with the modified Lentz algorithm.
+fn erfcx_cf(x: f64) -> f64 {
+    debug_assert!(x >= 2.0);
+    let tiny = 1e-300;
+    let mut f = x.max(tiny);
+    let mut c = f;
+    let mut d = 0.0;
+    for k in 1..400 {
+        let a = k as f64 / 2.0;
+        d = x + a * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = x + a / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-17 {
+            break;
+        }
+    }
+    1.0 / (f * std::f64::consts::PI.sqrt())
+}
+
+/// `erfc(x)` to near machine precision for all finite `x`.
+fn erfc(x: f64) -> f64 {
+    if x < -2.0 {
+        2.0 - erfc(-x)
+    } else if x <= 2.0 {
+        1.0 - erf_series(x)
+    } else {
+        erfcx_cf(x) * (-x * x).exp()
+    }
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / SQRT_2)
+}
+
+/// `ln Φ(z)`, stable far into the lower tail where `Φ(z)` underflows.
+fn ln_normal_cdf(z: f64) -> f64 {
+    if z > -2.0 * SQRT_2 {
+        normal_cdf(z).ln()
+    } else {
+        let t = -z / SQRT_2; // t ≥ 2
+        (0.5 * erfcx_cf(t)).ln() - t * t
+    }
+}
+
+/// The exact privacy profile of the Gaussian mechanism: the smallest δ
+/// for which `N(0, σ²)` noise on a query of L2 sensitivity `sensitivity`
+/// satisfies (ε, δ)-DP.
+///
+/// This is the ground-truth curve [`Gaussian::calibrated`] inverts; it is
+/// public so callers and tests can check any (σ, ε, δ) triple directly.
+pub fn gaussian_profile_delta(sensitivity: f64, eps: f64, sigma: f64) -> f64 {
+    assert!(
+        sensitivity > 0.0 && sigma > 0.0 && eps > 0.0,
+        "profile arguments must be positive"
+    );
+    let a = sensitivity / (2.0 * sigma) - eps * sigma / sensitivity;
+    let b = -sensitivity / (2.0 * sigma) - eps * sigma / sensitivity;
+    let term1 = normal_cdf(a);
+    let term2 = (eps + ln_normal_cdf(b)).exp();
+    (term1 - term2).clamp(0.0, 1.0)
+}
+
+/// A normal distribution `N(location, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    location: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a distribution; σ must be positive and finite.
+    pub fn new(location: f64, sigma: f64) -> Result<Self, DpError> {
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(DpError::NonPositiveScale(sigma));
+        }
+        if !location.is_finite() {
+            return Err(DpError::NonFiniteLocation(location));
+        }
+        Ok(Self { location, sigma })
+    }
+
+    /// Zero-mean normal with the given σ.
+    pub fn centered(sigma: f64) -> Result<Self, DpError> {
+        Self::new(0.0, sigma)
+    }
+
+    /// The analytically calibrated mechanism noise: the smallest σ such
+    /// that `N(0, σ²)` on a query map of the given L2 sensitivity
+    /// satisfies the (ε, δ) budget. Requires `δ > 0` (pure ε-DP is the
+    /// Laplace mechanism's regime) and a positive finite sensitivity.
+    pub fn calibrated(l2_sensitivity: f64, budget: Budget) -> Result<Self, DpError> {
+        if !(l2_sensitivity > 0.0 && l2_sensitivity.is_finite()) {
+            return Err(DpError::NonPositiveSensitivity(l2_sensitivity));
+        }
+        if budget.is_pure() {
+            return Err(DpError::DeltaOutOfRange(0.0));
+        }
+        let eps = budget.eps().value();
+        let delta = budget.delta();
+        // Bracket: δ(σ) is strictly decreasing, → 1 as σ → 0 and → 0 as
+        // σ → ∞, so a feasible upper end always exists.
+        let mut hi = l2_sensitivity / eps;
+        while gaussian_profile_delta(l2_sensitivity, eps, hi) > delta {
+            hi *= 2.0;
+            if !hi.is_finite() {
+                return Err(DpError::NonPositiveScale(hi));
+            }
+        }
+        let mut lo = hi;
+        while lo > l2_sensitivity * 1e-12
+            && gaussian_profile_delta(l2_sensitivity, eps, lo * 0.5) <= delta
+        {
+            lo *= 0.5;
+        }
+        lo *= 0.5;
+        // Bisect to f64 resolution, keeping the feasible (hi) side.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if mid <= lo || mid >= hi {
+                break;
+            }
+            if gaussian_profile_delta(l2_sensitivity, eps, mid) <= delta {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Self::centered(hi)
+    }
+
+    /// The distribution's location (mean).
+    pub fn location(&self) -> f64 {
+        self.location
+    }
+
+    /// The distribution's standard deviation σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The variance σ².
+    pub fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+
+    /// Draws one sample by Box–Muller: with `u₁ ~ U(0,1]`, `u₂ ~ U[0,1)`,
+    /// `x = μ + σ·√(−2·ln u₁)·cos(2π·u₂)`. Exactly two uniform draws per
+    /// sample (the measure-zero `u₁ = 0` point is redrawn), so a fixed
+    /// seed yields a bit-reproducible stream.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = loop {
+            let u = rng.gen_range(0.0..1.0);
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let radius = (-2.0 * u1.ln()).sqrt();
+        self.location + self.sigma * radius * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Draws `n` i.i.d. samples — the `N(0, σ²)^n` vector.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.location) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.location) / self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Epsilon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn budget(eps: f64, delta: f64) -> Budget {
+        Budget::approx(Epsilon::new(eps).unwrap(), delta).unwrap()
+    }
+
+    #[test]
+    fn erfc_matches_known_values() {
+        // Reference values (Wolfram): erfc(0) = 1, erfc(1) = 0.15729920705…,
+        // erfc(2) = 0.00467773498…, erfc(3) = 2.20904969985…e-5,
+        // erfc(5) = 1.53745979442…e-12.
+        let rel = |got: f64, want: f64| (got - want).abs() / want.abs();
+        assert!((erfc(0.0) - 1.0).abs() < 1e-15);
+        assert!(rel(erfc(1.0), 0.157_299_207_050_285_13) < 1e-13);
+        // x = 2 sits at the series/continued-fraction switch, where the
+        // series pays its worst cancellation (e^{x²} ≈ 55 amplification):
+        // still ~4e-12 relative, far beyond what δ calibration needs.
+        assert!(rel(erfc(2.0), 4.677_734_981_063_325e-3) < 1e-11);
+        assert!(rel(erfc(3.0), 2.209_049_699_858_544e-5) < 1e-13);
+        assert!(rel(erfc(5.0), 1.537_459_794_428_035e-12) < 1e-13);
+        assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ln_normal_cdf_is_continuous_and_deep() {
+        // Continuity across the series/continued-fraction switch.
+        for z in [-2.9, -2.83, -2.8, -2.5, -1.0, 0.0, 1.5] {
+            let direct = normal_cdf(z).ln();
+            let stable = ln_normal_cdf(z);
+            assert!(
+                (direct - stable).abs() < 1e-10 * direct.abs().max(1.0),
+                "mismatch at {z}: {direct} vs {stable}"
+            );
+        }
+        // Deep tail: Φ(-40) underflows but its log must not.
+        let deep = ln_normal_cdf(-40.0);
+        assert!(deep.is_finite() && deep < -700.0, "{deep}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gaussian::new(0.0, 0.0).is_err());
+        assert!(Gaussian::new(0.0, -1.0).is_err());
+        assert!(Gaussian::new(0.0, f64::INFINITY).is_err());
+        assert!(Gaussian::new(f64::NAN, 1.0).is_err());
+        assert!(Gaussian::calibrated(0.0, budget(1.0, 1e-6)).is_err());
+        assert!(Gaussian::calibrated(1.0, Budget::pure(Epsilon::new(1.0).unwrap())).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let dist = Gaussian::centered(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples = dist.sample_vec(n, &mut rng);
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        let expected_var = dist.variance(); // 4.0
+        assert!(
+            (var - expected_var).abs() / expected_var < 0.03,
+            "var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn empirical_cdf_matches_analytic() {
+        let dist = Gaussian::new(1.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut samples = dist.sample_vec(n, &mut rng);
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in &[0.0, 0.5, 1.0, 1.3, 2.0] {
+            let empirical = samples.partition_point(|&x| x < q) as f64 / n as f64;
+            let analytic = dist.cdf(q);
+            assert!(
+                (empirical - analytic).abs() < 0.01,
+                "CDF mismatch at {q}: {empirical} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let dist = Gaussian::new(1.0, 0.7).unwrap();
+        let (a, b, steps) = (-10.0, 12.0, 200_000);
+        let h = (b - a) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| dist.pdf(a + (i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-6, "integral {integral}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let dist = Gaussian::centered(1.0).unwrap();
+        let a = dist.sample_vec(10, &mut StdRng::seed_from_u64(99));
+        let b = dist.sample_vec(10, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn calibration_meets_its_own_profile() {
+        for &(eps, delta) in &[
+            (0.1, 1e-6),
+            (0.5, 1e-9),
+            (1.0, 1e-6),
+            (2.0, 1e-4),
+            (8.0, 1e-10),
+        ] {
+            for &sens in &[0.5, 1.0, 3.0] {
+                let g = Gaussian::calibrated(sens, budget(eps, delta)).unwrap();
+                let achieved = gaussian_profile_delta(sens, eps, g.sigma());
+                assert!(
+                    achieved <= delta * (1.0 + 1e-9),
+                    "σ={} gives δ={achieved} > {delta} at ε={eps}, Δ₂={sens}",
+                    g.sigma()
+                );
+                // Tight: a 1% smaller σ must violate the budget.
+                let slack = gaussian_profile_delta(sens, eps, g.sigma() * 0.99);
+                assert!(slack > delta, "calibration not tight: {slack} ≤ {delta}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_never_exceeds_the_classic_bound() {
+        // For ε ≤ 1 the classic σ = Δ₂√(2·ln(1.25/δ))/ε is a valid but
+        // loose calibration; the analytic one must be no worse. This
+        // cross-checks the profile against the textbook theorem without
+        // circularity.
+        for &(eps, delta) in &[(0.1f64, 1e-6f64), (0.3, 1e-9), (0.9, 1e-5)] {
+            let sens = 1.0;
+            let classic = sens * (2.0 * (1.25 / delta).ln()).sqrt() / eps;
+            // The theorem guarantees the classic σ satisfies the bound…
+            assert!(
+                gaussian_profile_delta(sens, eps, classic) <= delta,
+                "classic σ violates the profile at ε={eps}, δ={delta}"
+            );
+            // …and the analytic calibration improves on it.
+            let g = Gaussian::calibrated(sens, budget(eps, delta)).unwrap();
+            assert!(
+                g.sigma() <= classic,
+                "analytic σ={} worse than classic {classic}",
+                g.sigma()
+            );
+        }
+    }
+
+    #[test]
+    fn profile_matches_numerical_integration() {
+        // δ(ε, σ) is by definition ∫ max(p₀(y) − e^ε·p_Δ(y), 0) dy for the
+        // worst-case neighboring pair (shift by the full sensitivity).
+        // Verify the closed form against midpoint quadrature.
+        for &(sens, eps, sigma) in &[(1.0f64, 0.5f64, 1.5f64), (2.0, 1.0, 2.0), (1.0, 2.0, 0.8)] {
+            let p = Gaussian::new(0.0, sigma).unwrap();
+            let q = Gaussian::new(sens, sigma).unwrap();
+            let (a, b, steps) = (-30.0 * sigma, 30.0 * sigma + sens, 400_000);
+            let h = (b - a) / steps as f64;
+            let numeric: f64 = (0..steps)
+                .map(|i| {
+                    let y = a + (i as f64 + 0.5) * h;
+                    (p.pdf(y) - eps.exp() * q.pdf(y)).max(0.0) * h
+                })
+                .sum();
+            let analytic = gaussian_profile_delta(sens, eps, sigma);
+            assert!(
+                (numeric - analytic).abs() < 1e-6 + 1e-3 * analytic,
+                "profile mismatch at Δ₂={sens}, ε={eps}, σ={sigma}: \
+                 numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_is_monotone() {
+        // Decreasing in σ, increasing in sensitivity, decreasing in ε.
+        let base = gaussian_profile_delta(1.0, 1.0, 1.0);
+        assert!(gaussian_profile_delta(1.0, 1.0, 2.0) < base);
+        assert!(gaussian_profile_delta(2.0, 1.0, 1.0) > base);
+        assert!(gaussian_profile_delta(1.0, 2.0, 1.0) < base);
+    }
+
+    #[test]
+    fn sigma_scales_linearly_with_sensitivity() {
+        let b = budget(1.0, 1e-6);
+        let g1 = Gaussian::calibrated(1.0, b).unwrap();
+        let g3 = Gaussian::calibrated(3.0, b).unwrap();
+        assert!(
+            (g3.sigma() / g1.sigma() - 3.0).abs() < 1e-9,
+            "{} vs {}",
+            g3.sigma(),
+            g1.sigma()
+        );
+    }
+}

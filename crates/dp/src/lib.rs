@@ -2,41 +2,52 @@
 //! Differential-privacy primitives for the Low-Rank Mechanism reproduction.
 //!
 //! * [`budget`] — the ε privacy budget type with validation and
-//!   sequential-composition arithmetic.
-//! * [`ledger`] — the [`BudgetLedger`], which debits a fixed total ε per
-//!   release and refuses over-spends with a typed [`BudgetError`].
+//!   sequential-composition arithmetic, plus the approximate-DP
+//!   [`Budget`] `(ε, δ)` pair.
+//! * [`ledger`] — the [`BudgetLedger`], which debits a fixed total
+//!   (ε and, for approximate DP, δ) per release and refuses over-spends
+//!   with a typed [`BudgetError`].
 //! * [`concurrent`] — the [`SharedLedger`] thread-safe layer over the
 //!   ledger, preserving the one-slack over-spend bound under contention.
 //! * [`journal`] + [`durable`] — the crash-durable layer: a CRC-framed
-//!   write-ahead journal (`LRMJ`) and the [`DurableLedger`] two-phase
-//!   debit protocol (intent → settle/abort) built on it, so a tenant's
-//!   ε-spend survives process restarts and a kill at any instant can
-//!   only waste budget, never refund it (what the `lrm-server`
-//!   per-tenant ledgers are built on).
+//!   write-ahead journal (`LRMJ`, v2 with δ-carrying frames) and the
+//!   [`DurableLedger`] two-phase debit protocol (intent → settle/abort)
+//!   built on it, so a tenant's (ε, δ)-spend survives process restarts
+//!   and a kill at any instant can only waste budget, never refund it
+//!   (what the `lrm-server` per-tenant ledgers are built on).
 //! * [`error`] — the typed [`DpError`] every constructor in this crate
 //!   reports.
 //! * [`laplace`] — Laplace distribution sampling (inverse-CDF), the noise
-//!   primitive of every mechanism in the paper (Eq. 3).
-//! * [`sensitivity`] — L1 sensitivity arithmetic: the workload sensitivity
-//!   `Δ' = max_j Σ_i |W_ij|` used by noise-on-results (Eq. 5) and the
-//!   decomposition sensitivity `Δ(B, L) = max_j Σ_i |L_ij|` of
-//!   Definition 2.
+//!   primitive of every pure ε-DP mechanism in the paper (Eq. 3).
+//! * [`gaussian`] — Gaussian distribution sampling (Box–Muller) with
+//!   *analytic* (ε, δ) calibration by privacy-profile inversion, the
+//!   noise primitive of the approximate-DP regime (journal extension of
+//!   the paper, arXiv:1502.07526).
+//! * [`sensitivity`] — L1 **and L2** sensitivity arithmetic: the workload
+//!   sensitivity `Δ' = max_j Σ_i |W_ij|` used by noise-on-results
+//!   (Eq. 5), the decomposition sensitivity `Δ(B, L)` of Definition 2,
+//!   the Gaussian counterpart `Δ₂ = max_j ‖W_:j‖₂`, and the
+//!   [`SensitivityNorm`] compatibility axis every strategy key carries.
 //! * [`rng`] — deterministic seed derivation so that every experiment in
-//!   the harness is reproducible bit-for-bit.
+//!   the harness is reproducible bit-for-bit, including `substream`
+//!   lanes for coalesced-batch noise top-ups.
 
 pub mod budget;
 pub mod concurrent;
 pub mod durable;
 pub mod error;
+pub mod gaussian;
 pub mod journal;
 pub mod laplace;
 pub mod ledger;
 pub mod rng;
 pub mod sensitivity;
 
-pub use budget::Epsilon;
+pub use budget::{Budget, Epsilon};
 pub use concurrent::SharedLedger;
 pub use durable::{DurableError, DurableLedger, ResumeSummary};
 pub use error::DpError;
+pub use gaussian::{gaussian_profile_delta, Gaussian};
 pub use laplace::Laplace;
 pub use ledger::{BudgetError, BudgetLedger};
+pub use sensitivity::SensitivityNorm;

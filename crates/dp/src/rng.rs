@@ -22,6 +22,17 @@ pub fn derive_rng(master_seed: u64, stream: u64) -> StdRng {
     StdRng::seed_from_u64(mixed)
 }
 
+/// Derives a child stream label from a parent stream and a lane index.
+///
+/// The server uses this to split one batch's stream into independent
+/// lanes — lane 0 is the shared base noise draw of a coalesced batch,
+/// lane `k + 1` the member-`k` residual top-up — without the lanes
+/// colliding with any other batch's stream (`substream(s, 0) ≠ s`, and
+/// lanes of distinct parents mix apart through SplitMix64).
+pub fn substream(stream: u64, lane: u64) -> u64 {
+    splitmix64(splitmix64(stream ^ 0xA0761D6478BD642F) ^ lane.wrapping_mul(0xE7037ED1A0B428DB))
+}
+
 /// Derives a stream label from a string tag (FNV-1a), for readable call
 /// sites like `derive_rng(seed, stream_of("fig4/lrm/n=1024/trial=3"))`.
 pub fn stream_of(tag: &str) -> u64 {
@@ -68,6 +79,21 @@ mod tests {
         assert_eq!(stream_of("abc"), stream_of("abc"));
         assert_ne!(stream_of("abc"), stream_of("abd"));
         assert_ne!(stream_of(""), stream_of("a"));
+    }
+
+    #[test]
+    fn substream_lanes_are_independent_and_stable() {
+        assert_eq!(substream(7, 0), substream(7, 0));
+        assert_ne!(substream(7, 0), substream(7, 1));
+        assert_ne!(substream(7, 0), 7, "lane 0 must not alias the parent");
+        assert_ne!(substream(7, 0), substream(8, 0));
+        // A lane of one parent must not collide with another parent's base
+        // stream for small neighborhoods (the batch-index case).
+        for parent in 0..64u64 {
+            for lane in 0..4u64 {
+                assert_ne!(substream(parent, lane), parent + 1);
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! L1 sensitivity arithmetic.
+//! L1 and L2 sensitivity arithmetic.
 //!
 //! For a batch of linear queries with workload matrix `W`, one record
 //! changing by 1 changes the exact answers by one **column** of `W`, so
@@ -6,8 +6,46 @@
 //! `Δ' = max_j Σ_i |W_ij|` (Section 3.2 of the paper, after ref \[16\]).
 //! The same formula applied to the decomposition factor `L` gives the
 //! paper's `Δ(B, L)` (Definition 2).
+//!
+//! Under **approximate** (ε, δ)-DP the Gaussian mechanism calibrates
+//! against the **L2** sensitivity instead — the maximum column Euclidean
+//! norm `Δ₂ = max_j √(Σ_i W_ij²)` — which is never larger than Δ' and up
+//! to `√m` smaller, the source of the Gaussian mechanism's accuracy edge
+//! on large batches (journal extension of the paper, arXiv:1502.07526).
 
 use lrm_linalg::Matrix;
+
+/// Which sensitivity norm a strategy was optimized and calibrated for.
+///
+/// This is a *compatibility axis*, not a preference: a strategy whose
+/// columns were projected onto the L1 ball bounds Laplace noise, and one
+/// projected onto the L2 ball bounds Gaussian noise — serving one for the
+/// other silently voids the privacy guarantee. Every cache key, store
+/// header, and session handshake that identifies a compiled strategy must
+/// therefore carry its norm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SensitivityNorm {
+    /// L1 (max absolute column sum) — pure ε-DP, Laplace noise.
+    L1,
+    /// L2 (max column Euclidean norm) — (ε, δ)-DP, Gaussian noise.
+    L2,
+}
+
+impl SensitivityNorm {
+    /// A short stable token for digests, store headers, and logs.
+    pub fn token(&self) -> &'static str {
+        match self {
+            SensitivityNorm::L1 => "l1",
+            SensitivityNorm::L2 => "l2",
+        }
+    }
+}
+
+impl std::fmt::Display for SensitivityNorm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
 
 /// L1 sensitivity of a workload matrix: `max_j Σ_i |W_ij|`.
 ///
@@ -33,6 +71,36 @@ pub fn linear_laplace_error(t: &Matrix, scale: f64) -> f64 {
 /// outputs: `2 k s²`.
 pub fn iid_laplace_error(k: usize, scale: f64) -> f64 {
     2.0 * k as f64 * scale * scale
+}
+
+/// L2 sensitivity of a workload matrix: `max_j √(Σ_i W_ij²)`.
+///
+/// The Gaussian-mechanism counterpart of [`l1_sensitivity`]; always
+/// `≤ l1_sensitivity(w)` by the norm inequality `‖·‖₂ ≤ ‖·‖₁`.
+pub fn l2_sensitivity(w: &Matrix) -> f64 {
+    let mut max = 0.0f64;
+    for j in 0..w.cols() {
+        let mut sq = 0.0;
+        for i in 0..w.rows() {
+            let v = w.get(i, j);
+            sq += v * v;
+        }
+        max = max.max(sq);
+    }
+    max.sqrt()
+}
+
+/// Expected total squared error of publishing `T · N(0, σ²)^k` — i.e.
+/// `σ² ‖T‖_F²`, the Gaussian twin of [`linear_laplace_error`] (the
+/// Laplace variance is `2s²`, the Gaussian variance is `σ²`).
+pub fn linear_gaussian_error(t: &Matrix, sigma: f64) -> f64 {
+    sigma * sigma * t.squared_sum()
+}
+
+/// Expected total squared error of adding `N(0, σ²)` independently to `k`
+/// outputs: `k σ²`.
+pub fn iid_gaussian_error(k: usize, sigma: f64) -> f64 {
+    k as f64 * sigma * sigma
 }
 
 #[cfg(test)]
@@ -91,6 +159,41 @@ mod tests {
             linear_laplace_error(&t2, 2.0),
             9.0 * linear_laplace_error(&t, 2.0)
         );
+    }
+
+    #[test]
+    fn l2_is_column_euclidean_norm_and_below_l1() {
+        let w = Matrix::from_rows(&[&[3.0, 1.0], &[4.0, -1.0]]);
+        // Column 0: √(9+16) = 5; column 1: √2.
+        assert!((l2_sensitivity(&w) - 5.0).abs() < 1e-12);
+        assert!(l2_sensitivity(&w) <= l1_sensitivity(&w));
+        // Identity: both norms are 1.
+        let eye = Matrix::identity(4);
+        assert_eq!(l2_sensitivity(&eye), 1.0);
+        assert_eq!(l1_sensitivity(&eye), 1.0);
+        // Tall all-ones column: L1 = m, L2 = √m.
+        let ones = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]);
+        assert_eq!(l1_sensitivity(&ones), 4.0);
+        assert!((l2_sensitivity(&ones) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_error_identities_consistent() {
+        let t = Matrix::identity(5);
+        assert_eq!(linear_gaussian_error(&t, 2.0), iid_gaussian_error(5, 2.0));
+        let t2 = t.scale(3.0);
+        assert_eq!(
+            linear_gaussian_error(&t2, 2.0),
+            9.0 * linear_gaussian_error(&t, 2.0)
+        );
+    }
+
+    #[test]
+    fn norm_tokens_are_stable() {
+        assert_eq!(SensitivityNorm::L1.token(), "l1");
+        assert_eq!(SensitivityNorm::L2.token(), "l2");
+        assert_eq!(SensitivityNorm::L2.to_string(), "l2");
+        assert!(SensitivityNorm::L1 < SensitivityNorm::L2);
     }
 
     #[test]

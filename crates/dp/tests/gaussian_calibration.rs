@@ -1,0 +1,82 @@
+//! Property audit of the analytic Gaussian calibration (ISSUE 8
+//! satellite).
+//!
+//! [`Gaussian::calibrated`] inverts the exact privacy profile
+//! `δ(ε, σ)` by bisection; these properties check, across the whole
+//! parameter grid the server can reach, that the returned σ (a) truly
+//! satisfies the (ε, δ) bound per the profile, (b) is tight — noticeably
+//! less noise violates the bound — and (c) respects the classic
+//! `√(2 ln(1.25/δ))` theorem where that theorem applies (ε ≤ 1), so the
+//! profile itself is cross-checked against independent textbook math,
+//! not just against its own inverse.
+
+use lrm_dp::{gaussian_profile_delta, Budget, Epsilon, Gaussian};
+use proptest::prelude::*;
+
+fn budget(eps: f64, delta: f64) -> Budget {
+    Budget::approx(Epsilon::new(eps).unwrap(), delta).unwrap()
+}
+
+proptest! {
+    /// The calibrated σ satisfies its own (ε, δ) target with at most
+    /// bisection-resolution slack, for any (ε, δ, Δ₂) the server admits.
+    #[test]
+    fn calibration_satisfies_the_profile(
+        eps in 0.01f64..12.0,
+        // Log-uniform δ across ten decades.
+        log_delta in -12.0f64..-1.0,
+        sens in 0.05f64..20.0,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let g = Gaussian::calibrated(sens, budget(eps, delta)).unwrap();
+        let achieved = gaussian_profile_delta(sens, eps, g.sigma());
+        prop_assert!(
+            achieved <= delta * (1.0 + 1e-9),
+            "σ={} achieves δ={achieved:e} > target {delta:e} (ε={eps}, Δ₂={sens})",
+            g.sigma()
+        );
+    }
+
+    /// The calibration is tight: 2% less noise breaks the bound. (If this
+    /// fails, the bisection is returning a wastefully large σ and every
+    /// Gaussian release is noisier than advertised.)
+    #[test]
+    fn calibration_is_tight(
+        eps in 0.01f64..12.0,
+        log_delta in -12.0f64..-1.0,
+        sens in 0.05f64..20.0,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let g = Gaussian::calibrated(sens, budget(eps, delta)).unwrap();
+        let under = gaussian_profile_delta(sens, eps, g.sigma() * 0.98);
+        prop_assert!(
+            under > delta,
+            "σ={} is not tight: 0.98σ still satisfies δ ({under:e} ≤ {delta:e})",
+            g.sigma()
+        );
+    }
+
+    /// Where the classic Gaussian-mechanism theorem applies (ε ≤ 1), its
+    /// σ must satisfy the profile and the analytic σ must be no larger —
+    /// an external consistency anchor for both the profile and the
+    /// calibration.
+    #[test]
+    fn analytic_beats_classic_where_classic_is_valid(
+        eps in 0.05f64..1.0,
+        log_delta in -10.0f64..-2.0,
+        sens in 0.1f64..10.0,
+    ) {
+        let delta = 10f64.powf(log_delta);
+        let classic = sens * (2.0 * (1.25 / delta).ln()).sqrt() / eps;
+        prop_assert!(
+            gaussian_profile_delta(sens, eps, classic) <= delta,
+            "classic σ={classic} violates the profile at ε={eps}, δ={delta:e}"
+        );
+        let g = Gaussian::calibrated(sens, budget(eps, delta)).unwrap();
+        prop_assert!(
+            g.sigma() <= classic * (1.0 + 1e-9),
+            "analytic σ={} exceeds classic {classic}",
+            g.sigma()
+        );
+    }
+}

@@ -48,6 +48,7 @@ fn hammer(total: f64, threads: usize, rounds: usize, sizes: &[f64]) -> Vec<f64> 
                             match ledger.debit(eps(size)) {
                                 Ok(_) => granted += size,
                                 Err(BudgetError::Exhausted { .. }) => {}
+                                Err(e) => panic!("pure ε debit failed oddly: {e:?}"),
                             }
                             if (i + t) % 3 == 0 {
                                 std::thread::yield_now();

@@ -10,10 +10,13 @@
 //! directory, injects one fault from the fixed rotation (worker panic,
 //! compile stall, settle crash, torn ε-journal, truncated farm queue),
 //! drives real traffic, and shuts down; the run fails unless every
-//! invariant holds across all cycles — no tenant over-spend, no duplicate
-//! noise release, no starved cycle, no unresolved ticket, and degraded
-//! releases within 2× the compile deadline. `--smoke` runs the pinned CI
-//! configuration (one full fault rotation plus the verification reopen).
+//! invariant holds across all cycles — no tenant over-spend in either
+//! ledger column, no duplicate noise release, no starved cycle, no
+//! unresolved ticket, and degraded releases within 2× the compile
+//! deadline. `--smoke` runs the pinned CI configuration (one full fault
+//! rotation plus the verification reopen), then repeats the failpoint
+//! faults on a Gaussian (ε, δ) server — a settle crash must replay its
+//! intent as spent in *both* the ε and δ columns.
 //!
 //! The failpoint-driven faults need a `debug_assertions` build (the
 //! default `cargo run` dev profile); in release builds the harness still
@@ -104,7 +107,22 @@ fn main() -> ExitCode {
     }
     let report = run_chaos(&cfg);
     println!("{}", report.summary());
-    if report.passes() {
+    let mut passed = report.passes();
+
+    if args.smoke {
+        // Second pass: the failpoint faults against a Gaussian server,
+        // where every crash–restart invariant binds on both (ε, δ)
+        // ledger columns.
+        let gaussian_cfg = ChaosConfig {
+            quiet: cfg.quiet,
+            ..ChaosConfig::gaussian_smoke()
+        };
+        let gaussian = run_chaos(&gaussian_cfg);
+        println!("gaussian: {}", gaussian.summary());
+        passed &= gaussian.passes();
+    }
+
+    if passed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,27 +1,24 @@
-//! Multi-tenant serving load harness: the coalescing `lrm-server` against
-//! a per-query baseline on the same trace, at equal ε.
+//! Mixed-ε Gaussian serving bench: cross-ε (δ-class) coalescing against
+//! the ε-keyed fragmented scheduler on the same (ε, δ)-DP trace.
 //!
 //! ```text
-//! load_sim [--n N] [--cuts C] [--tenants T] [--clients K] [--requests R]
+//! gaussian [--n N] [--cuts C] [--tenants T] [--clients K] [--requests R]
 //!          [--burst B] [--spec-queries Q] [--window-ms W] [--max-batch M]
-//!          [--workers P] [--eps E] [--tenant-budget EB] [--seed S]
-//!          [--out PATH] [--quiet]
-//! load_sim --smoke [--budget-seconds S] [--quiet]
+//!          [--workers P] [--delta D] [--tenant-budget EB] [--tenant-delta TD]
+//!          [--seed S] [--out PATH] [--quiet]
+//! gaussian --smoke [--budget-seconds S] [--quiet]
 //! ```
 //!
-//! `--smoke` runs the CI regression gate on a pinned small configuration
-//! and fails unless (a) the coalescing run sustains **strictly higher
-//! throughput** than the per-query baseline, (b) **zero** tenants were
-//! granted more ε than they registered (within the ledger's documented
-//! one-slack bound), (c) **zero** operator densifications occurred in
-//! either run, and (d) at least one batch actually coalesced. The smoke
-//! runs in its own process, which is what makes the global densification
-//! counter assertable. After the pure gate it runs the mixed-ε Gaussian
-//! gate ([`ServingConfig::gaussian_smoke`]) so one entry point covers
-//! both noise flavors; the `gaussian` binary runs the same gate alone.
+//! `--smoke` runs the CI regression gate on the pinned mixed-ε
+//! configuration and fails unless (a) cross-ε coalescing sustains
+//! **strictly higher throughput** than the ε-fragmented scheduler,
+//! (b) at least one batch actually mixed ε levels (and the fragmented
+//! run mixed none), (c) **zero** tenants were granted more ε *or* δ than
+//! they registered, and (d) **zero** operator densifications occurred.
+//! The default (non-smoke) run writes the `BENCH_8.json` report.
 
 use lrm_eval::experiments::gaussian::run_gaussian_bench;
-use lrm_eval::experiments::serving::{run_serving_bench, ServingConfig};
+use lrm_eval::experiments::serving::ServingConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -33,14 +30,24 @@ struct Args {
     budget_seconds: f64,
     /// Shaping flags seen on the command line; `--smoke` is a pinned
     /// configuration and refuses these rather than silently ignoring
-    /// them (same contract as `scaling_sweep`).
+    /// them (same contract as `load_sim`).
     shaping_flags: Vec<&'static str>,
     saw_budget: bool,
 }
 
+fn default_cfg() -> ServingConfig {
+    ServingConfig {
+        noise_delta: 1e-6,
+        tenant_delta: 1e-4,
+        eps_levels: vec![0.1, 0.25, 0.5],
+        rank_close: false,
+        ..ServingConfig::default()
+    }
+}
+
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut out = Args {
-        cfg: ServingConfig::default(),
+        cfg: default_cfg(),
         out: None,
         smoke: false,
         budget_seconds: 150.0,
@@ -99,13 +106,17 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                 out.shaping_flags.push("--workers");
                 out.cfg.workers = next_parse("--workers", &mut args)?;
             }
-            "--eps" => {
-                out.shaping_flags.push("--eps");
-                out.cfg.eps_request = next_parse("--eps", &mut args)?;
+            "--delta" => {
+                out.shaping_flags.push("--delta");
+                out.cfg.noise_delta = next_parse("--delta", &mut args)?;
             }
             "--tenant-budget" => {
                 out.shaping_flags.push("--tenant-budget");
                 out.cfg.tenant_budget = next_parse("--tenant-budget", &mut args)?;
+            }
+            "--tenant-delta" => {
+                out.shaping_flags.push("--tenant-delta");
+                out.cfg.tenant_delta = next_parse("--tenant-delta", &mut args)?;
             }
             "--seed" => {
                 out.shaping_flags.push("--seed");
@@ -122,7 +133,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try --smoke, --n, --cuts, --tenants, --clients, --requests, --burst, --spec-queries, --window-ms, --max-batch, --workers, --eps, --tenant-budget, --seed, --out, --quiet, --budget-seconds)"
+                    "unknown argument: {other} (try --smoke, --n, --cuts, --tenants, --clients, --requests, --burst, --spec-queries, --window-ms, --max-batch, --workers, --delta, --tenant-budget, --tenant-delta, --seed, --out, --quiet, --budget-seconds)"
                 ))
             }
         }
@@ -134,7 +145,7 @@ fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("load_sim: {e}");
+            eprintln!("gaussian: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -142,74 +153,56 @@ fn main() -> ExitCode {
     if args.smoke {
         if !args.shaping_flags.is_empty() {
             eprintln!(
-                "load_sim: --smoke runs a pinned configuration and does not accept {}",
+                "gaussian: --smoke runs a pinned configuration and does not accept {}",
                 args.shaping_flags.join(", ")
             );
             return ExitCode::FAILURE;
         }
         let cfg = ServingConfig {
             quiet: args.cfg.quiet,
-            ..ServingConfig::smoke()
+            ..ServingConfig::gaussian_smoke()
         };
         let t0 = Instant::now();
-        let report = run_serving_bench(&cfg);
+        let report = run_gaussian_bench(&cfg);
+        let elapsed = t0.elapsed().as_secs_f64();
         println!(
-            "smoke: speedup {:.2}x, {} coalesced batches (mean occupancy {:.2}), \
-             error ratio {:.2}, overspend {}, densifications {}",
+            "smoke: speedup {:.2}x over eps-fragmented, {} cross-eps batches \
+             (mean occupancy {:.2}), eps overspend {}, delta overspend {}, densifications {}",
             report.speedup(),
-            report.coalesced.coalesced_batches,
+            report.coalesced.cross_eps_batches,
             report.coalesced.mean_occupancy,
-            report.error_ratio(),
-            report.coalesced.overspend || report.baseline.overspend,
-            report.coalesced.densifications + report.baseline.densifications,
+            report.coalesced.overspend || report.fragmented.overspend,
+            report.coalesced.delta_overspend || report.fragmented.delta_overspend,
+            report.coalesced.densifications + report.fragmented.densifications,
         );
         let mut failed = false;
         if report.speedup() <= 1.0 {
             eprintln!(
-                "FAIL: coalescing throughput {:.1} req/s is not strictly above the baseline {:.1} req/s",
-                report.coalesced.requests_per_second, report.baseline.requests_per_second
+                "FAIL: cross-eps throughput {:.1} req/s is not strictly above the eps-fragmented {:.1} req/s",
+                report.coalesced.requests_per_second, report.fragmented.requests_per_second
             );
             failed = true;
         }
-        if report.coalesced.overspend || report.baseline.overspend {
-            eprintln!("FAIL: a tenant was granted more ε than it registered");
+        if report.coalesced.cross_eps_batches == 0 {
+            eprintln!("FAIL: the coalescing run never mixed eps levels in a batch");
             failed = true;
         }
-        if report.coalesced.densifications + report.baseline.densifications != 0 {
+        if report.fragmented.cross_eps_batches != 0 {
+            eprintln!("FAIL: the eps-fragmented baseline mixed eps levels (not a baseline)");
+            failed = true;
+        }
+        if report.coalesced.overspend || report.fragmented.overspend {
+            eprintln!("FAIL: a tenant was granted more eps than it registered");
+            failed = true;
+        }
+        if report.coalesced.delta_overspend || report.fragmented.delta_overspend {
+            eprintln!("FAIL: a tenant was granted more delta than it registered");
+            failed = true;
+        }
+        if report.coalesced.densifications + report.fragmented.densifications != 0 {
             eprintln!("FAIL: the serving path densified a structured workload");
             failed = true;
         }
-        if report.coalesced.coalesced_batches == 0 {
-            eprintln!("FAIL: the coalescing run never coalesced a batch");
-            failed = true;
-        }
-
-        // Second pass: the same gate under approximate DP, on a mixed-ε
-        // trace. Cross-ε (δ-class) coalescing must strictly beat the
-        // ε-keyed scheduler with zero ε or δ over-spend.
-        let gaussian_cfg = ServingConfig {
-            quiet: args.cfg.quiet,
-            ..ServingConfig::gaussian_smoke()
-        };
-        let gaussian = run_gaussian_bench(&gaussian_cfg);
-        println!(
-            "smoke (gaussian): speedup {:.2}x over eps-fragmented, {} cross-eps batches, \
-             eps overspend {}, delta overspend {}",
-            gaussian.speedup(),
-            gaussian.coalesced.cross_eps_batches,
-            gaussian.coalesced.overspend || gaussian.fragmented.overspend,
-            gaussian.coalesced.delta_overspend || gaussian.fragmented.delta_overspend,
-        );
-        if !gaussian.passes_smoke() {
-            eprintln!(
-                "FAIL: the mixed-eps gaussian gate did not hold (speedup {:.2}x, {} cross-eps batches)",
-                gaussian.speedup(),
-                gaussian.coalesced.cross_eps_batches
-            );
-            failed = true;
-        }
-
-        let elapsed = t0.elapsed().as_secs_f64();
         if elapsed > args.budget_seconds {
             eprintln!(
                 "FAIL: smoke took {elapsed:.1}s > budget {:.1}s",
@@ -225,14 +218,14 @@ fn main() -> ExitCode {
     }
 
     if args.saw_budget {
-        eprintln!("load_sim: --budget-seconds only applies to --smoke");
+        eprintln!("gaussian: --budget-seconds only applies to --smoke");
         return ExitCode::FAILURE;
     }
-    let report = run_serving_bench(&args.cfg);
+    let report = run_gaussian_bench(&args.cfg);
     println!(
-        "coalescing vs per-query baseline: {:.2}x throughput, {:.2}x error ratio, smoke gate {}",
+        "cross-eps coalescing vs eps-fragmented: {:.2}x throughput, {} cross-eps batches, smoke gate {}",
         report.speedup(),
-        report.error_ratio(),
+        report.coalesced.cross_eps_batches,
         if report.passes_smoke() {
             "PASS"
         } else {
@@ -240,15 +233,16 @@ fn main() -> ExitCode {
         }
     );
     let label = format!(
-        "serving load harness, {} clients x {} requests, {} tenants, eps {} (coalescing vs per-query)",
+        "gaussian serving bench, {} clients x {} requests, {} tenants, eps levels {:?}, delta {:e} (cross-eps coalescing vs eps-fragmented)",
         report.config.clients,
         report.config.requests_per_client,
         report.config.tenants,
-        report.config.eps_request
+        report.config.eps_levels,
+        report.config.noise_delta
     );
     if let Some(path) = &args.out {
         if let Err(e) = report.write(path, &label) {
-            eprintln!("load_sim: cannot write {}: {e}", path.display());
+            eprintln!("gaussian: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("report written to {}", path.display());

@@ -21,10 +21,12 @@
 //! are real in every profile. Invariants checked across the whole run,
 //! not per cycle:
 //!
-//! 1. **No over-spend, ever**: the ε each tenant *observed* being granted
-//!    across every cycle never exceeds its registered budget — crashes
-//!    between noise and settlement must over-charge, never under-charge
-//!    (verified again at the end against the replayed ledgers).
+//! 1. **No over-spend, ever**: the ε (and, on a Gaussian run, the δ)
+//!    each tenant *observed* being granted across every cycle never
+//!    exceeds its registered budget — crashes between noise and
+//!    settlement must over-charge, never under-charge, in **both**
+//!    ledger columns (verified again at the end against the replayed
+//!    ledgers).
 //! 2. **No duplicate noise release**: every released `batch_index` is
 //!    globally unique across all cycles, despite the pinned seed — the
 //!    persisted noise epoch is what keeps the streams apart.
@@ -35,9 +37,9 @@
 //!    within twice the compile deadline.
 
 use crate::experiments::scaling::scaling_lrm_config;
-use lrm_core::engine::{CompileOptions, MechanismKind};
+use lrm_core::engine::{CompileOptions, MechanismKind, NoiseFlavor};
 use lrm_dp::rng::derive_rng;
-use lrm_dp::Epsilon;
+use lrm_dp::{Budget, Epsilon};
 use lrm_server::{QuerySpec, Server, ServerError};
 use lrm_testing::{arm, reset, FailAction, FireRule};
 use lrm_workload::{Attribute, Schema};
@@ -111,6 +113,12 @@ pub struct ChaosConfig {
     pub spec_queries: usize,
     /// Per-release ε.
     pub eps_request: f64,
+    /// Per-release δ. Zero (the default) runs the pure-DP harness;
+    /// anything positive switches the servers to the Gaussian mechanism
+    /// and makes every crash–restart invariant bind on *both* ledger
+    /// columns — in particular a settle crash must replay its (ε, δ)
+    /// intent as spent in both.
+    pub noise_delta: f64,
     /// Budget of the deliberately under-funded tenant — it exhausts
     /// mid-run so every later cycle also exercises the refusal path.
     pub small_budget: f64,
@@ -140,6 +148,7 @@ impl Default for ChaosConfig {
             requests_per_cycle: 10,
             spec_queries: 4,
             eps_request: 0.05,
+            noise_delta: 0.0,
             small_budget: 0.3,
             workers: 3,
             stall_deadline: Duration::from_millis(400),
@@ -168,6 +177,24 @@ impl ChaosConfig {
         }
     }
 
+    /// The Gaussian CI smoke: the first three rotation entries are the
+    /// failpoint faults (worker panic, compile stall, settle crash), so
+    /// three cycles cover every in-process fault — including the
+    /// settle crash whose (ε, δ) intent must replay in both columns —
+    /// without repeating the flavor-independent file-damage faults.
+    pub fn gaussian_smoke() -> Self {
+        Self {
+            cycles: 3,
+            noise_delta: 1e-6,
+            ..Self::smoke()
+        }
+    }
+
+    /// Whether this run uses the Gaussian mechanism ((ε, δ)-DP).
+    pub fn is_gaussian(&self) -> bool {
+        self.noise_delta > 0.0
+    }
+
     fn big_name(t: usize) -> String {
         format!("tenant{t:02}")
     }
@@ -176,6 +203,27 @@ impl ChaosConfig {
     /// slack, so crashes (which over-charge) still leave head-room.
     fn big_budget(&self) -> f64 {
         (self.cycles * self.requests_per_cycle) as f64 * self.eps_request + 1.0
+    }
+
+    /// δ budget of the well-funded tenants: twice the whole run's δ
+    /// demand, so replayed double-charges never refuse their traffic.
+    fn big_delta(&self) -> f64 {
+        (2 * self.cycles * self.requests_per_cycle) as f64 * self.noise_delta
+    }
+
+    /// δ budget of the under-funded tenant: generous, so it keeps
+    /// exhausting on ε exactly like the pure harness.
+    fn small_delta(&self) -> f64 {
+        1e-3
+    }
+
+    /// A registration-shaped budget: pure ε, or (ε, δ) when Gaussian.
+    fn budget(&self, eps: Epsilon, delta: f64) -> Budget {
+        if self.is_gaussian() {
+            Budget::approx(eps, delta).expect("valid chaos delta")
+        } else {
+            Budget::pure(eps)
+        }
     }
 }
 
@@ -189,8 +237,9 @@ struct CycleOutcome {
     unresolved: u64,
     unexpected: u64,
     latency_violations: u64,
-    /// `(tenant, ε)` of every grant the client actually saw.
-    grants: Vec<(String, f64)>,
+    /// `(tenant, ε, δ)` of every grant the client actually saw (δ is 0
+    /// on a pure run).
+    grants: Vec<(String, f64, f64)>,
     /// `batch_index` of every release (the noise-stream label).
     indices: Vec<u64>,
 }
@@ -226,6 +275,12 @@ pub struct ChaosReport {
     /// grants actually released (must be 0 — crashes over-charge, never
     /// under-charge).
     pub undercounted_tenants: u64,
+    /// Tenants whose observed δ grants exceeded their δ budget (must be
+    /// 0; always 0 on a pure run).
+    pub delta_overspent_tenants: u64,
+    /// Tenants whose replayed ledger remembers less δ spend than the
+    /// grants actually released (must be 0; always 0 on a pure run).
+    pub delta_undercounted_tenants: u64,
     /// Cycles that answered nothing (must be 0 — the pool never starves).
     pub starved_cycles: u64,
     /// Stall-cycle releases slower than 2× the compile deadline (must
@@ -246,6 +301,8 @@ impl ChaosReport {
             && self.unexpected_errors == 0
             && self.overspent_tenants == 0
             && self.undercounted_tenants == 0
+            && self.delta_overspent_tenants == 0
+            && self.delta_undercounted_tenants == 0
             && self.starved_cycles == 0
             && self.latency_violations == 0
             && (!self.failpoints_active || self.missed_faults == 0)
@@ -256,7 +313,7 @@ impl ChaosReport {
         format!(
             "{} cycles (failpoints {}): {} answered, {} refused, {} quarantined, {} degraded, \
              {} respawns, {} replays; invariants — unresolved {}, duplicates {}, unexpected {}, \
-             overspent {}, undercounted {}, starved {}, slow-degraded {}, missed-faults {} => {}",
+             overspent {}/{}δ, undercounted {}/{}δ, starved {}, slow-degraded {}, missed-faults {} => {}",
             self.cycles,
             if self.failpoints_active { "on" } else { "off" },
             self.answered,
@@ -269,7 +326,9 @@ impl ChaosReport {
             self.duplicate_releases,
             self.unexpected_errors,
             self.overspent_tenants,
+            self.delta_overspent_tenants,
             self.undercounted_tenants,
+            self.delta_undercounted_tenants,
             self.starved_cycles,
             self.latency_violations,
             self.missed_faults,
@@ -322,8 +381,15 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         .map(|_| data_rng.gen_range(0..500) as f64)
         .collect();
     let eps_request = Epsilon::new(cfg.eps_request).expect("positive eps");
-    let big_budget = Epsilon::new(cfg.big_budget()).expect("positive budget");
-    let small_budget = Epsilon::new(cfg.small_budget).expect("positive budget");
+    let request_budget = cfg.budget(eps_request, cfg.noise_delta);
+    let big_budget = cfg.budget(
+        Epsilon::new(cfg.big_budget()).expect("positive budget"),
+        cfg.big_delta(),
+    );
+    let small_budget = cfg.budget(
+        Epsilon::new(cfg.small_budget).expect("positive budget"),
+        cfg.small_delta(),
+    );
 
     let mut report = ChaosReport {
         cycles: cfg.cycles,
@@ -339,11 +405,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         unexpected_errors: 0,
         overspent_tenants: 0,
         undercounted_tenants: 0,
+        delta_overspent_tenants: 0,
+        delta_undercounted_tenants: 0,
         starved_cycles: 0,
         latency_violations: 0,
         missed_faults: 0,
     };
-    let mut granted: HashMap<String, f64> = HashMap::new();
+    let mut granted: HashMap<String, (f64, f64)> = HashMap::new();
     let mut seen_indices: HashSet<u64> = HashSet::new();
 
     for cycle in 0..cfg.cycles {
@@ -375,9 +443,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             }
         }
 
+        let mut options = CompileOptions::with_decomposition(scaling_lrm_config());
+        if cfg.is_gaussian() {
+            options.flavor = NoiseFlavor::ApproxDp;
+        }
         let mut builder = Server::builder(schema.clone(), data.clone())
             .mechanism(MechanismKind::Lrm)
-            .compile_options(CompileOptions::with_decomposition(scaling_lrm_config()))
+            .compile_options(options)
             .coalesce_window(Duration::ZERO)
             .max_batch(1)
             .workers(cfg.workers)
@@ -391,11 +463,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             .expect("a chaos server must build over damaged state");
         for t in 0..cfg.big_tenants {
             server
-                .try_register_tenant(&ChaosConfig::big_name(t), big_budget)
+                .try_register_tenant_budget(&ChaosConfig::big_name(t), big_budget)
                 .expect("big-tenant ledger reopens");
         }
         server
-            .try_register_tenant("small", small_budget)
+            .try_register_tenant_budget("small", small_budget)
             .expect("small-tenant ledger reopens");
 
         let (cyc, server_report) = server.serve(|client| {
@@ -409,7 +481,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                 };
                 let spec = random_panel(cfg, &mut spec_rng);
                 let t0 = Instant::now();
-                let ticket = match client.submit(&tenant, &spec, eps_request) {
+                let ticket = match client.submit_budget(&tenant, &spec, request_budget) {
                     Ok(t) => t,
                     Err(ServerError::Overloaded { .. }) => continue,
                     Err(_) => {
@@ -424,7 +496,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                         if release.degraded {
                             cyc.degraded += 1;
                         }
-                        cyc.grants.push((tenant, release.eps_spent.value()));
+                        cyc.grants
+                            .push((tenant, release.eps_spent.value(), release.delta_spent));
                         cyc.indices.push(release.batch_index);
                         if fault == Fault::CompileStall && t0.elapsed() > 2 * cfg.stall_deadline {
                             cyc.latency_violations += 1;
@@ -451,8 +524,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         if cyc.answered == 0 {
             report.starved_cycles += 1;
         }
-        for (tenant, eps) in &cyc.grants {
-            *granted.entry(tenant.clone()).or_insert(0.0) += eps;
+        for (tenant, eps, delta) in &cyc.grants {
+            let entry = granted.entry(tenant.clone()).or_insert((0.0, 0.0));
+            entry.0 += eps;
+            entry.1 += delta;
         }
         for &idx in &cyc.indices {
             if !seen_indices.insert(idx) {
@@ -503,18 +578,24 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         .state_dir(dir)
         .build()
         .expect("the verification server must build");
-    let mut check = |tenant: &str, budget: f64| {
+    let mut check = |tenant: &str, budget: Budget| {
         let resume = verifier
-            .try_register_tenant(tenant, Epsilon::new(budget).expect("positive budget"))
+            .try_register_tenant_budget(tenant, budget)
             .expect("ledger reopens for verification");
-        let observed = granted.get(tenant).copied().unwrap_or(0.0);
-        if observed > budget + 1e-9 {
+        let (observed, observed_delta) = granted.get(tenant).copied().unwrap_or((0.0, 0.0));
+        if observed > budget.eps().value() + 1e-9 {
             report.overspent_tenants += 1;
+        }
+        if observed_delta > budget.delta() + 1e-12 {
+            report.delta_overspent_tenants += 1;
         }
         if resume.resumed {
             report.ledger_replays += 1;
             if resume.spent + 1e-9 < observed {
                 report.undercounted_tenants += 1;
+            }
+            if resume.delta_spent + 1e-12 < observed_delta {
+                report.delta_undercounted_tenants += 1;
             }
         } else if observed > 0.0 {
             // A tenant that was granted ε but left no journal behind is
@@ -523,9 +604,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         }
     };
     for t in 0..cfg.big_tenants {
-        check(&ChaosConfig::big_name(t), cfg.big_budget());
+        check(&ChaosConfig::big_name(t), big_budget);
     }
-    check("small", cfg.small_budget);
+    check("small", small_budget);
     drop(verifier);
 
     if cfg.state_dir.is_none() {
@@ -610,6 +691,7 @@ mod tests {
             requests_per_cycle: 4,
             spec_queries: 2,
             eps_request: 0.05,
+            noise_delta: 0.0,
             small_budget: 0.12,
             workers: 2,
             stall_deadline: Duration::from_millis(400),
@@ -633,6 +715,41 @@ mod tests {
         assert_eq!(report.missed_faults, 0);
     }
 
+    /// The same rotation with δ > 0: every server compiles the Gaussian
+    /// mechanism, the (ε, δ)-ledgers bind both columns across restarts
+    /// and file damage, and the small tenant still exhausts on ε.
+    #[test]
+    fn gaussian_restart_invariants_hold_without_failpoints() {
+        let cfg = ChaosConfig {
+            cycles: 5, // one full rotation: both file-damage faults strike
+            buckets: 32,
+            cuts: 4,
+            big_tenants: 2,
+            requests_per_cycle: 4,
+            spec_queries: 2,
+            eps_request: 0.05,
+            noise_delta: 1e-6,
+            small_budget: 0.12,
+            workers: 2,
+            stall_deadline: Duration::from_millis(400),
+            seed: 0xc4a0_0002,
+            inject_failpoints: false,
+            quiet: true,
+            state_dir: None,
+        };
+        let report = run_chaos(&cfg);
+        assert!(
+            report.passes(),
+            "gaussian chaos invariants failed: {}",
+            report.summary()
+        );
+        assert!(report.answered > 0);
+        assert!(report.refused > 0, "the small tenant never exhausted");
+        assert_eq!(report.ledger_replays, 3);
+        assert_eq!(report.delta_overspent_tenants, 0);
+        assert_eq!(report.delta_undercounted_tenants, 0);
+    }
+
     #[test]
     fn rotation_covers_every_fault_and_smoke_replays_it() {
         assert_eq!(Fault::ROTATION.len(), 5);
@@ -648,5 +765,19 @@ mod tests {
         }
         assert!(Fault::WorkerPanic.needs_failpoints());
         assert!(!Fault::TornJournal.needs_failpoints());
+
+        // The Gaussian smoke's three cycles are exactly the failpoint
+        // faults, and its δ budgets cover the whole run's δ demand.
+        let gaussian = ChaosConfig::gaussian_smoke();
+        assert!(gaussian.is_gaussian());
+        assert_eq!(gaussian.cycles, 3);
+        assert!(Fault::ROTATION[..gaussian.cycles]
+            .iter()
+            .all(Fault::needs_failpoints));
+        assert!(
+            gaussian.big_delta()
+                > (gaussian.cycles * gaussian.requests_per_cycle) as f64 * gaussian.noise_delta
+        );
+        assert!(gaussian.small_delta() < 1.0);
     }
 }

@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod gaussian;
 pub mod scaling;
 pub mod serving;
 mod sweep;

@@ -13,12 +13,20 @@
 //! ledger over-spend (from the grants each client actually observed, not
 //! the clamped ledger counter), and the global densification counter are
 //! all recorded into a `BENCH_5.json`-style report.
+//!
+//! The same machinery also drives the **approximate-DP** comparison (see
+//! [`crate::experiments::gaussian`]): with a positive
+//! [`ServingConfig::noise_delta`] every release is (ε, δ)-DP through the
+//! Gaussian calibration, requests draw their ε from
+//! [`ServingConfig::eps_levels`] round-robin,
+//! and [`ServingMode::Fragmented`] gives the ε-keyed scheduler baseline
+//! that cross-ε coalescing is measured against.
 
 use crate::experiments::scaling::scaling_lrm_config;
 use crate::report::TableWriter;
-use lrm_core::engine::{CompileOptions, Engine, MechanismKind};
+use lrm_core::engine::{CompileOptions, Engine, MechanismKind, NoiseFlavor};
 use lrm_dp::rng::derive_rng;
-use lrm_dp::Epsilon;
+use lrm_dp::{Budget, Epsilon};
 use lrm_linalg::operator::densification_count;
 use lrm_server::{QuerySpec, Server, ServerError};
 use lrm_workload::{Attribute, Schema};
@@ -63,6 +71,22 @@ pub struct ServingConfig {
     pub seed: u64,
     /// Suppress the summary table.
     pub quiet: bool,
+    /// Per-release δ. `0` (the default) runs the pure ε-DP Laplace
+    /// pipeline; `> 0` switches every server in the harness to the
+    /// Gaussian calibration and every release to (ε, δ)-DP.
+    pub noise_delta: f64,
+    /// Per-tenant total δ (only read when `noise_delta > 0`).
+    pub tenant_delta: f64,
+    /// Per-release ε levels, assigned round-robin across the trace.
+    /// Empty (the default) means every request uses `eps_request` — the
+    /// pure harness's behavior. A mixed-ε trace is what separates
+    /// cross-ε coalescing from ε-keyed scheduling.
+    pub eps_levels: Vec<f64>,
+    /// Whether the servers keep the rank-growth batch-close rule (the
+    /// production default). The Gaussian comparison turns it off — in
+    /// *both* runs — because it closes batches on a property orthogonal
+    /// to scheduler keying, which is the variable under measurement.
+    pub rank_close: bool,
 }
 
 impl Default for ServingConfig {
@@ -82,6 +106,10 @@ impl Default for ServingConfig {
             tenant_budget: 6.0,
             seed: 20120827,
             quiet: false,
+            noise_delta: 0.0,
+            tenant_delta: 0.0,
+            eps_levels: Vec::new(),
+            rank_close: true,
         }
     }
 }
@@ -100,6 +128,44 @@ impl ServingConfig {
         }
     }
 
+    /// The pinned mixed-ε Gaussian configuration: three ε levels
+    /// round-robin, δ on every release, budgets that exhaust mid-run in
+    /// *both* columns' shadow (ε binds; δ leaves head-room so the
+    /// refusal path is the ledger's, not an artifact).
+    pub fn gaussian_smoke() -> Self {
+        Self {
+            noise_delta: 1e-6,
+            tenant_delta: 1e-4,
+            eps_levels: vec![0.1, 0.25, 0.5],
+            rank_close: false,
+            ..Self::smoke()
+        }
+    }
+
+    /// Whether this configuration runs the Gaussian ((ε, δ)-DP) pipeline.
+    pub fn is_gaussian(&self) -> bool {
+        self.noise_delta > 0.0
+    }
+
+    /// The per-release ε of request `index` of the trace.
+    fn eps_for(&self, index: usize) -> f64 {
+        if self.eps_levels.is_empty() {
+            self.eps_request
+        } else {
+            self.eps_levels[index % self.eps_levels.len()]
+        }
+    }
+
+    /// The per-release budget of request `index` of the trace.
+    fn budget_for(&self, index: usize) -> Budget {
+        let eps = Epsilon::new(self.eps_for(index)).expect("positive eps");
+        if self.is_gaussian() {
+            Budget::approx(eps, self.noise_delta).expect("valid delta")
+        } else {
+            Budget::pure(eps)
+        }
+    }
+
     fn tenant_name(t: usize) -> String {
         format!("tenant{t:02}")
     }
@@ -112,6 +178,9 @@ pub struct TraceRequest {
     pub tenant: usize,
     /// The spec submitted.
     pub spec: QuerySpec,
+    /// The release budget requested (ε from the round-robin level
+    /// assignment; δ from [`ServingConfig::noise_delta`]).
+    pub budget: Budget,
     /// Exact (noise-free) answers, for error measurement.
     pub exact: Vec<f64>,
 }
@@ -181,6 +250,7 @@ pub fn build_trace(cfg: &ServingConfig) -> Trace {
             requests.push(TraceRequest {
                 tenant: request_index % cfg.tenants,
                 spec,
+                budget: cfg.budget_for(request_index),
                 exact,
             });
             request_index += 1;
@@ -197,10 +267,17 @@ pub fn build_trace(cfg: &ServingConfig) -> Trace {
 /// Which serving policy a run measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServingMode {
-    /// The coalescing scheduler (bounded window + batch cap).
+    /// The coalescing scheduler (bounded window + batch cap). On a
+    /// Gaussian configuration this includes cross-ε coalescing: batches
+    /// key on the δ-class and mix ε levels.
     Coalescing,
     /// Per-query serving: zero window, `max_batch = 1`.
     Baseline,
+    /// The ε-keyed scheduler baseline for Gaussian runs: same window and
+    /// batch cap as [`ServingMode::Coalescing`], but
+    /// `coalesce_across_eps(false)` — batches fragment by ε exactly as a
+    /// pure scheduler's would.
+    Fragmented,
 }
 
 impl ServingMode {
@@ -209,6 +286,7 @@ impl ServingMode {
         match self {
             ServingMode::Coalescing => "coalescing",
             ServingMode::Baseline => "per-query baseline",
+            ServingMode::Fragmented => "eps-fragmented",
         }
     }
 }
@@ -253,6 +331,13 @@ pub struct ServingRunStats {
     /// Whether any tenant's *observed grants* exceeded its registered
     /// budget by more than the ledger's one-slack bound (must be false).
     pub overspend: bool,
+    /// Whether any tenant's observed δ grants exceeded its registered
+    /// δ total (always false on pure runs; must be false on Gaussian
+    /// ones).
+    pub delta_overspend: bool,
+    /// Gaussian batches whose members spanned ≥ 2 distinct ε — batches
+    /// that exist only because of cross-ε coalescing.
+    pub cross_eps_batches: u64,
     /// Operator densifications during the run (must be 0).
     pub densifications: u64,
 }
@@ -261,6 +346,7 @@ pub struct ServingRunStats {
 #[derive(Debug, Default, Clone)]
 struct ClientOutcome {
     granted_per_tenant: Vec<f64>,
+    granted_delta_per_tenant: Vec<f64>,
     answered: u64,
     rejected: u64,
     queries: u64,
@@ -270,23 +356,34 @@ struct ClientOutcome {
 /// Replays the trace against one server configuration.
 pub fn run_serving_mode(cfg: &ServingConfig, trace: &Trace, mode: ServingMode) -> ServingRunStats {
     let (window, max_batch) = match mode {
-        ServingMode::Coalescing => (cfg.window, cfg.max_batch),
+        ServingMode::Coalescing | ServingMode::Fragmented => (cfg.window, cfg.max_batch),
         ServingMode::Baseline => (Duration::ZERO, 1),
     };
-    // A fresh engine per run: both modes start with a cold strategy cache.
+    let mut options = CompileOptions::with_decomposition(scaling_lrm_config());
+    if cfg.is_gaussian() {
+        options.flavor = NoiseFlavor::ApproxDp;
+    }
+    // A fresh engine per run: all modes start with a cold strategy cache.
     let server = Server::builder(trace.schema.clone(), trace.data.clone())
         .engine(Engine::builder().build())
         .mechanism(MechanismKind::Lrm)
-        .compile_options(CompileOptions::with_decomposition(scaling_lrm_config()))
+        .compile_options(options)
         .coalesce_window(window)
         .max_batch(max_batch)
         .workers(cfg.workers)
+        .coalesce_across_eps(mode != ServingMode::Fragmented)
+        .rank_close(cfg.rank_close)
         .seed(cfg.seed)
         .build()
         .expect("valid server configuration");
-    let budget = Epsilon::new(cfg.tenant_budget).expect("positive budget");
+    let budget_eps = Epsilon::new(cfg.tenant_budget).expect("positive budget");
+    let budget = if cfg.is_gaussian() {
+        Budget::approx(budget_eps, cfg.tenant_delta).expect("valid tenant delta")
+    } else {
+        Budget::pure(budget_eps)
+    };
     for t in 0..cfg.tenants {
-        server.register_tenant(&ServingConfig::tenant_name(t), budget);
+        server.register_tenant_budget(&ServingConfig::tenant_name(t), budget);
     }
 
     let densify_before = densification_count();
@@ -311,12 +408,20 @@ pub fn run_serving_mode(cfg: &ServingConfig, trace: &Trace, mode: ServingMode) -
     let densifications = densification_count() - densify_before;
 
     let mut granted = vec![0.0f64; cfg.tenants];
+    let mut granted_delta = vec![0.0f64; cfg.tenants];
     let mut answered = 0u64;
     let mut rejected = 0u64;
     let mut queries = 0u64;
     let mut sq_err = 0.0f64;
     for o in &outcomes {
         for (g, total) in o.granted_per_tenant.iter().zip(granted.iter_mut()) {
+            *total += g;
+        }
+        for (g, total) in o
+            .granted_delta_per_tenant
+            .iter()
+            .zip(granted_delta.iter_mut())
+        {
             *total += g;
         }
         answered += o.answered;
@@ -327,6 +432,9 @@ pub fn run_serving_mode(cfg: &ServingConfig, trace: &Trace, mode: ServingMode) -
     let overspend = granted
         .iter()
         .any(|&g| g > cfg.tenant_budget * (1.0 + 1e-9) + 1e-12);
+    let delta_overspend = granted_delta
+        .iter()
+        .any(|&g| g > cfg.tenant_delta * (1.0 + 1e-9) + 1e-18);
 
     ServingRunStats {
         mode: mode.label(),
@@ -351,6 +459,8 @@ pub fn run_serving_mode(cfg: &ServingConfig, trace: &Trace, mode: ServingMode) -
         p50_latency_ms: report.metrics.p50_latency.as_secs_f64() * 1e3,
         p99_latency_ms: report.metrics.p99_latency.as_secs_f64() * 1e3,
         overspend,
+        delta_overspend,
+        cross_eps_batches: report.metrics.cross_eps_batches,
         densifications,
     }
 }
@@ -362,9 +472,9 @@ fn drive_client(
     requests: &[TraceRequest],
     cfg: &ServingConfig,
 ) -> ClientOutcome {
-    let eps = Epsilon::new(cfg.eps_request).expect("positive eps");
     let mut out = ClientOutcome {
         granted_per_tenant: vec![0.0; cfg.tenants],
+        granted_delta_per_tenant: vec![0.0; cfg.tenants],
         ..ClientOutcome::default()
     };
     for chunk in requests.chunks(cfg.burst.max(1)) {
@@ -373,7 +483,7 @@ fn drive_client(
             .map(|req| {
                 let tenant = ServingConfig::tenant_name(req.tenant);
                 client
-                    .submit(&tenant, &req.spec, eps)
+                    .submit_budget(&tenant, &req.spec, req.budget)
                     .expect("trace specs and tenants are valid")
             })
             .collect();
@@ -381,6 +491,7 @@ fn drive_client(
             match ticket.wait() {
                 Ok(release) => {
                     out.granted_per_tenant[req.tenant] += release.eps_spent.value();
+                    out.granted_delta_per_tenant[req.tenant] += release.delta_spent;
                     out.answered += 1;
                     out.queries += release.answers.len() as u64;
                     out.sq_err += release
@@ -429,6 +540,8 @@ impl ServingReport {
         self.speedup() > 1.0
             && !self.coalesced.overspend
             && !self.baseline.overspend
+            && !self.coalesced.delta_overspend
+            && !self.baseline.delta_overspend
             && self.coalesced.densifications == 0
             && self.baseline.densifications == 0
             && self.coalesced.coalesced_batches > 0
@@ -464,7 +577,7 @@ impl ServingReport {
         for (i, run) in [&self.coalesced, &self.baseline].into_iter().enumerate() {
             let _ = writeln!(
                 out,
-                "    {{ \"mode\": \"{}\", \"wall_seconds\": {:.6}, \"answered\": {}, \"rejected\": {}, \"queries_answered\": {}, \"requests_per_second\": {:.3}, \"queries_per_second\": {:.3}, \"mean_squared_error\": {:.6e}, \"batches\": {}, \"coalesced_batches\": {}, \"mean_occupancy\": {:.3}, \"max_occupancy\": {}, \"cache_misses\": {}, \"cache_hits\": {}, \"peak_queue_depth\": {}, \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \"overspend\": {}, \"densifications\": {} }}{}",
+                "    {{ \"mode\": \"{}\", \"wall_seconds\": {:.6}, \"answered\": {}, \"rejected\": {}, \"queries_answered\": {}, \"requests_per_second\": {:.3}, \"queries_per_second\": {:.3}, \"mean_squared_error\": {:.6e}, \"batches\": {}, \"coalesced_batches\": {}, \"cross_eps_batches\": {}, \"mean_occupancy\": {:.3}, \"max_occupancy\": {}, \"cache_misses\": {}, \"cache_hits\": {}, \"peak_queue_depth\": {}, \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \"overspend\": {}, \"delta_overspend\": {}, \"densifications\": {} }}{}",
                 run.mode,
                 run.wall_seconds,
                 run.answered,
@@ -475,6 +588,7 @@ impl ServingReport {
                 run.mean_squared_error,
                 run.batches,
                 run.coalesced_batches,
+                run.cross_eps_batches,
                 run.mean_occupancy,
                 run.max_occupancy,
                 run.cache_misses,
@@ -483,6 +597,7 @@ impl ServingReport {
                 run.p50_latency_ms,
                 run.p99_latency_ms,
                 run.overspend,
+                run.delta_overspend,
                 run.densifications,
                 if i == 0 { "," } else { "" }
             );

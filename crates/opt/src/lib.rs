@@ -8,6 +8,9 @@
 //! * [`l1`] — Euclidean projection onto the L1 ball (Duchi et al., paper
 //!   ref \[10\]); Formula (11) of the paper decouples into one such
 //!   projection per column of `L`.
+//! * [`l2`] — Euclidean projection onto the L2 ball (a radial rescale),
+//!   the constraint set of the approximate-DP (Gaussian) decomposition
+//!   where column L2 norms bound the sensitivity.
 //! * [`nesterov`] — Nesterov's accelerated projected-gradient method with
 //!   backtracking Lipschitz search, i.e. the paper's **Algorithm 2**.
 //! * [`alm`] — penalty/multiplier scheduling for the inexact Augmented
@@ -30,6 +33,7 @@
 pub mod alm;
 pub mod deadline;
 pub mod l1;
+pub mod l2;
 pub mod lse;
 pub mod nesterov;
 pub mod spg;
@@ -38,6 +42,7 @@ pub mod warm;
 pub use alm::{AlmSchedule, AlmState};
 pub use deadline::Deadline;
 pub use l1::{project_columns_l1, project_l1_ball};
+pub use l2::{project_columns_l2, project_l2_ball};
 pub use lse::SmoothMax;
 pub use nesterov::{nesterov_projected, NesterovConfig, NesterovResult};
 pub use spg::{spg_minimize, SpgConfig, SpgResult};

@@ -7,38 +7,65 @@
 //! one combined workload that shares a single compiled strategy and **one
 //! noise draw per strategy column** — `r` Laplace samples for the whole
 //! batch instead of `Σ rᵢ` across its members. Compatibility is exact:
-//! same schema, same structural class (so the merge stays one uniform
-//! `IntervalsOp`/CSR operator, never densified), and the same per-release
-//! ε (so the single noise draw is correctly scaled for every member).
+//! same schema and same structural class (so the merge stays one uniform
+//! `IntervalsOp`/CSR operator, never densified). What the budget
+//! contributes to the key depends on the noise model:
+//!
+//! * **Pure ε-DP (Laplace).** The per-release ε is part of the key: the
+//!   single Laplace draw is scale-exact, so members at even slightly
+//!   different ε cannot share it.
+//! * **Approximate (ε, δ)-DP (Gaussian).** Only the δ-class is keyed.
+//!   Gaussian noise is closed under addition, so one base draw calibrated
+//!   at the *weakest* (largest-ε) member serves every member: stricter
+//!   members add an independent residual top-up of variance
+//!   `σ_member² − σ_base²` on the same data pass. Mixing δ values would
+//!   break that algebra — the analytic calibration is a joint function of
+//!   (ε, δ) — so δ stays in the key while ε drops out.
 //!
 //! Each member's answer is the contiguous slice of the combined batch
-//! answer its rows occupy — releasing a slice is post-processing of the
-//! one ε-DP release, so per-member accounting at the full ε is (strictly
-//! conservatively) sound.
+//! answer its rows occupy — releasing a slice is post-processing of one
+//! DP release at that member's own budget (exactly, for topped-up
+//! Gaussian slices; strictly conservatively, for shared Laplace slices).
 
 use crate::spec::{PreparedRows, PreparedSpec, SpecClass};
-use lrm_dp::Epsilon;
+use lrm_dp::Budget;
 use lrm_linalg::operator::CsrOp;
 use lrm_workload::{Workload, WorkloadError};
 use std::collections::HashSet;
 use std::ops::Range;
 
-/// What makes two submissions coalescible. `eps` enters via its IEEE-754
-/// bits: budgets are `Copy` floats and exact equality is the right notion
-/// — releases at even slightly different ε need differently-scaled noise.
+/// What makes two submissions coalescible. Budget components enter via
+/// their IEEE-754 bits: budgets are `Copy` floats and exact equality is
+/// the right notion — releases at even slightly different ε (Laplace) or
+/// δ (Gaussian) need differently-calibrated noise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct BatchKey {
     pub schema_fingerprint: u64,
     pub class: SpecClass,
+    /// ε bits for pure (or ε-fragmented Gaussian) batches; `0` when
+    /// cross-ε coalescing erases ε from the key.
     pub eps_bits: u64,
+    /// δ bits — `0f64.to_bits()` (= 0) for pure budgets, so pure keys are
+    /// unchanged from the Laplace-only servers.
+    pub delta_bits: u64,
 }
 
 impl BatchKey {
-    pub fn of(spec: &PreparedSpec, eps: Epsilon) -> Self {
+    /// Builds the key for one submission. `coalesce_across_eps` only
+    /// affects approximate budgets: when set, ε is erased from the key so
+    /// a δ-class shares batches across ε; when clear (the ε-fragmented
+    /// baseline), Gaussian batches key on (ε, δ) exactly like pure ones.
+    pub fn of(spec: &PreparedSpec, budget: Budget, coalesce_across_eps: bool) -> Self {
+        let keyed_on_eps = budget.is_pure() || !coalesce_across_eps;
         Self {
             schema_fingerprint: spec.schema_fingerprint(),
             class: spec.class(),
-            eps_bits: eps.value().to_bits(),
+            eps_bits: if keyed_on_eps {
+                budget.eps().value().to_bits()
+            } else {
+                0
+            },
+            delta_bits: budget.delta().to_bits(),
         }
     }
 }
@@ -152,6 +179,7 @@ pub(crate) fn combine(
 mod tests {
     use super::*;
     use crate::spec::QuerySpec;
+    use lrm_dp::Epsilon;
     use lrm_workload::{Attribute, Schema, WorkloadStructure};
 
     fn schema() -> Schema {
@@ -166,14 +194,14 @@ mod tests {
     fn batch_key_separates_class_eps_and_schema() {
         let s = schema();
         let a = QuerySpec::Total.compile(&s).unwrap();
-        let eps1 = Epsilon::new(0.5).unwrap();
-        let eps2 = Epsilon::new(0.25).unwrap();
-        assert_eq!(BatchKey::of(&a, eps1), BatchKey::of(&a, eps1));
-        assert_ne!(BatchKey::of(&a, eps1), BatchKey::of(&a, eps2));
+        let eps1 = Budget::pure(Epsilon::new(0.5).unwrap());
+        let eps2 = Budget::pure(Epsilon::new(0.25).unwrap());
+        assert_eq!(BatchKey::of(&a, eps1, true), BatchKey::of(&a, eps1, true));
+        assert_ne!(BatchKey::of(&a, eps1, true), BatchKey::of(&a, eps2, true));
 
         let other_schema = Schema::single(Attribute::new("w", 0.0, 64.0, 64).unwrap());
         let b = QuerySpec::Total.compile(&other_schema).unwrap();
-        assert_ne!(BatchKey::of(&a, eps1), BatchKey::of(&b, eps1));
+        assert_ne!(BatchKey::of(&a, eps1, true), BatchKey::of(&b, eps1, true));
 
         let two_d = Schema::product(vec![
             Attribute::new("x", 0.0, 1.0, 4).unwrap(),
@@ -183,9 +211,43 @@ mod tests {
         let sparse = QuerySpec::Marginal { attr: 1 }.compile(&two_d).unwrap();
         let contiguous = QuerySpec::Marginal { attr: 0 }.compile(&two_d).unwrap();
         assert_ne!(
-            BatchKey::of(&sparse, eps1),
-            BatchKey::of(&contiguous, eps1),
+            BatchKey::of(&sparse, eps1, true),
+            BatchKey::of(&contiguous, eps1, true),
             "different structural classes must not share a batch"
+        );
+    }
+
+    #[test]
+    fn gaussian_keys_share_a_delta_class_across_eps() {
+        let s = schema();
+        let a = QuerySpec::Total.compile(&s).unwrap();
+        let strict = Budget::approx(Epsilon::new(0.25).unwrap(), 1e-6).unwrap();
+        let loose = Budget::approx(Epsilon::new(0.5).unwrap(), 1e-6).unwrap();
+        let other_delta = Budget::approx(Epsilon::new(0.25).unwrap(), 1e-7).unwrap();
+
+        // Cross-ε coalescing: same δ-class shares a key across ε...
+        assert_eq!(
+            BatchKey::of(&a, strict, true),
+            BatchKey::of(&a, loose, true)
+        );
+        // ...but δ itself still separates batches,
+        assert_ne!(
+            BatchKey::of(&a, strict, true),
+            BatchKey::of(&a, other_delta, true)
+        );
+        // ...and pure budgets never share a Gaussian δ-class.
+        let pure = Budget::pure(Epsilon::new(0.25).unwrap());
+        assert_ne!(BatchKey::of(&a, strict, true), BatchKey::of(&a, pure, true));
+
+        // ε-fragmented mode restores ε to the Gaussian key.
+        assert_ne!(
+            BatchKey::of(&a, strict, false),
+            BatchKey::of(&a, loose, false)
+        );
+        assert_eq!(
+            BatchKey::of(&a, strict, false),
+            BatchKey::of(&a, strict, false),
+            "the fragmented key is still deterministic per (ε, δ)"
         );
     }
 

@@ -15,9 +15,17 @@
 //! with a [state directory](server::ServerBuilder::state_dir) the
 //! accounting survives crashes and restarts. Worker panics are contained
 //! (the offending shape is quarantined, the pool never empties), compile
-//! overruns degrade to a guaranteed-fast fallback at the same ε, and a
-//! bounded queue sheds load synchronously (see the
+//! overruns degrade to a guaranteed-fast fallback at the same budget,
+//! and a bounded queue sheds load synchronously (see the
 //! [server module docs](server) for the failure model).
+//!
+//! Servers run in one of two noise models, fixed by
+//! [`CompileOptions::flavor`](lrm_core::engine::CompileOptions): pure
+//! ε-DP (Laplace, the default) or approximate (ε, δ)-DP (Gaussian, via
+//! [`Client::submit_budget`]). Gaussian servers additionally coalesce
+//! submissions at *different* ε into one batch within a δ-class — one
+//! shared base draw plus per-member residual top-ups, each member
+//! settled at its own budget (see [`coalesce`]).
 //!
 //! Built on `std::thread::scope` + `mpsc` channels (like the SpMM kernels
 //! in `lrm-linalg`): no async runtime.

@@ -36,6 +36,9 @@ pub(crate) struct ServerMetrics {
     pub degraded_releases: AtomicU64,
     pub shed: AtomicU64,
     pub ledger_replays: AtomicU64,
+    pub laplace_batches: AtomicU64,
+    pub gaussian_batches: AtomicU64,
+    pub cross_eps_batches: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
@@ -57,13 +60,24 @@ impl ServerMetrics {
             .push(us);
     }
 
-    /// A batch was flushed to the workers.
-    pub fn batch_flushed(&self, requests: u64, rows: u64) {
+    /// A batch was flushed to the workers. `gaussian` tags the batch's
+    /// noise model; `distinct_eps` is how many distinct per-release ε
+    /// values its members carry (cross-ε coalescing makes this > 1 only
+    /// for Gaussian batches).
+    pub fn batch_flushed(&self, requests: u64, rows: u64, gaussian: bool, distinct_eps: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         if requests > 1 {
             self.coalesced_batches.fetch_add(1, Ordering::Relaxed);
         } else {
             self.single_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        if gaussian {
+            self.gaussian_batches.fetch_add(1, Ordering::Relaxed);
+            if distinct_eps > 1 {
+                self.cross_eps_batches.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            self.laplace_batches.fetch_add(1, Ordering::Relaxed);
         }
         self.batch_requests.fetch_add(requests, Ordering::Relaxed);
         self.batch_rows.fetch_add(rows, Ordering::Relaxed);
@@ -106,6 +120,9 @@ impl ServerMetrics {
             degraded_releases: self.degraded_releases.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             ledger_replays: self.ledger_replays.load(Ordering::Relaxed),
+            laplace_batches: self.laplace_batches.load(Ordering::Relaxed),
+            gaussian_batches: self.gaussian_batches.load(Ordering::Relaxed),
+            cross_eps_batches: self.cross_eps_batches.load(Ordering::Relaxed),
             p50_latency: percentile(&latencies, 0.50),
             p99_latency: percentile(&latencies, 0.99),
         }
@@ -175,6 +192,15 @@ pub struct MetricsSnapshot {
     /// Tenant ε-journals replayed when tenants registered (restart
     /// resumes honored by the durable ledgers).
     pub ledger_replays: u64,
+    /// Batches answered with Laplace noise (pure ε-DP releases).
+    pub laplace_batches: u64,
+    /// Batches answered with Gaussian noise ((ε, δ)-DP releases).
+    pub gaussian_batches: u64,
+    /// Gaussian batches whose members span two or more distinct
+    /// per-release ε values — batches that exist *only* because of
+    /// cross-ε coalescing (an ε-keyed scheduler would have fragmented
+    /// them).
+    pub cross_eps_batches: u64,
     /// Median submit→response latency.
     pub p50_latency: Duration,
     /// 99th-percentile submit→response latency.
@@ -192,8 +218,8 @@ mod tests {
         m.enqueued();
         m.enqueued();
         assert_eq!(m.queue_depth.load(Ordering::Relaxed), 3);
-        m.batch_flushed(2, 10);
-        m.batch_flushed(1, 3);
+        m.batch_flushed(2, 10, true, 2);
+        m.batch_flushed(1, 3, false, 1);
         m.dequeued(Duration::from_millis(4));
         m.dequeued(Duration::from_millis(8));
         m.dequeued(Duration::from_millis(100));
@@ -209,6 +235,9 @@ mod tests {
         assert_eq!(s.batch_rows, 13);
         assert!((s.mean_occupancy - 1.5).abs() < 1e-12);
         assert_eq!(s.peak_queue_depth, 3);
+        assert_eq!(s.gaussian_batches, 1);
+        assert_eq!(s.laplace_batches, 1);
+        assert_eq!(s.cross_eps_batches, 1);
         assert_eq!(s.p50_latency, Duration::from_millis(8));
         assert_eq!(s.p99_latency, Duration::from_millis(100));
     }

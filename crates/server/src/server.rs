@@ -8,31 +8,41 @@
 //! 2. **admit** — the scheduler admission-checks the tenant's ledger
 //!    (typed [`ServerError::Admission`] on unknown tenant or an
 //!    already-insufficient budget; advisory, see step 6).
-//! 3. **coalesce** — compatible submissions (same schema, structural
-//!    class, and ε — see [`coalesce`](crate::coalesce)) arriving within
-//!    the bounded window are collected into one open batch; the batch
-//!    closes when its estimated combined rank stops growing (see
-//!    [`ServerBuilder::rank_close`]), when the window elapses, or at the
-//!    `max_batch` ceiling. A lone spec falls through as a single-request
-//!    batch. The scheduler also feeds every admitted shape to the
-//!    background compile farm (see
+//! 3. **coalesce** — compatible submissions (same schema and structural
+//!    class — see [`coalesce`](crate::coalesce)) arriving within the
+//!    bounded window are collected into one open batch. On a pure-DP
+//!    server the per-release ε is part of the batch key; on a Gaussian
+//!    server only the δ-class is — members at *different* ε coalesce
+//!    (see step 5). The batch closes when its estimated combined rank
+//!    stops growing (see [`ServerBuilder::rank_close`]), when the window
+//!    elapses, or at the `max_batch` ceiling. A lone spec falls through
+//!    as a single-request batch. The scheduler also feeds every admitted
+//!    shape to the background compile farm (see
 //!    [`ServerBuilder::precompile_workers`]), which precompiles popular
 //!    shapes through the engine cache while workers are otherwise idle.
 //! 4. **compile / cache** — a worker concatenates the batch into one
 //!    combined structured workload and compiles it through the shared
 //!    [`Engine`]: repeated workloads are O(1) cache hits, and the whole
 //!    batch shares a single strategy.
-//! 5. **noise** — one [`Mechanism::answer`] call for the whole batch:
-//!    one noise draw per strategy column, not per member.
+//! 5. **noise** — pure mode: one [`Mechanism::answer`] call for the whole
+//!    batch, one Laplace draw per strategy column, not per member.
+//!    Gaussian mode: one *base* draw calibrated at the weakest
+//!    (largest-ε) member budget, replayed identically for every member
+//!    from the batch's lane-0 stream, plus an independent per-member
+//!    residual top-up (lane `k + 1`) of variance `σ_member² − σ_base²` —
+//!    Gaussian noise is closed under addition, so each member's slice
+//!    carries exactly its own (ε, δ) calibration while the whole batch
+//!    shares a single strategy and data pass.
 //! 6. **slice + settle** — each member's answer is the contiguous slice
-//!    of the batch answer its rows occupy. The settlement is two-phase:
-//!    an *intent* durably reserves the member's ε **before** any noise
-//!    is drawn, and the debit settles immediately before the slice is
-//!    released. If concurrent traffic exhausted the tenant between
-//!    admission and the intent, the slice is withheld and the request
-//!    fails with the same typed budget error — never an over-spend. A
-//!    crash between intent and settle replays the intent as spent
-//!    (wasted budget at worst, never unaccounted noise).
+//!    of (its copy of) the batch answer its rows occupy. The settlement
+//!    is two-phase: an *intent* durably reserves the member's own
+//!    (ε, δ) budget **before** any noise is drawn, and the debit settles
+//!    immediately before the slice is released. If concurrent traffic
+//!    exhausted the tenant between admission and the intent, the slice
+//!    is withheld and the request fails with the same typed budget error
+//!    — never an over-spend. A crash between intent and settle replays
+//!    the intent as spent (wasted budget at worst, never unaccounted
+//!    noise).
 //!
 //! The runtime is plain `std::thread::scope` + `mpsc` channels (like the
 //! SpMM kernels in `lrm-linalg`): no async runtime, no unbounded queues
@@ -40,11 +50,12 @@
 //!
 //! # Failure containment
 //!
-//! * **Durable ε-ledgers** — with [`ServerBuilder::state_dir`]
-//!   configured, every tenant ledger is a fsync'd write-ahead journal;
-//!   registration resumes the recorded spend across restarts, and the
-//!   noise-epoch file keeps batch indices (the noise-stream labels)
-//!   disjoint across restarts even under a pinned seed.
+//! * **Durable (ε, δ)-ledgers** — with [`ServerBuilder::state_dir`]
+//!   configured, every tenant ledger is a fsync'd write-ahead journal
+//!   carrying both budget columns; registration resumes the recorded
+//!   spend across restarts, and the noise-epoch file keeps batch indices
+//!   (the noise-stream labels) disjoint across restarts even under a
+//!   pinned seed.
 //! * **Worker supervision** — a panic while answering a batch is caught;
 //!   the not-yet-responded members fail with
 //!   [`ServerError::Quarantined`], their workload shapes enter a
@@ -54,9 +65,11 @@
 //!   pool never goes empty.
 //! * **Compile deadlines** — with [`ServerBuilder::compile_deadline`]
 //!   set, a compile that overruns is abandoned cooperatively and the
-//!   batch is answered by the guaranteed-fast Laplace baseline at the
-//!   same ε ([`Release::degraded`] is set); the shape goes to the
-//!   compile farm for a background recompile.
+//!   batch is answered by the guaranteed-fast noise-on-data baseline in
+//!   the server's own noise flavor — Laplace at the same ε on a pure
+//!   server, Gaussian at the same (ε, δ) on an approximate one
+//!   ([`Release::degraded`] is set); the shape goes to the compile farm
+//!   for a background recompile.
 //! * **Bounded admission** — with [`ServerBuilder::max_queue_depth`]
 //!   set, submissions beyond the cap are shed synchronously with
 //!   [`ServerError::Overloaded`] instead of growing the queue without
@@ -67,11 +80,13 @@ use crate::farm::{shape_hash, Claim, FarmState};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::spec::{PreparedSpec, QuerySpec, SpecError};
 use crate::tenants::{AdmissionError, TenantLedgers, TenantResume, TenantSpend};
-use lrm_core::engine::{CacheStats, CompileOptions, CompiledMechanism, Engine, MechanismKind};
+use lrm_core::engine::{
+    CacheStats, CompileOptions, CompiledMechanism, Engine, MechanismKind, NoiseFlavor,
+};
 use lrm_core::error::CoreError;
 use lrm_core::mechanism::Mechanism;
-use lrm_dp::rng::derive_rng;
-use lrm_dp::Epsilon;
+use lrm_dp::rng::{derive_rng, substream};
+use lrm_dp::{Budget, Epsilon};
 use lrm_workload::{Schema, Workload, WorkloadError};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -100,6 +115,7 @@ pub struct ServerBuilder {
     compile_deadline: Option<Duration>,
     max_queue_depth: Option<usize>,
     worker_panic_budget: u64,
+    coalesce_across_eps: bool,
 }
 
 impl ServerBuilder {
@@ -128,6 +144,7 @@ impl ServerBuilder {
             compile_deadline: None,
             max_queue_depth: None,
             worker_panic_budget: 8,
+            coalesce_across_eps: true,
         }
     }
 
@@ -266,6 +283,17 @@ impl ServerBuilder {
         self
     }
 
+    /// Whether a Gaussian server coalesces submissions at *different* ε
+    /// into one batch within a δ-class (default `true`). Disabling it
+    /// restores ε to the batch key — the ε-fragmented scheduling a pure
+    /// server is stuck with — which exists as the comparison baseline
+    /// for the cross-ε throughput claim. No effect on pure servers,
+    /// whose Laplace draws are scale-exact and always key on ε.
+    pub fn coalesce_across_eps(mut self, enabled: bool) -> Self {
+        self.coalesce_across_eps = enabled;
+        self
+    }
+
     /// Validates and finishes the builder.
     pub fn build(self) -> Result<Server, ServerError> {
         if self.data.len() != self.schema.domain_size() {
@@ -286,6 +314,13 @@ impl ServerBuilder {
             return Err(ServerError::Core(CoreError::InvalidArgument(
                 "the worker pool needs at least one thread".into(),
             )));
+        }
+        if self.options.flavor == NoiseFlavor::ApproxDp && !self.mechanism.supports_approx() {
+            return Err(ServerError::Core(CoreError::InvalidArgument(format!(
+                "mechanism {:?} has no Gaussian calibration; an approximate-DP \
+                 server needs one of the L2-capable kinds",
+                self.mechanism
+            ))));
         }
         // With durable state, claim a fresh noise epoch before anything
         // else: batch indices label noise streams (`derive_rng(seed,
@@ -322,6 +357,7 @@ impl ServerBuilder {
             compile_deadline: self.compile_deadline,
             max_queue_depth: self.max_queue_depth,
             worker_panic_budget: self.worker_panic_budget,
+            coalesce_across_eps: self.coalesce_across_eps,
             tenants: TenantLedgers::new(self.state_dir.as_ref().map(|d| d.join("ledgers"))),
             state_dir: self.state_dir,
             quarantine: RwLock::new(HashSet::new()),
@@ -369,6 +405,7 @@ pub struct Server {
     compile_deadline: Option<Duration>,
     max_queue_depth: Option<usize>,
     worker_panic_budget: u64,
+    coalesce_across_eps: bool,
     state_dir: Option<PathBuf>,
     tenants: TenantLedgers,
     /// Workload shapes that crashed a worker; refused at admission.
@@ -402,7 +439,7 @@ impl Server {
         ServerBuilder::new(schema, data)
     }
 
-    /// Registers (or resets) a tenant with a total ε budget.
+    /// Registers (or resets) a tenant with a total pure-ε budget.
     ///
     /// With a [state directory](ServerBuilder::state_dir) this opens the
     /// tenant's durable journal and panics on I/O failure; use
@@ -410,6 +447,16 @@ impl Server {
     pub fn register_tenant(&self, tenant: &str, total: Epsilon) {
         self.tenants
             .register(tenant, total)
+            .expect("tenant budget journal failed to open");
+    }
+
+    /// Registers (or resets) a tenant with a total (ε, δ) budget — the
+    /// grant a Gaussian server debits both columns of per release.
+    /// Panics on journal I/O failure; use
+    /// [`Server::try_register_tenant_budget`] to handle that case.
+    pub fn register_tenant_budget(&self, tenant: &str, total: Budget) {
+        self.tenants
+            .register_budget(tenant, total)
             .expect("tenant budget journal failed to open");
     }
 
@@ -422,8 +469,18 @@ impl Server {
         tenant: &str,
         total: Epsilon,
     ) -> Result<TenantResume, ServerError> {
+        self.try_register_tenant_budget(tenant, Budget::pure(total))
+    }
+
+    /// [`Server::try_register_tenant`] for an (ε, δ) grant: the resume
+    /// report additionally carries the recovered δ columns.
+    pub fn try_register_tenant_budget(
+        &self,
+        tenant: &str,
+        total: Budget,
+    ) -> Result<TenantResume, ServerError> {
         self.tenants
-            .register(tenant, total)
+            .register_budget(tenant, total)
             .map_err(ServerError::Admission)
     }
 
@@ -535,7 +592,7 @@ impl Server {
             };
             match msg {
                 Ok(sub) => {
-                    if let Err(e) = self.tenants.check(&sub.tenant, sub.eps) {
+                    if let Err(e) = self.tenants.check_budget(&sub.tenant, sub.budget) {
                         metrics
                             .rejected_admission
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -560,7 +617,7 @@ impl Server {
                             .farm_shapes
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
-                    let key = BatchKey::of(&sub.prepared, sub.eps);
+                    let key = BatchKey::of(&sub.prepared, sub.budget, self.coalesce_across_eps);
                     let batch = open.entry(key).or_insert_with(|| {
                         let seq = next_seq;
                         next_seq += 1;
@@ -634,12 +691,21 @@ impl Server {
             .iter()
             .map(|s| s.prepared.num_queries())
             .sum();
-        metrics.batch_flushed(requests, rows as u64);
+        // The batch key fixes the flavor (δ bits are in the key), so the
+        // first member speaks for the batch; the distinct-ε count is what
+        // tells a cross-ε Gaussian batch from an ordinary coalesced one.
+        let gaussian = !batch.submissions[0].budget.is_pure();
+        let distinct_eps = batch
+            .submissions
+            .iter()
+            .map(|s| s.budget.eps().value().to_bits())
+            .collect::<HashSet<u64>>()
+            .len() as u64;
+        metrics.batch_flushed(requests, rows as u64, gaussian, distinct_eps);
         let job = BatchJob {
             index: self
                 .batch_counter
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            eps: batch.submissions[0].eps,
             submissions: batch.submissions,
         };
         if let Err(mpsc::SendError(job)) = jobs.send(job) {
@@ -780,22 +846,23 @@ impl Server {
                 }
             }
         }
-        // Phase one: durably reserve every member's ε BEFORE any noise
-        // is drawn. From here on a crash can only waste reserved budget
-        // (the intent replays as spent) — never release unaccounted
-        // noise.
+        // Phase one: durably reserve every member's own (ε, δ) budget
+        // BEFORE any noise is drawn. From here on a crash can only waste
+        // reserved budget (the intent replays as spent) — never release
+        // unaccounted noise. In a cross-ε batch this is where the
+        // shared base draw stops mattering for accounting: each member
+        // pays exactly what it asked for.
         let intents: Vec<Result<u64, AdmissionError>> = job
             .submissions
             .iter()
-            .map(|sub| self.tenants.begin(&sub.tenant, sub.eps))
+            .map(|sub| self.tenants.begin_budget(&sub.tenant, sub.budget))
             .collect();
-        // One noise draw for the whole batch, from the batch's own
-        // deterministic stream — skipped entirely if no intent was
-        // granted (no release will happen, so no noise may exist).
-        let answers = if intents.iter().any(Result::is_ok) {
-            let mut rng = derive_rng(self.seed, job.index);
-            match compiled.answer(&self.data, job.eps, &mut rng) {
-                Ok(a) => Some(a),
+        // Noise for the whole batch, from the batch's own deterministic
+        // streams — skipped entirely if no intent was granted (no
+        // release will happen, so no noise may exist).
+        let noise = if intents.iter().any(Result::is_ok) {
+            match self.draw_batch_noise(&compiled, job, &intents) {
+                Ok(n) => Some(n),
                 Err(e) => {
                     // The noise never leaves the process: refund every
                     // reservation (durably, or keep it — conservative).
@@ -810,11 +877,6 @@ impl Server {
         } else {
             None
         };
-        // Data-independent error bound only (`x = None`): the structural
-        // residual ‖(W − BL)x‖² is an exact, un-noised statistic of the
-        // private database, and this number goes out to tenants without
-        // any budget debit — it must never depend on the data.
-        let expected_avg_error = compiled.expected_average_error(job.eps, None);
         let batch_size = job.submissions.len();
         // The crash window the fault harness aims at: noise exists,
         // settlements have not landed. The durable intents above are
@@ -822,26 +884,47 @@ impl Server {
         lrm_testing::failpoint!("server::settle::crash");
         let mut spans = spans.into_iter();
         let mut intents = intents.into_iter();
+        let mut member = 0usize;
         while !job.submissions.is_empty() {
             // `remove(0)`, not `drain(..)`: a panic mid-loop must leave
             // the unresponded members in the job for the supervisor
             // (Drain's drop would discard them, hanging their tickets).
             let sub = job.submissions.remove(0);
             let span = spans.next().expect("one span per member");
+            let k = member;
+            member += 1;
             match intents.next().expect("one intent per member") {
                 Ok(id) => {
-                    let eps_remaining = self.tenants.settle(&sub.tenant, id);
+                    let (eps_remaining, delta_remaining) = self.tenants.settle(&sub.tenant, id);
                     metrics.answered.fetch_add(1, Ordering::Relaxed);
                     if degraded {
                         metrics.degraded_releases.fetch_add(1, Ordering::Relaxed);
                     }
-                    let answers = answers
+                    let noise = noise
                         .as_ref()
                         .expect("noise was drawn: this member's intent was granted");
+                    let answers = match noise {
+                        BatchNoise::Shared(a) => a[span].to_vec(),
+                        BatchNoise::PerMember(per) => per[k]
+                            .as_ref()
+                            .expect("per-member noise exists for every granted intent")[span]
+                            .to_vec(),
+                    };
+                    // Data-independent error bound only (`x = None`): the
+                    // structural residual ‖(W − BL)x‖² is an exact,
+                    // un-noised statistic of the private database, and
+                    // this number goes out to tenants without any budget
+                    // debit — it must never depend on the data. Computed
+                    // per member: in a cross-ε batch each member's noise
+                    // is calibrated to its own budget.
+                    let expected_avg_error =
+                        compiled.expected_average_error_budget(sub.budget, None);
                     let release = Release {
-                        answers: answers[span].to_vec(),
-                        eps_spent: sub.eps,
+                        answers,
+                        eps_spent: sub.budget.eps(),
                         eps_remaining,
+                        delta_spent: sub.budget.delta(),
+                        delta_remaining,
                         mechanism: compiled.meta().label,
                         expected_avg_error,
                         batch_index: job.index,
@@ -858,11 +941,69 @@ impl Server {
         }
     }
 
+    /// Draws the batch's noise from its deterministic streams.
+    ///
+    /// Pure batches keep the original single-draw discipline: one
+    /// [`Mechanism::answer`] call on stream `job.index` — every member's
+    /// ε is bit-identical (it is in the batch key), so the one Laplace
+    /// draw is correctly scaled for all of them.
+    ///
+    /// Gaussian batches share one *base* draw calibrated at the weakest
+    /// (largest-ε) member budget and give each member an independent
+    /// residual top-up: member `k` re-derives the identical base stream
+    /// (lane 0 of `job.index`) and adds its own top-up stream (lane
+    /// `k + 1`), so its slice carries exactly the variance its own
+    /// (ε, δ) demands. Members whose intent was refused draw nothing —
+    /// no noise may exist for a release that will not happen.
+    fn draw_batch_noise(
+        &self,
+        compiled: &CompiledMechanism,
+        job: &BatchJob,
+        intents: &[Result<u64, AdmissionError>],
+    ) -> Result<BatchNoise, CoreError> {
+        let first = job.submissions[0].budget;
+        if first.is_pure() {
+            let mut rng = derive_rng(self.seed, job.index);
+            return compiled
+                .answer(&self.data, first.eps(), &mut rng)
+                .map(BatchNoise::Shared);
+        }
+        let base = job
+            .submissions
+            .iter()
+            .map(|s| s.budget)
+            .max_by(|a, b| a.eps().value().total_cmp(&b.eps().value()))
+            .expect("batches are never empty");
+        let mut per_member = Vec::with_capacity(job.submissions.len());
+        for (k, (sub, intent)) in job.submissions.iter().zip(intents).enumerate() {
+            if intent.is_err() {
+                per_member.push(None);
+                continue;
+            }
+            // Fresh lane-0 rng per member: every member replays the
+            // *identical* base draw, which is what lets their slices
+            // share one data pass without sharing a calibration.
+            let mut base_rng = derive_rng(self.seed, substream(job.index, 0));
+            let mut topup_rng = derive_rng(self.seed, substream(job.index, k as u64 + 1));
+            let answers = compiled.answer_with_topup(
+                &self.data,
+                base,
+                sub.budget,
+                &mut base_rng,
+                &mut topup_rng,
+            )?;
+            per_member.push(Some(answers));
+        }
+        Ok(BatchNoise::PerMember(per_member))
+    }
+
     /// Compiles the combined workload, under the configured deadline if
     /// any. A deadline overrun abandons the compile (nothing is cached)
-    /// and answers with the guaranteed-fast Laplace baseline at the same
-    /// ε, marked degraded — availability degrades to a worse error
-    /// bound, never to a privacy change.
+    /// and answers with the guaranteed-fast noise-on-data baseline at
+    /// the same budget, marked degraded — availability degrades to a
+    /// worse error bound, never to a privacy change. The fallback
+    /// compiles under the server's own noise flavor, so a Gaussian
+    /// server degrades to Gaussian count noise, never to Laplace.
     fn compile_batch(&self, workload: &Workload) -> Result<CompiledMechanism, ServerError> {
         match self.compile_deadline {
             None => self
@@ -923,16 +1064,28 @@ fn respond(metrics: &ServerMetrics, sub: Submission, outcome: Result<Release, Se
 struct Submission {
     tenant: String,
     prepared: PreparedSpec,
-    eps: Epsilon,
+    budget: Budget,
     submitted_at: Instant,
     responder: Sender<Result<Release, ServerError>>,
 }
 
-/// A closed batch on its way to a worker.
+/// A closed batch on its way to a worker. Per-member budgets live on the
+/// submissions; the batch key guarantees they agree wherever the noise
+/// model requires it (ε for pure batches, δ for Gaussian ones).
 struct BatchJob {
     index: u64,
-    eps: Epsilon,
     submissions: Vec<Submission>,
+}
+
+/// The drawn noise of one batch, shaped by its noise model.
+enum BatchNoise {
+    /// Pure batch: one Laplace release of the combined workload; every
+    /// member slices the same vector.
+    Shared(Vec<f64>),
+    /// Gaussian batch: member `k`'s own full-batch release (the shared
+    /// base draw plus `k`'s residual top-up); `None` for members whose
+    /// intent was refused.
+    PerMember(Vec<Option<Vec<f64>>>),
 }
 
 /// A batch still collecting companions in the scheduler.
@@ -971,15 +1124,43 @@ impl fmt::Debug for Client<'_> {
 
 impl Client<'_> {
     /// Submits a spec on behalf of `tenant`, requesting one release at
-    /// `eps`. Spec translation and tenant lookup fail synchronously;
-    /// everything later (budget, compile, answer) arrives through the
-    /// returned [`Ticket`].
+    /// pure ε. Shorthand for [`Client::submit_budget`] with
+    /// [`Budget::pure`] — only valid against a pure-DP server.
     pub fn submit(
         &self,
         tenant: &str,
         spec: &QuerySpec,
         eps: Epsilon,
     ) -> Result<Ticket, ServerError> {
+        self.submit_budget(tenant, spec, Budget::pure(eps))
+    }
+
+    /// Submits a spec on behalf of `tenant`, requesting one release at
+    /// `budget`. Spec translation, tenant lookup, and the noise-model
+    /// check fail synchronously; everything later (budget, compile,
+    /// answer) arrives through the returned [`Ticket`].
+    ///
+    /// The budget's flavor must match the server's: a Gaussian server
+    /// only grants (ε, δ) releases with δ > 0, a pure server only
+    /// δ = 0 ones. Mismatches fail with [`ServerError::NoiseModel`]
+    /// before anything is enqueued.
+    pub fn submit_budget(
+        &self,
+        tenant: &str,
+        spec: &QuerySpec,
+        budget: Budget,
+    ) -> Result<Ticket, ServerError> {
+        let flavor = self.server.options.flavor;
+        let mismatched = match flavor {
+            NoiseFlavor::PureDp => !budget.is_pure(),
+            NoiseFlavor::ApproxDp => budget.is_pure(),
+        };
+        if mismatched {
+            return Err(ServerError::NoiseModel {
+                flavor,
+                delta: budget.delta(),
+            });
+        }
         let prepared = spec
             .compile(&self.server.schema)
             .map_err(ServerError::Spec)?;
@@ -1006,7 +1187,7 @@ impl Client<'_> {
         let sub = Submission {
             tenant: tenant.to_string(),
             prepared,
-            eps,
+            budget,
             submitted_at: Instant::now(),
             responder,
         };
@@ -1069,21 +1250,28 @@ pub struct Release {
     pub answers: Vec<f64>,
     /// The ε debited from the tenant for this release.
     pub eps_spent: Epsilon,
-    /// The tenant's budget after the debit.
+    /// The tenant's remaining ε after the debit.
     pub eps_remaining: f64,
+    /// The δ debited from the tenant for this release (`0` for pure
+    /// releases).
+    pub delta_spent: f64,
+    /// The tenant's remaining δ after the debit (`0` on pure servers).
+    pub delta_remaining: f64,
     /// Label of the strategy that answered the batch.
     pub mechanism: &'static str,
-    /// Closed-form expected average squared *noise* error of the batch
-    /// release (every member shares the batch's strategy and noise).
-    /// Deliberately data-independent: it omits the structural residual
-    /// `‖(W − BL)x‖²`, which is an exact statistic of the private
-    /// database and cannot be published without spending budget.
+    /// Closed-form expected average squared *noise* error of this
+    /// member's release at its own budget (members of a cross-ε batch
+    /// carry different bounds). Deliberately data-independent: it omits
+    /// the structural residual `‖(W − BL)x‖²`, which is an exact
+    /// statistic of the private database and cannot be published without
+    /// spending budget.
     pub expected_avg_error: f64,
     /// Index of the batch this release was sliced from (also the noise
-    /// stream label: the batch drew from `derive_rng(seed, batch_index)`).
-    /// Harmless on its own — reconstructing the noise additionally
-    /// requires the master seed, which is secret OS entropy unless an
-    /// experiment pinned it (see [`ServerBuilder::seed`]).
+    /// stream label: a pure batch drew from `derive_rng(seed,
+    /// batch_index)`, a Gaussian batch from that index's substream
+    /// lanes). Harmless on its own — reconstructing the noise
+    /// additionally requires the master seed, which is secret OS entropy
+    /// unless an experiment pinned it (see [`ServerBuilder::seed`]).
     pub batch_index: u64,
     /// How many requests shared the batch.
     pub batch_size: usize,
@@ -1147,6 +1335,16 @@ pub enum ServerError {
         /// What failed.
         reason: String,
     },
+    /// The request's budget flavor does not match the server's noise
+    /// model: a Gaussian server needs δ > 0 on every release, a pure
+    /// server refuses any δ. Refused synchronously at submission —
+    /// nothing was enqueued and no budget was touched.
+    NoiseModel {
+        /// The server's configured noise flavor.
+        flavor: NoiseFlavor,
+        /// The δ the refused request carried.
+        delta: f64,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -1169,6 +1367,18 @@ impl fmt::Display for ServerError {
             ServerError::State { reason } => {
                 write!(f, "durable server state failed: {reason}")
             }
+            ServerError::NoiseModel { flavor, delta } => match flavor {
+                NoiseFlavor::ApproxDp => write!(
+                    f,
+                    "this server serves approximate-DP (Gaussian) releases: \
+                     submit an (ε, δ) budget with δ > 0, not δ = {delta}"
+                ),
+                NoiseFlavor::PureDp => write!(
+                    f,
+                    "this server serves pure-DP (Laplace) releases and cannot \
+                     debit δ = {delta}: submit a pure ε budget"
+                ),
+            },
         }
     }
 }
@@ -1183,7 +1393,8 @@ impl std::error::Error for ServerError {
             ServerError::Shutdown
             | ServerError::Quarantined { .. }
             | ServerError::Overloaded { .. }
-            | ServerError::State { .. } => None,
+            | ServerError::State { .. }
+            | ServerError::NoiseModel { .. } => None,
         }
     }
 }
@@ -1214,6 +1425,8 @@ mod tests {
             answers: vec![1.0],
             eps_spent: Epsilon::new(0.5).unwrap(),
             eps_remaining: 0.5,
+            delta_spent: 0.0,
+            delta_remaining: 0.0,
             mechanism: "test",
             expected_avg_error: 0.0,
             batch_index: 0,

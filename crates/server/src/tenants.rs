@@ -14,8 +14,13 @@
 //! released: withholding it is privacy-free (nothing about the data is
 //! observable from a response that never arrives), so a refused debit
 //! spends nothing.
+//!
+//! Grants and releases are full (ε, δ) [`Budget`]s: pure tenants carry
+//! δ = 0 and behave exactly as before, Gaussian tenants reserve, settle,
+//! and recover *both* columns through the same two-phase protocol — a
+//! crash replays unsettled δ as spent just like unsettled ε.
 
-use lrm_dp::{BudgetError, DurableError, DurableLedger, Epsilon};
+use lrm_dp::{Budget, BudgetError, DurableError, DurableLedger, Epsilon};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +47,10 @@ pub struct TenantSpend {
     pub total: f64,
     /// Cumulative ε granted to this tenant.
     pub spent: f64,
+    /// The total δ this tenant registered with (`0` for pure grants).
+    pub delta_total: f64,
+    /// Cumulative δ granted to this tenant.
+    pub delta_spent: f64,
     /// Number of granted releases.
     pub releases: usize,
 }
@@ -55,11 +64,16 @@ pub struct TenantResume {
     /// Whether the journal was damaged; the ledger opened fully
     /// exhausted (conservative).
     pub corrupted: bool,
-    /// Settled spend after recovery.
+    /// Settled ε spend after recovery.
     pub spent: f64,
     /// ε reserved by a previous process but never released, now folded
     /// into the spend.
     pub recovered_pending: f64,
+    /// Settled δ spend after recovery (`0` for pure grants).
+    pub delta_spent: f64,
+    /// δ reserved by a previous process but never released, now folded
+    /// into the spend.
+    pub recovered_pending_delta: f64,
 }
 
 impl TenantLedgers {
@@ -72,9 +86,20 @@ impl TenantLedgers {
         }
     }
 
-    /// Registers (or resets) a tenant with a fresh budget, resuming its
-    /// durable journal when one exists with the same total.
+    /// Registers (or resets) a tenant with a fresh pure-ε budget,
+    /// resuming its durable journal when one exists with the same total.
     pub fn register(&self, tenant: &str, total: Epsilon) -> Result<TenantResume, AdmissionError> {
+        self.register_budget(tenant, Budget::pure(total))
+    }
+
+    /// Registers (or resets) a tenant with a fresh (ε, δ) budget,
+    /// resuming its durable journal when one exists with the same totals
+    /// (a grant whose ε *or* δ total changed resets instead of resuming).
+    pub fn register_budget(
+        &self,
+        tenant: &str,
+        total: Budget,
+    ) -> Result<TenantResume, AdmissionError> {
         let (ledger, resume) = match &self.dir {
             Some(dir) => {
                 std::fs::create_dir_all(dir).map_err(|e| AdmissionError::Ledger {
@@ -82,11 +107,12 @@ impl TenantLedgers {
                     reason: e.to_string(),
                 })?;
                 let path = dir.join(ledger_file_name(tenant));
-                let (ledger, summary) =
-                    DurableLedger::open(&path, total).map_err(|e| AdmissionError::Ledger {
+                let (ledger, summary) = DurableLedger::open_budget(&path, total).map_err(|e| {
+                    AdmissionError::Ledger {
                         tenant: tenant.to_string(),
                         reason: e.to_string(),
-                    })?;
+                    }
+                })?;
                 if summary.resumed {
                     self.replays.fetch_add(1, Ordering::Relaxed);
                 }
@@ -97,16 +123,20 @@ impl TenantLedgers {
                         corrupted: summary.corrupted,
                         spent: summary.spent,
                         recovered_pending: summary.recovered_pending,
+                        delta_spent: summary.delta_spent,
+                        recovered_pending_delta: summary.recovered_pending_delta,
                     },
                 )
             }
             None => (
-                DurableLedger::in_memory(total),
+                DurableLedger::in_memory_budget(total),
                 TenantResume {
                     resumed: false,
                     corrupted: false,
                     spent: 0.0,
                     recovered_pending: 0.0,
+                    delta_spent: 0.0,
+                    recovered_pending_delta: 0.0,
                 },
             ),
         };
@@ -126,26 +156,29 @@ impl TenantLedgers {
             .cloned()
     }
 
-    /// Advisory admission check (reservations count as spent).
-    pub fn check(&self, tenant: &str, eps: Epsilon) -> Result<(), AdmissionError> {
+    /// Advisory admission check (reservations count as spent). Both the
+    /// ε and δ components of `budget` must fit the tenant's remainder.
+    pub fn check_budget(&self, tenant: &str, budget: Budget) -> Result<(), AdmissionError> {
         let ledger = self
             .get(tenant)
             .ok_or_else(|| AdmissionError::UnknownTenant {
                 tenant: tenant.to_string(),
             })?;
-        ledger.check(eps).map_err(AdmissionError::Budget)
+        ledger.check_budget(budget).map_err(AdmissionError::Budget)
     }
 
-    /// Phase one of a settlement: durably reserves `eps` for one
-    /// release. Only after this returns `Ok` may noise be drawn for the
-    /// tenant's slice.
-    pub fn begin(&self, tenant: &str, eps: Epsilon) -> Result<u64, AdmissionError> {
+    /// Phase one of a settlement: durably reserves `budget` (both
+    /// components) for one release. Only after this returns `Ok` may
+    /// noise be drawn for the tenant's slice. In a cross-ε batch every
+    /// member begins at its *own* budget — the shared base draw never
+    /// changes what a member pays.
+    pub fn begin_budget(&self, tenant: &str, budget: Budget) -> Result<u64, AdmissionError> {
         let ledger = self
             .get(tenant)
             .ok_or_else(|| AdmissionError::UnknownTenant {
                 tenant: tenant.to_string(),
             })?;
-        ledger.begin(eps).map_err(|e| match e {
+        ledger.begin_budget(budget).map_err(|e| match e {
             DurableError::Budget(b) => AdmissionError::Budget(b),
             DurableError::Io(io) => AdmissionError::Ledger {
                 tenant: tenant.to_string(),
@@ -155,11 +188,15 @@ impl TenantLedgers {
     }
 
     /// Phase two, success path: finalizes intent `id` and returns the
-    /// remaining budget. Never refuses (admission happened at `begin`).
-    pub fn settle(&self, tenant: &str, id: u64) -> f64 {
+    /// remaining `(ε, δ)` budget. Never refuses (admission happened at
+    /// `begin_budget`).
+    pub fn settle(&self, tenant: &str, id: u64) -> (f64, f64) {
         match self.get(tenant) {
-            Some(ledger) => ledger.settle(id),
-            None => 0.0,
+            Some(ledger) => {
+                let eps_remaining = ledger.settle(id);
+                (eps_remaining, ledger.delta_remaining())
+            }
+            None => (0.0, 0.0),
         }
     }
 
@@ -173,12 +210,12 @@ impl TenantLedgers {
     }
 
     /// Single-phase debit: `begin` + immediate `settle`; returns the
-    /// remaining budget. The serving path always uses the two phases
+    /// remaining ε budget. The serving path always uses the two phases
     /// explicitly (intent before noise); this shorthand serves tests.
     #[cfg(test)]
     pub fn debit(&self, tenant: &str, eps: Epsilon) -> Result<f64, AdmissionError> {
-        let id = self.begin(tenant, eps)?;
-        Ok(self.settle(tenant, id))
+        let id = self.begin_budget(tenant, Budget::pure(eps))?;
+        Ok(self.settle(tenant, id).0)
     }
 
     /// Ledger journals replayed on registration so far.
@@ -199,6 +236,8 @@ impl TenantLedgers {
                     tenant: tenant.clone(),
                     total: l.total(),
                     spent: l.spent(),
+                    delta_total: l.delta_total(),
+                    delta_spent: l.delta_spent(),
                     releases: l.debits(),
                 }
             })
@@ -283,13 +322,17 @@ mod tests {
         Epsilon::new(v).unwrap()
     }
 
+    fn pure(v: f64) -> Budget {
+        Budget::pure(eps(v))
+    }
+
     #[test]
     fn register_check_debit_cycle() {
         let tenants = TenantLedgers::default();
         tenants.register("acme", eps(1.0)).unwrap();
-        assert!(tenants.check("acme", eps(0.5)).is_ok());
+        assert!(tenants.check_budget("acme", pure(0.5)).is_ok());
         assert!((tenants.debit("acme", eps(0.5)).unwrap() - 0.5).abs() < 1e-15);
-        assert!(tenants.check("acme", eps(0.6)).is_err());
+        assert!(tenants.check_budget("acme", pure(0.6)).is_err());
         assert!(matches!(
             tenants.debit("acme", eps(0.6)),
             Err(AdmissionError::Budget(BudgetError::Exhausted { .. }))
@@ -300,7 +343,7 @@ mod tests {
     fn unknown_tenant_is_typed() {
         let tenants = TenantLedgers::default();
         assert_eq!(
-            tenants.check("ghost", eps(0.1)),
+            tenants.check_budget("ghost", pure(0.1)),
             Err(AdmissionError::UnknownTenant {
                 tenant: "ghost".into()
             })
@@ -321,6 +364,8 @@ mod tests {
         assert_eq!(snap[1].tenant, "zeta");
         assert!((snap[1].spent - 0.5).abs() < 1e-15);
         assert_eq!(snap[1].releases, 1);
+        assert_eq!(snap[1].delta_total, 0.0);
+        assert_eq!(snap[1].delta_spent, 0.0);
     }
 
     #[test]
@@ -328,23 +373,47 @@ mod tests {
         let tenants = TenantLedgers::default();
         tenants.register("acme", eps(0.5)).unwrap();
         tenants.debit("acme", eps(0.5)).unwrap();
-        assert!(tenants.check("acme", eps(0.1)).is_err());
+        assert!(tenants.check_budget("acme", pure(0.1)).is_err());
         tenants.register("acme", eps(1.0)).unwrap();
-        assert!(tenants.check("acme", eps(0.1)).is_ok());
+        assert!(tenants.check_budget("acme", pure(0.1)).is_ok());
     }
 
     #[test]
     fn two_phase_reservation_gates_admission() {
         let tenants = TenantLedgers::default();
         tenants.register("acme", eps(1.0)).unwrap();
-        let id = tenants.begin("acme", eps(0.7)).unwrap();
+        let id = tenants.begin_budget("acme", pure(0.7)).unwrap();
         // The live reservation counts as spent for concurrent checks.
-        assert!(tenants.check("acme", eps(0.5)).is_err());
+        assert!(tenants.check_budget("acme", pure(0.5)).is_err());
         tenants.abort("acme", id);
-        assert!(tenants.check("acme", eps(0.5)).is_ok());
-        let id = tenants.begin("acme", eps(0.7)).unwrap();
-        let remaining = tenants.settle("acme", id);
+        assert!(tenants.check_budget("acme", pure(0.5)).is_ok());
+        let id = tenants.begin_budget("acme", pure(0.7)).unwrap();
+        let (remaining, delta_remaining) = tenants.settle("acme", id);
         assert!((remaining - 0.3).abs() < 1e-12);
+        assert_eq!(delta_remaining, 0.0);
+    }
+
+    #[test]
+    fn approx_grants_track_both_columns() {
+        let tenants = TenantLedgers::default();
+        let grant = Budget::approx(eps(1.0), 1e-5).unwrap();
+        tenants.register_budget("acme", grant).unwrap();
+        let release = Budget::approx(eps(0.25), 1e-6).unwrap();
+        let id = tenants.begin_budget("acme", release).unwrap();
+        let (eps_remaining, delta_remaining) = tenants.settle("acme", id);
+        assert!((eps_remaining - 0.75).abs() < 1e-12);
+        assert!((delta_remaining - 9e-6).abs() < 1e-18);
+
+        // δ exhaustion refuses even when ε would fit.
+        let delta_hog = Budget::approx(eps(0.1), 9.5e-6).unwrap();
+        assert!(matches!(
+            tenants.check_budget("acme", delta_hog),
+            Err(AdmissionError::Budget(_))
+        ));
+
+        let snap = tenants.snapshot();
+        assert!((snap[0].delta_total - 1e-5).abs() < 1e-18);
+        assert!((snap[0].delta_spent - 1e-6).abs() < 1e-18);
     }
 
     #[test]
@@ -372,7 +441,7 @@ mod tests {
         let r2 = tenants.register("../acme", eps(1.0)).unwrap();
         assert!((r2.spent - 0.5).abs() < 1e-12);
         assert_eq!(tenants.replays(), 2);
-        assert!(tenants.check("acme", eps(0.8)).is_err());
+        assert!(tenants.check_budget("acme", pure(0.8)).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -378,3 +378,84 @@ fn a_crash_between_noise_and_settlement_replays_as_spent() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn a_settle_crash_on_a_gaussian_server_replays_both_budget_columns() {
+    let _guard = serialized();
+    let dir = std::env::temp_dir().join(format!("lrm_faults_delta_crash_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Same crash window as the pure test — after the Gaussian draw,
+    // before settlement — but the intent now reserves (ε, δ). The
+    // restart must fold BOTH columns into the spend: an unsettled δ
+    // reservation that silently evaporated would let the tenant exceed
+    // its δ across process lifetimes.
+    arm(
+        "server::settle::crash",
+        FailAction::Panic,
+        FireRule::Once { at: 1 },
+    );
+    let build = || {
+        Server::builder(schema(16), data(16))
+            .mechanism(lrm_core::engine::MechanismKind::Laplace)
+            .compile_options(lrm_core::engine::CompileOptions::with_flavor(
+                lrm_core::engine::NoiseFlavor::ApproxDp,
+            ))
+            .max_batch(1)
+            .coalesce_window(Duration::ZERO)
+            .workers(1)
+            .seed(SEED)
+            .state_dir(&dir)
+            .build()
+            .unwrap()
+    };
+    let total = lrm_dp::Budget::approx(eps(1.0), 1e-5).unwrap();
+    let request = lrm_dp::Budget::approx(eps(0.6), 4e-6).unwrap();
+    {
+        let server = build();
+        server.register_tenant_budget("acme", total);
+        let (outcome, report) = server.serve(|client| {
+            client
+                .submit_budget("acme", &QuerySpec::Total, request)
+                .unwrap()
+                .wait()
+        });
+        assert!(matches!(outcome, Err(ServerError::Quarantined { .. })));
+        assert_eq!(report.tenants[0].spent, 0.0);
+        assert_eq!(report.tenants[0].delta_spent, 0.0);
+    }
+
+    let server = build();
+    let resume = server.try_register_tenant_budget("acme", total).unwrap();
+    assert!(resume.resumed);
+    assert!(!resume.corrupted);
+    assert!((resume.recovered_pending - 0.6).abs() < 1e-12);
+    assert!((resume.spent - 0.6).abs() < 1e-12);
+    assert!((resume.recovered_pending_delta - 4e-6).abs() < 1e-18);
+    assert!((resume.delta_spent - 4e-6).abs() < 1e-18);
+
+    // The replayed δ binds admission on its own: 6e-6 of δ headroom
+    // cannot cover a 7e-6 release even though its ε = 0.3 would fit …
+    let too_much_delta = lrm_dp::Budget::approx(eps(0.3), 7e-6).unwrap();
+    let (refused, _) = server.serve(|client| {
+        client
+            .submit_budget("acme", &QuerySpec::Total, too_much_delta)
+            .unwrap()
+            .wait()
+    });
+    assert!(matches!(refused, Err(ServerError::Admission(_))));
+    // … while a release inside both remainders is still granted.
+    let fits = lrm_dp::Budget::approx(eps(0.4), 5e-6).unwrap();
+    let (granted, report) = server.serve(|client| {
+        client
+            .submit_budget("acme", &QuerySpec::Total, fits)
+            .unwrap()
+            .wait()
+    });
+    let release = granted.unwrap();
+    assert!((release.eps_remaining - 0.0).abs() < 1e-12);
+    assert!((release.delta_remaining - 1e-6).abs() < 1e-15);
+    assert!((report.tenants[0].delta_spent - 9e-6).abs() < 1e-15);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
