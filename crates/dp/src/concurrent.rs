@@ -1,24 +1,52 @@
-//! A thread-safe layer over [`BudgetLedger`] for concurrent serving.
+//! A thread-safe layer over [`BudgetLedger`] semantics for concurrent
+//! serving, with a lock-free admission fast path.
 //!
-//! A serving runtime debits one tenant's budget from many worker threads
-//! at once. The sequential [`BudgetLedger`] already guarantees that the
-//! *observed* spend never exceeds the advertised total by more than one
+//! A serving runtime debits one tenant's budget from many threads at
+//! once. The sequential [`BudgetLedger`] guarantees that the cumulative
+//! granted spend never exceeds the advertised total by more than one
 //! rounding slack (`total × 1e-9`) over its lifetime; [`SharedLedger`]
-//! preserves exactly that bound under contention by serializing every
-//! check-and-debit behind one mutex — there is no check/debit race window
-//! in which two threads can both reserve the last slice of budget.
+//! preserves exactly that bound under contention — but instead of
+//! serializing every check-and-debit behind one mutex, each spend column
+//! (ε, and δ under approximate DP) lives in an `AtomicU64` holding f64
+//! bits, and a debit is one CAS loop that replicates the sequential
+//! check-then-clamp *atomically*:
+//!
+//! 1. load the current spend, evaluate [`BudgetLedger::check`]'s exact
+//!    predicate (exhaustion guard + one-slack headroom) against it;
+//! 2. on pass, CAS the clamped new spend in; a lost race simply reloads
+//!    and re-checks.
+//!
+//! Every successful CAS is therefore indistinguishable from a
+//! `BudgetLedger::debit` executed at its linearization point, so any
+//! concurrent history is equivalent to some sequential one — and
+//! inherits the sequential ledger's over-spend bound and dust-debit
+//! guard unchanged. Both-column (ε, δ) debits reserve ε first and δ
+//! second; a δ refusal rolls back exactly the ε amount that was applied
+//! (post-clamp), so a refused approximate debit leaves both columns
+//! untouched at quiescence and is only ever *conservative* (transiently
+//! inflated) in between.
+//!
+//! The two-phase [`begin_budget`](SharedLedger::begin_budget) /
+//! [`settle`](SharedLedger::settle) / [`abort`](SharedLedger::abort)
+//! path used by the serving runtime reserves on the same lock-free
+//! columns; only the small settlement bookkeeping (the pending-intent
+//! map) takes a mutex, and a *refused* reservation never touches it —
+//! admission-storm traffic against an exhausted tenant runs entirely
+//! lock-free.
 //!
 //! The type is a cheap `Arc` handle: clones share the same ledger, so a
 //! scheduler thread can admission-[`check`](SharedLedger::check) while
-//! workers [`debit`](SharedLedger::debit) after each successful release
+//! workers reserve and settle after each successful release
 //! (debit-after-success: a refused release never spends).
 
-use crate::budget::Epsilon;
-use crate::ledger::{BudgetError, BudgetLedger};
+use crate::budget::{Budget, Epsilon};
+use crate::ledger::{BudgetError, BudgetLedger, RELATIVE_SLACK};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A cloneable, thread-safe [`BudgetLedger`].
+/// A cloneable, thread-safe [`BudgetLedger`] with a lock-free debit path.
 ///
 /// ```
 /// use lrm_dp::{concurrent::SharedLedger, Epsilon};
@@ -33,23 +61,161 @@ use std::sync::{Arc, Mutex};
 /// ```
 #[derive(Clone)]
 pub struct SharedLedger {
-    inner: Arc<Mutex<BudgetLedger>>,
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    total: f64,
+    delta_total: f64,
+    /// f64 bits of the cumulative ε spend (reservations included).
+    spent_bits: AtomicU64,
+    /// f64 bits of the cumulative δ spend (reservations included).
+    delta_spent_bits: AtomicU64,
+    /// Successful (settled or single-phase) debits.
+    debits: AtomicUsize,
+    /// Settlement bookkeeping only — the spend columns above never hide
+    /// behind this lock. A refused reservation never takes it.
+    settle: Mutex<Settlement>,
+}
+
+#[derive(Default)]
+struct Settlement {
+    /// Intent id → the (ε, δ) actually applied to the columns at
+    /// reservation (post-clamp), so an abort refunds exactly what was
+    /// taken.
+    pending: HashMap<u64, (f64, f64)>,
+    next_id: u64,
+}
+
+/// One lock-free check-and-debit over a single spend column. Replicates
+/// [`BudgetLedger::check`] + the debit clamp atomically: returns the
+/// amount actually applied (post-clamp) on success, the remaining budget
+/// observed at refusal otherwise.
+fn column_reserve(bits: &AtomicU64, total: f64, amount: f64) -> Result<f64, f64> {
+    let mut cur = bits.load(Ordering::Acquire);
+    loop {
+        let spent = f64::from_bits(cur);
+        let remaining = (total - spent).max(0.0);
+        // Exactly `BudgetLedger::check`: an exhausted column refuses
+        // *every* debit (the dust guard), otherwise one slack of
+        // headroom absorbs f64 rounding.
+        if remaining <= total * RELATIVE_SLACK || amount > remaining + total * RELATIVE_SLACK {
+            return Err(remaining);
+        }
+        let new_spent = (spent + amount).min(total);
+        match bits.compare_exchange_weak(
+            cur,
+            new_spent.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Ok(new_spent - spent),
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Refunds an amount previously applied by [`column_reserve`]. Only ever
+/// *reduces* spend, so it cannot weaken the over-spend bound; the floor
+/// at zero guards the (unreachable in practice) case of refunding more
+/// than the column holds.
+fn column_rollback(bits: &AtomicU64, applied: f64) {
+    if applied <= 0.0 {
+        return;
+    }
+    let mut cur = bits.load(Ordering::Acquire);
+    loop {
+        let new_spent = (f64::from_bits(cur) - applied).max(0.0);
+        match bits.compare_exchange_weak(
+            cur,
+            new_spent.to_bits(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Side-effect-free evaluation of one column's admission predicate.
+fn column_check(bits: &AtomicU64, total: f64, amount: f64) -> Result<(), f64> {
+    let spent = f64::from_bits(bits.load(Ordering::Acquire));
+    let remaining = (total - spent).max(0.0);
+    if remaining <= total * RELATIVE_SLACK || amount > remaining + total * RELATIVE_SLACK {
+        return Err(remaining);
+    }
+    Ok(())
 }
 
 impl SharedLedger {
-    /// Opens a shared ledger holding `total` as the overall guarantee.
+    /// Opens a shared pure-ε ledger holding `total` as the overall
+    /// guarantee (δ-total 0: approximate-DP debits are refused).
     pub fn new(total: Epsilon) -> Self {
+        Self::with_budget(Budget::pure(total))
+    }
+
+    /// Opens a shared ledger enforcing an overall (ε, δ) guarantee.
+    pub fn with_budget(total: Budget) -> Self {
         Self {
-            inner: Arc::new(Mutex::new(BudgetLedger::new(total))),
+            inner: Arc::new(Inner {
+                total: total.eps().value(),
+                delta_total: total.delta(),
+                spent_bits: AtomicU64::new(0.0f64.to_bits()),
+                delta_spent_bits: AtomicU64::new(0.0f64.to_bits()),
+                debits: AtomicUsize::new(0),
+                settle: Mutex::new(Settlement::default()),
+            }),
         }
     }
 
-    /// Locks the ledger, recovering from poisoning: a panic in one worker
-    /// must not turn every later budget operation into a second panic —
-    /// the ledger state itself is always valid (debits are applied
-    /// atomically under the lock).
-    fn lock(&self) -> std::sync::MutexGuard<'_, BudgetLedger> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// Locks the settlement bookkeeping, recovering from poisoning: a
+    /// panic in one worker must not turn every later budget operation
+    /// into a second panic — the spend columns themselves are atomics
+    /// and always valid.
+    fn settlement(&self) -> std::sync::MutexGuard<'_, Settlement> {
+        self.inner.settle.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Reserves both columns of `budget` atomically (ε first, δ second;
+    /// a δ refusal rolls back the applied ε), returning the post-clamp
+    /// amounts applied to each column.
+    fn reserve(&self, budget: Budget) -> Result<(f64, f64), BudgetError> {
+        let eps = budget.eps().value();
+        let delta = budget.delta();
+        // Fail fast on the δ column before churning ε: purely advisory
+        // (the authoritative δ check is the CAS below), but it spares
+        // the ε rollback in the common δ-exhausted refusal.
+        if delta > 0.0 {
+            if let Err(remaining) =
+                column_check(&self.inner.delta_spent_bits, self.inner.delta_total, delta)
+            {
+                return Err(BudgetError::DeltaExhausted {
+                    requested: delta,
+                    remaining,
+                });
+            }
+        }
+        let applied_eps =
+            column_reserve(&self.inner.spent_bits, self.inner.total, eps).map_err(|remaining| {
+                BudgetError::Exhausted {
+                    requested: eps,
+                    remaining,
+                }
+            })?;
+        if delta == 0.0 {
+            return Ok((applied_eps, 0.0));
+        }
+        match column_reserve(&self.inner.delta_spent_bits, self.inner.delta_total, delta) {
+            Ok(applied_delta) => Ok((applied_eps, applied_delta)),
+            Err(remaining) => {
+                column_rollback(&self.inner.spent_bits, applied_eps);
+                Err(BudgetError::DeltaExhausted {
+                    requested: delta,
+                    remaining,
+                })
+            }
+        }
     }
 
     /// Side-effect-free admission check: could `eps` be debited right now?
@@ -60,47 +226,146 @@ impl SharedLedger {
     /// is precisely why the debit re-validates atomically. Use `check` to
     /// fail fast at admission, never as a reservation.
     pub fn check(&self, eps: Epsilon) -> Result<(), BudgetError> {
-        self.lock().check(eps)
+        column_check(&self.inner.spent_bits, self.inner.total, eps.value()).map_err(|remaining| {
+            BudgetError::Exhausted {
+                requested: eps.value(),
+                remaining,
+            }
+        })
+    }
+
+    /// Side-effect-free admission check over both (ε, δ) columns. A pure
+    /// (δ = 0) budget never consults the δ column, so pure traffic still
+    /// flows through a δ-exhausted ledger.
+    pub fn check_budget(&self, budget: Budget) -> Result<(), BudgetError> {
+        self.check(budget.eps())?;
+        let delta = budget.delta();
+        if delta > 0.0 {
+            column_check(&self.inner.delta_spent_bits, self.inner.delta_total, delta).map_err(
+                |remaining| BudgetError::DeltaExhausted {
+                    requested: delta,
+                    remaining,
+                },
+            )?;
+        }
+        Ok(())
     }
 
     /// Atomically check-and-debit `eps`, returning the remaining budget.
     ///
-    /// Exactly the sequential [`BudgetLedger::debit`] semantics, serialized:
-    /// the cumulative ε granted across all threads can never exceed the
-    /// total by more than the documented one-slack bound.
+    /// Exactly the sequential [`BudgetLedger::debit`] semantics — one
+    /// CAS is the whole critical section, so the cumulative ε granted
+    /// across all threads can never exceed the total by more than the
+    /// documented one-slack bound.
     pub fn debit(&self, eps: Epsilon) -> Result<f64, BudgetError> {
-        self.lock().debit(eps)
+        self.debit_budget(Budget::pure(eps))
     }
 
-    /// A point-in-time copy of the underlying ledger (total, spent, debit
-    /// count) for reporting.
+    /// Atomically check-and-debit an (ε, δ) budget, returning the
+    /// remaining ε (the δ remainder is available via
+    /// [`SharedLedger::delta_remaining`]).
+    pub fn debit_budget(&self, budget: Budget) -> Result<f64, BudgetError> {
+        self.reserve(budget)?;
+        self.inner.debits.fetch_add(1, Ordering::Relaxed);
+        Ok(self.remaining())
+    }
+
+    /// Phase one of a two-phase settlement: reserves `budget` (both
+    /// columns, counted as spent for every concurrent check) and records
+    /// a pending intent. The reservation itself is lock-free; only the
+    /// intent bookkeeping takes the settlement mutex, and a refused
+    /// reservation returns before ever touching it.
+    pub fn begin_budget(&self, budget: Budget) -> Result<u64, BudgetError> {
+        let applied = self.reserve(budget)?;
+        let mut settlement = self.settlement();
+        let id = settlement.next_id;
+        settlement.next_id += 1;
+        settlement.pending.insert(id, applied);
+        Ok(id)
+    }
+
+    /// Phase two, success path: finalizes intent `id` and returns the
+    /// remaining ε. Settling an unknown (or already-settled) id only
+    /// reports the remainder. Never refuses — admission happened at
+    /// [`begin_budget`](SharedLedger::begin_budget).
+    pub fn settle(&self, id: u64) -> f64 {
+        if self.settlement().pending.remove(&id).is_some() {
+            self.inner.debits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.remaining()
+    }
+
+    /// Phase two, failure path: refunds intent `id`, returning exactly
+    /// the post-clamp amounts its reservation applied. Aborting an
+    /// unknown id is a no-op.
+    pub fn abort(&self, id: u64) {
+        if let Some((eps, delta)) = self.settlement().pending.remove(&id) {
+            column_rollback(&self.inner.spent_bits, eps);
+            column_rollback(&self.inner.delta_spent_bits, delta);
+        }
+    }
+
+    /// Intents reserved but not yet settled or aborted.
+    pub fn pending(&self) -> usize {
+        self.settlement().pending.len()
+    }
+
+    /// A point-in-time copy of the ledger state (total, spent, debit
+    /// count; live reservations count as spent) for reporting.
     pub fn snapshot(&self) -> BudgetLedger {
-        self.lock().clone()
+        BudgetLedger::restore(
+            self.inner.total,
+            self.spent(),
+            self.inner.delta_total,
+            self.delta_spent(),
+            self.debits(),
+        )
     }
 
     /// The fixed total ε this ledger enforces.
     pub fn total(&self) -> f64 {
-        self.lock().total()
+        self.inner.total
     }
 
-    /// Cumulative ε debited so far.
+    /// Cumulative ε debited or reserved so far.
     pub fn spent(&self) -> f64 {
-        self.lock().spent()
+        f64::from_bits(self.inner.spent_bits.load(Ordering::Acquire))
     }
 
     /// Budget still available, never negative.
     pub fn remaining(&self) -> f64 {
-        self.lock().remaining()
+        (self.inner.total - self.spent()).max(0.0)
     }
 
-    /// Number of successful debits.
+    /// Number of successful debits (settled releases).
     pub fn debits(&self) -> usize {
-        self.lock().debits()
+        self.inner.debits.load(Ordering::Relaxed)
     }
 
     /// Whether the remaining budget is (numerically) zero.
     pub fn is_exhausted(&self) -> bool {
-        self.lock().is_exhausted()
+        self.remaining() <= self.inner.total * RELATIVE_SLACK
+    }
+
+    /// The fixed total δ this ledger enforces (0 for a pure ε-DP ledger).
+    pub fn delta_total(&self) -> f64 {
+        self.inner.delta_total
+    }
+
+    /// Cumulative δ debited or reserved so far.
+    pub fn delta_spent(&self) -> f64 {
+        f64::from_bits(self.inner.delta_spent_bits.load(Ordering::Acquire))
+    }
+
+    /// δ budget still available, never negative.
+    pub fn delta_remaining(&self) -> f64 {
+        (self.inner.delta_total - self.delta_spent()).max(0.0)
+    }
+
+    /// Whether the remaining δ budget is (numerically) zero. A pure ε-DP
+    /// ledger (δ-total 0) reports `true`: it has no δ to spend.
+    pub fn is_delta_exhausted(&self) -> bool {
+        self.delta_remaining() <= self.inner.delta_total * RELATIVE_SLACK
     }
 }
 
@@ -124,6 +389,10 @@ mod tests {
 
     fn eps(v: f64) -> Epsilon {
         Epsilon::new(v).unwrap()
+    }
+
+    fn budget(e: f64, d: f64) -> Budget {
+        Budget::new(eps(e), d).unwrap()
     }
 
     #[test]
@@ -162,16 +431,71 @@ mod tests {
     }
 
     #[test]
-    fn survives_a_poisoned_lock() {
+    fn two_phase_reserve_settle_abort() {
+        let l = SharedLedger::with_budget(budget(1.0, 1e-5));
+        let id = l.begin_budget(budget(0.7, 4e-6)).unwrap();
+        assert_eq!(l.pending(), 1);
+        // The live reservation counts as spent for concurrent checks.
+        assert!(l.check(eps(0.5)).is_err());
+        assert!(l.check_budget(budget(0.1, 7e-6)).is_err());
+        l.abort(id);
+        assert_eq!(l.pending(), 0);
+        assert_eq!(l.debits(), 0);
+        assert!(l.check(eps(0.5)).is_ok());
+        assert!((l.spent()).abs() < 1e-15);
+        assert!((l.delta_spent()).abs() < 1e-20);
+
+        let id = l.begin_budget(budget(0.7, 4e-6)).unwrap();
+        let remaining = l.settle(id);
+        assert!((remaining - 0.3).abs() < 1e-12);
+        assert!((l.delta_remaining() - 6e-6).abs() < 1e-18);
+        assert_eq!(l.debits(), 1);
+        // Settling twice (or an unknown id) is a harmless report.
+        assert!((l.settle(id) - 0.3).abs() < 1e-12);
+        assert_eq!(l.debits(), 1);
+        l.abort(9999);
+        assert!((l.spent() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_refusal_rolls_back_the_eps_column() {
+        let l = SharedLedger::with_budget(budget(1.0, 1e-6));
+        // ε fits, δ does not: neither column may hold anything after.
+        let err = l.debit_budget(budget(0.1, 2e-6)).unwrap_err();
+        assert!(matches!(err, BudgetError::DeltaExhausted { .. }));
+        assert_eq!(l.spent(), 0.0);
+        assert_eq!(l.delta_spent(), 0.0);
+        assert_eq!(l.debits(), 0);
+        // Pure traffic still flows after δ exhaustion.
+        l.debit_budget(budget(0.1, 1e-6)).unwrap();
+        assert!(l.is_delta_exhausted());
+        assert!(l.debit_budget(budget(0.1, 1e-18)).is_err());
+        l.debit_budget(budget(0.2, 0.0)).unwrap();
+        assert!((l.spent() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pure_ledger_refuses_any_delta() {
+        let l = SharedLedger::new(eps(1.0));
+        assert_eq!(l.delta_total(), 0.0);
+        assert!(l.is_delta_exhausted());
+        assert!(l.debit_budget(budget(0.1, 1e-12)).is_err());
+        l.debit_budget(budget(0.1, 0.0)).unwrap();
+        assert_eq!(l.debits(), 1);
+    }
+
+    #[test]
+    fn survives_a_poisoned_settlement_lock() {
         let l = SharedLedger::new(eps(1.0));
         let l2 = l.clone();
         let _ = std::thread::spawn(move || {
-            let _guard = l2.inner.lock().unwrap();
-            panic!("poison the ledger lock");
+            let _guard = l2.inner.settle.lock().unwrap();
+            panic!("poison the settlement lock");
         })
         .join();
         // The ledger stays usable and consistent after the panic.
-        l.debit(eps(0.5)).unwrap();
+        let id = l.begin_budget(budget(0.5, 0.0)).unwrap();
+        l.settle(id);
         assert!((l.spent() - 0.5).abs() < 1e-15);
     }
 

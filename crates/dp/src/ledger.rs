@@ -13,7 +13,9 @@ use std::fmt;
 
 /// Relative slack absorbing f64 rounding so that, e.g., ten debits of ε/10
 /// sum to exactly ε instead of being rejected by the last few ulps.
-const RELATIVE_SLACK: f64 = 1e-9;
+/// Shared with [`crate::concurrent::SharedLedger`], whose lock-free fast
+/// path must refuse and clamp with exactly these semantics.
+pub(crate) const RELATIVE_SLACK: f64 = 1e-9;
 
 /// A sequential-composition ledger over a fixed total ε (and, under
 /// approximate DP, a fixed total δ).

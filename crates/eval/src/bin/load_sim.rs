@@ -7,6 +7,7 @@
 //!          [--workers P] [--eps E] [--tenant-budget EB] [--seed S]
 //!          [--out PATH] [--quiet]
 //! load_sim --smoke [--budget-seconds S] [--quiet]
+//! load_sim --evented [--out PATH] [--quiet]
 //! ```
 //!
 //! `--smoke` runs the CI regression gate on a pinned small configuration
@@ -19,7 +20,15 @@
 //! counter assertable. After the pure gate it runs the mixed-ε Gaussian
 //! gate ([`ServingConfig::gaussian_smoke`]) so one entry point covers
 //! both noise flavors; the `gaussian` binary runs the same gate alone.
+//! The third pass is the evented front-end gate
+//! ([`EventedConfig::smoke`]): ≥ 10⁴ requests concurrently in flight
+//! from a handful of driver threads over the sharded scheduler, with
+//! strictly higher throughput *and* strictly lower p99 than the
+//! thread-per-client blocking driver at equal ε — and, as everywhere,
+//! zero over-spend and zero densifications. `--evented` runs that same
+//! pinned comparison alone and writes the `BENCH_9.json`-style report.
 
+use lrm_eval::experiments::evented::{run_evented_bench, EventedConfig};
 use lrm_eval::experiments::gaussian::run_gaussian_bench;
 use lrm_eval::experiments::serving::{run_serving_bench, ServingConfig};
 use std::path::PathBuf;
@@ -30,6 +39,7 @@ struct Args {
     cfg: ServingConfig,
     out: Option<PathBuf>,
     smoke: bool,
+    evented: bool,
     budget_seconds: f64,
     /// Shaping flags seen on the command line; `--smoke` is a pinned
     /// configuration and refuses these rather than silently ignoring
@@ -43,6 +53,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         cfg: ServingConfig::default(),
         out: None,
         smoke: false,
+        evented: false,
         budget_seconds: 150.0,
         shaping_flags: Vec::new(),
         saw_budget: false,
@@ -57,6 +68,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => out.smoke = true,
+            "--evented" => out.evented = true,
             "--quiet" => out.cfg.quiet = true,
             "--n" => {
                 out.shaping_flags.push("--n");
@@ -122,7 +134,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (try --smoke, --n, --cuts, --tenants, --clients, --requests, --burst, --spec-queries, --window-ms, --max-batch, --workers, --eps, --tenant-budget, --seed, --out, --quiet, --budget-seconds)"
+                    "unknown argument: {other} (try --smoke, --evented, --n, --cuts, --tenants, --clients, --requests, --burst, --spec-queries, --window-ms, --max-batch, --workers, --eps, --tenant-budget, --seed, --out, --quiet, --budget-seconds)"
                 ))
             }
         }
@@ -209,6 +221,40 @@ fn main() -> ExitCode {
             failed = true;
         }
 
+        // Third pass: the evented front-end gate. A handful of driver
+        // threads must hold ≥ 10⁴ requests in flight over the sharded
+        // scheduler and strictly beat the thread-per-client blocking
+        // driver on both throughput and p99 latency at equal ε.
+        let evented_cfg = EventedConfig {
+            serving: lrm_eval::experiments::serving::ServingConfig {
+                quiet: args.cfg.quiet,
+                ..EventedConfig::smoke().serving
+            },
+            ..EventedConfig::smoke()
+        };
+        let evented = run_evented_bench(&evented_cfg);
+        println!(
+            "smoke (evented): {:.2}x throughput, {:.2}x p99 gain, {} peak in-flight \
+             across {} active shards (max share {:.2}), overspend {}",
+            evented.throughput_gain(),
+            evented.p99_gain(),
+            evented.evented.peak_in_flight(),
+            evented.evented.active_shards(),
+            evented.evented.max_shard_fraction(),
+            evented.blocking.overspend || evented.evented.stats.overspend,
+        );
+        if !evented.passes_smoke() {
+            eprintln!(
+                "FAIL: the evented front-end gate did not hold ({:.2}x throughput, {:.2}x p99 gain, {} peak in-flight, {} active shards, max shard share {:.2})",
+                evented.throughput_gain(),
+                evented.p99_gain(),
+                evented.evented.peak_in_flight(),
+                evented.evented.active_shards(),
+                evented.evented.max_shard_fraction(),
+            );
+            failed = true;
+        }
+
         let elapsed = t0.elapsed().as_secs_f64();
         if elapsed > args.budget_seconds {
             eprintln!(
@@ -227,6 +273,58 @@ fn main() -> ExitCode {
     if args.saw_budget {
         eprintln!("load_sim: --budget-seconds only applies to --smoke");
         return ExitCode::FAILURE;
+    }
+
+    if args.evented {
+        let refused: Vec<_> = args
+            .shaping_flags
+            .iter()
+            .filter(|f| **f != "--out")
+            .collect();
+        if !refused.is_empty() {
+            eprintln!(
+                "load_sim: --evented runs a pinned configuration and does not accept {}",
+                refused
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+        let cfg = EventedConfig {
+            serving: lrm_eval::experiments::serving::ServingConfig {
+                quiet: args.cfg.quiet,
+                ..EventedConfig::smoke().serving
+            },
+            ..EventedConfig::smoke()
+        };
+        let report = run_evented_bench(&cfg);
+        println!(
+            "evented vs blocking front end: {:.2}x throughput, {:.2}x p99 gain, {} peak in-flight, gate {}",
+            report.throughput_gain(),
+            report.p99_gain(),
+            report.evented.peak_in_flight(),
+            if report.passes_smoke() { "PASS" } else { "FAIL" }
+        );
+        let label = format!(
+            "evented front end, {} virtual clients x {} requests over {} shards / {} driver threads (evented vs blocking)",
+            cfg.serving.clients, cfg.serving.requests_per_client, cfg.shards, cfg.driver_threads
+        );
+        if let Some(path) = &args.out {
+            if let Err(e) = report.write(path, &label) {
+                eprintln!("load_sim: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("report written to {}", path.display());
+        } else {
+            println!("{}", report.to_json(&label));
+        }
+        return if report.passes_smoke() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     let report = run_serving_bench(&args.cfg);
     println!(

@@ -1,0 +1,796 @@
+//! Evented front-end harness: 10⁴+ in-flight requests from a handful of
+//! driver threads, against the thread-per-client blocking driver.
+//!
+//! The question this bench answers is different from the coalescing one
+//! ([`crate::experiments::serving`] asks *does batching beat per-query
+//! serving*): here **both** runs use the coalescing scheduler at equal ε
+//! on the identical trace, and the variable is the *front end*:
+//!
+//! * **blocking** — the legacy shape: one OS thread per virtual client,
+//!   each a synchronous request–response loop (`burst` tickets deep,
+//!   1 in the pinned gate) blocking on [`lrm_server::Ticket::wait`].
+//!   Holding ~10⁴ requests in flight costs ~10⁴ OS threads, and every
+//!   completion pays a dedicated per-request channel wakeup of a
+//!   specific parked thread that then contends with thousands of
+//!   runnable siblings for a CPU slice before it can even resubmit.
+//! * **evented** — the *same* virtual-client population folded onto a
+//!   few driver threads. Each driver simulates its share of the clients
+//!   (dealt round-robin), submitting through
+//!   [`Client::submit_budget_into`](lrm_server::Client::submit_budget_into)
+//!   into one [`TicketSet`] and harvesting with
+//!   [`TicketSet::wait_any`]; the set token (handed out in submission
+//!   order) maps each completion back to its virtual client, whose next
+//!   request is submitted on the spot. The server runs its sharded
+//!   scheduler (`shards > 1`), so admission, window timing, and
+//!   flushing are spread across per-noise-class shards with
+//!   work-stealing workers behind them.
+//!
+//! Both drivers enforce identical per-client sequencing — virtual
+//! client *c* never has more than `burst` requests outstanding, and its
+//! request *r + 1* is submitted only once *r*'s completion is observed —
+//! so both offer the same load (clients × burst in flight) and neither
+//! gets to time-shift its submissions. Latency is **client-observed**:
+//! the clock starts in the driver immediately before the submit call
+//! and stops when the driver observes the completion, so the blocking
+//! run is charged for its thread wakeup/reschedule delays exactly as
+//! the evented run is charged for its harvest loop. Both grant the
+//! *entire* trace (the tenant budgets are sized so no request is
+//! refused), which makes throughput and tail latency directly
+//! comparable: same requests, same grants, same noise discipline, zero
+//! ε/δ over-spend tolerated. The gate
+//! ([`EventedReport::passes_smoke`]) requires the evented run to hold
+//! ≥ `target_in_flight` requests in flight server-side, to sustain
+//! strictly higher throughput *and* strictly lower p99 latency than the
+//! blocking driver, and to actually spread load across ≥ 2 scheduler
+//! shards with bounded imbalance.
+
+use crate::experiments::scaling::scaling_lrm_config;
+use crate::experiments::serving::{
+    build_trace, ServingConfig, ServingRunStats, Trace, TraceRequest,
+};
+use crate::report::TableWriter;
+use lrm_core::engine::{CompileOptions, Engine, MechanismKind, NoiseFlavor};
+use lrm_dp::{Budget, Epsilon};
+use lrm_linalg::operator::densification_count;
+use lrm_server::{Client, Server, ServerError, ServerReport, Ticket, TicketSet};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Configuration of the evented-vs-blocking comparison.
+#[derive(Debug, Clone)]
+pub struct EventedConfig {
+    /// The shared trace/server shape. `burst` is the per-virtual-client
+    /// pipeline depth in *both* drivers (1 = synchronous
+    /// request–response), so both hold `clients × burst` requests in
+    /// flight and the comparison is about the front end, not the
+    /// offered load.
+    pub serving: ServingConfig,
+    /// Scheduler shards of the evented run's server (the blocking run
+    /// keeps the single-shard legacy shape).
+    pub shards: usize,
+    /// Driver threads of the evented run. The trace's virtual clients
+    /// are dealt round-robin across them.
+    pub driver_threads: usize,
+    /// The in-flight floor the evented run must demonstrate: its
+    /// server-side peak queue depth must reach this many concurrently
+    /// submitted-but-unanswered requests.
+    pub target_in_flight: u64,
+}
+
+impl EventedConfig {
+    /// The pinned CI gate configuration: a small domain (answering is
+    /// cheap, so the front end is what's measured) and the classic C10K
+    /// population — 12 288 virtual clients, each a synchronous
+    /// request–response loop (`burst` 1) issuing 4 requests, ≈ 5 × 10⁴
+    /// submissions with 12 288 concurrently in flight. The blocking
+    /// driver needs one OS thread per client to hold that; the evented
+    /// driver folds them onto 4 threads. Four ε levels give the
+    /// noise-class shard router classes to spread, and tenant budgets
+    /// are sized to grant every request in both runs.
+    pub fn smoke() -> Self {
+        EventedConfig {
+            serving: ServingConfig {
+                buckets: 16,
+                cuts: 8,
+                tenants: 8,
+                clients: 12_288,
+                requests_per_client: 4,
+                burst: 1,
+                spec_queries: 1,
+                window: Duration::from_millis(5),
+                max_batch: 64,
+                workers: 3,
+                eps_request: 0.1,
+                // Requests round-robin tenants (8) and ε levels (4), so
+                // tenant t always draws level t mod 4; the hottest
+                // tenants spend 6 144 × 0.4 = 2 457.6 ε. 2 800 grants
+                // everything — rejections would skew the comparison.
+                tenant_budget: 2_800.0,
+                seed: 20120827,
+                quiet: false,
+                noise_delta: 0.0,
+                tenant_delta: 0.0,
+                eps_levels: vec![0.05, 0.1, 0.2, 0.4],
+                rank_close: false,
+            },
+            shards: 8,
+            driver_threads: 4,
+            target_in_flight: 10_000,
+        }
+    }
+}
+
+/// The evented run's stats: the shared serving counters plus the
+/// shard/steal picture that only exists on a sharded server.
+#[derive(Debug, Clone)]
+pub struct EventedRunStats {
+    /// The common counters, measured exactly as the blocking run's.
+    pub stats: ServingRunStats,
+    /// Driver threads that drove the run.
+    pub driver_threads: usize,
+    /// Scheduler shards of the run's server.
+    pub shards: usize,
+    /// Batches a worker claimed from another shard's flush queue.
+    pub stolen_batches: u64,
+    /// Peak submitted-but-unanswered requests per shard (index = shard).
+    pub shard_peak_depths: Vec<u64>,
+}
+
+impl EventedRunStats {
+    /// Peak concurrently in-flight requests, measured server-side
+    /// (submitted but not yet answered, summed across shards).
+    pub fn peak_in_flight(&self) -> u64 {
+        self.stats.peak_queue_depth
+    }
+
+    /// Shards that ever held a request.
+    pub fn active_shards(&self) -> usize {
+        self.shard_peak_depths.iter().filter(|&&p| p > 0).count()
+    }
+
+    /// The hottest shard's share of the summed per-shard peaks — the
+    /// imbalance signal (1.0 means one shard took everything).
+    pub fn max_shard_fraction(&self) -> f64 {
+        let total: u64 = self.shard_peak_depths.iter().sum();
+        let max = self.shard_peak_depths.iter().copied().max().unwrap_or(0);
+        if total == 0 {
+            1.0
+        } else {
+            max as f64 / total as f64
+        }
+    }
+}
+
+/// Per-driver-thread accumulation (one per blocking client thread or
+/// evented driver thread).
+#[derive(Debug, Default, Clone)]
+struct DriverOutcome {
+    granted_per_tenant: Vec<f64>,
+    granted_delta_per_tenant: Vec<f64>,
+    answered: u64,
+    rejected: u64,
+    queries: u64,
+    sq_err: f64,
+    /// Client-observed submit-to-completion latency of every granted
+    /// request, in microseconds (the clock starts just before the
+    /// submit call and stops when the driver observes the completion).
+    latencies_us: Vec<u64>,
+}
+
+impl DriverOutcome {
+    fn for_tenants(tenants: usize) -> Self {
+        DriverOutcome {
+            granted_per_tenant: vec![0.0; tenants],
+            granted_delta_per_tenant: vec![0.0; tenants],
+            ..DriverOutcome::default()
+        }
+    }
+
+    /// Fold one completion into the tallies.
+    fn record(
+        &mut self,
+        req: &TraceRequest,
+        outcome: Result<lrm_server::Release, ServerError>,
+        latency: Duration,
+    ) {
+        match outcome {
+            Ok(release) => {
+                self.latencies_us.push(latency.as_micros() as u64);
+                self.granted_per_tenant[req.tenant] += release.eps_spent.value();
+                self.granted_delta_per_tenant[req.tenant] += release.delta_spent;
+                self.answered += 1;
+                self.queries += release.answers.len() as u64;
+                self.sq_err += release
+                    .answers
+                    .iter()
+                    .zip(&req.exact)
+                    .map(|(a, e)| (a - e) * (a - e))
+                    .sum::<f64>();
+            }
+            Err(ServerError::Admission(_)) => self.rejected += 1,
+            Err(e) => panic!("unexpected serving failure: {e}"),
+        }
+    }
+}
+
+/// Builds one serving run's server: same engine/mechanism/scheduler
+/// shape in both modes, only the shard count differs.
+fn build_server(scfg: &ServingConfig, trace: &Trace, shards: usize) -> Server {
+    let mut options = CompileOptions::with_decomposition(scaling_lrm_config());
+    if scfg.is_gaussian() {
+        options.flavor = NoiseFlavor::ApproxDp;
+    }
+    // A fresh engine, like every serving run: cold strategy cache.
+    let server = Server::builder(trace.schema.clone(), trace.data.clone())
+        .engine(Engine::builder().build())
+        .mechanism(MechanismKind::Lrm)
+        .compile_options(options)
+        .coalesce_window(scfg.window)
+        .max_batch(scfg.max_batch)
+        .workers(scfg.workers)
+        .rank_close(scfg.rank_close)
+        .shards(shards)
+        .seed(scfg.seed)
+        .build()
+        .expect("valid server configuration");
+    let budget_eps = Epsilon::new(scfg.tenant_budget).expect("positive budget");
+    let budget = if scfg.is_gaussian() {
+        Budget::approx(budget_eps, scfg.tenant_delta).expect("valid tenant delta")
+    } else {
+        Budget::pure(budget_eps)
+    };
+    for t in 0..scfg.tenants {
+        server.register_tenant_budget(&ServingConfig::tenant_name(t), budget);
+    }
+    server
+}
+
+/// Folds driver outcomes and the server report into the shared stats
+/// shape, checking the observed grants against the registered budgets.
+fn collect_stats(
+    mode: &'static str,
+    scfg: &ServingConfig,
+    outcomes: &[DriverOutcome],
+    report: &ServerReport,
+    wall_seconds: f64,
+    densifications: u64,
+) -> ServingRunStats {
+    let mut granted = vec![0.0f64; scfg.tenants];
+    let mut granted_delta = vec![0.0f64; scfg.tenants];
+    let mut answered = 0u64;
+    let mut rejected = 0u64;
+    let mut queries = 0u64;
+    let mut sq_err = 0.0f64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for o in outcomes {
+        latencies.extend_from_slice(&o.latencies_us);
+        for (g, total) in o.granted_per_tenant.iter().zip(granted.iter_mut()) {
+            *total += g;
+        }
+        for (g, total) in o
+            .granted_delta_per_tenant
+            .iter()
+            .zip(granted_delta.iter_mut())
+        {
+            *total += g;
+        }
+        answered += o.answered;
+        rejected += o.rejected;
+        queries += o.queries;
+        sq_err += o.sq_err;
+    }
+    let overspend = granted
+        .iter()
+        .any(|&g| g > scfg.tenant_budget * (1.0 + 1e-9) + 1e-12);
+    let delta_overspend = granted_delta
+        .iter()
+        .any(|&g| g > scfg.tenant_delta * (1.0 + 1e-9) + 1e-18);
+    // Exact percentiles over the client-observed latencies (the
+    // server-side histogram can't see the front end's own delays —
+    // thread wakeups, harvest loops — which are the whole point here).
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * q).ceil() as usize;
+        latencies[idx] as f64 / 1e3
+    };
+    let p50_latency_ms = percentile(0.50);
+    let p99_latency_ms = percentile(0.99);
+
+    ServingRunStats {
+        mode,
+        wall_seconds,
+        answered,
+        rejected,
+        queries_answered: queries,
+        requests_per_second: answered as f64 / wall_seconds.max(1e-9),
+        queries_per_second: queries as f64 / wall_seconds.max(1e-9),
+        mean_squared_error: if queries > 0 {
+            sq_err / queries as f64
+        } else {
+            0.0
+        },
+        batches: report.metrics.batches,
+        coalesced_batches: report.metrics.coalesced_batches,
+        mean_occupancy: report.metrics.mean_occupancy,
+        max_occupancy: report.metrics.max_occupancy,
+        cache_misses: report.cache.misses,
+        cache_hits: report.cache.memory_hits,
+        peak_queue_depth: report.metrics.peak_queue_depth,
+        p50_latency_ms,
+        p99_latency_ms,
+        overspend,
+        delta_overspend,
+        cross_eps_batches: report.metrics.cross_eps_batches,
+        densifications,
+    }
+}
+
+/// Replays the trace through the legacy front end: a single-shard
+/// server, one OS thread per virtual client, each holding a `burst`-deep
+/// pipeline of blocking tickets. The client threads run on small stacks
+/// (the drive loop is shallow) so the 10⁴-thread population stays cheap
+/// in memory; what it can't avoid is the scheduler cost of 10⁴ runnable
+/// threads, which is exactly what the comparison measures.
+pub fn run_blocking_mode(cfg: &EventedConfig, trace: &Trace) -> ServingRunStats {
+    let scfg = &cfg.serving;
+    let server = build_server(scfg, trace, 1);
+    let densify_before = densification_count();
+    let t0 = Instant::now();
+    let (outcomes, report) = server.serve(|client| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = trace
+                .per_client
+                .iter()
+                .map(|requests| {
+                    let client = client.clone();
+                    std::thread::Builder::new()
+                        .stack_size(128 * 1024)
+                        .spawn_scoped(s, move || drive_blocking(&client, requests, scfg))
+                        .expect("spawn blocking client thread")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .collect::<Vec<DriverOutcome>>()
+        })
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let densifications = densification_count() - densify_before;
+    collect_stats(
+        "blocking",
+        scfg,
+        &outcomes,
+        &report,
+        wall_seconds,
+        densifications,
+    )
+}
+
+/// One blocking client: keep `burst` tickets outstanding, block on the
+/// oldest, submit a replacement per completion — the steady-state
+/// closed loop of the thread-per-client front end.
+fn drive_blocking(
+    client: &Client<'_>,
+    requests: &[TraceRequest],
+    cfg: &ServingConfig,
+) -> DriverOutcome {
+    let window = cfg.burst.max(1);
+    let mut out = DriverOutcome::for_tenants(cfg.tenants);
+    let mut pending: VecDeque<(usize, Instant, Ticket)> = VecDeque::with_capacity(window);
+    let mut next = 0usize;
+    loop {
+        while pending.len() < window && next < requests.len() {
+            let req = &requests[next];
+            let tenant = ServingConfig::tenant_name(req.tenant);
+            let start = Instant::now();
+            let ticket = client
+                .submit_budget(&tenant, &req.spec, req.budget)
+                .expect("trace specs and tenants are valid; admission is unbounded");
+            pending.push_back((next, start, ticket));
+            next += 1;
+        }
+        let Some((index, start, ticket)) = pending.pop_front() else {
+            break;
+        };
+        let outcome = ticket.wait();
+        out.record(&requests[index], outcome, start.elapsed());
+    }
+    out
+}
+
+/// Replays the trace through the sharded server with `driver_threads`
+/// evented drivers.
+pub fn run_evented_mode(cfg: &EventedConfig, trace: &Trace) -> EventedRunStats {
+    let scfg = &cfg.serving;
+    let server = build_server(scfg, trace, cfg.shards);
+    let densify_before = densification_count();
+    let t0 = Instant::now();
+    let (outcomes, report) = server.serve(|client| {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..cfg.driver_threads)
+                .map(|d| {
+                    let client = client.clone();
+                    s.spawn(move || drive_evented(&client, trace, scfg, d, cfg.driver_threads))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("driver thread"))
+                .collect::<Vec<DriverOutcome>>()
+        })
+    });
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let densifications = densification_count() - densify_before;
+
+    let stats = collect_stats(
+        "evented",
+        scfg,
+        &outcomes,
+        &report,
+        wall_seconds,
+        densifications,
+    );
+    EventedRunStats {
+        stats,
+        driver_threads: cfg.driver_threads,
+        shards: cfg.shards,
+        stolen_batches: report.metrics.stolen_batches,
+        shard_peak_depths: report.metrics.shard_peak_depths,
+    }
+}
+
+/// One evented driver: simulate the virtual clients dealt to this
+/// driver (clients `driver`, `driver + drivers`, …) with the exact
+/// per-client sequencing the blocking threads enforce — every client
+/// keeps up to `burst` requests outstanding, and its next request is
+/// submitted the moment one of its completions is harvested. All
+/// submissions go into one [`TicketSet`]; set tokens come back in
+/// submission order starting at 0, so `token` indexes the driver's
+/// submit-order bookkeeping that maps each completion back to the
+/// virtual client (and its latency clock) it belongs to.
+fn drive_evented(
+    client: &Client<'_>,
+    trace: &Trace,
+    cfg: &ServingConfig,
+    driver: usize,
+    drivers: usize,
+) -> DriverOutcome {
+    let vclients: Vec<&Vec<TraceRequest>> = trace
+        .per_client
+        .iter()
+        .skip(driver)
+        .step_by(drivers)
+        .collect();
+    let burst = cfg.burst.max(1);
+    let set = TicketSet::new();
+    let mut out = DriverOutcome::for_tenants(cfg.tenants);
+    // Per-virtual-client cursor of the next request to submit, and the
+    // submit-order log mapping tokens back to (client, request, clock).
+    let mut next = vec![0usize; vclients.len()];
+    let mut submitted: Vec<(usize, usize, Instant)> = Vec::new();
+    let submit = |v: usize, next: &mut [usize], submitted: &mut Vec<(usize, usize, Instant)>| {
+        let r = next[v];
+        let req = &vclients[v][r];
+        let tenant = ServingConfig::tenant_name(req.tenant);
+        let start = Instant::now();
+        let token = client
+            .submit_budget_into(&tenant, &req.spec, req.budget, &set)
+            .expect("trace specs and tenants are valid; admission is unbounded");
+        debug_assert_eq!(token, submitted.len() as u64, "tokens are sequential");
+        submitted.push((v, r, start));
+        next[v] = r + 1;
+    };
+    // Prime every client's pipeline, breadth-first so no client gets a
+    // head start over its blocking-run counterpart.
+    for round in 0..burst {
+        for (v, requests) in vclients.iter().enumerate() {
+            if round < requests.len() {
+                submit(v, &mut next, &mut submitted);
+            }
+        }
+    }
+    while let Some((token, outcome)) = set.wait_any() {
+        let (v, r, start) = submitted[token as usize];
+        out.record(&vclients[v][r], outcome, start.elapsed());
+        if next[v] < vclients[v].len() {
+            submit(v, &mut next, &mut submitted);
+        }
+    }
+    debug_assert!(
+        next.iter().zip(&vclients).all(|(&n, reqs)| n == reqs.len()),
+        "drained with requests left"
+    );
+    out
+}
+
+/// The comparison `load_sim --evented` reports and CI gates on.
+#[derive(Debug, Clone)]
+pub struct EventedReport {
+    /// Configuration echo.
+    pub config: EventedConfig,
+    /// The thread-per-client blocking run (single-shard server).
+    pub blocking: ServingRunStats,
+    /// The evented run (sharded server, few driver threads).
+    pub evented: EventedRunStats,
+}
+
+impl EventedReport {
+    /// Evented throughput over blocking throughput (granted requests per
+    /// second; > 1 means the evented front end is strictly faster).
+    pub fn throughput_gain(&self) -> f64 {
+        self.evented.stats.requests_per_second / self.blocking.requests_per_second.max(1e-12)
+    }
+
+    /// Blocking p99 latency over evented p99 latency (> 1 means the
+    /// evented front end also has the shorter tail).
+    pub fn p99_gain(&self) -> f64 {
+        self.blocking.p99_latency_ms / self.evented.stats.p99_latency_ms.max(1e-12)
+    }
+
+    /// The acceptance gate: the evented run demonstrated the configured
+    /// in-flight depth, beat the blocking driver on *both* throughput
+    /// and tail latency, spread load across ≥ 2 shards without a hot
+    /// shard, granted exactly what the blocking run granted, and — as
+    /// always — zero over-spend and zero densifications anywhere.
+    pub fn passes_smoke(&self) -> bool {
+        let ev = &self.evented.stats;
+        let bl = &self.blocking;
+        self.throughput_gain() > 1.0
+            && self.p99_gain() > 1.0
+            && self.evented.peak_in_flight() >= self.config.target_in_flight
+            && ev.answered == bl.answered
+            && ev.rejected == 0
+            && bl.rejected == 0
+            && !ev.overspend
+            && !bl.overspend
+            && !ev.delta_overspend
+            && !bl.delta_overspend
+            && ev.densifications == 0
+            && bl.densifications == 0
+            && ev.coalesced_batches > 0
+            && self.evented.active_shards() >= 2
+            && self.evented.max_shard_fraction() <= 0.6
+    }
+
+    /// Serializes the report in the repo's `BENCH_*.json` style.
+    pub fn to_json(&self, label: &str) -> String {
+        let scfg = &self.config.serving;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"label\": \"{label}\",");
+        let eps_levels = scfg
+            .eps_levels
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "  \"config\": {{ \"buckets\": {}, \"cuts\": {}, \"tenants\": {}, \"clients\": {}, \"requests_per_client\": {}, \"spec_queries\": {}, \"window_ms\": {}, \"max_batch\": {}, \"workers\": {}, \"eps_levels\": [{}], \"tenant_budget\": {}, \"seed\": {}, \"shards\": {}, \"driver_threads\": {}, \"target_in_flight\": {} }},",
+            scfg.buckets,
+            scfg.cuts,
+            scfg.tenants,
+            scfg.clients,
+            scfg.requests_per_client,
+            scfg.spec_queries,
+            scfg.window.as_secs_f64() * 1e3,
+            scfg.max_batch,
+            scfg.workers,
+            eps_levels,
+            scfg.tenant_budget,
+            scfg.seed,
+            self.config.shards,
+            self.config.driver_threads,
+            self.config.target_in_flight,
+        );
+        let _ = writeln!(
+            out,
+            "  \"units\": {{ \"throughput\": \"granted requests (and queries) per second\", \"latency\": \"client-observed submit-to-completion milliseconds\", \"in_flight\": \"peak concurrently submitted-but-unanswered requests, measured server-side\" }},"
+        );
+        let _ = writeln!(out, "  \"runs\": [");
+        for (i, run) in [&self.blocking, &self.evented.stats]
+            .into_iter()
+            .enumerate()
+        {
+            let _ = writeln!(
+                out,
+                "    {{ \"mode\": \"{}\", \"wall_seconds\": {:.6}, \"answered\": {}, \"rejected\": {}, \"queries_answered\": {}, \"requests_per_second\": {:.3}, \"queries_per_second\": {:.3}, \"mean_squared_error\": {:.6e}, \"batches\": {}, \"coalesced_batches\": {}, \"mean_occupancy\": {:.3}, \"max_occupancy\": {}, \"cache_misses\": {}, \"cache_hits\": {}, \"peak_queue_depth\": {}, \"p50_latency_ms\": {:.3}, \"p99_latency_ms\": {:.3}, \"overspend\": {}, \"delta_overspend\": {}, \"densifications\": {} }}{}",
+                run.mode,
+                run.wall_seconds,
+                run.answered,
+                run.rejected,
+                run.queries_answered,
+                run.requests_per_second,
+                run.queries_per_second,
+                run.mean_squared_error,
+                run.batches,
+                run.coalesced_batches,
+                run.mean_occupancy,
+                run.max_occupancy,
+                run.cache_misses,
+                run.cache_hits,
+                run.peak_queue_depth,
+                run.p50_latency_ms,
+                run.p99_latency_ms,
+                run.overspend,
+                run.delta_overspend,
+                run.densifications,
+                if i == 0 { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let peaks = self
+            .evented
+            .shard_peak_depths
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "  \"evented\": {{ \"peak_in_flight\": {}, \"shard_peak_depths\": [{}], \"active_shards\": {}, \"max_shard_fraction\": {:.3}, \"stolen_batches\": {} }},",
+            self.evented.peak_in_flight(),
+            peaks,
+            self.evented.active_shards(),
+            self.evented.max_shard_fraction(),
+            self.evented.stolen_batches,
+        );
+        let _ = writeln!(
+            out,
+            "  \"comparison\": {{ \"throughput_gain\": {:.3}, \"p99_gain\": {:.3}, \"strictly_faster\": {}, \"strictly_lower_p99\": {}, \"passes_smoke\": {} }}",
+            self.throughput_gain(),
+            self.p99_gain(),
+            self.throughput_gain() > 1.0,
+            self.p99_gain() > 1.0,
+            self.passes_smoke(),
+        );
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: &Path, label: &str) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json(label))
+    }
+}
+
+/// Runs the full comparison: the same trace through the blocking
+/// thread-per-client driver (single-shard server) and the evented
+/// drivers (sharded server).
+pub fn run_evented_bench(cfg: &EventedConfig) -> EventedReport {
+    let trace = build_trace(&cfg.serving);
+    let blocking = run_blocking_mode(cfg, &trace);
+    let evented = run_evented_mode(cfg, &trace);
+
+    if !cfg.serving.quiet {
+        let mut table = TableWriter::new(format!(
+            "Evented front end — {} virtual clients × {} requests, {} shards, {} driver threads",
+            cfg.serving.clients, cfg.serving.requests_per_client, cfg.shards, cfg.driver_threads
+        ));
+        table.header(&[
+            "mode",
+            "wall s",
+            "req/s",
+            "p50 ms",
+            "p99 ms",
+            "peak in-flight",
+            "batches",
+            "stolen",
+        ]);
+        table.row(vec![
+            blocking.mode.to_string(),
+            format!("{:.3}", blocking.wall_seconds),
+            format!("{:.1}", blocking.requests_per_second),
+            format!("{:.1}", blocking.p50_latency_ms),
+            format!("{:.1}", blocking.p99_latency_ms),
+            blocking.peak_queue_depth.to_string(),
+            blocking.batches.to_string(),
+            "0".to_string(),
+        ]);
+        table.row(vec![
+            evented.stats.mode.to_string(),
+            format!("{:.3}", evented.stats.wall_seconds),
+            format!("{:.1}", evented.stats.requests_per_second),
+            format!("{:.1}", evented.stats.p50_latency_ms),
+            format!("{:.1}", evented.stats.p99_latency_ms),
+            evented.stats.peak_queue_depth.to_string(),
+            evented.stats.batches.to_string(),
+            evented.stolen_batches.to_string(),
+        ]);
+        println!("{}", table.render());
+    }
+
+    EventedReport {
+        config: cfg.clone(),
+        blocking,
+        evented,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EventedConfig {
+        EventedConfig {
+            serving: ServingConfig {
+                buckets: 64,
+                cuts: 8,
+                tenants: 2,
+                clients: 4,
+                requests_per_client: 8,
+                burst: 8,
+                spec_queries: 4,
+                max_batch: 4,
+                workers: 2,
+                // 16 requests per tenant × ε 0.25 = 4: everything grants.
+                tenant_budget: 10.0,
+                quiet: true,
+                ..ServingConfig::default()
+            },
+            shards: 4,
+            driver_threads: 2,
+            target_in_flight: 8,
+        }
+    }
+
+    #[test]
+    fn evented_bench_grants_the_whole_trace_and_reports() {
+        let cfg = tiny();
+        let report = run_evented_bench(&cfg);
+
+        // Both drivers grant every request: the budgets never bind, so
+        // any divergence would be a lost or double-delivered completion.
+        assert_eq!(report.blocking.answered, 32);
+        assert_eq!(report.evented.stats.answered, 32);
+        assert_eq!(report.blocking.rejected, 0);
+        assert_eq!(report.evented.stats.rejected, 0);
+
+        // The hard invariants.
+        assert!(!report.blocking.overspend);
+        assert!(!report.evented.stats.overspend);
+        assert_eq!(report.blocking.densifications, 0);
+        assert_eq!(report.evented.stats.densifications, 0);
+
+        // Token-indexed bookkeeping lined completions up with the right
+        // trace requests: noisy answers differ from exact ones by a
+        // finite, positive amount (a mispairing would explode the MSE;
+        // a zero would mean no release was measured at all).
+        assert!(report.evented.stats.mean_squared_error > 0.0);
+        assert!(report.evented.stats.mean_squared_error.is_finite());
+
+        // Shard accounting is present and consistent.
+        assert_eq!(report.evented.shard_peak_depths.len(), 4);
+        assert!(report.evented.active_shards() >= 1);
+        let json = report.to_json("test");
+        assert!(json.contains("\"mode\": \"blocking\""));
+        assert!(json.contains("\"mode\": \"evented\""));
+        assert!(json.contains("\"peak_in_flight\""));
+        assert!(json.contains("\"throughput_gain\""));
+    }
+
+    #[test]
+    fn driver_partition_covers_every_virtual_client_once() {
+        // The round-robin deal (clients d, d+T, …) must partition the
+        // trace: 4 virtual clients over 3 drivers → shares of 2/1/1.
+        let cfg = tiny();
+        let trace = build_trace(&cfg.serving);
+        let mut seen = vec![0usize; trace.per_client.len()];
+        for d in 0..3 {
+            for (c, _) in trace.per_client.iter().enumerate().skip(d).step_by(3) {
+                seen[c] += 1;
+            }
+        }
+        assert_eq!(seen, vec![1; trace.per_client.len()]);
+    }
+}

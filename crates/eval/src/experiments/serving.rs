@@ -166,7 +166,7 @@ impl ServingConfig {
         }
     }
 
-    fn tenant_name(t: usize) -> String {
+    pub(crate) fn tenant_name(t: usize) -> String {
         format!("tenant{t:02}")
     }
 }

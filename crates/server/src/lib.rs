@@ -5,9 +5,11 @@
 //! The paper's whole premise is that batch queries answered *together*
 //! through one low-rank strategy beat queries answered alone; this crate
 //! is that premise as a runtime. Concurrent clients submit declarative
-//! [`QuerySpec`]s; a **coalescing scheduler** collects compatible specs
-//! arriving within a bounded window into one combined structured workload
-//! (never densified), a **worker pool** answers each batch through the
+//! [`QuerySpec`]s; a **sharded coalescing scheduler** (see
+//! [`ServerBuilder::shards`](server::ServerBuilder::shards)) collects
+//! compatible specs arriving within a bounded window into one combined
+//! structured workload (never densified), a work-stealing **worker
+//! pool** answers each batch through the
 //! shared compiled-strategy [`Engine`](lrm_core::engine::Engine) cache
 //! with one noise draw per strategy column, and **per-tenant budget
 //! ledgers** ([`lrm_dp::DurableLedger`]) run a two-phase debit around
@@ -26,6 +28,11 @@
 //! submissions at *different* ε into one batch within a δ-class — one
 //! shared base draw plus per-member residual top-ups, each member
 //! settled at its own budget (see [`coalesce`]).
+//!
+//! Completions are delivered through blocking [`Ticket`]s, through an
+//! evented [`TicketSet`] completion queue that lets one client thread
+//! drive tens of thousands of in-flight submissions, or through
+//! per-request callbacks (see [`tickets`]).
 //!
 //! Built on `std::thread::scope` + `mpsc` channels (like the SpMM kernels
 //! in `lrm-linalg`): no async runtime.
@@ -65,11 +72,13 @@ pub mod metrics;
 pub mod server;
 pub mod spec;
 pub mod tenants;
+pub mod tickets;
 
 pub use metrics::MetricsSnapshot;
 pub use server::{Client, Release, Server, ServerBuilder, ServerError, ServerReport, Ticket};
 pub use spec::{PreparedRows, PreparedSpec, QuerySpec, SpecClass, SpecError};
 pub use tenants::{AdmissionError, TenantResume, TenantSpend};
+pub use tickets::{Completion, TicketSet};
 
 // Cross-thread sharing audit: the scheduler, every worker, and every
 // client thread borrow these concurrently, so their thread-safety is a
@@ -86,6 +95,8 @@ const _: () = {
     assert_send_sync::<lrm_dp::DurableLedger>();
     assert_send_sync::<Release>();
     assert_send_sync::<ServerError>();
+    // Several driver threads may share one completion queue.
+    assert_send_sync::<TicketSet>();
     const fn assert_send<T: Send>() {}
     // Sessions and tickets move across threads but are single-owner.
     assert_send::<lrm_core::engine::Session>();

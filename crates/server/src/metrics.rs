@@ -1,18 +1,107 @@
 //! The serving metrics surface.
 //!
 //! Counters are plain relaxed atomics bumped on the hot path; latencies
-//! are recorded per request (submit → response) into a mutex-guarded
-//! vector and reduced to percentiles only when a snapshot is taken. The
-//! queue-depth gauge counts requests that have been submitted but not yet
-//! responded to — it spans the scheduler's coalescing window *and* the
-//! worker queue, which is the number an operator actually wants.
+//! are recorded per request (submit → response) into a fixed-size
+//! log-scale [`LatencyHistogram`] — O(1) memory and a single relaxed
+//! `fetch_add` per request, so the surface stays flat at 10⁵+ in-flight
+//! requests — and reduced to percentiles only when a snapshot is taken.
+//! The queue-depth gauge counts requests that have been submitted but not
+//! yet responded to — it spans the scheduler's coalescing window *and*
+//! the worker queue, which is the number an operator actually wants; the
+//! sharded scheduler additionally keeps one depth/peak gauge pair per
+//! shard so overload decisions and balance reporting see the queue that
+//! actually admitted the request.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
-/// Internal live counters (shared across scheduler, workers, clients).
-#[derive(Debug, Default)]
+/// Sub-bucket resolution bits: 2⁶ = 64 sub-buckets per power of two, so
+/// values below 64 µs are exact and everything above is recorded within
+/// a 1/64 (≈1.6%) relative rounding, always rounding *down* to the
+/// bucket floor.
+const SUB_BITS: u32 = 6;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// 64 exact buckets + 58 major (power-of-two) ranges × 64 sub-buckets
+/// covers every `u64` microsecond value in ~30 KB of counters.
+const BUCKET_COUNT: usize = (SUB_BUCKETS + (63 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// Index of the histogram bucket holding `us`.
+fn bucket_index(us: u64) -> usize {
+    if us < SUB_BUCKETS {
+        us as usize
+    } else {
+        let e = 63 - u64::from(us.leading_zeros());
+        let major = e - u64::from(SUB_BITS) + 1;
+        let sub = (us >> (e - u64::from(SUB_BITS))) - SUB_BUCKETS;
+        (major * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// The smallest value a bucket holds (the reported representative:
+/// percentiles round down, never up, by at most 1/64 relative).
+fn bucket_floor(index: usize) -> u64 {
+    let i = index as u64;
+    if i < SUB_BUCKETS {
+        i
+    } else {
+        let major = i / SUB_BUCKETS;
+        let sub = i % SUB_BUCKETS;
+        (SUB_BUCKETS + sub) << (major - 1)
+    }
+}
+
+/// A fixed-bucket log-scale latency histogram: lock-free recording,
+/// O(1) memory independent of request count.
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample (lock-free).
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    fn counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Nearest-rank percentile over a bucket-count copy: the floor of the
+/// bucket holding the rank-th smallest sample.
+fn percentile(counts: &[u64], q: f64) -> Duration {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Duration::ZERO;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Duration::from_micros(bucket_floor(i));
+        }
+    }
+    Duration::from_micros(bucket_floor(counts.len() - 1))
+}
+
+/// Internal live counters (shared across scheduler shards, workers,
+/// clients).
+#[derive(Debug)]
 pub(crate) struct ServerMetrics {
     pub submitted: AtomicU64,
     pub answered: AtomicU64,
@@ -39,25 +128,85 @@ pub(crate) struct ServerMetrics {
     pub laplace_batches: AtomicU64,
     pub gaussian_batches: AtomicU64,
     pub cross_eps_batches: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    pub stolen_batches: AtomicU64,
+    /// Per-shard submitted-but-unanswered gauges (index = shard id).
+    shard_depths: Vec<AtomicU64>,
+    shard_peaks: Vec<AtomicU64>,
+    latencies: LatencyHistogram,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new(1)
+    }
 }
 
 impl ServerMetrics {
-    /// A request entered the queue.
-    pub fn enqueued(&self) {
+    /// Live counters for a server running `shards` scheduler shards.
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            submitted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            rejected_admission: AtomicU64::new(0),
+            rejected_settlement: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            single_batches: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            batch_rows: AtomicU64::new(0),
+            max_occupancy: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            peak_queue_depth: AtomicU64::new(0),
+            rank_closed_batches: AtomicU64::new(0),
+            farm_shapes: AtomicU64::new(0),
+            farm_precompiled: AtomicU64::new(0),
+            farm_compile_us: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
+            quarantined_shapes: AtomicU64::new(0),
+            degraded_releases: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            ledger_replays: AtomicU64::new(0),
+            laplace_batches: AtomicU64::new(0),
+            gaussian_batches: AtomicU64::new(0),
+            cross_eps_batches: AtomicU64::new(0),
+            stolen_batches: AtomicU64::new(0),
+            shard_depths: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_peaks: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            latencies: LatencyHistogram::default(),
+        }
+    }
+
+    /// A request entered shard `shard`'s queue.
+    pub fn enqueued(&self, shard: usize) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        let shard_depth = self.shard_depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
+        self.shard_peaks[shard].fetch_max(shard_depth, Ordering::Relaxed);
     }
 
-    /// A request left the queue (answered or rejected); records latency.
-    pub fn dequeued(&self, latency: Duration) {
+    /// A request left shard `shard`'s queue (answered or rejected);
+    /// records latency.
+    pub fn dequeued(&self, shard: usize, latency: Duration) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.latencies_us
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(us);
+        self.shard_depths[shard].fetch_sub(1, Ordering::Relaxed);
+        self.latencies.record(latency);
+    }
+
+    /// Undoes an [`enqueued`](Self::enqueued) whose submission never
+    /// reached a scheduler shard (send failure at shutdown); no latency
+    /// sample is taken.
+    pub fn enqueue_rolled_back(&self, shard: usize) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.shard_depths[shard].fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The live submitted-but-unanswered depth of one shard.
+    pub fn shard_depth(&self, shard: usize) -> u64 {
+        self.shard_depths[shard].load(Ordering::Relaxed)
     }
 
     /// A batch was flushed to the workers. `gaussian` tags the batch's
@@ -86,12 +235,7 @@ impl ServerMetrics {
 
     /// Reduces the live counters to an immutable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut latencies = self
-            .latencies_us
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
-        latencies.sort_unstable();
+        let counts = self.latencies.counts();
         let batches = self.batches.load(Ordering::Relaxed);
         let batch_requests = self.batch_requests.load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -123,19 +267,21 @@ impl ServerMetrics {
             laplace_batches: self.laplace_batches.load(Ordering::Relaxed),
             gaussian_batches: self.gaussian_batches.load(Ordering::Relaxed),
             cross_eps_batches: self.cross_eps_batches.load(Ordering::Relaxed),
-            p50_latency: percentile(&latencies, 0.50),
-            p99_latency: percentile(&latencies, 0.99),
+            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
+            shard_depths: self
+                .shard_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            shard_peak_depths: self
+                .shard_peaks
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            p50_latency: percentile(&counts, 0.50),
+            p99_latency: percentile(&counts, 0.99),
         }
     }
-}
-
-/// Nearest-rank percentile over an already-sorted micros list.
-fn percentile(sorted_us: &[u64], q: f64) -> Duration {
-    if sorted_us.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
-    Duration::from_micros(sorted_us[rank - 1])
 }
 
 /// A point-in-time copy of the serving counters, exposed through
@@ -165,7 +311,7 @@ pub struct MetricsSnapshot {
     pub max_occupancy: u64,
     /// Total workload rows answered across all batches.
     pub batch_rows: u64,
-    /// Peak submitted-but-unanswered requests.
+    /// Peak submitted-but-unanswered requests (across all shards).
     pub peak_queue_depth: u64,
     /// Batches closed by the rank-growth rule (the estimated combined
     /// rank stopped growing) rather than by the cap, the window, or
@@ -186,8 +332,8 @@ pub struct MetricsSnapshot {
     /// Releases answered by the degraded-mode fallback because the
     /// configured mechanism blew its compile deadline.
     pub degraded_releases: u64,
-    /// Requests shed at submission because the queue was at its
-    /// configured depth cap.
+    /// Requests shed at submission because the admitting shard's queue
+    /// was at its configured depth cap.
     pub shed: u64,
     /// Tenant ε-journals replayed when tenants registered (restart
     /// resumes honored by the durable ledgers).
@@ -201,9 +347,21 @@ pub struct MetricsSnapshot {
     /// cross-ε coalescing (an ε-keyed scheduler would have fragmented
     /// them).
     pub cross_eps_batches: u64,
-    /// Median submit→response latency.
+    /// Batches a worker claimed from another shard's flush queue (the
+    /// work-stealing handoff; 0 on a single-shard server).
+    pub stolen_batches: u64,
+    /// Live submitted-but-unanswered requests per scheduler shard at
+    /// snapshot time (index = shard id; one entry on an unsharded
+    /// server).
+    pub shard_depths: Vec<u64>,
+    /// Peak submitted-but-unanswered requests each shard ever held —
+    /// the shard-balance signal: a hot shard shows up as one peak far
+    /// above the rest.
+    pub shard_peak_depths: Vec<u64>,
+    /// Median submit→response latency (histogram floor: exact below
+    /// 64 µs, within 1/64 relative — rounding down — above).
     pub p50_latency: Duration,
-    /// 99th-percentile submit→response latency.
+    /// 99th-percentile submit→response latency (same resolution).
     pub p99_latency: Duration,
 }
 
@@ -213,16 +371,18 @@ mod tests {
 
     #[test]
     fn counters_roll_up() {
-        let m = ServerMetrics::default();
-        m.enqueued();
-        m.enqueued();
-        m.enqueued();
+        let m = ServerMetrics::new(2);
+        m.enqueued(0);
+        m.enqueued(1);
+        m.enqueued(1);
         assert_eq!(m.queue_depth.load(Ordering::Relaxed), 3);
+        assert_eq!(m.shard_depth(0), 1);
+        assert_eq!(m.shard_depth(1), 2);
         m.batch_flushed(2, 10, true, 2);
         m.batch_flushed(1, 3, false, 1);
-        m.dequeued(Duration::from_millis(4));
-        m.dequeued(Duration::from_millis(8));
-        m.dequeued(Duration::from_millis(100));
+        m.dequeued(0, Duration::from_millis(4));
+        m.dequeued(1, Duration::from_millis(8));
+        m.dequeued(1, Duration::from_millis(100));
         m.answered.fetch_add(3, Ordering::Relaxed);
 
         let s = m.snapshot();
@@ -235,20 +395,84 @@ mod tests {
         assert_eq!(s.batch_rows, 13);
         assert!((s.mean_occupancy - 1.5).abs() < 1e-12);
         assert_eq!(s.peak_queue_depth, 3);
+        assert_eq!(s.shard_depths, vec![0, 0]);
+        assert_eq!(s.shard_peak_depths, vec![1, 2]);
         assert_eq!(s.gaussian_batches, 1);
         assert_eq!(s.laplace_batches, 1);
         assert_eq!(s.cross_eps_batches, 1);
+        // 8000 µs is a bucket floor (125 × 64), so the median is exact;
+        // 100 ms rounds down within the histogram's 1/64 resolution.
         assert_eq!(s.p50_latency, Duration::from_millis(8));
-        assert_eq!(s.p99_latency, Duration::from_millis(100));
+        assert!(s.p99_latency <= Duration::from_millis(100));
+        assert!(s.p99_latency >= Duration::from_micros(100_000 - 100_000 / 64));
     }
 
     #[test]
     fn percentiles_on_empty_and_single() {
-        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
-        assert_eq!(percentile(&[7], 0.5), Duration::from_micros(7));
-        assert_eq!(percentile(&[7], 0.99), Duration::from_micros(7));
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 0.50), Duration::from_micros(50));
-        assert_eq!(percentile(&v, 0.99), Duration::from_micros(99));
+        let h = LatencyHistogram::default();
+        assert_eq!(percentile(&h.counts(), 0.5), Duration::ZERO);
+        h.record(Duration::from_micros(7));
+        let counts = h.counts();
+        assert_eq!(percentile(&counts, 0.5), Duration::from_micros(7));
+        assert_eq!(percentile(&counts, 0.99), Duration::from_micros(7));
+        let h = LatencyHistogram::default();
+        for us in 1..=100u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let counts = h.counts();
+        // The first major range (64..128) still has stride 1, so every
+        // value below 128 µs is exact.
+        assert_eq!(percentile(&counts, 0.50), Duration::from_micros(50));
+        assert_eq!(percentile(&counts, 0.99), Duration::from_micros(99));
+    }
+
+    #[test]
+    fn histogram_percentiles_track_the_exact_sort_within_resolution() {
+        // The regression the histogram must pass against the old
+        // Vec-sort path: for an arbitrary small sample, every reported
+        // percentile equals the exact nearest-rank value rounded down by
+        // at most 1/64 relative.
+        let exact_percentile = |sorted: &[u64], q: f64| -> u64 {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..500 {
+            // Deterministic xorshift spread over ~6 decades of µs.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            samples.push(x % 10_000_000);
+        }
+        let h = LatencyHistogram::default();
+        for &s in &samples {
+            h.record(Duration::from_micros(s));
+        }
+        samples.sort_unstable();
+        let counts = h.counts();
+        for q in [0.01, 0.10, 0.50, 0.90, 0.99, 1.0] {
+            let exact = exact_percentile(&samples, q);
+            let reported = percentile(&counts, q).as_micros() as u64;
+            assert!(
+                reported <= exact && exact - reported <= exact / 64 + 1,
+                "q={q}: reported {reported} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_round_trip_covers_the_range() {
+        for v in (0..4096u64).chain([8000, 99_328, 100_000, 1 << 20, u64::MAX / 2, u64::MAX]) {
+            let i = bucket_index(v);
+            let floor = bucket_floor(i);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            assert!(
+                v - floor <= v / 64,
+                "value {v} rounded down past 1/64 (floor {floor})"
+            );
+            // Floors are canonical: a floor indexes back to its own bucket.
+            assert_eq!(bucket_index(floor), i);
+        }
     }
 }

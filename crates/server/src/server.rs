@@ -5,10 +5,19 @@
 //! 1. **spec** — a client hands [`Client::submit`] a [`QuerySpec`]; it is
 //!    validated and translated against the server's [`Schema`] into
 //!    structured rows (never densified) on the client's thread.
-//! 2. **admit** — the scheduler admission-checks the tenant's ledger
+//! 2. **route** — the submission is routed to a scheduler shard by its
+//!    schema fingerprint × noise class (δ-class for Gaussian, ε for
+//!    pure) — a strict coarsening of the batch key, so everything that
+//!    could coalesce meets on one shard and a batch never spans shards
+//!    (see [`ServerBuilder::shards`]; the default single shard is the
+//!    original scheduler). Admission is bounded per shard: past the
+//!    depth cap the request is shed synchronously with
+//!    [`ServerError::Overloaded`], whose `retry_after` is computed from
+//!    the admitting shard's own backlog.
+//! 3. **admit** — the owning shard admission-checks the tenant's ledger
 //!    (typed [`ServerError::Admission`] on unknown tenant or an
-//!    already-insufficient budget; advisory, see step 6).
-//! 3. **coalesce** — compatible submissions (same schema and structural
+//!    already-insufficient budget; advisory, see step 7).
+//! 4. **coalesce** — compatible submissions (same schema and structural
 //!    class — see [`coalesce`](crate::coalesce)) arriving within the
 //!    bounded window are collected into one open batch. On a pure-DP
 //!    server the per-release ε is part of the batch key; on a Gaussian
@@ -20,11 +29,12 @@
 //!    shape to the background compile farm (see
 //!    [`ServerBuilder::precompile_workers`]), which precompiles popular
 //!    shapes through the engine cache while workers are otherwise idle.
-//! 4. **compile / cache** — a worker concatenates the batch into one
-//!    combined structured workload and compiles it through the shared
-//!    [`Engine`]: repeated workloads are O(1) cache hits, and the whole
-//!    batch shares a single strategy.
-//! 5. **noise** — pure mode: one [`Mechanism::answer`] call for the whole
+//! 5. **compile / cache** — a worker claims the closed batch from its
+//!    shard's flush queue (stealing from other shards when its own is
+//!    empty), concatenates it into one combined structured workload and
+//!    compiles it through the shared [`Engine`]: repeated workloads are
+//!    O(1) cache hits, and the whole batch shares a single strategy.
+//! 6. **noise** — pure mode: one [`Mechanism::answer`] call for the whole
 //!    batch, one Laplace draw per strategy column, not per member.
 //!    Gaussian mode: one *base* draw calibrated at the weakest
 //!    (largest-ε) member budget, replayed identically for every member
@@ -33,7 +43,7 @@
 //!    Gaussian noise is closed under addition, so each member's slice
 //!    carries exactly its own (ε, δ) calibration while the whole batch
 //!    shares a single strategy and data pass.
-//! 6. **slice + settle** — each member's answer is the contiguous slice
+//! 7. **slice + settle** — each member's answer is the contiguous slice
 //!    of (its copy of) the batch answer its rows occupy. The settlement
 //!    is two-phase: an *intent* durably reserves the member's own
 //!    (ε, δ) budget **before** any noise is drawn, and the debit settles
@@ -43,6 +53,13 @@
 //!    — never an over-spend. A crash between intent and settle replays
 //!    the intent as spent (wasted budget at worst, never unaccounted
 //!    noise).
+//!
+//! Completion delivery is pluggable: the classic blocking [`Ticket`]
+//! (one channel per request), the evented
+//! [`TicketSet`](crate::TicketSet) completion queue
+//! ([`Client::submit_budget_into`]) that lets one client thread drive
+//! tens of thousands of in-flight requests, and per-request callbacks
+//! ([`Client::submit_budget_with`]) that run on the completing worker.
 //!
 //! The runtime is plain `std::thread::scope` + `mpsc` channels (like the
 //! SpMM kernels in `lrm-linalg`): no async runtime, no unbounded queues
@@ -71,15 +88,17 @@
 //!   ([`Release::degraded`] is set); the shape goes to the compile farm
 //!   for a background recompile.
 //! * **Bounded admission** — with [`ServerBuilder::max_queue_depth`]
-//!   set, submissions beyond the cap are shed synchronously with
-//!   [`ServerError::Overloaded`] instead of growing the queue without
-//!   bound.
+//!   set, submissions beyond the per-shard cap are shed synchronously
+//!   with [`ServerError::Overloaded`] instead of growing the queue
+//!   without bound; `retry_after` scales with the admitting shard's
+//!   backlog.
 
 use crate::coalesce::{combine, BatchKey, RankTracker};
 use crate::farm::{shape_hash, Claim, FarmState};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::spec::{PreparedSpec, QuerySpec, SpecError};
 use crate::tenants::{AdmissionError, TenantLedgers, TenantResume, TenantSpend};
+use crate::tickets::{Completion, Responder, TicketSet};
 use lrm_core::engine::{
     CacheStats, CompileOptions, CompiledMechanism, Engine, MechanismKind, NoiseFlavor,
 };
@@ -88,12 +107,12 @@ use lrm_core::mechanism::Mechanism;
 use lrm_dp::rng::{derive_rng, substream};
 use lrm_dp::{Budget, Epsilon};
 use lrm_workload::{Schema, Workload, WorkloadError};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Builder for [`Server`].
@@ -108,6 +127,7 @@ pub struct ServerBuilder {
     max_batch: usize,
     rank_close: bool,
     workers: usize,
+    shards: usize,
     precompile_workers: usize,
     compile_budget: Duration,
     seed: u64,
@@ -137,6 +157,7 @@ impl ServerBuilder {
             max_batch: 8,
             rank_close: true,
             workers: 2,
+            shards: 1,
             precompile_workers: 0,
             compile_budget: Duration::from_secs(2),
             seed: entropy_seed(),
@@ -208,6 +229,22 @@ impl ServerBuilder {
         self
     }
 
+    /// Scheduler shards (default 1: the original single coalescing
+    /// scheduler). Each shard owns its submission channel, open-batch
+    /// map, window timers, and flush queue; submissions are routed by
+    /// schema fingerprint × noise class, a strict coarsening of the
+    /// batch key — so sharding never splits a coalescible group, it only
+    /// partitions *independent* groups onto independent timer loops.
+    /// Workers steal across shard flush queues, so a hot shard still
+    /// gets the whole pool. Raise this (2–8) when one scheduler thread's
+    /// HashMap and timer churn is the ingest bottleneck at 10⁴+
+    /// in-flight submissions; with a single noise class all traffic
+    /// shares one shard and extra shards idle.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     /// Background compile-farm threads (default 0: farm off). Farm
     /// workers drain a popularity-ranked queue of the standalone shapes
     /// observed in the admission stream and precompile each through the
@@ -269,7 +306,10 @@ impl ServerBuilder {
     /// Bounds the submitted-but-unanswered queue (default: unbounded).
     /// [`Client::submit`] sheds requests beyond the cap synchronously
     /// with [`ServerError::Overloaded`] — load stays visible to the
-    /// client instead of accumulating as unbounded latency.
+    /// client instead of accumulating as unbounded latency. On a
+    /// sharded server the cap divides evenly across shards (each shard
+    /// sheds at `⌈depth / shards⌉`), and the error's `retry_after` is
+    /// computed from the admitting shard's own backlog.
     pub fn max_queue_depth(mut self, depth: usize) -> Self {
         self.max_queue_depth = Some(depth.max(1));
         self
@@ -351,6 +391,7 @@ impl ServerBuilder {
             max_batch: self.max_batch,
             rank_close: self.rank_close,
             workers: self.workers,
+            shards: self.shards,
             precompile_workers: self.precompile_workers,
             compile_budget: self.compile_budget,
             seed: self.seed,
@@ -399,6 +440,7 @@ pub struct Server {
     max_batch: usize,
     rank_close: bool,
     workers: usize,
+    shards: usize,
     precompile_workers: usize,
     compile_budget: Duration,
     seed: u64,
@@ -428,6 +470,7 @@ impl fmt::Debug for Server {
             .field("coalesce_window", &self.coalesce_window)
             .field("max_batch", &self.max_batch)
             .field("workers", &self.workers)
+            .field("shards", &self.shards)
             .finish_non_exhaustive()
     }
 }
@@ -504,7 +547,7 @@ impl Server {
     /// everything down (draining every in-flight batch) when `f` returns.
     /// Returns `f`'s result plus the [`ServerReport`] for the run.
     pub fn serve<R>(&self, f: impl FnOnce(&Client<'_>) -> R) -> (R, ServerReport) {
-        let metrics = ServerMetrics::default();
+        let metrics = ServerMetrics::new(self.shards);
         let farm = FarmState::new(self.compile_budget);
         // Resume the persisted popularity queue, if a prior run (over
         // the same state or spill directory) left one behind.
@@ -516,18 +559,25 @@ impl Server {
                 .fetch_add(loaded as u64, Ordering::Relaxed);
         }
         let live_workers = AtomicUsize::new(self.workers);
-        let (job_tx, job_rx) = mpsc::channel::<BatchJob>();
-        let job_rx = Mutex::new(job_rx);
-        let (sub_tx, sub_rx) = mpsc::channel::<Submission>();
+        let pool = WorkPool::new(self.shards);
+        let mut sub_txs = Vec::with_capacity(self.shards);
+        let mut sub_rxs = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let (tx, rx) = mpsc::channel::<Submission>();
+            sub_txs.push(tx);
+            sub_rxs.push(rx);
+        }
 
         let result = std::thread::scope(|s| {
             let m = &metrics;
             let farm = &farm;
             let live = &live_workers;
-            s.spawn(|| self.scheduler_loop(m, farm, sub_rx, job_tx));
-            let jobs = &job_rx;
-            for _ in 0..self.workers {
-                s.spawn(|| self.worker_loop(m, jobs, farm, live));
+            let pool = &pool;
+            for (shard, rx) in sub_rxs.into_iter().enumerate() {
+                s.spawn(move || self.scheduler_loop(shard, m, farm, rx, pool));
+            }
+            for w in 0..self.workers {
+                s.spawn(move || self.worker_loop(w, m, pool, farm, live));
             }
             for _ in 0..self.precompile_workers {
                 s.spawn(|| self.farm_loop(m, farm));
@@ -535,14 +585,15 @@ impl Server {
             let client = Client {
                 server: self,
                 metrics: m,
-                tx: sub_tx,
+                txs: sub_txs,
             };
             f(&client)
-            // `client` (the last submission sender) drops here: the
-            // scheduler flushes its open batches, signals the farm that
-            // the admission stream is over, and exits; the workers drain
-            // the job queue, the farm drains what its budget affords, and
-            // the scope joins them all.
+            // `client` (the last submission sender for every shard)
+            // drops here: each shard flushes its open batches and exits;
+            // the last shard out signals the farm that the admission
+            // stream is over; the workers drain the flush queues, the
+            // farm drains what its budget affords, and the scope joins
+            // them all.
         });
 
         if let Some(path) = &farm_path {
@@ -569,14 +620,19 @@ impl Server {
             .map(|d| d.join("farm_queue.lrmf"))
     }
 
-    /// The coalescing scheduler: groups admissible submissions by
-    /// [`BatchKey`] within the bounded window.
+    /// One coalescing scheduler shard: groups admissible submissions by
+    /// [`BatchKey`] within the bounded window. Every shard runs this
+    /// same loop over its own submission channel, open-batch map, and
+    /// window timers; closed batches go to the shard's flush queue in
+    /// the shared [`WorkPool`]. The shard that drains last signals the
+    /// farm and the workers that the admission stream is over.
     fn scheduler_loop(
         &self,
+        shard: usize,
         metrics: &ServerMetrics,
         farm: &FarmState,
         rx: Receiver<Submission>,
-        jobs: Sender<BatchJob>,
+        pool: &WorkPool,
     ) {
         let mut open: HashMap<BatchKey, OpenBatch> = HashMap::new();
         let mut next_seq: u64 = 0;
@@ -584,7 +640,7 @@ impl Server {
             let now = Instant::now();
             let due = Self::due_batches(&mut open, now);
             for batch in due {
-                self.flush(metrics, &jobs, batch);
+                self.flush(metrics, pool, shard, batch);
             }
             let msg = match open.values().map(|b| b.deadline).min() {
                 Some(deadline) => rx.recv_timeout(deadline.saturating_duration_since(now)),
@@ -617,7 +673,9 @@ impl Server {
                             .farm_shapes
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     }
-                    let key = BatchKey::of(&sub.prepared, sub.budget, self.coalesce_across_eps);
+                    // The key was computed on the submit path (it routed
+                    // the submission to this shard).
+                    let key = sub.key;
                     let batch = open.entry(key).or_insert_with(|| {
                         let seq = next_seq;
                         next_seq += 1;
@@ -644,7 +702,7 @@ impl Server {
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         }
                         let batch = open.remove(&key).expect("batch just touched");
-                        self.flush(metrics, &jobs, batch);
+                        self.flush(metrics, pool, shard, batch);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -654,11 +712,16 @@ impl Server {
                     let mut rest: Vec<OpenBatch> = open.drain().map(|(_, b)| b).collect();
                     rest.sort_by_key(|b| b.seq);
                     for batch in rest {
-                        self.flush(metrics, &jobs, batch);
+                        self.flush(metrics, pool, shard, batch);
                     }
-                    // No further observations: the farm drains what its
-                    // budget affords and exits.
-                    farm.finish_input();
+                    // The flushes above happen-before this decrement, so
+                    // a worker that observes zero live shards and empty
+                    // queues can safely exit. Only the last shard out
+                    // ends the farm's input: other shards may still be
+                    // observing shapes.
+                    if pool.scheduler_done() == 0 {
+                        farm.finish_input();
+                    }
                     break;
                 }
             }
@@ -681,10 +744,12 @@ impl Server {
         due
     }
 
-    /// Hands a closed batch to the worker pool. The index comes from the
-    /// server-lifetime [`Server::batch_counter`] so no noise stream is
-    /// ever repeated, however many `serve` runs this server hosts.
-    fn flush(&self, metrics: &ServerMetrics, jobs: &Sender<BatchJob>, batch: OpenBatch) {
+    /// Hands a closed batch to the worker pool via its shard's flush
+    /// queue. The index comes from the server-lifetime
+    /// [`Server::batch_counter`] — shared by every shard — so no noise
+    /// stream is ever repeated, however many shards or `serve` runs this
+    /// server hosts.
+    fn flush(&self, metrics: &ServerMetrics, pool: &WorkPool, shard: usize, batch: OpenBatch) {
         let requests = batch.submissions.len() as u64;
         let rows: usize = batch
             .submissions
@@ -708,16 +773,10 @@ impl Server {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             submissions: batch.submissions,
         };
-        if let Err(mpsc::SendError(job)) = jobs.send(job) {
-            // Workers are gone (can only happen if one panicked): fail the
-            // batch members instead of hanging their tickets.
-            for sub in job.submissions {
-                metrics
-                    .failed
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                respond(metrics, sub, Err(ServerError::Shutdown));
-            }
-        }
+        // The pool is a queue, not a channel: workers only exit after
+        // every shard is done *and* every queue is drained, so a pushed
+        // job is always claimed — no orphaned tickets.
+        pool.push(shard, job);
     }
 
     /// A supervised worker: answer batches until the scheduler hangs up,
@@ -731,19 +790,24 @@ impl Server {
     /// scheduler can still flush batches at it.
     fn worker_loop(
         &self,
+        worker: usize,
         metrics: &ServerMetrics,
-        jobs: &Mutex<Receiver<BatchJob>>,
+        pool: &WorkPool,
         farm: &FarmState,
         live_workers: &AtomicUsize,
     ) {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         let mut panics: u64 = 0;
+        // Each worker prefers one home shard (spreading the pool across
+        // shards) and steals from the others when its own queue is dry.
+        let home = worker % self.shards;
         loop {
-            let job = {
-                let guard = jobs.lock().unwrap_or_else(|e| e.into_inner());
-                guard.recv()
+            let Some((from, mut job)) = pool.pop(home) else {
+                break;
             };
-            let Ok(mut job) = job else { break };
+            if from != home {
+                metrics.stolen_batches.fetch_add(1, Ordering::Relaxed);
+            }
             // AssertUnwindSafe: on panic we only touch `job.submissions`
             // (a plain Vec the answer loop shrinks with `remove(0)`, so
             // exactly the unresponded members remain) and shared state
@@ -1052,12 +1116,119 @@ fn entropy_seed() -> u64 {
         .finish()
 }
 
-/// Records the request's exit from the queue and delivers its outcome
-/// (delivery failure — the ticket was dropped — is fine: the request is
-/// complete either way).
+/// Records the request's exit from its shard's queue and delivers its
+/// outcome through whatever responder the submission carries (blocking
+/// ticket, ticket-set completion queue, or callback).
 fn respond(metrics: &ServerMetrics, sub: Submission, outcome: Result<Release, ServerError>) {
-    metrics.dequeued(sub.submitted_at.elapsed());
-    let _ = sub.responder.send(outcome);
+    metrics.dequeued(sub.shard, sub.submitted_at.elapsed());
+    sub.responder.send(outcome);
+}
+
+/// The shared batch hand-off between scheduler shards and the worker
+/// pool: one flush queue per shard, workers pop their home shard first
+/// and steal from the rest. A queue (not a channel) so that a job, once
+/// pushed, is always claimed: workers only exit once every scheduler
+/// shard has signalled done *and* every queue has drained.
+struct WorkPool {
+    queues: Vec<Mutex<VecDeque<BatchJob>>>,
+    /// Total jobs across all queues — the fast "anything to do?" check.
+    queued: AtomicUsize,
+    /// Scheduler shards still running; pushed jobs strictly precede the
+    /// owner's decrement.
+    live_schedulers: AtomicUsize,
+    /// Sleeping workers park here; pushes and shard exits notify under
+    /// the gate so wakeups are never lost.
+    gate: Mutex<()>,
+    available: Condvar,
+}
+
+impl WorkPool {
+    fn new(shards: usize) -> Self {
+        WorkPool {
+            queues: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            live_schedulers: AtomicUsize::new(shards),
+            gate: Mutex::new(()),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, shard: usize, job: BatchJob) {
+        self.queues[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        // Take the gate before notifying: a worker that just checked
+        // `queued` and is about to wait holds it, so the notification
+        // cannot slip into that gap.
+        drop(self.gate.lock().unwrap_or_else(|e| e.into_inner()));
+        self.available.notify_one();
+    }
+
+    /// Claims the globally oldest flushed batch. Each shard's queue is
+    /// FIFO, so its head is that shard's oldest job; taking the minimum
+    /// batch index across heads keeps cross-shard service order fair —
+    /// with a fixed scan order, a hot shard that keeps refilling would
+    /// starve a quiet shard's backlog indefinitely. Blocks while
+    /// everything is empty but a scheduler shard could still flush;
+    /// returns `None` only at final drain.
+    fn pop(&self, _home: usize) -> Option<(usize, BatchJob)> {
+        let shards = self.queues.len();
+        loop {
+            while self.queued.load(Ordering::SeqCst) > 0 {
+                let mut oldest: Option<(usize, u64)> = None;
+                for i in 0..shards {
+                    let queue = self.queues[i].lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(job) = queue.front() {
+                        if oldest.is_none_or(|(_, index)| job.index < index) {
+                            oldest = Some((i, job.index));
+                        }
+                    }
+                }
+                // Every queue drained between the `queued` check and the
+                // scan: fall through to the gate.
+                let Some((i, index)) = oldest else { break };
+                let mut queue = self.queues[i].lock().unwrap_or_else(|e| e.into_inner());
+                // Another worker may have claimed the head since the
+                // scan; only pop if it is still the job we chose.
+                if queue.front().is_some_and(|job| job.index == index) {
+                    let job = queue.pop_front().expect("head just checked");
+                    drop(queue);
+                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    return Some((i, job));
+                }
+            }
+            let gate = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            // Order matters: read `live` before re-reading `queued`. A
+            // shard's flushes precede its exit, so live == 0 means every
+            // push already happened — a zero `queued` after that is
+            // final, while the reverse order could miss a last-instant
+            // flush and orphan its tickets.
+            let live = self.live_schedulers.load(Ordering::SeqCst);
+            if self.queued.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            if live == 0 {
+                return None;
+            }
+            // The timeout is belt-and-braces against any missed wakeup;
+            // the gate discipline above should make it unnecessary.
+            match self.available.wait_timeout(gate, Duration::from_millis(50)) {
+                Ok((guard, _)) => drop(guard),
+                Err(poisoned) => drop(poisoned.into_inner()),
+            }
+        }
+    }
+
+    /// Marks one scheduler shard as exited (all its batches flushed);
+    /// returns how many are still live.
+    fn scheduler_done(&self) -> usize {
+        let remaining = self.live_schedulers.fetch_sub(1, Ordering::SeqCst) - 1;
+        drop(self.gate.lock().unwrap_or_else(|e| e.into_inner()));
+        self.available.notify_all();
+        remaining
+    }
 }
 
 /// One admitted request traveling through the runtime.
@@ -1065,8 +1236,14 @@ struct Submission {
     tenant: String,
     prepared: PreparedSpec,
     budget: Budget,
+    /// The batch key, computed once on the submit path; it also chose
+    /// `shard`.
+    key: BatchKey,
+    /// The scheduler shard that admitted this request (for the per-shard
+    /// queue gauges).
+    shard: usize,
     submitted_at: Instant,
-    responder: Sender<Result<Release, ServerError>>,
+    responder: Responder,
 }
 
 /// A closed batch on its way to a worker. Per-member budgets live on the
@@ -1103,7 +1280,8 @@ struct OpenBatch {
 pub struct Client<'a> {
     server: &'a Server,
     metrics: &'a ServerMetrics,
-    tx: Sender<Submission>,
+    /// One submission channel per scheduler shard.
+    txs: Vec<Sender<Submission>>,
 }
 
 impl Clone for Client<'_> {
@@ -1111,7 +1289,7 @@ impl Clone for Client<'_> {
         Self {
             server: self.server,
             metrics: self.metrics,
-            tx: self.tx.clone(),
+            txs: self.txs.clone(),
         }
     }
 }
@@ -1150,6 +1328,74 @@ impl Client<'_> {
         spec: &QuerySpec,
         budget: Budget,
     ) -> Result<Ticket, ServerError> {
+        let (prepared, key, shard) = self.admit(tenant, spec, budget)?;
+        let (tx, rx) = mpsc::channel();
+        self.dispatch(tenant, prepared, key, shard, budget, Responder::channel(tx))?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a spec whose completion is delivered into `set` — the
+    /// evented path: one driver thread submits until its in-flight
+    /// window is full, then harvests with [`TicketSet::wait_any`] /
+    /// [`TicketSet::poll`]. Returns the set token identifying this
+    /// submission's completion. Synchronous failures (spec, tenant,
+    /// overload, shutdown) are returned here and never enter the set.
+    pub fn submit_budget_into(
+        &self,
+        tenant: &str,
+        spec: &QuerySpec,
+        budget: Budget,
+        set: &TicketSet,
+    ) -> Result<u64, ServerError> {
+        let (prepared, key, shard) = self.admit(tenant, spec, budget)?;
+        let (token, responder) = set.register();
+        self.dispatch(tenant, prepared, key, shard, budget, responder)?;
+        Ok(token)
+    }
+
+    /// Pure-ε shorthand for [`Client::submit_budget_into`].
+    pub fn submit_into(
+        &self,
+        tenant: &str,
+        spec: &QuerySpec,
+        eps: Epsilon,
+        set: &TicketSet,
+    ) -> Result<u64, ServerError> {
+        self.submit_budget_into(tenant, spec, Budget::pure(eps), set)
+    }
+
+    /// Submits a spec whose completion invokes `callback` on the worker
+    /// thread that finished the batch (or the thread that rejected the
+    /// request). Keep callbacks short — they run inside the serving
+    /// pipeline. Synchronous failures are returned here; the callback
+    /// then never runs.
+    pub fn submit_budget_with(
+        &self,
+        tenant: &str,
+        spec: &QuerySpec,
+        budget: Budget,
+        callback: impl FnOnce(Completion) + Send + 'static,
+    ) -> Result<(), ServerError> {
+        let (prepared, key, shard) = self.admit(tenant, spec, budget)?;
+        self.dispatch(
+            tenant,
+            prepared,
+            key,
+            shard,
+            budget,
+            Responder::callback(callback),
+        )
+    }
+
+    /// The synchronous half of every submit flavor: noise-model check,
+    /// spec translation, tenant existence, shard routing, and bounded
+    /// admission against the admitting shard's queue.
+    fn admit(
+        &self,
+        tenant: &str,
+        spec: &QuerySpec,
+        budget: Budget,
+    ) -> Result<(PreparedSpec, BatchKey, usize), ServerError> {
         let flavor = self.server.options.flavor;
         let mismatched = match flavor {
             NoiseFlavor::PureDp => !budget.is_pure(),
@@ -1169,38 +1415,64 @@ impl Client<'_> {
                 tenant: tenant.to_string(),
             }));
         }
+        let key = BatchKey::of(&prepared, budget, self.server.coalesce_across_eps);
+        let shard = key.shard(self.server.shards);
         if let Some(cap) = self.server.max_queue_depth {
             // Bounded admission: shed synchronously at the cap instead
-            // of growing the queue without bound. The shed request never
-            // enters the queue accounting (no submit, no latency
-            // sample); `retry_after` is one coalescing window — by then
-            // the scheduler has flushed at least one batch.
-            if self.metrics.queue_depth.load(Ordering::Relaxed) as usize >= cap {
+            // of growing the queue without bound. The cap divides evenly
+            // across shards (so total capacity is preserved and a hot
+            // shard sheds before it starves the rest); the shed request
+            // never enters the queue accounting (no submit, no latency
+            // sample). `retry_after` comes from the admitting shard's
+            // own backlog: one coalescing window per `max_batch`-sized
+            // batch already ahead in that queue.
+            let shard_cap = cap.div_ceil(self.server.shards);
+            let depth = self.metrics.shard_depth(shard);
+            if depth as usize >= shard_cap {
                 self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                let batches_ahead = (depth / self.server.max_batch as u64).clamp(1, 64);
+                let window = self.server.coalesce_window.max(Duration::from_millis(1));
                 return Err(ServerError::Overloaded {
-                    retry_after: self.server.coalesce_window.max(Duration::from_millis(1)),
+                    retry_after: window * batches_ahead as u32,
                 });
             }
         }
-        let (responder, rx) = mpsc::channel();
-        self.metrics.enqueued();
+        Ok((prepared, key, shard))
+    }
+
+    /// The enqueue half: queue accounting, then hand the submission to
+    /// its shard. On a dead shard (shutdown) the accounting is rolled
+    /// back and the responder defused — the caller gets the error
+    /// synchronously, so nothing flows through the completion path.
+    fn dispatch(
+        &self,
+        tenant: &str,
+        prepared: PreparedSpec,
+        key: BatchKey,
+        shard: usize,
+        budget: Budget,
+        responder: Responder,
+    ) -> Result<(), ServerError> {
+        self.metrics.enqueued(shard);
         let sub = Submission {
             tenant: tenant.to_string(),
             prepared,
             budget,
+            key,
+            shard,
             submitted_at: Instant::now(),
             responder,
         };
-        if self.tx.send(sub).is_err() {
-            // Scheduler gone (worker panic during shutdown); roll the
-            // queue accounting back without recording a latency sample —
-            // the request never entered the queue, and a synthetic zero
+        if let Err(mpsc::SendError(sub)) = self.txs[shard].send(sub) {
+            // Shard gone (shutdown mid-submit); roll the queue
+            // accounting back without recording a latency sample — the
+            // request never entered the queue, and a synthetic zero
             // would drag p50/p99 down.
-            self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.enqueue_rolled_back(shard);
+            sub.responder.defuse();
             return Err(ServerError::Shutdown);
         }
-        Ok(Ticket { rx })
+        Ok(())
     }
 }
 
@@ -1321,12 +1593,14 @@ pub enum ServerError {
         /// The quarantined shape's identity hash.
         shape: u64,
     },
-    /// The request was shed at submission: the queue is at its
-    /// configured depth cap (see [`ServerBuilder::max_queue_depth`]).
-    /// Nothing was admitted and no budget was touched.
+    /// The request was shed at submission: the admitting scheduler
+    /// shard's queue is at its depth cap (see
+    /// [`ServerBuilder::max_queue_depth`]). Nothing was admitted and no
+    /// budget was touched.
     Overloaded {
-        /// A resubmission hint: one coalescing window from now the
-        /// scheduler has flushed at least one batch.
+        /// A resubmission hint scaled to the admitting shard's backlog:
+        /// one coalescing window per `max_batch`-sized batch already
+        /// queued ahead (at least one window, at most 64).
         retry_after: Duration,
     },
     /// The server's durable state (noise-epoch file or state directory)

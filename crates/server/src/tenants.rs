@@ -1,6 +1,8 @@
 //! Per-tenant budget ledgers, durably journaled.
 //!
-//! Every tenant (analyst) owns one [`DurableLedger`]: the scheduler
+//! Every tenant (analyst) owns one ledger — a [`DurableLedger`] when the
+//! server journals to a state directory, the lock-free [`SharedLedger`]
+//! fast path otherwise: the scheduler
 //! admission-checks against it (fail fast, advisory) and a worker runs
 //! the two-phase debit protocol around every release — an `Intent` is
 //! durably recorded *before* noise is drawn, the debit settles *before*
@@ -20,16 +22,74 @@
 //! and recover *both* columns through the same two-phase protocol — a
 //! crash replays unsettled δ as spent just like unsettled ε.
 
-use lrm_dp::{Budget, BudgetError, DurableError, DurableLedger, Epsilon};
+use lrm_dp::{
+    Budget, BudgetError, BudgetLedger, DurableError, DurableLedger, Epsilon, SharedLedger,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-/// The tenant registry: a concurrent map of tenant id → durable ledger.
+/// One tenant's ledger handle: durable (journaled, fsync on every
+/// intent) when the server has a state directory, or the lock-free
+/// [`SharedLedger`] fast path when it does not. Both run the same
+/// two-phase reserve-then-settle protocol; the fast path keeps the
+/// admission-storm case (thousands of concurrent submits against one
+/// tenant) off any mutex.
+#[derive(Debug, Clone)]
+pub(crate) enum TenantLedger {
+    Durable(DurableLedger),
+    Fast(SharedLedger),
+}
+
+impl TenantLedger {
+    fn check_budget(&self, budget: Budget) -> Result<(), BudgetError> {
+        match self {
+            TenantLedger::Durable(l) => l.check_budget(budget),
+            TenantLedger::Fast(l) => l.check_budget(budget),
+        }
+    }
+
+    fn begin_budget(&self, budget: Budget) -> Result<u64, DurableError> {
+        match self {
+            TenantLedger::Durable(l) => l.begin_budget(budget),
+            TenantLedger::Fast(l) => l.begin_budget(budget).map_err(DurableError::Budget),
+        }
+    }
+
+    fn settle(&self, id: u64) -> f64 {
+        match self {
+            TenantLedger::Durable(l) => l.settle(id),
+            TenantLedger::Fast(l) => l.settle(id),
+        }
+    }
+
+    fn abort(&self, id: u64) {
+        match self {
+            TenantLedger::Durable(l) => l.abort(id),
+            TenantLedger::Fast(l) => l.abort(id),
+        }
+    }
+
+    fn delta_remaining(&self) -> f64 {
+        match self {
+            TenantLedger::Durable(l) => l.delta_remaining(),
+            TenantLedger::Fast(l) => l.delta_remaining(),
+        }
+    }
+
+    fn snapshot(&self) -> BudgetLedger {
+        match self {
+            TenantLedger::Durable(l) => l.snapshot(),
+            TenantLedger::Fast(l) => l.snapshot(),
+        }
+    }
+}
+
+/// The tenant registry: a concurrent map of tenant id → budget ledger.
 #[derive(Debug, Default)]
 pub(crate) struct TenantLedgers {
-    ledgers: RwLock<HashMap<String, DurableLedger>>,
+    ledgers: RwLock<HashMap<String, TenantLedger>>,
     /// Journal directory; `None` keeps every ledger in memory (the
     /// previous behavior — durability for the process lifetime only).
     dir: Option<PathBuf>,
@@ -117,7 +177,7 @@ impl TenantLedgers {
                     self.replays.fetch_add(1, Ordering::Relaxed);
                 }
                 (
-                    ledger,
+                    TenantLedger::Durable(ledger),
                     TenantResume {
                         resumed: summary.resumed,
                         corrupted: summary.corrupted,
@@ -129,7 +189,7 @@ impl TenantLedgers {
                 )
             }
             None => (
-                DurableLedger::in_memory_budget(total),
+                TenantLedger::Fast(SharedLedger::with_budget(total)),
                 TenantResume {
                     resumed: false,
                     corrupted: false,
@@ -148,7 +208,7 @@ impl TenantLedgers {
     }
 
     /// The tenant's ledger handle, if registered.
-    pub fn get(&self, tenant: &str) -> Option<DurableLedger> {
+    pub fn get(&self, tenant: &str) -> Option<TenantLedger> {
         self.ledgers
             .read()
             .unwrap_or_else(|e| e.into_inner())

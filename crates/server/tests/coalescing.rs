@@ -389,3 +389,81 @@ fn concurrent_clients_all_get_answers() {
     );
     assert_eq!(report.metrics.answered, 24);
 }
+
+#[test]
+fn sharded_serving_is_bit_identical_to_single_shard() {
+    // ISSUE 9 satellite: sharding the scheduler must not perturb a
+    // single answer bit. The shard key is a strict coarsening of the
+    // batch key, so a coalescible group always meets on one shard, and
+    // the batch index (the noise-stream label) comes from the shared
+    // server-lifetime counter — under the same seed a sharded server
+    // must therefore reproduce the unsharded answers exactly. Two
+    // sequential phases at different ε (different batch keys, generally
+    // different shards) keep the index assignment deterministic.
+    let run = |shards: usize| -> Vec<lrm_server::Release> {
+        let server = Server::builder(schema(), data())
+            .mechanism(MechanismKind::Lrm)
+            .max_batch(2) // count-closed: no timing in batch formation
+            .coalesce_window(std::time::Duration::from_secs(60))
+            .workers(3)
+            .shards(shards)
+            .seed(SEED)
+            .build()
+            .unwrap();
+        server.register_tenant("a", eps(4.0));
+        server.register_tenant("b", eps(4.0));
+        let spec_a = QuerySpec::Ranges {
+            attr: 0,
+            ranges: vec![(0.0, 16.0), (8.0, 24.0)],
+        };
+        let spec_b = QuerySpec::Prefixes {
+            attr: 0,
+            thresholds: vec![4.0, 32.0],
+        };
+        let (mut releases, report) = server.serve(|client| {
+            // Phase 1 (batch 0): one ε=0.5 batch, both members, via the
+            // evented TicketSet path.
+            let set = lrm_server::TicketSet::new();
+            let ta = client.submit_into("a", &spec_a, eps(0.5), &set).unwrap();
+            let tb = client.submit_into("b", &spec_b, eps(0.5), &set).unwrap();
+            let mut phase1: Vec<(u64, lrm_server::Release)> = Vec::new();
+            while let Some((token, outcome)) = set.wait_any() {
+                phase1.push((token, outcome.unwrap()));
+            }
+            phase1.sort_by_key(|(token, _)| *token);
+            assert_eq!(phase1.len(), 2);
+            assert_eq!((phase1[0].0, phase1[1].0), (ta, tb));
+            // Phase 2 (batch 1): a different ε — a different batch key,
+            // and on a sharded server generally a different shard — via
+            // the blocking path.
+            let ra = client.submit("a", &spec_a, eps(0.25)).unwrap();
+            let rb = client.submit("b", &spec_b, eps(0.25)).unwrap();
+            let mut out: Vec<lrm_server::Release> = phase1.into_iter().map(|(_, r)| r).collect();
+            out.push(ra.wait().unwrap());
+            out.push(rb.wait().unwrap());
+            out
+        });
+        assert_eq!(report.metrics.answered, 4);
+        assert_eq!(report.metrics.batches, 2);
+        assert_eq!(report.metrics.shard_depths.len(), shards);
+        assert_eq!(report.metrics.shard_depths.iter().sum::<u64>(), 0);
+        // Both phases' indices are deterministic: phase 1 completed
+        // before phase 2 submitted.
+        releases.sort_by_key(|r| (r.batch_index, r.answers.len()));
+        assert_eq!(releases[0].batch_index, 0);
+        assert_eq!(releases[3].batch_index, 1);
+        releases
+    };
+
+    let unsharded = run(1);
+    let sharded = run(8);
+    for (u, s) in unsharded.iter().zip(&sharded) {
+        assert_eq!(
+            u.answers, s.answers,
+            "sharding changed a released answer bit"
+        );
+        assert_eq!(u.batch_index, s.batch_index);
+        assert_eq!(u.batch_size, s.batch_size);
+        assert_eq!(u.eps_remaining, s.eps_remaining);
+    }
+}

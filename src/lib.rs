@@ -121,7 +121,7 @@ pub mod prelude {
     pub use lrm_linalg::Matrix;
     pub use lrm_server::{
         AdmissionError, QuerySpec, Release, Server, ServerBuilder, ServerError, ServerReport,
-        SpecError, TenantSpend, Ticket,
+        SpecError, TenantSpend, Ticket, TicketSet,
     };
     pub use lrm_workload::datasets::Dataset;
     pub use lrm_workload::error::WorkloadError;
