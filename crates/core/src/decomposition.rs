@@ -480,6 +480,13 @@ impl WorkloadDecomposition {
             stats.outer_iterations += 1;
             stats.residual = tau;
             stats.final_beta = alm.beta();
+            // Data-independent by construction: τ is a property of the
+            // workload factorization alone (see lrm_opt::telemetry).
+            lrm_opt::telemetry::observe(lrm_opt::AlmIteration {
+                outer: stats.outer_iterations,
+                residual: tau,
+                beta: alm.beta(),
+            });
 
             // Algorithm 1, line 8: τ ≤ γ (plus the polish rounds) or a
             // saturated β end the optimization.

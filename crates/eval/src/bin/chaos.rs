@@ -23,6 +23,7 @@
 //! exercises restarts and file damage and says so.
 
 use lrm_eval::experiments::chaos::{run_chaos, ChaosConfig};
+use lrm_eval::fail;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -75,17 +76,22 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(out)
 }
 
+/// Binary name for progress routing (see `lrm_eval::progress`).
+const BIN: &str = "chaos";
+
 fn main() -> ExitCode {
+    lrm_eval::progress::init_tracing(BIN);
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("chaos: {e}");
+            fail!(BIN, "chaos: {e}");
             return ExitCode::FAILURE;
         }
     };
     let cfg = if args.smoke {
         if !args.shaping_flags.is_empty() {
-            eprintln!(
+            fail!(
+                BIN,
                 "chaos: --smoke runs a pinned configuration and does not accept {}",
                 args.shaping_flags.join(", ")
             );
@@ -100,7 +106,8 @@ fn main() -> ExitCode {
     };
 
     if !cfg!(debug_assertions) {
-        eprintln!(
+        fail!(
+            BIN,
             "chaos: release build — failpoint faults are no-ops; \
              running restarts and file-damage faults only"
         );

@@ -19,6 +19,7 @@
 
 use lrm_eval::experiments::gaussian::run_gaussian_bench;
 use lrm_eval::experiments::serving::ServingConfig;
+use lrm_eval::fail;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -141,18 +142,23 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(out)
 }
 
+/// Binary name for progress routing (see `lrm_eval::progress`).
+const BIN: &str = "gaussian";
+
 fn main() -> ExitCode {
+    lrm_eval::progress::init_tracing(BIN);
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("gaussian: {e}");
+            fail!(BIN, "gaussian: {e}");
             return ExitCode::FAILURE;
         }
     };
 
     if args.smoke {
         if !args.shaping_flags.is_empty() {
-            eprintln!(
+            fail!(
+                BIN,
                 "gaussian: --smoke runs a pinned configuration and does not accept {}",
                 args.shaping_flags.join(", ")
             );
@@ -177,34 +183,50 @@ fn main() -> ExitCode {
         );
         let mut failed = false;
         if report.speedup() <= 1.0 {
-            eprintln!(
+            fail!(BIN,
                 "FAIL: cross-eps throughput {:.1} req/s is not strictly above the eps-fragmented {:.1} req/s",
                 report.coalesced.requests_per_second, report.fragmented.requests_per_second
             );
             failed = true;
         }
         if report.coalesced.cross_eps_batches == 0 {
-            eprintln!("FAIL: the coalescing run never mixed eps levels in a batch");
+            fail!(
+                BIN,
+                "FAIL: the coalescing run never mixed eps levels in a batch"
+            );
             failed = true;
         }
         if report.fragmented.cross_eps_batches != 0 {
-            eprintln!("FAIL: the eps-fragmented baseline mixed eps levels (not a baseline)");
+            fail!(
+                BIN,
+                "FAIL: the eps-fragmented baseline mixed eps levels (not a baseline)"
+            );
             failed = true;
         }
         if report.coalesced.overspend || report.fragmented.overspend {
-            eprintln!("FAIL: a tenant was granted more eps than it registered");
+            fail!(
+                BIN,
+                "FAIL: a tenant was granted more eps than it registered"
+            );
             failed = true;
         }
         if report.coalesced.delta_overspend || report.fragmented.delta_overspend {
-            eprintln!("FAIL: a tenant was granted more delta than it registered");
+            fail!(
+                BIN,
+                "FAIL: a tenant was granted more delta than it registered"
+            );
             failed = true;
         }
         if report.coalesced.densifications + report.fragmented.densifications != 0 {
-            eprintln!("FAIL: the serving path densified a structured workload");
+            fail!(
+                BIN,
+                "FAIL: the serving path densified a structured workload"
+            );
             failed = true;
         }
         if elapsed > args.budget_seconds {
-            eprintln!(
+            fail!(
+                BIN,
                 "FAIL: smoke took {elapsed:.1}s > budget {:.1}s",
                 args.budget_seconds
             );
@@ -218,7 +240,7 @@ fn main() -> ExitCode {
     }
 
     if args.saw_budget {
-        eprintln!("gaussian: --budget-seconds only applies to --smoke");
+        fail!(BIN, "gaussian: --budget-seconds only applies to --smoke");
         return ExitCode::FAILURE;
     }
     let report = run_gaussian_bench(&args.cfg);
@@ -242,7 +264,7 @@ fn main() -> ExitCode {
     );
     if let Some(path) = &args.out {
         if let Err(e) = report.write(path, &label) {
-            eprintln!("gaussian: cannot write {}: {e}", path.display());
+            fail!(BIN, "gaussian: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("report written to {}", path.display());

@@ -27,12 +27,25 @@
 //! thread-per-client blocking driver at equal ε — and, as everywhere,
 //! zero over-spend and zero densifications. `--evented` runs that same
 //! pinned comparison alone and writes the `BENCH_9.json`-style report.
+//! The fourth pass is the **observability overhead gate**: the pinned
+//! coalescing configuration runs twice more, once with tracing disabled
+//! and once streaming every span and event through a JSON-lines
+//! subscriber into a sink, and fails if tracing costs more than 5% of
+//! the untraced throughput.
+//!
+//! Set `LRM_TRACE=<path>` on any invocation to capture the full
+//! request-lifecycle trace (and the binary's own progress events) as
+//! JSON lines at that path.
 
 use lrm_eval::experiments::evented::{run_evented_bench, EventedConfig};
 use lrm_eval::experiments::gaussian::run_gaussian_bench;
-use lrm_eval::experiments::serving::{run_serving_bench, ServingConfig};
+use lrm_eval::experiments::serving::{
+    build_trace, run_serving_bench, run_serving_mode, ServingConfig, ServingMode,
+};
+use lrm_eval::fail;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -142,18 +155,23 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(out)
 }
 
+/// Binary name for progress routing (see `lrm_eval::progress`).
+const BIN: &str = "load_sim";
+
 fn main() -> ExitCode {
+    lrm_eval::progress::init_tracing(BIN);
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("load_sim: {e}");
+            fail!(BIN, "load_sim: {e}");
             return ExitCode::FAILURE;
         }
     };
 
     if args.smoke {
         if !args.shaping_flags.is_empty() {
-            eprintln!(
+            fail!(
+                BIN,
                 "load_sim: --smoke runs a pinned configuration and does not accept {}",
                 args.shaping_flags.join(", ")
             );
@@ -177,22 +195,25 @@ fn main() -> ExitCode {
         );
         let mut failed = false;
         if report.speedup() <= 1.0 {
-            eprintln!(
+            fail!(BIN,
                 "FAIL: coalescing throughput {:.1} req/s is not strictly above the baseline {:.1} req/s",
                 report.coalesced.requests_per_second, report.baseline.requests_per_second
             );
             failed = true;
         }
         if report.coalesced.overspend || report.baseline.overspend {
-            eprintln!("FAIL: a tenant was granted more ε than it registered");
+            fail!(BIN, "FAIL: a tenant was granted more ε than it registered");
             failed = true;
         }
         if report.coalesced.densifications + report.baseline.densifications != 0 {
-            eprintln!("FAIL: the serving path densified a structured workload");
+            fail!(
+                BIN,
+                "FAIL: the serving path densified a structured workload"
+            );
             failed = true;
         }
         if report.coalesced.coalesced_batches == 0 {
-            eprintln!("FAIL: the coalescing run never coalesced a batch");
+            fail!(BIN, "FAIL: the coalescing run never coalesced a batch");
             failed = true;
         }
 
@@ -213,7 +234,7 @@ fn main() -> ExitCode {
             gaussian.coalesced.delta_overspend || gaussian.fragmented.delta_overspend,
         );
         if !gaussian.passes_smoke() {
-            eprintln!(
+            fail!(BIN,
                 "FAIL: the mixed-eps gaussian gate did not hold (speedup {:.2}x, {} cross-eps batches)",
                 gaussian.speedup(),
                 gaussian.coalesced.cross_eps_batches
@@ -244,7 +265,7 @@ fn main() -> ExitCode {
             evented.blocking.overspend || evented.evented.stats.overspend,
         );
         if !evented.passes_smoke() {
-            eprintln!(
+            fail!(BIN,
                 "FAIL: the evented front-end gate did not hold ({:.2}x throughput, {:.2}x p99 gain, {} peak in-flight, {} active shards, max shard share {:.2})",
                 evented.throughput_gain(),
                 evented.p99_gain(),
@@ -255,9 +276,45 @@ fn main() -> ExitCode {
             failed = true;
         }
 
+        // Fourth pass: the observability overhead gate. The pinned
+        // coalescing trace runs twice more on identical configurations —
+        // once with tracing fully disabled (the one-relaxed-load fast
+        // path) and once streaming every span and event through a
+        // JsonLines subscriber into a sink — and the traced run must
+        // hold at least 95% of the untraced throughput.
+        let obs_cfg = ServingConfig {
+            quiet: true,
+            ..ServingConfig::smoke()
+        };
+        let obs_trace = build_trace(&obs_cfg);
+        let prior = lrm_obs::uninstall();
+        let untraced = run_serving_mode(&obs_cfg, &obs_trace, ServingMode::Coalescing);
+        lrm_obs::install(Arc::new(lrm_obs::JsonLines::new(std::io::sink())));
+        let traced = run_serving_mode(&obs_cfg, &obs_trace, ServingMode::Coalescing);
+        lrm_obs::uninstall();
+        if let Some(prior) = prior {
+            lrm_obs::install(prior);
+        }
+        println!(
+            "smoke (obs): traced {:.1} req/s vs untraced {:.1} req/s ({:+.1}% throughput)",
+            traced.requests_per_second,
+            untraced.requests_per_second,
+            100.0 * (traced.requests_per_second / untraced.requests_per_second.max(1e-12) - 1.0),
+        );
+        if traced.requests_per_second < 0.95 * untraced.requests_per_second {
+            fail!(
+                BIN,
+                "FAIL: tracing costs more than 5% throughput ({:.1} req/s traced vs {:.1} req/s untraced)",
+                traced.requests_per_second,
+                untraced.requests_per_second
+            );
+            failed = true;
+        }
+
         let elapsed = t0.elapsed().as_secs_f64();
         if elapsed > args.budget_seconds {
-            eprintln!(
+            fail!(
+                BIN,
                 "FAIL: smoke took {elapsed:.1}s > budget {:.1}s",
                 args.budget_seconds
             );
@@ -271,7 +328,7 @@ fn main() -> ExitCode {
     }
 
     if args.saw_budget {
-        eprintln!("load_sim: --budget-seconds only applies to --smoke");
+        fail!(BIN, "load_sim: --budget-seconds only applies to --smoke");
         return ExitCode::FAILURE;
     }
 
@@ -282,7 +339,8 @@ fn main() -> ExitCode {
             .filter(|f| **f != "--out")
             .collect();
         if !refused.is_empty() {
-            eprintln!(
+            fail!(
+                BIN,
                 "load_sim: --evented runs a pinned configuration and does not accept {}",
                 refused
                     .iter()
@@ -313,7 +371,7 @@ fn main() -> ExitCode {
         );
         if let Some(path) = &args.out {
             if let Err(e) = report.write(path, &label) {
-                eprintln!("load_sim: cannot write {}: {e}", path.display());
+                fail!(BIN, "load_sim: cannot write {}: {e}", path.display());
                 return ExitCode::FAILURE;
             }
             println!("report written to {}", path.display());
@@ -346,7 +404,7 @@ fn main() -> ExitCode {
     );
     if let Some(path) = &args.out {
         if let Err(e) = report.write(path, &label) {
-            eprintln!("load_sim: cannot write {}: {e}", path.display());
+            fail!(BIN, "load_sim: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("report written to {}", path.display());

@@ -16,6 +16,7 @@
 //! makes the global densification counter assertable.
 
 use lrm_eval::experiments::scaling::{run_scaling_sweep, ScalingConfig, ScalingFamily};
+use lrm_eval::fail;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -103,11 +104,15 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(out)
 }
 
+/// Binary name for progress routing (see `lrm_eval::progress`).
+const BIN: &str = "scaling_sweep";
+
 fn main() -> ExitCode {
+    lrm_eval::progress::init_tracing(BIN);
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("scaling_sweep: {e}");
+            fail!(BIN, "scaling_sweep: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -116,7 +121,8 @@ fn main() -> ExitCode {
         // The smoke gate is a pinned configuration; refuse sweep-shaping
         // flags instead of silently ignoring them.
         if !args.sweep_flags.is_empty() {
-            eprintln!(
+            fail!(
+                BIN,
                 "scaling_sweep: --smoke runs a pinned n=4096 prefix config and does not accept {}",
                 args.sweep_flags.join(", ")
             );
@@ -139,16 +145,19 @@ fn main() -> ExitCode {
             p.n, p.structured_seconds, p.densifications, p.structured_rank
         );
         if p.densifications != 0 {
-            eprintln!(
+            fail!(
+                BIN,
                 "FAIL: structured compile densified the workload {} time(s)",
                 p.densifications
             );
             return ExitCode::FAILURE;
         }
         if p.structured_seconds > args.budget_seconds {
-            eprintln!(
+            fail!(
+                BIN,
                 "FAIL: structured compile took {:.3}s > budget {:.1}s",
-                p.structured_seconds, args.budget_seconds
+                p.structured_seconds,
+                args.budget_seconds
             );
             return ExitCode::FAILURE;
         }
@@ -156,7 +165,10 @@ fn main() -> ExitCode {
     }
 
     if args.saw_budget {
-        eprintln!("scaling_sweep: --budget-seconds only applies to --smoke");
+        fail!(
+            BIN,
+            "scaling_sweep: --budget-seconds only applies to --smoke"
+        );
         return ExitCode::FAILURE;
     }
     let report = run_scaling_sweep(&args.cfg);
@@ -172,7 +184,7 @@ fn main() -> ExitCode {
     );
     if let Some(path) = &args.out {
         if let Err(e) = report.write(path, &label) {
-            eprintln!("scaling_sweep: cannot write {}: {e}", path.display());
+            fail!(BIN, "scaling_sweep: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("report written to {}", path.display());

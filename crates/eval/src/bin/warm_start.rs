@@ -19,6 +19,7 @@
 //! misses.
 
 use lrm_eval::experiments::warm_start::{run_warm_start_bench, WarmStartConfig};
+use lrm_eval::fail;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -95,18 +96,23 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(out)
 }
 
+/// Binary name for progress routing (see `lrm_eval::progress`).
+const BIN: &str = "warm_start";
+
 fn main() -> ExitCode {
+    lrm_eval::progress::init_tracing(BIN);
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("warm_start: {e}");
+            fail!(BIN, "warm_start: {e}");
             return ExitCode::FAILURE;
         }
     };
 
     if args.smoke {
         if !args.shaping_flags.is_empty() {
-            eprintln!(
+            fail!(
+                BIN,
                 "warm_start: --smoke runs a pinned configuration and does not accept {}",
                 args.shaping_flags.join(", ")
             );
@@ -130,7 +136,8 @@ fn main() -> ExitCode {
         );
         let mut failed = false;
         if report.median_reduction < 0.30 {
-            eprintln!(
+            fail!(
+                BIN,
                 "FAIL: median warm-start iteration reduction {:.1}% is below the 30% gate",
                 report.median_reduction * 100.0
             );
@@ -138,13 +145,13 @@ fn main() -> ExitCode {
         }
         for s in report.shapes.iter().skip(1) {
             if !s.warm_started {
-                eprintln!(
+                fail!(BIN,
                     "FAIL: the boundary-{} near-duplicate did not warm-start from the similarity index",
                     s.nudge
                 );
                 failed = true;
             } else if s.warm_iterations >= s.cold_iterations {
-                eprintln!(
+                fail!(BIN,
                     "FAIL: the boundary-{} near-duplicate took {} warm iterations, not strictly fewer than {} cold",
                     s.nudge, s.warm_iterations, s.cold_iterations
                 );
@@ -152,25 +159,29 @@ fn main() -> ExitCode {
             }
         }
         if report.restart_misses != 0 || report.restart_disk_hits != cfg.shapes as u64 {
-            eprintln!(
+            fail!(BIN,
                 "FAIL: a restarted engine recompiled the working set ({} disk hits, {} misses over {} shapes)",
                 report.restart_disk_hits, report.restart_misses, cfg.shapes
             );
             failed = true;
         }
         if !report.restart_warm_start {
-            eprintln!("FAIL: a restarted engine did not warm-start a new shape from the store");
+            fail!(
+                BIN,
+                "FAIL: a restarted engine did not warm-start a new shape from the store"
+            );
             failed = true;
         }
         if report.server_misses != 0 || report.server_answered != cfg.shapes as u64 {
-            eprintln!(
+            fail!(BIN,
                 "FAIL: a restarted server replayed the working set with {} answered and {} cache misses",
                 report.server_answered, report.server_misses
             );
             failed = true;
         }
         if elapsed > args.budget_seconds {
-            eprintln!(
+            fail!(
+                BIN,
                 "FAIL: smoke took {elapsed:.1}s > budget {:.1}s",
                 args.budget_seconds
             );
@@ -184,7 +195,7 @@ fn main() -> ExitCode {
     }
 
     if args.saw_budget {
-        eprintln!("warm_start: --budget-seconds only applies to --smoke");
+        fail!(BIN, "warm_start: --budget-seconds only applies to --smoke");
         return ExitCode::FAILURE;
     }
     let report = run_warm_start_bench(&args.cfg);
@@ -194,7 +205,7 @@ fn main() -> ExitCode {
     );
     if let Some(path) = &args.out {
         if let Err(e) = report.write(path, &label) {
-            eprintln!("warm_start: cannot write {}: {e}", path.display());
+            fail!(BIN, "warm_start: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
         println!("report written to {}", path.display());

@@ -290,6 +290,14 @@ pub struct ChaosReport {
     /// (must be 0 when failpoints are active — otherwise the harness is
     /// quietly testing nothing).
     pub missed_faults: u64,
+    /// Parseable flight-recorder post-mortem dumps found under
+    /// `state_dir/flightrec/` at the end of the run (the durable
+    /// servers arm the recorder; every injected panic must dump one).
+    pub postmortems: u64,
+    /// Panic-fault cycles that left **no new parseable** post-mortem
+    /// artifact behind (must be 0 when failpoints are active — a crash
+    /// without a flight-recorder dump is an undiagnosable crash).
+    pub missing_postmortems: u64,
 }
 
 impl ChaosReport {
@@ -306,14 +314,16 @@ impl ChaosReport {
             && self.starved_cycles == 0
             && self.latency_violations == 0
             && (!self.failpoints_active || self.missed_faults == 0)
+            && self.missing_postmortems == 0
     }
 
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
         format!(
             "{} cycles (failpoints {}): {} answered, {} refused, {} quarantined, {} degraded, \
-             {} respawns, {} replays; invariants — unresolved {}, duplicates {}, unexpected {}, \
-             overspent {}/{}δ, undercounted {}/{}δ, starved {}, slow-degraded {}, missed-faults {} => {}",
+             {} respawns, {} replays, {} postmortems; invariants — unresolved {}, duplicates {}, \
+             unexpected {}, overspent {}/{}δ, undercounted {}/{}δ, starved {}, slow-degraded {}, \
+             missed-faults {}, missing-postmortems {} => {}",
             self.cycles,
             if self.failpoints_active { "on" } else { "off" },
             self.answered,
@@ -322,6 +332,7 @@ impl ChaosReport {
             self.degraded,
             self.worker_respawns,
             self.ledger_replays,
+            self.postmortems,
             self.unresolved_tickets,
             self.duplicate_releases,
             self.unexpected_errors,
@@ -332,6 +343,7 @@ impl ChaosReport {
             self.starved_cycles,
             self.latency_violations,
             self.missed_faults,
+            self.missing_postmortems,
             if self.passes() { "PASS" } else { "FAIL" },
         )
     }
@@ -410,7 +422,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         starved_cycles: 0,
         latency_violations: 0,
         missed_faults: 0,
+        postmortems: 0,
+        missing_postmortems: 0,
     };
+    let flightrec_dir = dir.join("flightrec");
     let mut granted: HashMap<String, (f64, f64)> = HashMap::new();
     let mut seen_indices: HashSet<u64> = HashSet::new();
 
@@ -442,6 +457,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                 Fault::TornJournal | Fault::StoreTruncate => {}
             }
         }
+
+        let dumps_before = postmortem_census(&flightrec_dir);
 
         let mut options = CompileOptions::with_decomposition(scaling_lrm_config());
         if cfg.is_gaussian() {
@@ -545,6 +562,13 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
             if !symptom_shown {
                 report.missed_faults += 1;
             }
+            // Every injected panic must leave a flight-recorder dump
+            // behind — a crash with no post-mortem is undiagnosable.
+            if matches!(fault, Fault::WorkerPanic | Fault::SettleCrash)
+                && postmortem_census(&flightrec_dir) <= dumps_before
+            {
+                report.missing_postmortems += 1;
+            }
         }
         if !cfg.quiet {
             println!(
@@ -608,11 +632,39 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     }
     check("small", small_budget);
     drop(verifier);
+    report.postmortems = postmortem_census(&flightrec_dir);
 
     if cfg.state_dir.is_none() {
         let _ = std::fs::remove_dir_all(dir);
     }
     report
+}
+
+/// Counts the **parseable** flight-recorder post-mortem dumps under the
+/// state directory's `flightrec/`. Parseable means non-empty with every
+/// line a `{"t":…}` JSON object — the JSON-lines contract the dump
+/// writer promises, checked here so a truncated or interleaved dump
+/// fails the chaos gate rather than some later reader.
+fn postmortem_census(flightrec: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(flightrec) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("postmortem-") && name.ends_with(".jsonl")
+        })
+        .filter(|e| {
+            std::fs::read_to_string(e.path()).is_ok_and(|text| {
+                !text.trim().is_empty()
+                    && text
+                        .lines()
+                        .all(|l| l.starts_with('{') && l.ends_with('}') && l.contains("\"t\":"))
+            })
+        })
+        .count() as u64
 }
 
 /// A random range panel snapped to the boundary grid.

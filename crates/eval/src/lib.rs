@@ -29,6 +29,7 @@
 pub mod experiments;
 pub mod mechanisms;
 pub mod params;
+pub mod progress;
 pub mod report;
 pub mod runner;
 

@@ -1,0 +1,130 @@
+//! The flight recorder: a process-global [`Ring`] of the most recent
+//! records, dumped to `dir/postmortem-*.jsonl` by a chained panic hook
+//! so every crash — including worker panics contained by
+//! `catch_unwind` — leaves a parseable post-mortem artifact.
+//!
+//! The panic hook runs at panic *initiation*, before unwinding, so the
+//! dump holds every record emitted up to the failure plus a synthetic
+//! `"panic"` event carrying the location and message. The panic message
+//! is the one free-form field in the whole tracing surface; it mirrors
+//! exactly what the default hook already prints to stderr.
+
+use crate::ring::Ring;
+use crate::{json, Record, Value, FLAGS, FLAG_FLIGHTREC};
+use std::borrow::Cow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Once, OnceLock, RwLock};
+
+/// Records retained for a post-mortem. Sized to hold several batches'
+/// worth of lifecycle records at smoke-test scale.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+static RING: OnceLock<Ring> = OnceLock::new();
+static DIR: RwLock<Option<PathBuf>> = RwLock::new(None);
+static HOOK: Once = Once::new();
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn dir_write() -> std::sync::RwLockWriteGuard<'static, Option<PathBuf>> {
+    DIR.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms the flight recorder: records start accumulating in the ring and
+/// a chained panic hook dumps them to `dir` (created on demand) on any
+/// panic in the process. Re-arming retargets `dir`; the hook installs
+/// once and stays for the process lifetime (it is inert while
+/// disarmed). Hooks installed earlier — e.g. a harness suppressing
+/// expected-failpoint noise — still run, after the dump is written.
+pub fn arm(dir: PathBuf) {
+    RING.get_or_init(|| Ring::new(DEFAULT_CAPACITY));
+    *dir_write() = Some(dir);
+    FLAGS.fetch_or(FLAG_FLIGHTREC, Ordering::SeqCst);
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            note_panic(info);
+            let _ = dump("panic");
+            previous(info);
+        }));
+    });
+}
+
+/// Stops recording (the hook stays installed but finds nothing armed).
+pub fn disarm() {
+    FLAGS.fetch_and(!FLAG_FLIGHTREC, Ordering::SeqCst);
+    *dir_write() = None;
+}
+
+/// Whether the recorder is currently armed.
+pub fn armed() -> bool {
+    FLAGS.load(Ordering::Relaxed) & FLAG_FLIGHTREC != 0
+}
+
+/// Pushes a record into the ring when armed. Called on every dispatch.
+pub(crate) fn record(record: &Record) {
+    if !armed() {
+        return;
+    }
+    if let Some(ring) = RING.get() {
+        ring.push(json::record_line(record));
+    }
+}
+
+/// Appends a synthetic event for the panic itself so a dump is never
+/// empty, even when the crash precedes the first traced record.
+fn note_panic(info: &std::panic::PanicHookInfo<'_>) {
+    if !armed() {
+        return;
+    }
+    let Some(ring) = RING.get() else { return };
+    let mut fields: Vec<(&'static str, Value)> = Vec::with_capacity(3);
+    if let Some(location) = info.location() {
+        fields.push(("file", Value::Str(Cow::Owned(location.file().to_string()))));
+        fields.push(("line", Value::U64(u64::from(location.line()))));
+    }
+    let message = info
+        .payload()
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| info.payload().downcast_ref::<String>().cloned());
+    if let Some(message) = message {
+        fields.push(("msg", Value::Str(Cow::Owned(message))));
+    }
+    let record = Record::Event(crate::Event {
+        ts_ns: crate::now_ns(),
+        trace: 0,
+        span: 0,
+        name: "panic",
+        fields,
+    });
+    ring.push(json::record_line(&record));
+}
+
+/// Drains the ring into `dir/postmortem-<pid>-<seq>-<reason>.jsonl` and
+/// returns the path. `None` when disarmed, the ring is empty, or any
+/// file operation fails — a dump must never raise from a panic hook.
+pub fn dump(reason: &str) -> Option<PathBuf> {
+    if !armed() {
+        return None;
+    }
+    let dir = DIR.read().unwrap_or_else(|e| e.into_inner()).clone()?;
+    let lines = RING.get()?.drain();
+    if lines.is_empty() {
+        return None;
+    }
+    std::fs::create_dir_all(&dir).ok()?;
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::SeqCst);
+    let path = dir.join(format!(
+        "postmortem-{}-{}-{}.jsonl",
+        std::process::id(),
+        seq,
+        reason
+    ));
+    let mut body = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for line in &lines {
+        body.push_str(line);
+        body.push('\n');
+    }
+    std::fs::write(&path, body).ok()?;
+    Some(path)
+}

@@ -1,0 +1,562 @@
+//! Hand-rolled observability core for the LRM serving stack.
+//!
+//! The environment has no registry access, so this crate plays the role
+//! `tracing` would: a [`span!`]/[`event!`] macro pair over a per-thread
+//! span stack, pluggable [`Subscriber`]s (JSON-lines writer, in-memory
+//! collector, null), and a lock-free bounded flight-recorder ring that a
+//! panic hook dumps to `state_dir/flightrec/` so every crash leaves a
+//! post-mortem artifact ([`flightrec`]).
+//!
+//! # Cost model
+//!
+//! When nothing is installed, both macros compile down to **one relaxed
+//! atomic load** ([`enabled`]) and evaluate none of their field
+//! expressions — no allocation, no thread-local access, no branch on
+//! the emit path. The `tests/no_alloc.rs` integration test pins this
+//! down with a counting global allocator.
+//!
+//! # The data-independence rule
+//!
+//! Span and event payloads must carry only **data-independent** values:
+//! shapes, ranks, ε/δ, timings, counts, labels. Query answers,
+//! residual vectors, and noise draws are data-dependent and publishing
+//! them outside a budgeted release silently breaks the DP guarantee.
+//! The [`Value`] type enforces the cheap half of this by construction —
+//! there is deliberately no vector/slice variant and no `From` impl for
+//! collections, so a whole answer vector *cannot* enter a payload. The
+//! scalar half (don't log `residual_norm(x)`) is enforced by the
+//! payload-audit test in `lrm-server`, which greps an end-to-end trace
+//! for forbidden field names and any array-valued JSON.
+
+pub mod flightrec;
+pub mod json;
+pub mod ring;
+pub mod subscriber;
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub use subscriber::{install, uninstall, JsonLines, Memory, Null, Subscriber};
+
+/// Bit set in [`FLAGS`] while a subscriber is installed.
+pub(crate) const FLAG_SUBSCRIBER: u32 = 1;
+/// Bit set in [`FLAGS`] while the flight recorder is armed.
+pub(crate) const FLAG_FLIGHTREC: u32 = 2;
+
+/// The one word the disabled fast path reads. Zero means "emit nothing":
+/// the macros evaluate no field expression and touch no thread-local.
+pub(crate) static FLAGS: AtomicU32 = AtomicU32::new(0);
+
+/// Whether any sink (subscriber or flight recorder) is active.
+///
+/// This is the single relaxed atomic check the macros gate on; callers
+/// can use it to skip building expensive field values by hand.
+#[inline]
+pub fn enabled() -> bool {
+    FLAGS.load(Ordering::Relaxed) != 0
+}
+
+/// Process-wide monotonic epoch; all timestamps are nanoseconds since
+/// the first observation in this process.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process epoch (monotonic, never wall clock).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One counter feeds both trace and span ids so the two namespaces can
+/// never collide; 0 is reserved for "no parent" / "no span".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh trace id (stable for the lifetime of a request or
+/// batch; one relaxed `fetch_add`).
+#[inline]
+pub fn next_trace_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A single scalar payload value.
+///
+/// Deliberately scalar-only: there is no array/vector variant and no
+/// `From` impl for slices or `Vec`s, so data-dependent bulk values
+/// (query answers, noise draws, residual vectors) cannot be logged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned counter, id, size, or duration in integer units.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (ε, δ, τ, seconds); NaN/±∞ serialize as JSON `null`.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short label; static where possible to avoid allocation.
+    Str(Cow<'static, str>),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::Str(Cow::Borrowed(v))
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Cow::Owned(v))
+    }
+}
+impl From<Cow<'static, str>> for Value {
+    fn from(v: Cow<'static, str>) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A point-in-time observation inside (or outside) a span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the process epoch.
+    pub ts_ns: u64,
+    /// Trace this event belongs to (0 = unattached).
+    pub trace: u64,
+    /// Enclosing span id (0 = none).
+    pub span: u64,
+    /// Static event name, dot-separated (`"batch.close"`).
+    pub name: &'static str,
+    /// Data-independent payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// A completed span: a named interval with a parent and payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Start, nanoseconds since the process epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// This span's id.
+    pub span: u64,
+    /// Parent span id (0 = root of its trace).
+    pub parent: u64,
+    /// Static span name, dot-separated (`"batch.compile"`).
+    pub name: &'static str,
+    /// Data-independent payload (start-time fields plus any added via
+    /// [`SpanGuard::record`]).
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// What subscribers receive: either a completed span or an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span (emitted when its guard drops).
+    Span(SpanRecord),
+    /// A point-in-time event.
+    Event(Event),
+}
+
+impl Record {
+    /// The span or event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Record::Span(s) => s.name,
+            Record::Event(e) => e.name,
+        }
+    }
+
+    /// The trace id.
+    pub fn trace(&self) -> u64 {
+        match self {
+            Record::Span(s) => s.trace,
+            Record::Event(e) => e.trace,
+        }
+    }
+
+    /// The payload fields.
+    pub fn fields(&self) -> &[(&'static str, Value)] {
+        match self {
+            Record::Span(s) => &s.fields,
+            Record::Event(e) => &e.fields,
+        }
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+thread_local! {
+    /// Per-thread stack of `(trace, span)` for parent inheritance.
+    /// Only touched while [`enabled`] — the disabled fast path never
+    /// initializes it.
+    static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span in flight on this thread.
+#[derive(Debug)]
+struct ActiveSpan {
+    trace: u64,
+    span: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// RAII guard for an open span; emits the [`SpanRecord`] on drop.
+///
+/// A disabled guard (created while [`enabled`] was false) is inert: it
+/// holds nothing, records nothing, and drops for free.
+#[derive(Debug)]
+#[must_use = "dropping a span guard immediately closes the span"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// The inert guard the macros return on the disabled fast path.
+    #[inline]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    /// Adds a field discovered after the span opened (e.g. a compile's
+    /// cache outcome). No-op on a disabled guard.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(active) = &mut self.0 {
+            active.fields.push((key, value.into()));
+        }
+    }
+
+    /// The trace id this span belongs to, if the guard is live.
+    pub fn trace(&self) -> Option<u64> {
+        self.0.as_ref().map(|a| a.trace)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        // Pop this span (and anything leaked above it) off the stack.
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&e| e == (active.trace, active.span)) {
+                s.truncate(pos);
+            }
+        });
+        let record = Record::Span(SpanRecord {
+            ts_ns: active.start_ns,
+            dur_ns: now_ns().saturating_sub(active.start_ns),
+            trace: active.trace,
+            span: active.span,
+            parent: active.parent,
+            name: active.name,
+            fields: active.fields,
+        });
+        dispatch(&record);
+    }
+}
+
+/// Opens a span. Prefer the [`span!`] macro, which skips field
+/// evaluation entirely when disabled.
+///
+/// `trace`: `Some(id)` pins the span to an existing trace (parenting to
+/// the thread's current span only if that span shares the trace);
+/// `None` inherits the thread's current trace/span, or starts a fresh
+/// trace at the root.
+pub fn start_span(
+    name: &'static str,
+    trace: Option<u64>,
+    fields: Vec<(&'static str, Value)>,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    let top = STACK.with(|s| s.borrow().last().copied());
+    let (trace, parent) = match trace {
+        Some(t) => match top {
+            Some((tt, ts)) if tt == t => (t, ts),
+            _ => (t, 0),
+        },
+        None => match top {
+            Some((tt, ts)) => (tt, ts),
+            None => (next_trace_id(), 0),
+        },
+    };
+    let span = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|s| s.borrow_mut().push((trace, span)));
+    SpanGuard(Some(ActiveSpan {
+        trace,
+        span,
+        parent,
+        name,
+        start_ns: now_ns(),
+        fields,
+    }))
+}
+
+/// Emits an event. Prefer the [`event!`] macro, which skips field
+/// evaluation entirely when disabled.
+///
+/// `trace` semantics match [`start_span`]: `Some(id)` attaches to that
+/// trace (with the thread's current span as context only if it shares
+/// the trace), `None` inherits the thread's current position.
+pub fn emit_event(name: &'static str, trace: Option<u64>, fields: Vec<(&'static str, Value)>) {
+    if !enabled() {
+        return;
+    }
+    let top = STACK.with(|s| s.borrow().last().copied());
+    let (trace, span) = match trace {
+        Some(t) => match top {
+            Some((tt, ts)) if tt == t => (t, ts),
+            _ => (t, 0),
+        },
+        None => match top {
+            Some((tt, ts)) => (tt, ts),
+            None => (0, 0),
+        },
+    };
+    let record = Record::Event(Event {
+        ts_ns: now_ns(),
+        trace,
+        span,
+        name,
+        fields,
+    });
+    dispatch(&record);
+}
+
+/// Routes a finished record to the flight recorder (first — it must see
+/// everything the subscriber sees, so panic dumps are complete) and
+/// then the installed subscriber, if any.
+pub(crate) fn dispatch(record: &Record) {
+    flightrec::record(record);
+    subscriber::dispatch(record);
+}
+
+/// Opens a span and returns its [`SpanGuard`].
+///
+/// ```
+/// let mut g = lrm_obs::span!("batch.compile", shard = 3usize, rows = 128u64);
+/// g.record("cache", "miss");
+/// drop(g);
+/// ```
+///
+/// `span!(in trace_id; "name", k = v, ...)` pins the span to an
+/// existing trace. When nothing is installed this is one relaxed load;
+/// field expressions are not evaluated.
+#[macro_export]
+macro_rules! span {
+    (in $trace:expr; $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::start_span(
+                $name,
+                Some($trace),
+                vec![$((stringify!($k), $crate::Value::from($v))),*],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::start_span(
+                $name,
+                None,
+                vec![$((stringify!($k), $crate::Value::from($v))),*],
+            )
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Emits a point-in-time event.
+///
+/// ```
+/// lrm_obs::event!("request.submit", shard = 0usize, eps = 0.5f64);
+/// ```
+///
+/// `event!(in trace_id; "name", k = v, ...)` attaches the event to an
+/// existing trace. When nothing is installed this is one relaxed load;
+/// field expressions are not evaluated.
+#[macro_export]
+macro_rules! event {
+    (in $trace:expr; $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit_event(
+                $name,
+                Some($trace),
+                vec![$((stringify!($k), $crate::Value::from($v))),*],
+            );
+        }
+    };
+    ($name:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::emit_event(
+                $name,
+                None,
+                vec![$((stringify!($k), $crate::Value::from($v))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, MutexGuard};
+
+    /// The subscriber registry is process-global, so tests that install
+    /// one serialize on this lock.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn with_memory() -> (MutexGuard<'static, ()>, Arc<Memory>) {
+        let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let mem = Arc::new(Memory::default());
+        install(mem.clone());
+        (guard, mem)
+    }
+
+    #[test]
+    fn spans_nest_and_events_inherit_context() {
+        let (_guard, mem) = with_memory();
+        {
+            let outer = span!("outer", a = 1u64);
+            let outer_trace = outer.trace().unwrap();
+            {
+                let _inner = span!("inner");
+                event!("inside", b = 2u64);
+            }
+            event!(in outer_trace; "pinned");
+        }
+        uninstall();
+        let records = mem.records();
+        let names: Vec<_> = records.iter().map(|r| r.name()).collect();
+        // Inner closes before outer; events land when emitted.
+        assert_eq!(names, vec!["inside", "inner", "pinned", "outer"]);
+        let trace = records[3].trace();
+        assert!(records.iter().all(|r| r.trace() == trace));
+        // The event inside `inner` points at `inner`'s span id.
+        let (inner, inside, outer) = (&records[1], &records[0], &records[3]);
+        let (Record::Span(inner), Record::Event(inside), Record::Span(outer)) =
+            (inner, inside, outer)
+        else {
+            panic!("unexpected record kinds");
+        };
+        assert_eq!(inside.span, inner.span);
+        assert_eq!(inner.parent, outer.span);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(outer.fields, vec![("a", Value::U64(1))]);
+    }
+
+    #[test]
+    fn explicit_trace_does_not_parent_across_traces() {
+        let (_guard, mem) = with_memory();
+        let foreign = next_trace_id();
+        {
+            let _outer = span!("outer");
+            let _pinned = span!(in foreign; "pinned");
+        }
+        uninstall();
+        let records = mem.records();
+        let Record::Span(pinned) = &records[0] else {
+            panic!("expected span");
+        };
+        assert_eq!(pinned.trace, foreign);
+        assert_eq!(pinned.parent, 0, "a foreign trace cannot parent this span");
+    }
+
+    #[test]
+    fn late_fields_are_recorded() {
+        let (_guard, mem) = with_memory();
+        {
+            let mut g = span!("compile");
+            g.record("cache", "miss");
+        }
+        uninstall();
+        let records = mem.records();
+        assert_eq!(
+            records[0].field("cache"),
+            Some(&Value::Str(std::borrow::Cow::Borrowed("miss")))
+        );
+    }
+
+    #[test]
+    fn disabled_macros_are_inert() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        let mut evaluated = false;
+        {
+            let _g = span!(
+                "dead",
+                x = {
+                    evaluated = true;
+                    1u64
+                }
+            );
+            event!(
+                "dead.event",
+                y = {
+                    evaluated = true;
+                    2u64
+                }
+            );
+        }
+        assert!(!evaluated, "disabled macros must not evaluate fields");
+    }
+
+    #[test]
+    fn uninstall_preserves_flightrec_flag() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        FLAGS.fetch_or(FLAG_FLIGHTREC, Ordering::SeqCst);
+        install(Arc::new(Null));
+        uninstall();
+        assert!(enabled(), "flight recorder must survive uninstall");
+        FLAGS.fetch_and(!FLAG_FLIGHTREC, Ordering::SeqCst);
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,103 @@
+//! Lock-free bounded ring of recent JSON lines.
+//!
+//! Writers claim a slot with one `fetch_add` and publish with one
+//! pointer `swap`; the loser of a lap simply overwrites the oldest
+//! entry. [`Ring::drain`] takes each slot with `swap(null)`, so it owns
+//! whatever it got exclusively even while writers keep pushing — safe
+//! to call from a panic hook with worker threads still live.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// A fixed-capacity, lock-free, multi-producer ring of `String`s.
+#[derive(Debug)]
+pub struct Ring {
+    slots: Box<[AtomicPtr<String>]>,
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    /// A ring holding the most recent `capacity` (> 0) lines.
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            slots,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total lines ever pushed (≥ lines currently held; the difference
+    /// is what overwriting dropped).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends a line, overwriting the oldest once full. Lock-free:
+    /// one `fetch_add` plus one pointer `swap`.
+    pub fn push(&self, line: String) {
+        let slot = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        let fresh = Box::into_raw(Box::new(line));
+        let old = self.slots[slot].swap(fresh, Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: `swap` transferred exclusive ownership of `old`
+            // to us; it was created by `Box::into_raw` in a prior push.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    /// Takes every held line, oldest-first (best effort under
+    /// concurrent pushes), leaving the ring empty.
+    pub fn drain(&self) -> Vec<String> {
+        let len = self.slots.len();
+        let start = (self.cursor.load(Ordering::Acquire) as usize) % len;
+        let mut out = Vec::new();
+        for i in 0..len {
+            let slot = (start + i) % len;
+            let ptr = self.slots[slot].swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                // SAFETY: the swap gave us exclusive ownership; the
+                // pointer came from `Box::into_raw` in `push`.
+                out.push(*unsafe { Box::from_raw(ptr) });
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_most_recent_lines_in_order() {
+        let ring = Ring::new(4);
+        for i in 0..10 {
+            ring.push(format!("line-{i}"));
+        }
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.drain(), vec!["line-6", "line-7", "line-8", "line-9"]);
+        assert!(ring.drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn partial_fill_drains_without_gaps() {
+        let ring = Ring::new(8);
+        ring.push("a".into());
+        ring.push("b".into());
+        assert_eq!(ring.drain(), vec!["a", "b"]);
+    }
+}

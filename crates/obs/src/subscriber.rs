@@ -1,0 +1,132 @@
+//! Pluggable record sinks and the process-global registry.
+
+use crate::{json, Record, FLAGS, FLAG_SUBSCRIBER};
+use std::io::Write;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A sink for finished [`Record`]s. Implementations must tolerate
+/// concurrent calls from every serving thread.
+pub trait Subscriber: Send + Sync {
+    /// Receives one completed span or event.
+    fn on_record(&self, record: &Record);
+    /// Flushes any buffered output (called by [`uninstall`]).
+    fn flush(&self) {}
+}
+
+/// The single installed subscriber. One global (not a list): the serving
+/// stack needs exactly one trace sink at a time, and a single
+/// `Option<Arc>` keeps the dispatch path at one clone under a read lock.
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+fn registry_write() -> std::sync::RwLockWriteGuard<'static, Option<Arc<dyn Subscriber>>> {
+    SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs `subscriber` as the process-global sink, replacing (and
+/// flushing) any previous one, and turns the macros' fast path on.
+pub fn install(subscriber: Arc<dyn Subscriber>) {
+    let previous = registry_write().replace(subscriber);
+    FLAGS.fetch_or(FLAG_SUBSCRIBER, Ordering::SeqCst);
+    if let Some(previous) = previous {
+        previous.flush();
+    }
+}
+
+/// Removes and flushes the installed subscriber, returning it. The
+/// flight-recorder flag (if armed) is left untouched.
+pub fn uninstall() -> Option<Arc<dyn Subscriber>> {
+    FLAGS.fetch_and(!FLAG_SUBSCRIBER, Ordering::SeqCst);
+    let previous = registry_write().take();
+    if let Some(previous) = &previous {
+        previous.flush();
+    }
+    previous
+}
+
+/// Hands `record` to the installed subscriber, if any. The Arc is
+/// cloned out from under the read lock so a slow sink never blocks
+/// install/uninstall.
+pub(crate) fn dispatch(record: &Record) {
+    if FLAGS.load(Ordering::Relaxed) & FLAG_SUBSCRIBER == 0 {
+        return;
+    }
+    let subscriber = match SUBSCRIBER.read() {
+        Ok(guard) => guard.clone(),
+        Err(poisoned) => poisoned.into_inner().clone(),
+    };
+    if let Some(subscriber) = subscriber {
+        subscriber.on_record(record);
+    }
+}
+
+/// Writes one JSON object per record to `W` — the format documented at
+/// [`json::record_line`].
+#[derive(Debug)]
+pub struct JsonLines<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLines<W> {
+    /// A JSON-lines subscriber over `writer`.
+    pub fn new(writer: W) -> JsonLines<W> {
+        JsonLines {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonLines<W> {
+    fn on_record(&self, record: &Record) {
+        let mut line = json::record_line(record);
+        line.push('\n');
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Tracing must never take the serving path down with it.
+        let _ = writer.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writer.flush();
+    }
+}
+
+/// Collects records in memory; the test-suite sink.
+#[derive(Debug, Default)]
+pub struct Memory {
+    records: Mutex<Vec<Record>>,
+}
+
+impl Memory {
+    /// A snapshot of everything received so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Takes everything received so far, leaving the collector empty.
+    pub fn take(&self) -> Vec<Record> {
+        std::mem::take(&mut *self.records.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Subscriber for Memory {
+    fn on_record(&self, record: &Record) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record.clone());
+    }
+}
+
+/// Accepts and discards everything. Useful for measuring the cost of
+/// the *enabled* path (field evaluation + serialization-free dispatch)
+/// against a real sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Null;
+
+impl Subscriber for Null {
+    fn on_record(&self, _record: &Record) {}
+}

@@ -1,0 +1,90 @@
+//! Flight-recorder end-to-end: arming fills the ring from the normal
+//! emit path, a panic (even one contained by `catch_unwind`) dumps a
+//! non-empty, parseable post-mortem, and explicit dumps drain the ring.
+//! Runs in its own binary: the recorder and panic hook are process
+//! globals.
+
+use lrm_obs::flightrec;
+use std::path::{Path, PathBuf};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lrm-obs-{}-{}", tag, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn postmortems(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("postmortem-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Every line of a dump must be a single JSON object with a name.
+fn assert_parseable(path: &Path) {
+    let body = std::fs::read_to_string(path).expect("readable dump");
+    assert!(!body.trim().is_empty(), "dump must be non-empty");
+    for line in body.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"name\":"),
+            "unparseable dump line: {line:?}"
+        );
+    }
+}
+
+#[test]
+fn panics_and_explicit_dumps_leave_parseable_artifacts() {
+    let dir = scratch_dir("flightrec");
+    flightrec::arm(dir.clone());
+    assert!(flightrec::armed());
+
+    // Normal emission lands in the ring...
+    lrm_obs::event!("lifecycle.step", stage = "submit", shard = 1usize);
+    let explicit = flightrec::dump("manual").expect("armed ring with content dumps");
+    assert_parseable(&explicit);
+    assert_eq!(postmortems(&dir).len(), 1);
+
+    // ...the dump drained it...
+    assert!(
+        flightrec::dump("empty").is_none(),
+        "an empty ring must not produce an artifact"
+    );
+
+    // ...and a contained panic dumps what led up to it plus the panic
+    // note itself, through the chained hook.
+    lrm_obs::event!("lifecycle.step", stage = "before-crash");
+    let result = std::panic::catch_unwind(|| panic!("boom for the recorder"));
+    assert!(result.is_err());
+    let dumps = postmortems(&dir);
+    assert_eq!(dumps.len(), 2, "the panic hook must write a dump");
+    let panic_dump = dumps
+        .iter()
+        .find(|p| p.to_string_lossy().ends_with("-panic.jsonl"))
+        .expect("panic-reason artifact");
+    assert_parseable(panic_dump);
+    let body = std::fs::read_to_string(panic_dump).unwrap();
+    assert!(
+        body.contains("\"name\":\"panic\"") && body.contains("boom for the recorder"),
+        "panic note must carry the message: {body}"
+    );
+    assert!(
+        body.contains("before-crash"),
+        "records emitted before the crash must survive into the dump"
+    );
+
+    // Disarmed, the ring stops accumulating and dumps refuse.
+    flightrec::disarm();
+    lrm_obs::event!("lifecycle.step", stage = "after-disarm");
+    assert!(flightrec::dump("disarmed").is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,46 @@
+//! With no subscriber installed and the flight recorder disarmed, the
+//! `span!`/`event!` macros must cost one relaxed atomic load — zero
+//! allocations, no field evaluation. A counting global allocator pins
+//! this down; the test runs in its own binary so nothing else races
+//! the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counter has no
+// effect on layout or pointers.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+#[test]
+fn disabled_fast_path_does_not_allocate() {
+    assert!(!lrm_obs::enabled());
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..1_000u64 {
+        let mut guard = lrm_obs::span!("dead.span", round = round, eps = 0.5f64);
+        guard.record("late", "field");
+        lrm_obs::event!("dead.event", shard = 3usize, label = "x");
+        lrm_obs::event!(in round; "dead.pinned", n = round);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "the disabled fast path must not allocate"
+    );
+}

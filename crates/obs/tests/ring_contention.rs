@@ -1,0 +1,70 @@
+//! The flight-recorder ring under multi-thread contention: wraparound
+//! must lose only *old* lines, never duplicate, corrupt, or leak one.
+
+use lrm_obs::ring::Ring;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: usize = 10_000;
+
+fn parse(line: &str) -> (usize, usize) {
+    let (t, i) = line.split_once('-').expect("well-formed line");
+    (t.parse().unwrap(), i.parse().unwrap())
+}
+
+#[test]
+fn contended_wraparound_keeps_lines_intact_and_unique() {
+    let ring = Arc::new(Ring::new(64));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let ring = Arc::clone(&ring);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    ring.push(format!("{t}-{i}"));
+                }
+            });
+        }
+    });
+    assert_eq!(ring.pushed(), (THREADS * PER_THREAD) as u64);
+    let drained = ring.drain();
+    assert!(!drained.is_empty(), "a full ring drains something");
+    assert!(drained.len() <= ring.capacity());
+    let mut seen = HashSet::new();
+    for line in &drained {
+        let (t, i) = parse(line);
+        assert!(t < THREADS && i < PER_THREAD, "corrupt line {line:?}");
+        assert!(seen.insert(line.clone()), "duplicated line {line:?}");
+    }
+    assert!(ring.drain().is_empty(), "drain leaves the ring empty");
+}
+
+#[test]
+fn draining_while_writers_race_never_duplicates() {
+    let ring = Arc::new(Ring::new(32));
+    let mut collected: Vec<String> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..5_000 {
+                        ring.push(format!("{t}-{i}"));
+                    }
+                })
+            })
+            .collect();
+        // Drain concurrently until every writer is done.
+        while !handles.iter().all(|h| h.is_finished()) {
+            collected.extend(ring.drain());
+        }
+    });
+    collected.extend(ring.drain());
+    let mut seen = HashSet::new();
+    for line in &collected {
+        let (t, i) = parse(line);
+        assert!(t < 4 && i < 5_000, "corrupt line {line:?}");
+        assert!(seen.insert(line.clone()), "duplicated line {line:?}");
+    }
+    assert!(collected.len() as u64 <= ring.pushed());
+}

@@ -29,6 +29,11 @@
 //!   decomposition re-projected onto a (possibly different) target rank
 //!   replaces the Lemma 3 SVD initializer when a similar workload has
 //!   already been solved.
+//! * [`telemetry`] — per-iteration solver telemetry: a thread-local
+//!   observer (same scoping pattern as [`deadline`]) the ALM outer loop
+//!   reports each iteration's data-independent convergence state to, so
+//!   a tracing layer can record solver behavior without `lrm-opt`
+//!   depending on one.
 
 pub mod alm;
 pub mod deadline;
@@ -37,6 +42,7 @@ pub mod l2;
 pub mod lse;
 pub mod nesterov;
 pub mod spg;
+pub mod telemetry;
 pub mod warm;
 
 pub use alm::{AlmSchedule, AlmState};
@@ -46,4 +52,5 @@ pub use l2::{project_columns_l2, project_l2_ball};
 pub use lse::SmoothMax;
 pub use nesterov::{nesterov_projected, NesterovConfig, NesterovResult};
 pub use spg::{spg_minimize, SpgConfig, SpgResult};
+pub use telemetry::AlmIteration;
 pub use warm::WarmStart;

@@ -1,0 +1,147 @@
+//! Per-iteration solver telemetry, scoped like [`crate::deadline`].
+//!
+//! The serving runtime wants an ALM convergence record per compile
+//! (iteration count, residual trajectory, penalty growth) without
+//! threading a callback parameter through every solver signature — and
+//! without `lrm-opt` depending on any tracing crate. So the observer is
+//! a thread-local token scoped by [`with_observer`]: the ALM outer loop
+//! (`lrm_core::decomposition`) calls [`observe`] once per outer
+//! iteration, which is a no-op unless the calling thread is inside a
+//! scope. The runtime installs an observer that forwards to its tracing
+//! layer; everyone else pays one thread-local read per iteration.
+//!
+//! The payload is **data-independent by construction**: `residual` is
+//! τ = ‖W − BL‖_F, a property of the workload decomposition alone —
+//! never of the data vector. Do not extend this struct with anything
+//! derived from query answers; see the DP invariant documented in
+//! `lrm-obs`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One ALM outer iteration, as reported by the decomposition loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlmIteration {
+    /// Outer iterations completed so far (1-based on first call).
+    pub outer: usize,
+    /// Factorization residual τ = ‖W − BL‖_F after this iteration —
+    /// workload-only, data-independent.
+    pub residual: f64,
+    /// Current augmented-Lagrangian penalty β.
+    pub beta: f64,
+}
+
+/// The observer callback type: called once per completed outer
+/// iteration on the solving thread.
+pub type Observer = Rc<dyn Fn(AlmIteration)>;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Observer>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous observer even if `f` panics or returns early.
+struct Restore(Option<Observer>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+    }
+}
+
+/// Runs `f` with `observer` installed as the calling thread's solver
+/// observer; the previous observer (if any) is restored afterwards,
+/// including on panic. Unlike deadlines, nesting *replaces*: the
+/// innermost scope owns the iteration stream.
+pub fn with_observer<R>(observer: Observer, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(observer));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Whether the calling thread has an observer installed. Lets solvers
+/// skip computing telemetry-only values.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Reports one completed outer iteration to the thread's observer, if
+/// any. The observer is cloned out of the slot before the call, so an
+/// observer that itself triggers a nested solve cannot alias the
+/// `RefCell` borrow.
+pub fn observe(iteration: AlmIteration) {
+    let observer = CURRENT.with(|c| c.borrow().clone());
+    if let Some(observer) = observer {
+        observer(iteration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn observe_is_inert_without_a_scope() {
+        assert!(!active());
+        observe(AlmIteration {
+            outer: 1,
+            residual: 0.5,
+            beta: 1.0,
+        });
+    }
+
+    #[test]
+    fn scoped_observer_sees_iterations_and_restores() {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let sink = seen.clone();
+        with_observer(
+            Rc::new(move |it: AlmIteration| sink.borrow_mut().push(it)),
+            || {
+                assert!(active());
+                observe(AlmIteration {
+                    outer: 1,
+                    residual: 2.0,
+                    beta: 1.0,
+                });
+                observe(AlmIteration {
+                    outer: 2,
+                    residual: 1.0,
+                    beta: 2.0,
+                });
+            },
+        );
+        assert!(!active());
+        let seen = seen.borrow();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0].outer, 1);
+        assert_eq!(seen[1].residual, 1.0);
+    }
+
+    #[test]
+    fn inner_scope_replaces_and_outer_comes_back() {
+        let outer_hits = Rc::new(Cell::new(0));
+        let inner_hits = Rc::new(Cell::new(0));
+        let (o, i) = (outer_hits.clone(), inner_hits.clone());
+        let tick = AlmIteration {
+            outer: 1,
+            residual: 0.0,
+            beta: 1.0,
+        };
+        with_observer(Rc::new(move |_| o.set(o.get() + 1)), || {
+            observe(tick);
+            with_observer(Rc::new(move |_| i.set(i.get() + 1)), || observe(tick));
+            observe(tick);
+        });
+        assert_eq!(outer_hits.get(), 2);
+        assert_eq!(inner_hits.get(), 1);
+    }
+
+    #[test]
+    fn restore_survives_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_observer(Rc::new(|_| {}), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!active());
+    }
+}

@@ -67,6 +67,7 @@
 //! ```
 
 pub mod coalesce;
+pub mod exposition;
 mod farm;
 pub mod metrics;
 pub mod server;
@@ -77,7 +78,7 @@ pub mod tickets;
 pub use metrics::MetricsSnapshot;
 pub use server::{Client, Release, Server, ServerBuilder, ServerError, ServerReport, Ticket};
 pub use spec::{PreparedRows, PreparedSpec, QuerySpec, SpecClass, SpecError};
-pub use tenants::{AdmissionError, TenantResume, TenantSpend};
+pub use tenants::{AdmissionError, TenantResume, TenantSpend, TenantTelemetry};
 pub use tickets::{Completion, TicketSet};
 
 // Cross-thread sharing audit: the scheduler, every worker, and every

@@ -2,7 +2,7 @@
 //!
 //! Counters are plain relaxed atomics bumped on the hot path; latencies
 //! are recorded per request (submit → response) into a fixed-size
-//! log-scale [`LatencyHistogram`] — O(1) memory and a single relaxed
+//! log-scale `LatencyHistogram` — O(1) memory and a single relaxed
 //! `fetch_add` per request, so the surface stays flat at 10⁵+ in-flight
 //! requests — and reduced to percentiles only when a snapshot is taken.
 //! The queue-depth gauge counts requests that have been submitted but not
@@ -55,12 +55,18 @@ fn bucket_floor(index: usize) -> u64 {
 #[derive(Debug)]
 pub(crate) struct LatencyHistogram {
     buckets: Vec<AtomicU64>,
+    /// Exact running sum of samples in µs (not bucket floors) — the
+    /// `_sum` a Prometheus histogram exposes, and what lets a trace's
+    /// per-request phase decomposition be cross-checked against the
+    /// histogram in aggregate.
+    sum_us: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self {
             buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
         }
     }
 }
@@ -70,6 +76,7 @@ impl LatencyHistogram {
     pub fn record(&self, latency: Duration) {
         let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the bucket counts.
@@ -79,6 +86,17 @@ impl LatencyHistogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+}
+
+/// The non-empty `(bucket_floor_us, count)` pairs of a bucket-count
+/// copy, in ascending floor order.
+fn nonzero_buckets(counts: &[u64]) -> Vec<(u64, u64)> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (bucket_floor(i), c))
+        .collect()
 }
 
 /// Nearest-rank percentile over a bucket-count copy: the floor of the
@@ -117,6 +135,9 @@ pub(crate) struct ServerMetrics {
     pub queue_depth: AtomicU64,
     pub peak_queue_depth: AtomicU64,
     pub rank_closed_batches: AtomicU64,
+    pub window_closed_batches: AtomicU64,
+    pub ceiling_closed_batches: AtomicU64,
+    pub drain_closed_batches: AtomicU64,
     pub farm_shapes: AtomicU64,
     pub farm_precompiled: AtomicU64,
     pub farm_compile_us: AtomicU64,
@@ -160,6 +181,9 @@ impl ServerMetrics {
             queue_depth: AtomicU64::new(0),
             peak_queue_depth: AtomicU64::new(0),
             rank_closed_batches: AtomicU64::new(0),
+            window_closed_batches: AtomicU64::new(0),
+            ceiling_closed_batches: AtomicU64::new(0),
+            drain_closed_batches: AtomicU64::new(0),
             farm_shapes: AtomicU64::new(0),
             farm_precompiled: AtomicU64::new(0),
             farm_compile_us: AtomicU64::new(0),
@@ -256,6 +280,9 @@ impl ServerMetrics {
             batch_rows: self.batch_rows.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             rank_closed_batches: self.rank_closed_batches.load(Ordering::Relaxed),
+            window_closed_batches: self.window_closed_batches.load(Ordering::Relaxed),
+            ceiling_closed_batches: self.ceiling_closed_batches.load(Ordering::Relaxed),
+            drain_closed_batches: self.drain_closed_batches.load(Ordering::Relaxed),
             farm_shapes: self.farm_shapes.load(Ordering::Relaxed),
             farm_precompiled: self.farm_precompiled.load(Ordering::Relaxed),
             farm_compile_time: Duration::from_micros(self.farm_compile_us.load(Ordering::Relaxed)),
@@ -280,6 +307,9 @@ impl ServerMetrics {
                 .collect(),
             p50_latency: percentile(&counts, 0.50),
             p99_latency: percentile(&counts, 0.99),
+            p999_latency: percentile(&counts, 0.999),
+            latency_sum: Duration::from_micros(self.latencies.sum_us.load(Ordering::Relaxed)),
+            latency_buckets: nonzero_buckets(&counts),
         }
     }
 }
@@ -317,6 +347,14 @@ pub struct MetricsSnapshot {
     /// rank stopped growing) rather than by the cap, the window, or
     /// shutdown.
     pub rank_closed_batches: u64,
+    /// Batches closed because their coalescing window elapsed (including
+    /// zero-window servers whose batches never wait).
+    pub window_closed_batches: u64,
+    /// Batches closed at the `max_batch` occupancy ceiling.
+    pub ceiling_closed_batches: u64,
+    /// Batches flushed by the shutdown drain (the scheduler hung up with
+    /// the batch still open).
+    pub drain_closed_batches: u64,
     /// Distinct shapes the compile farm observed in the admission stream.
     pub farm_shapes: u64,
     /// Shapes the farm pushed through the engine cache.
@@ -363,6 +401,28 @@ pub struct MetricsSnapshot {
     pub p50_latency: Duration,
     /// 99th-percentile submit→response latency (same resolution).
     pub p99_latency: Duration,
+    /// 99.9th-percentile submit→response latency (same resolution).
+    pub p999_latency: Duration,
+    /// Exact sum of every recorded latency sample (a Prometheus
+    /// histogram's `_sum`; per-sample µs, not bucket floors).
+    pub latency_sum: Duration,
+    /// The raw non-empty histogram buckets as `(bucket_floor_us, count)`
+    /// pairs in ascending floor order — everything needed to re-derive
+    /// any percentile or export cumulative Prometheus buckets.
+    pub latency_buckets: Vec<(u64, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Iterates the raw `(bucket_floor_us, count)` latency histogram
+    /// pairs, ascending, skipping empty buckets.
+    pub fn histogram_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.latency_buckets.iter().copied()
+    }
+
+    /// Total latency samples recorded (= requests that got a response).
+    pub fn latency_samples(&self) -> u64 {
+        self.latency_buckets.iter().map(|&(_, c)| c).sum()
+    }
 }
 
 #[cfg(test)]
@@ -451,7 +511,7 @@ mod tests {
         }
         samples.sort_unstable();
         let counts = h.counts();
-        for q in [0.01, 0.10, 0.50, 0.90, 0.99, 1.0] {
+        for q in [0.01, 0.10, 0.50, 0.90, 0.99, 0.999, 1.0] {
             let exact = exact_percentile(&samples, q);
             let reported = percentile(&counts, q).as_micros() as u64;
             assert!(
@@ -459,6 +519,52 @@ mod tests {
                 "q={q}: reported {reported} vs exact {exact}"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_exposes_raw_buckets_sum_and_p999() {
+        let m = ServerMetrics::new(1);
+        // 998 fast samples and two slow ones: nearest-rank p99.9 of
+        // 1000 samples is rank 999 — a slow sample — so p99.9 must
+        // surface the outlier that p99 (rank 990) is allowed to hide.
+        for _ in 0..998 {
+            m.enqueued(0);
+            m.dequeued(0, Duration::from_micros(10));
+        }
+        for _ in 0..2 {
+            m.enqueued(0);
+            m.dequeued(0, Duration::from_millis(50));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p99_latency, Duration::from_micros(10));
+        assert!(
+            s.p999_latency >= Duration::from_micros(50_000 - 50_000 / 64),
+            "p99.9 must surface the 50 ms outlier, got {:?}",
+            s.p999_latency
+        );
+        assert_eq!(s.latency_sum, Duration::from_micros(998 * 10 + 2 * 50_000));
+        assert_eq!(s.latency_samples(), 1000);
+        let buckets: Vec<(u64, u64)> = s.histogram_buckets().collect();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (10, 998));
+        assert_eq!(buckets[1].1, 2);
+        assert!(buckets[0].0 < buckets[1].0, "floors ascend");
+        // The raw pairs re-derive the exact same percentiles the
+        // snapshot reported.
+        let floor_of = |q: f64| -> u64 {
+            let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0;
+            for &(floor, c) in &buckets {
+                seen += c;
+                if seen >= rank {
+                    return floor;
+                }
+            }
+            unreachable!()
+        };
+        assert_eq!(Duration::from_micros(floor_of(0.5)), s.p50_latency);
+        assert_eq!(Duration::from_micros(floor_of(0.999)), s.p999_latency);
     }
 
     #[test]

@@ -56,7 +56,7 @@
 //!
 //! Completion delivery is pluggable: the classic blocking [`Ticket`]
 //! (one channel per request), the evented
-//! [`TicketSet`](crate::TicketSet) completion queue
+//! [`TicketSet`] completion queue
 //! ([`Client::submit_budget_into`]) that lets one client thread drive
 //! tens of thousands of in-flight requests, and per-request callbacks
 //! ([`Client::submit_budget_with`]) that run on the completing worker.
@@ -97,7 +97,9 @@ use crate::coalesce::{combine, BatchKey, RankTracker};
 use crate::farm::{shape_hash, Claim, FarmState};
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::spec::{PreparedSpec, QuerySpec, SpecError};
-use crate::tenants::{AdmissionError, TenantLedgers, TenantResume, TenantSpend};
+use crate::tenants::{
+    AdmissionError, BurnTracker, TenantLedgers, TenantResume, TenantSpend, TenantTelemetry,
+};
 use crate::tickets::{Completion, Responder, TicketSet};
 use lrm_core::engine::{
     CacheStats, CompileOptions, CompiledMechanism, Engine, MechanismKind, NoiseFlavor,
@@ -136,6 +138,7 @@ pub struct ServerBuilder {
     max_queue_depth: Option<usize>,
     worker_panic_budget: u64,
     coalesce_across_eps: bool,
+    burn_window: Duration,
 }
 
 impl ServerBuilder {
@@ -166,6 +169,7 @@ impl ServerBuilder {
             max_queue_depth: None,
             worker_panic_budget: 8,
             coalesce_across_eps: true,
+            burn_window: Duration::from_secs(10),
         }
     }
 
@@ -334,6 +338,16 @@ impl ServerBuilder {
         self
     }
 
+    /// Sliding window over which per-tenant budget burn rates are
+    /// measured (default 10 s). The [`ServerReport`]'s
+    /// [`telemetry`](ServerReport::telemetry) quotes each tenant's
+    /// ε/δ spend per second over this window plus the time-to-exhaustion
+    /// that rate implies.
+    pub fn burn_window(mut self, window: Duration) -> Self {
+        self.burn_window = window;
+        self
+    }
+
     /// Validates and finishes the builder.
     pub fn build(self) -> Result<Server, ServerError> {
         if self.data.len() != self.schema.domain_size() {
@@ -377,6 +391,11 @@ impl ServerBuilder {
                 let epoch = next_noise_epoch(dir).map_err(|e| ServerError::State {
                     reason: format!("noise epoch file: {e}"),
                 })?;
+                // A durable server also arms the flight recorder: a
+                // crash dumps the last window of spans/events under
+                // `state_dir/flightrec/` next to the ledgers the
+                // post-mortem will want to read.
+                lrm_obs::flightrec::arm(dir.join("flightrec"));
                 epoch << 32
             }
             None => 0,
@@ -400,6 +419,7 @@ impl ServerBuilder {
             worker_panic_budget: self.worker_panic_budget,
             coalesce_across_eps: self.coalesce_across_eps,
             tenants: TenantLedgers::new(self.state_dir.as_ref().map(|d| d.join("ledgers"))),
+            burn: BurnTracker::new(self.burn_window),
             state_dir: self.state_dir,
             quarantine: RwLock::new(HashSet::new()),
             batch_counter: AtomicU64::new(batch_start),
@@ -450,6 +470,8 @@ pub struct Server {
     coalesce_across_eps: bool,
     state_dir: Option<PathBuf>,
     tenants: TenantLedgers,
+    /// Sliding-window ε/δ burn rates per tenant (settled debits only).
+    burn: BurnTracker,
     /// Workload shapes that crashed a worker; refused at admission.
     quarantine: RwLock<HashSet<u64>>,
     /// Lifetime batch counter. The batch index labels the noise stream
@@ -603,10 +625,12 @@ impl Server {
         metrics
             .ledger_replays
             .store(self.tenants.replays(), Ordering::Relaxed);
+        let tenants = self.tenants.snapshot();
         let report = ServerReport {
             metrics: metrics.snapshot(),
             cache: self.engine.cache_stats(),
-            tenants: self.tenants.snapshot(),
+            telemetry: self.burn.report(&tenants),
+            tenants,
         };
         (result, report)
     }
@@ -640,7 +664,7 @@ impl Server {
             let now = Instant::now();
             let due = Self::due_batches(&mut open, now);
             for batch in due {
-                self.flush(metrics, pool, shard, batch);
+                self.flush(metrics, pool, shard, batch, CloseReason::Window);
             }
             let msg = match open.values().map(|b| b.deadline).min() {
                 Some(deadline) => rx.recv_timeout(deadline.saturating_duration_since(now)),
@@ -696,13 +720,18 @@ impl Server {
                     let saturated = self.rank_close && !rank_grew && batch.submissions.len() > 1;
                     let at_ceiling = batch.submissions.len() >= self.max_batch;
                     if at_ceiling || saturated || self.coalesce_window.is_zero() {
-                        if saturated && !at_ceiling && !self.coalesce_window.is_zero() {
-                            metrics
-                                .rank_closed_batches
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        }
+                        // With a zero window `saturated` is impossible
+                        // (every batch flushes at length 1), so the
+                        // remaining immediate flush is a Window close.
+                        let reason = if at_ceiling {
+                            CloseReason::MaxBatch
+                        } else if saturated {
+                            CloseReason::RankGrowth
+                        } else {
+                            CloseReason::Window
+                        };
                         let batch = open.remove(&key).expect("batch just touched");
-                        self.flush(metrics, pool, shard, batch);
+                        self.flush(metrics, pool, shard, batch, reason);
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -712,7 +741,7 @@ impl Server {
                     let mut rest: Vec<OpenBatch> = open.drain().map(|(_, b)| b).collect();
                     rest.sort_by_key(|b| b.seq);
                     for batch in rest {
-                        self.flush(metrics, pool, shard, batch);
+                        self.flush(metrics, pool, shard, batch, CloseReason::ShutdownDrain);
                     }
                     // The flushes above happen-before this decrement, so
                     // a worker that observes zero live shards and empty
@@ -749,7 +778,14 @@ impl Server {
     /// [`Server::batch_counter`] — shared by every shard — so no noise
     /// stream is ever repeated, however many shards or `serve` runs this
     /// server hosts.
-    fn flush(&self, metrics: &ServerMetrics, pool: &WorkPool, shard: usize, batch: OpenBatch) {
+    fn flush(
+        &self,
+        metrics: &ServerMetrics,
+        pool: &WorkPool,
+        shard: usize,
+        batch: OpenBatch,
+        reason: CloseReason,
+    ) {
         let requests = batch.submissions.len() as u64;
         let rows: usize = batch
             .submissions
@@ -767,10 +803,33 @@ impl Server {
             .collect::<HashSet<u64>>()
             .len() as u64;
         metrics.batch_flushed(requests, rows as u64, gaussian, distinct_eps);
+        let closed = match reason {
+            CloseReason::RankGrowth => &metrics.rank_closed_batches,
+            CloseReason::Window => &metrics.window_closed_batches,
+            CloseReason::MaxBatch => &metrics.ceiling_closed_batches,
+            CloseReason::ShutdownDrain => &metrics.drain_closed_batches,
+        };
+        closed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let index = self
+            .batch_counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // The batch gets its own trace: members keep their request
+        // traces, and the close event records why the batch stopped
+        // coalescing plus its composition.
+        let trace = lrm_obs::next_trace_id();
+        lrm_obs::event!(in trace; "batch.close",
+            batch = index,
+            shard = shard,
+            reason = reason.label(),
+            requests = requests,
+            rows = rows,
+            gaussian = gaussian,
+            distinct_eps = distinct_eps,
+        );
         let job = BatchJob {
-            index: self
-                .batch_counter
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            index,
+            trace,
+            flushed_at: Instant::now(),
             submissions: batch.submissions,
         };
         // The pool is a queue, not a channel: workers only exit after
@@ -885,6 +944,12 @@ impl Server {
     /// exactly the not-yet-responded members still in
     /// `job.submissions`.
     fn answer_batch(&self, metrics: &ServerMetrics, farm: &FarmState, job: &mut BatchJob) {
+        let claimed_at = Instant::now();
+        let trace = job.trace;
+        let _serve_span = lrm_obs::span!(in trace; "batch.serve",
+            batch = job.index,
+            requests = job.submissions.len(),
+        );
         lrm_testing::failpoint!("server::worker::panic");
         let combined = {
             let specs: Vec<&PreparedSpec> = job.submissions.iter().map(|s| &s.prepared).collect();
@@ -894,10 +959,52 @@ impl Server {
             Ok(v) => v,
             Err(e) => return self.fail_batch(metrics, job, ServerError::Workload(e)),
         };
-        let compiled = match self.compile_batch(&workload) {
+        let mut compile_span = lrm_obs::span!(in trace; "batch.compile",
+            batch = job.index,
+            rows = workload.num_queries(),
+        );
+        // While tracing is on, the ALM outer loop reports each
+        // iteration's (τ, β) through the solver-telemetry observer —
+        // data-independent by construction (τ is a workload property).
+        let compiled = if lrm_obs::enabled() {
+            lrm_opt::telemetry::with_observer(
+                std::rc::Rc::new(move |it: lrm_opt::AlmIteration| {
+                    lrm_obs::event!(in trace; "alm.iteration",
+                        outer = it.outer,
+                        tau = it.residual,
+                        beta = it.beta,
+                    );
+                }),
+                || self.compile_batch(&workload),
+            )
+        } else {
+            self.compile_batch(&workload)
+        };
+        let compiled = match compiled {
             Ok(c) => c,
             Err(e) => return self.fail_batch(metrics, job, e),
         };
+        {
+            let meta = compiled.meta();
+            compile_span.record("cache", cache_label(meta.cache));
+            compile_span.record("mechanism", meta.label);
+            compile_span.record("compile_seconds", meta.compile_seconds);
+            compile_span.record("degraded", meta.degraded);
+            if let Some(rank) = meta.strategy_rank {
+                compile_span.record("strategy_rank", rank);
+            }
+            if let Some(iters) = meta.alm_iterations {
+                compile_span.record("alm_iterations", iters);
+            }
+            if let Some(warm) = &meta.warm_start {
+                compile_span.record("warm_seed_fingerprint", warm.seed_fingerprint);
+                compile_span.record("warm_profile_distance", warm.profile_distance);
+                compile_span.record("warm_iterations_saved", warm.iterations_saved());
+                compile_span.record("warm_cross_flavor", warm.cross_flavor);
+            }
+        }
+        drop(compile_span);
+        let compile_done = Instant::now();
         let degraded = compiled.meta().degraded;
         if degraded {
             // The configured mechanism blew its deadline; hand every
@@ -924,7 +1031,9 @@ impl Server {
         // Noise for the whole batch, from the batch's own deterministic
         // streams — skipped entirely if no intent was granted (no
         // release will happen, so no noise may exist).
+        let noise_started = Instant::now();
         let noise = if intents.iter().any(Result::is_ok) {
+            let _noise_span = lrm_obs::span!(in trace; "batch.noise", batch = job.index);
             match self.draw_batch_noise(&compiled, job, &intents) {
                 Ok(n) => Some(n),
                 Err(e) => {
@@ -941,6 +1050,7 @@ impl Server {
         } else {
             None
         };
+        let noise_done = Instant::now();
         let batch_size = job.submissions.len();
         // The crash window the fault harness aims at: noise exists,
         // settlements have not landed. The durable intents above are
@@ -960,6 +1070,7 @@ impl Server {
             match intents.next().expect("one intent per member") {
                 Ok(id) => {
                     let (eps_remaining, delta_remaining) = self.tenants.settle(&sub.tenant, id);
+                    self.burn.record(&sub.tenant, sub.budget);
                     metrics.answered.fetch_add(1, Ordering::Relaxed);
                     if degraded {
                         metrics.degraded_releases.fetch_add(1, Ordering::Relaxed);
@@ -995,7 +1106,39 @@ impl Server {
                         batch_size,
                         degraded,
                     };
+                    let request_trace = sub.trace;
+                    let shard = sub.shard;
+                    let submitted_at = sub.submitted_at;
+                    let budget = sub.budget;
                     respond(metrics, sub, Ok(release));
+                    if lrm_obs::enabled() {
+                        // The client-observed latency, decomposed into
+                        // the pipeline's phases. `total_ns` is the sum
+                        // of the five components by construction;
+                        // settle covers the two gaps around the noise
+                        // draw (intents + slicing + settlement).
+                        let responded_at = Instant::now();
+                        let coalesce_ns = ns_between(submitted_at, job.flushed_at);
+                        let queue_ns = ns_between(job.flushed_at, claimed_at);
+                        let compile_ns = ns_between(claimed_at, compile_done);
+                        let noise_ns = ns_between(noise_started, noise_done);
+                        let settle_ns = ns_between(compile_done, noise_started)
+                            + ns_between(noise_done, responded_at);
+                        lrm_obs::event!(in request_trace; "request.complete",
+                            batch = job.index,
+                            shard = shard,
+                            coalesce_ns = coalesce_ns,
+                            queue_ns = queue_ns,
+                            compile_ns = compile_ns,
+                            noise_ns = noise_ns,
+                            settle_ns = settle_ns,
+                            total_ns =
+                                coalesce_ns + queue_ns + compile_ns + noise_ns + settle_ns,
+                            eps = budget.eps().value(),
+                            delta = budget.delta(),
+                            degraded = degraded,
+                        );
+                    }
                 }
                 Err(e) => {
                     metrics.rejected_settlement.fetch_add(1, Ordering::Relaxed);
@@ -1118,10 +1261,78 @@ fn entropy_seed() -> u64 {
 
 /// Records the request's exit from its shard's queue and delivers its
 /// outcome through whatever responder the submission carries (blocking
-/// ticket, ticket-set completion queue, or callback).
+/// ticket, ticket-set completion queue, or callback). Rejections emit a
+/// `request.reject` trace event here — the one place every asynchronous
+/// failure path funnels through.
 fn respond(metrics: &ServerMetrics, sub: Submission, outcome: Result<Release, ServerError>) {
+    if let Err(e) = &outcome {
+        let trace = sub.trace;
+        lrm_obs::event!(in trace; "request.reject",
+            shard = sub.shard,
+            reason = error_label(e),
+        );
+    }
     metrics.dequeued(sub.shard, sub.submitted_at.elapsed());
     sub.responder.send(outcome);
+}
+
+/// Nanoseconds from `a` to `b` (0 if `b` is not after `a`) — the unit
+/// every phase field of a `request.complete` event is quoted in.
+fn ns_between(a: Instant, b: Instant) -> u64 {
+    b.saturating_duration_since(a).as_nanos() as u64
+}
+
+/// Static label of a cache outcome for span payloads.
+fn cache_label(outcome: lrm_core::engine::CacheOutcome) -> &'static str {
+    match outcome {
+        lrm_core::engine::CacheOutcome::Miss => "miss",
+        lrm_core::engine::CacheOutcome::WarmStart => "warm_start",
+        lrm_core::engine::CacheOutcome::MemoryHit => "memory_hit",
+        lrm_core::engine::CacheOutcome::DiskHit => "disk_hit",
+    }
+}
+
+/// Static label of an error variant for `request.reject` events — the
+/// variant only, never its payload (a payload can carry tenant-chosen
+/// strings).
+fn error_label(e: &ServerError) -> &'static str {
+    match e {
+        ServerError::Spec(_) => "spec",
+        ServerError::Admission(_) => "admission",
+        ServerError::Workload(_) => "workload",
+        ServerError::Core(_) => "core",
+        ServerError::Shutdown => "shutdown",
+        ServerError::Quarantined { .. } => "quarantined",
+        ServerError::Overloaded { .. } => "overloaded",
+        ServerError::State { .. } => "state",
+        ServerError::NoiseModel { .. } => "noise_model",
+    }
+}
+
+/// Why the scheduler closed a batch; recorded on the `batch.close`
+/// event and in the per-reason [`MetricsSnapshot`] counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CloseReason {
+    /// The estimated combined rank stopped growing (see
+    /// [`ServerBuilder::rank_close`]).
+    RankGrowth,
+    /// The coalescing window elapsed (or was zero).
+    Window,
+    /// The batch hit the `max_batch` ceiling.
+    MaxBatch,
+    /// Shutdown: the scheduler drained its open batches.
+    ShutdownDrain,
+}
+
+impl CloseReason {
+    fn label(self) -> &'static str {
+        match self {
+            CloseReason::RankGrowth => "rank_growth",
+            CloseReason::Window => "window",
+            CloseReason::MaxBatch => "max_batch",
+            CloseReason::ShutdownDrain => "shutdown_drain",
+        }
+    }
 }
 
 /// The shared batch hand-off between scheduler shards and the worker
@@ -1242,6 +1453,10 @@ struct Submission {
     /// The scheduler shard that admitted this request (for the per-shard
     /// queue gauges).
     shard: usize,
+    /// The request's trace id, allocated at dispatch; every event this
+    /// request produces (`request.submit` / `.reject` / `.complete`)
+    /// carries it.
+    trace: u64,
     submitted_at: Instant,
     responder: Responder,
 }
@@ -1251,6 +1466,12 @@ struct Submission {
 /// model requires it (ε for pure batches, δ for Gaussian ones).
 struct BatchJob {
     index: u64,
+    /// The batch's own trace id (members keep their request traces);
+    /// `batch.close` and the worker-side spans attach here.
+    trace: u64,
+    /// When the scheduler closed the batch — the coalesce/queue phase
+    /// boundary in every member's latency decomposition.
+    flushed_at: Instant,
     submissions: Vec<Submission>,
 }
 
@@ -1454,12 +1675,21 @@ impl Client<'_> {
         responder: Responder,
     ) -> Result<(), ServerError> {
         self.metrics.enqueued(shard);
+        let trace = lrm_obs::next_trace_id();
+        lrm_obs::event!(in trace; "request.submit",
+            tenant = tenant.to_string(),
+            shard = shard,
+            rows = prepared.num_queries(),
+            eps = budget.eps().value(),
+            delta = budget.delta(),
+        );
         let sub = Submission {
             tenant: tenant.to_string(),
             prepared,
             budget,
             key,
             shard,
+            trace,
             submitted_at: Instant::now(),
             responder,
         };
@@ -1469,6 +1699,8 @@ impl Client<'_> {
             // request never entered the queue, and a synthetic zero
             // would drag p50/p99 down.
             self.metrics.enqueue_rolled_back(shard);
+            let trace = sub.trace;
+            lrm_obs::event!(in trace; "request.reject", shard = shard, reason = "shutdown");
             sub.responder.defuse();
             return Err(ServerError::Shutdown);
         }
@@ -1568,6 +1800,10 @@ pub struct ServerReport {
     pub metrics: MetricsSnapshot,
     /// The shared engine's compiled-strategy cache counters.
     pub cache: CacheStats,
+    /// Per-tenant burn-rate telemetry: ε/δ spend per second over the
+    /// [burn window](ServerBuilder::burn_window) and the estimated
+    /// time-to-exhaustion that rate implies.
+    pub telemetry: Vec<TenantTelemetry>,
     /// Per-tenant budget positions at shutdown.
     pub tenants: Vec<TenantSpend>,
 }

@@ -25,10 +25,11 @@
 use lrm_dp::{
     Budget, BudgetError, BudgetLedger, DurableError, DurableLedger, Epsilon, SharedLedger,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// One tenant's ledger handle: durable (journaled, fsync on every
 /// intent) when the server has a state directory, or the lock-free
@@ -374,6 +375,127 @@ impl std::error::Error for AdmissionError {
     }
 }
 
+/// Sliding-window budget burn rates: every settled release drops one
+/// `(when, ε, δ)` sample per tenant; [`BurnTracker::report`] reduces
+/// the samples still inside the window to a per-second rate and an
+/// estimated time-to-exhaustion. Pure accounting over already-debited
+/// grants — no query data, no noise, nothing the ledgers don't already
+/// publish.
+/// One tenant's recent spend samples: `(when, ε, δ)` per release.
+type SpendSamples = VecDeque<(Instant, f64, f64)>;
+
+#[derive(Debug)]
+pub(crate) struct BurnTracker {
+    window: Duration,
+    samples: Mutex<HashMap<String, SpendSamples>>,
+}
+
+impl BurnTracker {
+    /// A tracker averaging spend over the trailing `window`.
+    pub(crate) fn new(window: Duration) -> Self {
+        Self {
+            window: window.max(Duration::from_millis(1)),
+            samples: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one settled release for `tenant`.
+    pub(crate) fn record(&self, tenant: &str, budget: Budget) {
+        let now = Instant::now();
+        let mut samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        let queue = samples.entry(tenant.to_string()).or_default();
+        queue.push_back((now, budget.eps().value(), budget.delta()));
+        while queue
+            .front()
+            .is_some_and(|(t, _, _)| now.duration_since(*t) > self.window)
+        {
+            queue.pop_front();
+        }
+    }
+
+    /// Reduces to per-tenant telemetry, one entry per ledger `spends`
+    /// row (tenants with no in-window releases report zero rates).
+    pub(crate) fn report(&self, spends: &[TenantSpend]) -> Vec<TenantTelemetry> {
+        let now = Instant::now();
+        let samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        let horizon = self.window.as_secs_f64();
+        spends
+            .iter()
+            .map(|spend| {
+                let (eps_in_window, delta_in_window) = samples
+                    .get(&spend.tenant)
+                    .map(|queue| {
+                        queue
+                            .iter()
+                            .filter(|(t, _, _)| now.duration_since(*t) <= self.window)
+                            .fold((0.0, 0.0), |(e, d), (_, se, sd)| (e + se, d + sd))
+                    })
+                    .unwrap_or((0.0, 0.0));
+                let eps_burn_per_sec = eps_in_window / horizon;
+                let delta_burn_per_sec = delta_in_window / horizon;
+                TenantTelemetry {
+                    tenant: spend.tenant.clone(),
+                    eps_spent: spend.spent,
+                    eps_remaining: (spend.total - spend.spent).max(0.0),
+                    delta_spent: spend.delta_spent,
+                    delta_remaining: (spend.delta_total - spend.delta_spent).max(0.0),
+                    window: self.window,
+                    eps_burn_per_sec,
+                    delta_burn_per_sec,
+                    eps_exhaustion: exhaustion(spend.total - spend.spent, eps_burn_per_sec),
+                    delta_exhaustion: exhaustion(
+                        spend.delta_total - spend.delta_spent,
+                        delta_burn_per_sec,
+                    ),
+                }
+            })
+            .collect()
+    }
+}
+
+/// `remaining / rate` as a duration; `None` when the burn rate is ~0
+/// (no exhaustion in sight — avoids infinities in reports). Capped at
+/// about 30 years so the duration always constructs.
+fn exhaustion(remaining: f64, rate_per_sec: f64) -> Option<Duration> {
+    const CAP_SECS: f64 = 1e9;
+    if rate_per_sec <= f64::EPSILON {
+        return None;
+    }
+    Some(Duration::from_secs_f64(
+        (remaining.max(0.0) / rate_per_sec).min(CAP_SECS),
+    ))
+}
+
+/// One tenant's privacy-budget telemetry, reported in the
+/// [`ServerReport`](crate::server::ServerReport): the ledger position
+/// plus the trailing-window burn rate and the time-to-exhaustion it
+/// implies at that pace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantTelemetry {
+    /// Tenant id.
+    pub tenant: String,
+    /// Cumulative ε granted.
+    pub eps_spent: f64,
+    /// ε still grantable.
+    pub eps_remaining: f64,
+    /// Cumulative δ granted (`0` for pure grants).
+    pub delta_spent: f64,
+    /// δ still grantable.
+    pub delta_remaining: f64,
+    /// The trailing window the rates below average over.
+    pub window: Duration,
+    /// ε granted per second over the trailing window.
+    pub eps_burn_per_sec: f64,
+    /// δ granted per second over the trailing window.
+    pub delta_burn_per_sec: f64,
+    /// At the current ε burn rate, when the remaining ε runs out
+    /// (`None` when the tenant is idle in the window).
+    pub eps_exhaustion: Option<Duration>,
+    /// At the current δ burn rate, when the remaining δ runs out
+    /// (`None` when idle or on a pure server).
+    pub delta_exhaustion: Option<Duration>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,5 +634,70 @@ mod tests {
         assert_ne!(a, b);
         assert!(!a.contains('/') && !a.contains(".."));
         assert!(a.ends_with(".epsj"));
+    }
+
+    #[test]
+    fn burn_tracker_rates_and_exhaustion() {
+        let tracker = BurnTracker::new(Duration::from_secs(10));
+        for _ in 0..4 {
+            tracker.record("acme", Budget::approx(eps(0.25), 1e-7).unwrap());
+        }
+        let spends = vec![
+            TenantSpend {
+                tenant: "acme".into(),
+                total: 2.0,
+                spent: 1.0,
+                delta_total: 1e-5,
+                delta_spent: 4e-7,
+                releases: 4,
+            },
+            TenantSpend {
+                tenant: "idle".into(),
+                total: 1.0,
+                spent: 0.0,
+                delta_total: 0.0,
+                delta_spent: 0.0,
+                releases: 0,
+            },
+        ];
+        let telemetry = tracker.report(&spends);
+        assert_eq!(telemetry.len(), 2);
+        let acme = &telemetry[0];
+        assert_eq!(acme.tenant, "acme");
+        assert!((acme.eps_remaining - 1.0).abs() < 1e-12);
+        // 4 × 0.25 ε inside a 10 s window → 0.1 ε/s → exhaustion in
+        // about 10 s for the remaining 1.0 ε.
+        assert!((acme.eps_burn_per_sec - 0.1).abs() < 1e-9);
+        let eta = acme.eps_exhaustion.expect("burning tenant has an ETA");
+        assert!((eta.as_secs_f64() - 10.0).abs() < 0.5, "eta {eta:?}");
+        assert!(acme.delta_exhaustion.is_some());
+        let idle = &telemetry[1];
+        assert_eq!(idle.eps_burn_per_sec, 0.0);
+        assert!(idle.eps_exhaustion.is_none());
+        assert!(idle.delta_exhaustion.is_none());
+    }
+
+    #[test]
+    fn burn_tracker_evicts_samples_past_the_window() {
+        let tracker = BurnTracker::new(Duration::from_millis(20));
+        tracker.record("acme", pure(0.5));
+        std::thread::sleep(Duration::from_millis(40));
+        tracker.record("acme", pure(0.25));
+        let spends = vec![TenantSpend {
+            tenant: "acme".into(),
+            total: 1.0,
+            spent: 0.75,
+            delta_total: 0.0,
+            delta_spent: 0.0,
+            releases: 2,
+        }];
+        let telemetry = tracker.report(&spends);
+        // Only the second release is still inside the 20 ms window.
+        let expected = 0.25 / 0.020;
+        assert!(
+            (telemetry[0].eps_burn_per_sec - expected).abs() / expected < 0.5,
+            "rate {} vs expected {expected}",
+            telemetry[0].eps_burn_per_sec
+        );
     }
 }

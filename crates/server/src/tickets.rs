@@ -14,7 +14,7 @@
 //! completed the batch, right where the release is produced.
 //!
 //! All three delivery styles funnel through one internal type,
-//! [`Responder`]: the worker calls [`Responder::send`] exactly once per
+//! `Responder`: the worker calls `Responder::send` exactly once per
 //! submission. A responder that is dropped unfired — a scheduler or worker
 //! tearing down with the submission still queued — delivers
 //! `Err(ServerError::Shutdown)` from its `Drop` impl, so no ticket, set
